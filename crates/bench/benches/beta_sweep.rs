@@ -1,0 +1,21 @@
+//! Regenerates the §5.1 β tuning sweep (126 simulations) and benchmarks
+//! it end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pscd_bench::bench_context;
+use pscd_experiments::BetaSweep;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let sweep = BetaSweep::run(&ctx).expect("β sweep runs");
+    println!("\n{sweep}");
+    let mut group = c.benchmark_group("beta_sweep");
+    group.sample_size(10);
+    group.bench_function("full_sweep", |b| {
+        b.iter(|| BetaSweep::run(&ctx).expect("β sweep runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates Figure 3 (Dual-Methods vs Dual-Caches hit ratios) and
+//! benchmarks the grid behind it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pscd_bench::bench_context;
+use pscd_experiments::Fig3;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let fig = Fig3::run(&ctx).expect("figure 3 runs");
+    println!("\n{fig}");
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("dual_family_grid", |b| {
+        b.iter(|| Fig3::run(&ctx).expect("figure 3 runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

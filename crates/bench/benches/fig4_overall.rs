@@ -1,0 +1,21 @@
+//! Regenerates Figure 4 (overall hit ratios, SQ = 1) and benchmarks the
+//! grid behind it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pscd_bench::bench_context;
+use pscd_experiments::Fig4;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let fig = Fig4::run(&ctx).expect("figure 4 runs");
+    println!("\n{fig}");
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("overall_grid", |b| {
+        b.iter(|| Fig4::run(&ctx).expect("figure 4 runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

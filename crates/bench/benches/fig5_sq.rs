@@ -1,0 +1,21 @@
+//! Regenerates Figure 5 (subscription-quality sensitivity) and benchmarks
+//! the grid behind it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pscd_bench::bench_context;
+use pscd_experiments::Fig5;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let fig = Fig5::run(&ctx).expect("figure 5 runs");
+    println!("\n{fig}");
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("sq_grid", |b| {
+        b.iter(|| Fig5::run(&ctx).expect("figure 5 runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates Figure 7 (traffic under the two pushing schemes) and
+//! benchmarks the grid behind it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pscd_bench::bench_context;
+use pscd_experiments::Fig7;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let fig = Fig7::run(&ctx).expect("figure 7 runs");
+    println!("\n{fig}");
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("traffic_grid", |b| {
+        b.iter(|| Fig7::run(&ctx).expect("figure 7 runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

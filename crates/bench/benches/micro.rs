@@ -1,0 +1,107 @@
+//! Microbenchmarks of the substrates: cache replacement throughput,
+//! content-based matching, workload sampling, topology generation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use pscd_cache::{CachePolicy, GdStar, PageRef};
+use pscd_core::StrategyKind;
+use pscd_matching::{Content, Predicate, Subscription, SubscriptionIndex, Value};
+use pscd_topology::TopologyBuilder;
+use pscd_types::{Bytes, PageId};
+use pscd_workload::{generate_publishing, PublishingConfig, Zipf};
+
+fn page_ref(i: u32) -> PageRef {
+    PageRef::new(
+        PageId::new(i),
+        Bytes::new(512 + (i as u64 * 197) % 8192),
+        1.0 + (i % 7) as f64,
+    )
+}
+
+fn cache_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    // GD* under a skewed access stream (10k accesses, 1k pages).
+    let zipf = Zipf::new(1_000, 1.0).expect("valid zipf");
+    let mut rng = StdRng::seed_from_u64(1);
+    let accesses: Vec<u32> = (0..10_000).map(|_| zipf.sample(&mut rng) as u32).collect();
+    group.bench_function("gdstar_10k_accesses", |b| {
+        b.iter_batched(
+            || GdStar::new(Bytes::from_kib(256), 2.0),
+            |mut cache| {
+                for &i in &accesses {
+                    let _ = cache.access(&page_ref(i));
+                }
+                cache.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // The paper's richest strategy under mixed push/access load.
+    group.bench_function("dclap_10k_mixed", |b| {
+        b.iter_batched(
+            || StrategyKind::dc_lap(2.0).build(Bytes::from_kib(256)),
+            |mut s| {
+                for (k, &i) in accesses.iter().enumerate() {
+                    if k % 3 == 0 {
+                        let _ = s.on_push(&page_ref(i), (i % 13) + 1);
+                    } else {
+                        let _ = s.on_access(&page_ref(i), (i % 13) + 1);
+                    }
+                }
+                s.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn matching_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    // 10k subscriptions over 20 categories + range predicates.
+    let mut index = SubscriptionIndex::new();
+    let mut rng = StdRng::seed_from_u64(2);
+    for i in 0..10_000u32 {
+        let mut preds = vec![Predicate::eq(
+            "category",
+            Value::str(format!("cat{}", i % 20)),
+        )];
+        if i % 3 == 0 {
+            preds.push(Predicate::ge("bytes", (i % 50) as i64 * 100));
+        }
+        index.insert(Subscription::new(preds));
+    }
+    let events: Vec<Content> = (0..512)
+        .map(|_| {
+            Content::new()
+                .with("category", Value::str(format!("cat{}", rng.random_range(0..20u32))))
+                .with("bytes", Value::int(rng.random_range(0..5_000)))
+        })
+        .collect();
+    group.bench_function("counting_index_512_events_10k_subs", |b| {
+        b.iter(|| {
+            events
+                .iter()
+                .map(|e| index.match_count(e))
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+fn generation_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10);
+    group.bench_function("publishing_stream_10pct", |b| {
+        b.iter(|| generate_publishing(&PublishingConfig::scaled(0.1), 7).expect("generates"))
+    });
+    group.bench_function("waxman_topology_101_nodes", |b| {
+        b.iter(|| TopologyBuilder::new(101).seed(7).build().expect("builds"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, cache_benches, matching_benches, generation_benches);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates Table 2 (relative improvement over GD* at 5% capacity) and
+//! benchmarks the grid behind it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pscd_bench::bench_context;
+use pscd_experiments::Table2;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let table = Table2::run(&ctx).expect("table 2 runs");
+    println!("\n{table}");
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("improvement_grid", |b| {
+        b.iter(|| Table2::run(&ctx).expect("table 2 runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

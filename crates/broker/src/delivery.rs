@@ -1,0 +1,450 @@
+//! The content-delivery engine: publisher-side pushing and proxy-side
+//! request handling.
+
+use serde::{Deserialize, Serialize};
+
+use pscd_cache::PageRef;
+use pscd_core::Strategy;
+use pscd_types::{Bytes, PageMeta, ServerId};
+
+use crate::{BrokerError, Traffic};
+
+/// How the push-time module moves content from the publisher to a proxy
+/// (paper §5.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PushScheme {
+    /// *Always Pushing*: a matched page is always transferred; the proxy
+    /// then decides whether to store it (bandwidth is wasted when it
+    /// declines).
+    #[default]
+    Always,
+    /// *Pushing When Necessary*: the proxy first evaluates the page's
+    /// meta-information and only asks for the transfer if it will store the
+    /// page.
+    WhenNecessary,
+}
+
+/// What happened when one matched page was offered to one proxy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PushRecord {
+    /// The proxy involved.
+    pub server: ServerId,
+    /// Whether the page's content crossed the network.
+    pub transferred: bool,
+    /// Whether the proxy stored the page.
+    pub stored: bool,
+}
+
+/// What happened when one request was served at one proxy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// The proxy involved.
+    pub server: ServerId,
+    /// Whether the request hit the local cache.
+    pub hit: bool,
+}
+
+/// One proxy server: a content-distribution strategy plus its network
+/// distance to the publisher.
+#[derive(Debug)]
+struct Proxy {
+    strategy: Box<dyn Strategy>,
+    cost: f64,
+    traffic: Traffic,
+    hits: u64,
+    requests: u64,
+}
+
+/// The publisher↔proxies delivery engine.
+///
+/// Owns one [`Strategy`] per proxy and routes the two event kinds through
+/// them, keeping per-proxy hit and traffic counters:
+///
+/// * [`publish`](DeliveryEngine::publish) — a page was published and the
+///   matching engine reported which proxies have matching subscriptions;
+/// * [`request`](DeliveryEngine::request) — a subscriber asks its proxy
+///   for a page.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_broker::{DeliveryEngine, PushScheme};
+/// use pscd_core::StrategyKind;
+/// use pscd_types::{Bytes, PageId, PageKind, PageMeta, ServerId, SimTime};
+///
+/// let mut engine = DeliveryEngine::new(
+///     vec![StrategyKind::Sg2 { beta: 2.0 }.build(Bytes::from_kib(64))],
+///     vec![1.0],
+///     PushScheme::Always,
+/// )?;
+/// let page = PageMeta::new(PageId::new(0), Bytes::new(512), SimTime::ZERO, PageKind::Original);
+/// engine.publish(&page, &[(ServerId::new(0), 4)]);
+/// let rec = engine.request(ServerId::new(0), &page)?;
+/// assert!(rec.hit);
+/// # Ok::<(), pscd_broker::BrokerError>(())
+/// ```
+#[derive(Debug)]
+pub struct DeliveryEngine {
+    proxies: Vec<Proxy>,
+    scheme: PushScheme,
+}
+
+impl DeliveryEngine {
+    /// Creates an engine from per-proxy strategies and fetch costs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::MismatchedCosts`] if `strategies` and `costs`
+    /// differ in length.
+    pub fn new(
+        strategies: Vec<Box<dyn Strategy>>,
+        costs: Vec<f64>,
+        scheme: PushScheme,
+    ) -> Result<Self, BrokerError> {
+        if strategies.len() != costs.len() {
+            return Err(BrokerError::MismatchedCosts {
+                strategies: strategies.len(),
+                costs: costs.len(),
+            });
+        }
+        Ok(Self {
+            proxies: strategies
+                .into_iter()
+                .zip(costs)
+                .map(|(strategy, cost)| Proxy {
+                    strategy,
+                    cost,
+                    traffic: Traffic::ZERO,
+                    hits: 0,
+                    requests: 0,
+                })
+                .collect(),
+            scheme,
+        })
+    }
+
+    /// Number of proxies.
+    pub fn server_count(&self) -> u16 {
+        self.proxies.len() as u16
+    }
+
+    /// The configured pushing scheme.
+    pub fn scheme(&self) -> PushScheme {
+        self.scheme
+    }
+
+    /// Delivers a freshly published page to every matched proxy according
+    /// to the pushing scheme. `matched` lists `(server, subscription
+    /// count)` pairs from the matching engine; proxies without a push-time
+    /// module are skipped entirely (no traffic, no placement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a matched server is out of range.
+    pub fn publish(&mut self, page: &PageMeta, matched: &[(ServerId, u32)]) -> Vec<PushRecord> {
+        let mut records = Vec::with_capacity(matched.len());
+        for &(server, subs) in matched {
+            let proxy = &mut self.proxies[server.as_usize()];
+            if !proxy.strategy.uses_push() {
+                continue;
+            }
+            let page_ref = PageRef::new(page.id(), page.size(), proxy.cost);
+            let (transferred, stored) = match self.scheme {
+                PushScheme::Always => {
+                    let stored = proxy.strategy.on_push(&page_ref, subs).is_stored();
+                    (true, stored)
+                }
+                PushScheme::WhenNecessary => {
+                    if proxy.strategy.would_store(&page_ref, subs) {
+                        let stored = proxy.strategy.on_push(&page_ref, subs).is_stored();
+                        (stored, stored)
+                    } else {
+                        (false, false)
+                    }
+                }
+            };
+            if transferred {
+                proxy.traffic.record_push(page.size());
+            }
+            records.push(PushRecord {
+                server,
+                transferred,
+                stored,
+            });
+        }
+        records
+    }
+
+    /// Serves a subscriber request for `page` at `server`. A miss fetches
+    /// the page from the publisher (counted in the proxy's traffic)
+    /// whether or not the strategy then caches it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownServer`] if `server` is out of range.
+    pub fn request(
+        &mut self,
+        server: ServerId,
+        page: &PageMeta,
+    ) -> Result<RequestRecord, BrokerError> {
+        self.request_with_subs(server, page, 0)
+    }
+
+    /// Like [`request`](DeliveryEngine::request), additionally passing the
+    /// page's subscription count at this proxy (needed by the combined
+    /// strategies' value functions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownServer`] if `server` is out of range.
+    pub fn request_with_subs(
+        &mut self,
+        server: ServerId,
+        page: &PageMeta,
+        subs: u32,
+    ) -> Result<RequestRecord, BrokerError> {
+        let count = self.proxies.len() as u16;
+        let proxy = self
+            .proxies
+            .get_mut(server.as_usize())
+            .ok_or(BrokerError::UnknownServer {
+                server,
+                server_count: count,
+            })?;
+        let page_ref = PageRef::new(page.id(), page.size(), proxy.cost);
+        let outcome = proxy.strategy.on_access(&page_ref, subs);
+        proxy.requests += 1;
+        let hit = outcome.is_hit();
+        if hit {
+            proxy.hits += 1;
+        } else {
+            proxy.traffic.record_fetch(page.size());
+        }
+        Ok(RequestRecord { server, hit })
+    }
+
+    /// Per-proxy traffic counters.
+    pub fn traffic(&self, server: ServerId) -> Traffic {
+        self.proxies[server.as_usize()].traffic
+    }
+
+    /// Aggregate traffic across all proxies.
+    pub fn total_traffic(&self) -> Traffic {
+        self.proxies
+            .iter()
+            .fold(Traffic::ZERO, |acc, p| acc.merged(p.traffic))
+    }
+
+    /// Hits and requests at one proxy.
+    pub fn hit_stats(&self, server: ServerId) -> (u64, u64) {
+        let p = &self.proxies[server.as_usize()];
+        (p.hits, p.requests)
+    }
+
+    /// Global hit ratio `H` over all proxies (eq. 8). Zero when no
+    /// requests have been served.
+    pub fn global_hit_ratio(&self) -> f64 {
+        let (hits, requests) = self
+            .proxies
+            .iter()
+            .fold((0u64, 0u64), |(h, r), p| (h + p.hits, r + p.requests));
+        if requests == 0 {
+            0.0
+        } else {
+            hits as f64 / requests as f64
+        }
+    }
+
+    /// Bytes currently cached at one proxy.
+    pub fn cache_used(&self, server: ServerId) -> Bytes {
+        self.proxies[server.as_usize()].strategy.used()
+    }
+
+    /// Read access to a proxy's strategy.
+    pub fn strategy(&self, server: ServerId) -> &dyn Strategy {
+        self.proxies[server.as_usize()].strategy.as_ref()
+    }
+
+    /// Drops a stale page from every proxy cache (e.g. a newer version of
+    /// the same article was just published). Returns the number of proxies
+    /// that actually held it.
+    pub fn invalidate_everywhere(&mut self, page: pscd_types::PageId) -> usize {
+        let mut dropped = 0;
+        for proxy in &mut self.proxies {
+            if proxy.strategy.invalidate(page) {
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Replaces a proxy's strategy with a fresh instance, modeling a
+    /// proxy crash/restart: all cached content and algorithm state is
+    /// lost, while the hit/traffic counters (which describe the past)
+    /// are kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownServer`] if `server` is out of range.
+    pub fn replace_strategy(
+        &mut self,
+        server: ServerId,
+        strategy: Box<dyn Strategy>,
+    ) -> Result<(), BrokerError> {
+        let count = self.proxies.len() as u16;
+        let proxy = self
+            .proxies
+            .get_mut(server.as_usize())
+            .ok_or(BrokerError::UnknownServer {
+                server,
+                server_count: count,
+            })?;
+        proxy.strategy = strategy;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscd_core::StrategyKind;
+    use pscd_types::{PageId, PageKind, SimTime};
+
+    fn page(i: u32, size: u64) -> PageMeta {
+        PageMeta::new(
+            PageId::new(i),
+            Bytes::new(size),
+            SimTime::ZERO,
+            PageKind::Original,
+        )
+    }
+
+    fn engine(kind: StrategyKind, scheme: PushScheme) -> DeliveryEngine {
+        DeliveryEngine::new(
+            vec![
+                kind.build(Bytes::new(1_000)),
+                kind.build(Bytes::new(1_000)),
+            ],
+            vec![1.0, 2.0],
+            scheme,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mismatched_costs_rejected() {
+        let err = DeliveryEngine::new(
+            vec![StrategyKind::Sub.build(Bytes::new(10))],
+            vec![1.0, 2.0],
+            PushScheme::Always,
+        )
+        .unwrap_err();
+        assert!(matches!(err, BrokerError::MismatchedCosts { .. }));
+    }
+
+    #[test]
+    fn always_pushing_counts_transfer_even_when_declined() {
+        let mut e = engine(StrategyKind::Sub, PushScheme::Always);
+        // Fill proxy 0 with a high-value page, then push a worthless one.
+        e.publish(&page(1, 1_000), &[(ServerId::new(0), 100)]);
+        let recs = e.publish(&page(2, 1_000), &[(ServerId::new(0), 1)]);
+        assert_eq!(recs.len(), 1);
+        assert!(recs[0].transferred);
+        assert!(!recs[0].stored);
+        assert_eq!(e.traffic(ServerId::new(0)).pushed_pages, 2);
+    }
+
+    #[test]
+    fn when_necessary_skips_declined_transfers() {
+        let mut e = engine(StrategyKind::Sub, PushScheme::WhenNecessary);
+        e.publish(&page(1, 1_000), &[(ServerId::new(0), 100)]);
+        let recs = e.publish(&page(2, 1_000), &[(ServerId::new(0), 1)]);
+        assert!(!recs[0].transferred);
+        assert!(!recs[0].stored);
+        assert_eq!(e.traffic(ServerId::new(0)).pushed_pages, 1);
+        assert_eq!(e.scheme(), PushScheme::WhenNecessary);
+    }
+
+    #[test]
+    fn access_only_strategies_receive_no_pushes() {
+        let mut e = engine(StrategyKind::GdStar { beta: 2.0 }, PushScheme::Always);
+        let recs = e.publish(&page(1, 100), &[(ServerId::new(0), 50)]);
+        assert!(recs.is_empty());
+        assert_eq!(e.total_traffic().pushed_pages, 0);
+    }
+
+    #[test]
+    fn hits_and_misses_tracked_per_proxy() {
+        let mut e = engine(StrategyKind::GdStar { beta: 2.0 }, PushScheme::Always);
+        let p = page(1, 100);
+        let r = e.request(ServerId::new(0), &p).unwrap();
+        assert!(!r.hit);
+        let r = e.request(ServerId::new(0), &p).unwrap();
+        assert!(r.hit);
+        assert_eq!(e.hit_stats(ServerId::new(0)), (1, 2));
+        assert_eq!(e.hit_stats(ServerId::new(1)), (0, 0));
+        assert_eq!(e.traffic(ServerId::new(0)).fetched_pages, 1);
+        assert!((e.global_hit_ratio() - 0.5).abs() < 1e-12);
+        assert!(e.cache_used(ServerId::new(0)) >= Bytes::new(100));
+        assert_eq!(e.strategy(ServerId::new(0)).name(), "GD*");
+    }
+
+    #[test]
+    fn unknown_server_errors() {
+        let mut e = engine(StrategyKind::Sub, PushScheme::Always);
+        assert!(matches!(
+            e.request(ServerId::new(9), &page(1, 10)),
+            Err(BrokerError::UnknownServer { .. })
+        ));
+    }
+
+    #[test]
+    fn push_then_request_hits_without_fetch() {
+        let mut e = engine(StrategyKind::Sg2 { beta: 2.0 }, PushScheme::Always);
+        let p = page(1, 100);
+        e.publish(&p, &[(ServerId::new(0), 5), (ServerId::new(1), 2)]);
+        let r = e.request_with_subs(ServerId::new(0), &p, 5).unwrap();
+        assert!(r.hit);
+        assert_eq!(e.traffic(ServerId::new(0)).fetched_pages, 0);
+        assert_eq!(e.total_traffic().pushed_pages, 2);
+        assert_eq!(e.server_count(), 2);
+        assert_eq!(e.global_hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn invalidate_everywhere_drops_stale_copies() {
+        let mut e = engine(StrategyKind::Sg2 { beta: 2.0 }, PushScheme::Always);
+        let p = page(1, 100);
+        e.publish(&p, &[(ServerId::new(0), 3), (ServerId::new(1), 2)]);
+        assert_eq!(e.invalidate_everywhere(p.id()), 2);
+        assert_eq!(e.invalidate_everywhere(p.id()), 0);
+        // The stale page now misses.
+        assert!(!e.request_with_subs(ServerId::new(0), &p, 3).unwrap().hit);
+    }
+
+    #[test]
+    fn replace_strategy_models_a_crash() {
+        let mut e = engine(StrategyKind::GdStar { beta: 2.0 }, PushScheme::Always);
+        let p = page(1, 100);
+        e.request(ServerId::new(0), &p).unwrap(); // miss, cached
+        assert!(e.request(ServerId::new(0), &p).unwrap().hit);
+        // Crash: fresh strategy, empty cache; counters survive.
+        e.replace_strategy(
+            ServerId::new(0),
+            StrategyKind::GdStar { beta: 2.0 }.build(Bytes::new(1_000)),
+        )
+        .unwrap();
+        assert_eq!(e.cache_used(ServerId::new(0)), Bytes::ZERO);
+        assert_eq!(e.hit_stats(ServerId::new(0)), (1, 2));
+        assert!(!e.request(ServerId::new(0), &p).unwrap().hit);
+        assert!(e
+            .replace_strategy(ServerId::new(9), StrategyKind::Sub.build(Bytes::new(1)))
+            .is_err());
+    }
+
+    #[test]
+    fn empty_engine_hit_ratio_is_zero() {
+        let e = engine(StrategyKind::Sub, PushScheme::Always);
+        assert_eq!(e.global_hit_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Traffic accounting between the publisher and the proxies.
+
+use serde::{Deserialize, Serialize};
+
+use pscd_types::Bytes;
+
+/// Publisher→proxy traffic counters, split by cause (paper §5.6: pushing
+/// traffic vs fetch-on-miss traffic), in both pages and bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Traffic {
+    /// Pages transferred by the push-time module.
+    pub pushed_pages: u64,
+    /// Bytes transferred by the push-time module.
+    pub pushed_bytes: Bytes,
+    /// Pages fetched from the publisher on cache misses.
+    pub fetched_pages: u64,
+    /// Bytes fetched from the publisher on cache misses.
+    pub fetched_bytes: Bytes,
+}
+
+impl Traffic {
+    /// No traffic.
+    pub const ZERO: Traffic = Traffic {
+        pushed_pages: 0,
+        pushed_bytes: Bytes::ZERO,
+        fetched_pages: 0,
+        fetched_bytes: Bytes::ZERO,
+    };
+
+    /// Records one pushed page.
+    pub fn record_push(&mut self, size: Bytes) {
+        self.pushed_pages += 1;
+        self.pushed_bytes += size;
+    }
+
+    /// Records one fetch-on-miss.
+    pub fn record_fetch(&mut self, size: Bytes) {
+        self.fetched_pages += 1;
+        self.fetched_bytes += size;
+    }
+
+    /// Total pages transferred from the publisher.
+    pub fn total_pages(&self) -> u64 {
+        self.pushed_pages + self.fetched_pages
+    }
+
+    /// Total bytes transferred from the publisher.
+    pub fn total_bytes(&self) -> Bytes {
+        self.pushed_bytes + self.fetched_bytes
+    }
+
+    /// Component-wise sum.
+    pub fn merged(self, other: Traffic) -> Traffic {
+        Traffic {
+            pushed_pages: self.pushed_pages + other.pushed_pages,
+            pushed_bytes: self.pushed_bytes + other.pushed_bytes,
+            fetched_pages: self.fetched_pages + other.fetched_pages,
+            fetched_bytes: self.fetched_bytes + other.fetched_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut t = Traffic::ZERO;
+        t.record_push(Bytes::new(100));
+        t.record_push(Bytes::new(50));
+        t.record_fetch(Bytes::new(25));
+        assert_eq!(t.pushed_pages, 2);
+        assert_eq!(t.pushed_bytes, Bytes::new(150));
+        assert_eq!(t.fetched_pages, 1);
+        assert_eq!(t.fetched_bytes, Bytes::new(25));
+        assert_eq!(t.total_pages(), 3);
+        assert_eq!(t.total_bytes(), Bytes::new(175));
+    }
+
+    #[test]
+    fn merge_is_componentwise() {
+        let mut a = Traffic::ZERO;
+        a.record_push(Bytes::new(10));
+        let mut b = Traffic::ZERO;
+        b.record_fetch(Bytes::new(20));
+        let m = a.merged(b);
+        assert_eq!(m.pushed_pages, 1);
+        assert_eq!(m.fetched_pages, 1);
+        assert_eq!(m.total_bytes(), Bytes::new(30));
+    }
+}

@@ -1,0 +1,308 @@
+//! The shared greedy-dual replacement engine.
+
+use std::collections::HashMap;
+
+use pscd_types::{Bytes, PageId};
+
+use crate::{AccessOutcome, CacheStore, PageRef};
+
+/// The greedy-dual family's shared machinery: an *inflation* value `L` that
+/// rises to the value of the last evicted page, in-cache reference counts
+/// (In-Cache LFU: a page's count is discarded when it is evicted, as the
+/// paper's GD\* implementation does), and value-ordered eviction.
+///
+/// Every greedy-dual policy values pages as `V(p) = L + g(p)` for some
+/// weight `g`; the engine is parameterized by `g` per call so one engine
+/// serves LRU (`g = 1`), GDS (`g = c/s`), LFU-DA (`g = f`), GD\*
+/// (`g = (f·c/s)^(1/β)`) and the subscription-aware variants built in
+/// `pscd-core`.
+#[derive(Debug, Clone, Default)]
+pub struct GreedyDualEngine {
+    store: CacheStore,
+    inflation: f64,
+    freq: HashMap<PageId, u32>,
+}
+
+impl GreedyDualEngine {
+    /// Creates an engine with the given capacity; `L` starts at 0.
+    pub fn new(capacity: Bytes) -> Self {
+        Self {
+            store: CacheStore::new(capacity),
+            inflation: 0.0,
+            freq: HashMap::new(),
+        }
+    }
+
+    /// The current inflation value `L`.
+    #[inline]
+    pub fn inflation(&self) -> f64 {
+        self.inflation
+    }
+
+    /// The in-cache reference count of a page (0 if absent).
+    #[inline]
+    pub fn frequency(&self, page: PageId) -> u32 {
+        self.freq.get(&page).copied().unwrap_or(0)
+    }
+
+    /// Read access to the underlying store.
+    #[inline]
+    pub fn store(&self) -> &CacheStore {
+        &self.store
+    }
+
+    /// Records an access under `V(p) = value(f, L)`, where `value` receives
+    /// the page's updated in-cache reference count and the current
+    /// inflation `L` and returns the page's absolute value (greedy-dual
+    /// policies return `L + g(p)`; absolute-valued policies ignore `L`).
+    /// Misses always admit the page (evicting as needed), matching the
+    /// classic GD\* pseudo-code; pages larger than the whole cache are
+    /// bypassed.
+    pub fn access<W: FnMut(u32, f64) -> f64>(
+        &mut self,
+        page: &PageRef,
+        mut value: W,
+    ) -> AccessOutcome {
+        if self.store.contains(page.page) {
+            let f = self.freq.entry(page.page).or_insert(0);
+            *f += 1;
+            let v = value(*f, self.inflation);
+            self.store.update_value(page.page, v);
+            return AccessOutcome::Hit;
+        }
+        if page.size > self.store.capacity() {
+            return AccessOutcome::MissBypassed;
+        }
+        let evicted = self.make_room(page.size);
+        self.freq.insert(page.page, 1);
+        let v = value(1, self.inflation);
+        self.store.insert(page.page, page.size, v);
+        AccessOutcome::MissAdmitted { evicted }
+    }
+
+    /// Records an access under a *value-gated* admission: on a miss the
+    /// page enters the cache only if its value `L + weight(f)` exceeds the
+    /// values of enough current residents (the paper's single-cache
+    /// combined schemes, §3.3: "the replacement module discards the
+    /// requested page immediately after forwarding it to the user if the
+    /// page's value is not high enough").
+    pub fn access_gated<W: FnMut(u32, f64) -> f64>(
+        &mut self,
+        page: &PageRef,
+        mut value: W,
+    ) -> AccessOutcome {
+        if self.store.contains(page.page) {
+            let f = self.freq.entry(page.page).or_insert(0);
+            *f += 1;
+            let v = value(*f, self.inflation);
+            self.store.update_value(page.page, v);
+            return AccessOutcome::Hit;
+        }
+        let f = 1;
+        let v = value(f, self.inflation);
+        match self.try_admit(page, v) {
+            Some(evicted) => {
+                self.freq.insert(page.page, f);
+                AccessOutcome::MissAdmitted { evicted }
+            }
+            None => AccessOutcome::MissBypassed,
+        }
+    }
+
+    /// Push-time placement of a page valued at `value` (absolute, not
+    /// relative to `L`): stores it only if free space plus the total size
+    /// of strictly-less-valuable residents covers the page (§3.2/§3.3).
+    /// Returns the evicted pages, or `None` if the page was declined.
+    /// No-op returning `Some(vec![])` if the page is already cached.
+    pub fn push_valued(&mut self, page: &PageRef, value: f64) -> Option<Vec<PageId>> {
+        if self.store.contains(page.page) {
+            return Some(Vec::new());
+        }
+        let evicted = self.try_admit(page, value)?;
+        self.freq.insert(page.page, 0);
+        Some(evicted)
+    }
+
+    /// Updates the cached page's value (e.g. after a subscription-count
+    /// change). Returns `false` if the page is not cached.
+    pub fn revalue(&mut self, page: PageId, value: f64) -> bool {
+        self.store.update_value(page, value)
+    }
+
+    /// Removes a page (without touching `L`), returning `true` if present.
+    pub fn evict(&mut self, page: PageId) -> bool {
+        self.freq.remove(&page);
+        self.store.remove(page).is_some()
+    }
+
+    /// Evicts least-valuable pages until `size` fits, raising `L` to the
+    /// value of the last eviction (classic greedy-dual replacement).
+    fn make_room(&mut self, size: Bytes) -> Vec<PageId> {
+        let mut evicted = Vec::new();
+        while self.store.free() < size {
+            let victim = self
+                .store
+                .pop_min()
+                .expect("cache cannot be empty while free < size <= capacity");
+            self.inflation = victim.value;
+            self.freq.remove(&victim.page);
+            evicted.push(victim.page);
+        }
+        evicted
+    }
+
+    /// Admits a page valued `value` only over strictly-less-valuable
+    /// residents; raises `L` on evictions.
+    fn try_admit(&mut self, page: &PageRef, value: f64) -> Option<Vec<PageId>> {
+        if page.size > self.store.capacity() {
+            return None;
+        }
+        if self.store.free() < page.size {
+            let reclaimable = self.store.free() + self.store.candidate_size_below(value);
+            if reclaimable < page.size {
+                return None;
+            }
+        }
+        let mut evicted = Vec::new();
+        while self.store.free() < page.size {
+            let victim = self
+                .store
+                .pop_min()
+                .expect("candidate check guarantees enough evictable bytes");
+            debug_assert!(victim.value < value);
+            self.inflation = victim.value;
+            self.freq.remove(&victim.page);
+            evicted.push(victim.page);
+        }
+        self.store.insert(page.page, page.size, value);
+        Some(evicted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pref(i: u32, size: u64) -> PageRef {
+        PageRef::new(PageId::new(i), Bytes::new(size), 1.0)
+    }
+
+    #[test]
+    fn hit_updates_frequency_and_value() {
+        let mut e = GreedyDualEngine::new(Bytes::new(100));
+        let p = pref(1, 10);
+        assert!(matches!(
+            e.access(&p, |f, l| l + f as f64),
+            AccessOutcome::MissAdmitted { .. }
+        ));
+        assert_eq!(e.frequency(p.page), 1);
+        assert_eq!(e.store().value(p.page), Some(1.0));
+        assert!(e.access(&p, |f, l| l + f as f64).is_hit());
+        assert_eq!(e.frequency(p.page), 2);
+        assert_eq!(e.store().value(p.page), Some(2.0));
+    }
+
+    #[test]
+    fn eviction_raises_inflation() {
+        let mut e = GreedyDualEngine::new(Bytes::new(20));
+        e.access(&pref(1, 10), |_, l| l + 1.0);
+        e.access(&pref(2, 10), |_, l| l + 2.0);
+        assert_eq!(e.inflation(), 0.0);
+        // Page 3 forces one eviction: victim is page 1 (value 1.0).
+        let out = e.access(&pref(3, 10), |_, l| l + 5.0);
+        assert_eq!(
+            out,
+            AccessOutcome::MissAdmitted {
+                evicted: vec![PageId::new(1)]
+            }
+        );
+        assert_eq!(e.inflation(), 1.0);
+        // New insertions start from L: value = 1.0 + 5.0.
+        assert_eq!(e.store().value(PageId::new(3)), Some(6.0));
+    }
+
+    #[test]
+    fn frequency_discarded_on_eviction() {
+        let mut e = GreedyDualEngine::new(Bytes::new(20));
+        let p1 = pref(1, 10);
+        e.access(&p1, |f, l| l + f as f64);
+        e.access(&p1, |f, l| l + f as f64);
+        assert_eq!(e.frequency(p1.page), 2);
+        e.access(&pref(2, 10), |_, l| l + 10.0);
+        e.access(&pref(3, 10), |_, l| l + 10.0); // evicts page 1
+        assert_eq!(e.frequency(p1.page), 0);
+        // Re-access restarts at f = 1 (In-Cache LFU).
+        e.access(&p1, |f, l| l + f as f64);
+        assert_eq!(e.frequency(p1.page), 1);
+    }
+
+    #[test]
+    fn oversized_page_bypassed() {
+        let mut e = GreedyDualEngine::new(Bytes::new(10));
+        assert_eq!(e.access(&pref(1, 11), |_, l| l + 1.0), AccessOutcome::MissBypassed);
+        assert_eq!(e.store().len(), 0);
+    }
+
+    #[test]
+    fn gated_access_declines_low_value() {
+        let mut e = GreedyDualEngine::new(Bytes::new(20));
+        e.access(&pref(1, 10), |_, l| l + 5.0);
+        e.access(&pref(2, 10), |_, l| l + 5.0);
+        // Value 1.0 < both residents: declined.
+        assert_eq!(
+            e.access_gated(&pref(3, 10), |_, l| l + 1.0),
+            AccessOutcome::MissBypassed
+        );
+        assert!(!e.store().contains(PageId::new(3)));
+        // Value 9.0 beats one resident: admitted.
+        let out = e.access_gated(&pref(4, 10), |_, l| l + 9.0);
+        assert!(matches!(out, AccessOutcome::MissAdmitted { ref evicted } if evicted.len() == 1));
+    }
+
+    #[test]
+    fn gated_access_hits_like_normal() {
+        let mut e = GreedyDualEngine::new(Bytes::new(20));
+        e.access_gated(&pref(1, 10), |f, l| l + f as f64);
+        assert!(e.access_gated(&pref(1, 10), |f, l| l + f as f64).is_hit());
+        assert_eq!(e.frequency(PageId::new(1)), 2);
+    }
+
+    #[test]
+    fn push_valued_admission_rules() {
+        let mut e = GreedyDualEngine::new(Bytes::new(30));
+        // Free space: no eviction needed.
+        assert_eq!(e.push_valued(&pref(1, 10), 2.0), Some(vec![]));
+        assert_eq!(e.push_valued(&pref(2, 20), 3.0), Some(vec![]));
+        // Full. New page worth less than all residents: declined.
+        assert_eq!(e.push_valued(&pref(3, 10), 1.0), None);
+        // Worth more than page 1 but candidates too small for 20 bytes.
+        assert_eq!(e.push_valued(&pref(4, 20), 2.5), None);
+        // Worth more than page 1, fits in its 10 bytes.
+        assert_eq!(e.push_valued(&pref(5, 10), 2.5), Some(vec![PageId::new(1)]));
+        assert_eq!(e.inflation(), 2.0);
+        // Already cached: no-op success.
+        assert_eq!(e.push_valued(&pref(5, 10), 9.9), Some(vec![]));
+        // Larger than the whole cache: declined.
+        assert_eq!(e.push_valued(&pref(6, 31), 99.0), None);
+    }
+
+    #[test]
+    fn pushed_pages_start_at_zero_frequency() {
+        let mut e = GreedyDualEngine::new(Bytes::new(30));
+        e.push_valued(&pref(1, 10), 2.0);
+        assert_eq!(e.frequency(PageId::new(1)), 0);
+        assert!(e.access(&pref(1, 10), |f, l| l + f as f64).is_hit());
+        assert_eq!(e.frequency(PageId::new(1)), 1);
+    }
+
+    #[test]
+    fn revalue_and_evict() {
+        let mut e = GreedyDualEngine::new(Bytes::new(30));
+        e.access(&pref(1, 10), |_, l| l + 1.0);
+        assert!(e.revalue(PageId::new(1), 7.0));
+        assert_eq!(e.store().value(PageId::new(1)), Some(7.0));
+        assert!(e.evict(PageId::new(1)));
+        assert!(!e.evict(PageId::new(1)));
+        assert!(!e.revalue(PageId::new(1), 1.0));
+    }
+}

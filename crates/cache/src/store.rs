@@ -1,0 +1,390 @@
+//! Byte-capacity cache store with value-ordered eviction.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use pscd_types::{Bytes, PageId};
+
+/// One cached page with its current value under the owning policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoredPage {
+    /// The cached page.
+    pub page: PageId,
+    /// Bytes occupied.
+    pub size: Bytes,
+    /// Current value; eviction removes the smallest first.
+    pub value: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    size: Bytes,
+    value: f64,
+    /// Bumped every time the value changes, to invalidate stale heap items.
+    stamp: u64,
+}
+
+/// Max-heap item ordered so that `pop` yields the *smallest* value first,
+/// breaking ties by insertion order (oldest first).
+#[derive(Debug, Clone, Copy)]
+struct HeapItem {
+    value: f64,
+    stamp: u64,
+    page: PageId,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want min-value at the top.
+        other
+            .value
+            .partial_cmp(&self.value)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.stamp.cmp(&self.stamp))
+            .then_with(|| other.page.cmp(&self.page))
+    }
+}
+
+/// A capacity-limited page store whose entries carry a scalar *value*;
+/// eviction always removes the least valuable page first (ties: least
+/// recently (re)valued).
+///
+/// This is the substrate under every replacement policy in `pscd`: the
+/// policy decides the values, the store tracks bytes and keeps the
+/// min-value order (with a lazy-deletion heap, so value updates are
+/// `O(log n)`).
+///
+/// # Examples
+///
+/// ```
+/// use pscd_cache::CacheStore;
+/// use pscd_types::{Bytes, PageId};
+///
+/// let mut store = CacheStore::new(Bytes::new(100));
+/// store.insert(PageId::new(1), Bytes::new(60), 1.0);
+/// store.insert(PageId::new(2), Bytes::new(40), 2.0);
+/// assert!(store.free().is_zero());
+/// let evicted = store.pop_min().unwrap();
+/// assert_eq!(evicted.page, PageId::new(1));
+/// assert_eq!(store.free(), Bytes::new(60));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CacheStore {
+    capacity: Bytes,
+    used: Bytes,
+    entries: HashMap<PageId, Entry>,
+    heap: BinaryHeap<HeapItem>,
+    next_stamp: u64,
+}
+
+impl CacheStore {
+    /// Creates an empty store with the given byte capacity.
+    pub fn new(capacity: Bytes) -> Self {
+        Self {
+            capacity,
+            used: Bytes::ZERO,
+            entries: HashMap::new(),
+            heap: BinaryHeap::new(),
+            next_stamp: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> Bytes {
+        self.capacity
+    }
+
+    /// Bytes currently occupied.
+    #[inline]
+    pub fn used(&self) -> Bytes {
+        self.used
+    }
+
+    /// Remaining free bytes.
+    #[inline]
+    pub fn free(&self) -> Bytes {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// Number of cached pages.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is cached.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` if `page` is cached.
+    #[inline]
+    pub fn contains(&self, page: PageId) -> bool {
+        self.entries.contains_key(&page)
+    }
+
+    /// The current value of a cached page.
+    pub fn value(&self, page: PageId) -> Option<f64> {
+        self.entries.get(&page).map(|e| e.value)
+    }
+
+    /// The size of a cached page.
+    pub fn size(&self, page: PageId) -> Option<Bytes> {
+        self.entries.get(&page).map(|e| e.size)
+    }
+
+    /// Inserts a page with an initial value. Replaces (and re-sizes) the
+    /// page if already present.
+    ///
+    /// The store intentionally allows transient over-capacity — policies
+    /// make room *before* inserting — but panics in debug builds if the
+    /// page alone exceeds capacity, which every policy must reject earlier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn insert(&mut self, page: PageId, size: Bytes, value: f64) {
+        assert!(!value.is_nan(), "page value must not be NaN");
+        debug_assert!(size <= self.capacity, "page larger than the whole cache");
+        if let Some(old) = self.entries.remove(&page) {
+            self.used -= old.size;
+        }
+        let stamp = self.bump();
+        self.entries.insert(
+            page,
+            Entry {
+                size,
+                value,
+                stamp,
+            },
+        );
+        self.used += size;
+        self.heap.push(HeapItem { value, stamp, page });
+    }
+
+    /// Updates the value of a cached page. Returns `false` if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn update_value(&mut self, page: PageId, value: f64) -> bool {
+        assert!(!value.is_nan(), "page value must not be NaN");
+        let stamp = self.bump();
+        let Some(entry) = self.entries.get_mut(&page) else {
+            return false;
+        };
+        entry.value = value;
+        entry.stamp = stamp;
+        self.heap.push(HeapItem { value, stamp, page });
+        true
+    }
+
+    /// Removes a page, returning its record if present.
+    pub fn remove(&mut self, page: PageId) -> Option<StoredPage> {
+        let entry = self.entries.remove(&page)?;
+        self.used -= entry.size;
+        Some(StoredPage {
+            page,
+            size: entry.size,
+            value: entry.value,
+        })
+    }
+
+    /// The least valuable page without removing it.
+    pub fn peek_min(&mut self) -> Option<StoredPage> {
+        self.skim();
+        self.heap.peek().map(|item| {
+            let entry = &self.entries[&item.page];
+            StoredPage {
+                page: item.page,
+                size: entry.size,
+                value: entry.value,
+            }
+        })
+    }
+
+    /// Removes and returns the least valuable page.
+    pub fn pop_min(&mut self) -> Option<StoredPage> {
+        self.skim();
+        let item = self.heap.pop()?;
+        self.remove(item.page)
+    }
+
+    /// Total size of cached pages whose value is strictly below `value` —
+    /// the *candidate pages* of the paper's push-time placement (§3.2).
+    pub fn candidate_size_below(&self, value: f64) -> Bytes {
+        self.entries
+            .values()
+            .filter(|e| e.value < value)
+            .map(|e| e.size)
+            .sum()
+    }
+
+    /// Iterates over all cached pages (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = StoredPage> + '_ {
+        self.entries.iter().map(|(&page, e)| StoredPage {
+            page,
+            size: e.size,
+            value: e.value,
+        })
+    }
+
+    /// Drops stale heap items (lazy deletion).
+    fn skim(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            match self.entries.get(&top.page) {
+                Some(e) if e.stamp == top.stamp => return,
+                _ => {
+                    self.heap.pop();
+                }
+            }
+        }
+    }
+
+    fn bump(&mut self) -> u64 {
+        let s = self.next_stamp;
+        self.next_stamp += 1;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(i: u32) -> PageId {
+        PageId::new(i)
+    }
+
+    #[test]
+    fn insert_and_accounting() {
+        let mut s = CacheStore::new(Bytes::new(100));
+        assert!(s.is_empty());
+        s.insert(page(1), Bytes::new(30), 1.0);
+        s.insert(page(2), Bytes::new(20), 2.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.used(), Bytes::new(50));
+        assert_eq!(s.free(), Bytes::new(50));
+        assert!(s.contains(page(1)));
+        assert_eq!(s.value(page(1)), Some(1.0));
+        assert_eq!(s.size(page(2)), Some(Bytes::new(20)));
+        assert_eq!(s.value(page(9)), None);
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let mut s = CacheStore::new(Bytes::new(100));
+        s.insert(page(1), Bytes::new(30), 1.0);
+        s.insert(page(1), Bytes::new(50), 9.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.used(), Bytes::new(50));
+        assert_eq!(s.value(page(1)), Some(9.0));
+    }
+
+    #[test]
+    fn pop_min_orders_by_value() {
+        let mut s = CacheStore::new(Bytes::new(100));
+        s.insert(page(1), Bytes::new(10), 3.0);
+        s.insert(page(2), Bytes::new(10), 1.0);
+        s.insert(page(3), Bytes::new(10), 2.0);
+        assert_eq!(s.pop_min().unwrap().page, page(2));
+        assert_eq!(s.pop_min().unwrap().page, page(3));
+        assert_eq!(s.pop_min().unwrap().page, page(1));
+        assert!(s.pop_min().is_none());
+        assert!(s.used().is_zero());
+    }
+
+    #[test]
+    fn equal_values_pop_oldest_first() {
+        let mut s = CacheStore::new(Bytes::new(100));
+        s.insert(page(1), Bytes::new(10), 1.0);
+        s.insert(page(2), Bytes::new(10), 1.0);
+        assert_eq!(s.pop_min().unwrap().page, page(1));
+        // Re-valuing refreshes recency: page 3 older stamp than re-valued 2.
+        let mut s = CacheStore::new(Bytes::new(100));
+        s.insert(page(2), Bytes::new(10), 1.0);
+        s.insert(page(3), Bytes::new(10), 1.0);
+        s.update_value(page(2), 1.0);
+        assert_eq!(s.pop_min().unwrap().page, page(3));
+    }
+
+    #[test]
+    fn update_value_reorders() {
+        let mut s = CacheStore::new(Bytes::new(100));
+        s.insert(page(1), Bytes::new(10), 1.0);
+        s.insert(page(2), Bytes::new(10), 2.0);
+        assert!(s.update_value(page(1), 5.0));
+        assert_eq!(s.peek_min().unwrap().page, page(2));
+        assert_eq!(s.pop_min().unwrap().page, page(2));
+        assert!(!s.update_value(page(9), 1.0));
+    }
+
+    #[test]
+    fn remove_then_pop_skips_stale() {
+        let mut s = CacheStore::new(Bytes::new(100));
+        s.insert(page(1), Bytes::new(10), 1.0);
+        s.insert(page(2), Bytes::new(10), 2.0);
+        assert_eq!(s.remove(page(1)).unwrap().size, Bytes::new(10));
+        assert_eq!(s.pop_min().unwrap().page, page(2));
+        assert!(s.remove(page(1)).is_none());
+    }
+
+    #[test]
+    fn candidate_size_below_counts_strictly() {
+        let mut s = CacheStore::new(Bytes::new(100));
+        s.insert(page(1), Bytes::new(10), 1.0);
+        s.insert(page(2), Bytes::new(20), 2.0);
+        s.insert(page(3), Bytes::new(30), 3.0);
+        assert_eq!(s.candidate_size_below(3.0), Bytes::new(30));
+        assert_eq!(s.candidate_size_below(3.1), Bytes::new(60));
+        assert_eq!(s.candidate_size_below(1.0), Bytes::ZERO);
+    }
+
+    #[test]
+    fn iter_sees_all() {
+        let mut s = CacheStore::new(Bytes::new(100));
+        s.insert(page(1), Bytes::new(10), 1.0);
+        s.insert(page(2), Bytes::new(20), 2.0);
+        let mut pages: Vec<u32> = s.iter().map(|p| p.page.index()).collect();
+        pages.sort_unstable();
+        assert_eq!(pages, [1, 2]);
+    }
+
+    #[test]
+    fn many_updates_stay_consistent() {
+        let mut s = CacheStore::new(Bytes::new(1_000));
+        for i in 0..50 {
+            s.insert(page(i), Bytes::new(10), i as f64);
+        }
+        for i in 0..50 {
+            s.update_value(page(i), (50 - i) as f64);
+        }
+        // Min should now be the page with value 1 (i = 49).
+        assert_eq!(s.peek_min().unwrap().page, page(49));
+        assert_eq!(s.len(), 50);
+        assert_eq!(s.used(), Bytes::new(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_values_rejected() {
+        let mut s = CacheStore::new(Bytes::new(100));
+        s.insert(page(1), Bytes::new(10), f64::NAN);
+    }
+}

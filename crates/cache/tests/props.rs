@@ -1,0 +1,144 @@
+//! Property tests: the heap-based greedy-dual engine must agree with a
+//! naive O(n²) reference implementation of the GD\* pseudo-code.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use pscd_cache::{AccessOutcome, CachePolicy, GdStar, PageRef};
+use pscd_types::{Bytes, PageId};
+
+/// Naive reference GD\*: linear scans instead of heaps, literally
+/// transcribing the paper's pseudo-code.
+#[derive(Debug)]
+struct ReferenceGdStar {
+    capacity: u64,
+    used: u64,
+    inflation: f64,
+    beta: f64,
+    /// page -> (size, value, freq, insertion_order_for_ties)
+    pages: HashMap<u32, (u64, f64, u32, u64)>,
+    next_order: u64,
+}
+
+impl ReferenceGdStar {
+    fn new(capacity: u64, beta: f64) -> Self {
+        Self {
+            capacity,
+            used: 0,
+            inflation: 0.0,
+            beta,
+            pages: HashMap::new(),
+            next_order: 0,
+        }
+    }
+
+    fn weight(&self, freq: u32, cost: f64, size: u64) -> f64 {
+        (freq as f64 * cost / size as f64).powf(1.0 / self.beta)
+    }
+
+    fn access(&mut self, page: u32, size: u64, cost: f64) -> bool {
+        if let Some(&(psize, _, freq, _)) = self.pages.get(&page) {
+            let freq = freq + 1;
+            let value = self.inflation + self.weight(freq, cost, psize);
+            let order = self.next_order;
+            self.next_order += 1;
+            self.pages.insert(page, (psize, value, freq, order));
+            return true;
+        }
+        if size > self.capacity {
+            return false;
+        }
+        while self.capacity - self.used < size {
+            // Evict the min-value page (ties: oldest order).
+            let victim = *self
+                .pages
+                .iter()
+                .min_by(|a, b| {
+                    a.1 .1
+                        .partial_cmp(&b.1 .1)
+                        .unwrap()
+                        .then(a.1 .3.cmp(&b.1 .3))
+                })
+                .map(|(k, _)| k)
+                .expect("nonempty while under pressure");
+            let (vsize, vvalue, _, _) = self.pages.remove(&victim).unwrap();
+            self.used -= vsize;
+            self.inflation = vvalue;
+        }
+        let value = self.inflation + self.weight(1, cost, size);
+        let order = self.next_order;
+        self.next_order += 1;
+        self.pages.insert(page, (size, value, 1, order));
+        self.used += size;
+        false
+    }
+}
+
+fn page_params(page: u32) -> (u64, f64) {
+    (16 + (page as u64 * 31) % 200, 1.0 + (page % 4) as f64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Same hits, same cache contents, same byte usage — on arbitrary
+    /// access streams.
+    #[test]
+    fn engine_matches_reference_gdstar(
+        accesses in proptest::collection::vec(0u32..30, 1..300),
+        capacity in 100u64..1500,
+        beta in proptest::sample::select(vec![0.5f64, 1.0, 2.0]),
+    ) {
+        let mut real = GdStar::new(Bytes::new(capacity), beta);
+        let mut reference = ReferenceGdStar::new(capacity, beta);
+        for &page in &accesses {
+            let (size, cost) = page_params(page);
+            let expected_hit = reference.access(page, size, cost);
+            let outcome = real.access(&PageRef::new(PageId::new(page), Bytes::new(size), cost));
+            prop_assert_eq!(
+                outcome.is_hit(),
+                expected_hit,
+                "divergence at page {} (size {}, cost {})",
+                page, size, cost
+            );
+        }
+        // Final state agrees exactly.
+        prop_assert_eq!(real.used().as_u64(), reference.used);
+        prop_assert_eq!(real.len(), reference.pages.len());
+        for (&page, &(..)) in &reference.pages {
+            prop_assert!(real.contains(PageId::new(page)), "missing page {page}");
+        }
+    }
+
+    /// The eviction list reported on a miss never contains the new page
+    /// and frees at least the bytes needed.
+    #[test]
+    fn eviction_lists_are_consistent(
+        accesses in proptest::collection::vec(0u32..40, 1..200),
+        capacity in 100u64..1000,
+    ) {
+        let mut cache = GdStar::new(Bytes::new(capacity), 2.0);
+        for &page in &accesses {
+            let (size, cost) = page_params(page);
+            let before = cache.used();
+            match cache.access(&PageRef::new(PageId::new(page), Bytes::new(size), cost)) {
+                AccessOutcome::MissAdmitted { evicted } => {
+                    prop_assert!(!evicted.contains(&PageId::new(page)));
+                    for victim in &evicted {
+                        prop_assert!(!cache.contains(*victim));
+                    }
+                    prop_assert!(cache.used() <= capacity.into());
+                    prop_assert!(cache.used() >= Bytes::new(size));
+                }
+                AccessOutcome::MissBypassed => {
+                    prop_assert!(size > capacity);
+                    prop_assert_eq!(cache.used(), before);
+                }
+                AccessOutcome::Hit => {
+                    prop_assert_eq!(cache.used(), before);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Adapter exposing classic access-time policies as strategies.
+
+use pscd_cache::{AccessOutcome, CachePolicy, PageRef};
+use pscd_types::{Bytes, PageId};
+
+use crate::{PushOutcome, Strategy, StrategyClass};
+
+/// Wraps any access-time [`CachePolicy`] (GD\*, LRU, GDS, LFU-DA) as a
+/// [`Strategy`] with no push-time module — the paper's baseline row of
+/// Table 1.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_cache::{GdStar, PageRef};
+/// use pscd_core::{AccessOnly, Strategy, StrategyClass};
+/// use pscd_types::{Bytes, PageId};
+///
+/// let mut s = AccessOnly::new(GdStar::new(Bytes::from_kib(4), 2.0));
+/// assert_eq!(s.class(), StrategyClass::AccessTime);
+/// let page = PageRef::new(PageId::new(0), Bytes::new(100), 1.0);
+/// // Pushes are declined: there is no push module.
+/// assert!(!s.on_push(&page, 10).is_stored());
+/// assert!(s.on_access(&page, 0).is_miss());
+/// assert!(s.on_access(&page, 0).is_hit());
+/// ```
+#[derive(Debug)]
+pub struct AccessOnly<P> {
+    policy: P,
+}
+
+impl<P: CachePolicy> AccessOnly<P> {
+    /// Wraps a cache policy.
+    pub fn new(policy: P) -> Self {
+        Self { policy }
+    }
+
+    /// The wrapped policy.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Unwraps the policy.
+    pub fn into_inner(self) -> P {
+        self.policy
+    }
+}
+
+impl<P: CachePolicy> Strategy for AccessOnly<P> {
+    fn name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    fn class(&self) -> StrategyClass {
+        StrategyClass::AccessTime
+    }
+
+    fn on_push(&mut self, _page: &PageRef, _subs: u32) -> PushOutcome {
+        PushOutcome::Declined
+    }
+
+    fn would_store(&self, _page: &PageRef, _subs: u32) -> bool {
+        false
+    }
+
+    fn on_access(&mut self, page: &PageRef, _subs: u32) -> AccessOutcome {
+        self.policy.access(page)
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        self.policy.contains(page)
+    }
+
+    fn invalidate(&mut self, page: PageId) -> bool {
+        self.policy.invalidate(page)
+    }
+
+    fn capacity(&self) -> Bytes {
+        self.policy.capacity()
+    }
+
+    fn used(&self) -> Bytes {
+        self.policy.used()
+    }
+
+    fn len(&self) -> usize {
+        self.policy.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscd_cache::Lru;
+
+    fn page(i: u32, size: u64) -> PageRef {
+        PageRef::new(PageId::new(i), Bytes::new(size), 1.0)
+    }
+
+    #[test]
+    fn pushes_never_store() {
+        let mut s = AccessOnly::new(Lru::new(Bytes::new(100)));
+        assert_eq!(s.on_push(&page(1, 10), 100), PushOutcome::Declined);
+        assert!(!s.would_store(&page(1, 10), 100));
+        assert!(!s.uses_push());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn accesses_delegate() {
+        let mut s = AccessOnly::new(Lru::new(Bytes::new(100)));
+        assert!(s.on_access(&page(1, 10), 0).is_miss());
+        assert!(s.contains(PageId::new(1)));
+        assert!(s.on_access(&page(1, 10), 0).is_hit());
+        assert_eq!(s.used(), Bytes::new(10));
+        assert_eq!(s.capacity(), Bytes::new(100));
+        assert_eq!(s.name(), "LRU");
+        assert!(!s.is_empty());
+        assert_eq!(s.policy().len(), 1);
+        assert_eq!(s.into_inner().len(), 1);
+    }
+}

@@ -1,0 +1,411 @@
+//! DM: single cache, dual replacement methods (§3.3).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use pscd_cache::{AccessOutcome, PageRef};
+use pscd_types::{Bytes, PageId};
+
+use crate::{PushOutcome, Strategy, StrategyClass};
+
+/// Which of the two replacement modules is evaluating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Module {
+    Access,
+    Push,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    size: Bytes,
+    access_value: f64,
+    sub_value: f64,
+    access_stamp: u64,
+    sub_stamp: u64,
+    freq: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HeapItem {
+    value: f64,
+    stamp: u64,
+    page: PageId,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .value
+            .partial_cmp(&self.value)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.stamp.cmp(&self.stamp))
+            .then_with(|| other.page.cmp(&self.page))
+    }
+}
+
+/// The paper's *Dual-Methods* strategy: one shared cache, but **two
+/// independent replacement algorithms** — GD\* handles access-time
+/// replacement, SUB handles push-time placement. Every page is labeled
+/// with two values (its GD\* value and its SUB value); each module sorts
+/// and evicts by its own value only.
+///
+/// This exposes the interference the paper discusses: a page in hot use can
+/// be evicted by a push-time placement if few subscriptions match it, and a
+/// freshly pushed page with high predicted use can be evicted on a cache
+/// miss because it has no access history yet — the motivation for the
+/// Dual-Caches family.
+#[derive(Debug)]
+pub struct DualMethods {
+    capacity: Bytes,
+    used: Bytes,
+    entries: HashMap<PageId, Entry>,
+    access_heap: BinaryHeap<HeapItem>,
+    sub_heap: BinaryHeap<HeapItem>,
+    inflation: f64,
+    beta: f64,
+    next_stamp: u64,
+}
+
+impl DualMethods {
+    /// Creates a DM proxy cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta` is positive and finite.
+    pub fn new(capacity: Bytes, beta: f64) -> Self {
+        assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
+        Self {
+            capacity,
+            used: Bytes::ZERO,
+            entries: HashMap::new(),
+            access_heap: BinaryHeap::new(),
+            sub_heap: BinaryHeap::new(),
+            inflation: 0.0,
+            beta,
+            next_stamp: 0,
+        }
+    }
+
+    /// GD\* weight `(f·c/s)^(1/β)`.
+    fn gd_weight(&self, freq: u32, page: &PageRef) -> f64 {
+        (freq as f64 * page.cost / page.size.as_f64())
+            .max(0.0)
+            .powf(1.0 / self.beta)
+    }
+
+    /// SUB value `f_S·c/s`.
+    fn sub_value(page: &PageRef, subs: u32) -> f64 {
+        subs as f64 * page.cost / page.size.as_f64()
+    }
+
+    fn stamp(&mut self) -> u64 {
+        let s = self.next_stamp;
+        self.next_stamp += 1;
+        s
+    }
+
+    fn free(&self) -> Bytes {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// Total size of pages whose value *under the given module* is below `v`.
+    fn candidate_size_below(&self, module: Module, v: f64) -> Bytes {
+        self.entries
+            .values()
+            .filter(|e| match module {
+                Module::Access => e.access_value < v,
+                Module::Push => e.sub_value < v,
+            })
+            .map(|e| e.size)
+            .sum()
+    }
+
+    /// Pops the minimum-valued live page under `module`'s ordering.
+    fn pop_min(&mut self, module: Module) -> Option<(PageId, Entry)> {
+        loop {
+            let item = match module {
+                Module::Access => self.access_heap.pop()?,
+                Module::Push => self.sub_heap.pop()?,
+            };
+            let live = self.entries.get(&item.page).is_some_and(|e| match module {
+                Module::Access => e.access_stamp == item.stamp,
+                Module::Push => e.sub_stamp == item.stamp,
+            });
+            if live {
+                let entry = self.entries.remove(&item.page).expect("live entry");
+                self.used -= entry.size;
+                return Some((item.page, entry));
+            }
+        }
+    }
+
+    fn insert(&mut self, page: &PageRef, access_value: f64, sub_value: f64, freq: u32) {
+        let access_stamp = self.stamp();
+        let sub_stamp = self.stamp();
+        self.entries.insert(
+            page.page,
+            Entry {
+                size: page.size,
+                access_value,
+                sub_value,
+                access_stamp,
+                sub_stamp,
+                freq,
+            },
+        );
+        self.used += page.size;
+        self.access_heap.push(HeapItem {
+            value: access_value,
+            stamp: access_stamp,
+            page: page.page,
+        });
+        self.sub_heap.push(HeapItem {
+            value: sub_value,
+            stamp: sub_stamp,
+            page: page.page,
+        });
+    }
+}
+
+impl Strategy for DualMethods {
+    fn name(&self) -> &'static str {
+        "DM"
+    }
+
+    fn class(&self) -> StrategyClass {
+        StrategyClass::Combined
+    }
+
+    fn on_push(&mut self, page: &PageRef, subs: u32) -> PushOutcome {
+        if self.entries.contains_key(&page.page) {
+            return PushOutcome::Stored { evicted: vec![] };
+        }
+        if !self.would_store(page, subs) {
+            return PushOutcome::Declined;
+        }
+        let v = Self::sub_value(page, subs);
+        let mut evicted = Vec::new();
+        while self.free() < page.size {
+            let (victim, _) = self
+                .pop_min(Module::Push)
+                .expect("candidate check guarantees room");
+            evicted.push(victim);
+        }
+        // A pushed page has no access history: its GD* value is just L
+        // (f = 0), so the access module treats it as cold until requested.
+        let (l, zero_weight) = (self.inflation, self.gd_weight(0, page));
+        self.insert(page, l + zero_weight, v, 0);
+        PushOutcome::Stored { evicted }
+    }
+
+    fn would_store(&self, page: &PageRef, subs: u32) -> bool {
+        if self.entries.contains_key(&page.page) {
+            return true;
+        }
+        if page.size > self.capacity {
+            return false;
+        }
+        let v = Self::sub_value(page, subs);
+        self.free() + self.candidate_size_below(Module::Push, v) >= page.size
+    }
+
+    fn on_access(&mut self, page: &PageRef, subs: u32) -> AccessOutcome {
+        if let Some(entry) = self.entries.get_mut(&page.page) {
+            entry.freq += 1;
+            let freq = entry.freq;
+            let stamp = {
+                let s = self.next_stamp;
+                self.next_stamp += 1;
+                s
+            };
+            let v = self.inflation + self.gd_weight(freq, page);
+            let entry = self.entries.get_mut(&page.page).expect("present");
+            entry.access_value = v;
+            entry.access_stamp = stamp;
+            self.access_heap.push(HeapItem {
+                value: v,
+                stamp,
+                page: page.page,
+            });
+            return AccessOutcome::Hit;
+        }
+        // GD* replacement on miss: always admit (classic), evicting by
+        // access value; inflation rises to the last victim's access value.
+        if page.size > self.capacity {
+            return AccessOutcome::MissBypassed;
+        }
+        let mut evicted = Vec::new();
+        while self.free() < page.size {
+            let (victim, entry) = self
+                .pop_min(Module::Access)
+                .expect("cache not empty while free < size <= capacity");
+            self.inflation = entry.access_value;
+            evicted.push(victim);
+        }
+        let v = self.inflation + self.gd_weight(1, page);
+        let sv = Self::sub_value(page, subs);
+        self.insert(page, v, sv, 1);
+        AccessOutcome::MissAdmitted { evicted }
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        self.entries.contains_key(&page)
+    }
+
+    fn invalidate(&mut self, page: PageId) -> bool {
+        match self.entries.remove(&page) {
+            Some(entry) => {
+                self.used -= entry.size;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn capacity(&self) -> Bytes {
+        self.capacity
+    }
+
+    fn used(&self) -> Bytes {
+        self.used
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(i: u32, size: u64, cost: f64) -> PageRef {
+        PageRef::new(PageId::new(i), Bytes::new(size), cost)
+    }
+
+    #[test]
+    fn push_and_access_modules_use_their_own_values() {
+        let mut dm = DualMethods::new(Bytes::new(20), 1.0);
+        // Page 1: hot in use (2 accesses), but zero subscriptions.
+        let p1 = page(1, 10, 10.0);
+        dm.on_access(&p1, 0);
+        dm.on_access(&p1, 0);
+        // Page 2: pushed with low subscription value.
+        assert!(dm.on_push(&page(2, 10, 10.0), 1).is_stored());
+        // Push module sees p1's sub value (0) as weakest: a push evicts the
+        // hot page — exactly the DM interference the paper describes.
+        let out = dm.on_push(&page(3, 10, 10.0), 2);
+        assert_eq!(
+            out,
+            PushOutcome::Stored {
+                evicted: vec![PageId::new(1)]
+            }
+        );
+    }
+
+    #[test]
+    fn access_module_evicts_unaccessed_pushed_pages_first() {
+        let mut dm = DualMethods::new(Bytes::new(20), 1.0);
+        // Highly subscribed pushed page (no accesses yet).
+        dm.on_push(&page(1, 10, 10.0), 100);
+        // Accessed page.
+        dm.on_access(&page(2, 10, 10.0), 0);
+        // Miss forces access-time replacement: victim is the pushed page
+        // (access value = L + 0) despite its high subscription value.
+        let out = dm.on_access(&page(3, 10, 10.0), 0);
+        assert_eq!(
+            out,
+            AccessOutcome::MissAdmitted {
+                evicted: vec![PageId::new(1)]
+            }
+        );
+    }
+
+    #[test]
+    fn push_declines_when_candidates_insufficient() {
+        let mut dm = DualMethods::new(Bytes::new(20), 1.0);
+        dm.on_push(&page(1, 10, 1.0), 10);
+        dm.on_push(&page(2, 10, 1.0), 10);
+        assert_eq!(dm.on_push(&page(3, 10, 1.0), 5), PushOutcome::Declined);
+        assert!(!dm.would_store(&page(3, 10, 1.0), 5));
+        assert!(dm.would_store(&page(4, 10, 1.0), 50));
+        // Re-push of a cached page is a trivial success.
+        assert_eq!(
+            dm.on_push(&page(1, 10, 1.0), 1),
+            PushOutcome::Stored { evicted: vec![] }
+        );
+    }
+
+    #[test]
+    fn hits_update_access_value() {
+        let mut dm = DualMethods::new(Bytes::new(20), 1.0);
+        let p = page(1, 10, 10.0);
+        dm.on_push(&p, 1);
+        assert!(dm.on_access(&p, 1).is_hit());
+        assert!(dm.on_access(&p, 1).is_hit());
+        assert_eq!(dm.len(), 1);
+        assert_eq!(dm.used(), Bytes::new(10));
+        // After two accesses, p survives an access-time replacement against
+        // a single-access newcomer even though another page is present.
+        dm.on_access(&page(2, 10, 1.0), 0);
+        let out = dm.on_access(&page(3, 10, 5.0), 0);
+        assert_eq!(
+            out,
+            AccessOutcome::MissAdmitted {
+                evicted: vec![PageId::new(2)]
+            }
+        );
+        assert!(dm.contains(p.page));
+    }
+
+    #[test]
+    fn oversized_pages_bypassed() {
+        let mut dm = DualMethods::new(Bytes::new(10), 2.0);
+        assert_eq!(dm.on_access(&page(1, 11, 1.0), 0), AccessOutcome::MissBypassed);
+        assert_eq!(dm.on_push(&page(2, 11, 1.0), 5), PushOutcome::Declined);
+        assert!(dm.len() == 0);
+        assert_eq!(dm.capacity(), Bytes::new(10));
+        assert_eq!(dm.name(), "DM");
+        assert_eq!(dm.class(), StrategyClass::Combined);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be positive")]
+    fn rejects_bad_beta() {
+        let _ = DualMethods::new(Bytes::new(10), -1.0);
+    }
+
+    #[test]
+    fn accounting_invariants_hold_under_churn() {
+        let mut dm = DualMethods::new(Bytes::new(300), 2.0);
+        for i in 0..300u32 {
+            let id = i % 41;
+            let p = page(id, 10 + (id as u64 % 7) * 17, 1.0 + (id % 3) as f64);
+            if i % 2 == 0 {
+                let _ = dm.on_push(&p, id % 9);
+            } else {
+                let _ = dm.on_access(&p, id % 9);
+            }
+            assert!(dm.used() <= dm.capacity(), "over capacity at step {i}");
+            // Byte accounting equals the sum of resident entry sizes.
+            let sum: Bytes = dm
+                .entries
+                .values()
+                .map(|e| e.size)
+                .sum();
+            assert_eq!(sum, dm.used(), "accounting drift at step {i}");
+        }
+        assert!(dm.len() > 0);
+    }
+}

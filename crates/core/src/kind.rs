@@ -1,0 +1,208 @@
+//! Strategy factory for experiments and benchmarks.
+
+use serde::{Deserialize, Serialize};
+
+use pscd_cache::{Gds, GdStar, LfuDa, Lru};
+use pscd_types::Bytes;
+
+use crate::{AccessOnly, DcAdaptive, DcFp, DualMethods, SingleCache, Strategy, Sub};
+
+/// A buildable description of every strategy in the paper (plus the classic
+/// access-only baselines), used to parameterize experiments.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_core::StrategyKind;
+/// use pscd_types::Bytes;
+///
+/// let strategy = StrategyKind::Sg2 { beta: 2.0 }.build(Bytes::from_kib(64));
+/// assert_eq!(strategy.name(), "SG2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// Least-recently-used (access-only baseline).
+    Lru,
+    /// GreedyDual-Size (access-only baseline).
+    Gds,
+    /// LFU with dynamic aging (access-only baseline).
+    LfuDa,
+    /// GreedyDual\* — the paper's access-time baseline (eq. 1).
+    GdStar {
+        /// Popularity/recency balance β.
+        beta: f64,
+    },
+    /// Push-time-only subscription-driven placement (eq. 2).
+    Sub,
+    /// Subscription-GD\*-1: `f = s + a` (eq. 3).
+    Sg1 {
+        /// Popularity/recency balance β.
+        beta: f64,
+    },
+    /// Subscription-GD\*-2: `f = s − a` (eq. 4).
+    Sg2 {
+        /// Popularity/recency balance β.
+        beta: f64,
+    },
+    /// Subscription-request: `V = (s − a)·c/s` (eq. 5).
+    Sr,
+    /// Dual-Methods: GD\* at access time, SUB at push time, shared cache.
+    Dm {
+        /// β of the GD\* module.
+        beta: f64,
+    },
+    /// Dual-Caches with fixed partition.
+    DcFp {
+        /// β of the GD\* (access-cache) module.
+        beta: f64,
+        /// Fraction of the storage given to the push cache (paper: 0.5).
+        pc_fraction: f64,
+    },
+    /// Dual-Caches with adaptive partition.
+    DcAp {
+        /// β of the GD\* (access-cache) module.
+        beta: f64,
+    },
+    /// Dual-Caches with limited adaptive partition.
+    DcLap {
+        /// β of the GD\* (access-cache) module.
+        beta: f64,
+        /// Lower bound on the PC fraction (paper: 0.25).
+        lo: f64,
+        /// Upper bound on the PC fraction (paper: 0.75).
+        hi: f64,
+    },
+}
+
+impl StrategyKind {
+    /// The paper's display name of this strategy.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategyKind::Lru => "LRU",
+            StrategyKind::Gds => "GDS",
+            StrategyKind::LfuDa => "LFU-DA",
+            StrategyKind::GdStar { .. } => "GD*",
+            StrategyKind::Sub => "SUB",
+            StrategyKind::Sg1 { .. } => "SG1",
+            StrategyKind::Sg2 { .. } => "SG2",
+            StrategyKind::Sr => "SR",
+            StrategyKind::Dm { .. } => "DM",
+            StrategyKind::DcFp { .. } => "DC-FP",
+            StrategyKind::DcAp { .. } => "DC-AP",
+            StrategyKind::DcLap { .. } => "DC-LAP",
+        }
+    }
+
+    /// Instantiates the strategy for one proxy cache of the given capacity.
+    pub fn build(&self, capacity: Bytes) -> Box<dyn Strategy> {
+        match *self {
+            StrategyKind::Lru => Box::new(AccessOnly::new(Lru::new(capacity))),
+            StrategyKind::Gds => Box::new(AccessOnly::new(Gds::new(capacity))),
+            StrategyKind::LfuDa => Box::new(AccessOnly::new(LfuDa::new(capacity))),
+            StrategyKind::GdStar { beta } => {
+                Box::new(AccessOnly::new(GdStar::new(capacity, beta)))
+            }
+            StrategyKind::Sub => Box::new(Sub::new(capacity)),
+            StrategyKind::Sg1 { beta } => Box::new(SingleCache::sg1(capacity, beta)),
+            StrategyKind::Sg2 { beta } => Box::new(SingleCache::sg2(capacity, beta)),
+            StrategyKind::Sr => Box::new(SingleCache::sr(capacity)),
+            StrategyKind::Dm { beta } => Box::new(DualMethods::new(capacity, beta)),
+            StrategyKind::DcFp { beta, pc_fraction } => {
+                Box::new(DcFp::with_fraction(capacity, beta, pc_fraction))
+            }
+            StrategyKind::DcAp { beta } => Box::new(DcAdaptive::ap(capacity, beta)),
+            StrategyKind::DcLap { beta, lo, hi } => {
+                Box::new(DcAdaptive::lap_with_bounds(capacity, beta, lo, hi))
+            }
+        }
+    }
+
+    /// The paper's defaults: DC-FP at 50/50, DC-LAP bounded to [25%, 75%].
+    pub fn dc_fp(beta: f64) -> Self {
+        StrategyKind::DcFp {
+            beta,
+            pc_fraction: 0.5,
+        }
+    }
+
+    /// DC-LAP with the paper's bounds.
+    pub fn dc_lap(beta: f64) -> Self {
+        StrategyKind::DcLap {
+            beta,
+            lo: 0.25,
+            hi: 0.75,
+        }
+    }
+
+    /// The lineup of figure 4: GD\*, SUB, SG1, SG2, SR, DC-LAP.
+    pub fn figure4_lineup(beta: f64) -> Vec<StrategyKind> {
+        vec![
+            StrategyKind::GdStar { beta },
+            StrategyKind::Sub,
+            StrategyKind::Sg1 { beta },
+            StrategyKind::Sg2 { beta },
+            StrategyKind::Sr,
+            Self::dc_lap(beta),
+        ]
+    }
+
+    /// The lineup of figure 3: GD\*, DM, DC-FP, DC-AP, DC-LAP.
+    pub fn figure3_lineup(beta: f64) -> Vec<StrategyKind> {
+        vec![
+            StrategyKind::GdStar { beta },
+            StrategyKind::Dm { beta },
+            Self::dc_fp(beta),
+            StrategyKind::DcAp { beta },
+            Self::dc_lap(beta),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscd_cache::PageRef;
+    use pscd_types::PageId;
+
+    #[test]
+    fn every_kind_builds_and_reports_its_name() {
+        let kinds = [
+            StrategyKind::Lru,
+            StrategyKind::Gds,
+            StrategyKind::LfuDa,
+            StrategyKind::GdStar { beta: 2.0 },
+            StrategyKind::Sub,
+            StrategyKind::Sg1 { beta: 2.0 },
+            StrategyKind::Sg2 { beta: 2.0 },
+            StrategyKind::Sr,
+            StrategyKind::Dm { beta: 2.0 },
+            StrategyKind::dc_fp(2.0),
+            StrategyKind::DcAp { beta: 2.0 },
+            StrategyKind::dc_lap(2.0),
+        ];
+        for kind in kinds {
+            let mut s = kind.build(Bytes::from_kib(4));
+            assert_eq!(s.name(), kind.name());
+            assert_eq!(s.capacity(), Bytes::from_kib(4));
+            // Smoke: run one push and one access through each.
+            let p = PageRef::new(PageId::new(0), Bytes::new(128), 1.0);
+            let _ = s.on_push(&p, 3);
+            let _ = s.on_access(&p, 3);
+            assert!(s.used() <= s.capacity());
+        }
+    }
+
+    #[test]
+    fn lineups_match_the_figures() {
+        let f4: Vec<&str> = StrategyKind::figure4_lineup(2.0)
+            .iter()
+            .map(|k| k.name())
+            .collect();
+        assert_eq!(f4, ["GD*", "SUB", "SG1", "SG2", "SR", "DC-LAP"]);
+        let f3: Vec<&str> = StrategyKind::figure3_lineup(2.0)
+            .iter()
+            .map(|k| k.name())
+            .collect();
+        assert_eq!(f3, ["GD*", "DM", "DC-FP", "DC-AP", "DC-LAP"]);
+    }
+}

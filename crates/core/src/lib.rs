@@ -1,0 +1,59 @@
+//! Subscription-aware content-distribution strategies for
+//! publish/subscribe services — the primary contribution of Chen, LaPaugh
+//! & Singh, *Content Distribution for Publish/Subscribe Services*
+//! (Middleware 2003).
+//!
+//! A proxy server close to a group of subscribers caches published pages.
+//! Placement decisions can be made **when a page matches subscriptions**
+//! (push time) or **when a user requests it** (access time), and can be
+//! valued by **subscription counts** or **observed accesses** — giving the
+//! paper's taxonomy (Table 1), all of which this crate implements behind
+//! one [`Strategy`] trait:
+//!
+//! | When \ How | access | subscription | both |
+//! |---|---|---|---|
+//! | access-time | [`AccessOnly`]`<GdStar>` (also LRU/GDS/LFU-DA) | | |
+//! | push-time | | [`Sub`] | |
+//! | both | | | [`SingleCache`] (SG1, SG2, SR), [`DualMethods`], [`DcFp`], [`DcAdaptive`] (DC-AP, DC-LAP) |
+//!
+//! [`StrategyKind`] is the config-friendly factory used by the simulator
+//! and benchmarks.
+//!
+//! # Examples
+//!
+//! ```
+//! use pscd_cache::PageRef;
+//! use pscd_core::{Strategy, StrategyKind};
+//! use pscd_types::{Bytes, PageId};
+//!
+//! // An SG2 proxy cache: GD* with f = subscriptions - accesses.
+//! let mut proxy = StrategyKind::Sg2 { beta: 2.0 }.build(Bytes::from_kib(64));
+//!
+//! // A fresh page matching 12 subscriptions at this proxy is pushed…
+//! let page = PageRef::new(PageId::new(0), Bytes::new(9_000), 2.0);
+//! assert!(proxy.on_push(&page, 12).is_stored());
+//! // …and the first subscriber request is a local hit.
+//! assert!(proxy.on_access(&page, 12).is_hit());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod access_only;
+mod dcap;
+mod dcfp;
+mod dm;
+mod kind;
+mod single;
+mod strategy;
+mod sub;
+
+pub use access_only::AccessOnly;
+pub use dcap::DcAdaptive;
+pub use dcfp::DcFp;
+pub use dm::DualMethods;
+pub use kind::StrategyKind;
+pub use single::SingleCache;
+pub use strategy::{AccessOutcome, PageRef, PushOutcome, Strategy, StrategyClass};
+pub use sub::Sub;

@@ -1,0 +1,351 @@
+//! Single-cache, single-replacement combined strategies: SG1, SG2, SR (§3.3).
+
+use std::collections::HashMap;
+
+use pscd_cache::{AccessOutcome, GreedyDualEngine, PageRef};
+use pscd_types::{Bytes, PageId};
+
+use crate::{PushOutcome, Strategy, StrategyClass};
+
+/// The evaluation function of a [`SingleCache`] strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Model {
+    /// SG1: GD\* with `f(p) = s + a` (eq. 3).
+    Sg1 { beta: f64 },
+    /// SG2: GD\* with `f(p) = s − a` (eq. 4, clamped at 0).
+    Sg2 { beta: f64 },
+    /// SR: `V(p) = (s − a) · c(p)/s(p)` (eq. 5, clamped at 0; no GD\*
+    /// framework — pure future-frequency prediction).
+    Sr,
+}
+
+/// The paper's single-cache/single-method combined strategies. One cache,
+/// one evaluation function applied at both push time and access time:
+///
+/// * **SG1** (*Subscription-GD\*-1*): adds subscription and access counts,
+///   `f(p) = s + a`, inside the GD\* value (eq. 1 + eq. 3).
+/// * **SG2** (*Subscription-GD\*-2*): uses the *difference* `f(p) = s − a`
+///   — if every subscriber reads a matching page once, that difference is
+///   exactly the page's future reference count (eq. 4).
+/// * **SR** (*subscription-request*): drops the GD\* recency machinery and
+///   values pages purely by predicted future frequency,
+///   `V(p) = (s − a)·c/s` (eq. 5).
+///
+/// Placement is value-gated at both opportunities: a pushed page (or a
+/// fetched-on-miss page) enters the cache only if enough strictly-less-
+/// valuable residents can be evicted for it (§3.3, "Single Cache and Single
+/// Replacement Method").
+///
+/// Unlike GD\*'s In-Cache LFU reference counts, the access count `a` is
+/// cumulative across evictions: `s − a` estimates *remaining* future
+/// references, which must not reset when a page is evicted and later
+/// re-fetched.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_core::{SingleCache, Strategy};
+/// use pscd_cache::PageRef;
+/// use pscd_types::{Bytes, PageId};
+///
+/// let mut sg2 = SingleCache::sg2(Bytes::from_kib(4), 2.0);
+/// let page = PageRef::new(PageId::new(0), Bytes::new(256), 1.0);
+/// assert!(sg2.on_push(&page, 5).is_stored());
+/// assert!(sg2.on_access(&page, 5).is_hit());
+/// ```
+#[derive(Debug)]
+pub struct SingleCache {
+    engine: GreedyDualEngine,
+    /// Cumulative access counts per page (not reset on eviction).
+    accesses: HashMap<PageId, u32>,
+    model: Model,
+    name: &'static str,
+}
+
+impl SingleCache {
+    /// Creates an SG1 cache (`f = s + a` in the GD\* value).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta` is positive and finite.
+    pub fn sg1(capacity: Bytes, beta: f64) -> Self {
+        assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
+        Self {
+            engine: GreedyDualEngine::new(capacity),
+            accesses: HashMap::new(),
+            model: Model::Sg1 { beta },
+            name: "SG1",
+        }
+    }
+
+    /// Creates an SG2 cache (`f = s − a` in the GD\* value).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta` is positive and finite.
+    pub fn sg2(capacity: Bytes, beta: f64) -> Self {
+        assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
+        Self {
+            engine: GreedyDualEngine::new(capacity),
+            accesses: HashMap::new(),
+            model: Model::Sg2 { beta },
+            name: "SG2",
+        }
+    }
+
+    /// Creates an SR cache (`V = (s − a)·c/s`, no GD\* framework).
+    pub fn sr(capacity: Bytes) -> Self {
+        Self {
+            engine: GreedyDualEngine::new(capacity),
+            accesses: HashMap::new(),
+            model: Model::Sr,
+            name: "SR",
+        }
+    }
+
+    /// The cumulative access count recorded for a page.
+    pub fn access_count(&self, page: PageId) -> u32 {
+        self.accesses.get(&page).copied().unwrap_or(0)
+    }
+
+    /// The strategy's page value given subscription count `subs`, access
+    /// count `a` and inflation `l`.
+    fn value(&self, page: &PageRef, subs: u32, a: u32, l: f64) -> f64 {
+        let cs = page.cost / page.size.as_f64();
+        match self.model {
+            Model::Sg1 { beta } => {
+                let f = subs as f64 + a as f64;
+                l + (f * cs).max(0.0).powf(1.0 / beta)
+            }
+            Model::Sg2 { beta } => {
+                let f = (subs as f64 - a as f64).max(0.0);
+                l + (f * cs).powf(1.0 / beta)
+            }
+            Model::Sr => (subs as f64 - a as f64).max(0.0) * cs,
+        }
+    }
+}
+
+impl Strategy for SingleCache {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn class(&self) -> StrategyClass {
+        StrategyClass::Combined
+    }
+
+    fn on_push(&mut self, page: &PageRef, subs: u32) -> PushOutcome {
+        let a = self.access_count(page.page);
+        let v = self.value(page, subs, a, self.engine.inflation());
+        match self.engine.push_valued(page, v) {
+            Some(evicted) => PushOutcome::Stored { evicted },
+            None => PushOutcome::Declined,
+        }
+    }
+
+    fn would_store(&self, page: &PageRef, subs: u32) -> bool {
+        let store = self.engine.store();
+        if store.contains(page.page) {
+            return true;
+        }
+        if page.size > store.capacity() {
+            return false;
+        }
+        let a = self.access_count(page.page);
+        let v = self.value(page, subs, a, self.engine.inflation());
+        store.free() + store.candidate_size_below(v) >= page.size
+    }
+
+    fn on_access(&mut self, page: &PageRef, subs: u32) -> AccessOutcome {
+        let a = {
+            let e = self.accesses.entry(page.page).or_insert(0);
+            *e += 1;
+            *e
+        };
+        // The closure ignores the engine's in-cache count: this family
+        // tracks cumulative accesses itself (see type docs).
+        let model = self.model;
+        let name_value = |l: f64| {
+            let cs = page.cost / page.size.as_f64();
+            match model {
+                Model::Sg1 { beta } => {
+                    l + ((subs as f64 + a as f64) * cs).max(0.0).powf(1.0 / beta)
+                }
+                Model::Sg2 { beta } => {
+                    l + (((subs as f64 - a as f64).max(0.0)) * cs).powf(1.0 / beta)
+                }
+                Model::Sr => (subs as f64 - a as f64).max(0.0) * cs,
+            }
+        };
+        self.engine.access_gated(page, |_, l| name_value(l))
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        self.engine.store().contains(page)
+    }
+
+    fn invalidate(&mut self, page: PageId) -> bool {
+        self.engine.evict(page)
+    }
+
+    fn capacity(&self) -> Bytes {
+        self.engine.store().capacity()
+    }
+
+    fn used(&self) -> Bytes {
+        self.engine.store().used()
+    }
+
+    fn len(&self) -> usize {
+        self.engine.store().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(i: u32, size: u64, cost: f64) -> PageRef {
+        PageRef::new(PageId::new(i), Bytes::new(size), cost)
+    }
+
+    #[test]
+    fn names_and_class() {
+        assert_eq!(SingleCache::sg1(Bytes::new(10), 2.0).name(), "SG1");
+        assert_eq!(SingleCache::sg2(Bytes::new(10), 2.0).name(), "SG2");
+        assert_eq!(SingleCache::sr(Bytes::new(10)).name(), "SR");
+        assert_eq!(
+            SingleCache::sr(Bytes::new(10)).class(),
+            StrategyClass::Combined
+        );
+    }
+
+    #[test]
+    fn push_then_access_hits() {
+        for mut s in [
+            SingleCache::sg1(Bytes::new(100), 2.0),
+            SingleCache::sg2(Bytes::new(100), 2.0),
+            SingleCache::sr(Bytes::new(100)),
+        ] {
+            let p = page(1, 10, 1.0);
+            assert!(s.on_push(&p, 4).is_stored());
+            assert!(s.on_access(&p, 4).is_hit());
+            assert_eq!(s.access_count(p.page), 1);
+        }
+    }
+
+    #[test]
+    fn sg2_value_decays_with_accesses() {
+        let mut sg2 = SingleCache::sg2(Bytes::new(30), 1.0);
+        let p = page(1, 10, 10.0);
+        sg2.on_push(&p, 2); // f = 2 - 0 = 2 -> value 2*1 = 2
+        let v0 = sg2.engineer_value(p.page);
+        sg2.on_access(&p, 2); // a = 1, f = 1
+        let v1 = sg2.engineer_value(p.page);
+        sg2.on_access(&p, 2); // a = 2, f = 0
+        let v2 = sg2.engineer_value(p.page);
+        assert!(v0 > v1 && v1 > v2, "{v0} > {v1} > {v2} expected");
+    }
+
+    #[test]
+    fn sg1_value_grows_with_accesses() {
+        let mut sg1 = SingleCache::sg1(Bytes::new(30), 1.0);
+        let p = page(1, 10, 10.0);
+        sg1.on_push(&p, 2);
+        let v0 = sg1.engineer_value(p.page);
+        sg1.on_access(&p, 2);
+        let v1 = sg1.engineer_value(p.page);
+        assert!(v1 > v0);
+    }
+
+    #[test]
+    fn access_counts_survive_eviction() {
+        let mut sr = SingleCache::sr(Bytes::new(10));
+        let p = page(1, 10, 1.0);
+        sr.on_push(&p, 3);
+        sr.on_access(&p, 3); // a = 1
+        // Displace it with a much more valuable page.
+        assert!(sr.on_push(&page(2, 10, 1.0), 100).is_stored());
+        assert!(!sr.contains(p.page));
+        // The count is still there: a = 1 persists.
+        assert_eq!(sr.access_count(p.page), 1);
+        sr.on_access(&p, 3); // a = 2, f = 1, value small -> gated out
+        assert_eq!(sr.access_count(p.page), 2);
+    }
+
+    #[test]
+    fn sr_exhausted_pages_are_not_admitted() {
+        let mut sr = SingleCache::sr(Bytes::new(20));
+        let hot = page(1, 10, 1.0);
+        sr.on_push(&hot, 1);
+        // One subscriber, one read: future refs 0 after this access.
+        assert!(sr.on_access(&hot, 1).is_hit());
+        // Now fill with a valuable page, then re-request the dead page:
+        sr.on_push(&page(2, 10, 1.0), 50);
+        assert!(sr.on_push(&page(3, 10, 1.0), 50).is_stored()); // evicts hot (v=0)
+        assert!(!sr.contains(hot.page));
+        // Re-access: s - a = 1 - 2 -> clamped 0; value 0; cache full with
+        // positive-valued pages -> bypassed.
+        assert_eq!(sr.on_access(&hot, 1), AccessOutcome::MissBypassed);
+    }
+
+    #[test]
+    fn gated_miss_admission_requires_value() {
+        let mut sg2 = SingleCache::sg2(Bytes::new(20), 1.0);
+        sg2.on_push(&page(1, 10, 1.0), 100);
+        sg2.on_push(&page(2, 10, 1.0), 100);
+        // Page with zero subscriptions missing: f = 0 - 1 -> 0 -> low value.
+        assert_eq!(
+            sg2.on_access(&page(3, 10, 1.0), 0),
+            AccessOutcome::MissBypassed
+        );
+        // Page with many subscriptions missing: admitted over weaker... none
+        // weaker here (both 100-sub pages), so still bypassed.
+        assert_eq!(
+            sg2.on_access(&page(4, 10, 1.0), 50),
+            AccessOutcome::MissBypassed
+        );
+        // Against low-value residents it is admitted.
+        let mut sg2 = SingleCache::sg2(Bytes::new(20), 1.0);
+        sg2.on_push(&page(1, 10, 1.0), 1);
+        sg2.on_push(&page(2, 10, 1.0), 1);
+        assert!(matches!(
+            sg2.on_access(&page(4, 10, 1.0), 50),
+            AccessOutcome::MissAdmitted { .. }
+        ));
+    }
+
+    #[test]
+    fn would_store_matches_on_push() {
+        let mut sg1 = SingleCache::sg1(Bytes::new(20), 2.0);
+        let cases = [
+            (page(1, 10, 1.0), 10u32),
+            (page(2, 10, 1.0), 5),
+            (page(3, 10, 1.0), 1),
+            (page(4, 15, 1.0), 30),
+            (page(5, 25, 1.0), 99),
+        ];
+        for (p, subs) in cases {
+            assert_eq!(
+                sg1.would_store(&p, subs),
+                sg1.on_push(&p, subs).is_stored(),
+                "page {:?}",
+                p.page
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be positive")]
+    fn rejects_bad_beta() {
+        let _ = SingleCache::sg1(Bytes::new(10), f64::NAN);
+    }
+
+    impl SingleCache {
+        /// Test helper: the stored value of a cached page.
+        fn engineer_value(&self, page: PageId) -> f64 {
+            self.engine.store().value(page).expect("page cached")
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! The content-distribution strategy abstraction.
+
+use std::fmt;
+
+use pscd_types::{Bytes, PageId};
+
+pub use pscd_cache::{AccessOutcome, PageRef};
+
+/// Where a strategy sits in the paper's when/how taxonomy (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyClass {
+    /// Placement only when users access pages (traditional caching).
+    AccessTime,
+    /// Placement only when the matching engine pushes pages.
+    PushTime,
+    /// Both push-time and access-time placement.
+    Combined,
+}
+
+/// What happened when a matched page was pushed to a proxy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The proxy stored the page, evicting the listed pages.
+    Stored {
+        /// Pages evicted to make room.
+        evicted: Vec<PageId>,
+    },
+    /// The proxy declined the page (not valuable enough / no push module).
+    Declined,
+}
+
+impl PushOutcome {
+    /// `true` if the page entered the cache.
+    pub fn is_stored(&self) -> bool {
+        matches!(self, PushOutcome::Stored { .. })
+    }
+}
+
+/// A per-proxy content-distribution strategy: the paper's unit of
+/// comparison.
+///
+/// Each proxy server runs one `Strategy` instance. The delivery engine
+/// drives it through two entry points:
+///
+/// * [`on_push`](Strategy::on_push) — the matching engine determined that
+///   a freshly published page matches `subs` subscriptions at this proxy
+///   (push-time placement opportunity);
+/// * [`on_access`](Strategy::on_access) — a subscriber attached to this
+///   proxy requests the page (access-time placement opportunity).
+///
+/// `subs` is the number of subscriptions matching the page at this proxy
+/// (`f_S(p)` / `s` in the paper's equations 2–5); access-only strategies
+/// ignore it.
+pub trait Strategy: fmt::Debug {
+    /// Short stable identifier used in reports ("GD*", "SG2", "DC-LAP", …).
+    fn name(&self) -> &'static str;
+
+    /// Taxonomy position (Table 1).
+    fn class(&self) -> StrategyClass;
+
+    /// Handles a push-time placement opportunity.
+    fn on_push(&mut self, page: &PageRef, subs: u32) -> PushOutcome;
+
+    /// Pure predicate: would [`on_push`](Strategy::on_push) store this page
+    /// right now? Used by the Pushing-When-Necessary scheme (§5.6), where
+    /// the proxy evaluates the page's meta-information before the publisher
+    /// transfers any content.
+    fn would_store(&self, page: &PageRef, subs: u32) -> bool;
+
+    /// Handles a user request for `page` at this proxy.
+    fn on_access(&mut self, page: &PageRef, subs: u32) -> AccessOutcome;
+
+    /// `true` if the page is currently cached (in any cache portion).
+    fn contains(&self, page: PageId) -> bool;
+
+    /// Total cache capacity.
+    fn capacity(&self) -> Bytes;
+
+    /// Bytes in use.
+    fn used(&self) -> Bytes;
+
+    /// Number of cached pages.
+    fn len(&self) -> usize;
+
+    /// `true` if nothing is cached.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops `page` from the cache (its content became stale: a newer
+    /// version was published). Returns `true` if it was cached. The
+    /// strategy's statistics for other pages are unaffected.
+    fn invalidate(&mut self, page: PageId) -> bool;
+
+    /// `true` if the strategy has a push-time module (i.e. pushes should be
+    /// routed to it at all).
+    fn uses_push(&self) -> bool {
+        !matches!(self.class(), StrategyClass::AccessTime)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_outcome_predicates() {
+        assert!(PushOutcome::Stored { evicted: vec![] }.is_stored());
+        assert!(!PushOutcome::Declined.is_stored());
+    }
+}

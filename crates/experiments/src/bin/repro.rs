@@ -1,0 +1,194 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release --bin repro -- all          # everything, paper scale
+//! cargo run --release --bin repro -- fig4         # one exhibit
+//! cargo run --release --bin repro -- table2 --scale 0.05
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pscd_experiments::{
+    BetaSweep, ClassicBaselines, CoverageSweep, CrashRecovery, ExperimentContext,
+    ExperimentError, Fig3, Fig4, Fig5, Fig6, Fig7, LapBoundsSweep, PartitionSweep,
+    InvalidationStudy, ShiftSensitivity, Table2, ToCsv, VarianceStudy,
+};
+
+const USAGE: &str = "usage: repro <beta|fig3|fig4|table2|fig5|fig6|fig7|classic|lap-bounds|partition|coverage|shift|crash|invalidation|variance|ablations|all> [--scale FRACTION] [--csv DIR]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut exhibit = None;
+    let mut scale = 1.0f64;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 && v <= 1.0 => scale = v,
+                _ => {
+                    eprintln!("--scale needs a fraction in (0, 1]");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--csv" => match it.next() {
+                Some(dir) => csv_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--csv needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            name if exhibit.is_none() => exhibit = Some(name.to_owned()),
+            other => {
+                eprintln!("unexpected argument: {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(exhibit) = exhibit else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    match run(&exhibit, scale, csv_dir.as_deref()) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("unknown exhibit: {exhibit}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(
+    exhibit: &str,
+    scale: f64,
+    csv_dir: Option<&std::path::Path>,
+) -> Result<bool, ExperimentError> {
+    eprintln!("generating workloads (scale = {scale}) …");
+    let ctx = ExperimentContext::scaled(scale)?;
+    let all = exhibit == "all";
+    let mut known = all;
+    let emit = |result: &dyn ToCsv| {
+        let Some(dir) = csv_dir else { return };
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return;
+        }
+        for (name, content) in result.to_csv() {
+            let path = dir.join(&name);
+            match std::fs::write(&path, content) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+            }
+        }
+    };
+    if all || exhibit == "beta" {
+        known = true;
+        eprintln!("running β sweep (126 simulations) …");
+        let result = BetaSweep::run(&ctx)?;
+        println!("{result}");
+        emit(&result);
+    }
+    if all || exhibit == "fig3" {
+        known = true;
+        eprintln!("running figure 3 …");
+        let result = Fig3::run(&ctx)?;
+        println!("{result}");
+        emit(&result);
+    }
+    if all || exhibit == "fig4" {
+        known = true;
+        eprintln!("running figure 4 …");
+        let result = Fig4::run(&ctx)?;
+        println!("{result}");
+        emit(&result);
+    }
+    if all || exhibit == "table2" {
+        known = true;
+        eprintln!("running table 2 …");
+        let result = Table2::run(&ctx)?;
+        println!("{result}");
+        emit(&result);
+    }
+    if all || exhibit == "fig5" {
+        known = true;
+        eprintln!("running figure 5 …");
+        let result = Fig5::run(&ctx)?;
+        println!("{result}");
+        emit(&result);
+    }
+    if all || exhibit == "fig6" {
+        known = true;
+        eprintln!("running figure 6 …");
+        let result = Fig6::run(&ctx)?;
+        println!("{result}");
+        emit(&result);
+    }
+    if all || exhibit == "fig7" {
+        known = true;
+        eprintln!("running figure 7 …");
+        let result = Fig7::run(&ctx)?;
+        println!("{result}");
+        emit(&result);
+    }
+    let ablations = exhibit == "ablations";
+    if all || ablations || exhibit == "classic" {
+        known = true;
+        eprintln!("running classic-baseline ablation …");
+        let result = ClassicBaselines::run(&ctx)?;
+        println!("{result}");
+        emit(&result);
+    }
+    if all || ablations || exhibit == "lap-bounds" {
+        known = true;
+        eprintln!("running DC-LAP bounds ablation …");
+        let result = LapBoundsSweep::run(&ctx)?;
+        println!("{result}");
+        emit(&result);
+    }
+    if all || ablations || exhibit == "partition" {
+        known = true;
+        eprintln!("running DC-FP partition ablation …");
+        let result = PartitionSweep::run(&ctx)?;
+        println!("{result}");
+        emit(&result);
+    }
+    if all || ablations || exhibit == "coverage" {
+        known = true;
+        eprintln!("running notification-coverage extension …");
+        let result = CoverageSweep::run(&ctx)?;
+        println!("{result}");
+        emit(&result);
+    }
+    if all || ablations || exhibit == "crash" {
+        known = true;
+        eprintln!("running crash-recovery extension …");
+        let result = CrashRecovery::run(&ctx)?;
+        println!("{result}");
+        emit(&result);
+    }
+    if all || ablations || exhibit == "invalidation" {
+        known = true;
+        eprintln!("running stale-version invalidation extension …");
+        println!("{}", InvalidationStudy::run(&ctx)?);
+    }
+    if all || ablations || exhibit == "variance" {
+        known = true;
+        eprintln!("running seed-sensitivity study (5 seeds × 2 traces) …");
+        println!("{}", VarianceStudy::run(&ctx, scale, &[0, 1, 2, 3, 4])?);
+    }
+    if all || ablations || exhibit == "shift" {
+        known = true;
+        eprintln!("running popularity-shift calibration sweep …");
+        println!("{}", ShiftSensitivity::run(&ctx, scale)?);
+    }
+    Ok(known)
+}

@@ -1,0 +1,132 @@
+//! Shared experiment inputs: the two traces, subscriptions and costs.
+
+use pscd_topology::{FetchCosts, TopologyBuilder};
+use pscd_types::SubscriptionTable;
+use pscd_workload::{Workload, WorkloadConfig};
+
+use crate::ExperimentError;
+
+/// The paper's capacity settings (§5.1): 1%, 5% and 10% of the unique
+/// bytes requested per server.
+pub const CAPACITIES: [f64; 3] = [0.01, 0.05, 0.10];
+
+/// The paper's subscription-quality settings (§5.4).
+pub const QUALITIES: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
+
+/// The β values the paper tunes over (§5.1): 0.0625 … 4.
+pub const BETAS: [f64; 7] = [0.0625, 0.125, 0.25, 0.5, 1.0, 2.0, 4.0];
+
+/// The β the paper selects for the NEWS trace (used by every GD\*-based
+/// strategy in the headline experiments).
+pub const PAPER_BETA: f64 = 2.0;
+
+/// Which of the paper's two traces an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trace {
+    /// α = 1.5 (news-like popularity).
+    News,
+    /// α = 1.0 (regular web popularity).
+    Alternative,
+}
+
+impl Trace {
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Trace::News => "NEWS",
+            Trace::Alternative => "ALTERNATIVE",
+        }
+    }
+
+    /// The trace's Zipf α.
+    pub fn alpha(self) -> f64 {
+        match self {
+            Trace::News => 1.5,
+            Trace::Alternative => 1.0,
+        }
+    }
+}
+
+/// Everything the experiment drivers need: both traces plus the
+/// topology-derived fetch costs, generated once and shared.
+#[derive(Debug)]
+pub struct ExperimentContext {
+    news: Workload,
+    alternative: Workload,
+    costs: FetchCosts,
+}
+
+impl ExperimentContext {
+    /// Full paper-scale context (30,147 pages, ~195k requests, 100
+    /// proxies, BRITE-style Waxman topology).
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload/topology generation failures (none occur for
+    /// the built-in configurations).
+    pub fn paper_scale() -> Result<Self, ExperimentError> {
+        Self::scaled(1.0)
+    }
+
+    /// Proportionally scaled-down context for tests and benches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload/topology generation failures.
+    pub fn scaled(factor: f64) -> Result<Self, ExperimentError> {
+        let news = Workload::generate(&WorkloadConfig::news_scaled(factor))?;
+        let alternative = Workload::generate(&WorkloadConfig::alternative_scaled(factor))?;
+        let topo = TopologyBuilder::new(news.server_count() as usize + 1)
+            .seed(42)
+            .build()?;
+        let costs = FetchCosts::from_topology(&topo, 0)?;
+        Ok(Self {
+            news,
+            alternative,
+            costs,
+        })
+    }
+
+    /// The workload of one trace.
+    pub fn workload(&self, trace: Trace) -> &Workload {
+        match trace {
+            Trace::News => &self.news,
+            Trace::Alternative => &self.alternative,
+        }
+    }
+
+    /// Subscription table of one trace at a target quality.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for qualities outside `(0, 1]`.
+    pub fn subscriptions(
+        &self,
+        trace: Trace,
+        quality: f64,
+    ) -> Result<SubscriptionTable, ExperimentError> {
+        Ok(self.workload(trace).subscriptions(quality)?)
+    }
+
+    /// The shared per-proxy fetch costs.
+    pub fn costs(&self) -> &FetchCosts {
+        &self.costs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_context_builds() {
+        let ctx = ExperimentContext::scaled(0.005).unwrap();
+        assert_eq!(ctx.workload(Trace::News).server_count(), 100);
+        assert_eq!(ctx.costs().server_count(), 100);
+        assert!(ctx.subscriptions(Trace::News, 1.0).is_ok());
+        assert!(ctx.subscriptions(Trace::Alternative, 0.5).is_ok());
+        assert!(ctx.subscriptions(Trace::News, 0.0).is_err());
+        assert_eq!(Trace::News.name(), "NEWS");
+        assert_eq!(Trace::Alternative.alpha(), 1.0);
+    }
+}

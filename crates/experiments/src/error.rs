@@ -1,0 +1,80 @@
+//! Experiment errors.
+
+use std::error::Error;
+use std::fmt;
+
+use pscd_sim::SimError;
+use pscd_topology::TopologyError;
+use pscd_workload::WorkloadError;
+
+/// Error produced while preparing or running an experiment.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExperimentError {
+    /// Workload generation failed.
+    Workload(WorkloadError),
+    /// Topology/cost generation failed.
+    Topology(TopologyError),
+    /// A simulation run failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Workload(e) => write!(f, "workload generation failed: {e}"),
+            ExperimentError::Topology(e) => write!(f, "topology generation failed: {e}"),
+            ExperimentError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExperimentError::Workload(e) => Some(e),
+            ExperimentError::Topology(e) => Some(e),
+            ExperimentError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<WorkloadError> for ExperimentError {
+    fn from(e: WorkloadError) -> Self {
+        ExperimentError::Workload(e)
+    }
+}
+
+impl From<TopologyError> for ExperimentError {
+    fn from(e: TopologyError) -> Self {
+        ExperimentError::Topology(e)
+    }
+}
+
+impl From<SimError> for ExperimentError {
+    fn from(e: SimError) -> Self {
+        ExperimentError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_and_displays_sources() {
+        let e = ExperimentError::from(WorkloadError::InvalidConfig {
+            field: "x",
+            constraint: "y",
+        });
+        assert!(e.to_string().contains("workload"));
+        assert!(e.source().is_some());
+        let e = ExperimentError::from(TopologyError::TooFewNodes { nodes: 1 });
+        assert!(e.to_string().contains("topology"));
+        let e = ExperimentError::from(SimError::InvalidOption {
+            option: "o",
+            constraint: "c",
+        });
+        assert!(e.to_string().contains("simulation"));
+    }
+}

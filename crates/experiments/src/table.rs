@@ -1,0 +1,133 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt;
+
+/// A simple aligned text table, used to print the paper's tables and
+/// figure series in a terminal- and Markdown-friendly form.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_experiments::TextTable;
+/// let mut t = TextTable::new(vec!["capacity".into(), "GD*".into(), "SG2".into()]);
+/// t.add_row(vec!["1%".into(), "36.7".into(), "61.9".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("| capacity | GD*  | SG2  |"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn add_row(&mut self, row: Vec<String>) -> &mut Self {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (cell, w) in cells.iter().zip(&widths) {
+                write!(f, " {cell:<w$} |", w = w)?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<w$}|", "", w = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a ratio in percent with one decimal, as the paper reports.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", 100.0 * x)
+}
+
+/// Formats a signed percentage (already in percent units).
+pub fn signed_pct(x: f64) -> String {
+    format!("{x:+.0}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = TextTable::new(vec!["a".into(), "bbb".into()]);
+        t.add_row(vec!["xx".into(), "1".into()]);
+        t.add_row(vec!["y".into(), "22".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "| a  | bbb |");
+        assert_eq!(lines[1], "|----|-----|");
+        assert_eq!(lines[2], "| xx | 1   |");
+        assert_eq!(lines[3], "| y  | 22  |");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(vec!["a".into()]);
+        t.add_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.4216), "42.2");
+        assert_eq!(pct(0.5), "50.0");
+        assert_eq!(signed_pct(34.2), "+34");
+        assert_eq!(signed_pct(-6.0), "-6");
+    }
+}

@@ -1,0 +1,139 @@
+//! Table 2: relative improvement over GD\* at the 5% capacity setting.
+
+use std::fmt;
+
+use pscd_core::StrategyKind;
+use pscd_sim::SimOptions;
+
+use crate::{
+    run_grid, signed_pct, ExperimentContext, ExperimentError, TextTable, Trace, PAPER_BETA,
+};
+
+/// The strategies Table 2 reports, in column order.
+fn lineup(beta: f64) -> Vec<StrategyKind> {
+    vec![
+        StrategyKind::Sub,
+        StrategyKind::Sg1 { beta },
+        StrategyKind::Sg2 { beta },
+        StrategyKind::Sr,
+        StrategyKind::Dm { beta },
+        StrategyKind::dc_fp(beta),
+        StrategyKind::dc_lap(beta),
+    ]
+}
+
+/// Table 2 of the paper: for each trace (α = 1.5 and α = 1.0), the
+/// relative hit-ratio improvement (%) of every subscription-aware strategy
+/// over the GD\* baseline, at 5% capacity and SQ = 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2 {
+    /// `(trace, [(strategy, improvement %)])` rows.
+    pub rows: Vec<(Trace, Vec<(String, f64)>)>,
+    /// Baseline GD\* hit ratios per trace (for reference).
+    pub baselines: Vec<(Trace, f64)>,
+}
+
+impl Table2 {
+    /// Runs the experiment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn run(ctx: &ExperimentContext) -> Result<Self, ExperimentError> {
+        let mut rows = Vec::new();
+        let mut baselines = Vec::new();
+        for trace in [Trace::News, Trace::Alternative] {
+            let subs = ctx.subscriptions(trace, 1.0)?;
+            let mut kinds = vec![StrategyKind::GdStar { beta: PAPER_BETA }];
+            kinds.extend(lineup(PAPER_BETA));
+            let jobs: Vec<_> = kinds
+                .iter()
+                .map(|&kind| (&subs, SimOptions::at_capacity(kind, 0.05)))
+                .collect();
+            let results = run_grid(ctx.workload(trace), ctx.costs(), &jobs)?;
+            let baseline = &results[0];
+            baselines.push((trace, baseline.hit_ratio()));
+            rows.push((
+                trace,
+                results[1..]
+                    .iter()
+                    .map(|r| {
+                        (
+                            r.strategy.clone(),
+                            r.relative_improvement_percent(baseline),
+                        )
+                    })
+                    .collect(),
+            ));
+        }
+        Ok(Self { rows, baselines })
+    }
+
+    /// Improvement of one strategy on one trace, in percent.
+    pub fn improvement(&self, trace: Trace, strategy: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|(t, _)| *t == trace)
+            .and_then(|(_, cells)| {
+                cells
+                    .iter()
+                    .find(|(name, _)| name == strategy)
+                    .map(|&(_, v)| v)
+            })
+    }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "## Table 2: relative improvement over GD* (%) (capacity = 5%, SQ = 1)\n"
+        )?;
+        let names: Vec<String> = self
+            .rows
+            .first()
+            .map(|(_, cells)| cells.iter().map(|(n, _)| n.clone()).collect())
+            .unwrap_or_default();
+        let mut headers = vec!["α".to_owned()];
+        headers.extend(names);
+        let mut table = TextTable::new(headers);
+        for (trace, cells) in &self.rows {
+            let mut row = vec![format!("{}", trace.alpha())];
+            row.extend(cells.iter().map(|&(_, v)| signed_pct(v)));
+            table.add_row(row);
+        }
+        writeln!(f, "{table}")?;
+        for (trace, h) in &self.baselines {
+            writeln!(
+                f,
+                "GD* baseline on {}: {:.1}%",
+                trace.name(),
+                100.0 * h
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvements_larger_for_alternative() {
+        let ctx = ExperimentContext::scaled(0.004).unwrap();
+        let t = Table2::run(&ctx).unwrap();
+        assert_eq!(t.rows.len(), 2);
+        // The paper's key observation: gains are much larger for α = 1.0.
+        for name in ["SG1", "SG2", "DC-LAP"] {
+            let news = t.improvement(Trace::News, name).unwrap();
+            let alt = t.improvement(Trace::Alternative, name).unwrap();
+            assert!(alt > news, "{name}: ALT {alt} <= NEWS {news}");
+            assert!(alt > 0.0);
+        }
+        assert!(t.improvement(Trace::News, "missing").is_none());
+        let rendered = t.to_string();
+        assert!(rendered.contains("Table 2"));
+        assert!(rendered.contains("GD* baseline"));
+    }
+}

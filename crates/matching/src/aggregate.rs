@@ -1,0 +1,317 @@
+//! Broker-side subscription aggregation.
+
+use pscd_types::{PageId, ServerId};
+
+use crate::{
+    covers, Content, CoverSet, EngineMatcher, MatchError, Matcher, Subscription, SubscriptionId,
+};
+
+/// A matching engine with per-proxy **subscription aggregation**: each
+/// proxy maintains the minimal cover set of its users' subscriptions
+/// (Siena-style) and only that set needs to be forwarded to the publisher.
+///
+/// The paper's architecture (§2) has proxies "aggregate their users'
+/// subscriptions"; this type makes the aggregation concrete: a new
+/// subscription covered by an existing one changes nothing upstream, while
+/// a broader one replaces the entries it covers.
+///
+/// Matching still runs over the *full* per-proxy population (counts feed
+/// the strategies' value functions), so aggregation only affects what the
+/// publisher must know.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_matching::{AggregatedMatcher, Predicate, Subscription, Value};
+/// use pscd_types::ServerId;
+///
+/// let mut m = AggregatedMatcher::new(1);
+/// let s0 = ServerId::new(0);
+/// let wide = Subscription::new(vec![Predicate::eq("category", Value::str("sports"))]);
+/// let narrow = Subscription::new(vec![
+///     Predicate::eq("category", Value::str("sports")),
+///     Predicate::ge("bytes", 1_000),
+/// ]);
+/// let (_, forwarded) = m.subscribe(s0, wide)?;
+/// assert!(forwarded); // first subscription: the publisher must learn it
+/// let (_, forwarded) = m.subscribe(s0, narrow)?;
+/// assert!(!forwarded); // covered: nothing new upstream
+/// assert_eq!(m.upstream_len(s0)?, 1);
+/// # Ok::<(), pscd_matching::MatchError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct AggregatedMatcher {
+    matcher: EngineMatcher,
+    covers: Vec<CoverSet>,
+}
+
+impl AggregatedMatcher {
+    /// Creates an aggregated matcher for `servers` proxies.
+    pub fn new(servers: u16) -> Self {
+        Self {
+            matcher: EngineMatcher::new(servers),
+            covers: (0..servers).map(|_| CoverSet::new()).collect(),
+        }
+    }
+
+    /// Number of proxies.
+    pub fn server_count(&self) -> u16 {
+        self.matcher.server_count()
+    }
+
+    /// Registers a subscription at `server`. Returns its id and whether
+    /// the proxy's *upstream* (aggregated) set changed — i.e. whether the
+    /// publisher needs to be told.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::UnknownServer`] if `server` is out of range.
+    pub fn subscribe(
+        &mut self,
+        server: ServerId,
+        subscription: Subscription,
+    ) -> Result<(SubscriptionId, bool), MatchError> {
+        let id = self.matcher.subscribe(server, subscription.clone())?;
+        let forwarded = self.covers[server.as_usize()].insert(id, subscription);
+        Ok((id, forwarded))
+    }
+
+    /// Removes a subscription. Returns `true` if the upstream set changed
+    /// (it is rebuilt from the surviving population, since removing a
+    /// maximal subscription can *uncover* previously absorbed ones).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::UnknownServer`] / [`MatchError::UnknownSubscription`].
+    pub fn unsubscribe(
+        &mut self,
+        server: ServerId,
+        id: SubscriptionId,
+    ) -> Result<bool, MatchError> {
+        self.matcher.unsubscribe(server, id)?;
+        let cover = &mut self.covers[server.as_usize()];
+        let was_upstream = cover.iter().any(|(&cid, _)| cid == id);
+        if !was_upstream {
+            return Ok(false);
+        }
+        // Rebuild the minimal set from the live population.
+        let mut rebuilt = CoverSet::new();
+        for (sid, sub) in self.matcher.index(server)?.iter() {
+            rebuilt.insert(sid, sub.clone());
+        }
+        *cover = rebuilt;
+        Ok(true)
+    }
+
+    /// The minimal subscription set proxy `server` forwards upstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::UnknownServer`] if `server` is out of range.
+    pub fn upstream(
+        &self,
+        server: ServerId,
+    ) -> Result<impl Iterator<Item = &Subscription>, MatchError> {
+        let count = self.covers.len() as u16;
+        self.covers
+            .get(server.as_usize())
+            .map(|c| c.iter().map(|(_, s)| s))
+            .ok_or(MatchError::UnknownServer {
+                server,
+                server_count: count,
+            })
+    }
+
+    /// Size of the upstream set at `server`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::UnknownServer`] if `server` is out of range.
+    pub fn upstream_len(&self, server: ServerId) -> Result<usize, MatchError> {
+        Ok(self.upstream(server)?.count())
+    }
+
+    /// `true` if the publisher needs to deliver `content` to `server` at
+    /// all — evaluated against the *aggregated* set only, which must agree
+    /// with the full population (soundness of covering).
+    pub fn upstream_matches(&self, server: ServerId, content: &Content) -> bool {
+        self.covers
+            .get(server.as_usize())
+            .is_some_and(|c| c.iter().any(|(_, s)| s.matches(content)))
+    }
+
+    /// Associates content with a page id (typically at publish time).
+    pub fn register_page(&mut self, page: PageId, content: Content) {
+        self.matcher.register_page(page, content);
+    }
+
+    /// The underlying full-population matcher.
+    pub fn matcher(&self) -> &EngineMatcher {
+        &self.matcher
+    }
+
+    /// Sanity check (used by tests): the aggregated set matches `content`
+    /// exactly when some full-population subscription does.
+    pub fn aggregation_agrees(&self, server: ServerId, content: &Content) -> bool {
+        let Ok(index) = self.matcher.index(server) else {
+            return false;
+        };
+        let full = index.match_count(content) > 0;
+        let agg = self.upstream_matches(server, content);
+        full == agg
+    }
+
+    /// Verifies the cover-set invariant at one proxy: no member covers
+    /// another, and every live subscription is covered by some member.
+    pub fn cover_is_minimal_and_complete(&self, server: ServerId) -> bool {
+        let Ok(index) = self.matcher.index(server) else {
+            return false;
+        };
+        let cover = &self.covers[server.as_usize()];
+        let members: Vec<&Subscription> = cover.iter().map(|(_, s)| s).collect();
+        for (i, a) in members.iter().enumerate() {
+            for (j, b) in members.iter().enumerate() {
+                if i != j && covers(a, b) {
+                    return false;
+                }
+            }
+        }
+        index
+            .iter()
+            .all(|(_, sub)| members.iter().any(|m| covers(m, sub)))
+    }
+}
+
+impl Matcher for AggregatedMatcher {
+    fn matched_servers(&self, page: PageId) -> Vec<(ServerId, u32)> {
+        self.matcher.matched_servers(page)
+    }
+
+    fn match_count(&self, page: PageId, server: ServerId) -> u32 {
+        self.matcher.match_count(page, server)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Predicate, Value};
+
+    fn sports() -> Subscription {
+        Subscription::new(vec![Predicate::eq("category", Value::str("sports"))])
+    }
+
+    fn sports_long() -> Subscription {
+        Subscription::new(vec![
+            Predicate::eq("category", Value::str("sports")),
+            Predicate::ge("bytes", 1_000),
+        ])
+    }
+
+    #[test]
+    fn covered_subscriptions_do_not_forward() {
+        let mut m = AggregatedMatcher::new(2);
+        let s0 = ServerId::new(0);
+        let (_, fwd) = m.subscribe(s0, sports()).unwrap();
+        assert!(fwd);
+        let (_, fwd) = m.subscribe(s0, sports_long()).unwrap();
+        assert!(!fwd);
+        assert_eq!(m.upstream_len(s0).unwrap(), 1);
+        // Another server aggregates independently.
+        let s1 = ServerId::new(1);
+        let (_, fwd) = m.subscribe(s1, sports_long()).unwrap();
+        assert!(fwd);
+        assert_eq!(m.upstream_len(s1).unwrap(), 1);
+        assert_eq!(m.server_count(), 2);
+    }
+
+    #[test]
+    fn wider_subscription_replaces_upstream() {
+        let mut m = AggregatedMatcher::new(1);
+        let s0 = ServerId::new(0);
+        m.subscribe(s0, sports_long()).unwrap();
+        let (_, fwd) = m.subscribe(s0, sports()).unwrap();
+        assert!(fwd);
+        assert_eq!(m.upstream_len(s0).unwrap(), 1);
+        let up: Vec<_> = m.upstream(s0).unwrap().collect();
+        assert_eq!(up[0], &sports());
+    }
+
+    #[test]
+    fn unsubscribing_maximal_member_uncovers() {
+        let mut m = AggregatedMatcher::new(1);
+        let s0 = ServerId::new(0);
+        let (wide_id, _) = m.subscribe(s0, sports()).unwrap();
+        let (_narrow_id, fwd) = m.subscribe(s0, sports_long()).unwrap();
+        assert!(!fwd);
+        // Removing the wide one resurfaces the narrow one upstream.
+        let changed = m.unsubscribe(s0, wide_id).unwrap();
+        assert!(changed);
+        assert_eq!(m.upstream_len(s0).unwrap(), 1);
+        let up: Vec<_> = m.upstream(s0).unwrap().collect();
+        assert_eq!(up[0], &sports_long());
+    }
+
+    #[test]
+    fn unsubscribing_covered_member_is_silent() {
+        let mut m = AggregatedMatcher::new(1);
+        let s0 = ServerId::new(0);
+        m.subscribe(s0, sports()).unwrap();
+        let (narrow_id, _) = m.subscribe(s0, sports_long()).unwrap();
+        let changed = m.unsubscribe(s0, narrow_id).unwrap();
+        assert!(!changed);
+        assert_eq!(m.upstream_len(s0).unwrap(), 1);
+    }
+
+    #[test]
+    fn aggregation_agrees_with_full_population() {
+        let mut m = AggregatedMatcher::new(1);
+        let s0 = ServerId::new(0);
+        m.subscribe(s0, sports()).unwrap();
+        m.subscribe(s0, sports_long()).unwrap();
+        m.subscribe(
+            s0,
+            Subscription::new(vec![Predicate::contains("tags", "tennis")]),
+        )
+        .unwrap();
+        let contents = [
+            Content::new().with("category", Value::str("sports")),
+            Content::new().with("category", Value::str("politics")),
+            Content::new().with("tags", Value::tags(["tennis"])),
+            Content::new(),
+        ];
+        for c in &contents {
+            assert!(m.aggregation_agrees(s0, c), "content {c:?}");
+        }
+        assert!(m.cover_is_minimal_and_complete(s0));
+    }
+
+    #[test]
+    fn matcher_delegation_counts_full_population() {
+        let mut m = AggregatedMatcher::new(1);
+        let s0 = ServerId::new(0);
+        m.subscribe(s0, sports()).unwrap();
+        m.subscribe(s0, sports_long()).unwrap();
+        let page = PageId::new(0);
+        m.register_page(
+            page,
+            Content::new()
+                .with("category", Value::str("sports"))
+                .with("bytes", Value::int(5_000)),
+        );
+        // Both subscriptions match, even though only one is upstream.
+        assert_eq!(m.match_count(page, s0), 2);
+        assert_eq!(m.matched_servers(page), vec![(s0, 2)]);
+        assert_eq!(m.matcher().server_count(), 1);
+    }
+
+    #[test]
+    fn unknown_server_errors() {
+        let mut m = AggregatedMatcher::new(1);
+        assert!(m.subscribe(ServerId::new(5), sports()).is_err());
+        assert!(m.upstream(ServerId::new(5)).is_err());
+        assert!(m.upstream_len(ServerId::new(5)).is_err());
+        assert!(!m.upstream_matches(ServerId::new(5), &Content::new()));
+        assert!(!m.aggregation_agrees(ServerId::new(5), &Content::new()));
+    }
+}

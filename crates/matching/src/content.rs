@@ -1,0 +1,202 @@
+//! Typed page content descriptors.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A typed attribute value carried by page content or compared against by a
+/// predicate.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// A signed integer (e.g. word count, priority).
+    Int(i64),
+    /// A string (e.g. category name, author).
+    Str(String),
+    /// A set of tags/keywords; predicates test membership.
+    Tags(BTreeSet<String>),
+}
+
+impl Value {
+    /// Convenience constructor for [`Value::Str`].
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Convenience constructor for [`Value::Int`].
+    pub const fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Convenience constructor for [`Value::Tags`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pscd_matching::Value;
+    /// let v = Value::tags(["a", "b", "a"]);
+    /// assert_eq!(v, Value::tags(["b", "a"]));
+    /// ```
+    pub fn tags<I, S>(tags: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Value::Tags(tags.into_iter().map(Into::into).collect())
+    }
+
+    /// A short name for the value's type, used in error messages.
+    pub const fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Str(_) => "str",
+            Value::Tags(_) => "tags",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Tags(t) => {
+                write!(f, "{{")?;
+                for (i, tag) in t.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{tag}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+/// The attribute map describing one page's content, e.g.
+/// `{category: "sports", tags: {tennis, us-open}, words: 840}`.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_matching::{Content, Value};
+/// let c = Content::new()
+///     .with("category", Value::str("sports"))
+///     .with("words", Value::int(840));
+/// assert_eq!(c.get("words"), Some(&Value::int(840)));
+/// assert_eq!(c.get("missing"), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Content {
+    attrs: BTreeMap<String, Value>,
+}
+
+impl Content {
+    /// Creates empty content with no attributes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) an attribute, builder style.
+    #[must_use]
+    pub fn with(mut self, name: impl Into<String>, value: Value) -> Self {
+        self.attrs.insert(name.into(), value);
+        self
+    }
+
+    /// Adds (or replaces) an attribute in place.
+    pub fn set(&mut self, name: impl Into<String>, value: Value) -> &mut Self {
+        self.attrs.insert(name.into(), value);
+        self
+    }
+
+    /// Looks up an attribute by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.attrs.get(name)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// `true` if the content has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.attrs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_constructors_and_conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(String::from("y")), Value::str("y"));
+        assert_eq!(Value::int(1).type_name(), "int");
+        assert_eq!(Value::str("a").type_name(), "str");
+        assert_eq!(Value::tags(["a"]).type_name(), "tags");
+    }
+
+    #[test]
+    fn tags_dedup() {
+        let v = Value::tags(["x", "y", "x"]);
+        match &v {
+            Value::Tags(set) => assert_eq!(set.len(), 2),
+            _ => panic!("expected tags"),
+        }
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::int(5).to_string(), "5");
+        assert_eq!(Value::str("hi").to_string(), "\"hi\"");
+        assert_eq!(Value::tags(["b", "a"]).to_string(), "{a, b}");
+    }
+
+    #[test]
+    fn content_set_get_iter() {
+        let mut c = Content::new();
+        assert!(c.is_empty());
+        c.set("a", Value::int(1)).set("b", Value::str("s"));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("a"), Some(&Value::int(1)));
+        let names: Vec<_> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn with_replaces_existing() {
+        let c = Content::new()
+            .with("a", Value::int(1))
+            .with("a", Value::int(2));
+        assert_eq!(c.get("a"), Some(&Value::int(2)));
+        assert_eq!(c.len(), 1);
+    }
+}

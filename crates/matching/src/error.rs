@@ -1,0 +1,63 @@
+//! Matching errors.
+
+use std::error::Error;
+use std::fmt;
+
+use pscd_types::ServerId;
+
+use crate::SubscriptionId;
+
+/// Error produced by the matching engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MatchError {
+    /// A server id was outside the configured proxy population.
+    UnknownServer {
+        /// The rejected server.
+        server: ServerId,
+        /// Number of configured servers.
+        server_count: u16,
+    },
+    /// A subscription id was not registered (or already removed).
+    UnknownSubscription {
+        /// The rejected subscription id.
+        id: SubscriptionId,
+    },
+}
+
+impl fmt::Display for MatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatchError::UnknownServer {
+                server,
+                server_count,
+            } => write!(
+                f,
+                "{server} out of range: only {server_count} servers configured"
+            ),
+            MatchError::UnknownSubscription { id } => {
+                write!(f, "{id} is not registered")
+            }
+        }
+    }
+}
+
+impl Error for MatchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = MatchError::UnknownServer {
+            server: ServerId::new(5),
+            server_count: 3,
+        };
+        assert!(e.to_string().contains("server5"));
+        let e = MatchError::UnknownSubscription {
+            id: SubscriptionId::new(8),
+        };
+        assert!(e.to_string().contains("sub8"));
+    }
+}

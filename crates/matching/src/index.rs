@@ -1,0 +1,315 @@
+//! Counting-based subscription index.
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Content, Op, Subscription, SubscriptionId, Value};
+
+/// Position of a predicate inside its subscription.
+type PredRef = (SubscriptionId, usize);
+
+/// A matching engine over many subscriptions, organized for sub-linear
+/// matching in the style of the *counting algorithm* (Yan & Garcia-Molina;
+/// Fabret et al., SIGMOD'01):
+///
+/// * Equality predicates are hash-indexed per `(attribute, value)`, so one
+///   lookup per content attribute finds every satisfied equality predicate.
+/// * `Contains` predicates on tag sets are hash-indexed per
+///   `(attribute, tag)`.
+/// * The remaining operator classes (ranges, prefixes, …) are grouped per
+///   attribute and evaluated only when the content carries that attribute.
+///
+/// Each satisfied predicate increments its subscription's counter; a
+/// subscription matches when all its predicates are satisfied.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_matching::{Content, Predicate, Subscription, SubscriptionIndex, Value};
+/// let mut idx = SubscriptionIndex::new();
+/// let id = idx.insert(Subscription::new(vec![Predicate::ge("words", 100)]));
+/// let hit = Content::new().with("words", Value::int(150));
+/// let miss = Content::new().with("words", Value::int(50));
+/// assert_eq!(idx.match_count(&hit), 1);
+/// assert_eq!(idx.match_count(&miss), 0);
+/// idx.remove(id);
+/// assert_eq!(idx.match_count(&hit), 0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SubscriptionIndex {
+    subscriptions: HashMap<SubscriptionId, Subscription>,
+    next_id: u64,
+    /// `(attr, value) -> equality predicates` satisfied by that exact value.
+    eq_index: HashMap<(String, Value), Vec<PredRef>>,
+    /// `(attr, tag) -> Contains predicates` satisfied when the tag is present.
+    tag_index: HashMap<(String, String), Vec<PredRef>>,
+    /// `attr -> other predicates` evaluated when the attribute is present.
+    scan_index: HashMap<String, Vec<PredRef>>,
+    /// Subscriptions with no predicates (match everything).
+    wildcards: BTreeSet<SubscriptionId>,
+}
+
+impl SubscriptionIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered subscriptions.
+    pub fn len(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    /// `true` if no subscriptions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.subscriptions.is_empty()
+    }
+
+    /// Registers a subscription and returns its id.
+    pub fn insert(&mut self, subscription: Subscription) -> SubscriptionId {
+        let id = SubscriptionId::new(self.next_id);
+        self.next_id += 1;
+        if subscription.is_empty() {
+            self.wildcards.insert(id);
+        }
+        for (pred_idx, pred) in subscription.predicates().iter().enumerate() {
+            let entry = (id, pred_idx);
+            match pred.op() {
+                Op::Eq(v) => self
+                    .eq_index
+                    .entry((pred.attr().to_owned(), v.clone()))
+                    .or_default()
+                    .push(entry),
+                Op::Contains(tag) => self
+                    .tag_index
+                    .entry((pred.attr().to_owned(), tag.clone()))
+                    .or_default()
+                    .push(entry),
+                _ => self
+                    .scan_index
+                    .entry(pred.attr().to_owned())
+                    .or_default()
+                    .push(entry),
+            }
+        }
+        self.subscriptions.insert(id, subscription);
+        id
+    }
+
+    /// Unregisters a subscription. Returns the subscription if it existed.
+    pub fn remove(&mut self, id: SubscriptionId) -> Option<Subscription> {
+        let sub = self.subscriptions.remove(&id)?;
+        self.wildcards.remove(&id);
+        for pred in sub.predicates() {
+            let bucket = match pred.op() {
+                Op::Eq(v) => self.eq_index.get_mut(&(pred.attr().to_owned(), v.clone())),
+                Op::Contains(tag) => self
+                    .tag_index
+                    .get_mut(&(pred.attr().to_owned(), tag.clone())),
+                _ => self.scan_index.get_mut(pred.attr()),
+            };
+            if let Some(bucket) = bucket {
+                bucket.retain(|&(sid, _)| sid != id);
+            }
+        }
+        Some(sub)
+    }
+
+    /// Looks up a registered subscription.
+    pub fn get(&self, id: SubscriptionId) -> Option<&Subscription> {
+        self.subscriptions.get(&id)
+    }
+
+    /// The ids of all subscriptions matching `content`, sorted by id.
+    pub fn matches(&self, content: &Content) -> Vec<SubscriptionId> {
+        let mut counts: HashMap<SubscriptionId, usize> = HashMap::new();
+        let bump = |refs: &[PredRef], counts: &mut HashMap<SubscriptionId, usize>| {
+            for &(id, _) in refs {
+                *counts.entry(id).or_insert(0) += 1;
+            }
+        };
+        for (attr, value) in content.iter() {
+            if let Some(refs) = self
+                .eq_index
+                .get(&(attr.to_owned(), value.clone()))
+            {
+                bump(refs, &mut counts);
+            }
+            match value {
+                Value::Tags(tags) => {
+                    for tag in tags {
+                        if let Some(refs) =
+                            self.tag_index.get(&(attr.to_owned(), tag.clone()))
+                        {
+                            bump(refs, &mut counts);
+                        }
+                    }
+                }
+                Value::Str(s) => {
+                    // `Contains` on a string attribute means equality.
+                    if let Some(refs) = self.tag_index.get(&(attr.to_owned(), s.clone())) {
+                        bump(refs, &mut counts);
+                    }
+                }
+                Value::Int(_) => {}
+            }
+            if let Some(refs) = self.scan_index.get(attr) {
+                for &(id, pred_idx) in refs {
+                    let sub = &self.subscriptions[&id];
+                    if sub.predicates()[pred_idx].eval(content) {
+                        *counts.entry(id).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let mut out: Vec<SubscriptionId> = counts
+            .into_iter()
+            .filter(|&(id, n)| n == self.subscriptions[&id].len())
+            .map(|(id, _)| id)
+            .chain(self.wildcards.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The number of subscriptions matching `content` — the `f_S(p)`
+    /// quantity consumed by push-time strategies.
+    pub fn match_count(&self, content: &Content) -> usize {
+        self.matches(content).len()
+    }
+
+    /// Iterates over all registered subscriptions in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (SubscriptionId, &Subscription)> {
+        let mut ids: Vec<_> = self.subscriptions.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter().map(|id| (id, &self.subscriptions[&id]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Predicate;
+
+    fn sports_page() -> Content {
+        Content::new()
+            .with("category", Value::str("sports"))
+            .with("words", Value::int(800))
+            .with("tags", Value::tags(["tennis", "us-open"]))
+    }
+
+    #[test]
+    fn eq_indexed_matching() {
+        let mut idx = SubscriptionIndex::new();
+        let a = idx.insert(Subscription::new(vec![Predicate::eq(
+            "category",
+            Value::str("sports"),
+        )]));
+        let _b = idx.insert(Subscription::new(vec![Predicate::eq(
+            "category",
+            Value::str("politics"),
+        )]));
+        assert_eq!(idx.matches(&sports_page()), vec![a]);
+    }
+
+    #[test]
+    fn conjunction_requires_all_predicates() {
+        let mut idx = SubscriptionIndex::new();
+        let id = idx.insert(Subscription::new(vec![
+            Predicate::eq("category", Value::str("sports")),
+            Predicate::ge("words", 1000),
+        ]));
+        assert!(idx.matches(&sports_page()).is_empty());
+        let long = sports_page().with("words", Value::int(1200));
+        assert_eq!(idx.matches(&long), vec![id]);
+    }
+
+    #[test]
+    fn tag_membership_indexed() {
+        let mut idx = SubscriptionIndex::new();
+        let tennis = idx.insert(Subscription::new(vec![Predicate::contains(
+            "tags", "tennis",
+        )]));
+        let _golf = idx.insert(Subscription::new(vec![Predicate::contains(
+            "tags", "golf",
+        )]));
+        assert_eq!(idx.matches(&sports_page()), vec![tennis]);
+    }
+
+    #[test]
+    fn contains_on_string_attr_is_equality() {
+        let mut idx = SubscriptionIndex::new();
+        let id = idx.insert(Subscription::new(vec![Predicate::contains(
+            "category", "sports",
+        )]));
+        assert_eq!(idx.matches(&sports_page()), vec![id]);
+    }
+
+    #[test]
+    fn wildcard_always_matches() {
+        let mut idx = SubscriptionIndex::new();
+        let w = idx.insert(Subscription::wildcard());
+        assert_eq!(idx.matches(&Content::new()), vec![w]);
+        assert_eq!(idx.matches(&sports_page()), vec![w]);
+    }
+
+    #[test]
+    fn range_predicates_scan() {
+        let mut idx = SubscriptionIndex::new();
+        let lo = idx.insert(Subscription::new(vec![Predicate::lt("words", 900)]));
+        let _hi = idx.insert(Subscription::new(vec![Predicate::gt("words", 900)]));
+        assert_eq!(idx.matches(&sports_page()), vec![lo]);
+    }
+
+    #[test]
+    fn remove_unregisters_everywhere() {
+        let mut idx = SubscriptionIndex::new();
+        let a = idx.insert(Subscription::new(vec![
+            Predicate::eq("category", Value::str("sports")),
+            Predicate::contains("tags", "tennis"),
+            Predicate::ge("words", 1),
+        ]));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.match_count(&sports_page()), 1);
+        let removed = idx.remove(a).unwrap();
+        assert_eq!(removed.len(), 3);
+        assert!(idx.is_empty());
+        assert_eq!(idx.match_count(&sports_page()), 0);
+        assert!(idx.remove(a).is_none());
+    }
+
+    #[test]
+    fn many_subscriptions_count() {
+        let mut idx = SubscriptionIndex::new();
+        for i in 0..50 {
+            idx.insert(Subscription::new(vec![Predicate::ge("words", i * 100)]));
+        }
+        // words = 800 satisfies bounds 0..=800 -> i in 0..=8 -> 9 matches.
+        assert_eq!(idx.match_count(&sports_page()), 9);
+    }
+
+    #[test]
+    fn iter_lists_in_id_order() {
+        let mut idx = SubscriptionIndex::new();
+        let a = idx.insert(Subscription::wildcard());
+        let b = idx.insert(Subscription::new(vec![Predicate::exists("x")]));
+        let ids: Vec<_> = idx.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![a, b]);
+        assert_eq!(idx.iter().count(), 2);
+        idx.remove(a);
+        assert_eq!(idx.iter().count(), 1);
+    }
+
+    #[test]
+    fn ids_are_unique_and_get_works() {
+        let mut idx = SubscriptionIndex::new();
+        let a = idx.insert(Subscription::wildcard());
+        let b = idx.insert(Subscription::wildcard());
+        assert_ne!(a, b);
+        assert!(idx.get(a).is_some());
+        idx.remove(a);
+        assert!(idx.get(a).is_none());
+        assert!(idx.get(b).is_some());
+    }
+}

@@ -1,0 +1,59 @@
+//! Content-based subscription matching for publish/subscribe systems.
+//!
+//! The paper's architecture (§2) contains a **matching engine** that, when a
+//! page is published, determines which subscribers' interest profiles match
+//! it; the content-distribution strategies then only consume the *count* of
+//! matching subscriptions per (page, proxy). This crate provides both layers:
+//!
+//! * A full **content-based matching engine**: subscriptions are
+//!   conjunctions of [`Predicate`]s over typed page attributes
+//!   ([`Content`]), evaluated through a counting-based
+//!   [`SubscriptionIndex`] in the style of Fabret et al. (SIGMOD'01) /
+//!   Yan & Garcia-Molina. A Siena-style [covering relation](covers) lets
+//!   brokers aggregate subscriptions.
+//! * The [`Matcher`] abstraction consumed by the broker and simulator:
+//!   [`EngineMatcher`] runs the real engine over registered content, while
+//!   [`TableMatcher`] wraps a precomputed
+//!   [`SubscriptionTable`](pscd_types::SubscriptionTable) — which is what
+//!   the paper's synthetic workload produces (only counts are modeled,
+//!   §4.3).
+//!
+//! # Examples
+//!
+//! ```
+//! use pscd_matching::{Content, Predicate, Subscription, SubscriptionIndex, Value};
+//!
+//! let mut index = SubscriptionIndex::new();
+//! let sports = Subscription::new(vec![
+//!     Predicate::eq("category", Value::str("sports")),
+//!     Predicate::contains("tags", "tennis"),
+//! ]);
+//! let id = index.insert(sports);
+//!
+//! let page = Content::new()
+//!     .with("category", Value::str("sports"))
+//!     .with("tags", Value::tags(["tennis", "us-open"]));
+//! assert_eq!(index.matches(&page), vec![id]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod aggregate;
+mod content;
+mod cover;
+mod error;
+mod index;
+mod matcher;
+mod predicate;
+mod subscription;
+
+pub use aggregate::AggregatedMatcher;
+pub use content::{Content, Value};
+pub use cover::{covers, CoverSet};
+pub use error::MatchError;
+pub use index::SubscriptionIndex;
+pub use matcher::{EngineMatcher, Matcher, TableMatcher};
+pub use predicate::{Op, Predicate};
+pub use subscription::{Subscription, SubscriptionId};

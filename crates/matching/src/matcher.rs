@@ -1,0 +1,284 @@
+//! The matching abstraction consumed by the delivery engine.
+
+use std::collections::HashMap;
+
+use pscd_types::{PageId, ServerId, SubscriptionTable};
+
+use crate::{Content, MatchError, Subscription, SubscriptionId, SubscriptionIndex};
+
+/// Source of per-(page, server) subscription match counts.
+///
+/// Push-time placement strategies need to know, for a freshly published
+/// page, which proxies have interested subscribers and how many (`f_S(p)`
+/// in the paper's eq. 2). Two implementations exist:
+///
+/// * [`TableMatcher`] — counts precomputed by the workload generator
+///   (the paper's setting, where subscriptions are synthesized from the
+///   request trace through the subscription-quality model).
+/// * [`EngineMatcher`] — counts computed live by the content-based
+///   [`SubscriptionIndex`] over registered page content.
+pub trait Matcher {
+    /// Servers with at least one matching subscription for `page`, with
+    /// their counts, sorted by server id.
+    fn matched_servers(&self, page: PageId) -> Vec<(ServerId, u32)>;
+
+    /// The number of subscriptions at `server` matching `page`.
+    fn match_count(&self, page: PageId, server: ServerId) -> u32;
+}
+
+/// [`Matcher`] backed by a precomputed [`SubscriptionTable`].
+#[derive(Debug, Clone, Default)]
+pub struct TableMatcher {
+    table: SubscriptionTable,
+}
+
+impl TableMatcher {
+    /// Wraps a subscription table.
+    pub fn new(table: SubscriptionTable) -> Self {
+        Self { table }
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &SubscriptionTable {
+        &self.table
+    }
+}
+
+impl From<SubscriptionTable> for TableMatcher {
+    fn from(table: SubscriptionTable) -> Self {
+        Self::new(table)
+    }
+}
+
+impl Matcher for TableMatcher {
+    fn matched_servers(&self, page: PageId) -> Vec<(ServerId, u32)> {
+        self.table.matched_servers(page).to_vec()
+    }
+
+    fn match_count(&self, page: PageId, server: ServerId) -> u32 {
+        self.table.count(page, server)
+    }
+}
+
+/// [`Matcher`] that evaluates real content-based subscriptions with one
+/// [`SubscriptionIndex`] per proxy server.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_matching::{Content, EngineMatcher, Matcher, Predicate, Subscription, Value};
+/// use pscd_types::{PageId, ServerId};
+///
+/// let mut m = EngineMatcher::new(2);
+/// m.subscribe(
+///     ServerId::new(0),
+///     Subscription::new(vec![Predicate::eq("category", Value::str("sports"))]),
+/// )?;
+/// m.register_page(
+///     PageId::new(0),
+///     Content::new().with("category", Value::str("sports")),
+/// );
+/// assert_eq!(m.match_count(PageId::new(0), ServerId::new(0)), 1);
+/// assert_eq!(m.match_count(PageId::new(0), ServerId::new(1)), 0);
+/// # Ok::<(), pscd_matching::MatchError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct EngineMatcher {
+    per_server: Vec<SubscriptionIndex>,
+    contents: HashMap<PageId, Content>,
+}
+
+impl EngineMatcher {
+    /// Creates a matcher for `servers` proxies with no subscriptions.
+    pub fn new(servers: u16) -> Self {
+        Self {
+            per_server: (0..servers).map(|_| SubscriptionIndex::new()).collect(),
+            contents: HashMap::new(),
+        }
+    }
+
+    /// Number of proxies.
+    pub fn server_count(&self) -> u16 {
+        self.per_server.len() as u16
+    }
+
+    /// Registers a subscription for a user attached to `server`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::UnknownServer`] if `server` is out of range.
+    pub fn subscribe(
+        &mut self,
+        server: ServerId,
+        subscription: Subscription,
+    ) -> Result<SubscriptionId, MatchError> {
+        let idx = self.index_mut(server)?;
+        Ok(idx.insert(subscription))
+    }
+
+    /// Removes a subscription previously registered at `server`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::UnknownServer`] if `server` is out of range and
+    /// [`MatchError::UnknownSubscription`] if the id is not registered there.
+    pub fn unsubscribe(
+        &mut self,
+        server: ServerId,
+        id: SubscriptionId,
+    ) -> Result<(), MatchError> {
+        let idx = self.index_mut(server)?;
+        idx.remove(id)
+            .map(|_| ())
+            .ok_or(MatchError::UnknownSubscription { id })
+    }
+
+    /// Associates content with a page id (typically at publish time).
+    /// Re-registering replaces the previous content.
+    pub fn register_page(&mut self, page: PageId, content: Content) {
+        self.contents.insert(page, content);
+    }
+
+    /// The registered content of a page, if any.
+    pub fn content(&self, page: PageId) -> Option<&Content> {
+        self.contents.get(&page)
+    }
+
+    /// The per-server subscription index (read-only view).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::UnknownServer`] if `server` is out of range.
+    pub fn index(&self, server: ServerId) -> Result<&SubscriptionIndex, MatchError> {
+        self.per_server
+            .get(server.as_usize())
+            .ok_or(MatchError::UnknownServer {
+                server,
+                server_count: self.per_server.len() as u16,
+            })
+    }
+
+    fn index_mut(&mut self, server: ServerId) -> Result<&mut SubscriptionIndex, MatchError> {
+        let count = self.per_server.len() as u16;
+        self.per_server
+            .get_mut(server.as_usize())
+            .ok_or(MatchError::UnknownServer {
+                server,
+                server_count: count,
+            })
+    }
+}
+
+impl Matcher for EngineMatcher {
+    fn matched_servers(&self, page: PageId) -> Vec<(ServerId, u32)> {
+        let Some(content) = self.contents.get(&page) else {
+            return Vec::new();
+        };
+        self.per_server
+            .iter()
+            .enumerate()
+            .filter_map(|(i, idx)| {
+                let n = idx.match_count(content) as u32;
+                (n > 0).then_some((ServerId::new(i as u16), n))
+            })
+            .collect()
+    }
+
+    fn match_count(&self, page: PageId, server: ServerId) -> u32 {
+        let Some(content) = self.contents.get(&page) else {
+            return 0;
+        };
+        self.per_server
+            .get(server.as_usize())
+            .map(|idx| idx.match_count(content) as u32)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Predicate, Value};
+    use pscd_types::SubscriptionTableBuilder;
+
+    #[test]
+    fn table_matcher_delegates() {
+        let mut b = SubscriptionTableBuilder::new(2);
+        b.add(PageId::new(0), ServerId::new(1), 4);
+        let m = TableMatcher::from(b.build());
+        assert_eq!(m.match_count(PageId::new(0), ServerId::new(1)), 4);
+        assert_eq!(m.match_count(PageId::new(0), ServerId::new(0)), 0);
+        assert_eq!(m.matched_servers(PageId::new(0)), vec![(ServerId::new(1), 4)]);
+        assert!(m.matched_servers(PageId::new(1)).is_empty());
+        assert_eq!(m.table().page_count(), 2);
+    }
+
+    #[test]
+    fn engine_matcher_counts_per_server() {
+        let mut m = EngineMatcher::new(3);
+        assert_eq!(m.server_count(), 3);
+        let sports = Subscription::new(vec![Predicate::eq("cat", Value::str("sports"))]);
+        m.subscribe(ServerId::new(0), sports.clone()).unwrap();
+        m.subscribe(ServerId::new(0), sports.clone()).unwrap();
+        m.subscribe(ServerId::new(2), sports).unwrap();
+        m.register_page(PageId::new(7), Content::new().with("cat", Value::str("sports")));
+        assert_eq!(
+            m.matched_servers(PageId::new(7)),
+            vec![(ServerId::new(0), 2), (ServerId::new(2), 1)]
+        );
+        assert_eq!(m.match_count(PageId::new(7), ServerId::new(0)), 2);
+        assert_eq!(m.match_count(PageId::new(7), ServerId::new(1)), 0);
+    }
+
+    #[test]
+    fn unregistered_page_matches_nothing() {
+        let mut m = EngineMatcher::new(1);
+        m.subscribe(ServerId::new(0), Subscription::wildcard())
+            .unwrap();
+        assert!(m.matched_servers(PageId::new(0)).is_empty());
+        assert_eq!(m.match_count(PageId::new(0), ServerId::new(0)), 0);
+        assert!(m.content(PageId::new(0)).is_none());
+    }
+
+    #[test]
+    fn unsubscribe_stops_matching() {
+        let mut m = EngineMatcher::new(1);
+        let id = m
+            .subscribe(ServerId::new(0), Subscription::wildcard())
+            .unwrap();
+        m.register_page(PageId::new(0), Content::new());
+        assert_eq!(m.match_count(PageId::new(0), ServerId::new(0)), 1);
+        m.unsubscribe(ServerId::new(0), id).unwrap();
+        assert_eq!(m.match_count(PageId::new(0), ServerId::new(0)), 0);
+        assert!(matches!(
+            m.unsubscribe(ServerId::new(0), id),
+            Err(MatchError::UnknownSubscription { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_server_errors() {
+        let mut m = EngineMatcher::new(1);
+        assert!(matches!(
+            m.subscribe(ServerId::new(9), Subscription::wildcard()),
+            Err(MatchError::UnknownServer { .. })
+        ));
+        assert!(m.index(ServerId::new(0)).is_ok());
+        assert!(m.index(ServerId::new(9)).is_err());
+        assert_eq!(m.match_count(PageId::new(0), ServerId::new(9)), 0);
+    }
+
+    #[test]
+    fn reregistering_page_replaces_content() {
+        let mut m = EngineMatcher::new(1);
+        m.subscribe(
+            ServerId::new(0),
+            Subscription::new(vec![Predicate::eq("cat", Value::str("a"))]),
+        )
+        .unwrap();
+        m.register_page(PageId::new(0), Content::new().with("cat", Value::str("a")));
+        assert_eq!(m.match_count(PageId::new(0), ServerId::new(0)), 1);
+        m.register_page(PageId::new(0), Content::new().with("cat", Value::str("b")));
+        assert_eq!(m.match_count(PageId::new(0), ServerId::new(0)), 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Predicates over content attributes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{Content, Value};
+
+/// The comparison operator of a [`Predicate`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Attribute equals the value.
+    Eq(Value),
+    /// Attribute exists and differs from the value (same type).
+    Ne(Value),
+    /// Integer attribute `< bound`.
+    Lt(i64),
+    /// Integer attribute `<= bound`.
+    Le(i64),
+    /// Integer attribute `> bound`.
+    Gt(i64),
+    /// Integer attribute `>= bound`.
+    Ge(i64),
+    /// Tags attribute contains the tag (or string attribute equals it).
+    Contains(String),
+    /// String attribute starts with the prefix.
+    Prefix(String),
+    /// Attribute exists, regardless of value.
+    Exists,
+}
+
+/// One atomic condition on one attribute; subscriptions are conjunctions of
+/// predicates.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_matching::{Content, Predicate, Value};
+/// let p = Predicate::ge("words", 500);
+/// let long = Content::new().with("words", Value::int(900));
+/// let short = Content::new().with("words", Value::int(120));
+/// assert!(p.eval(&long));
+/// assert!(!p.eval(&short));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Predicate {
+    attr: String,
+    op: Op,
+}
+
+impl Predicate {
+    /// Creates a predicate from an attribute name and operator.
+    pub fn new(attr: impl Into<String>, op: Op) -> Self {
+        Self {
+            attr: attr.into(),
+            op,
+        }
+    }
+
+    /// `attr == value`.
+    pub fn eq(attr: impl Into<String>, value: Value) -> Self {
+        Self::new(attr, Op::Eq(value))
+    }
+
+    /// `attr != value` (attribute must exist).
+    pub fn ne(attr: impl Into<String>, value: Value) -> Self {
+        Self::new(attr, Op::Ne(value))
+    }
+
+    /// `attr < bound` for integer attributes.
+    pub fn lt(attr: impl Into<String>, bound: i64) -> Self {
+        Self::new(attr, Op::Lt(bound))
+    }
+
+    /// `attr <= bound` for integer attributes.
+    pub fn le(attr: impl Into<String>, bound: i64) -> Self {
+        Self::new(attr, Op::Le(bound))
+    }
+
+    /// `attr > bound` for integer attributes.
+    pub fn gt(attr: impl Into<String>, bound: i64) -> Self {
+        Self::new(attr, Op::Gt(bound))
+    }
+
+    /// `attr >= bound` for integer attributes.
+    pub fn ge(attr: impl Into<String>, bound: i64) -> Self {
+        Self::new(attr, Op::Ge(bound))
+    }
+
+    /// Tag membership: `tag ∈ attr` (for string attributes, equality).
+    pub fn contains(attr: impl Into<String>, tag: impl Into<String>) -> Self {
+        Self::new(attr, Op::Contains(tag.into()))
+    }
+
+    /// String prefix match.
+    pub fn prefix(attr: impl Into<String>, prefix: impl Into<String>) -> Self {
+        Self::new(attr, Op::Prefix(prefix.into()))
+    }
+
+    /// Attribute existence.
+    pub fn exists(attr: impl Into<String>) -> Self {
+        Self::new(attr, Op::Exists)
+    }
+
+    /// The attribute this predicate constrains.
+    pub fn attr(&self) -> &str {
+        &self.attr
+    }
+
+    /// The comparison operator.
+    pub fn op(&self) -> &Op {
+        &self.op
+    }
+
+    /// Evaluates the predicate against content. Missing attributes and type
+    /// mismatches evaluate to `false` (a subscription about `words` cannot
+    /// match a page that has no `words` attribute).
+    pub fn eval(&self, content: &Content) -> bool {
+        let Some(value) = content.get(&self.attr) else {
+            return false;
+        };
+        match (&self.op, value) {
+            (Op::Exists, _) => true,
+            (Op::Eq(v), got) => v == got,
+            (Op::Ne(v), got) => v.type_name() == got.type_name() && v != got,
+            (Op::Lt(b), Value::Int(i)) => i < b,
+            (Op::Le(b), Value::Int(i)) => i <= b,
+            (Op::Gt(b), Value::Int(i)) => i > b,
+            (Op::Ge(b), Value::Int(i)) => i >= b,
+            (Op::Contains(tag), Value::Tags(tags)) => tags.contains(tag),
+            (Op::Contains(tag), Value::Str(s)) => s == tag,
+            (Op::Prefix(p), Value::Str(s)) => s.starts_with(p.as_str()),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.op {
+            Op::Eq(v) => write!(f, "{} == {v}", self.attr),
+            Op::Ne(v) => write!(f, "{} != {v}", self.attr),
+            Op::Lt(b) => write!(f, "{} < {b}", self.attr),
+            Op::Le(b) => write!(f, "{} <= {b}", self.attr),
+            Op::Gt(b) => write!(f, "{} > {b}", self.attr),
+            Op::Ge(b) => write!(f, "{} >= {b}", self.attr),
+            Op::Contains(t) => write!(f, "{} contains {t}", self.attr),
+            Op::Prefix(p) => write!(f, "{} starts-with {p}", self.attr),
+            Op::Exists => write!(f, "{} exists", self.attr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page() -> Content {
+        Content::new()
+            .with("category", Value::str("sports"))
+            .with("words", Value::int(500))
+            .with("tags", Value::tags(["tennis", "us-open"]))
+    }
+
+    #[test]
+    fn eq_ne() {
+        assert!(Predicate::eq("category", Value::str("sports")).eval(&page()));
+        assert!(!Predicate::eq("category", Value::str("politics")).eval(&page()));
+        assert!(Predicate::ne("category", Value::str("politics")).eval(&page()));
+        assert!(!Predicate::ne("category", Value::str("sports")).eval(&page()));
+        // Ne across types is false (type mismatch, not inequality).
+        assert!(!Predicate::ne("category", Value::int(3)).eval(&page()));
+    }
+
+    #[test]
+    fn integer_ranges() {
+        let p = page();
+        assert!(Predicate::lt("words", 501).eval(&p));
+        assert!(!Predicate::lt("words", 500).eval(&p));
+        assert!(Predicate::le("words", 500).eval(&p));
+        assert!(Predicate::gt("words", 499).eval(&p));
+        assert!(!Predicate::gt("words", 500).eval(&p));
+        assert!(Predicate::ge("words", 500).eval(&p));
+        // Range ops on non-int attributes are false.
+        assert!(!Predicate::lt("category", 10).eval(&p));
+    }
+
+    #[test]
+    fn contains_and_prefix() {
+        let p = page();
+        assert!(Predicate::contains("tags", "tennis").eval(&p));
+        assert!(!Predicate::contains("tags", "golf").eval(&p));
+        assert!(Predicate::contains("category", "sports").eval(&p));
+        assert!(Predicate::prefix("category", "spo").eval(&p));
+        assert!(!Predicate::prefix("category", "xx").eval(&p));
+        assert!(!Predicate::prefix("words", "5").eval(&p)); // type mismatch
+    }
+
+    #[test]
+    fn exists_and_missing() {
+        let p = page();
+        assert!(Predicate::exists("tags").eval(&p));
+        assert!(!Predicate::exists("author").eval(&p));
+        assert!(!Predicate::eq("author", Value::str("x")).eval(&p));
+    }
+
+    #[test]
+    fn display_round() {
+        assert_eq!(
+            Predicate::ge("words", 10).to_string(),
+            "words >= 10"
+        );
+        assert_eq!(
+            Predicate::contains("tags", "a").to_string(),
+            "tags contains a"
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Simulation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The fetch-cost vector does not cover the workload's proxies.
+    MismatchedCosts {
+        /// Proxies in the workload.
+        servers: u16,
+        /// Proxies covered by the cost vector.
+        costs: u16,
+    },
+    /// The subscription table covers a different page universe.
+    MismatchedSubscriptions {
+        /// Pages in the workload.
+        pages: usize,
+        /// Pages covered by the table.
+        table_pages: usize,
+    },
+    /// An option was outside its valid range.
+    InvalidOption {
+        /// Option name.
+        option: &'static str,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MismatchedCosts { servers, costs } => write!(
+                f,
+                "workload has {servers} proxies but costs cover {costs}"
+            ),
+            SimError::MismatchedSubscriptions { pages, table_pages } => write!(
+                f,
+                "workload has {pages} pages but the subscription table covers {table_pages}"
+            ),
+            SimError::InvalidOption { option, constraint } => {
+                write!(f, "invalid option {option}: must satisfy {constraint}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SimError::MismatchedCosts {
+            servers: 100,
+            costs: 3
+        }
+        .to_string()
+        .contains("100"));
+        assert!(SimError::MismatchedSubscriptions {
+            pages: 5,
+            table_pages: 2
+        }
+        .to_string()
+        .contains("5 pages"));
+        assert!(SimError::InvalidOption {
+            option: "capacity_fraction",
+            constraint: "> 0"
+        }
+        .to_string()
+        .contains("capacity_fraction"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Discrete-event simulator for publish/subscribe content distribution.
+//!
+//! Replays a [`Workload`](pscd_workload::Workload) (publishing stream +
+//! request trace) through a fleet of proxy caches running one
+//! [`StrategyKind`](pscd_core::StrategyKind), exactly as the paper's
+//! simulator does (§4, figure 2): publish events flow through the
+//! matching information into push-time placements; request events hit or
+//! miss the local caches; the paper's two metrics — global hit ratio `H`
+//! (eq. 8) and publisher→proxy traffic — are collected globally, per
+//! proxy and per hour.
+//!
+//! # Examples
+//!
+//! ```
+//! use pscd_core::StrategyKind;
+//! use pscd_sim::{simulate, SimOptions};
+//! use pscd_topology::FetchCosts;
+//! use pscd_workload::{Workload, WorkloadConfig};
+//!
+//! let workload = Workload::generate(&WorkloadConfig::news_scaled(0.005))?;
+//! let subs = workload.subscriptions(1.0)?;
+//! let costs = FetchCosts::uniform(workload.server_count());
+//! let gd = simulate(&workload, &subs, &costs,
+//!     &SimOptions::at_capacity(StrategyKind::GdStar { beta: 2.0 }, 0.05))?;
+//! println!("GD* hit ratio: {:.1}%", gd.hit_ratio_percent());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod metrics;
+mod runner;
+
+pub use error::SimError;
+pub use metrics::{HourlySeries, SimResult};
+pub use runner::{simulate, CrashPlan, SimOptions, Simulation, StepEvent};

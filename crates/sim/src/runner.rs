@@ -1,0 +1,740 @@
+//! The discrete-event simulation runner.
+
+use serde::{Deserialize, Serialize};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use pscd_broker::{DeliveryEngine, PushScheme};
+use pscd_core::StrategyKind;
+use pscd_topology::FetchCosts;
+use pscd_types::{ServerId, SimTime, SubscriptionTable};
+use pscd_workload::Workload;
+
+use crate::{HourlySeries, SimError, SimResult};
+
+/// A fault-injection plan: at `time`, a `fraction` of the proxies crash
+/// and restart with empty caches (fresh strategy instances; hit/traffic
+/// counters describe history and survive).
+///
+/// Failure recovery differentiates the strategies sharply: push-time
+/// modules repopulate a restarted cache as soon as new pages are
+/// published, while access-only caching must pay a miss per page again.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrashPlan {
+    /// When the crash happens.
+    pub time: SimTime,
+    /// Fraction of proxies affected, in `[0, 1]`.
+    pub fraction: f64,
+    /// Seed selecting which proxies crash.
+    pub seed: u64,
+}
+
+impl CrashPlan {
+    /// A crash of `fraction` of the proxies at `time` (seed 0).
+    pub fn new(time: SimTime, fraction: f64) -> Self {
+        Self {
+            time,
+            fraction,
+            seed: 0,
+        }
+    }
+
+    /// The deterministic set of crashed servers.
+    fn victims(&self, servers: u16) -> Vec<ServerId> {
+        let n = ((servers as f64 * self.fraction).round() as usize).min(servers as usize);
+        let mut all: Vec<u16> = (0..servers).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xc3a5_c85c_97cb_3127);
+        all.shuffle(&mut rng);
+        all.truncate(n);
+        all.into_iter().map(ServerId::new).collect()
+    }
+}
+
+/// Options for one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimOptions {
+    /// The content-distribution strategy under test.
+    pub strategy: StrategyKind,
+    /// Per-proxy cache capacity as a fraction of the unique bytes the
+    /// proxy requests over the whole trace (paper: 0.01 / 0.05 / 0.10).
+    pub capacity_fraction: f64,
+    /// The pushing scheme (paper §5.6; irrelevant to access-only
+    /// strategies).
+    pub scheme: PushScheme,
+    /// Optional fault injection (not part of the paper's evaluation).
+    pub crash: Option<CrashPlan>,
+    /// Consistency extension (not part of the paper's evaluation): when a
+    /// *modified version* of an article is published, drop the article's
+    /// previous version from every proxy cache. Requests to the stale
+    /// version then miss — the freshness tax of news caching.
+    pub invalidate_stale: bool,
+}
+
+impl SimOptions {
+    /// Options at the paper's headline setting: the given capacity,
+    /// Always-Pushing, no fault injection.
+    pub fn at_capacity(strategy: StrategyKind, capacity_fraction: f64) -> Self {
+        Self {
+            strategy,
+            capacity_fraction,
+            scheme: PushScheme::Always,
+            crash: None,
+            invalidate_stale: false,
+        }
+    }
+
+    /// Adds a fault-injection plan.
+    #[must_use]
+    pub fn with_crash(mut self, crash: CrashPlan) -> Self {
+        self.crash = Some(crash);
+        self
+    }
+
+    /// Enables stale-version invalidation.
+    #[must_use]
+    pub fn with_invalidation(mut self) -> Self {
+        self.invalidate_stale = true;
+        self
+    }
+}
+
+/// Runs one full simulation: replays the workload's merged
+/// publishing/request timeline through a [`DeliveryEngine`] configured
+/// with one strategy instance per proxy.
+///
+/// Publish events and request events are processed in time order
+/// (publishes first at equal timestamps, since a notification must precede
+/// the requests it triggers).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the fetch-cost vector does not cover the
+/// workload's proxies or the capacity fraction is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_core::StrategyKind;
+/// use pscd_sim::{simulate, SimOptions};
+/// use pscd_topology::FetchCosts;
+/// use pscd_workload::{Workload, WorkloadConfig};
+///
+/// let w = Workload::generate(&WorkloadConfig::news_scaled(0.005))?;
+/// let subs = w.subscriptions(1.0)?;
+/// let costs = FetchCosts::uniform(w.server_count());
+/// let result = simulate(
+///     &w,
+///     &subs,
+///     &costs,
+///     &SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05),
+/// )?;
+/// assert!(result.requests > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn simulate(
+    workload: &Workload,
+    subscriptions: &SubscriptionTable,
+    costs: &FetchCosts,
+    options: &SimOptions,
+) -> Result<SimResult, SimError> {
+    Ok(Simulation::new(workload, subscriptions, costs, options)?.run())
+}
+
+/// One processed simulation event, as reported by [`Simulation::step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepEvent {
+    /// A newly published version superseded an older one, which was
+    /// dropped from `proxies` caches (only with
+    /// [`SimOptions::invalidate_stale`]).
+    Invalidated {
+        /// The stale (previous) version.
+        stale: pscd_types::PageId,
+        /// Number of proxies that held it.
+        proxies: usize,
+    },
+    /// A fault-injection crash fired, restarting `servers` proxies.
+    Crashed {
+        /// Number of proxies restarted.
+        servers: usize,
+    },
+    /// A page was published and offered to its matched proxies.
+    Published {
+        /// The published page.
+        page: pscd_types::PageId,
+        /// Publication instant.
+        time: SimTime,
+        /// Number of proxies the content was actually transferred to.
+        pushed: usize,
+    },
+    /// A subscriber request was served.
+    Requested {
+        /// The requested page.
+        page: pscd_types::PageId,
+        /// The proxy that served it.
+        server: ServerId,
+        /// Request instant.
+        time: SimTime,
+        /// Whether the local cache had the page.
+        hit: bool,
+    },
+}
+
+/// A stepping simulation: the same semantics as [`simulate`], exposed one
+/// event at a time so callers can interleave their own logic — live
+/// dashboards, additional fault injection, early stopping, custom
+/// notification models.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_core::StrategyKind;
+/// use pscd_sim::{SimOptions, Simulation, StepEvent};
+/// use pscd_topology::FetchCosts;
+/// use pscd_workload::{Workload, WorkloadConfig};
+///
+/// let w = Workload::generate(&WorkloadConfig::news_scaled(0.003))?;
+/// let subs = w.subscriptions(1.0)?;
+/// let costs = FetchCosts::uniform(w.server_count());
+/// let mut sim = Simulation::new(
+///     &w, &subs, &costs,
+///     &SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05),
+/// )?;
+/// let mut hits = 0;
+/// while let Some(event) = sim.step() {
+///     if matches!(event, StepEvent::Requested { hit: true, .. }) {
+///         hits += 1;
+///     }
+/// }
+/// assert_eq!(sim.finish().hits, hits);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulation<'a> {
+    workload: &'a Workload,
+    subscriptions: &'a SubscriptionTable,
+    options: SimOptions,
+    engine: DeliveryEngine,
+    capacities: Vec<pscd_types::Bytes>,
+    hourly: HourlySeries,
+    pending_crash: Option<CrashPlan>,
+    pi: usize,
+    ri: usize,
+    /// Latest published version per original article (only tracked with
+    /// `invalidate_stale`).
+    latest_version: std::collections::HashMap<pscd_types::PageId, pscd_types::PageId>,
+    /// An invalidation to report before processing the next event.
+    pending_invalidation: Option<(pscd_types::PageId, usize)>,
+}
+
+impl<'a> Simulation<'a> {
+    /// Prepares a simulation (builds the proxy fleet; consumes no events).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for mismatched inputs or invalid options, like
+    /// [`simulate`].
+    pub fn new(
+        workload: &'a Workload,
+        subscriptions: &'a SubscriptionTable,
+        costs: &FetchCosts,
+        options: &SimOptions,
+    ) -> Result<Self, SimError> {
+        let servers = workload.server_count();
+        if costs.server_count() != servers {
+            return Err(SimError::MismatchedCosts {
+                servers,
+                costs: costs.server_count(),
+            });
+        }
+        if !(options.capacity_fraction > 0.0) {
+            return Err(SimError::InvalidOption {
+                option: "capacity_fraction",
+                constraint: "> 0",
+            });
+        }
+        if subscriptions.page_count() != workload.pages().len() {
+            return Err(SimError::MismatchedSubscriptions {
+                pages: workload.pages().len(),
+                table_pages: subscriptions.page_count(),
+            });
+        }
+        if let Some(plan) = options.crash {
+            if !(0.0..=1.0).contains(&plan.fraction) {
+                return Err(SimError::InvalidOption {
+                    option: "crash.fraction",
+                    constraint: "in [0, 1]",
+                });
+            }
+        }
+        let capacities = workload.cache_capacities(options.capacity_fraction);
+        let strategies = capacities
+            .iter()
+            .map(|&cap| options.strategy.build(cap))
+            .collect();
+        let engine = DeliveryEngine::new(strategies, costs.iter().collect(), options.scheme)
+            .expect("lengths match by construction");
+        let hours = (workload.horizon().as_hours_f64().ceil() as usize).max(1);
+        Ok(Self {
+            workload,
+            subscriptions,
+            options: *options,
+            engine,
+            capacities,
+            hourly: HourlySeries::new(hours),
+            pending_crash: options.crash,
+            pi: 0,
+            ri: 0,
+            latest_version: std::collections::HashMap::new(),
+            pending_invalidation: None,
+        })
+    }
+
+    /// Read access to the live delivery engine (per-proxy strategies,
+    /// counters).
+    pub fn engine(&self) -> &DeliveryEngine {
+        &self.engine
+    }
+
+    /// `(events processed, events total)` progress.
+    pub fn progress(&self) -> (usize, usize) {
+        (
+            self.pi + self.ri,
+            self.workload.publishing().len() + self.workload.requests().len(),
+        )
+    }
+
+    /// Processes the next timeline event (publishes before requests at
+    /// equal timestamps, since a notification must precede the requests it
+    /// triggers). Returns `None` when the timeline is exhausted.
+    pub fn step(&mut self) -> Option<StepEvent> {
+        if let Some((stale, proxies)) = self.pending_invalidation.take() {
+            return Some(StepEvent::Invalidated { stale, proxies });
+        }
+        let publishes = self.workload.publishing().events();
+        let requests = self.workload.requests().events();
+        let pages = self.workload.pages();
+
+        let next_time = match (publishes.get(self.pi), requests.get(self.ri)) {
+            (Some(p), Some(r)) => p.time.min(r.time),
+            (Some(p), None) => p.time,
+            (None, Some(r)) => r.time,
+            (None, None) => return None,
+        };
+        // Fault injection fires before the first event at/after its time.
+        if let Some(plan) = self.pending_crash {
+            if next_time >= plan.time {
+                self.pending_crash = None;
+                let victims = plan.victims(self.workload.server_count());
+                let n = victims.len();
+                for server in victims {
+                    let capacity = self.capacities[server.as_usize()];
+                    self.engine
+                        .replace_strategy(server, self.options.strategy.build(capacity))
+                        .expect("victims are in range");
+                }
+                return Some(StepEvent::Crashed { servers: n });
+            }
+        }
+        let publish_next = match (publishes.get(self.pi), requests.get(self.ri)) {
+            (Some(p), Some(r)) => p.time <= r.time,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if publish_next {
+            let ev = publishes[self.pi];
+            self.pi += 1;
+            let meta = &pages[ev.page.as_usize()];
+            if self.options.invalidate_stale {
+                // Track the lineage and drop the superseded version.
+                let origin = meta.kind().origin().unwrap_or(ev.page);
+                if let Some(previous) = self.latest_version.insert(origin, ev.page) {
+                    let dropped = self.engine.invalidate_everywhere(previous);
+                    if dropped > 0 {
+                        self.pending_invalidation = Some((previous, dropped));
+                    }
+                }
+            }
+            let matched = self.subscriptions.matched_servers(ev.page);
+            let mut pushed = 0;
+            for record in self.engine.publish(meta, matched) {
+                if record.transferred {
+                    self.hourly.record_push(ev.time, meta.size());
+                    pushed += 1;
+                }
+            }
+            Some(StepEvent::Published {
+                page: ev.page,
+                time: ev.time,
+                pushed,
+            })
+        } else {
+            let ev = requests[self.ri];
+            self.ri += 1;
+            let meta = &pages[ev.page.as_usize()];
+            let subs = self.subscriptions.count(ev.page, ev.server);
+            let record = self
+                .engine
+                .request_with_subs(ev.server, meta, subs)
+                .expect("trace validated against server count");
+            self.hourly.record_request(ev.time, record.hit, meta.size());
+            Some(StepEvent::Requested {
+                page: ev.page,
+                server: ev.server,
+                time: ev.time,
+                hit: record.hit,
+            })
+        }
+    }
+
+    /// Drains the remaining timeline and returns the result.
+    pub fn run(mut self) -> SimResult {
+        while self.step().is_some() {}
+        self.finish()
+    }
+
+    /// Finalizes the result from the current state (usable mid-timeline
+    /// for early stopping).
+    pub fn finish(self) -> SimResult {
+        let servers = self.workload.server_count();
+        let per_server: Vec<(u64, u64)> = (0..servers)
+            .map(|s| self.engine.hit_stats(ServerId::new(s)))
+            .collect();
+        let (hits, total_requests) = per_server
+            .iter()
+            .fold((0u64, 0u64), |(h, r), &(sh, sr)| (h + sh, r + sr));
+        SimResult {
+            strategy: self.options.strategy.name().to_owned(),
+            hits,
+            requests: total_requests,
+            traffic: self.engine.total_traffic(),
+            hourly: self.hourly,
+            per_server,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscd_workload::WorkloadConfig;
+
+    fn tiny_workload() -> Workload {
+        Workload::generate(&WorkloadConfig::news_scaled(0.004)).unwrap()
+    }
+
+    #[test]
+    fn all_strategies_complete_and_account_consistently() {
+        let w = tiny_workload();
+        let subs = w.subscriptions(1.0).unwrap();
+        let costs = FetchCosts::uniform(w.server_count());
+        for kind in [
+            StrategyKind::GdStar { beta: 2.0 },
+            StrategyKind::Sub,
+            StrategyKind::Sg1 { beta: 2.0 },
+            StrategyKind::Sg2 { beta: 2.0 },
+            StrategyKind::Sr,
+            StrategyKind::Dm { beta: 2.0 },
+            StrategyKind::dc_fp(2.0),
+            StrategyKind::DcAp { beta: 2.0 },
+            StrategyKind::dc_lap(2.0),
+        ] {
+            let r = simulate(&w, &subs, &costs, &SimOptions::at_capacity(kind, 0.05)).unwrap();
+            assert_eq!(r.requests, w.requests().len() as u64, "{}", r.strategy);
+            assert!(r.hits <= r.requests);
+            // Every miss fetches exactly one page.
+            assert_eq!(r.traffic.fetched_pages, r.requests - r.hits);
+            // Hourly series sums match totals.
+            assert_eq!(r.hourly.requests.iter().sum::<u64>(), r.requests);
+            assert_eq!(r.hourly.hits.iter().sum::<u64>(), r.hits);
+            assert_eq!(
+                r.hourly.pushed_pages.iter().sum::<u64>(),
+                r.traffic.pushed_pages
+            );
+        }
+    }
+
+    #[test]
+    fn subscription_strategies_beat_gdstar_on_perfect_subscriptions() {
+        let w = tiny_workload();
+        let subs = w.subscriptions(1.0).unwrap();
+        let costs = FetchCosts::uniform(w.server_count());
+        let gd = simulate(
+            &w,
+            &subs,
+            &costs,
+            &SimOptions::at_capacity(StrategyKind::GdStar { beta: 2.0 }, 0.05),
+        )
+        .unwrap();
+        let sg2 = simulate(
+            &w,
+            &subs,
+            &costs,
+            &SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05),
+        )
+        .unwrap();
+        assert!(
+            sg2.hit_ratio() > gd.hit_ratio(),
+            "SG2 {} <= GD* {}",
+            sg2.hit_ratio(),
+            gd.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn access_only_strategy_has_no_push_traffic() {
+        let w = tiny_workload();
+        let subs = w.subscriptions(1.0).unwrap();
+        let costs = FetchCosts::uniform(w.server_count());
+        let r = simulate(
+            &w,
+            &subs,
+            &costs,
+            &SimOptions::at_capacity(StrategyKind::GdStar { beta: 2.0 }, 0.05),
+        )
+        .unwrap();
+        assert_eq!(r.traffic.pushed_pages, 0);
+        assert!(r.traffic.fetched_pages > 0);
+    }
+
+    #[test]
+    fn when_necessary_never_pushes_more_than_always() {
+        let w = tiny_workload();
+        let subs = w.subscriptions(1.0).unwrap();
+        let costs = FetchCosts::uniform(w.server_count());
+        let mk = |scheme| SimOptions {
+            strategy: StrategyKind::Sub,
+            capacity_fraction: 0.05,
+            scheme,
+            crash: None,
+            invalidate_stale: false,
+        };
+        let always = simulate(&w, &subs, &costs, &mk(PushScheme::Always)).unwrap();
+        let necessary = simulate(&w, &subs, &costs, &mk(PushScheme::WhenNecessary)).unwrap();
+        assert!(necessary.traffic.pushed_pages <= always.traffic.pushed_pages);
+        assert!(necessary.traffic.pushed_pages > 0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let w = tiny_workload();
+        let subs = w.subscriptions(1.0).unwrap();
+        let costs = FetchCosts::uniform(w.server_count());
+        let opt = SimOptions::at_capacity(StrategyKind::dc_lap(2.0), 0.05);
+        let a = simulate(&w, &subs, &costs, &opt).unwrap();
+        let b = simulate(&w, &subs, &costs, &opt).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let w = tiny_workload();
+        let subs = w.subscriptions(1.0).unwrap();
+        let bad_costs = FetchCosts::uniform(3);
+        let opt = SimOptions::at_capacity(StrategyKind::Sub, 0.05);
+        assert!(matches!(
+            simulate(&w, &subs, &bad_costs, &opt),
+            Err(SimError::MismatchedCosts { .. })
+        ));
+        let costs = FetchCosts::uniform(w.server_count());
+        let bad_opt = SimOptions::at_capacity(StrategyKind::Sub, 0.0);
+        assert!(matches!(
+            simulate(&w, &subs, &costs, &bad_opt),
+            Err(SimError::InvalidOption { .. })
+        ));
+        let bad_subs = SubscriptionTable::empty(1);
+        assert!(matches!(
+            simulate(&w, &bad_subs, &costs, &opt),
+            Err(SimError::MismatchedSubscriptions { .. })
+        ));
+    }
+
+    #[test]
+    fn invalidation_costs_hits_and_reports_events() {
+        let w = tiny_workload();
+        let subs = w.subscriptions(1.0).unwrap();
+        let costs = FetchCosts::uniform(w.server_count());
+        let base = SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.10);
+        let clean = simulate(&w, &subs, &costs, &base).unwrap();
+        let strict = simulate(&w, &subs, &costs, &base.with_invalidation()).unwrap();
+        // Dropping superseded versions can only lose hits on this trace.
+        assert!(strict.hits <= clean.hits, "{} > {}", strict.hits, clean.hits);
+        assert_eq!(strict.requests, clean.requests);
+        // The stepping API reports the invalidations.
+        let mut sim =
+            Simulation::new(&w, &subs, &costs, &base.with_invalidation()).unwrap();
+        let mut invalidations = 0;
+        while let Some(ev) = sim.step() {
+            if let StepEvent::Invalidated { proxies, .. } = ev {
+                assert!(proxies > 0);
+                invalidations += 1;
+            }
+        }
+        assert!(invalidations > 0, "expected some stale drops");
+        assert_eq!(sim.finish(), strict);
+        // Determinism.
+        let again = simulate(&w, &subs, &costs, &base.with_invalidation()).unwrap();
+        assert_eq!(strict, again);
+    }
+
+    #[test]
+    fn stepping_api_matches_batch_run() {
+        let w = tiny_workload();
+        let subs = w.subscriptions(1.0).unwrap();
+        let costs = FetchCosts::uniform(w.server_count());
+        let opt = SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05);
+        let batch = simulate(&w, &subs, &costs, &opt).unwrap();
+        let mut sim = Simulation::new(&w, &subs, &costs, &opt).unwrap();
+        let mut published = 0u64;
+        let mut requested = 0u64;
+        let mut hits = 0u64;
+        while let Some(ev) = sim.step() {
+            match ev {
+                StepEvent::Published { .. } => published += 1,
+                StepEvent::Requested { hit, .. } => {
+                    requested += 1;
+                    if hit {
+                        hits += 1;
+                    }
+                }
+                StepEvent::Crashed { .. } => unreachable!("no crash planned"),
+                StepEvent::Invalidated { .. } => {
+                    unreachable!("invalidation not enabled")
+                }
+            }
+        }
+        assert_eq!(published, w.publishing().len() as u64);
+        assert_eq!(requested, w.requests().len() as u64);
+        let stepped = sim.finish();
+        assert_eq!(stepped, batch);
+        assert_eq!(hits, batch.hits);
+    }
+
+    #[test]
+    fn stepping_api_reports_crash_event_and_progress() {
+        let w = tiny_workload();
+        let subs = w.subscriptions(1.0).unwrap();
+        let costs = FetchCosts::uniform(w.server_count());
+        let opt = SimOptions::at_capacity(StrategyKind::GdStar { beta: 2.0 }, 0.05)
+            .with_crash(CrashPlan::new(pscd_types::SimTime::from_days(2), 1.0));
+        let mut sim = Simulation::new(&w, &subs, &costs, &opt).unwrap();
+        let (done0, total) = sim.progress();
+        assert_eq!(done0, 0);
+        assert_eq!(total, w.publishing().len() + w.requests().len());
+        let mut crashes = 0;
+        let mut steps = 0usize;
+        while let Some(ev) = sim.step() {
+            if let StepEvent::Crashed { servers } = ev {
+                crashes += 1;
+                assert_eq!(servers, w.server_count() as usize);
+                // A crash consumes no timeline event.
+                assert_eq!(sim.progress().0, steps);
+            } else {
+                steps += 1;
+            }
+        }
+        assert_eq!(crashes, 1);
+        assert_eq!(sim.progress(), (total, total));
+        assert!(sim.engine().server_count() == w.server_count());
+        // Early finish mid-run is usable too.
+        let mut sim2 = Simulation::new(&w, &subs, &costs, &opt).unwrap();
+        for _ in 0..50 {
+            sim2.step();
+        }
+        let partial = sim2.finish();
+        assert!(partial.requests <= w.requests().len() as u64);
+    }
+
+    #[test]
+    fn crash_wipes_caches_and_dents_hit_ratio() {
+        let w = tiny_workload();
+        let subs = w.subscriptions(1.0).unwrap();
+        let costs = FetchCosts::uniform(w.server_count());
+        // SG2 relies on cached pushed pages, so losing the caches at day 3
+        // must cost hits.
+        let base = SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05);
+        let clean = simulate(&w, &subs, &costs, &base).unwrap();
+        let crashed = simulate(
+            &w,
+            &subs,
+            &costs,
+            &base.with_crash(CrashPlan::new(pscd_types::SimTime::from_days(3), 1.0)),
+        )
+        .unwrap();
+        assert!(crashed.hits < clean.hits, "{} vs {}", crashed.hits, clean.hits);
+        assert_eq!(crashed.requests, clean.requests);
+        // Identical histories before the crash hour.
+        let crash_hour = 72;
+        assert_eq!(
+            &clean.hourly.hits[..crash_hour],
+            &crashed.hourly.hits[..crash_hour]
+        );
+        // Determinism with a crash plan.
+        let again = simulate(
+            &w,
+            &subs,
+            &costs,
+            &base.with_crash(CrashPlan::new(pscd_types::SimTime::from_days(3), 1.0)),
+        )
+        .unwrap();
+        assert_eq!(crashed, again);
+    }
+
+    #[test]
+    fn partial_crash_affects_partial_fleet() {
+        let w = tiny_workload();
+        let subs = w.subscriptions(1.0).unwrap();
+        let costs = FetchCosts::uniform(w.server_count());
+        let base = SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05);
+        let clean = simulate(&w, &subs, &costs, &base).unwrap();
+        let half = simulate(
+            &w,
+            &subs,
+            &costs,
+            &base.with_crash(CrashPlan::new(pscd_types::SimTime::from_days(3), 0.5)),
+        )
+        .unwrap();
+        let full = simulate(
+            &w,
+            &subs,
+            &costs,
+            &base.with_crash(CrashPlan::new(pscd_types::SimTime::from_days(3), 1.0)),
+        )
+        .unwrap();
+        assert!(clean.hits >= half.hits);
+        assert!(half.hits >= full.hits);
+        // Invalid fraction rejected.
+        assert!(matches!(
+            simulate(
+                &w,
+                &subs,
+                &costs,
+                &base.with_crash(CrashPlan::new(pscd_types::SimTime::ZERO, 1.5)),
+            ),
+            Err(SimError::InvalidOption { .. })
+        ));
+    }
+
+    #[test]
+    fn higher_capacity_does_not_hurt_gdstar() {
+        let w = tiny_workload();
+        let subs = w.subscriptions(1.0).unwrap();
+        let costs = FetchCosts::uniform(w.server_count());
+        let lo = simulate(
+            &w,
+            &subs,
+            &costs,
+            &SimOptions::at_capacity(StrategyKind::GdStar { beta: 2.0 }, 0.01),
+        )
+        .unwrap();
+        let hi = simulate(
+            &w,
+            &subs,
+            &costs,
+            &SimOptions::at_capacity(StrategyKind::GdStar { beta: 2.0 }, 0.10),
+        )
+        .unwrap();
+        assert!(hi.hit_ratio() >= lo.hit_ratio());
+    }
+}

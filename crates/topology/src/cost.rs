@@ -1,0 +1,176 @@
+//! Per-proxy fetch costs derived from a topology.
+
+use serde::{Deserialize, Serialize};
+
+use pscd_types::ServerId;
+
+use crate::{Graph, TopologyError};
+
+/// The cost `c(p)` each proxy pays to fetch a page from the publisher.
+///
+/// Following the paper (§3.1, after Cao & Irani), the cost is the network
+/// distance from the proxy to the origin publisher on the generated
+/// topology; with a single publisher the cost is constant per proxy. Costs
+/// are normalized so the cheapest proxy pays 1.0, keeping the value
+/// functions' scale independent of the plane size.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_topology::{FetchCosts, TopologyBuilder};
+/// use pscd_types::ServerId;
+///
+/// let topo = TopologyBuilder::new(11).seed(1).build()?;
+/// let costs = FetchCosts::from_topology(&topo, 0)?;
+/// assert_eq!(costs.server_count(), 10);
+/// assert!((costs.min() - 1.0).abs() < 1e-12);
+/// let _c0 = costs.cost(ServerId::new(0));
+/// # Ok::<(), pscd_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FetchCosts {
+    per_server: Vec<f64>,
+}
+
+impl FetchCosts {
+    /// Uniform costs of 1.0 for `servers` proxies — the degenerate cost
+    /// model where the network plays no role.
+    pub fn uniform(servers: u16) -> Self {
+        Self {
+            per_server: vec![1.0; servers as usize],
+        }
+    }
+
+    /// Builds costs from explicit per-server values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidParameter`] if any cost is not a
+    /// finite positive number.
+    pub fn from_values(per_server: Vec<f64>) -> Result<Self, TopologyError> {
+        if per_server.iter().any(|c| !c.is_finite() || *c <= 0.0) {
+            return Err(TopologyError::InvalidParameter {
+                name: "cost",
+                constraint: "finite and > 0",
+            });
+        }
+        Ok(Self { per_server })
+    }
+
+    /// Derives costs from a connected topology: the shortest-path distance
+    /// from every other node to `publisher`, normalized so the minimum
+    /// proxy cost is 1.0. Node `publisher` is excluded from the result;
+    /// proxy `ServerId(i)` maps to topology node `i + 1` when
+    /// `publisher == 0` (the conventional layout), or more generally to the
+    /// `i`-th non-publisher node in node order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NodeOutOfRange`] if `publisher` is not a
+    /// node, and [`TopologyError::InvalidParameter`] if some proxy cannot
+    /// reach the publisher (disconnected graph).
+    pub fn from_topology(graph: &Graph, publisher: usize) -> Result<Self, TopologyError> {
+        let dist = graph.shortest_paths(publisher)?;
+        let proxy_dists: Vec<f64> = dist
+            .iter()
+            .enumerate()
+            .filter(|&(node, _)| node != publisher)
+            .map(|(_, &d)| d)
+            .collect();
+        if proxy_dists.iter().any(|d| !d.is_finite()) {
+            return Err(TopologyError::InvalidParameter {
+                name: "topology",
+                constraint: "all proxies reachable from the publisher",
+            });
+        }
+        let min = proxy_dists
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .max(f64::MIN_POSITIVE);
+        Ok(Self {
+            per_server: proxy_dists.iter().map(|d| (d / min).max(1.0)).collect(),
+        })
+    }
+
+    /// Number of proxies covered.
+    #[inline]
+    pub fn server_count(&self) -> u16 {
+        self.per_server.len() as u16
+    }
+
+    /// The fetch cost of one proxy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    #[inline]
+    pub fn cost(&self, server: ServerId) -> f64 {
+        self.per_server[server.as_usize()]
+    }
+
+    /// Iterates over all proxy costs in server order.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.per_server.iter().copied()
+    }
+
+    /// The smallest proxy cost (1.0 for topology-derived costs).
+    pub fn min(&self) -> f64 {
+        self.per_server.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// The largest proxy cost.
+    pub fn max(&self) -> f64 {
+        self.per_server
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TopologyBuilder;
+
+    #[test]
+    fn uniform_costs() {
+        let c = FetchCosts::uniform(4);
+        assert_eq!(c.server_count(), 4);
+        assert!(c.iter().all(|v| v == 1.0));
+        assert_eq!(c.min(), 1.0);
+        assert_eq!(c.max(), 1.0);
+    }
+
+    #[test]
+    fn from_values_validates() {
+        assert!(FetchCosts::from_values(vec![1.0, 2.5]).is_ok());
+        assert!(FetchCosts::from_values(vec![0.0]).is_err());
+        assert!(FetchCosts::from_values(vec![-1.0]).is_err());
+        assert!(FetchCosts::from_values(vec![f64::NAN]).is_err());
+        assert!(FetchCosts::from_values(vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn topology_costs_normalized_and_sized() {
+        let g = TopologyBuilder::new(101).seed(42).build().unwrap();
+        let c = FetchCosts::from_topology(&g, 0).unwrap();
+        assert_eq!(c.server_count(), 100);
+        assert!((c.min() - 1.0).abs() < 1e-12);
+        assert!(c.max() >= c.min());
+        assert!(c.iter().all(|v| v.is_finite() && v >= 1.0));
+    }
+
+    #[test]
+    fn publisher_out_of_range() {
+        let g = TopologyBuilder::new(5).seed(0).build().unwrap();
+        assert!(FetchCosts::from_topology(&g, 9).is_err());
+    }
+
+    #[test]
+    fn nonzero_publisher_excluded() {
+        let g = TopologyBuilder::new(5).seed(0).build().unwrap();
+        let c = FetchCosts::from_topology(&g, 3).unwrap();
+        assert_eq!(c.server_count(), 4);
+    }
+}

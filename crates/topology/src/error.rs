@@ -1,0 +1,68 @@
+//! Topology errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while building or querying a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A topology needs at least two nodes (one publisher, one proxy).
+    TooFewNodes {
+        /// The rejected node count.
+        nodes: usize,
+    },
+    /// A model parameter was outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// A node index was outside the graph.
+    NodeOutOfRange {
+        /// The rejected index.
+        node: usize,
+        /// Number of nodes in the graph.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::TooFewNodes { nodes } => {
+                write!(f, "topology needs at least 2 nodes, got {nodes}")
+            }
+            TopologyError::InvalidParameter { name, constraint } => {
+                write!(f, "invalid parameter {name}: must satisfy {constraint}")
+            }
+            TopologyError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range for graph with {nodes} nodes")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(TopologyError::TooFewNodes { nodes: 1 }
+            .to_string()
+            .contains("at least 2"));
+        assert!(TopologyError::InvalidParameter {
+            name: "alpha",
+            constraint: "0 < alpha <= 1"
+        }
+        .to_string()
+        .contains("alpha"));
+        assert!(TopologyError::NodeOutOfRange { node: 9, nodes: 3 }
+            .to_string()
+            .contains("node 9"));
+    }
+}

@@ -1,0 +1,546 @@
+//! Random-graph generators (BRITE's flat router-level models).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{Graph, Point, TopologyError};
+
+/// The random-graph model used to wire nodes together.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GraphModel {
+    /// Waxman (1988): nodes uniform on the plane; edge probability
+    /// `alpha * exp(-d / (beta * d_max))` for node distance `d` and plane
+    /// diameter `d_max`. BRITE's default is `alpha = 0.15`, `beta = 0.2`.
+    Waxman {
+        /// Maximum edge probability, `0 < alpha <= 1`.
+        alpha: f64,
+        /// Distance-decay control, `0 < beta <= 1`.
+        beta: f64,
+    },
+    /// Barabási–Albert preferential attachment: each new node connects to
+    /// `m` existing nodes with probability proportional to their degree.
+    BarabasiAlbert {
+        /// Edges added per new node, `m >= 1`.
+        m: usize,
+    },
+    /// Two-level top-down hierarchy (BRITE's hierarchical model, in the
+    /// spirit of transit-stub topologies): `domains` transit nodes are
+    /// placed and wired with a Waxman graph over the whole plane; the
+    /// remaining nodes are split evenly into stub clusters, each placed in
+    /// a small disc around its transit node, wired internally with a dense
+    /// local Waxman, and attached to its transit node.
+    Hierarchical {
+        /// Number of top-level (transit) domains, `>= 1`.
+        domains: usize,
+        /// Waxman `alpha` used at both levels, `0 < alpha <= 1`.
+        alpha: f64,
+        /// Waxman `beta` used at both levels, `0 < beta <= 1`.
+        beta: f64,
+    },
+}
+
+impl GraphModel {
+    /// Waxman model with BRITE's default parameters (α = 0.15, β = 0.2).
+    pub const fn waxman() -> Self {
+        GraphModel::Waxman {
+            alpha: 0.15,
+            beta: 0.2,
+        }
+    }
+
+    /// Barabási–Albert model with `m = 2` (BRITE's default).
+    pub const fn barabasi_albert() -> Self {
+        GraphModel::BarabasiAlbert { m: 2 }
+    }
+
+    /// Hierarchical model with 8 transit domains and Waxman defaults.
+    pub const fn hierarchical() -> Self {
+        GraphModel::Hierarchical {
+            domains: 8,
+            alpha: 0.4,
+            beta: 0.4,
+        }
+    }
+
+    fn validate(self) -> Result<(), TopologyError> {
+        match self {
+            GraphModel::Waxman { alpha, beta } => {
+                if !(alpha > 0.0 && alpha <= 1.0) {
+                    return Err(TopologyError::InvalidParameter {
+                        name: "alpha",
+                        constraint: "0 < alpha <= 1",
+                    });
+                }
+                if !(beta > 0.0 && beta <= 1.0) {
+                    return Err(TopologyError::InvalidParameter {
+                        name: "beta",
+                        constraint: "0 < beta <= 1",
+                    });
+                }
+                Ok(())
+            }
+            GraphModel::BarabasiAlbert { m } => {
+                if m == 0 {
+                    return Err(TopologyError::InvalidParameter {
+                        name: "m",
+                        constraint: "m >= 1",
+                    });
+                }
+                Ok(())
+            }
+            GraphModel::Hierarchical {
+                domains,
+                alpha,
+                beta,
+            } => {
+                if domains == 0 {
+                    return Err(TopologyError::InvalidParameter {
+                        name: "domains",
+                        constraint: "domains >= 1",
+                    });
+                }
+                if !(alpha > 0.0 && alpha <= 1.0) || !(beta > 0.0 && beta <= 1.0) {
+                    return Err(TopologyError::InvalidParameter {
+                        name: "alpha/beta",
+                        constraint: "0 < alpha, beta <= 1",
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Default for GraphModel {
+    fn default() -> Self {
+        GraphModel::waxman()
+    }
+}
+
+/// Builder for a connected random topology.
+///
+/// Node 0 is conventionally the publisher. The generated graph is always
+/// connected: disconnected components are stitched together through their
+/// closest node pairs.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_topology::{GraphModel, TopologyBuilder};
+/// let g = TopologyBuilder::new(50)
+///     .model(GraphModel::barabasi_albert())
+///     .plane_size(1000.0)
+///     .seed(42)
+///     .build()?;
+/// assert!(g.is_connected());
+/// assert_eq!(g.node_count(), 50);
+/// # Ok::<(), pscd_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    nodes: usize,
+    model: GraphModel,
+    plane: f64,
+    seed: u64,
+}
+
+impl TopologyBuilder {
+    /// Starts a builder for a topology with `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            nodes,
+            model: GraphModel::default(),
+            plane: 1_000.0,
+            seed: 0,
+        }
+    }
+
+    /// Sets the wiring model (default: Waxman with BRITE defaults).
+    pub fn model(mut self, model: GraphModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Sets the side length of the square placement plane (default 1000).
+    pub fn plane_size(mut self, side: f64) -> Self {
+        self.plane = side;
+        self
+    }
+
+    /// Sets the RNG seed; the same seed reproduces the same topology.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::TooFewNodes`] for fewer than 2 nodes and
+    /// [`TopologyError::InvalidParameter`] for out-of-range model parameters
+    /// or a non-positive plane size.
+    pub fn build(self) -> Result<Graph, TopologyError> {
+        if self.nodes < 2 {
+            return Err(TopologyError::TooFewNodes { nodes: self.nodes });
+        }
+        self.model.validate()?;
+        if !(self.plane > 0.0) {
+            return Err(TopologyError::InvalidParameter {
+                name: "plane_size",
+                constraint: "plane_size > 0",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut graph = match self.model {
+            GraphModel::Hierarchical {
+                domains,
+                alpha,
+                beta,
+            } => build_hierarchical(self.nodes, self.plane, domains, alpha, beta, &mut rng),
+            flat => {
+                let positions: Vec<Point> = (0..self.nodes)
+                    .map(|_| {
+                        Point::new(
+                            rng.random_range(0.0..self.plane),
+                            rng.random_range(0.0..self.plane),
+                        )
+                    })
+                    .collect();
+                let mut graph = Graph::new(positions);
+                match flat {
+                    GraphModel::Waxman { alpha, beta } => {
+                        wire_waxman_subset(
+                            &mut graph,
+                            &(0..self.nodes).collect::<Vec<_>>(),
+                            alpha,
+                            beta,
+                            &mut rng,
+                        );
+                    }
+                    GraphModel::BarabasiAlbert { m } => {
+                        wire_barabasi_albert(&mut graph, m, &mut rng);
+                    }
+                    GraphModel::Hierarchical { .. } => unreachable!("handled above"),
+                }
+                graph
+            }
+        };
+        connect_components(&mut graph);
+        debug_assert!(graph.is_connected());
+        Ok(graph)
+    }
+}
+
+/// Waxman wiring restricted to a node subset (the whole graph for flat
+/// models; one level/cluster for the hierarchical model).
+fn wire_waxman_subset(
+    graph: &mut Graph,
+    nodes: &[usize],
+    alpha: f64,
+    beta: f64,
+    rng: &mut StdRng,
+) {
+    // Diameter of the subset: maximum pairwise separation.
+    let mut d_max: f64 = 0.0;
+    for (i, &a) in nodes.iter().enumerate() {
+        for &b in &nodes[i + 1..] {
+            d_max = d_max.max(graph.position(a).distance(graph.position(b)));
+        }
+    }
+    if d_max <= 0.0 {
+        d_max = 1.0;
+    }
+    for (i, &a) in nodes.iter().enumerate() {
+        for &b in &nodes[i + 1..] {
+            let d = graph.position(a).distance(graph.position(b));
+            let p = alpha * (-d / (beta * d_max)).exp();
+            if rng.random::<f64>() < p {
+                graph.add_edge(a, b);
+            }
+        }
+    }
+}
+
+/// Builds the two-level hierarchical topology: transit nodes first (ids
+/// `0..domains`), then stub clusters around them.
+fn build_hierarchical(
+    nodes: usize,
+    plane: f64,
+    domains: usize,
+    alpha: f64,
+    beta: f64,
+    rng: &mut StdRng,
+) -> Graph {
+    let domains = domains.min(nodes);
+    // Transit nodes anywhere on the plane.
+    let mut positions: Vec<Point> = (0..domains)
+        .map(|_| Point::new(rng.random_range(0.0..plane), rng.random_range(0.0..plane)))
+        .collect();
+    // Stub nodes in a disc around their transit node.
+    let radius = plane / (domains as f64).sqrt() / 2.0;
+    let mut cluster_of = Vec::with_capacity(nodes - domains);
+    for i in 0..nodes - domains {
+        let cluster = i % domains;
+        let center = positions[cluster];
+        let angle = rng.random_range(0.0..std::f64::consts::TAU);
+        let r = radius * rng.random::<f64>().sqrt();
+        positions.push(Point::new(
+            (center.x + r * angle.cos()).clamp(0.0, plane),
+            (center.y + r * angle.sin()).clamp(0.0, plane),
+        ));
+        cluster_of.push(cluster);
+    }
+    let mut graph = Graph::new(positions);
+    // Top level: Waxman over the transit nodes.
+    let transit: Vec<usize> = (0..domains).collect();
+    wire_waxman_subset(&mut graph, &transit, alpha, beta, rng);
+    // Each stub cluster: dense local Waxman + uplink to its transit node.
+    for cluster in 0..domains {
+        let mut members: Vec<usize> = vec![cluster];
+        members.extend(
+            cluster_of
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c == cluster)
+                .map(|(i, _)| domains + i),
+        );
+        // Denser than the top level so stubs are internally well-connected.
+        wire_waxman_subset(&mut graph, &members, (alpha * 2.0).min(1.0), beta, rng);
+        for &m in &members[1..] {
+            if rng.random::<f64>() < 0.3 {
+                graph.add_edge(cluster, m);
+            }
+        }
+    }
+    graph
+}
+
+fn wire_barabasi_albert(graph: &mut Graph, m: usize, rng: &mut StdRng) {
+    let n = graph.node_count();
+    let seed_size = (m + 1).min(n);
+    // Fully connect the seed clique.
+    for a in 0..seed_size {
+        for b in (a + 1)..seed_size {
+            graph.add_edge(a, b);
+        }
+    }
+    // Repeated-node list: each node appears once per incident edge end,
+    // giving degree-proportional sampling.
+    let mut targets: Vec<usize> = Vec::new();
+    for e in graph.edges() {
+        targets.push(e.a);
+        targets.push(e.b);
+    }
+    for new in seed_size..n {
+        let mut chosen = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m.min(new) && guard < 64 * m {
+            guard += 1;
+            let pick = if targets.is_empty() {
+                rng.random_range(0..new)
+            } else {
+                targets[rng.random_range(0..targets.len())]
+            };
+            if pick != new && !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+        }
+        for &t in &chosen {
+            graph.add_edge(new, t);
+            targets.push(new);
+            targets.push(t);
+        }
+    }
+}
+
+/// Stitches disconnected components together through their closest node
+/// pairs, keeping total added length small (what BRITE's post-processing
+/// does to guarantee a usable topology).
+fn connect_components(graph: &mut Graph) {
+    loop {
+        let comps = graph.components();
+        if comps.len() <= 1 {
+            return;
+        }
+        // Join the first component to its nearest other component.
+        let base = &comps[0];
+        let mut best: Option<(usize, usize, f64)> = None;
+        for comp in &comps[1..] {
+            for &a in base {
+                for &b in comp {
+                    let d = graph.position(a).distance(graph.position(b));
+                    if best.is_none_or(|(_, _, bd)| d < bd) {
+                        best = Some((a, b, d));
+                    }
+                }
+            }
+        }
+        let (a, b, _) = best.expect("at least two components");
+        graph.add_edge(a, b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waxman_is_connected_and_deterministic() {
+        let a = TopologyBuilder::new(101).seed(7).build().unwrap();
+        let b = TopologyBuilder::new(101).seed(7).build().unwrap();
+        assert!(a.is_connected());
+        assert_eq!(a.edges().len(), b.edges().len());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TopologyBuilder::new(60).seed(1).build().unwrap();
+        let b = TopologyBuilder::new(60).seed(2).build().unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn barabasi_albert_builds_connected_graph() {
+        let g = TopologyBuilder::new(80)
+            .model(GraphModel::BarabasiAlbert { m: 2 })
+            .seed(3)
+            .build()
+            .unwrap();
+        assert!(g.is_connected());
+        // BA with m=2 should produce roughly 2 edges per non-seed node.
+        assert!(g.edge_count() >= 80);
+    }
+
+    #[test]
+    fn ba_degree_distribution_is_skewed() {
+        let g = TopologyBuilder::new(200)
+            .model(GraphModel::BarabasiAlbert { m: 2 })
+            .seed(11)
+            .build()
+            .unwrap();
+        let max_degree = (0..g.node_count())
+            .map(|v| g.neighbors(v).len())
+            .max()
+            .unwrap();
+        // Preferential attachment produces hubs well above the mean degree.
+        assert!(max_degree >= 10, "max degree {max_degree} too flat for BA");
+    }
+
+    #[test]
+    fn tiny_and_invalid_configs_rejected() {
+        assert!(matches!(
+            TopologyBuilder::new(1).build(),
+            Err(TopologyError::TooFewNodes { nodes: 1 })
+        ));
+        assert!(TopologyBuilder::new(10)
+            .model(GraphModel::Waxman {
+                alpha: 0.0,
+                beta: 0.2
+            })
+            .build()
+            .is_err());
+        assert!(TopologyBuilder::new(10)
+            .model(GraphModel::Waxman {
+                alpha: 0.5,
+                beta: 1.5
+            })
+            .build()
+            .is_err());
+        assert!(TopologyBuilder::new(10)
+            .model(GraphModel::BarabasiAlbert { m: 0 })
+            .build()
+            .is_err());
+        assert!(TopologyBuilder::new(10).plane_size(0.0).build().is_err());
+    }
+
+    #[test]
+    fn hierarchical_builds_connected_clustered_graph() {
+        let g = TopologyBuilder::new(101)
+            .model(GraphModel::hierarchical())
+            .seed(5)
+            .build()
+            .unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.node_count(), 101);
+        // Deterministic.
+        let g2 = TopologyBuilder::new(101)
+            .model(GraphModel::hierarchical())
+            .seed(5)
+            .build()
+            .unwrap();
+        assert_eq!(g, g2);
+        // Clustered: stub nodes sit near their transit node, so the mean
+        // edge length is much shorter than the plane size.
+        let mean_edge: f64 =
+            g.edges().iter().map(|e| e.weight).sum::<f64>() / g.edge_count() as f64;
+        assert!(mean_edge < 500.0, "mean edge {mean_edge}");
+    }
+
+    #[test]
+    fn hierarchical_validates_parameters() {
+        assert!(TopologyBuilder::new(10)
+            .model(GraphModel::Hierarchical {
+                domains: 0,
+                alpha: 0.4,
+                beta: 0.4
+            })
+            .build()
+            .is_err());
+        assert!(TopologyBuilder::new(10)
+            .model(GraphModel::Hierarchical {
+                domains: 2,
+                alpha: 0.0,
+                beta: 0.4
+            })
+            .build()
+            .is_err());
+        // More domains than nodes degrades gracefully.
+        assert!(TopologyBuilder::new(3)
+            .model(GraphModel::Hierarchical {
+                domains: 8,
+                alpha: 0.4,
+                beta: 0.4
+            })
+            .build()
+            .unwrap()
+            .is_connected());
+    }
+
+    #[test]
+    fn hierarchical_costs_work_for_proxy_fleet() {
+        use crate::FetchCosts;
+        let g = TopologyBuilder::new(101)
+            .model(GraphModel::hierarchical())
+            .seed(9)
+            .build()
+            .unwrap();
+        let costs = FetchCosts::from_topology(&g, 0).unwrap();
+        assert_eq!(costs.server_count(), 100);
+        assert!(costs.max() >= costs.min());
+    }
+
+    #[test]
+    fn two_node_graph_connects() {
+        let g = TopologyBuilder::new(2).seed(5).build().unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn sparse_waxman_still_connected() {
+        // Tiny alpha -> almost no organic edges; stitching must connect.
+        let g = TopologyBuilder::new(40)
+            .model(GraphModel::Waxman {
+                alpha: 0.001,
+                beta: 0.05,
+            })
+            .seed(9)
+            .build()
+            .unwrap();
+        assert!(g.is_connected());
+        assert!(g.edge_count() >= 39);
+    }
+}

@@ -1,0 +1,311 @@
+//! Undirected weighted graph with Dijkstra shortest paths.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Point, TopologyError};
+
+/// An undirected edge with a positive weight (Euclidean length).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// One endpoint.
+    pub a: usize,
+    /// The other endpoint.
+    pub b: usize,
+    /// Edge weight (network distance).
+    pub weight: f64,
+}
+
+/// An undirected weighted graph of network nodes placed on a plane.
+///
+/// Node 0 is conventionally the publisher; the remaining nodes are proxy
+/// servers, but the graph itself is agnostic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Graph {
+    positions: Vec<Point>,
+    /// adjacency[v] = [(neighbor, weight)]
+    adjacency: Vec<Vec<(usize, f64)>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `positions.len()` nodes and no edges.
+    pub fn new(positions: Vec<Point>) -> Self {
+        let n = positions.len();
+        Self {
+            positions,
+            adjacency: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Position of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn position(&self, node: usize) -> Point {
+        self.positions[node]
+    }
+
+    /// Neighbors of `node` with edge weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn neighbors(&self, node: usize) -> &[(usize, f64)] {
+        &self.adjacency[node]
+    }
+
+    /// `true` if an edge `{a, b}` exists.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adjacency
+            .get(a)
+            .is_some_and(|adj| adj.iter().any(|&(n, _)| n == b))
+    }
+
+    /// Adds the undirected edge `{a, b}` weighted by the Euclidean distance
+    /// between the endpoints. Duplicate edges and self-loops are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        if a == b || self.has_edge(a, b) {
+            return;
+        }
+        let w = self.positions[a].distance(self.positions[b]).max(f64::MIN_POSITIVE);
+        self.adjacency[a].push((b, w));
+        self.adjacency[b].push((a, w));
+        self.edge_count += 1;
+    }
+
+    /// All edges, each reported once with `a < b`.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.edge_count);
+        for (a, adj) in self.adjacency.iter().enumerate() {
+            for &(b, weight) in adj {
+                if a < b {
+                    out.push(Edge { a, b, weight });
+                }
+            }
+        }
+        out
+    }
+
+    /// Single-source shortest path distances from `source` (Dijkstra).
+    /// Unreachable nodes get `f64::INFINITY`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NodeOutOfRange`] if `source` is out of range.
+    pub fn shortest_paths(&self, source: usize) -> Result<Vec<f64>, TopologyError> {
+        let n = self.node_count();
+        if source >= n {
+            return Err(TopologyError::NodeOutOfRange {
+                node: source,
+                nodes: n,
+            });
+        }
+        let mut dist = vec![f64::INFINITY; n];
+        dist[source] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry {
+            dist: 0.0,
+            node: source,
+        });
+        while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+            if d > dist[node] {
+                continue;
+            }
+            for &(next, w) in &self.adjacency[node] {
+                let nd = d + w;
+                if nd < dist[next] {
+                    dist[next] = nd;
+                    heap.push(HeapEntry {
+                        dist: nd,
+                        node: next,
+                    });
+                }
+            }
+        }
+        Ok(dist)
+    }
+
+    /// Connected components as lists of node indices (each sorted).
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let n = self.node_count();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut stack = vec![start];
+            let mut comp = Vec::new();
+            seen[start] = true;
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for &(next, _) in &self.adjacency[v] {
+                    if !seen[next] {
+                        seen[next] = true;
+                        stack.push(next);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            out.push(comp);
+        }
+        out
+    }
+
+    /// `true` if every node can reach every other node.
+    pub fn is_connected(&self) -> bool {
+        self.node_count() <= 1 || self.components().len() == 1
+    }
+}
+
+/// Min-heap entry: `BinaryHeap` is a max-heap, so ordering is reversed.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.node == other.node
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse on distance for min-heap behavior; ties broken by node id
+        // to keep the order total (distances are finite, never NaN).
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Graph {
+        // 0-(1)-1
+        // |      |
+        // 3-(1)-2   with unit edges around, diagonal absent
+        let mut g = Graph::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ]);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 0);
+        g
+    }
+
+    #[test]
+    fn add_edge_dedups_and_ignores_self_loops() {
+        let mut g = square();
+        assert_eq!(g.edge_count(), 4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(2, 2);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn shortest_paths_on_square() {
+        let g = square();
+        let d = g.shortest_paths(0).unwrap();
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[1], 1.0);
+        assert_eq!(d[3], 1.0);
+        assert_eq!(d[2], 2.0); // around the square, diagonal missing
+    }
+
+    #[test]
+    fn unreachable_nodes_are_infinite() {
+        let mut g = Graph::new(vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0)]);
+        let d = g.shortest_paths(0).unwrap();
+        assert!(d[1].is_infinite());
+        g.add_edge(0, 1);
+        let d = g.shortest_paths(0).unwrap();
+        assert_eq!(d[1], 5.0);
+    }
+
+    #[test]
+    fn source_out_of_range_errors() {
+        let g = square();
+        assert!(matches!(
+            g.shortest_paths(99),
+            Err(TopologyError::NodeOutOfRange { node: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let mut g = Graph::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(9.0, 9.0),
+        ]);
+        g.add_edge(0, 1);
+        let comps = g.components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 1]);
+        assert_eq!(comps[1], vec![2]);
+        assert!(!g.is_connected());
+        g.add_edge(1, 2);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn edges_reported_once() {
+        let g = square();
+        let edges = g.edges();
+        assert_eq!(edges.len(), 4);
+        assert!(edges.iter().all(|e| e.a < e.b));
+        assert!(edges.iter().all(|e| e.weight > 0.0));
+    }
+
+    #[test]
+    fn coincident_points_get_positive_weight() {
+        let mut g = Graph::new(vec![Point::new(1.0, 1.0), Point::new(1.0, 1.0)]);
+        g.add_edge(0, 1);
+        assert!(g.edges()[0].weight > 0.0);
+    }
+}

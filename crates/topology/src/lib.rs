@@ -1,0 +1,52 @@
+//! BRITE-like random network topologies and fetch-cost derivation.
+//!
+//! The paper uses the BRITE topology generator to build "a random graph of
+//! proxy servers and the publisher" and measures the **cost to fetch a page**
+//! `c(p)` as the network distance from a proxy to the origin publisher
+//! (following Cao & Irani's cost-aware caching). BRITE is an external
+//! C++/Java tool, so this crate re-implements its two flat router-level
+//! models from scratch:
+//!
+//! * [`GraphModel::Waxman`] — nodes placed uniformly on a plane; the
+//!   probability of an edge decays exponentially with Euclidean distance
+//!   (Waxman 1988, BRITE's default).
+//! * [`GraphModel::BarabasiAlbert`] — incremental growth with preferential
+//!   attachment (BRITE's BA model).
+//!
+//! Generated graphs are post-processed to be connected (components are
+//! stitched through their closest node pairs, as BRITE does), and
+//! [`Graph::shortest_paths`] runs Dijkstra over Euclidean edge weights.
+//! [`FetchCosts`] then maps a topology to the per-proxy cost vector the
+//! cache value functions consume.
+//!
+//! # Examples
+//!
+//! ```
+//! use pscd_topology::{FetchCosts, GraphModel, TopologyBuilder};
+//!
+//! // 1 publisher + 100 proxies on a Waxman graph, deterministic seed.
+//! let topo = TopologyBuilder::new(101)
+//!     .model(GraphModel::waxman())
+//!     .seed(7)
+//!     .build()?;
+//! let costs = FetchCosts::from_topology(&topo, 0)?; // node 0 = publisher
+//! assert_eq!(costs.server_count(), 100);
+//! assert!(costs.iter().all(|c| c >= 1.0));
+//! # Ok::<(), pscd_topology::TopologyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cost;
+mod error;
+mod generate;
+mod graph;
+mod point;
+
+pub use cost::FetchCosts;
+pub use error::TopologyError;
+pub use generate::{GraphModel, TopologyBuilder};
+pub use graph::{Edge, Graph};
+pub use point::Point;

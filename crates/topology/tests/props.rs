@@ -1,0 +1,70 @@
+//! Property tests for topology generation and shortest paths.
+
+use proptest::prelude::*;
+
+use pscd_topology::{FetchCosts, GraphModel, TopologyBuilder};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated topology is connected, deterministic in its seed,
+    /// and yields finite normalized costs from any publisher node.
+    #[test]
+    fn generated_topologies_are_well_formed(
+        nodes in 2usize..80,
+        seed in 0u64..1_000,
+        ba in proptest::bool::ANY,
+    ) {
+        let model = if ba {
+            GraphModel::barabasi_albert()
+        } else {
+            GraphModel::waxman()
+        };
+        let g1 = TopologyBuilder::new(nodes).model(model).seed(seed).build().unwrap();
+        let g2 = TopologyBuilder::new(nodes).model(model).seed(seed).build().unwrap();
+        prop_assert_eq!(&g1, &g2);
+        prop_assert!(g1.is_connected());
+        prop_assert_eq!(g1.node_count(), nodes);
+        // A connected graph needs at least n-1 edges.
+        prop_assert!(g1.edge_count() >= nodes - 1);
+
+        let publisher = (seed as usize) % nodes;
+        let costs = FetchCosts::from_topology(&g1, publisher).unwrap();
+        prop_assert_eq!(costs.server_count() as usize, nodes - 1);
+        prop_assert!(costs.iter().all(|c| c.is_finite() && c >= 1.0));
+        prop_assert!((costs.min() - 1.0).abs() < 1e-9);
+    }
+
+    /// Dijkstra distances satisfy the relaxation property: for every edge
+    /// (u, v, w), d(v) <= d(u) + w.
+    #[test]
+    fn shortest_paths_satisfy_relaxation(nodes in 2usize..60, seed in 0u64..500) {
+        let g = TopologyBuilder::new(nodes).seed(seed).build().unwrap();
+        let dist = g.shortest_paths(0).unwrap();
+        prop_assert_eq!(dist[0], 0.0);
+        for e in g.edges() {
+            prop_assert!(dist[e.b] <= dist[e.a] + e.weight + 1e-9);
+            prop_assert!(dist[e.a] <= dist[e.b] + e.weight + 1e-9);
+        }
+        // Connected: all distances finite; and each non-source node's
+        // distance is realized by some incoming edge (tightness).
+        for v in 1..nodes {
+            prop_assert!(dist[v].is_finite());
+            let tight = g
+                .neighbors(v)
+                .iter()
+                .any(|&(u, w)| (dist[u] + w - dist[v]).abs() < 1e-6);
+            prop_assert!(tight, "no tight edge into node {v}");
+        }
+    }
+
+    /// Edge weights equal the Euclidean distance between endpoints.
+    #[test]
+    fn weights_are_euclidean(nodes in 2usize..40, seed in 0u64..200) {
+        let g = TopologyBuilder::new(nodes).seed(seed).build().unwrap();
+        for e in g.edges() {
+            let d = g.position(e.a).distance(g.position(e.b));
+            prop_assert!((e.weight - d.max(f64::MIN_POSITIVE)).abs() < 1e-9);
+        }
+    }
+}

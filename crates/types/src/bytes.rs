@@ -1,0 +1,229 @@
+//! Content and cache sizes.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A number of bytes: the size of a page, a cache, or a traffic total.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_types::Bytes;
+/// let cache = Bytes::from_kib(64);
+/// let page = Bytes::new(10_000);
+/// assert!(page < cache);
+/// assert_eq!((cache - page).as_u64(), 55_536);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Creates a size from a raw byte count.
+    #[inline]
+    pub const fn new(bytes: u64) -> Self {
+        Self(bytes)
+    }
+
+    /// Creates a size from kibibytes (1 KiB = 1024 bytes).
+    #[inline]
+    pub const fn from_kib(kib: u64) -> Self {
+        Self(kib * 1024)
+    }
+
+    /// Creates a size from mebibytes (1 MiB = 1024 KiB).
+    #[inline]
+    pub const fn from_mib(mib: u64) -> Self {
+        Self(mib * 1024 * 1024)
+    }
+
+    /// The raw byte count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The byte count as an `f64`, for value functions (`c(p)/s(p)` terms).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// `true` if this is exactly zero bytes.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Difference saturating at zero, for free-space computations that may
+    /// transiently overshoot.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+
+    /// A fraction of this size, rounded to the nearest byte and clamped to be
+    /// non-negative. Used to derive per-server cache capacities as a
+    /// percentage of unique bytes requested (paper §5.1).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pscd_types::Bytes;
+    /// assert_eq!(Bytes::new(1000).scaled(0.05), Bytes::new(50));
+    /// ```
+    #[inline]
+    pub fn scaled(self, fraction: f64) -> Bytes {
+        Bytes(((self.0 as f64 * fraction).round()).max(0.0) as u64)
+    }
+
+    /// Returns the smaller of two sizes.
+    #[inline]
+    pub fn min(self, other: Bytes) -> Bytes {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of two sizes.
+    #[inline]
+    pub fn max(self, other: Bytes) -> Bytes {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    #[inline]
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow; use [`Bytes::saturating_sub`]
+    /// when the ordering is not guaranteed.
+    #[inline]
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Bytes {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Bytes) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        Bytes(iter.map(|b| b.0).sum())
+    }
+}
+
+impl<'a> Sum<&'a Bytes> for Bytes {
+    fn sum<I: Iterator<Item = &'a Bytes>>(iter: I) -> Bytes {
+        Bytes(iter.map(|b| b.0).sum())
+    }
+}
+
+impl From<u64> for Bytes {
+    fn from(bytes: u64) -> Self {
+        Self(bytes)
+    }
+}
+
+impl From<Bytes> for u64 {
+    fn from(b: Bytes) -> Self {
+        b.0
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const KIB: u64 = 1024;
+        const MIB: u64 = 1024 * 1024;
+        const GIB: u64 = 1024 * 1024 * 1024;
+        if self.0 >= GIB {
+            write!(f, "{:.2}GiB", self.0 as f64 / GIB as f64)
+        } else if self.0 >= MIB {
+            write!(f, "{:.2}MiB", self.0 as f64 / MIB as f64)
+        } else if self.0 >= KIB {
+            write!(f, "{:.2}KiB", self.0 as f64 / KIB as f64)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Bytes::from_kib(2).as_u64(), 2048);
+        assert_eq!(Bytes::from_mib(1).as_u64(), 1_048_576);
+        assert_eq!(Bytes::from(5u64), Bytes::new(5));
+        assert_eq!(u64::from(Bytes::new(5)), 5);
+    }
+
+    #[test]
+    fn arithmetic_and_sum() {
+        let mut b = Bytes::new(100);
+        b += Bytes::new(50);
+        b -= Bytes::new(25);
+        assert_eq!(b, Bytes::new(125));
+        assert_eq!(Bytes::new(10).saturating_sub(Bytes::new(20)), Bytes::ZERO);
+        let v = [Bytes::new(1), Bytes::new(2), Bytes::new(3)];
+        assert_eq!(v.iter().sum::<Bytes>(), Bytes::new(6));
+        assert_eq!(v.into_iter().sum::<Bytes>(), Bytes::new(6));
+    }
+
+    #[test]
+    fn scaling() {
+        assert_eq!(Bytes::new(1_000_000).scaled(0.01), Bytes::new(10_000));
+        assert_eq!(Bytes::new(3).scaled(0.5), Bytes::new(2)); // rounds
+        assert_eq!(Bytes::new(100).scaled(-1.0), Bytes::ZERO);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(Bytes::new(512).to_string(), "512B");
+        assert_eq!(Bytes::from_kib(1).to_string(), "1.00KiB");
+        assert_eq!(Bytes::from_mib(3).to_string(), "3.00MiB");
+        assert_eq!(Bytes::from_mib(2048).to_string(), "2.00GiB");
+    }
+
+    #[test]
+    fn min_max_zero() {
+        assert!(Bytes::ZERO.is_zero());
+        assert_eq!(Bytes::new(1).min(Bytes::new(2)), Bytes::new(1));
+        assert_eq!(Bytes::new(1).max(Bytes::new(2)), Bytes::new(2));
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types for trace construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when building a trace container from invalid input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// Events were not sorted by non-decreasing time.
+    Unsorted {
+        /// Index of the first out-of-order event.
+        index: usize,
+    },
+    /// An event references a page id outside the page table.
+    UnknownPage {
+        /// Index of the offending event.
+        index: usize,
+        /// The out-of-range page index.
+        page_index: u32,
+        /// Number of pages in the page table.
+        page_count: usize,
+    },
+    /// An event references a server id outside the configured server count.
+    UnknownServer {
+        /// Index of the offending event.
+        index: usize,
+        /// The out-of-range server index.
+        server_index: u16,
+        /// Number of configured servers.
+        server_count: u16,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Unsorted { index } => {
+                write!(f, "event at index {index} is earlier than its predecessor")
+            }
+            TraceError::UnknownPage {
+                index,
+                page_index,
+                page_count,
+            } => write!(
+                f,
+                "event at index {index} references page {page_index} but only {page_count} pages exist"
+            ),
+            TraceError::UnknownServer {
+                index,
+                server_index,
+                server_count,
+            } => write!(
+                f,
+                "event at index {index} references server {server_index} but only {server_count} servers exist"
+            ),
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TraceError::Unsorted { index: 3 };
+        assert!(e.to_string().contains("index 3"));
+        let e = TraceError::UnknownPage {
+            index: 1,
+            page_index: 9,
+            page_count: 5,
+        };
+        assert!(e.to_string().contains("page 9"));
+        let e = TraceError::UnknownServer {
+            index: 0,
+            server_index: 7,
+            server_count: 4,
+        };
+        assert!(e.to_string().contains("server 7"));
+    }
+}

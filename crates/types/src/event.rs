@@ -1,0 +1,59 @@
+//! Workload events.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{PageId, ServerId, SimTime};
+
+/// One entry of the publishing stream: a page becomes available at the
+/// publisher at `time`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PublishEvent {
+    /// When the page is published.
+    pub time: SimTime,
+    /// The page being published.
+    pub page: PageId,
+}
+
+impl PublishEvent {
+    /// Creates a publish event.
+    #[inline]
+    pub const fn new(time: SimTime, page: PageId) -> Self {
+        Self { time, page }
+    }
+}
+
+/// One entry of a request trace: a subscriber attached to `server` requests
+/// the content of `page` at `time`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestEvent {
+    /// When the request arrives at the proxy.
+    pub time: SimTime,
+    /// The proxy server the requesting subscriber is attached to.
+    pub server: ServerId,
+    /// The requested page.
+    pub page: PageId,
+}
+
+impl RequestEvent {
+    /// Creates a request event.
+    #[inline]
+    pub const fn new(time: SimTime, server: ServerId, page: PageId) -> Self {
+        Self { time, server, page }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_store_fields() {
+        let p = PublishEvent::new(SimTime::from_secs(1), PageId::new(2));
+        assert_eq!(p.time, SimTime::from_secs(1));
+        assert_eq!(p.page, PageId::new(2));
+        let r = RequestEvent::new(SimTime::from_secs(3), ServerId::new(4), PageId::new(5));
+        assert_eq!(r.time, SimTime::from_secs(3));
+        assert_eq!(r.server, ServerId::new(4));
+        assert_eq!(r.page, PageId::new(5));
+    }
+}

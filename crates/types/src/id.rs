@@ -1,0 +1,172 @@
+//! Strongly typed identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a published page (one content object / version).
+///
+/// Pages are dense indices into a page table, so `PageId` is a thin wrapper
+/// around `u32` that prevents accidental mixing with other integers.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_types::PageId;
+/// let p = PageId::new(42);
+/// assert_eq!(p.index(), 42);
+/// assert_eq!(p.to_string(), "page42");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct PageId(u32);
+
+impl PageId {
+    /// Creates a page identifier from its dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// Returns the dense index of this page.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the dense index as a `usize`, convenient for table lookups.
+    #[inline]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page{}", self.0)
+    }
+}
+
+impl From<u32> for PageId {
+    fn from(index: u32) -> Self {
+        Self::new(index)
+    }
+}
+
+impl From<PageId> for u32 {
+    fn from(id: PageId) -> Self {
+        id.0
+    }
+}
+
+/// Identifier of a proxy (content-distribution) server.
+///
+/// The paper's evaluation uses 100 proxy servers; `ServerId` is a dense index
+/// into the server table.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_types::ServerId;
+/// let s = ServerId::new(3);
+/// assert_eq!(s.index(), 3);
+/// assert_eq!(s.to_string(), "server3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct ServerId(u16);
+
+impl ServerId {
+    /// Creates a server identifier from its dense index.
+    #[inline]
+    pub const fn new(index: u16) -> Self {
+        Self(index)
+    }
+
+    /// Returns the dense index of this server.
+    #[inline]
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the dense index as a `usize`, convenient for table lookups.
+    #[inline]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over the first `n` server identifiers: `server0..server(n-1)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pscd_types::ServerId;
+    /// let all: Vec<_> = ServerId::all(3).collect();
+    /// assert_eq!(all, [ServerId::new(0), ServerId::new(1), ServerId::new(2)]);
+    /// ```
+    pub fn all(n: u16) -> impl Iterator<Item = ServerId> {
+        (0..n).map(ServerId::new)
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "server{}", self.0)
+    }
+}
+
+impl From<u16> for ServerId {
+    fn from(index: u16) -> Self {
+        Self::new(index)
+    }
+}
+
+impl From<ServerId> for u16 {
+    fn from(id: ServerId) -> Self {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_id_roundtrip() {
+        let p = PageId::new(17);
+        assert_eq!(u32::from(p), 17);
+        assert_eq!(PageId::from(17u32), p);
+        assert_eq!(p.as_usize(), 17usize);
+    }
+
+    #[test]
+    fn server_id_roundtrip() {
+        let s = ServerId::new(99);
+        assert_eq!(u16::from(s), 99);
+        assert_eq!(ServerId::from(99u16), s);
+        assert_eq!(s.as_usize(), 99usize);
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(PageId::new(1) < PageId::new(2));
+        assert!(ServerId::new(0) < ServerId::new(10));
+    }
+
+    #[test]
+    fn server_all_enumerates() {
+        assert_eq!(ServerId::all(0).count(), 0);
+        assert_eq!(ServerId::all(100).count(), 100);
+        assert_eq!(ServerId::all(2).last(), Some(ServerId::new(1)));
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(PageId::new(0).to_string(), "page0");
+        assert_eq!(ServerId::new(0).to_string(), "server0");
+    }
+}

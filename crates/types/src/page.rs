@@ -1,0 +1,157 @@
+//! Page metadata.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Bytes, PageId, SimTime};
+
+/// Whether a page is an original publication or a modified version of an
+/// earlier page.
+///
+/// The paper's publishing stream contains ~6,000 distinct originals, 2,400 of
+/// which accumulate ~24,000 modified versions over the 7-day horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageKind {
+    /// A first publication of new content.
+    Original,
+    /// A re-publication (update) of an earlier page.
+    Modified {
+        /// The original page this version derives from.
+        origin: PageId,
+        /// 1-based version number among the origin's modifications.
+        version: u32,
+    },
+}
+
+impl PageKind {
+    /// `true` for original publications.
+    #[inline]
+    pub const fn is_original(self) -> bool {
+        matches!(self, PageKind::Original)
+    }
+
+    /// The original page this version derives from, or `None` for originals.
+    #[inline]
+    pub const fn origin(self) -> Option<PageId> {
+        match self {
+            PageKind::Original => None,
+            PageKind::Modified { origin, .. } => Some(origin),
+        }
+    }
+}
+
+/// Immutable metadata of one published page (content object).
+///
+/// # Examples
+///
+/// ```
+/// use pscd_types::{Bytes, PageId, PageKind, PageMeta, SimTime};
+/// let page = PageMeta::new(
+///     PageId::new(0),
+///     Bytes::new(12_000),
+///     SimTime::from_hours(5),
+///     PageKind::Original,
+/// );
+/// assert_eq!(page.age_at(SimTime::from_hours(7)), SimTime::from_hours(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageMeta {
+    id: PageId,
+    size: Bytes,
+    publish_time: SimTime,
+    kind: PageKind,
+}
+
+impl PageMeta {
+    /// Creates page metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero: zero-sized pages break the `c(p)/s(p)` value
+    /// functions and cannot occur in the workload model.
+    pub fn new(id: PageId, size: Bytes, publish_time: SimTime, kind: PageKind) -> Self {
+        assert!(!size.is_zero(), "page size must be positive");
+        Self {
+            id,
+            size,
+            publish_time,
+            kind,
+        }
+    }
+
+    /// The page identifier.
+    #[inline]
+    pub const fn id(&self) -> PageId {
+        self.id
+    }
+
+    /// The page size in bytes, `s(p)` in the paper's value functions.
+    #[inline]
+    pub const fn size(&self) -> Bytes {
+        self.size
+    }
+
+    /// The instant this page (version) was published.
+    #[inline]
+    pub const fn publish_time(&self) -> SimTime {
+        self.publish_time
+    }
+
+    /// Original/modified lineage of the page.
+    #[inline]
+    pub const fn kind(&self) -> PageKind {
+        self.kind
+    }
+
+    /// Page age at instant `now`, saturating at zero before publication.
+    #[inline]
+    pub fn age_at(&self, now: SimTime) -> SimTime {
+        now.saturating_since(self.publish_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(kind: PageKind) -> PageMeta {
+        PageMeta::new(PageId::new(1), Bytes::new(10), SimTime::from_hours(1), kind)
+    }
+
+    #[test]
+    fn accessors() {
+        let p = page(PageKind::Original);
+        assert_eq!(p.id(), PageId::new(1));
+        assert_eq!(p.size(), Bytes::new(10));
+        assert_eq!(p.publish_time(), SimTime::from_hours(1));
+        assert!(p.kind().is_original());
+        assert_eq!(p.kind().origin(), None);
+    }
+
+    #[test]
+    fn modified_lineage() {
+        let p = page(PageKind::Modified {
+            origin: PageId::new(0),
+            version: 3,
+        });
+        assert!(!p.kind().is_original());
+        assert_eq!(p.kind().origin(), Some(PageId::new(0)));
+    }
+
+    #[test]
+    fn age_saturates_before_publish() {
+        let p = page(PageKind::Original);
+        assert_eq!(p.age_at(SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(p.age_at(SimTime::from_hours(3)), SimTime::from_hours(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "page size must be positive")]
+    fn zero_size_rejected() {
+        let _ = PageMeta::new(
+            PageId::new(0),
+            Bytes::ZERO,
+            SimTime::ZERO,
+            PageKind::Original,
+        );
+    }
+}

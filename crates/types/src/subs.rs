@@ -1,0 +1,183 @@
+//! Static subscription information.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{PageId, ServerId};
+
+/// Per-(page, server) subscription counts — the static matching information
+/// consumed by push-time placement strategies.
+///
+/// The paper (§4.3) observes that, with static subscriptions, the only
+/// subscription information the strategies need is *the number of
+/// subscriptions matching every page at every server* (`f_S(p)` in eq. 2,
+/// `s` in eqs. 3–5). This table stores exactly that, in a compact
+/// page-indexed CSR-like layout.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_types::{PageId, ServerId, SubscriptionTableBuilder};
+/// let mut b = SubscriptionTableBuilder::new(2);
+/// b.add(PageId::new(0), ServerId::new(1), 3);
+/// b.add(PageId::new(0), ServerId::new(1), 2); // accumulates
+/// let table = b.build();
+/// assert_eq!(table.count(PageId::new(0), ServerId::new(1)), 5);
+/// assert_eq!(table.count(PageId::new(1), ServerId::new(0)), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct SubscriptionTable {
+    /// `rows[page] = sorted [(server, count)]` with only non-zero counts.
+    rows: Vec<Vec<(ServerId, u32)>>,
+}
+
+impl SubscriptionTable {
+    /// An empty table covering `page_count` pages with zero subscriptions.
+    pub fn empty(page_count: usize) -> Self {
+        Self {
+            rows: vec![Vec::new(); page_count],
+        }
+    }
+
+    /// Number of pages covered by the table.
+    #[inline]
+    pub fn page_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The number of subscriptions at `server` matching `page` (0 if the
+    /// page is outside the table).
+    pub fn count(&self, page: PageId, server: ServerId) -> u32 {
+        self.rows
+            .get(page.as_usize())
+            .and_then(|row| {
+                row.binary_search_by_key(&server, |&(s, _)| s)
+                    .ok()
+                    .map(|i| row[i].1)
+            })
+            .unwrap_or(0)
+    }
+
+    /// The servers with at least one subscription matching `page`, with
+    /// their counts, sorted by server id. Empty for pages outside the table.
+    pub fn matched_servers(&self, page: PageId) -> &[(ServerId, u32)] {
+        self.rows
+            .get(page.as_usize())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Total number of subscriptions matching `page` across all servers.
+    pub fn total_count(&self, page: PageId) -> u64 {
+        self.matched_servers(page)
+            .iter()
+            .map(|&(_, c)| c as u64)
+            .sum()
+    }
+
+    /// Iterates over `(page, server, count)` for every non-zero entry.
+    pub fn iter(&self) -> impl Iterator<Item = (PageId, ServerId, u32)> + '_ {
+        self.rows.iter().enumerate().flat_map(|(p, row)| {
+            row.iter()
+                .map(move |&(s, c)| (PageId::new(p as u32), s, c))
+        })
+    }
+}
+
+/// Incremental builder for a [`SubscriptionTable`].
+#[derive(Debug, Clone, Default)]
+pub struct SubscriptionTableBuilder {
+    rows: Vec<Vec<(ServerId, u32)>>,
+}
+
+impl SubscriptionTableBuilder {
+    /// Creates a builder covering `page_count` pages.
+    pub fn new(page_count: usize) -> Self {
+        Self {
+            rows: vec![Vec::new(); page_count],
+        }
+    }
+
+    /// Adds `count` subscriptions at `server` matching `page`, accumulating
+    /// with any previous additions. Zero counts are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is outside the page count given to
+    /// [`SubscriptionTableBuilder::new`].
+    pub fn add(&mut self, page: PageId, server: ServerId, count: u32) -> &mut Self {
+        if count == 0 {
+            return self;
+        }
+        let row = &mut self.rows[page.as_usize()];
+        match row.binary_search_by_key(&server, |&(s, _)| s) {
+            Ok(i) => row[i].1 += count,
+            Err(i) => row.insert(i, (server, count)),
+        }
+        self
+    }
+
+    /// Finalizes the table.
+    pub fn build(self) -> SubscriptionTable {
+        SubscriptionTable { rows: self.rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_table_is_all_zero() {
+        let t = SubscriptionTable::empty(3);
+        assert_eq!(t.page_count(), 3);
+        assert_eq!(t.count(PageId::new(0), ServerId::new(0)), 0);
+        assert!(t.matched_servers(PageId::new(2)).is_empty());
+        assert_eq!(t.total_count(PageId::new(1)), 0);
+    }
+
+    #[test]
+    fn out_of_range_page_reads_as_zero() {
+        let t = SubscriptionTable::empty(1);
+        assert_eq!(t.count(PageId::new(9), ServerId::new(0)), 0);
+        assert!(t.matched_servers(PageId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn builder_accumulates_and_sorts() {
+        let mut b = SubscriptionTableBuilder::new(2);
+        b.add(PageId::new(1), ServerId::new(5), 2)
+            .add(PageId::new(1), ServerId::new(1), 7)
+            .add(PageId::new(1), ServerId::new(5), 3)
+            .add(PageId::new(1), ServerId::new(3), 0); // ignored
+        let t = b.build();
+        assert_eq!(
+            t.matched_servers(PageId::new(1)),
+            &[(ServerId::new(1), 7), (ServerId::new(5), 5)]
+        );
+        assert_eq!(t.total_count(PageId::new(1)), 12);
+        assert_eq!(t.count(PageId::new(1), ServerId::new(3)), 0);
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let mut b = SubscriptionTableBuilder::new(2);
+        b.add(PageId::new(0), ServerId::new(0), 1);
+        b.add(PageId::new(1), ServerId::new(2), 4);
+        let t = b.build();
+        let entries: Vec<_> = t.iter().collect();
+        assert_eq!(
+            entries,
+            vec![
+                (PageId::new(0), ServerId::new(0), 1),
+                (PageId::new(1), ServerId::new(2), 4),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn builder_rejects_out_of_range_page() {
+        let mut b = SubscriptionTableBuilder::new(1);
+        b.add(PageId::new(5), ServerId::new(0), 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! Simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in (or span of) simulation time, millisecond resolution.
+///
+/// The paper simulates a 7-day horizon; millisecond resolution in a `u64`
+/// keeps arithmetic exact and totally ordered, which the discrete-event
+/// simulator relies on.
+///
+/// `SimTime` doubles as a duration (the natural zero is the simulation
+/// start), mirroring how the paper treats "time" and "age" interchangeably.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_types::SimTime;
+/// let t = SimTime::from_days(1) + SimTime::from_hours(2);
+/// assert_eq!(t.hour_index(), 26);
+/// assert_eq!(t.as_hours_f64(), 26.0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Milliseconds per second.
+    pub const MILLIS_PER_SEC: u64 = 1_000;
+    /// Milliseconds per hour.
+    pub const MILLIS_PER_HOUR: u64 = 3_600_000;
+    /// Milliseconds per day.
+    pub const MILLIS_PER_DAY: u64 = 86_400_000;
+
+    /// Creates a time from raw milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Self(ms)
+    }
+
+    /// Creates a time from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        Self(secs * Self::MILLIS_PER_SEC)
+    }
+
+    /// Creates a time from whole hours.
+    #[inline]
+    pub const fn from_hours(hours: u64) -> Self {
+        Self(hours * Self::MILLIS_PER_HOUR)
+    }
+
+    /// Creates a time from whole days.
+    #[inline]
+    pub const fn from_days(days: u64) -> Self {
+        Self(days * Self::MILLIS_PER_DAY)
+    }
+
+    /// Creates a time from fractional hours, rounding to the nearest
+    /// millisecond. Negative inputs saturate to [`SimTime::ZERO`].
+    #[inline]
+    pub fn from_hours_f64(hours: f64) -> Self {
+        Self(((hours * Self::MILLIS_PER_HOUR as f64).round()).max(0.0) as u64)
+    }
+
+    /// Raw milliseconds since the simulation start.
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds since the simulation start.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / Self::MILLIS_PER_SEC as f64
+    }
+
+    /// Fractional hours since the simulation start.
+    #[inline]
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / Self::MILLIS_PER_HOUR as f64
+    }
+
+    /// Fractional days since the simulation start.
+    #[inline]
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / Self::MILLIS_PER_DAY as f64
+    }
+
+    /// Index of the hour bucket containing this instant (hour 0 starts at
+    /// time zero). Used for the paper's hourly hit-ratio and traffic series.
+    #[inline]
+    pub const fn hour_index(self) -> usize {
+        (self.0 / Self::MILLIS_PER_HOUR) as usize
+    }
+
+    /// Index of the day bucket containing this instant (day 0 starts at time
+    /// zero). Used when assigning per-day server pools to pages.
+    #[inline]
+    pub const fn day_index(self) -> usize {
+        (self.0 / Self::MILLIS_PER_DAY) as usize
+    }
+
+    /// Difference `self - earlier`, saturating at zero instead of wrapping.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pscd_types::SimTime;
+    /// let a = SimTime::from_secs(5);
+    /// let b = SimTime::from_secs(9);
+    /// assert_eq!(b.saturating_since(a), SimTime::from_secs(4));
+    /// assert_eq!(a.saturating_since(b), SimTime::ZERO);
+    /// ```
+    #[inline]
+    pub const fn saturating_since(self, earlier: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the smaller of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self`; use
+    /// [`SimTime::saturating_since`] when the ordering is not guaranteed.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total_secs = self.0 / Self::MILLIS_PER_SEC;
+        let ms = self.0 % Self::MILLIS_PER_SEC;
+        let (d, rem) = (total_secs / 86_400, total_secs % 86_400);
+        let (h, rem) = (rem / 3_600, rem % 3_600);
+        let (m, s) = (rem / 60, rem % 60);
+        if ms == 0 {
+            write!(f, "{d}d{h:02}h{m:02}m{s:02}s")
+        } else {
+            write!(f, "{d}d{h:02}h{m:02}m{s:02}.{ms:03}s")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_are_consistent() {
+        assert_eq!(SimTime::from_secs(1).as_millis(), 1_000);
+        assert_eq!(SimTime::from_hours(1), SimTime::from_secs(3_600));
+        assert_eq!(SimTime::from_days(1), SimTime::from_hours(24));
+        assert_eq!(SimTime::from_hours_f64(0.5), SimTime::from_secs(1_800));
+    }
+
+    #[test]
+    fn negative_fractional_hours_saturate() {
+        assert_eq!(SimTime::from_hours_f64(-3.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn bucket_indices() {
+        assert_eq!(SimTime::ZERO.hour_index(), 0);
+        assert_eq!(SimTime::from_hours(1).hour_index(), 1);
+        assert_eq!(
+            (SimTime::from_hours(1) - SimTime::from_millis(1)).hour_index(),
+            0
+        );
+        assert_eq!(SimTime::from_days(6).day_index(), 6);
+        assert_eq!(
+            (SimTime::from_days(7) - SimTime::from_millis(1)).day_index(),
+            6
+        );
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut t = SimTime::from_secs(10);
+        t += SimTime::from_secs(5);
+        assert_eq!(t, SimTime::from_secs(15));
+        t -= SimTime::from_secs(1);
+        assert_eq!(t, SimTime::from_secs(14));
+        assert_eq!(t.min(SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(t.max(SimTime::ZERO), t);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::ZERO.to_string(), "0d00h00m00s");
+        let t = SimTime::from_days(2) + SimTime::from_hours(3) + SimTime::from_millis(42);
+        assert_eq!(t.to_string(), "2d03h00m00.042s");
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for the vocabulary types.
+
+use proptest::prelude::*;
+
+use pscd_types::{
+    Bytes, PageId, RequestEvent, RequestTrace, ServerId, SimTime, SubscriptionTableBuilder,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Time arithmetic is consistent with raw millisecond arithmetic.
+    #[test]
+    fn simtime_arithmetic(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let (ta, tb) = (SimTime::from_millis(a), SimTime::from_millis(b));
+        prop_assert_eq!((ta + tb).as_millis(), a + b);
+        prop_assert_eq!(ta.saturating_since(tb).as_millis(), a.saturating_sub(b));
+        prop_assert_eq!(ta.min(tb).as_millis(), a.min(b));
+        prop_assert_eq!(ta.max(tb).as_millis(), a.max(b));
+        prop_assert_eq!(ta.hour_index(), (a / 3_600_000) as usize);
+        prop_assert_eq!(ta.day_index(), (a / 86_400_000) as usize);
+    }
+
+    /// Fractional-hour conversion round-trips within a millisecond
+    /// (plus f64 representation error at large magnitudes).
+    #[test]
+    fn simtime_hours_roundtrip(h in 0.0f64..10_000.0) {
+        let t = SimTime::from_hours_f64(h);
+        let err_ms = (t.as_hours_f64() - h).abs() * 3_600_000.0;
+        let tolerance = 0.5 + h * 3_600_000.0 * 1e-12 + 1e-9;
+        prop_assert!(err_ms <= tolerance, "err {err_ms} > tol {tolerance}");
+    }
+
+    /// Byte arithmetic is consistent with raw u64 arithmetic.
+    #[test]
+    fn bytes_arithmetic(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let (ba, bb) = (Bytes::new(a), Bytes::new(b));
+        prop_assert_eq!((ba + bb).as_u64(), a + b);
+        prop_assert_eq!(ba.saturating_sub(bb).as_u64(), a.saturating_sub(b));
+        prop_assert_eq!([ba, bb].iter().sum::<Bytes>().as_u64(), a + b);
+    }
+
+    /// Scaling is monotone in the fraction and never exceeds the input
+    /// for fractions <= 1.
+    #[test]
+    fn bytes_scaling_monotone(n in 0u64..1_000_000_000, f1 in 0.0f64..1.0, f2 in 0.0f64..1.0) {
+        let b = Bytes::new(n);
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        prop_assert!(b.scaled(lo) <= b.scaled(hi));
+        // Rounding can add at most half a byte.
+        prop_assert!(b.scaled(hi).as_u64() <= n + 1);
+    }
+
+    /// `from_unsorted` sorts stably and preserves the multiset of events.
+    #[test]
+    fn trace_sorting(events in proptest::collection::vec(
+        (0u64..1_000, 0u16..8, 0u32..50), 0..200,
+    )) {
+        let evs: Vec<RequestEvent> = events
+            .iter()
+            .map(|&(t, s, p)| RequestEvent::new(
+                SimTime::from_millis(t),
+                ServerId::new(s),
+                PageId::new(p),
+            ))
+            .collect();
+        let trace = RequestTrace::from_unsorted(evs.clone());
+        prop_assert_eq!(trace.len(), evs.len());
+        // Sorted.
+        let times: Vec<_> = trace.iter().map(|e| e.time).collect();
+        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        // Same multiset.
+        let mut a: Vec<_> = evs.iter().map(|e| (e.time, e.server, e.page)).collect();
+        let mut b: Vec<_> = trace.iter().map(|e| (e.time, e.server, e.page)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        // Sorted traces re-validate.
+        prop_assert!(RequestTrace::new(trace.events().to_vec()).is_ok());
+    }
+
+    /// The subscription-table builder accumulates exactly like a map.
+    #[test]
+    fn subscription_builder_accumulates(adds in proptest::collection::vec(
+        (0u32..10, 0u16..5, 0u32..50), 0..100,
+    )) {
+        let mut builder = SubscriptionTableBuilder::new(10);
+        let mut reference: std::collections::HashMap<(u32, u16), u64> =
+            std::collections::HashMap::new();
+        for &(p, s, c) in &adds {
+            builder.add(PageId::new(p), ServerId::new(s), c);
+            if c > 0 {
+                *reference.entry((p, s)).or_default() += c as u64;
+            }
+        }
+        let table = builder.build();
+        for p in 0..10u32 {
+            for s in 0..5u16 {
+                let expected = reference.get(&(p, s)).copied().unwrap_or(0);
+                prop_assert_eq!(
+                    table.count(PageId::new(p), ServerId::new(s)) as u64,
+                    expected
+                );
+            }
+        }
+        // matched_servers is sorted and strictly positive.
+        for p in 0..10u32 {
+            let row = table.matched_servers(PageId::new(p));
+            prop_assert!(row.windows(2).all(|w| w[0].0 < w[1].0));
+            prop_assert!(row.iter().all(|&(_, c)| c > 0));
+        }
+        // Total equals the sum of all adds.
+        let total: u64 = table.iter().map(|(_, _, c)| c as u64).sum();
+        prop_assert_eq!(total, reference.values().sum::<u64>());
+    }
+
+    /// Unique-bytes accounting matches a set-based reference.
+    #[test]
+    fn unique_bytes_reference(events in proptest::collection::vec(
+        (0u64..500, 0u16..4, 0u32..20), 0..150,
+    )) {
+        use pscd_types::{PageKind, PageMeta};
+        let pages: Vec<PageMeta> = (0..20u32)
+            .map(|i| PageMeta::new(
+                PageId::new(i),
+                Bytes::new(10 + i as u64),
+                SimTime::ZERO,
+                PageKind::Original,
+            ))
+            .collect();
+        let evs: Vec<RequestEvent> = events
+            .iter()
+            .map(|&(t, s, p)| RequestEvent::new(
+                SimTime::from_millis(t),
+                ServerId::new(s),
+                PageId::new(p),
+            ))
+            .collect();
+        let trace = RequestTrace::from_unsorted(evs.clone());
+        let got = trace.unique_bytes_per_server(&pages, 4);
+        for s in 0..4u16 {
+            let mut seen = std::collections::HashSet::new();
+            let mut expect = 0u64;
+            for e in &evs {
+                if e.server.index() == s && seen.insert(e.page) {
+                    expect += pages[e.page.as_usize()].size().as_u64();
+                }
+            }
+            prop_assert_eq!(got[s as usize].as_u64(), expect);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Synthetic page-content descriptors for the content-based matcher.
+//!
+//! The paper's workload only models subscription *counts* (§4.3), but the
+//! `pscd-matching` crate ships a full content-based engine. This module
+//! bridges the two for examples and integration tests: it deterministically
+//! assigns each page a news-like attribute map (category, tags, length) so
+//! real subscriptions can be matched against the synthetic stream.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use pscd_matching::{Content, Value};
+use pscd_types::{PageId, PageKind, PageMeta};
+
+/// News categories used by the synthetic content model.
+pub const CATEGORIES: [&str; 10] = [
+    "politics",
+    "business",
+    "technology",
+    "sports",
+    "health",
+    "science",
+    "entertainment",
+    "world",
+    "local",
+    "weather",
+];
+
+/// Tag vocabulary used by the synthetic content model.
+pub const TAGS: [&str; 20] = [
+    "breaking", "election", "markets", "startup", "ai", "tennis", "football", "medicine",
+    "space", "climate", "movies", "music", "europe", "asia", "americas", "crime", "courts",
+    "storm", "economy", "research",
+];
+
+/// Deterministic page → attribute-map assignment.
+///
+/// A page's content depends only on the model seed and the page's *origin*
+/// (modified versions keep their original's category and tags — they are
+/// updates of the same article), which is what makes subscription counts
+/// stable across versions.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_matching::Value;
+/// use pscd_types::{Bytes, PageId, PageKind, PageMeta, SimTime};
+/// use pscd_workload::ContentModel;
+///
+/// let model = ContentModel::new(7);
+/// let page = PageMeta::new(PageId::new(3), Bytes::new(4096), SimTime::ZERO, PageKind::Original);
+/// let c = model.content_for(&page);
+/// assert!(c.get("category").is_some());
+/// assert_eq!(c.get("bytes"), Some(&Value::int(4096)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContentModel {
+    seed: u64,
+}
+
+impl ContentModel {
+    /// Creates a content model with the given seed.
+    pub const fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The attribute map for one page.
+    pub fn content_for(&self, page: &PageMeta) -> Content {
+        let origin = match page.kind() {
+            PageKind::Original => page.id(),
+            PageKind::Modified { origin, .. } => origin,
+        };
+        let mut rng = self.article_rng(origin);
+        let category = CATEGORIES[rng.random_range(0..CATEGORIES.len())];
+        let tag_count = rng.random_range(1..=4usize);
+        let mut tags: Vec<&str> = Vec::with_capacity(tag_count);
+        for _ in 0..tag_count {
+            let t = TAGS[rng.random_range(0..TAGS.len())];
+            if !tags.contains(&t) {
+                tags.push(t);
+            }
+        }
+        let version = match page.kind() {
+            PageKind::Original => 0,
+            PageKind::Modified { version, .. } => version as i64,
+        };
+        Content::new()
+            .with("category", Value::str(category))
+            .with("tags", Value::tags(tags))
+            .with("bytes", Value::int(page.size().as_u64() as i64))
+            .with("version", Value::int(version))
+    }
+
+    /// The category assigned to the article behind `origin`.
+    pub fn category_of(&self, origin: PageId) -> &'static str {
+        let mut rng = self.article_rng(origin);
+        CATEGORIES[rng.random_range(0..CATEGORIES.len())]
+    }
+
+    fn article_rng(&self, origin: PageId) -> StdRng {
+        StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x2545_f491_4f6c_dd1d)
+                .wrapping_add(origin.index() as u64),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscd_types::{Bytes, SimTime};
+
+    fn page(id: u32, kind: PageKind) -> PageMeta {
+        PageMeta::new(PageId::new(id), Bytes::new(1000), SimTime::ZERO, kind)
+    }
+
+    #[test]
+    fn deterministic_per_page() {
+        let m = ContentModel::new(1);
+        let p = page(5, PageKind::Original);
+        assert_eq!(m.content_for(&p), m.content_for(&p));
+    }
+
+    #[test]
+    fn versions_share_article_attributes() {
+        let m = ContentModel::new(2);
+        let original = page(3, PageKind::Original);
+        let update = page(
+            9,
+            PageKind::Modified {
+                origin: PageId::new(3),
+                version: 2,
+            },
+        );
+        let a = m.content_for(&original);
+        let b = m.content_for(&update);
+        assert_eq!(a.get("category"), b.get("category"));
+        assert_eq!(a.get("tags"), b.get("tags"));
+        assert_eq!(a.get("version"), Some(&Value::int(0)));
+        assert_eq!(b.get("version"), Some(&Value::int(2)));
+    }
+
+    #[test]
+    fn category_of_matches_content() {
+        let m = ContentModel::new(3);
+        let p = page(7, PageKind::Original);
+        let c = m.content_for(&p);
+        assert_eq!(
+            c.get("category"),
+            Some(&Value::str(m.category_of(PageId::new(7))))
+        );
+    }
+
+    #[test]
+    fn different_seeds_shuffle_categories() {
+        let a = ContentModel::new(10);
+        let b = ContentModel::new(11);
+        let differs = (0..50).any(|i| {
+            a.category_of(PageId::new(i)) != b.category_of(PageId::new(i))
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn tags_are_nonempty_and_bounded() {
+        let m = ContentModel::new(4);
+        for i in 0..30 {
+            let c = m.content_for(&page(i, PageKind::Original));
+            match c.get("tags") {
+                Some(Value::Tags(t)) => assert!(!t.is_empty() && t.len() <= 4),
+                other => panic!("expected tags, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Workload configuration errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a workload configuration is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A configuration field was outside its valid range.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+}
+
+impl WorkloadError {
+    pub(crate) const fn invalid(field: &'static str, constraint: &'static str) -> Self {
+        WorkloadError::InvalidConfig { field, constraint }
+    }
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidConfig { field, constraint } => {
+                write!(f, "invalid workload config: {field} must satisfy {constraint}")
+            }
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field() {
+        let e = WorkloadError::invalid("total_pages", ">= distinct_pages");
+        assert!(e.to_string().contains("total_pages"));
+        assert!(e.to_string().contains(">= distinct_pages"));
+    }
+}

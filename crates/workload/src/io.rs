@@ -1,0 +1,383 @@
+//! Plain-text (TSV) import/export of generated traces.
+//!
+//! The generators are deterministic, but exporting a trace lets other
+//! tools (plotting scripts, other simulators) consume exactly the same
+//! workload, and lets externally produced traces drive this simulator.
+//! The format is deliberately trivial: a tagged header line, then one
+//! tab-separated record per line.
+//!
+//! ```text
+//! #pscd-pages v1
+//! <id> <size_bytes> <publish_ms> <origin_id|-> <version>
+//!
+//! #pscd-requests v1
+//! <time_ms> <server> <page>
+//!
+//! #pscd-subscriptions v1
+//! <page> <server> <count>
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use pscd_types::{
+    Bytes, PageId, PageKind, PageMeta, RequestEvent, RequestTrace, ServerId, SimTime,
+    SubscriptionTable, SubscriptionTableBuilder,
+};
+
+/// Error produced while reading or writing trace files.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceIoError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::Parse { line, reason } => {
+                write!(f, "trace parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, reason: impl Into<String>) -> TraceIoError {
+    TraceIoError::Parse {
+        line,
+        reason: reason.into(),
+    }
+}
+
+fn expect_header<R: BufRead>(
+    reader: &mut R,
+    expected: &str,
+) -> Result<(), TraceIoError> {
+    let mut header = String::new();
+    reader.read_line(&mut header)?;
+    if header.trim_end() != expected {
+        return Err(parse_err(1, format!("expected header {expected:?}")));
+    }
+    Ok(())
+}
+
+/// Writes a page table.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_pages<W: Write>(mut writer: W, pages: &[PageMeta]) -> Result<(), TraceIoError> {
+    writeln!(writer, "#pscd-pages v1")?;
+    for p in pages {
+        let (origin, version) = match p.kind() {
+            PageKind::Original => ("-".to_owned(), 0),
+            PageKind::Modified { origin, version } => (origin.index().to_string(), version),
+        };
+        writeln!(
+            writer,
+            "{}\t{}\t{}\t{}\t{}",
+            p.id().index(),
+            p.size().as_u64(),
+            p.publish_time().as_millis(),
+            origin,
+            version
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a page table written by [`write_pages`].
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Parse`] for malformed lines (including ids out
+/// of dense order) and propagates I/O failures.
+pub fn read_pages<R: BufRead>(mut reader: R) -> Result<Vec<PageMeta>, TraceIoError> {
+    expect_header(&mut reader, "#pscd-pages v1")?;
+    let mut pages = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 2;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 5 {
+            return Err(parse_err(lineno, "expected 5 tab-separated fields"));
+        }
+        let id: u32 = fields[0]
+            .parse()
+            .map_err(|_| parse_err(lineno, "bad page id"))?;
+        if id as usize != pages.len() {
+            return Err(parse_err(lineno, "page ids must be dense and in order"));
+        }
+        let size: u64 = fields[1]
+            .parse()
+            .map_err(|_| parse_err(lineno, "bad size"))?;
+        if size == 0 {
+            return Err(parse_err(lineno, "page size must be positive"));
+        }
+        let publish: u64 = fields[2]
+            .parse()
+            .map_err(|_| parse_err(lineno, "bad publish time"))?;
+        let kind = if fields[3] == "-" {
+            PageKind::Original
+        } else {
+            let origin: u32 = fields[3]
+                .parse()
+                .map_err(|_| parse_err(lineno, "bad origin id"))?;
+            let version: u32 = fields[4]
+                .parse()
+                .map_err(|_| parse_err(lineno, "bad version"))?;
+            PageKind::Modified {
+                origin: PageId::new(origin),
+                version,
+            }
+        };
+        pages.push(PageMeta::new(
+            PageId::new(id),
+            Bytes::new(size),
+            SimTime::from_millis(publish),
+            kind,
+        ));
+    }
+    Ok(pages)
+}
+
+/// Writes a request trace.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_requests<W: Write>(
+    mut writer: W,
+    trace: &RequestTrace,
+) -> Result<(), TraceIoError> {
+    writeln!(writer, "#pscd-requests v1")?;
+    for ev in trace {
+        writeln!(
+            writer,
+            "{}\t{}\t{}",
+            ev.time.as_millis(),
+            ev.server.index(),
+            ev.page.index()
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a request trace written by [`write_requests`]. Events are sorted
+/// by time on load, so externally produced files need not be pre-sorted.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Parse`] for malformed lines and propagates I/O
+/// failures.
+pub fn read_requests<R: BufRead>(mut reader: R) -> Result<RequestTrace, TraceIoError> {
+    expect_header(&mut reader, "#pscd-requests v1")?;
+    let mut events = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 2;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 3 {
+            return Err(parse_err(lineno, "expected 3 tab-separated fields"));
+        }
+        let time: u64 = fields[0]
+            .parse()
+            .map_err(|_| parse_err(lineno, "bad time"))?;
+        let server: u16 = fields[1]
+            .parse()
+            .map_err(|_| parse_err(lineno, "bad server"))?;
+        let page: u32 = fields[2]
+            .parse()
+            .map_err(|_| parse_err(lineno, "bad page"))?;
+        events.push(RequestEvent::new(
+            SimTime::from_millis(time),
+            ServerId::new(server),
+            PageId::new(page),
+        ));
+    }
+    Ok(RequestTrace::from_unsorted(events))
+}
+
+/// Writes a subscription table.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_subscriptions<W: Write>(
+    mut writer: W,
+    table: &SubscriptionTable,
+) -> Result<(), TraceIoError> {
+    writeln!(writer, "#pscd-subscriptions v1")?;
+    for (page, server, count) in table.iter() {
+        writeln!(writer, "{}\t{}\t{}", page.index(), server.index(), count)?;
+    }
+    Ok(())
+}
+
+/// Reads a subscription table written by [`write_subscriptions`].
+/// `page_count` sizes the resulting table.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Parse`] for malformed lines or out-of-range
+/// pages, and propagates I/O failures.
+pub fn read_subscriptions<R: BufRead>(
+    mut reader: R,
+    page_count: usize,
+) -> Result<SubscriptionTable, TraceIoError> {
+    expect_header(&mut reader, "#pscd-subscriptions v1")?;
+    let mut builder = SubscriptionTableBuilder::new(page_count);
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 2;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 3 {
+            return Err(parse_err(lineno, "expected 3 tab-separated fields"));
+        }
+        let page: u32 = fields[0]
+            .parse()
+            .map_err(|_| parse_err(lineno, "bad page"))?;
+        if page as usize >= page_count {
+            return Err(parse_err(lineno, "page id out of range"));
+        }
+        let server: u16 = fields[1]
+            .parse()
+            .map_err(|_| parse_err(lineno, "bad server"))?;
+        let count: u32 = fields[2]
+            .parse()
+            .map_err(|_| parse_err(lineno, "bad count"))?;
+        builder.add(PageId::new(page), ServerId::new(server), count);
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Workload, WorkloadConfig};
+
+    fn tiny() -> Workload {
+        Workload::generate(&WorkloadConfig::news_scaled(0.002)).unwrap()
+    }
+
+    #[test]
+    fn pages_roundtrip() {
+        let w = tiny();
+        let mut buf = Vec::new();
+        write_pages(&mut buf, w.pages()).unwrap();
+        let back = read_pages(buf.as_slice()).unwrap();
+        assert_eq!(back, w.pages());
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let w = tiny();
+        let mut buf = Vec::new();
+        write_requests(&mut buf, w.requests()).unwrap();
+        let back = read_requests(buf.as_slice()).unwrap();
+        assert_eq!(&back, w.requests());
+    }
+
+    #[test]
+    fn subscriptions_roundtrip() {
+        let w = tiny();
+        let table = w.subscriptions(0.5).unwrap();
+        let mut buf = Vec::new();
+        write_subscriptions(&mut buf, &table).unwrap();
+        let back = read_subscriptions(buf.as_slice(), w.pages().len()).unwrap();
+        assert_eq!(back, table);
+    }
+
+    #[test]
+    fn unsorted_request_files_are_sorted_on_load() {
+        let input = "#pscd-requests v1\n5000\t1\t2\n1000\t0\t1\n";
+        let trace = read_requests(input.as_bytes()).unwrap();
+        assert_eq!(trace.events()[0].time, SimTime::from_millis(1000));
+        assert_eq!(trace.events()[1].time, SimTime::from_millis(5000));
+    }
+
+    #[test]
+    fn bad_headers_rejected() {
+        assert!(read_pages("#wrong v1\n".as_bytes()).is_err());
+        assert!(read_requests("".as_bytes()).is_err());
+        assert!(read_subscriptions("#pscd-pages v1\n".as_bytes(), 10).is_err());
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let input = "#pscd-requests v1\n1000\t0\t1\nnot-a-number\t0\t1\n";
+        match read_requests(input.as_bytes()) {
+            Err(TraceIoError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let input = "#pscd-requests v1\n1000\t0\n";
+        assert!(matches!(
+            read_requests(input.as_bytes()),
+            Err(TraceIoError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn page_parsing_validates() {
+        // Non-dense ids.
+        let input = "#pscd-pages v1\n1\t100\t0\t-\t0\n";
+        assert!(read_pages(input.as_bytes()).is_err());
+        // Zero size.
+        let input = "#pscd-pages v1\n0\t0\t0\t-\t0\n";
+        assert!(read_pages(input.as_bytes()).is_err());
+        // Out-of-range subscription page.
+        let input = "#pscd-subscriptions v1\n99\t0\t1\n";
+        assert!(read_subscriptions(input.as_bytes(), 10).is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let input = "#pscd-requests v1\n\n1000\t0\t1\n\n";
+        let trace = read_requests(input.as_bytes()).unwrap();
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = TraceIoError::from(std::io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = parse_err(7, "bad");
+        assert!(e.to_string().contains("line 7"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,451 @@
+//! Request-stream generation (paper §4.2).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use pscd_types::{PageMeta, RequestEvent, RequestTrace, ServerId, SimTime};
+
+use crate::{AgeDecay, WorkloadError, Zipf};
+
+/// Configuration of the request stream.
+///
+/// Defaults reproduce the paper: ~195,000 requests over 7 days spread over
+/// 100 proxy servers (a 1/1000 scale-down of MSNBC's 25M requests/day),
+/// Zipf popularity with `alpha = 1.5` (the NEWS trace; the ALTERNATIVE
+/// trace uses 1.0), age-decaying request times with one decay exponent per
+/// popularity class, per-day server pools sized by `sqrt` of relative
+/// popularity, and 60% day-over-day pool overlap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestConfig {
+    /// Number of proxy servers (paper: 100).
+    pub servers: u16,
+    /// Total requests over the horizon (paper: ~195,000).
+    pub total_requests: u64,
+    /// Zipf exponent of the popularity distribution (1.5 NEWS, 1.0 ALT).
+    pub zipf_alpha: f64,
+    /// Simulation horizon (paper: 7 days).
+    pub horizon: SimTime,
+    /// Age-decay exponents for the four popularity classes, most popular
+    /// first ("the more popular a page is, the stronger the negative
+    /// correlation between access probability and age", §4.2).
+    pub class_gammas: [f64; 4],
+    /// Fraction of a page's candidate-server pool kept from one day to the
+    /// next (paper: 0.6).
+    pub day_overlap: f64,
+    /// Exponent of the popularity→server-spread law, eq. 6 (paper: 0.5).
+    pub server_exponent: f64,
+    /// Mandelbrot plateau of the popularity distribution:
+    /// `P(rank i) ∝ 1/(shift + i)^alpha`. Zero is pure Zipf. The default is
+    /// calibrated so the trace's (page, server) pair density matches the
+    /// traffic volumes of the paper's figure 7 (see DESIGN.md).
+    pub zipf_shift: f64,
+}
+
+impl RequestConfig {
+    /// The paper's NEWS trace (α = 1.5).
+    pub fn news() -> Self {
+        Self {
+            servers: 100,
+            total_requests: 195_000,
+            zipf_alpha: 1.5,
+            horizon: SimTime::from_days(7),
+            class_gammas: [2.0, 1.4, 0.8, 0.3],
+            day_overlap: 0.6,
+            server_exponent: 0.5,
+            zipf_shift: 100.0,
+        }
+    }
+
+    /// The paper's ALTERNATIVE trace (α = 1.0).
+    pub fn alternative() -> Self {
+        Self {
+            zipf_alpha: 1.0,
+            ..Self::news()
+        }
+    }
+
+    /// Proportionally scaled-down request volume for tests/benches.
+    pub fn scaled(factor: f64) -> Self {
+        let p = Self::news();
+        Self {
+            total_requests: ((p.total_requests as f64 * factor).round() as u64).max(1),
+            ..p
+        }
+    }
+
+    fn validate(&self) -> Result<(), WorkloadError> {
+        if self.servers == 0 {
+            return Err(WorkloadError::invalid("servers", ">= 1"));
+        }
+        if self.total_requests == 0 {
+            return Err(WorkloadError::invalid("total_requests", ">= 1"));
+        }
+        if !self.zipf_alpha.is_finite() || self.zipf_alpha < 0.0 {
+            return Err(WorkloadError::invalid("zipf_alpha", "finite and >= 0"));
+        }
+        if self.horizon == SimTime::ZERO {
+            return Err(WorkloadError::invalid("horizon", "> 0"));
+        }
+        if self
+            .class_gammas
+            .iter()
+            .any(|g| !g.is_finite() || *g < 0.0)
+        {
+            return Err(WorkloadError::invalid("class_gammas", "finite and >= 0"));
+        }
+        if !(0.0..=1.0).contains(&self.day_overlap) {
+            return Err(WorkloadError::invalid("day_overlap", "in [0, 1]"));
+        }
+        if !self.server_exponent.is_finite() || self.server_exponent <= 0.0 {
+            return Err(WorkloadError::invalid("server_exponent", "> 0"));
+        }
+        if !self.zipf_shift.is_finite() || self.zipf_shift < 0.0 {
+            return Err(WorkloadError::invalid("zipf_shift", "finite and >= 0"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for RequestConfig {
+    fn default() -> Self {
+        Self::news()
+    }
+}
+
+/// The popularity class of a page: request rates drop roughly one order of
+/// magnitude from one class to the next (paper §4.2). With Zipf weights
+/// `w(r) = r^-alpha`, the class is `floor(alpha * log10(rank))`, clamped to
+/// four classes.
+pub fn popularity_class(rank: usize, alpha: f64) -> usize {
+    popularity_class_shifted(rank, alpha, 0.0)
+}
+
+/// [`popularity_class`] for a shifted (Zipf–Mandelbrot) distribution: the
+/// class boundary is where the *weight* drops by an order of magnitude
+/// relative to rank 1, `floor(alpha · log10((shift + rank)/(shift + 1)))`.
+pub fn popularity_class_shifted(rank: usize, alpha: f64, shift: f64) -> usize {
+    debug_assert!(rank >= 1);
+    ((alpha * ((shift + rank as f64) / (shift + 1.0)).log10()).floor() as usize).min(3)
+}
+
+/// Generates a request trace for the given page table (deterministic in
+/// `seed`).
+///
+/// The generator follows the paper's pipeline: (1) assign popularity ranks
+/// to pages uniformly at random; (2) multinomially draw `total_requests`
+/// page references from the Zipf distribution; (3) place each page's
+/// references in time with the age-decay law of its popularity class,
+/// starting at its publish time; (4) split references across per-day
+/// candidate-server pools sized by eq. 6 with 60% day-over-day overlap.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InvalidConfig`] for invalid configs or an empty
+/// page table.
+pub fn generate_requests(
+    pages: &[PageMeta],
+    config: &RequestConfig,
+    seed: u64,
+) -> Result<RequestTrace, WorkloadError> {
+    config.validate()?;
+    if pages.is_empty() {
+        return Err(WorkloadError::invalid("pages", "non-empty page table"));
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x517c_c1b7_2722_0a95);
+    let n = pages.len();
+
+    // (1) Random rank permutation: rank_of[page] in 1..=n.
+    let mut ranks: Vec<usize> = (1..=n).collect();
+    ranks.shuffle(&mut rng);
+    let rank_of = ranks; // rank_of[page_index] = rank
+
+    // (2) Multinomial draw of per-page request counts.
+    let zipf = Zipf::with_shift(n, config.zipf_alpha, config.zipf_shift)
+        .expect("validated zipf parameters");
+    let mut page_of_rank = vec![0usize; n + 1];
+    for (page, &rank) in rank_of.iter().enumerate() {
+        page_of_rank[rank] = page;
+    }
+    let mut counts = vec![0u64; n];
+    for _ in 0..config.total_requests {
+        counts[page_of_rank[zipf.sample(&mut rng)]] += 1;
+    }
+    let max_count = counts.iter().copied().max().unwrap_or(0).max(1);
+
+    // (3)+(4) Timing and server assignment.
+    let decays: Vec<AgeDecay> = config
+        .class_gammas
+        .iter()
+        .map(|&g| AgeDecay::new(g).expect("validated gammas"))
+        .collect();
+    let horizon_h = config.horizon.as_hours_f64();
+    let total_days = (config.horizon.as_days_f64().ceil() as usize).max(1);
+    let mut events: Vec<RequestEvent> = Vec::with_capacity(config.total_requests as usize);
+
+    for (page_idx, &count) in counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let page = &pages[page_idx];
+        let class =
+            popularity_class_shifted(rank_of[page_idx], config.zipf_alpha, config.zipf_shift);
+        let publish_h = page.publish_time().as_hours_f64();
+        let span_h = (horizon_h - publish_h).max(0.0);
+
+        // Request instants.
+        let mut times: Vec<SimTime> = (0..count)
+            .map(|_| {
+                let age = decays[class].sample_age_hours(&mut rng, span_h);
+                SimTime::from_hours_f64(publish_h + age).min(
+                    config.horizon.saturating_since(SimTime::from_millis(1)),
+                )
+            })
+            .collect();
+        times.sort_unstable();
+
+        // Per-day server pools (eq. 6 + 60% overlap).
+        let rel = count as f64 / max_count as f64;
+        let pool_size = ((config.servers as f64 * rel.powf(config.server_exponent)).ceil()
+            as usize)
+            .clamp(1, config.servers as usize);
+        let mut pool = sample_distinct(&mut rng, config.servers as usize, pool_size);
+        let mut pool_day = times.first().map(|t| t.day_index()).unwrap_or(0);
+        let mut pools: Vec<Option<Vec<u16>>> = vec![None; total_days];
+        pools[pool_day.min(total_days - 1)] = Some(pool.clone());
+
+        for &t in &times {
+            let day = t.day_index().min(total_days - 1);
+            if day != pool_day {
+                // Roll the pool forward day by day, applying the overlap.
+                for d in (pool_day + 1)..=day {
+                    pool = roll_pool(&mut rng, &pool, config.servers as usize, config.day_overlap);
+                    pools[d] = Some(pool.clone());
+                }
+                pool_day = day;
+            }
+            let server = pool[rng.random_range(0..pool.len())];
+            events.push(RequestEvent::new(t, ServerId::new(server), page.id()));
+        }
+    }
+
+    Ok(RequestTrace::from_unsorted(events))
+}
+
+/// Draws `k` distinct values from `0..n`.
+fn sample_distinct(rng: &mut StdRng, n: usize, k: usize) -> Vec<u16> {
+    debug_assert!(k <= n);
+    let mut all: Vec<u16> = (0..n as u16).collect();
+    let _ = all.partial_shuffle(rng, k);
+    all.truncate(k);
+    all
+}
+
+/// Keeps `overlap` of the pool and replaces the rest with servers outside
+/// the current pool (when available).
+fn roll_pool(rng: &mut StdRng, pool: &[u16], n: usize, overlap: f64) -> Vec<u16> {
+    let keep = ((pool.len() as f64 * overlap).round() as usize).min(pool.len());
+    let mut kept: Vec<u16> = pool.to_vec();
+    let _ = kept.partial_shuffle(rng, keep);
+    kept.truncate(keep);
+    let need = pool.len() - keep;
+    if need > 0 {
+        let mut outside: Vec<u16> = (0..n as u16).filter(|s| !pool.contains(s)).collect();
+        if outside.len() >= need {
+            let _ = outside.partial_shuffle(rng, need);
+            outside.truncate(need);
+            kept.extend(outside);
+        } else {
+            // Not enough outsiders (pool ~ whole population): refill from
+            // anywhere while keeping entries distinct.
+            kept.extend(outside);
+            let mut rest: Vec<u16> = (0..n as u16).filter(|s| !kept.contains(s)).collect();
+            let take = (pool.len() - kept.len()).min(rest.len());
+            let _ = rest.partial_shuffle(rng, take);
+            kept.extend(rest.into_iter().take(take));
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_publishing, PublishingConfig};
+
+    fn pages() -> Vec<PageMeta> {
+        let cfg = PublishingConfig {
+            distinct_pages: 200,
+            updated_pages: 80,
+            total_pages: 600,
+            ..PublishingConfig::paper()
+        };
+        generate_publishing(&cfg, 11).unwrap().pages
+    }
+
+    fn small_config() -> RequestConfig {
+        RequestConfig {
+            servers: 20,
+            total_requests: 5_000,
+            ..RequestConfig::news()
+        }
+    }
+
+    #[test]
+    fn exact_request_count_sorted_and_valid() {
+        let pages = pages();
+        let trace = generate_requests(&pages, &small_config(), 1).unwrap();
+        assert_eq!(trace.len(), 5_000);
+        assert!(trace.validate(pages.len(), 20).is_ok());
+        let times: Vec<_> = trace.iter().map(|e| e.time).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn requests_start_after_publication() {
+        let pages = pages();
+        let cfg = small_config();
+        let trace = generate_requests(&pages, &cfg, 2).unwrap();
+        for ev in &trace {
+            let page = &pages[ev.page.as_usize()];
+            assert!(ev.time >= page.publish_time());
+            assert!(ev.time < cfg.horizon);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let pages = pages();
+        let a = generate_requests(&pages, &small_config(), 3).unwrap();
+        let b = generate_requests(&pages, &small_config(), 3).unwrap();
+        let c = generate_requests(&pages, &small_config(), 4).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn popularity_is_zipf_skewed() {
+        let pages = pages();
+        let trace = generate_requests(&pages, &small_config(), 5).unwrap();
+        let mut counts = vec![0u64; pages.len()];
+        for ev in &trace {
+            counts[ev.page.as_usize()] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        // Head pages well above the tail (Zipf-Mandelbrot body/tail skew).
+        let head_mean: f64 =
+            counts[..20].iter().map(|&c| c as f64).sum::<f64>() / 20.0;
+        let tail_mean: f64 = counts[counts.len() / 2..]
+            .iter()
+            .map(|&c| c as f64)
+            .sum::<f64>()
+            / (counts.len() - counts.len() / 2) as f64;
+        assert!(
+            head_mean > 5.0 * tail_mean.max(0.05),
+            "head mean {head_mean} vs tail mean {tail_mean}"
+        );
+    }
+
+    #[test]
+    fn popular_pages_touch_more_servers() {
+        let pages = pages();
+        let trace = generate_requests(&pages, &small_config(), 6).unwrap();
+        use std::collections::{HashMap, HashSet};
+        let mut counts: HashMap<u32, u64> = HashMap::new();
+        let mut servers: HashMap<u32, HashSet<u16>> = HashMap::new();
+        for ev in &trace {
+            *counts.entry(ev.page.index()).or_default() += 1;
+            servers
+                .entry(ev.page.index())
+                .or_default()
+                .insert(ev.server.index());
+        }
+        let top = counts.iter().max_by_key(|&(_, c)| *c).map(|(p, _)| *p).unwrap();
+        let singles: Vec<u32> = counts
+            .iter()
+            .filter(|&(_, c)| *c <= 2)
+            .map(|(p, _)| *p)
+            .collect();
+        let avg_single: f64 = singles
+            .iter()
+            .map(|p| servers[p].len() as f64)
+            .sum::<f64>()
+            / singles.len().max(1) as f64;
+        assert!(servers[&top].len() as f64 > avg_single);
+    }
+
+    #[test]
+    fn popularity_class_thresholds() {
+        // alpha=1.5: class 0 while 1.5*log10(r) < 1 -> r <= 4.
+        assert_eq!(popularity_class(1, 1.5), 0);
+        assert_eq!(popularity_class(4, 1.5), 0);
+        assert_eq!(popularity_class(5, 1.5), 1);
+        assert_eq!(popularity_class(10_000, 1.5), 3);
+        // alpha=1.0: decade boundaries.
+        assert_eq!(popularity_class(9, 1.0), 0);
+        assert_eq!(popularity_class(10, 1.0), 1);
+        assert_eq!(popularity_class(100, 1.0), 2);
+        assert_eq!(popularity_class(1_000, 1.0), 3);
+        assert_eq!(popularity_class(100_000, 1.0), 3);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let pages = pages();
+        let mut c = small_config();
+        c.servers = 0;
+        assert!(generate_requests(&pages, &c, 0).is_err());
+        let mut c = small_config();
+        c.total_requests = 0;
+        assert!(generate_requests(&pages, &c, 0).is_err());
+        let mut c = small_config();
+        c.zipf_alpha = -0.5;
+        assert!(generate_requests(&pages, &c, 0).is_err());
+        let mut c = small_config();
+        c.day_overlap = 1.5;
+        assert!(generate_requests(&pages, &c, 0).is_err());
+        let mut c = small_config();
+        c.class_gammas[2] = f64::NAN;
+        assert!(generate_requests(&pages, &c, 0).is_err());
+        let mut c = small_config();
+        c.server_exponent = 0.0;
+        assert!(generate_requests(&pages, &c, 0).is_err());
+        assert!(generate_requests(&[], &small_config(), 0).is_err());
+    }
+
+    #[test]
+    fn single_server_population_works() {
+        let pages = pages();
+        let cfg = RequestConfig {
+            servers: 1,
+            total_requests: 500,
+            ..RequestConfig::news()
+        };
+        let trace = generate_requests(&pages, &cfg, 7).unwrap();
+        assert!(trace.iter().all(|e| e.server == ServerId::new(0)));
+    }
+
+    #[test]
+    fn roll_pool_keeps_size_and_distinctness() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let pool = sample_distinct(&mut rng, 50, 10);
+        assert_eq!(pool.len(), 10);
+        let rolled = roll_pool(&mut rng, &pool, 50, 0.6);
+        assert_eq!(rolled.len(), 10);
+        let distinct: std::collections::HashSet<_> = rolled.iter().collect();
+        assert_eq!(distinct.len(), 10);
+        let kept = rolled.iter().filter(|s| pool.contains(s)).count();
+        assert_eq!(kept, 6);
+    }
+
+    #[test]
+    fn roll_pool_full_population_degenerates_gracefully() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let pool: Vec<u16> = (0..10).collect();
+        let rolled = roll_pool(&mut rng, &pool, 10, 0.6);
+        assert_eq!(rolled.len(), 10);
+        let distinct: std::collections::HashSet<_> = rolled.iter().collect();
+        assert_eq!(distinct.len(), 10);
+    }
+}

@@ -1,0 +1,72 @@
+//! # pscd — Content Distribution for Publish/Subscribe Services
+//!
+//! A complete Rust implementation of Chen, LaPaugh & Singh, *"Content
+//! Distribution for Publish/Subscribe Services"* (Middleware 2003):
+//! subscription-aware caching/content-delivery strategies for
+//! publish/subscribe systems, plus every substrate the paper's evaluation
+//! needs — an MSNBC-calibrated synthetic workload generator, a BRITE-style
+//! topology generator, a content-based matching engine, a
+//! publisher/proxy delivery engine, and a discrete-event simulator that
+//! regenerates all of the paper's tables and figures.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`types`] | `pscd-types` | ids, time, sizes, traces, subscription tables |
+//! | [`topology`] | `pscd-topology` | Waxman / Barabási–Albert graphs, fetch costs |
+//! | [`matching`] | `pscd-matching` | predicate subscriptions, counting index, covering |
+//! | [`workload`] | `pscd-workload` | NEWS / ALTERNATIVE synthetic traces |
+//! | [`cache`] | `pscd-cache` | cache substrate; LRU, GDS, LFU-DA, GD\* |
+//! | [`strategies`] | `pscd-core` | SUB, SG1, SG2, SR, DM, DC-FP, DC-AP, DC-LAP |
+//! | [`broker`] | `pscd-broker` | delivery engine, pushing schemes, traffic |
+//! | [`sim`] | `pscd-sim` | simulator and metrics |
+//! | [`experiments`] | `pscd-experiments` | per-table/figure reproduction drivers |
+//!
+//! The most common entry points are re-exported at the top level.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pscd::{simulate, FetchCosts, SimOptions, StrategyKind, Workload, WorkloadConfig};
+//!
+//! // 1. Generate a (scaled-down) news workload: publishing stream,
+//! //    request trace and subscription model.
+//! let workload = Workload::generate(&WorkloadConfig::news_scaled(0.01))?;
+//! let subscriptions = workload.subscriptions(1.0)?;
+//! let costs = FetchCosts::uniform(workload.server_count());
+//!
+//! // 2. Simulate the paper's best combined strategy (SG2) against the
+//! //    access-only baseline (GD*).
+//! let sg2 = simulate(&workload, &subscriptions, &costs,
+//!     &SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05))?;
+//! let gd = simulate(&workload, &subscriptions, &costs,
+//!     &SimOptions::at_capacity(StrategyKind::GdStar { beta: 2.0 }, 0.05))?;
+//!
+//! // 3. Subscription-aware pushing raises the local hit ratio.
+//! assert!(sg2.hit_ratio() > gd.hit_ratio());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pscd_broker as broker;
+pub use pscd_cache as cache;
+pub use pscd_core as strategies;
+pub use pscd_experiments as experiments;
+pub use pscd_matching as matching;
+pub use pscd_sim as sim;
+pub use pscd_topology as topology;
+pub use pscd_types as types;
+pub use pscd_workload as workload;
+
+pub use pscd_broker::{DeliveryEngine, PushScheme, Traffic};
+pub use pscd_cache::{CachePolicy, GdStar, PageRef};
+pub use pscd_core::{Strategy, StrategyKind};
+pub use pscd_experiments::ExperimentContext;
+pub use pscd_matching::{Content, Matcher, Predicate, Subscription, SubscriptionIndex, Value};
+pub use pscd_sim::{simulate, CrashPlan, SimOptions, SimResult};
+pub use pscd_topology::{FetchCosts, GraphModel, TopologyBuilder};
+pub use pscd_types::{Bytes, PageId, PageMeta, ServerId, SimTime, SubscriptionTable};
+pub use pscd_workload::{Workload, WorkloadConfig};

@@ -1,0 +1,186 @@
+//! Property-based tests over the cross-crate invariants.
+
+use proptest::prelude::*;
+
+use pscd::cache::{CachePolicy, CacheStore, Gds, GdStar, LfuDa, Lru};
+use pscd::{Bytes, PageId, PageRef, StrategyKind};
+
+/// A scripted cache operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Push { page: u32, subs: u32 },
+    Access { page: u32, subs: u32 },
+    Invalidate { page: u32 },
+}
+
+fn op_strategy(pages: u32) -> impl proptest::strategy::Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..pages, 0u32..20).prop_map(|(page, subs)| Op::Push { page, subs }),
+        4 => (0..pages, 0u32..20).prop_map(|(page, subs)| Op::Access { page, subs }),
+        1 => (0..pages).prop_map(|page| Op::Invalidate { page }),
+    ]
+}
+
+/// Deterministic page size/cost derived from the id, so every operation
+/// honors the "stable PageRef" contract.
+fn page_ref(page: u32) -> PageRef {
+    let size = 16 + (page as u64 * 37) % 240;
+    let cost = 1.0 + (page % 5) as f64;
+    PageRef::new(PageId::new(page), Bytes::new(size), cost)
+}
+
+fn all_kinds() -> Vec<StrategyKind> {
+    vec![
+        StrategyKind::Lru,
+        StrategyKind::Gds,
+        StrategyKind::LfuDa,
+        StrategyKind::GdStar { beta: 2.0 },
+        StrategyKind::Sub,
+        StrategyKind::Sg1 { beta: 2.0 },
+        StrategyKind::Sg2 { beta: 0.5 },
+        StrategyKind::Sr,
+        StrategyKind::Dm { beta: 1.0 },
+        StrategyKind::dc_fp(2.0),
+        StrategyKind::DcAp { beta: 2.0 },
+        StrategyKind::dc_lap(2.0),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No strategy ever exceeds its capacity or loses byte accounting,
+    /// under arbitrary interleavings of pushes and accesses.
+    #[test]
+    fn strategies_never_exceed_capacity(
+        ops in proptest::collection::vec(op_strategy(40), 1..400),
+        capacity in 64u64..2048,
+    ) {
+        for kind in all_kinds() {
+            let mut s = kind.build(Bytes::new(capacity));
+            for op in &ops {
+                match *op {
+                    Op::Push { page, subs } => {
+                        let _ = s.on_push(&page_ref(page), subs);
+                    }
+                    Op::Access { page, subs } => {
+                        let _ = s.on_access(&page_ref(page), subs);
+                    }
+                    Op::Invalidate { page } => {
+                        let was = s.contains(PageId::new(page));
+                        let dropped = s.invalidate(PageId::new(page));
+                        prop_assert_eq!(was, dropped, "{}", s.name());
+                        prop_assert!(!s.contains(PageId::new(page)), "{}", s.name());
+                    }
+                }
+                prop_assert!(
+                    s.used() <= s.capacity(),
+                    "{}: used {} > capacity {}",
+                    s.name(), s.used(), s.capacity()
+                );
+            }
+        }
+    }
+
+    /// `would_store` is a faithful predictor of `on_push` for every
+    /// push-capable strategy (the Pushing-When-Necessary contract).
+    #[test]
+    fn would_store_predicts_on_push(
+        ops in proptest::collection::vec(op_strategy(30), 1..200),
+        capacity in 64u64..1024,
+    ) {
+        for kind in all_kinds() {
+            let mut s = kind.build(Bytes::new(capacity));
+            if !s.uses_push() {
+                continue;
+            }
+            for op in &ops {
+                match *op {
+                    Op::Push { page, subs } => {
+                        let predicted = s.would_store(&page_ref(page), subs);
+                        let stored = s.on_push(&page_ref(page), subs).is_stored();
+                        prop_assert_eq!(
+                            predicted, stored,
+                            "{}: would_store lied for page {}", s.name(), page
+                        );
+                    }
+                    Op::Access { page, subs } => {
+                        let _ = s.on_access(&page_ref(page), subs);
+                    }
+                    Op::Invalidate { page } => {
+                        let _ = s.invalidate(PageId::new(page));
+                    }
+                }
+            }
+        }
+    }
+
+    /// A hit is reported exactly when the page was cached beforehand.
+    #[test]
+    fn hits_iff_cached(
+        ops in proptest::collection::vec(op_strategy(30), 1..200),
+        capacity in 64u64..1024,
+    ) {
+        for kind in all_kinds() {
+            let mut s = kind.build(Bytes::new(capacity));
+            for op in &ops {
+                match *op {
+                    Op::Push { page, subs } => {
+                        let outcome = s.on_push(&page_ref(page), subs);
+                        if outcome.is_stored() {
+                            prop_assert!(s.contains(PageId::new(page)), "{}", s.name());
+                        }
+                    }
+                    Op::Access { page, subs } => {
+                        let was_cached = s.contains(PageId::new(page));
+                        let outcome = s.on_access(&page_ref(page), subs);
+                        prop_assert_eq!(
+                            outcome.is_hit(), was_cached,
+                            "{}: hit does not match cache state", s.name()
+                        );
+                    }
+                    Op::Invalidate { page } => {
+                        let _ = s.invalidate(PageId::new(page));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The cache store's min-heap always pops values in non-decreasing
+    /// order, regardless of interleaved inserts/updates/removes.
+    #[test]
+    fn cache_store_pops_in_value_order(
+        inserts in proptest::collection::vec((0u32..50, 1u64..64, 0.0f64..100.0), 1..100),
+    ) {
+        let mut store = CacheStore::new(Bytes::new(1 << 20));
+        for &(page, size, value) in &inserts {
+            store.insert(PageId::new(page), Bytes::new(size), value);
+        }
+        let mut last = f64::NEG_INFINITY;
+        while let Some(p) = store.pop_min() {
+            prop_assert!(p.value >= last);
+            last = p.value;
+        }
+        prop_assert!(store.is_empty());
+        prop_assert_eq!(store.used(), Bytes::ZERO);
+    }
+
+    /// Classic policies agree on trivial workloads: a second access to the
+    /// same page is always a hit when it fits.
+    #[test]
+    fn second_access_hits(page in 0u32..1000, size in 1u64..512) {
+        let pr = PageRef::new(PageId::new(page), Bytes::new(size), 1.0);
+        let capacity = Bytes::new(1024);
+        let mut policies: Vec<Box<dyn CachePolicy>> = vec![
+            Box::new(Lru::new(capacity)),
+            Box::new(Gds::new(capacity)),
+            Box::new(LfuDa::new(capacity)),
+            Box::new(GdStar::new(capacity, 2.0)),
+        ];
+        for p in &mut policies {
+            prop_assert!(p.access(&pr).is_miss());
+            prop_assert!(p.access(&pr).is_hit(), "{}", p.name());
+        }
+    }
+}
