@@ -8,9 +8,11 @@ use rand::{RngExt, SeedableRng};
 use pscd_cache::{CachePolicy, GdStar, PageRef};
 use pscd_core::StrategyKind;
 use pscd_matching::{Content, Predicate, Subscription, SubscriptionIndex, Value};
-use pscd_topology::TopologyBuilder;
-use pscd_types::{Bytes, PageId};
-use pscd_workload::{generate_publishing, PublishingConfig, Zipf};
+use pscd_obs::{SharedObserver, StatsObserver};
+use pscd_sim::{simulate, simulate_observed, SimOptions};
+use pscd_topology::{FetchCosts, TopologyBuilder};
+use pscd_types::{Bytes, PageId, ServerId};
+use pscd_workload::{generate_publishing, PublishingConfig, Workload, WorkloadConfig, Zipf};
 
 fn page_ref(i: u32) -> PageRef {
     PageRef::new(
@@ -58,6 +60,65 @@ fn cache_benches(c: &mut Criterion) {
     group.finish();
 }
 
+/// Observer overhead: the same work with the zero-cost [`NullObserver`]
+/// default (fire sites compiled out via `O::ENABLED`), with an attached
+/// [`StatsObserver`], and end-to-end through the simulation loop. The
+/// `*_null` numbers must stay within noise (<2%) of the plain ones.
+fn observer_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observer");
+    let zipf = Zipf::new(1_000, 1.0).expect("valid zipf");
+    let mut rng = StdRng::seed_from_u64(1);
+    let accesses: Vec<u32> = (0..10_000).map(|_| zipf.sample(&mut rng) as u32).collect();
+    let run_mixed = |s: &mut Box<dyn pscd_core::Strategy>| {
+        for (k, &i) in accesses.iter().enumerate() {
+            if k % 3 == 0 {
+                let _ = s.on_push(&page_ref(i), (i % 13) + 1);
+            } else {
+                let _ = s.on_access(&page_ref(i), (i % 13) + 1);
+            }
+        }
+        s.len()
+    };
+    group.bench_function("dclap_10k_mixed_null", |b| {
+        b.iter_batched(
+            || StrategyKind::dc_lap(2.0).build(Bytes::from_kib(256)),
+            |mut s| run_mixed(&mut s),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("dclap_10k_mixed_stats", |b| {
+        b.iter_batched(
+            || {
+                let obs = SharedObserver::new(StatsObserver::new());
+                let s = StrategyKind::dc_lap(2.0)
+                    .build_observed(Bytes::from_kib(256), obs.handle(ServerId::new(0)));
+                (s, obs)
+            },
+            |(mut s, _obs)| run_mixed(&mut s),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // End-to-end simulation loop, tiny trace.
+    group.sample_size(20);
+    let w = Workload::generate(&WorkloadConfig::news_scaled(0.004)).expect("generates");
+    let subs = w.subscriptions(1.0).expect("valid quality");
+    let costs = FetchCosts::uniform(w.server_count());
+    let options = SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05);
+    group.bench_function("sim_loop_null", |b| {
+        b.iter(|| simulate(&w, &subs, &costs, &options).expect("runs").hits)
+    });
+    group.bench_function("sim_loop_stats", |b| {
+        b.iter(|| {
+            let obs = SharedObserver::new(StatsObserver::new());
+            simulate_observed(&w, &subs, &costs, &options, obs)
+                .expect("runs")
+                .hits
+        })
+    });
+    group.finish();
+}
+
 fn matching_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("matching");
     // 10k subscriptions over 20 categories + range predicates.
@@ -76,17 +137,15 @@ fn matching_benches(c: &mut Criterion) {
     let events: Vec<Content> = (0..512)
         .map(|_| {
             Content::new()
-                .with("category", Value::str(format!("cat{}", rng.random_range(0..20u32))))
+                .with(
+                    "category",
+                    Value::str(format!("cat{}", rng.random_range(0..20u32))),
+                )
                 .with("bytes", Value::int(rng.random_range(0..5_000)))
         })
         .collect();
     group.bench_function("counting_index_512_events_10k_subs", |b| {
-        b.iter(|| {
-            events
-                .iter()
-                .map(|e| index.match_count(e))
-                .sum::<usize>()
-        })
+        b.iter(|| events.iter().map(|e| index.match_count(e)).sum::<usize>())
     });
     group.finish();
 }
@@ -103,5 +162,11 @@ fn generation_benches(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, cache_benches, matching_benches, generation_benches);
+criterion_group!(
+    benches,
+    cache_benches,
+    observer_benches,
+    matching_benches,
+    generation_benches
+);
 criterion_main!(benches);

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use pscd_cache::PageRef;
 use pscd_core::Strategy;
+use pscd_obs::{NullObserver, Observer, SharedObserver};
 use pscd_types::{Bytes, PageMeta, ServerId};
 
 use crate::{BrokerError, Traffic};
@@ -84,9 +85,10 @@ struct Proxy {
 /// # Ok::<(), pscd_broker::BrokerError>(())
 /// ```
 #[derive(Debug)]
-pub struct DeliveryEngine {
+pub struct DeliveryEngine<O: Observer = NullObserver> {
     proxies: Vec<Proxy>,
     scheme: PushScheme,
+    obs: SharedObserver<O>,
 }
 
 impl DeliveryEngine {
@@ -100,6 +102,26 @@ impl DeliveryEngine {
         strategies: Vec<Box<dyn Strategy>>,
         costs: Vec<f64>,
         scheme: PushScheme,
+    ) -> Result<Self, BrokerError> {
+        DeliveryEngine::with_observer(strategies, costs, scheme, SharedObserver::disabled())
+    }
+}
+
+impl<O: Observer> DeliveryEngine<O> {
+    /// [`new`](DeliveryEngine::new), additionally reporting push outcomes
+    /// to `obs`. Cache-level decisions (admissions, evictions) are reported
+    /// by the strategies themselves when they are built with
+    /// [`StrategyKind::build_observed`](pscd_core::StrategyKind::build_observed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::MismatchedCosts`] if `strategies` and `costs`
+    /// differ in length.
+    pub fn with_observer(
+        strategies: Vec<Box<dyn Strategy>>,
+        costs: Vec<f64>,
+        scheme: PushScheme,
+        obs: SharedObserver<O>,
     ) -> Result<Self, BrokerError> {
         if strategies.len() != costs.len() {
             return Err(BrokerError::MismatchedCosts {
@@ -120,6 +142,7 @@ impl DeliveryEngine {
                 })
                 .collect(),
             scheme,
+            obs,
         })
     }
 
@@ -165,6 +188,10 @@ impl DeliveryEngine {
             };
             if transferred {
                 proxy.traffic.record_push(page.size());
+            }
+            if O::ENABLED {
+                self.obs
+                    .push(server, page.id(), page.size(), transferred, stored);
             }
             records.push(PushRecord {
                 server,
@@ -321,10 +348,7 @@ mod tests {
 
     fn engine(kind: StrategyKind, scheme: PushScheme) -> DeliveryEngine {
         DeliveryEngine::new(
-            vec![
-                kind.build(Bytes::new(1_000)),
-                kind.build(Bytes::new(1_000)),
-            ],
+            vec![kind.build(Bytes::new(1_000)), kind.build(Bytes::new(1_000))],
             vec![1.0, 2.0],
             scheme,
         )
@@ -446,5 +470,37 @@ mod tests {
     fn empty_engine_hit_ratio_is_zero() {
         let e = engine(StrategyKind::Sub, PushScheme::Always);
         assert_eq!(e.global_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn observed_engine_reports_push_outcomes() {
+        use pscd_obs::{StatsObserver, K_PUSH_TRANSFERS};
+
+        let shared = SharedObserver::new(StatsObserver::new());
+        let kind = StrategyKind::Sub;
+        let mut e = DeliveryEngine::with_observer(
+            vec![
+                kind.build_observed(Bytes::new(1_000), shared.handle(ServerId::new(0))),
+                kind.build_observed(Bytes::new(1_000), shared.handle(ServerId::new(1))),
+            ],
+            vec![1.0, 2.0],
+            PushScheme::Always,
+            shared.clone(),
+        )
+        .unwrap();
+        e.publish(&page(1, 1_000), &[(ServerId::new(0), 100)]);
+        // Full proxy 0 declines this one; proxy 1 stores it.
+        e.publish(
+            &page(2, 1_000),
+            &[(ServerId::new(0), 1), (ServerId::new(1), 1)],
+        );
+        drop(e);
+        let stats = shared.try_unwrap().unwrap();
+        let reg = stats.registry();
+        assert_eq!(reg.counter("push.offers"), 3);
+        assert_eq!(reg.counter(K_PUSH_TRANSFERS), 3); // Always-Pushing transfers all
+        assert_eq!(reg.counter("push.stored"), 2);
+        assert_eq!(reg.counter("admit.push"), 2);
+        assert_eq!(reg.bytes("bytes.pushed"), 3_000);
     }
 }

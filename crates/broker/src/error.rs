@@ -28,10 +28,9 @@ pub enum BrokerError {
 impl fmt::Display for BrokerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BrokerError::MismatchedCosts { strategies, costs } => write!(
-                f,
-                "got {strategies} strategies but {costs} fetch costs"
-            ),
+            BrokerError::MismatchedCosts { strategies, costs } => {
+                write!(f, "got {strategies} strategies but {costs} fetch costs")
+            }
             BrokerError::UnknownServer {
                 server,
                 server_count,

@@ -1,5 +1,10 @@
 //! Classic access-time replacement policies: LRU, GDS, LFU-DA, GD*.
+//!
+//! Each policy is generic over an [`Observer`] (defaulting to the
+//! zero-cost [`NullObserver`]); `with_observer` constructors route the
+//! underlying engine's admission/eviction events to an [`ObsHandle`].
 
+use pscd_obs::{NullObserver, ObsHandle, Observer};
 use pscd_types::{Bytes, PageId};
 
 use crate::{AccessOutcome, CachePolicy, GreedyDualEngine, PageRef};
@@ -28,6 +33,21 @@ macro_rules! delegate_policy_queries {
     };
 }
 
+macro_rules! manual_clone {
+    ($name:ident { $($extra:ident),* }) => {
+        // Manual impl: `derive(Clone)` would demand `O: Clone`, which
+        // observers don't promise — the engine clones for any `O`.
+        impl<O: Observer> Clone for $name<O> {
+            fn clone(&self) -> Self {
+                Self {
+                    engine: self.engine.clone(),
+                    $($extra: self.$extra,)*
+                }
+            }
+        }
+    };
+}
+
 /// Least-recently-used replacement, expressed in the greedy-dual framework
 /// as `V(p) = L + 1` (Cao & Irani's classic observation).
 ///
@@ -47,21 +67,30 @@ macro_rules! delegate_policy_queries {
 /// lru.access(&c); // evicts b, the least recently used
 /// assert!(lru.contains(a.page) && lru.contains(c.page) && !lru.contains(b.page));
 /// ```
-#[derive(Debug, Clone)]
-pub struct Lru {
-    engine: GreedyDualEngine,
+#[derive(Debug)]
+pub struct Lru<O: Observer = NullObserver> {
+    engine: GreedyDualEngine<O>,
 }
+
+manual_clone!(Lru {});
 
 impl Lru {
     /// Creates an LRU cache with the given capacity.
     pub fn new(capacity: Bytes) -> Self {
+        Self::with_observer(capacity, ObsHandle::disabled())
+    }
+}
+
+impl<O: Observer> Lru<O> {
+    /// Creates an LRU cache reporting cache decisions to `obs`.
+    pub fn with_observer(capacity: Bytes, obs: ObsHandle<O>) -> Self {
         Self {
-            engine: GreedyDualEngine::new(capacity),
+            engine: GreedyDualEngine::with_observer(capacity, obs),
         }
     }
 }
 
-impl CachePolicy for Lru {
+impl<O: Observer> CachePolicy for Lru<O> {
     fn name(&self) -> &'static str {
         "LRU"
     }
@@ -74,21 +103,30 @@ impl CachePolicy for Lru {
 }
 
 /// GreedyDual-Size (Cao & Irani, USITS'97): `V(p) = L + c(p)/s(p)`.
-#[derive(Debug, Clone)]
-pub struct Gds {
-    engine: GreedyDualEngine,
+#[derive(Debug)]
+pub struct Gds<O: Observer = NullObserver> {
+    engine: GreedyDualEngine<O>,
 }
+
+manual_clone!(Gds {});
 
 impl Gds {
     /// Creates a GDS cache with the given capacity.
     pub fn new(capacity: Bytes) -> Self {
+        Self::with_observer(capacity, ObsHandle::disabled())
+    }
+}
+
+impl<O: Observer> Gds<O> {
+    /// Creates a GDS cache reporting cache decisions to `obs`.
+    pub fn with_observer(capacity: Bytes, obs: ObsHandle<O>) -> Self {
         Self {
-            engine: GreedyDualEngine::new(capacity),
+            engine: GreedyDualEngine::with_observer(capacity, obs),
         }
     }
 }
 
-impl CachePolicy for Gds {
+impl<O: Observer> CachePolicy for Gds<O> {
     fn name(&self) -> &'static str {
         "GDS"
     }
@@ -103,21 +141,30 @@ impl CachePolicy for Gds {
 
 /// LFU with dynamic aging: `V(p) = L + f(p)`, with in-cache reference
 /// counts (counts are discarded at eviction).
-#[derive(Debug, Clone)]
-pub struct LfuDa {
-    engine: GreedyDualEngine,
+#[derive(Debug)]
+pub struct LfuDa<O: Observer = NullObserver> {
+    engine: GreedyDualEngine<O>,
 }
+
+manual_clone!(LfuDa {});
 
 impl LfuDa {
     /// Creates an LFU-DA cache with the given capacity.
     pub fn new(capacity: Bytes) -> Self {
+        Self::with_observer(capacity, ObsHandle::disabled())
+    }
+}
+
+impl<O: Observer> LfuDa<O> {
+    /// Creates an LFU-DA cache reporting cache decisions to `obs`.
+    pub fn with_observer(capacity: Bytes, obs: ObsHandle<O>) -> Self {
         Self {
-            engine: GreedyDualEngine::new(capacity),
+            engine: GreedyDualEngine::with_observer(capacity, obs),
         }
     }
 }
 
-impl CachePolicy for LfuDa {
+impl<O: Observer> CachePolicy for LfuDa<O> {
     fn name(&self) -> &'static str {
         "LFU-DA"
     }
@@ -150,11 +197,13 @@ impl CachePolicy for LfuDa {
 /// assert!(gd.access(&page).is_miss());
 /// assert!(gd.access(&page).is_hit());
 /// ```
-#[derive(Debug, Clone)]
-pub struct GdStar {
-    engine: GreedyDualEngine,
+#[derive(Debug)]
+pub struct GdStar<O: Observer = NullObserver> {
+    engine: GreedyDualEngine<O>,
     beta: f64,
 }
+
+manual_clone!(GdStar { beta });
 
 impl GdStar {
     /// Creates a GD\* cache.
@@ -163,9 +212,20 @@ impl GdStar {
     ///
     /// Panics unless `beta` is positive and finite.
     pub fn new(capacity: Bytes, beta: f64) -> Self {
+        Self::with_observer(capacity, beta, ObsHandle::disabled())
+    }
+}
+
+impl<O: Observer> GdStar<O> {
+    /// Creates a GD\* cache reporting cache decisions to `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta` is positive and finite.
+    pub fn with_observer(capacity: Bytes, beta: f64, obs: ObsHandle<O>) -> Self {
         assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
         Self {
-            engine: GreedyDualEngine::new(capacity),
+            engine: GreedyDualEngine::with_observer(capacity, obs),
             beta,
         }
     }
@@ -179,15 +239,15 @@ impl GdStar {
     pub fn inflation(&self) -> f64 {
         self.engine.inflation()
     }
-
-    /// GD\*'s weight term `(f·c/s)^(1/β)`.
-    pub(crate) fn weight(freq: f64, cost: f64, size: Bytes, beta: f64) -> f64 {
-        let base = (freq.max(0.0) * cost / size.as_f64()).max(0.0);
-        base.powf(1.0 / beta)
-    }
 }
 
-impl CachePolicy for GdStar {
+/// GD\*'s weight term `(f·c/s)^(1/β)`.
+pub(crate) fn gdstar_weight(freq: f64, cost: f64, size: Bytes, beta: f64) -> f64 {
+    let base = (freq.max(0.0) * cost / size.as_f64()).max(0.0);
+    base.powf(1.0 / beta)
+}
+
+impl<O: Observer> CachePolicy for GdStar<O> {
     fn name(&self) -> &'static str {
         "GD*"
     }
@@ -195,7 +255,7 @@ impl CachePolicy for GdStar {
     fn access(&mut self, page: &PageRef) -> AccessOutcome {
         let (cost, size, beta) = (page.cost, page.size, self.beta);
         self.engine
-            .access(page, |f, l| l + Self::weight(f as f64, cost, size, beta))
+            .access(page, |f, l| l + gdstar_weight(f as f64, cost, size, beta))
     }
 
     delegate_policy_queries!();
@@ -267,11 +327,11 @@ mod tests {
     #[test]
     fn gdstar_weight_formula() {
         // (f*c/s)^(1/beta): f=2, c=8, s=4 -> 4^(1/2) = 2.
-        assert_eq!(GdStar::weight(2.0, 8.0, Bytes::new(4), 2.0), 2.0);
+        assert_eq!(gdstar_weight(2.0, 8.0, Bytes::new(4), 2.0), 2.0);
         // beta = 1 degenerates to GDS-with-frequency.
-        assert_eq!(GdStar::weight(3.0, 2.0, Bytes::new(6), 1.0), 1.0);
+        assert_eq!(gdstar_weight(3.0, 2.0, Bytes::new(6), 1.0), 1.0);
         // Negative/zero frequency clamps to zero weight.
-        assert_eq!(GdStar::weight(-1.0, 2.0, Bytes::new(6), 1.0), 0.0);
+        assert_eq!(gdstar_weight(-1.0, 2.0, Bytes::new(6), 1.0), 0.0);
     }
 
     #[test]
@@ -334,5 +394,23 @@ mod tests {
             p.access(&pref(1, 5, 1.0));
             assert_eq!(p.len(), 1);
         }
+    }
+
+    #[test]
+    fn observed_policy_reports_events() {
+        use pscd_obs::{SharedObserver, StatsObserver};
+        use pscd_types::ServerId;
+
+        let shared = SharedObserver::new(StatsObserver::new());
+        let mut lru = Lru::with_observer(Bytes::new(20), shared.handle(ServerId::new(0)));
+        lru.access(&pref(1, 10, 1.0));
+        lru.access(&pref(2, 10, 1.0));
+        lru.access(&pref(3, 10, 1.0)); // evicts page 1
+        lru.invalidate(PageId::new(3));
+        drop(lru);
+        let stats = shared.try_unwrap().unwrap();
+        assert_eq!(stats.registry().counter("admit.access"), 3);
+        assert_eq!(stats.registry().counter("evict.access"), 1);
+        assert_eq!(stats.registry().counter("evict.invalidate"), 1);
     }
 }

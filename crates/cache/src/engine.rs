@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use pscd_obs::{AdmitOrigin, EvictReason, NullObserver, ObsHandle, Observer};
 use pscd_types::{Bytes, PageId};
 
 use crate::{AccessOutcome, CacheStore, PageRef};
@@ -16,20 +17,53 @@ use crate::{AccessOutcome, CacheStore, PageRef};
 /// serves LRU (`g = 1`), GDS (`g = c/s`), LFU-DA (`g = f`), GD\*
 /// (`g = (f·c/s)^(1/β)`) and the subscription-aware variants built in
 /// `pscd-core`.
-#[derive(Debug, Clone, Default)]
-pub struct GreedyDualEngine {
+///
+/// The observer parameter defaults to [`NullObserver`], whose hooks are
+/// compile-time disabled: uninstrumented engines pay nothing. An engine
+/// built via [`with_observer`](GreedyDualEngine::with_observer) reports
+/// every admission and eviction (with the victim's dying value and an
+/// [`EvictReason`]) through its [`ObsHandle`].
+#[derive(Debug)]
+pub struct GreedyDualEngine<O: Observer = NullObserver> {
     store: CacheStore,
     inflation: f64,
     freq: HashMap<PageId, u32>,
+    obs: ObsHandle<O>,
+}
+
+impl<O: Observer> Clone for GreedyDualEngine<O> {
+    fn clone(&self) -> Self {
+        Self {
+            store: self.store.clone(),
+            inflation: self.inflation,
+            freq: self.freq.clone(),
+            obs: self.obs.clone(),
+        }
+    }
 }
 
 impl GreedyDualEngine {
-    /// Creates an engine with the given capacity; `L` starts at 0.
+    /// Creates an unobserved engine with the given capacity; `L` starts
+    /// at 0.
     pub fn new(capacity: Bytes) -> Self {
+        Self::with_observer(capacity, ObsHandle::disabled())
+    }
+}
+
+impl Default for GreedyDualEngine {
+    fn default() -> Self {
+        Self::new(Bytes::new(0))
+    }
+}
+
+impl<O: Observer> GreedyDualEngine<O> {
+    /// Creates an engine reporting admissions and evictions to `obs`.
+    pub fn with_observer(capacity: Bytes, obs: ObsHandle<O>) -> Self {
         Self {
             store: CacheStore::new(capacity),
             inflation: 0.0,
             freq: HashMap::new(),
+            obs,
         }
     }
 
@@ -77,6 +111,9 @@ impl GreedyDualEngine {
         self.freq.insert(page.page, 1);
         let v = value(1, self.inflation);
         self.store.insert(page.page, page.size, v);
+        if O::ENABLED {
+            self.obs.admit(page.page, page.size, v, AdmitOrigin::Access);
+        }
         AccessOutcome::MissAdmitted { evicted }
     }
 
@@ -100,9 +137,12 @@ impl GreedyDualEngine {
         }
         let f = 1;
         let v = value(f, self.inflation);
-        match self.try_admit(page, v) {
+        match self.try_admit(page, v, EvictReason::Access) {
             Some(evicted) => {
                 self.freq.insert(page.page, f);
+                if O::ENABLED {
+                    self.obs.admit(page.page, page.size, v, AdmitOrigin::Access);
+                }
                 AccessOutcome::MissAdmitted { evicted }
             }
             None => AccessOutcome::MissBypassed,
@@ -118,8 +158,12 @@ impl GreedyDualEngine {
         if self.store.contains(page.page) {
             return Some(Vec::new());
         }
-        let evicted = self.try_admit(page, value)?;
+        let evicted = self.try_admit(page, value, EvictReason::Push)?;
         self.freq.insert(page.page, 0);
+        if O::ENABLED {
+            self.obs
+                .admit(page.page, page.size, value, AdmitOrigin::Push);
+        }
         Some(evicted)
     }
 
@@ -129,10 +173,33 @@ impl GreedyDualEngine {
         self.store.update_value(page, value)
     }
 
+    /// Removes a page without reporting an eviction, returning its
+    /// `(size, value)` if present. For ownership transfers where the
+    /// bytes live on elsewhere (e.g. a dual-caches PC→AC move) — the
+    /// caller reports the transfer through its own hook instead.
+    pub fn take(&mut self, page: PageId) -> Option<(Bytes, f64)> {
+        self.freq.remove(&page);
+        self.store.remove(page).map(|p| (p.size, p.value))
+    }
+
     /// Removes a page (without touching `L`), returning `true` if present.
+    /// Reported to the observer as an [`EvictReason::Invalidate`].
     pub fn evict(&mut self, page: PageId) -> bool {
         self.freq.remove(&page);
-        self.store.remove(page).is_some()
+        match self.store.remove(page) {
+            Some(removed) => {
+                if O::ENABLED {
+                    self.obs.evict(
+                        removed.page,
+                        removed.size,
+                        removed.value,
+                        EvictReason::Invalidate,
+                    );
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     /// Evicts least-valuable pages until `size` fits, raising `L` to the
@@ -146,14 +213,23 @@ impl GreedyDualEngine {
                 .expect("cache cannot be empty while free < size <= capacity");
             self.inflation = victim.value;
             self.freq.remove(&victim.page);
+            if O::ENABLED {
+                self.obs
+                    .evict(victim.page, victim.size, victim.value, EvictReason::Access);
+            }
             evicted.push(victim.page);
         }
         evicted
     }
 
     /// Admits a page valued `value` only over strictly-less-valuable
-    /// residents; raises `L` on evictions.
-    fn try_admit(&mut self, page: &PageRef, value: f64) -> Option<Vec<PageId>> {
+    /// residents; raises `L` on evictions (reported under `reason`).
+    fn try_admit(
+        &mut self,
+        page: &PageRef,
+        value: f64,
+        reason: EvictReason,
+    ) -> Option<Vec<PageId>> {
         if page.size > self.store.capacity() {
             return None;
         }
@@ -172,6 +248,10 @@ impl GreedyDualEngine {
             debug_assert!(victim.value < value);
             self.inflation = victim.value;
             self.freq.remove(&victim.page);
+            if O::ENABLED {
+                self.obs
+                    .evict(victim.page, victim.size, victim.value, reason);
+            }
             evicted.push(victim.page);
         }
         self.store.insert(page.page, page.size, value);
@@ -239,7 +319,10 @@ mod tests {
     #[test]
     fn oversized_page_bypassed() {
         let mut e = GreedyDualEngine::new(Bytes::new(10));
-        assert_eq!(e.access(&pref(1, 11), |_, l| l + 1.0), AccessOutcome::MissBypassed);
+        assert_eq!(
+            e.access(&pref(1, 11), |_, l| l + 1.0),
+            AccessOutcome::MissBypassed
+        );
         assert_eq!(e.store().len(), 0);
     }
 
@@ -293,6 +376,32 @@ mod tests {
         assert_eq!(e.frequency(PageId::new(1)), 0);
         assert!(e.access(&pref(1, 10), |f, l| l + f as f64).is_hit());
         assert_eq!(e.frequency(PageId::new(1)), 1);
+    }
+
+    #[test]
+    fn observer_sees_admissions_and_evictions() {
+        use pscd_obs::{SharedObserver, StatsObserver};
+        use pscd_types::ServerId;
+
+        let shared = SharedObserver::new(StatsObserver::new());
+        let mut e =
+            GreedyDualEngine::with_observer(Bytes::new(20), shared.handle(ServerId::new(5)));
+        e.access(&pref(1, 10), |_, l| l + 1.0);
+        e.access(&pref(2, 10), |_, l| l + 2.0);
+        e.access(&pref(3, 10), |_, l| l + 5.0); // evicts page 1 (access)
+        e.push_valued(&pref(4, 10), 9.0); // evicts page 2 (push), admits via push
+        e.evict(PageId::new(4)); // invalidate
+        drop(e);
+        let stats = shared.try_unwrap().unwrap();
+        let r = stats.registry();
+        assert_eq!(r.counter("admit.access"), 3);
+        assert_eq!(r.counter("admit.push"), 1);
+        assert_eq!(r.counter("evict.access"), 1);
+        assert_eq!(r.counter("evict.push"), 1);
+        assert_eq!(r.counter("evict.invalidate"), 1);
+        assert_eq!(r.bytes("bytes.evicted"), 30);
+        // The eviction-value histogram saw the victims' dying values.
+        assert_eq!(r.histogram("evict.value").unwrap().count(), 3);
     }
 
     #[test]

@@ -33,7 +33,7 @@ mod engine;
 mod policy;
 mod store;
 
-pub use classic::{Gds, GdStar, LfuDa, Lru};
+pub use classic::{GdStar, Gds, LfuDa, Lru};
 pub use engine::GreedyDualEngine;
 pub use policy::{AccessOutcome, CachePolicy, PageRef};
 pub use store::{CacheStore, StoredPage};

@@ -166,14 +166,7 @@ impl CacheStore {
             self.used -= old.size;
         }
         let stamp = self.bump();
-        self.entries.insert(
-            page,
-            Entry {
-                size,
-                value,
-                stamp,
-            },
-        );
+        self.entries.insert(page, Entry { size, value, stamp });
         self.used += size;
         self.heap.push(HeapItem { value, stamp, page });
     }

@@ -4,6 +4,7 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
 use pscd_cache::{AccessOutcome, PageRef};
+use pscd_obs::{AdmitOrigin, EvictReason, NullObserver, ObsHandle, Observer, RelabelDirection};
 use pscd_types::{Bytes, PageId};
 
 use crate::{PushOutcome, Strategy, StrategyClass};
@@ -75,7 +76,7 @@ impl Ord for HeapItem {
 /// 75%); a re-partition that would violate the bounds is skipped, falling
 /// back to DC-FP behaviour for that operation.
 #[derive(Debug)]
-pub struct DcAdaptive {
+pub struct DcAdaptive<O: Observer = NullObserver> {
     capacity: Bytes,
     /// Bytes currently allocated to the PC side (the rest is AC).
     pc_alloc: Bytes,
@@ -95,6 +96,7 @@ pub struct DcAdaptive {
     hi: f64,
     name: &'static str,
     next_stamp: u64,
+    obs: ObsHandle<O>,
 }
 
 impl DcAdaptive {
@@ -104,7 +106,7 @@ impl DcAdaptive {
     ///
     /// Panics unless `beta` is positive and finite.
     pub fn ap(capacity: Bytes, beta: f64) -> Self {
-        Self::with_bounds(capacity, beta, 0.0, 1.0, "DC-AP")
+        Self::ap_observed(capacity, beta, ObsHandle::disabled())
     }
 
     /// Creates a DC-LAP cache with the paper's PC-fraction bounds
@@ -114,7 +116,7 @@ impl DcAdaptive {
     ///
     /// Panics unless `beta` is positive and finite.
     pub fn lap(capacity: Bytes, beta: f64) -> Self {
-        Self::with_bounds(capacity, beta, 0.25, 0.75, "DC-LAP")
+        Self::lap_observed(capacity, beta, ObsHandle::disabled())
     }
 
     /// Creates a DC-LAP cache with custom PC-fraction bounds.
@@ -124,10 +126,54 @@ impl DcAdaptive {
     /// Panics unless `beta` is positive and finite and
     /// `0 <= lo <= 0.5 <= hi <= 1`.
     pub fn lap_with_bounds(capacity: Bytes, beta: f64, lo: f64, hi: f64) -> Self {
-        Self::with_bounds(capacity, beta, lo, hi, "DC-LAP")
+        Self::with_bounds(capacity, beta, lo, hi, "DC-LAP", ObsHandle::disabled())
+    }
+}
+
+impl<O: Observer> DcAdaptive<O> {
+    /// [`ap`](DcAdaptive::ap) reporting cache decisions to `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta` is positive and finite.
+    pub fn ap_observed(capacity: Bytes, beta: f64, obs: ObsHandle<O>) -> Self {
+        Self::with_bounds(capacity, beta, 0.0, 1.0, "DC-AP", obs)
     }
 
-    fn with_bounds(capacity: Bytes, beta: f64, lo: f64, hi: f64, name: &'static str) -> Self {
+    /// [`lap`](DcAdaptive::lap) reporting cache decisions to `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta` is positive and finite.
+    pub fn lap_observed(capacity: Bytes, beta: f64, obs: ObsHandle<O>) -> Self {
+        Self::with_bounds(capacity, beta, 0.25, 0.75, "DC-LAP", obs)
+    }
+
+    /// [`lap_with_bounds`](DcAdaptive::lap_with_bounds) reporting cache
+    /// decisions to `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta` is positive and finite and
+    /// `0 <= lo <= 0.5 <= hi <= 1`.
+    pub fn lap_with_bounds_observed(
+        capacity: Bytes,
+        beta: f64,
+        lo: f64,
+        hi: f64,
+        obs: ObsHandle<O>,
+    ) -> Self {
+        Self::with_bounds(capacity, beta, lo, hi, "DC-LAP", obs)
+    }
+
+    fn with_bounds(
+        capacity: Bytes,
+        beta: f64,
+        lo: f64,
+        hi: f64,
+        name: &'static str,
+        obs: ObsHandle<O>,
+    ) -> Self {
         assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
         assert!(
             (0.0..=0.5).contains(&lo) && (0.5..=1.0).contains(&hi),
@@ -149,6 +195,7 @@ impl DcAdaptive {
             hi,
             name,
             next_stamp: 0,
+            obs,
         }
     }
 
@@ -297,7 +344,7 @@ impl DcAdaptive {
     }
 }
 
-impl Strategy for DcAdaptive {
+impl<O: Observer> Strategy for DcAdaptive<O> {
     fn name(&self) -> &'static str {
         self.name
     }
@@ -321,10 +368,17 @@ impl Strategy for DcAdaptive {
             } else {
                 let mut evicted = Vec::new();
                 while self.free_pc() < page.size {
-                    let (victim, _) = self.pop_min(Side::Pc).expect("candidates suffice");
+                    let (victim, entry) = self.pop_min(Side::Pc).expect("candidates suffice");
+                    if O::ENABLED {
+                        self.obs
+                            .evict(victim, entry.size, entry.value, EvictReason::Push);
+                    }
                     evicted.push(victim);
                 }
                 self.insert(page, Side::Pc, v, 0);
+                if O::ENABLED {
+                    self.obs.admit(page.page, page.size, v, AdmitOrigin::Push);
+                }
                 return PushOutcome::Stored { evicted };
             }
         }
@@ -337,10 +391,21 @@ impl Strategy for DcAdaptive {
                     let entry = self.entries.remove(&victim).expect("planned victim");
                     self.used_ac -= entry.size;
                     self.pc_alloc += entry.size;
+                    if O::ENABLED {
+                        // The stale page dies and its storage switches
+                        // sides: one eviction, one relabel.
+                        self.obs
+                            .evict(victim, entry.size, entry.value, EvictReason::Repartition);
+                        self.obs
+                            .relabel(victim, entry.size, RelabelDirection::AcToPc);
+                    }
                     evicted.push(victim);
                 }
                 debug_assert!(self.free_pc() >= page.size);
                 self.insert(page, Side::Pc, v, 0);
+                if O::ENABLED {
+                    self.obs.admit(page.page, page.size, v, AdmitOrigin::Push);
+                }
                 PushOutcome::Stored { evicted }
             }
             None => PushOutcome::Declined,
@@ -381,16 +446,34 @@ impl Strategy for DcAdaptive {
                         self.used_pc -= entry.size;
                         let value = self.gd_value(1, page);
                         self.insert(page, Side::Ac, value, 1);
+                        if O::ENABLED {
+                            self.obs
+                                .relabel(page.page, entry.size, RelabelDirection::PcToAc);
+                        }
                     } else {
                         // Remove from PC and run a GD* placement in AC.
                         self.used_pc -= entry.size;
                         self.entries.remove(&page.page);
+                        if O::ENABLED {
+                            // Even the bounded fallback moves the page
+                            // across the partition.
+                            self.obs
+                                .relabel(page.page, entry.size, RelabelDirection::PcToAc);
+                        }
                         if entry.size <= self.ac_allocation() {
                             while self.free_ac() < entry.size {
-                                let (_, victim) =
+                                let (victim_page, victim) =
                                     self.pop_min(Side::Ac).expect("AC not empty");
                                 self.inflation = victim.value;
                                 self.ac_last_replacement = self.tick;
+                                if O::ENABLED {
+                                    self.obs.evict(
+                                        victim_page,
+                                        victim.size,
+                                        victim.value,
+                                        EvictReason::Access,
+                                    );
+                                }
                             }
                             let value = self.gd_value(1, page);
                             self.insert(page, Side::Ac, value, 1);
@@ -427,10 +510,18 @@ impl Strategy for DcAdaptive {
                 let (victim, entry) = self.pop_min(Side::Ac).expect("AC holds enough bytes");
                 self.inflation = entry.value;
                 self.ac_last_replacement = self.tick;
+                if O::ENABLED {
+                    self.obs
+                        .evict(victim, entry.size, entry.value, EvictReason::Access);
+                }
                 evicted.push(victim);
             }
             let value = self.gd_value(1, page);
             self.insert(page, Side::Ac, value, 1);
+            if O::ENABLED {
+                self.obs
+                    .admit(page.page, page.size, value, AdmitOrigin::Access);
+            }
             AccessOutcome::MissAdmitted { evicted }
         }
     }
@@ -445,6 +536,10 @@ impl Strategy for DcAdaptive {
                 match entry.side {
                     Side::Pc => self.used_pc -= entry.size,
                     Side::Ac => self.used_ac -= entry.size,
+                }
+                if O::ENABLED {
+                    self.obs
+                        .evict(page, entry.size, entry.value, EvictReason::Invalidate);
                 }
                 true
             }
@@ -537,8 +632,8 @@ mod tests {
         d.on_access(&page(1, 20, 1.0), 0); // value 2/20 = 0.1
         d.on_access(&page(2, 20, 1.0), 0); // value 0.05
         d.on_access(&page(3, 10, 1.0), 0); // value 0.1
-        // No AC replacement has happened yet -> no stale pages -> a push
-        // too large for the whole PC allocation is declined.
+                                           // No AC replacement has happened yet -> no stale pages -> a push
+                                           // too large for the whole PC allocation is declined.
         assert_eq!(d.on_push(&page(5, 60, 1.0), 9), PushOutcome::Declined);
         // A 10-byte miss forces an AC replacement (AC is full at 50):
         // the cold p2 is evicted and the replacement tick advances.
@@ -573,13 +668,16 @@ mod tests {
     fn miss_replacement_confined_to_ac() {
         let mut d = DcAdaptive::ap(Bytes::new(100), 2.0);
         d.on_push(&page(1, 50, 1.0), 100); // PC full, high value
-        // Misses cycle through AC (50 bytes) without touching the PC page.
+                                           // Misses cycle through AC (50 bytes) without touching the PC page.
         for i in 2..8 {
             d.on_access(&page(i, 30, 1.0), 0);
         }
         assert!(d.contains(PageId::new(1)));
         // AC larger than allocation is bypassed.
-        assert_eq!(d.on_access(&page(99, 60, 1.0), 0), AccessOutcome::MissBypassed);
+        assert_eq!(
+            d.on_access(&page(99, 60, 1.0), 0),
+            AccessOutcome::MissBypassed
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! DC-FP: dual caches with fixed partition (§3.3).
 
 use pscd_cache::{AccessOutcome, GreedyDualEngine, PageRef};
+use pscd_obs::{NullObserver, ObsHandle, Observer, RelabelDirection};
 use pscd_types::{Bytes, PageId};
 
 use crate::{PushOutcome, Strategy, StrategyClass};
@@ -18,10 +19,11 @@ use crate::{PushOutcome, Strategy, StrategyClass};
 /// The paper's configuration splits 50%/50% ([`DcFp::new`]); an arbitrary
 /// split is available through [`DcFp::with_fraction`].
 #[derive(Debug)]
-pub struct DcFp {
-    pc: GreedyDualEngine,
-    ac: GreedyDualEngine,
+pub struct DcFp<O: Observer = NullObserver> {
+    pc: GreedyDualEngine<O>,
+    ac: GreedyDualEngine<O>,
     beta: f64,
+    obs: ObsHandle<O>,
 }
 
 impl DcFp {
@@ -42,6 +44,34 @@ impl DcFp {
     /// Panics unless `beta` is positive and finite and
     /// `0 < pc_fraction < 1`.
     pub fn with_fraction(capacity: Bytes, beta: f64, pc_fraction: f64) -> Self {
+        Self::with_fraction_observed(capacity, beta, pc_fraction, ObsHandle::disabled())
+    }
+}
+
+impl<O: Observer> DcFp<O> {
+    /// Creates a DC-FP cache with the paper's 50/50 partition, reporting
+    /// cache decisions to `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta` is positive and finite.
+    pub fn with_observer(capacity: Bytes, beta: f64, obs: ObsHandle<O>) -> Self {
+        Self::with_fraction_observed(capacity, beta, 0.5, obs)
+    }
+
+    /// [`with_fraction`](DcFp::with_fraction) reporting cache decisions to
+    /// `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta` is positive and finite and
+    /// `0 < pc_fraction < 1`.
+    pub fn with_fraction_observed(
+        capacity: Bytes,
+        beta: f64,
+        pc_fraction: f64,
+        obs: ObsHandle<O>,
+    ) -> Self {
         assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
         assert!(
             pc_fraction > 0.0 && pc_fraction < 1.0,
@@ -50,9 +80,10 @@ impl DcFp {
         let pc_capacity = capacity.scaled(pc_fraction);
         let ac_capacity = capacity - pc_capacity;
         Self {
-            pc: GreedyDualEngine::new(pc_capacity),
-            ac: GreedyDualEngine::new(ac_capacity),
+            pc: GreedyDualEngine::with_observer(pc_capacity, obs.clone()),
+            ac: GreedyDualEngine::with_observer(ac_capacity, obs.clone()),
             beta,
+            obs,
         }
     }
 
@@ -79,7 +110,7 @@ impl DcFp {
     }
 }
 
-impl Strategy for DcFp {
+impl<O: Observer> Strategy for DcFp<O> {
     fn name(&self) -> &'static str {
         "DC-FP"
     }
@@ -114,7 +145,11 @@ impl Strategy for DcFp {
         if self.pc.store().contains(page.page) {
             // PC hit: move the page to AC, where it is henceforth judged by
             // its access pattern; the move may trigger a replacement in AC.
-            self.pc.evict(page.page);
+            self.pc.take(page.page);
+            if O::ENABLED {
+                self.obs
+                    .relabel(page.page, page.size, RelabelDirection::PcToAc);
+            }
             let _ = self.ac.access(page, Self::gd_value(self.beta, page));
             return AccessOutcome::Hit;
         }

@@ -4,6 +4,7 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
 use pscd_cache::{AccessOutcome, PageRef};
+use pscd_obs::{AdmitOrigin, EvictReason, NullObserver, ObsHandle, Observer};
 use pscd_types::{Bytes, PageId};
 
 use crate::{PushOutcome, Strategy, StrategyClass};
@@ -66,7 +67,7 @@ impl Ord for HeapItem {
 /// miss because it has no access history yet — the motivation for the
 /// Dual-Caches family.
 #[derive(Debug)]
-pub struct DualMethods {
+pub struct DualMethods<O: Observer = NullObserver> {
     capacity: Bytes,
     used: Bytes,
     entries: HashMap<PageId, Entry>,
@@ -75,6 +76,7 @@ pub struct DualMethods {
     inflation: f64,
     beta: f64,
     next_stamp: u64,
+    obs: ObsHandle<O>,
 }
 
 impl DualMethods {
@@ -84,6 +86,17 @@ impl DualMethods {
     ///
     /// Panics unless `beta` is positive and finite.
     pub fn new(capacity: Bytes, beta: f64) -> Self {
+        Self::with_observer(capacity, beta, ObsHandle::disabled())
+    }
+}
+
+impl<O: Observer> DualMethods<O> {
+    /// Creates a DM proxy cache reporting cache decisions to `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta` is positive and finite.
+    pub fn with_observer(capacity: Bytes, beta: f64, obs: ObsHandle<O>) -> Self {
         assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
         Self {
             capacity,
@@ -94,6 +107,7 @@ impl DualMethods {
             inflation: 0.0,
             beta,
             next_stamp: 0,
+            obs,
         }
     }
 
@@ -178,7 +192,7 @@ impl DualMethods {
     }
 }
 
-impl Strategy for DualMethods {
+impl<O: Observer> Strategy for DualMethods<O> {
     fn name(&self) -> &'static str {
         "DM"
     }
@@ -197,15 +211,22 @@ impl Strategy for DualMethods {
         let v = Self::sub_value(page, subs);
         let mut evicted = Vec::new();
         while self.free() < page.size {
-            let (victim, _) = self
+            let (victim, entry) = self
                 .pop_min(Module::Push)
                 .expect("candidate check guarantees room");
+            if O::ENABLED {
+                self.obs
+                    .evict(victim, entry.size, entry.sub_value, EvictReason::Push);
+            }
             evicted.push(victim);
         }
         // A pushed page has no access history: its GD* value is just L
         // (f = 0), so the access module treats it as cold until requested.
         let (l, zero_weight) = (self.inflation, self.gd_weight(0, page));
         self.insert(page, l + zero_weight, v, 0);
+        if O::ENABLED {
+            self.obs.admit(page.page, page.size, v, AdmitOrigin::Push);
+        }
         PushOutcome::Stored { evicted }
     }
 
@@ -251,11 +272,18 @@ impl Strategy for DualMethods {
                 .pop_min(Module::Access)
                 .expect("cache not empty while free < size <= capacity");
             self.inflation = entry.access_value;
+            if O::ENABLED {
+                self.obs
+                    .evict(victim, entry.size, entry.access_value, EvictReason::Access);
+            }
             evicted.push(victim);
         }
         let v = self.inflation + self.gd_weight(1, page);
         let sv = Self::sub_value(page, subs);
         self.insert(page, v, sv, 1);
+        if O::ENABLED {
+            self.obs.admit(page.page, page.size, v, AdmitOrigin::Access);
+        }
         AccessOutcome::MissAdmitted { evicted }
     }
 
@@ -267,6 +295,14 @@ impl Strategy for DualMethods {
         match self.entries.remove(&page) {
             Some(entry) => {
                 self.used -= entry.size;
+                if O::ENABLED {
+                    self.obs.evict(
+                        page,
+                        entry.size,
+                        entry.access_value,
+                        EvictReason::Invalidate,
+                    );
+                }
                 true
             }
             None => false,
@@ -372,7 +408,10 @@ mod tests {
     #[test]
     fn oversized_pages_bypassed() {
         let mut dm = DualMethods::new(Bytes::new(10), 2.0);
-        assert_eq!(dm.on_access(&page(1, 11, 1.0), 0), AccessOutcome::MissBypassed);
+        assert_eq!(
+            dm.on_access(&page(1, 11, 1.0), 0),
+            AccessOutcome::MissBypassed
+        );
         assert_eq!(dm.on_push(&page(2, 11, 1.0), 5), PushOutcome::Declined);
         assert!(dm.len() == 0);
         assert_eq!(dm.capacity(), Bytes::new(10));
@@ -399,11 +438,7 @@ mod tests {
             }
             assert!(dm.used() <= dm.capacity(), "over capacity at step {i}");
             // Byte accounting equals the sum of resident entry sizes.
-            let sum: Bytes = dm
-                .entries
-                .values()
-                .map(|e| e.size)
-                .sum();
+            let sum: Bytes = dm.entries.values().map(|e| e.size).sum();
             assert_eq!(sum, dm.used(), "accounting drift at step {i}");
         }
         assert!(dm.len() > 0);

@@ -2,7 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use pscd_cache::{Gds, GdStar, LfuDa, Lru};
+use pscd_cache::{GdStar, Gds, LfuDa, Lru};
+use pscd_obs::{ObsHandle, Observer};
 use pscd_types::Bytes;
 
 use crate::{AccessOnly, DcAdaptive, DcFp, DualMethods, SingleCache, Strategy, Sub};
@@ -95,25 +96,40 @@ impl StrategyKind {
 
     /// Instantiates the strategy for one proxy cache of the given capacity.
     pub fn build(&self, capacity: Bytes) -> Box<dyn Strategy> {
+        self.build_observed(capacity, ObsHandle::disabled())
+    }
+
+    /// Instantiates the strategy with its cache decisions (admissions,
+    /// evictions, relabels) reported to `obs`. With a
+    /// [`NullObserver`](pscd_obs::NullObserver) handle this compiles to
+    /// exactly [`build`](StrategyKind::build).
+    pub fn build_observed<O: Observer>(
+        &self,
+        capacity: Bytes,
+        obs: ObsHandle<O>,
+    ) -> Box<dyn Strategy> {
         match *self {
-            StrategyKind::Lru => Box::new(AccessOnly::new(Lru::new(capacity))),
-            StrategyKind::Gds => Box::new(AccessOnly::new(Gds::new(capacity))),
-            StrategyKind::LfuDa => Box::new(AccessOnly::new(LfuDa::new(capacity))),
+            StrategyKind::Lru => Box::new(AccessOnly::new(Lru::with_observer(capacity, obs))),
+            StrategyKind::Gds => Box::new(AccessOnly::new(Gds::with_observer(capacity, obs))),
+            StrategyKind::LfuDa => Box::new(AccessOnly::new(LfuDa::with_observer(capacity, obs))),
             StrategyKind::GdStar { beta } => {
-                Box::new(AccessOnly::new(GdStar::new(capacity, beta)))
+                Box::new(AccessOnly::new(GdStar::with_observer(capacity, beta, obs)))
             }
-            StrategyKind::Sub => Box::new(Sub::new(capacity)),
-            StrategyKind::Sg1 { beta } => Box::new(SingleCache::sg1(capacity, beta)),
-            StrategyKind::Sg2 { beta } => Box::new(SingleCache::sg2(capacity, beta)),
-            StrategyKind::Sr => Box::new(SingleCache::sr(capacity)),
-            StrategyKind::Dm { beta } => Box::new(DualMethods::new(capacity, beta)),
-            StrategyKind::DcFp { beta, pc_fraction } => {
-                Box::new(DcFp::with_fraction(capacity, beta, pc_fraction))
-            }
-            StrategyKind::DcAp { beta } => Box::new(DcAdaptive::ap(capacity, beta)),
-            StrategyKind::DcLap { beta, lo, hi } => {
-                Box::new(DcAdaptive::lap_with_bounds(capacity, beta, lo, hi))
-            }
+            StrategyKind::Sub => Box::new(Sub::with_observer(capacity, obs)),
+            StrategyKind::Sg1 { beta } => Box::new(SingleCache::sg1_observed(capacity, beta, obs)),
+            StrategyKind::Sg2 { beta } => Box::new(SingleCache::sg2_observed(capacity, beta, obs)),
+            StrategyKind::Sr => Box::new(SingleCache::sr_observed(capacity, obs)),
+            StrategyKind::Dm { beta } => Box::new(DualMethods::with_observer(capacity, beta, obs)),
+            StrategyKind::DcFp { beta, pc_fraction } => Box::new(DcFp::with_fraction_observed(
+                capacity,
+                beta,
+                pc_fraction,
+                obs,
+            )),
+            StrategyKind::DcAp { beta } => Box::new(DcAdaptive::ap_observed(capacity, beta, obs)),
+            StrategyKind::DcLap { beta, lo, hi } => Box::new(DcAdaptive::lap_with_bounds_observed(
+                capacity, beta, lo, hi, obs,
+            )),
         }
     }
 
@@ -189,6 +205,32 @@ mod tests {
             let _ = s.on_push(&p, 3);
             let _ = s.on_access(&p, 3);
             assert!(s.used() <= s.capacity());
+        }
+    }
+
+    #[test]
+    fn observed_builds_report_admissions() {
+        use pscd_obs::{SharedObserver, StatsObserver};
+        use pscd_types::ServerId;
+
+        for kind in [
+            StrategyKind::GdStar { beta: 2.0 },
+            StrategyKind::Sub,
+            StrategyKind::Sg2 { beta: 2.0 },
+            StrategyKind::Dm { beta: 2.0 },
+            StrategyKind::dc_fp(2.0),
+            StrategyKind::dc_lap(2.0),
+        ] {
+            let shared = SharedObserver::new(StatsObserver::new());
+            let mut s = kind.build_observed(Bytes::from_kib(4), shared.handle(ServerId::new(0)));
+            let p = PageRef::new(PageId::new(0), Bytes::new(128), 1.0);
+            let _ = s.on_push(&p, 3);
+            let _ = s.on_access(&p, 3);
+            drop(s);
+            let stats = shared.try_unwrap().unwrap();
+            let admits =
+                stats.registry().counter("admit.access") + stats.registry().counter("admit.push");
+            assert!(admits >= 1, "{} reported no admissions", kind.name());
         }
     }
 

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use pscd_cache::{AccessOutcome, GreedyDualEngine, PageRef};
+use pscd_obs::{NullObserver, ObsHandle, Observer};
 use pscd_types::{Bytes, PageId};
 
 use crate::{PushOutcome, Strategy, StrategyClass};
@@ -54,8 +55,8 @@ enum Model {
 /// assert!(sg2.on_access(&page, 5).is_hit());
 /// ```
 #[derive(Debug)]
-pub struct SingleCache {
-    engine: GreedyDualEngine,
+pub struct SingleCache<O: Observer = NullObserver> {
+    engine: GreedyDualEngine<O>,
     /// Cumulative access counts per page (not reset on eviction).
     accesses: HashMap<PageId, u32>,
     model: Model,
@@ -69,13 +70,7 @@ impl SingleCache {
     ///
     /// Panics unless `beta` is positive and finite.
     pub fn sg1(capacity: Bytes, beta: f64) -> Self {
-        assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
-        Self {
-            engine: GreedyDualEngine::new(capacity),
-            accesses: HashMap::new(),
-            model: Model::Sg1 { beta },
-            name: "SG1",
-        }
+        Self::sg1_observed(capacity, beta, ObsHandle::disabled())
     }
 
     /// Creates an SG2 cache (`f = s − a` in the GD\* value).
@@ -84,19 +79,50 @@ impl SingleCache {
     ///
     /// Panics unless `beta` is positive and finite.
     pub fn sg2(capacity: Bytes, beta: f64) -> Self {
+        Self::sg2_observed(capacity, beta, ObsHandle::disabled())
+    }
+
+    /// Creates an SR cache (`V = (s − a)·c/s`, no GD\* framework).
+    pub fn sr(capacity: Bytes) -> Self {
+        Self::sr_observed(capacity, ObsHandle::disabled())
+    }
+}
+
+impl<O: Observer> SingleCache<O> {
+    /// [`sg1`](SingleCache::sg1) reporting cache decisions to `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta` is positive and finite.
+    pub fn sg1_observed(capacity: Bytes, beta: f64, obs: ObsHandle<O>) -> Self {
         assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
         Self {
-            engine: GreedyDualEngine::new(capacity),
+            engine: GreedyDualEngine::with_observer(capacity, obs),
+            accesses: HashMap::new(),
+            model: Model::Sg1 { beta },
+            name: "SG1",
+        }
+    }
+
+    /// [`sg2`](SingleCache::sg2) reporting cache decisions to `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta` is positive and finite.
+    pub fn sg2_observed(capacity: Bytes, beta: f64, obs: ObsHandle<O>) -> Self {
+        assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
+        Self {
+            engine: GreedyDualEngine::with_observer(capacity, obs),
             accesses: HashMap::new(),
             model: Model::Sg2 { beta },
             name: "SG2",
         }
     }
 
-    /// Creates an SR cache (`V = (s − a)·c/s`, no GD\* framework).
-    pub fn sr(capacity: Bytes) -> Self {
+    /// [`sr`](SingleCache::sr) reporting cache decisions to `obs`.
+    pub fn sr_observed(capacity: Bytes, obs: ObsHandle<O>) -> Self {
         Self {
-            engine: GreedyDualEngine::new(capacity),
+            engine: GreedyDualEngine::with_observer(capacity, obs),
             accesses: HashMap::new(),
             model: Model::Sr,
             name: "SR",
@@ -126,7 +152,7 @@ impl SingleCache {
     }
 }
 
-impl Strategy for SingleCache {
+impl<O: Observer> Strategy for SingleCache<O> {
     fn name(&self) -> &'static str {
         self.name
     }
@@ -265,7 +291,7 @@ mod tests {
         let p = page(1, 10, 1.0);
         sr.on_push(&p, 3);
         sr.on_access(&p, 3); // a = 1
-        // Displace it with a much more valuable page.
+                             // Displace it with a much more valuable page.
         assert!(sr.on_push(&page(2, 10, 1.0), 100).is_stored());
         assert!(!sr.contains(p.page));
         // The count is still there: a = 1 persists.

@@ -1,6 +1,7 @@
 //! SUB: push-time-only placement driven by subscription matching (§3.2).
 
 use pscd_cache::{AccessOutcome, GreedyDualEngine, PageRef};
+use pscd_obs::{NullObserver, ObsHandle, Observer};
 use pscd_types::{Bytes, PageId};
 
 use crate::{PushOutcome, Strategy, StrategyClass};
@@ -30,15 +31,22 @@ use crate::{PushOutcome, Strategy, StrategyClass};
 /// assert!(sub.on_access(&page, 3).is_hit());
 /// ```
 #[derive(Debug)]
-pub struct Sub {
-    engine: GreedyDualEngine,
+pub struct Sub<O: Observer = NullObserver> {
+    engine: GreedyDualEngine<O>,
 }
 
 impl Sub {
     /// Creates a SUB proxy cache with the given capacity.
     pub fn new(capacity: Bytes) -> Self {
+        Self::with_observer(capacity, ObsHandle::disabled())
+    }
+}
+
+impl<O: Observer> Sub<O> {
+    /// Creates a SUB proxy cache reporting cache decisions to `obs`.
+    pub fn with_observer(capacity: Bytes, obs: ObsHandle<O>) -> Self {
         Self {
-            engine: GreedyDualEngine::new(capacity),
+            engine: GreedyDualEngine::with_observer(capacity, obs),
         }
     }
 
@@ -48,7 +56,7 @@ impl Sub {
     }
 }
 
-impl Strategy for Sub {
+impl<O: Observer> Strategy for Sub<O> {
     fn name(&self) -> &'static str {
         "SUB"
     }
@@ -137,8 +145,8 @@ mod tests {
         let mut sub = Sub::new(Bytes::new(30));
         sub.on_push(&page(1, 10, 1.0), 10); // v = 1.0
         sub.on_push(&page(2, 20, 1.0), 40); // v = 2.0
-        // New 20-byte page worth 1.5: only page 1 (10 bytes) is a weaker
-        // candidate -> total candidate size 10 < 20 -> declined (§3.2).
+                                            // New 20-byte page worth 1.5: only page 1 (10 bytes) is a weaker
+                                            // candidate -> total candidate size 10 < 20 -> declined (§3.2).
         assert_eq!(sub.on_push(&page(3, 20, 1.0), 30), PushOutcome::Declined);
         assert!(!sub.would_store(&page(3, 20, 1.0), 30));
         assert!(sub.would_store(&page(4, 10, 1.0), 20));
@@ -187,7 +195,7 @@ mod tests {
     fn zero_subscriptions_zero_value() {
         let mut sub = Sub::new(Bytes::new(10));
         assert!(sub.on_push(&page(1, 10, 1.0), 0).is_stored()); // empty cache: free space
-        // Another zero-value page cannot displace it (not strictly less).
+                                                                // Another zero-value page cannot displace it (not strictly less).
         assert_eq!(sub.on_push(&page(2, 10, 1.0), 0), PushOutcome::Declined);
     }
 }

@@ -1,0 +1,236 @@
+//! Instrumented audit replays: re-run a lineup of strategies serially
+//! with observers attached, cross-check the observers' aggregate totals
+//! against each [`SimResult`](pscd_sim::SimResult), and write the
+//! artifacts — `summary.txt` plus, on request, one
+//! `events_<strategy>.jsonl` structured event log per strategy.
+//!
+//! This powers `repro <exhibit> --obs-dir DIR [--events]`. The replay is
+//! deliberately serial (one strategy at a time): the goal is a faithful,
+//! ordered decision log, not throughput.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use pscd_core::StrategyKind;
+use pscd_obs::{JsonlObserver, Registry, SharedObserver, StatsObserver};
+use pscd_sim::{simulate_observed, SimOptions};
+
+use crate::{ExperimentContext, ExperimentError, Trace};
+
+/// One strategy's instrumented replay.
+#[derive(Debug)]
+pub struct AuditRow {
+    /// Paper name of the strategy.
+    pub strategy: String,
+    /// Requests served (cross-checked against the observer's hit + miss
+    /// counters).
+    pub requests: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Pages pushed publisher→proxy (cross-checked against the observer's
+    /// transfer counter).
+    pub pushed_pages: u64,
+    /// The full [`StatsObserver`] summary for this run.
+    pub summary: String,
+    /// Where the event log went (only with `events`).
+    pub events_path: Option<PathBuf>,
+    /// Number of events in the log.
+    pub events_written: u64,
+}
+
+/// The decision audit of one exhibit lineup: per-strategy observed
+/// replays plus wall-clock spans, rendered into `summary.txt`.
+#[derive(Debug)]
+pub struct ObsAudit {
+    /// The trace replayed (the paper's NEWS trace).
+    pub trace: Trace,
+    /// Per-proxy capacity fraction of the replay.
+    pub capacity: f64,
+    /// One row per strategy, in lineup order.
+    pub rows: Vec<AuditRow>,
+    /// Wall-clock spans (one per strategy) and any audit-level metrics.
+    pub timing: Registry,
+}
+
+impl ObsAudit {
+    /// Replays `kinds` serially on the NEWS trace at `capacity` with a
+    /// [`StatsObserver`] (and, with `events`, a tee'd [`JsonlObserver`])
+    /// attached, writes `summary.txt` and the event logs into `dir`, and
+    /// fails if any observer total disagrees with its `SimResult`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Io`] when `dir` or a file in it cannot
+    /// be written, [`ExperimentError::ObserverMismatch`] when an observer
+    /// total disagrees with the simulation's own accounting, and
+    /// propagates simulation errors.
+    pub fn run(
+        ctx: &ExperimentContext,
+        kinds: &[StrategyKind],
+        capacity: f64,
+        dir: &Path,
+        events: bool,
+    ) -> Result<Self, ExperimentError> {
+        let io_err = |what: &Path, e: std::io::Error| {
+            ExperimentError::Io(format!("{}: {e}", what.display()))
+        };
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        let trace = Trace::News;
+        let subs = ctx.subscriptions(trace, 1.0)?;
+        let mut rows = Vec::new();
+        let mut timing = Registry::new();
+        for &kind in kinds {
+            let events_path =
+                events.then(|| dir.join(format!("events_{}.jsonl", slug(kind.name()))));
+            let jsonl = match &events_path {
+                Some(path) => Some(JsonlObserver::to_file(path).map_err(|e| io_err(path, e))?),
+                None => None,
+            };
+            let obs = SharedObserver::new((StatsObserver::new(), jsonl));
+            let options = SimOptions::at_capacity(kind, capacity);
+            let result = timing.time(kind.name(), || {
+                simulate_observed(
+                    ctx.workload(trace),
+                    &subs,
+                    ctx.costs(),
+                    &options,
+                    obs.clone(),
+                )
+            })?;
+            let (stats, jsonl) = obs
+                .try_unwrap()
+                .expect("the finished simulation holds no observer clones");
+            let events_written = jsonl.as_ref().map_or(0, JsonlObserver::events_written);
+            drop(jsonl); // flushes the event log
+            check(
+                &result.strategy,
+                "requests",
+                stats.requests(),
+                result.requests,
+            )?;
+            check(&result.strategy, "hits", stats.hits(), result.hits)?;
+            check(
+                &result.strategy,
+                "pushed pages",
+                stats.push_transfers(),
+                result.traffic.pushed_pages,
+            )?;
+            rows.push(AuditRow {
+                strategy: result.strategy,
+                requests: result.requests,
+                hits: result.hits,
+                pushed_pages: result.traffic.pushed_pages,
+                summary: stats.summary(),
+                events_path,
+                events_written,
+            });
+        }
+        let audit = Self {
+            trace,
+            capacity,
+            rows,
+            timing,
+        };
+        let summary_path = dir.join("summary.txt");
+        std::fs::write(&summary_path, audit.to_string()).map_err(|e| io_err(&summary_path, e))?;
+        Ok(audit)
+    }
+}
+
+impl fmt::Display for ObsAudit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "# decision audit: {} trace, capacity {:.0}%, SQ = 1\n",
+            self.trace.name(),
+            self.capacity * 100.0
+        )?;
+        for row in &self.rows {
+            writeln!(f, "== {} ==", row.strategy)?;
+            writeln!(
+                f,
+                "sim result: requests {}  hits {}  pushed_pages {}  (observer totals verified)",
+                row.requests, row.hits, row.pushed_pages
+            )?;
+            if let Some(path) = &row.events_path {
+                writeln!(
+                    f,
+                    "event log: {} ({} events)",
+                    path.display(),
+                    row.events_written
+                )?;
+            }
+            writeln!(f, "{}", row.summary)?;
+        }
+        writeln!(f, "== timing ==")?;
+        write!(f, "{}", self.timing.render())
+    }
+}
+
+/// A filesystem-safe lowercase slug of a strategy name
+/// (`"DC-LAP"` → `dc_lap`, `"GD*"` → `gdstar`).
+fn slug(name: &str) -> String {
+    let mut out = String::new();
+    for c in name.chars() {
+        match c {
+            '*' => out.push_str("star"),
+            c if c.is_ascii_alphanumeric() => out.push(c.to_ascii_lowercase()),
+            _ => out.push('_'),
+        }
+    }
+    out
+}
+
+fn check(strategy: &str, what: &str, observed: u64, simulated: u64) -> Result<(), ExperimentError> {
+    if observed == simulated {
+        Ok(())
+    } else {
+        Err(ExperimentError::ObserverMismatch {
+            strategy: strategy.to_owned(),
+            detail: format!("{what}: observer saw {observed}, simulation counted {simulated}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_are_filesystem_safe() {
+        assert_eq!(slug("GD*"), "gdstar");
+        assert_eq!(slug("DC-LAP"), "dc_lap");
+        assert_eq!(slug("SG2"), "sg2");
+        assert_eq!(slug("SUB"), "sub");
+    }
+
+    #[test]
+    fn audit_writes_artifacts_and_totals_match() {
+        let ctx = ExperimentContext::scaled(0.003).unwrap();
+        let dir = std::env::temp_dir().join(format!("pscd_audit_{}", std::process::id()));
+        let kinds = [
+            StrategyKind::GdStar { beta: 2.0 },
+            StrategyKind::Sg2 { beta: 2.0 },
+        ];
+        let audit = ObsAudit::run(&ctx, &kinds, 0.05, &dir, true).unwrap();
+        assert_eq!(audit.rows.len(), 2);
+        for row in &audit.rows {
+            assert!(row.requests > 0);
+            assert!(row.events_written > 0);
+            let log = std::fs::read_to_string(row.events_path.as_ref().unwrap()).unwrap();
+            let lines: Vec<&str> = log.lines().collect();
+            assert_eq!(lines.len(), row.events_written as usize);
+            assert!(lines[0].starts_with("{\"seq\":0,"));
+        }
+        // SG2 pushes; its log must contain push events, GD*'s none.
+        let sg2 = &audit.rows[1];
+        assert!(sg2.pushed_pages > 0);
+        let summary = std::fs::read_to_string(dir.join("summary.txt")).unwrap();
+        assert!(summary.contains("== GD* =="));
+        assert!(summary.contains("== SG2 =="));
+        assert!(summary.contains("observer totals verified"));
+        assert!(summary.contains("== timing =="));
+        assert_eq!(audit.timing.spans().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -9,19 +9,22 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use pscd_core::StrategyKind;
 use pscd_experiments::{
-    BetaSweep, ClassicBaselines, CoverageSweep, CrashRecovery, ExperimentContext,
-    ExperimentError, Fig3, Fig4, Fig5, Fig6, Fig7, LapBoundsSweep, PartitionSweep,
-    InvalidationStudy, ShiftSensitivity, Table2, ToCsv, VarianceStudy,
+    BetaSweep, ClassicBaselines, CoverageSweep, CrashRecovery, ExperimentContext, ExperimentError,
+    Fig3, Fig4, Fig5, Fig6, Fig7, InvalidationStudy, LapBoundsSweep, ObsAudit, PartitionSweep,
+    ShiftSensitivity, Table2, ToCsv, VarianceStudy, PAPER_BETA,
 };
 
-const USAGE: &str = "usage: repro <beta|fig3|fig4|table2|fig5|fig6|fig7|classic|lap-bounds|partition|coverage|shift|crash|invalidation|variance|ablations|all> [--scale FRACTION] [--csv DIR]";
+const USAGE: &str = "usage: repro <beta|fig3|fig4|table2|fig5|fig6|fig7|classic|lap-bounds|partition|coverage|shift|crash|invalidation|variance|ablations|all> [--scale FRACTION] [--csv DIR] [--obs-dir DIR [--events]]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut exhibit = None;
     let mut scale = 1.0f64;
     let mut csv_dir: Option<PathBuf> = None;
+    let mut obs_dir: Option<PathBuf> = None;
+    let mut events = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -39,6 +42,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--obs-dir" => match it.next() {
+                Some(dir) => obs_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--obs-dir needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--events" => events = true,
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -54,7 +65,17 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    match run(&exhibit, scale, csv_dir.as_deref()) {
+    if events && obs_dir.is_none() {
+        eprintln!("--events requires --obs-dir\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    match run(
+        &exhibit,
+        scale,
+        csv_dir.as_deref(),
+        obs_dir.as_deref(),
+        events,
+    ) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => {
             eprintln!("unknown exhibit: {exhibit}\n{USAGE}");
@@ -71,6 +92,8 @@ fn run(
     exhibit: &str,
     scale: f64,
     csv_dir: Option<&std::path::Path>,
+    obs_dir: Option<&std::path::Path>,
+    events: bool,
 ) -> Result<bool, ExperimentError> {
     eprintln!("generating workloads (scale = {scale}) …");
     let ctx = ExperimentContext::scaled(scale)?;
@@ -189,6 +212,29 @@ fn run(
         known = true;
         eprintln!("running popularity-shift calibration sweep …");
         println!("{}", ShiftSensitivity::run(&ctx, scale)?);
+    }
+    if known {
+        if let Some(dir) = obs_dir {
+            // Serial instrumented replay: the exhibit's lineup at the
+            // paper's middle capacity, with every decision audited.
+            let lineup = if exhibit == "fig3" {
+                StrategyKind::figure3_lineup(PAPER_BETA)
+            } else {
+                StrategyKind::figure4_lineup(PAPER_BETA)
+            };
+            eprintln!(
+                "replaying {} strategies with observers (events: {events}) …",
+                lineup.len()
+            );
+            let audit = ObsAudit::run(&ctx, &lineup, 0.05, dir, events)?;
+            for row in &audit.rows {
+                eprintln!(
+                    "  {:>6}: requests {}  hits {}  pushed {}  events {}",
+                    row.strategy, row.requests, row.hits, row.pushed_pages, row.events_written
+                );
+            }
+            eprintln!("wrote {}", dir.join("summary.txt").display());
+        }
     }
     Ok(known)
 }

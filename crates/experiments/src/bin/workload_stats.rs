@@ -12,6 +12,7 @@
 use std::collections::{HashMap, HashSet};
 use std::process::ExitCode;
 
+use pscd_obs::Registry;
 use pscd_workload::{popularity_class_shifted, Workload, WorkloadConfig};
 
 fn main() -> ExitCode {
@@ -57,16 +58,16 @@ fn main() -> ExitCode {
             eprintln!("export failed: {e}");
             return ExitCode::FAILURE;
         }
-        println!("
-exported TSV traces to {}", dir.display());
+        println!(
+            "
+exported TSV traces to {}",
+            dir.display()
+        );
     }
     ExitCode::SUCCESS
 }
 
-fn export_tsv(
-    w: &Workload,
-    dir: &std::path::Path,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn export_tsv(w: &Workload, dir: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
     use pscd_workload::io as trace_io;
     use std::io::BufWriter;
     std::fs::create_dir_all(dir)?;
@@ -80,9 +81,7 @@ fn export_tsv(
 }
 
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: workload-stats [news|alternative] [--scale F] [--seed N] [--export DIR]"
-    );
+    eprintln!("usage: workload-stats [news|alternative] [--scale F] [--seed N] [--export DIR]");
     ExitCode::FAILURE
 }
 
@@ -90,7 +89,10 @@ fn print_stats(w: &Workload, trace: &str) {
     let pages = w.pages();
     let alpha = w.config().requests.zipf_alpha;
     let shift = w.config().requests.zipf_shift;
-    println!("trace: {trace} (alpha = {alpha}, shift = {shift}, seed = {})", w.config().seed);
+    println!(
+        "trace: {trace} (alpha = {alpha}, shift = {shift}, seed = {})",
+        w.config().seed
+    );
 
     // Publishing stream.
     let originals = pages.iter().filter(|p| p.kind().is_original()).count();
@@ -98,13 +100,21 @@ fn print_stats(w: &Workload, trace: &str) {
     println!("\n# publishing stream");
     println!("pages:            {}", pages.len());
     println!("originals:        {originals}");
-    println!("modified:         {} (from {} updated articles)", pages.len() - originals, origins.len());
+    println!(
+        "modified:         {} (from {} updated articles)",
+        pages.len() - originals,
+        origins.len()
+    );
     let mut sizes: Vec<u64> = pages.iter().map(|p| p.size().as_u64()).collect();
     sizes.sort_unstable();
     let pct = |q: f64| sizes[((sizes.len() - 1) as f64 * q) as usize];
     println!(
         "page size:        p10 {}  p50 {}  p90 {}  p99 {}  max {}",
-        pct(0.10), pct(0.50), pct(0.90), pct(0.99), sizes[sizes.len() - 1]
+        pct(0.10),
+        pct(0.50),
+        pct(0.90),
+        pct(0.99),
+        sizes[sizes.len() - 1]
     );
 
     // Request stream.
@@ -121,10 +131,7 @@ fn print_stats(w: &Workload, trace: &str) {
     println!("requests:         {}", requests.len());
     println!("distinct pages:   {}", per_page.len());
     println!("(page,server):    {} pairs", pairs.len());
-    println!(
-        "top pages:        {:?}",
-        &counts[..counts.len().min(5)]
-    );
+    println!("top pages:        {:?}", &counts[..counts.len().min(5)]);
     let total: u64 = counts.iter().sum();
     let top10: u64 = counts.iter().take(counts.len().div_ceil(10)).sum();
     println!(
@@ -144,6 +151,25 @@ fn print_stats(w: &Workload, trace: &str) {
     println!("\n# subscriptions (SQ = 1)");
     println!("pairs:            {}", subs.iter().count());
     println!("total count:      {total_subs}");
+
+    // The same trace folded through the observability registry: the log₂
+    // histograms show the size and popularity shapes at a glance.
+    let mut reg = Registry::new();
+    reg.add("pages.total", pages.len() as u64);
+    reg.add("pages.originals", originals as u64);
+    reg.add("requests.total", requests.len() as u64);
+    reg.add("requests.distinct_pages", per_page.len() as u64);
+    reg.add("subscriptions.pairs", subs.iter().count() as u64);
+    reg.add("subscriptions.count", total_subs);
+    for p in pages {
+        reg.observe("page_size", p.size().as_f64());
+        reg.add_bytes("bytes.published", p.size());
+    }
+    for &count in per_page.values() {
+        reg.observe("requests_per_page", count as f64);
+    }
+    println!("\n# registry (log2 buckets)");
+    print!("{}", reg.render());
 
     // Capacity settings.
     println!("\n# per-proxy cache capacities");

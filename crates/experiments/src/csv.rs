@@ -2,7 +2,7 @@
 
 use crate::{
     BetaSweep, ClassicBaselines, CoverageSweep, CrashRecovery, Fig3, Fig4, Fig5, Fig6, Fig7,
-    LapBoundsSweep, PartitionSweep, Table2, Trace,
+    LapBoundsSweep, PartitionSweep, Table2, Trace, TraceRow,
 };
 
 /// An experiment result that can be exported as one or more CSV files.
@@ -22,7 +22,7 @@ fn fmt_ratio(h: f64) -> String {
 fn grid_csv(
     stem: &str,
     x_name: &str,
-    rows: &[(Trace, f64, Vec<(String, f64)>)],
+    rows: &[TraceRow],
     fmt_x: impl Fn(f64) -> String,
 ) -> Vec<(String, String)> {
     let mut out = Vec::new();
@@ -117,12 +117,7 @@ impl ToCsv for Fig7 {
                 .series
                 .iter()
                 .filter(|(s, _, _)| *s == scheme)
-                .map(|(_, n, pages)| {
-                    (
-                        n.clone(),
-                        pages.iter().map(|&p| Some(p as f64)).collect(),
-                    )
-                })
+                .map(|(_, n, pages)| (n.clone(), pages.iter().map(|&p| Some(p as f64)).collect()))
                 .collect();
             hourly_csv(&format!("fig7_{label}"), &series)
         })

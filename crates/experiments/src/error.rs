@@ -17,6 +17,16 @@ pub enum ExperimentError {
     Topology(TopologyError),
     /// A simulation run failed.
     Sim(SimError),
+    /// Writing observability artifacts failed.
+    Io(String),
+    /// An observer's aggregate totals disagreed with the simulation's own
+    /// accounting — an instrumentation bug, never expected in a release.
+    ObserverMismatch {
+        /// Strategy whose replay disagreed.
+        strategy: String,
+        /// Which total disagreed and the two values.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ExperimentError {
@@ -25,6 +35,13 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Workload(e) => write!(f, "workload generation failed: {e}"),
             ExperimentError::Topology(e) => write!(f, "topology generation failed: {e}"),
             ExperimentError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ExperimentError::Io(detail) => write!(f, "cannot write audit output: {detail}"),
+            ExperimentError::ObserverMismatch { strategy, detail } => {
+                write!(
+                    f,
+                    "observer disagrees with the {strategy} simulation: {detail}"
+                )
+            }
         }
     }
 }
@@ -35,6 +52,7 @@ impl Error for ExperimentError {
             ExperimentError::Workload(e) => Some(e),
             ExperimentError::Topology(e) => Some(e),
             ExperimentError::Sim(e) => Some(e),
+            ExperimentError::Io(_) | ExperimentError::ObserverMismatch { .. } => None,
         }
     }
 }

@@ -6,7 +6,8 @@ use pscd_core::StrategyKind;
 use pscd_sim::SimOptions;
 
 use crate::{
-    pct, run_grid, ExperimentContext, ExperimentError, TextTable, Trace, CAPACITIES, PAPER_BETA,
+    pct, run_grid, ExperimentContext, ExperimentError, TextTable, Trace, TraceRow, CAPACITIES,
+    PAPER_BETA,
 };
 
 /// Figure 3 of the paper: GD\* against the dual family (DM, DC-FP, DC-AP,
@@ -16,7 +17,7 @@ use crate::{
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fig3 {
     /// `(trace, capacity fraction, [(strategy, hit ratio)])` rows.
-    pub rows: Vec<(Trace, f64, Vec<(String, f64)>)>,
+    pub rows: Vec<TraceRow>,
 }
 
 impl Fig3 {

@@ -6,7 +6,8 @@ use pscd_core::StrategyKind;
 use pscd_sim::SimOptions;
 
 use crate::{
-    pct, run_grid, ExperimentContext, ExperimentError, TextTable, Trace, CAPACITIES, PAPER_BETA,
+    pct, run_grid, ExperimentContext, ExperimentError, TextTable, Trace, TraceRow, CAPACITIES,
+    PAPER_BETA,
 };
 
 /// Figure 4 of the paper: GD\*, SUB, SG1, SG2, SR and DC-LAP across the
@@ -15,7 +16,7 @@ use crate::{
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fig4 {
     /// `(trace, capacity fraction, [(strategy, hit ratio)])` rows.
-    pub rows: Vec<(Trace, f64, Vec<(String, f64)>)>,
+    pub rows: Vec<TraceRow>,
 }
 
 impl Fig4 {

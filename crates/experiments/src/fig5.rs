@@ -6,7 +6,8 @@ use pscd_core::StrategyKind;
 use pscd_sim::SimOptions;
 
 use crate::{
-    pct, run_grid, ExperimentContext, ExperimentError, TextTable, Trace, PAPER_BETA, QUALITIES,
+    pct, run_grid, ExperimentContext, ExperimentError, TextTable, Trace, TraceRow, PAPER_BETA,
+    QUALITIES,
 };
 
 /// Figure 5 of the paper: hit ratios of GD\*, SUB, SG1, SG2, SR and DC-LAP
@@ -15,7 +16,7 @@ use crate::{
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fig5 {
     /// `(trace, SQ, [(strategy, hit ratio)])` rows.
-    pub rows: Vec<(Trace, f64, Vec<(String, f64)>)>,
+    pub rows: Vec<TraceRow>,
 }
 
 impl Fig5 {

@@ -113,7 +113,11 @@ impl fmt::Display for Fig7 {
             ("(a)", PushScheme::Always),
             ("(b)", PushScheme::WhenNecessary),
         ] {
-            writeln!(f, "### {label} {} (6-hour buckets)", Self::scheme_label(scheme))?;
+            writeln!(
+                f,
+                "### {label} {} (6-hour buckets)",
+                Self::scheme_label(scheme)
+            )?;
             let names: Vec<&String> = self
                 .series
                 .iter()

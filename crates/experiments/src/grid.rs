@@ -99,10 +99,7 @@ mod tests {
         let w = Workload::generate(&pscd_workload::WorkloadConfig::news_scaled(0.003)).unwrap();
         let subs = w.subscriptions(1.0).unwrap();
         let costs = FetchCosts::uniform(3); // wrong size
-        let jobs: Vec<GridJob> = vec![(
-            &subs,
-            SimOptions::at_capacity(StrategyKind::Sub, 0.05),
-        )];
+        let jobs: Vec<GridJob> = vec![(&subs, SimOptions::at_capacity(StrategyKind::Sub, 0.05))];
         assert!(run_grid(&w, &costs, &jobs).is_err());
     }
 }

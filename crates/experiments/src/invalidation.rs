@@ -82,9 +82,15 @@ impl fmt::Display for InvalidationStudy {
             "## Extension: stale-version invalidation (capacity = 5%, SQ = 1)\n"
         )?;
         let mut table = TextTable::new(
-            ["trace", "strategy", "keep stale", "invalidate", "tax (points)"]
-                .map(str::to_owned)
-                .to_vec(),
+            [
+                "trace",
+                "strategy",
+                "keep stale",
+                "invalidate",
+                "tax (points)",
+            ]
+            .map(str::to_owned)
+            .to_vec(),
         );
         for (trace, name, without, with) in &self.rows {
             table.add_row(vec![

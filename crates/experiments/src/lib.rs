@@ -34,6 +34,7 @@
 #![warn(missing_debug_implementations)]
 
 mod ablations;
+mod audit;
 mod beta;
 mod context;
 mod csv;
@@ -51,9 +52,10 @@ mod table2;
 mod variance;
 
 pub use ablations::{
-    ClassicBaselines, CoverageSweep, LapBoundsSweep, PartitionSweep, ShiftSensitivity,
-    COVERAGES, LAP_BOUNDS, PC_FRACTIONS, SHIFTS,
+    ClassicBaselines, CoverageSweep, LapBoundsSweep, PartitionSweep, ShiftSensitivity, COVERAGES,
+    LAP_BOUNDS, PC_FRACTIONS, SHIFTS,
 };
+pub use audit::{AuditRow, ObsAudit};
 pub use beta::{BetaCell, BetaSweep};
 pub use context::{ExperimentContext, Trace, BETAS, CAPACITIES, PAPER_BETA, QUALITIES};
 pub use csv::ToCsv;
@@ -69,3 +71,11 @@ pub use recovery::{CrashRecovery, CRASH_HOUR};
 pub use table::{pct, signed_pct, TextTable};
 pub use table2::Table2;
 pub use variance::{MeanSd, VarianceStudy};
+
+/// Per-strategy measurement cells: `(strategy name, value)` pairs in
+/// lineup order.
+pub type StrategyCells = Vec<(String, f64)>;
+
+/// One sweep row: `(trace, x value, per-strategy cells)` — the shape
+/// shared by the figure grids and most ablations.
+pub type TraceRow = (Trace, f64, StrategyCells);

@@ -41,12 +41,7 @@ impl CrashRecovery {
         let crash = CrashPlan::new(SimTime::from_hours(CRASH_HOUR as u64), 1.0);
         let jobs: Vec<_> = lineup
             .iter()
-            .map(|&kind| {
-                (
-                    &subs,
-                    SimOptions::at_capacity(kind, 0.05).with_crash(crash),
-                )
-            })
+            .map(|&kind| (&subs, SimOptions::at_capacity(kind, 0.05).with_crash(crash)))
             .collect();
         let results = run_grid(ctx.workload(Trace::News), ctx.costs(), &jobs)?;
         Ok(Self {

@@ -130,18 +130,13 @@ impl SubscriptionIndex {
             }
         };
         for (attr, value) in content.iter() {
-            if let Some(refs) = self
-                .eq_index
-                .get(&(attr.to_owned(), value.clone()))
-            {
+            if let Some(refs) = self.eq_index.get(&(attr.to_owned(), value.clone())) {
                 bump(refs, &mut counts);
             }
             match value {
                 Value::Tags(tags) => {
                     for tag in tags {
-                        if let Some(refs) =
-                            self.tag_index.get(&(attr.to_owned(), tag.clone()))
-                        {
+                        if let Some(refs) = self.tag_index.get(&(attr.to_owned(), tag.clone())) {
                             bump(refs, &mut counts);
                         }
                     }
@@ -231,9 +226,7 @@ mod tests {
         let tennis = idx.insert(Subscription::new(vec![Predicate::contains(
             "tags", "tennis",
         )]));
-        let _golf = idx.insert(Subscription::new(vec![Predicate::contains(
-            "tags", "golf",
-        )]));
+        let _golf = idx.insert(Subscription::new(vec![Predicate::contains("tags", "golf")]));
         assert_eq!(idx.matches(&sports_page()), vec![tennis]);
     }
 

@@ -122,11 +122,7 @@ impl EngineMatcher {
     ///
     /// Returns [`MatchError::UnknownServer`] if `server` is out of range and
     /// [`MatchError::UnknownSubscription`] if the id is not registered there.
-    pub fn unsubscribe(
-        &mut self,
-        server: ServerId,
-        id: SubscriptionId,
-    ) -> Result<(), MatchError> {
+    pub fn unsubscribe(&mut self, server: ServerId, id: SubscriptionId) -> Result<(), MatchError> {
         let idx = self.index_mut(server)?;
         idx.remove(id)
             .map(|_| ())
@@ -208,7 +204,10 @@ mod tests {
         let m = TableMatcher::from(b.build());
         assert_eq!(m.match_count(PageId::new(0), ServerId::new(1)), 4);
         assert_eq!(m.match_count(PageId::new(0), ServerId::new(0)), 0);
-        assert_eq!(m.matched_servers(PageId::new(0)), vec![(ServerId::new(1), 4)]);
+        assert_eq!(
+            m.matched_servers(PageId::new(0)),
+            vec![(ServerId::new(1), 4)]
+        );
         assert!(m.matched_servers(PageId::new(1)).is_empty());
         assert_eq!(m.table().page_count(), 2);
     }
@@ -221,7 +220,10 @@ mod tests {
         m.subscribe(ServerId::new(0), sports.clone()).unwrap();
         m.subscribe(ServerId::new(0), sports.clone()).unwrap();
         m.subscribe(ServerId::new(2), sports).unwrap();
-        m.register_page(PageId::new(7), Content::new().with("cat", Value::str("sports")));
+        m.register_page(
+            PageId::new(7),
+            Content::new().with("cat", Value::str("sports")),
+        );
         assert_eq!(
             m.matched_servers(PageId::new(7)),
             vec![(ServerId::new(0), 2), (ServerId::new(2), 1)]

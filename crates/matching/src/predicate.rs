@@ -205,10 +205,7 @@ mod tests {
 
     #[test]
     fn display_round() {
-        assert_eq!(
-            Predicate::ge("words", 10).to_string(),
-            "words >= 10"
-        );
+        assert_eq!(Predicate::ge("words", 10).to_string(), "words >= 10");
         assert_eq!(
             Predicate::contains("tags", "a").to_string(),
             "tags contains a"

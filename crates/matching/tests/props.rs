@@ -32,7 +32,10 @@ fn predicate_strategy() -> impl Strategy<Value = Predicate> {
         (attr.clone(), -50i64..50).prop_map(|(a, b)| Predicate::ge(a, b)),
         (attr.clone(), proptest::sample::select(TAGS.to_vec()))
             .prop_map(|(a, t)| Predicate::contains(a, t)),
-        (attr.clone(), proptest::sample::select(vec!["s", "sp", "spo", "te"]))
+        (
+            attr.clone(),
+            proptest::sample::select(vec!["s", "sp", "spo", "te"])
+        )
             .prop_map(|(a, p)| Predicate::prefix(a, p)),
         attr.prop_map(Predicate::exists),
     ]

@@ -1,0 +1,58 @@
+//! Structured event tracing, decision audit and hot-path timing for the
+//! `pscd` simulator.
+//!
+//! The simulator's answers — hit ratios, traffic totals — say *what*
+//! happened; this crate records *why*: which pages a strategy evicted and
+//! at what value, how often the adaptive dual caches relabeled storage,
+//! where pushed bytes actually went. It has three layers:
+//!
+//! * [`Observer`] — a trait with typed hooks for every decision point in
+//!   the pipeline (publish, notify, request, push, admit, evict, relabel,
+//!   crash/restart, invalidate). Hooks have empty `#[inline]` defaults
+//!   and an associated `const ENABLED`; with the default [`NullObserver`]
+//!   (`ENABLED = false`) every instrumented call site monomorphizes back
+//!   to the uninstrumented code, so observation is zero-cost when off.
+//! * Shipped observers: [`StatsObserver`] aggregates the stream into a
+//!   [`Registry`] (constant memory), [`JsonlObserver`] logs one JSON
+//!   object per event for offline analysis. Observers compose: a tuple
+//!   `(A, B)` tees the stream, `Option<O>` gates it at runtime.
+//! * [`Registry`] / [`SharedRegistry`] — in-process metrics: named
+//!   counters, byte counters, [`Log2Histogram`]s (order-of-magnitude
+//!   distributions of eviction values and page sizes) and wall-clock
+//!   span timing for coarse stages.
+//!
+//! One simulation run is single-threaded, so components share one
+//! observer through [`SharedObserver`] (`Rc<RefCell<_>>`); caches and
+//! strategies hold a per-proxy [`ObsHandle`] that stamps decision events
+//! with their [`ServerId`](pscd_types::ServerId).
+//!
+//! # Examples
+//!
+//! ```
+//! use pscd_obs::{Observer, SharedObserver, StatsObserver, EvictReason};
+//! use pscd_types::{Bytes, PageId, ServerId, SimTime};
+//!
+//! let shared = SharedObserver::new(StatsObserver::new());
+//! let handle = shared.handle(ServerId::new(2));
+//! shared.request(SimTime::ZERO, ServerId::new(2), PageId::new(9), Bytes::new(800), false);
+//! handle.evict(PageId::new(4), Bytes::new(500), 1.25, EvictReason::Access);
+//! drop(handle); // release the last other clone before unwrapping
+//! let stats = shared.try_unwrap().unwrap();
+//! assert_eq!(stats.requests(), 1);
+//! assert_eq!(stats.registry().counter("evict.access"), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod jsonl;
+mod observer;
+mod registry;
+mod stats;
+
+pub use jsonl::{JsonlObserver, BUF_CAP};
+pub use observer::{
+    AdmitOrigin, EvictReason, NullObserver, ObsHandle, Observer, RelabelDirection, SharedObserver,
+};
+pub use registry::{Log2Histogram, Registry, SharedRegistry};
+pub use stats::{StatsObserver, K_PUSH_TRANSFERS, K_REQUEST_HITS, K_REQUEST_MISSES};

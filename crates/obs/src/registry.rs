@@ -1,0 +1,474 @@
+//! In-process metrics: named counters, byte counters, log₂ histograms,
+//! and wall-clock span timing for coarse pipeline stages.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use pscd_types::Bytes;
+
+/// Sentinel bucket for non-positive samples (an eviction value of exactly
+/// zero is common: pages with no matching subscriptions).
+const ZERO_BUCKET: i32 = i32::MIN;
+
+/// A histogram over powers of two: bucket `e` covers `[2^e, 2^(e+1))`.
+///
+/// Built for the two distributions the simulator cares about — page sizes
+/// (hundreds of bytes to tens of KiB) and eviction values (fractions to
+/// thousands, hence the negative exponents) — where exact quantiles are
+/// overkill but orders of magnitude tell the story.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Log2Histogram {
+    buckets: BTreeMap<i32, u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample. Non-positive samples land in a dedicated
+    /// underflow bucket; NaN is ignored.
+    pub fn record(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        let bucket = if value > 0.0 {
+            // log2 of f64::MAX is < 1024, safely inside i32.
+            value.log2().floor() as i32
+        } else {
+            ZERO_BUCKET
+        };
+        *self.buckets.entry(bucket).or_insert(0) += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean sample, or 0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample (0 with no samples).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 with no samples).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Occupied `(exponent, count)` buckets in ascending exponent order;
+    /// the underflow bucket (samples ≤ 0) reports exponent `i32::MIN`.
+    pub fn buckets(&self) -> impl Iterator<Item = (i32, u64)> + '_ {
+        self.buckets.iter().map(|(&e, &c)| (e, c))
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (&e, &c) in &other.buckets {
+            *self.buckets.entry(e).or_insert(0) += c;
+        }
+        if other.count > 0 {
+            if self.count == 0 {
+                self.min = other.min;
+                self.max = other.max;
+            } else {
+                self.min = self.min.min(other.min);
+                self.max = self.max.max(other.max);
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    fn render_into(&self, out: &mut String, indent: &str) {
+        let peak = self.buckets.values().copied().max().unwrap_or(0).max(1);
+        for (&e, &c) in &self.buckets {
+            let label = if e == ZERO_BUCKET {
+                "        <= 0".to_owned()
+            } else {
+                format!("[2^{e}, 2^{})", e + 1)
+            };
+            let bar = "#".repeat(((c * 32).div_ceil(peak)) as usize);
+            let _ = writeln!(out, "{indent}{label:>14} {c:>10} {bar}");
+        }
+    }
+}
+
+/// A registry of named counters, byte counters, [`Log2Histogram`]s and
+/// timed spans — the in-process metrics store behind
+/// [`StatsObserver`](crate::StatsObserver) and the CLI's
+/// `--obs-dir` summaries.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_obs::Registry;
+/// use pscd_types::Bytes;
+///
+/// let mut reg = Registry::new();
+/// reg.inc("request.hits");
+/// reg.add_bytes("bytes.fetched", Bytes::new(512));
+/// reg.observe("page_size", 512.0);
+/// let sum = reg.time("stage", || 2 + 2);
+/// assert_eq!(sum, 4);
+/// assert_eq!(reg.counter("request.hits"), 1);
+/// assert_eq!(reg.bytes("bytes.fetched"), 512);
+/// assert_eq!(reg.spans().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    bytes: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Log2Histogram>,
+    spans: Vec<(String, Duration)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.bytes.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// Increments counter `name` by one.
+    #[inline]
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to counter `name`.
+    #[inline]
+    pub fn add(&mut self, name: &str, n: u64) {
+        bump(&mut self.counters, name, n);
+    }
+
+    /// Adds to byte counter `name`.
+    #[inline]
+    pub fn add_bytes(&mut self, name: &str, bytes: Bytes) {
+        bump(&mut self.bytes, name, bytes.as_u64());
+    }
+
+    /// Records a sample into histogram `name`.
+    #[inline]
+    pub fn observe(&mut self, name: &str, value: f64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Log2Histogram::new();
+                h.record(value);
+                self.histograms.insert(name.to_owned(), h);
+            }
+        }
+    }
+
+    /// The value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The value of byte counter `name` (0 if never touched).
+    pub fn bytes(&self, name: &str) -> u64 {
+        self.bytes.get(name).copied().unwrap_or(0)
+    }
+
+    /// The histogram `name`, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Log2Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(n, &v)| (n.as_str(), v))
+    }
+
+    /// All byte counters in name order.
+    pub fn byte_counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.bytes.iter().map(|(n, &v)| (n.as_str(), v))
+    }
+
+    /// Counters whose name starts with `prefix`, in name order.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters()
+            .filter(move |(name, _)| name.starts_with(prefix))
+    }
+
+    /// Records an already-measured span.
+    pub fn record_span(&mut self, label: &str, elapsed: Duration) {
+        self.spans.push((label.to_owned(), elapsed));
+    }
+
+    /// Times `f` under `label` and returns its result.
+    pub fn time<R>(&mut self, label: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let result = f();
+        self.record_span(label, start.elapsed());
+        result
+    }
+
+    /// Recorded spans in recording order.
+    pub fn spans(&self) -> &[(String, Duration)] {
+        &self.spans
+    }
+
+    /// Folds another registry into this one (counters add up, histograms
+    /// merge, spans concatenate).
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, &v) in &other.counters {
+            bump(&mut self.counters, name, v);
+        }
+        for (name, &v) in &other.bytes {
+            bump(&mut self.bytes, name, v);
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+        self.spans.extend(other.spans.iter().cloned());
+    }
+
+    /// Plain-text report: spans, counters, byte counters, histograms.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str("spans:\n");
+            for (label, d) in &self.spans {
+                let _ = writeln!(out, "  {label:<40} {:>12.3} ms", d.as_secs_f64() * 1e3);
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<40} {v:>12}");
+            }
+        }
+        if !self.bytes.is_empty() {
+            out.push_str("bytes:\n");
+            for (name, v) in &self.bytes {
+                let _ = writeln!(out, "  {name:<40} {v:>12}");
+            }
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram {name} (n={}, mean={:.2}, min={:.2}, max={:.2}):",
+                h.count(),
+                h.mean(),
+                h.min(),
+                h.max()
+            );
+            h.render_into(&mut out, "  ");
+        }
+        out
+    }
+}
+
+fn bump(map: &mut BTreeMap<String, u64>, name: &str, n: u64) {
+    match map.get_mut(name) {
+        Some(v) => *v += n,
+        None => {
+            map.insert(name.to_owned(), n);
+        }
+    }
+}
+
+/// A thread-safe registry handle (`Arc<Mutex<Registry>>`): worker threads
+/// record into one store, e.g. the per-stage spans of a parallel
+/// experiment grid.
+#[derive(Debug, Clone, Default)]
+pub struct SharedRegistry {
+    inner: Arc<Mutex<Registry>>,
+}
+
+impl SharedRegistry {
+    /// An empty shared registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` with exclusive access to the registry.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Registry) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    /// Times `f` under `label` without holding the lock while it runs.
+    pub fn time<R>(&self, label: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let result = f();
+        self.inner.lock().record_span(label, start.elapsed());
+        result
+    }
+
+    /// A snapshot of the current contents.
+    pub fn snapshot(&self) -> Registry {
+        self.inner.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_buckets_cover_powers_of_two() {
+        let mut h = Log2Histogram::new();
+        for v in [0.0, -1.0, 0.3, 1.0, 1.9, 2.0, 3.99, 1024.0] {
+            h.record(v);
+        }
+        h.record(f64::NAN); // ignored
+        assert_eq!(h.count(), 8);
+        let buckets: Vec<(i32, u64)> = h.buckets().collect();
+        assert_eq!(
+            buckets,
+            [(ZERO_BUCKET, 2), (-2, 1), (0, 2), (1, 2), (10, 1)]
+        );
+        assert_eq!(h.min(), -1.0);
+        assert_eq!(h.max(), 1024.0);
+        assert!(h.mean() > 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_adds_up() {
+        let mut a = Log2Histogram::new();
+        a.record(1.0);
+        a.record(5.0);
+        let mut b = Log2Histogram::new();
+        b.record(5.5);
+        b.record(100.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.max(), 100.0);
+        assert_eq!(a.min(), 1.0);
+        let by_exp: BTreeMap<i32, u64> = a.buckets().collect();
+        assert_eq!(by_exp[&2], 2); // 5.0 and 5.5 share [4, 8)
+    }
+
+    #[test]
+    fn counters_and_prefixes() {
+        let mut r = Registry::new();
+        assert!(r.is_empty());
+        r.inc("evict.access");
+        r.add("evict.access", 2);
+        r.inc("evict.push");
+        r.inc("admit.push");
+        r.add_bytes("bytes.pushed", Bytes::new(100));
+        r.add_bytes("bytes.pushed", Bytes::new(50));
+        assert_eq!(r.counter("evict.access"), 3);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.bytes("bytes.pushed"), 150);
+        assert_eq!(r.bytes("missing"), 0);
+        let evictions: Vec<(&str, u64)> = r.counters_with_prefix("evict.").collect();
+        assert_eq!(evictions, [("evict.access", 3), ("evict.push", 1)]);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn spans_and_render() {
+        let mut r = Registry::new();
+        let v = r.time("matching", || 21 * 2);
+        assert_eq!(v, 42);
+        r.record_span("workload generation", Duration::from_millis(5));
+        r.observe("page_size", 512.0);
+        r.inc("request.hits");
+        assert_eq!(r.spans().len(), 2);
+        assert_eq!(r.spans()[1].1, Duration::from_millis(5));
+        let text = r.render();
+        assert!(text.contains("matching"));
+        assert!(text.contains("request.hits"));
+        assert!(text.contains("histogram page_size"));
+        assert!(text.contains("[2^9, 2^10)"));
+    }
+
+    #[test]
+    fn registry_merge() {
+        let mut a = Registry::new();
+        a.inc("x");
+        a.observe("h", 2.0);
+        a.record_span("s", Duration::from_millis(1));
+        let mut b = Registry::new();
+        b.add("x", 4);
+        b.inc("y");
+        b.add_bytes("bb", Bytes::new(7));
+        b.observe("h", 3.0);
+        b.observe("h2", 1.0);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 5);
+        assert_eq!(a.counter("y"), 1);
+        assert_eq!(a.bytes("bb"), 7);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.histogram("h2").unwrap().count(), 1);
+        assert_eq!(a.spans().len(), 1);
+    }
+
+    #[test]
+    fn shared_registry_across_threads() {
+        let shared = SharedRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        shared.with(|r| r.inc("ticks"));
+                    }
+                    shared.time("work", || std::hint::black_box(3 + 4));
+                });
+            }
+        });
+        let snap = shared.snapshot();
+        assert_eq!(snap.counter("ticks"), 400);
+        assert_eq!(snap.spans().len(), 4);
+    }
+}

@@ -33,10 +33,9 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::MismatchedCosts { servers, costs } => write!(
-                f,
-                "workload has {servers} proxies but costs cover {costs}"
-            ),
+            SimError::MismatchedCosts { servers, costs } => {
+                write!(f, "workload has {servers} proxies but costs cover {costs}")
+            }
             SimError::MismatchedSubscriptions { pages, table_pages } => write!(
                 f,
                 "workload has {pages} pages but the subscription table covers {table_pages}"

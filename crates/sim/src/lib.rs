@@ -36,4 +36,4 @@ mod runner;
 
 pub use error::SimError;
 pub use metrics::{HourlySeries, SimResult};
-pub use runner::{simulate, CrashPlan, SimOptions, Simulation, StepEvent};
+pub use runner::{simulate, simulate_observed, CrashPlan, SimOptions, Simulation, StepEvent};

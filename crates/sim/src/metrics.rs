@@ -42,9 +42,13 @@ impl HourlySeries {
     }
 
     /// Records one request at `time` (`hit` says whether it was served
-    /// locally; misses also record the fetched page).
+    /// locally; misses also record the fetched page). A no-op on a series
+    /// with zero buckets.
     pub fn record_request(&mut self, time: SimTime, hit: bool, size: Bytes) {
-        let h = time.hour_index().min(self.hours().saturating_sub(1));
+        let Some(last) = self.hours().checked_sub(1) else {
+            return;
+        };
+        let h = time.hour_index().min(last);
         self.requests[h] += 1;
         if hit {
             self.hits[h] += 1;
@@ -54,9 +58,13 @@ impl HourlySeries {
         }
     }
 
-    /// Records one pushed page at `time`.
+    /// Records one pushed page at `time`. A no-op on a series with zero
+    /// buckets.
     pub fn record_push(&mut self, time: SimTime, size: Bytes) {
-        let h = time.hour_index().min(self.hours().saturating_sub(1));
+        let Some(last) = self.hours().checked_sub(1) else {
+            return;
+        };
+        let h = time.hour_index().min(last);
         self.pushed_pages[h] += 1;
         self.pushed_bytes[h] += size.as_u64();
     }
@@ -165,6 +173,17 @@ mod tests {
         assert_eq!(s.pushed_bytes, [0, 0, 35]);
         assert_eq!(s.traffic_pages(), [0, 1, 2]);
         assert_eq!(s.traffic_bytes(), [0, 20, 35]);
+    }
+
+    #[test]
+    fn zero_bucket_series_ignores_records() {
+        // Regression: these used to panic on the empty bucket vectors.
+        let mut s = HourlySeries::new(0);
+        s.record_request(SimTime::from_hours(0), true, Bytes::new(10));
+        s.record_push(SimTime::from_hours(5), Bytes::new(10));
+        assert_eq!(s.hours(), 0);
+        assert!(s.traffic_pages().is_empty());
+        assert!(s.hit_ratio_percent().is_empty());
     }
 
     #[test]

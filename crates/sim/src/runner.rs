@@ -8,6 +8,7 @@ use rand::SeedableRng;
 
 use pscd_broker::{DeliveryEngine, PushScheme};
 use pscd_core::StrategyKind;
+use pscd_obs::{NullObserver, Observer, SharedObserver};
 use pscd_topology::FetchCosts;
 use pscd_types::{ServerId, SimTime, SubscriptionTable};
 use pscd_workload::Workload;
@@ -142,6 +143,52 @@ pub fn simulate(
     Ok(Simulation::new(workload, subscriptions, costs, options)?.run())
 }
 
+/// [`simulate`] with every simulator decision reported to `obs`: timeline
+/// events (publish, request, crash, invalidation) fire from the runner,
+/// push outcomes from the delivery engine, and cache decisions
+/// (admissions, evictions, relabels) from the per-proxy strategies.
+///
+/// Keep a [`SharedObserver`] clone to read the observer back after the
+/// run. With a [`NullObserver`] this compiles to exactly [`simulate`].
+///
+/// # Errors
+///
+/// Returns [`SimError`] for the same invalid inputs as [`simulate`].
+///
+/// # Examples
+///
+/// ```
+/// use pscd_core::StrategyKind;
+/// use pscd_obs::{SharedObserver, StatsObserver};
+/// use pscd_sim::{simulate_observed, SimOptions};
+/// use pscd_topology::FetchCosts;
+/// use pscd_workload::{Workload, WorkloadConfig};
+///
+/// let w = Workload::generate(&WorkloadConfig::news_scaled(0.003))?;
+/// let subs = w.subscriptions(1.0)?;
+/// let costs = FetchCosts::uniform(w.server_count());
+/// let obs = SharedObserver::new(StatsObserver::new());
+/// let result = simulate_observed(
+///     &w,
+///     &subs,
+///     &costs,
+///     &SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05),
+///     obs.clone(),
+/// )?;
+/// let stats = obs.try_unwrap().expect("run dropped its clones");
+/// assert_eq!(stats.requests(), result.requests);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn simulate_observed<O: Observer>(
+    workload: &Workload,
+    subscriptions: &SubscriptionTable,
+    costs: &FetchCosts,
+    options: &SimOptions,
+    obs: SharedObserver<O>,
+) -> Result<SimResult, SimError> {
+    Ok(Simulation::with_observer(workload, subscriptions, costs, options, obs)?.run())
+}
+
 /// One processed simulation event, as reported by [`Simulation::step`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StepEvent {
@@ -211,11 +258,12 @@ pub enum StepEvent {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
-pub struct Simulation<'a> {
+pub struct Simulation<'a, O: Observer = NullObserver> {
     workload: &'a Workload,
     subscriptions: &'a SubscriptionTable,
     options: SimOptions,
-    engine: DeliveryEngine,
+    engine: DeliveryEngine<O>,
+    obs: SharedObserver<O>,
     capacities: Vec<pscd_types::Bytes>,
     hourly: HourlySeries,
     pending_crash: Option<CrashPlan>,
@@ -241,6 +289,31 @@ impl<'a> Simulation<'a> {
         costs: &FetchCosts,
         options: &SimOptions,
     ) -> Result<Self, SimError> {
+        Simulation::with_observer(
+            workload,
+            subscriptions,
+            costs,
+            options,
+            SharedObserver::disabled(),
+        )
+    }
+}
+
+impl<'a, O: Observer> Simulation<'a, O> {
+    /// [`new`](Simulation::new) with all simulator decisions reported to
+    /// `obs` (see [`simulate_observed`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for mismatched inputs or invalid options, like
+    /// [`simulate`].
+    pub fn with_observer(
+        workload: &'a Workload,
+        subscriptions: &'a SubscriptionTable,
+        costs: &FetchCosts,
+        options: &SimOptions,
+        obs: SharedObserver<O>,
+    ) -> Result<Self, SimError> {
         let servers = workload.server_count();
         if costs.server_count() != servers {
             return Err(SimError::MismatchedCosts {
@@ -248,7 +321,7 @@ impl<'a> Simulation<'a> {
                 costs: costs.server_count(),
             });
         }
-        if !(options.capacity_fraction > 0.0) {
+        if options.capacity_fraction.is_nan() || options.capacity_fraction <= 0.0 {
             return Err(SimError::InvalidOption {
                 option: "capacity_fraction",
                 constraint: "> 0",
@@ -271,16 +344,27 @@ impl<'a> Simulation<'a> {
         let capacities = workload.cache_capacities(options.capacity_fraction);
         let strategies = capacities
             .iter()
-            .map(|&cap| options.strategy.build(cap))
+            .enumerate()
+            .map(|(i, &cap)| {
+                options
+                    .strategy
+                    .build_observed(cap, obs.handle(ServerId::new(i as u16)))
+            })
             .collect();
-        let engine = DeliveryEngine::new(strategies, costs.iter().collect(), options.scheme)
-            .expect("lengths match by construction");
+        let engine = DeliveryEngine::with_observer(
+            strategies,
+            costs.iter().collect(),
+            options.scheme,
+            obs.clone(),
+        )
+        .expect("lengths match by construction");
         let hours = (workload.horizon().as_hours_f64().ceil() as usize).max(1);
         Ok(Self {
             workload,
             subscriptions,
             options: *options,
             engine,
+            obs,
             capacities,
             hourly: HourlySeries::new(hours),
             pending_crash: options.crash,
@@ -293,7 +377,7 @@ impl<'a> Simulation<'a> {
 
     /// Read access to the live delivery engine (per-proxy strategies,
     /// counters).
-    pub fn engine(&self) -> &DeliveryEngine {
+    pub fn engine(&self) -> &DeliveryEngine<O> {
         &self.engine
     }
 
@@ -322,17 +406,27 @@ impl<'a> Simulation<'a> {
             (None, Some(r)) => r.time,
             (None, None) => return None,
         };
+        // Stamp the clock first so decision events fired by the engines
+        // below carry this event's simulation time.
+        self.obs.clock(next_time);
         // Fault injection fires before the first event at/after its time.
         if let Some(plan) = self.pending_crash {
             if next_time >= plan.time {
                 self.pending_crash = None;
                 let victims = plan.victims(self.workload.server_count());
                 let n = victims.len();
+                self.obs.crash(next_time, &victims);
                 for server in victims {
                     let capacity = self.capacities[server.as_usize()];
                     self.engine
-                        .replace_strategy(server, self.options.strategy.build(capacity))
+                        .replace_strategy(
+                            server,
+                            self.options
+                                .strategy
+                                .build_observed(capacity, self.obs.handle(server)),
+                        )
                         .expect("victims are in range");
+                    self.obs.restart(next_time, server);
                 }
                 return Some(StepEvent::Crashed { servers: n });
             }
@@ -352,11 +446,13 @@ impl<'a> Simulation<'a> {
                 if let Some(previous) = self.latest_version.insert(origin, ev.page) {
                     let dropped = self.engine.invalidate_everywhere(previous);
                     if dropped > 0 {
+                        self.obs.invalidate(ev.time, previous, dropped);
                         self.pending_invalidation = Some((previous, dropped));
                     }
                 }
             }
             let matched = self.subscriptions.matched_servers(ev.page);
+            self.obs.notify(ev.time, ev.page, matched.len());
             let mut pushed = 0;
             for record in self.engine.publish(meta, matched) {
                 if record.transferred {
@@ -364,6 +460,8 @@ impl<'a> Simulation<'a> {
                     pushed += 1;
                 }
             }
+            self.obs
+                .publish(ev.time, ev.page, meta.size(), matched.len(), pushed);
             Some(StepEvent::Published {
                 page: ev.page,
                 time: ev.time,
@@ -378,6 +476,8 @@ impl<'a> Simulation<'a> {
                 .engine
                 .request_with_subs(ev.server, meta, subs)
                 .expect("trace validated against server count");
+            self.obs
+                .request(ev.time, ev.server, ev.page, meta.size(), record.hit);
             self.hourly.record_request(ev.time, record.hit, meta.size());
             Some(StepEvent::Requested {
                 page: ev.page,
@@ -422,6 +522,42 @@ mod tests {
 
     fn tiny_workload() -> Workload {
         Workload::generate(&WorkloadConfig::news_scaled(0.004)).unwrap()
+    }
+
+    #[test]
+    fn crash_victims_are_deterministic_and_pinned() {
+        let plan = CrashPlan {
+            time: SimTime::from_days(1),
+            fraction: 0.5,
+            seed: 42,
+        };
+        let victims = plan.victims(10);
+        assert_eq!(victims, plan.victims(10), "same plan, same victims");
+        assert_eq!(victims.len(), 5);
+        let mut indices: Vec<u16> = victims.iter().map(|s| s.index()).collect();
+        let pinned = indices.clone();
+        indices.sort_unstable();
+        indices.dedup();
+        assert_eq!(indices.len(), 5, "victims are distinct");
+        // Pin the exact selection: a change here means the seeded shuffle
+        // changed, which silently alters every crash experiment.
+        assert_eq!(pinned, CRASH_VICTIMS_SEED42_HALF_OF_10);
+        // Edge fractions.
+        assert!(plan_with(0.0, 7).victims(10).is_empty());
+        assert_eq!(plan_with(1.0, 7).victims(10).len(), 10);
+        // A different seed picks a different set.
+        assert_ne!(plan_with(0.5, 43).victims(10), victims);
+    }
+
+    /// The exact victim set for `seed = 42`, `fraction = 0.5`, 10 servers.
+    const CRASH_VICTIMS_SEED42_HALF_OF_10: [u16; 5] = [9, 4, 6, 2, 5];
+
+    fn plan_with(fraction: f64, seed: u64) -> CrashPlan {
+        CrashPlan {
+            time: SimTime::from_days(1),
+            fraction,
+            seed,
+        }
     }
 
     #[test]
@@ -559,11 +695,15 @@ mod tests {
         let clean = simulate(&w, &subs, &costs, &base).unwrap();
         let strict = simulate(&w, &subs, &costs, &base.with_invalidation()).unwrap();
         // Dropping superseded versions can only lose hits on this trace.
-        assert!(strict.hits <= clean.hits, "{} > {}", strict.hits, clean.hits);
+        assert!(
+            strict.hits <= clean.hits,
+            "{} > {}",
+            strict.hits,
+            clean.hits
+        );
         assert_eq!(strict.requests, clean.requests);
         // The stepping API reports the invalidations.
-        let mut sim =
-            Simulation::new(&w, &subs, &costs, &base.with_invalidation()).unwrap();
+        let mut sim = Simulation::new(&w, &subs, &costs, &base.with_invalidation()).unwrap();
         let mut invalidations = 0;
         while let Some(ev) = sim.step() {
             if let StepEvent::Invalidated { proxies, .. } = ev {
@@ -662,7 +802,12 @@ mod tests {
             &base.with_crash(CrashPlan::new(pscd_types::SimTime::from_days(3), 1.0)),
         )
         .unwrap();
-        assert!(crashed.hits < clean.hits, "{} vs {}", crashed.hits, clean.hits);
+        assert!(
+            crashed.hits < clean.hits,
+            "{} vs {}",
+            crashed.hits,
+            clean.hits
+        );
         assert_eq!(crashed.requests, clean.requests);
         // Identical histories before the crash hour.
         let crash_hour = 72;

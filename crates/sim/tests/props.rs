@@ -1,0 +1,63 @@
+//! End-to-end properties: global totals must equal the per-server sums,
+//! and a [`StatsObserver`] riding along must agree with the [`SimResult`]
+//! without perturbing the simulation.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use proptest::sample::select;
+
+use pscd_core::StrategyKind;
+use pscd_obs::{SharedObserver, StatsObserver};
+use pscd_sim::{simulate, simulate_observed, SimOptions};
+use pscd_topology::FetchCosts;
+use pscd_types::SubscriptionTable;
+use pscd_workload::{Workload, WorkloadConfig};
+
+fn fixture() -> &'static (Workload, SubscriptionTable, FetchCosts) {
+    static FIX: OnceLock<(Workload, SubscriptionTable, FetchCosts)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let w = Workload::generate(&WorkloadConfig::news_scaled(0.003)).unwrap();
+        let subs = w.subscriptions(1.0).unwrap();
+        let costs = FetchCosts::uniform(w.server_count());
+        (w, subs, costs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn per_server_accounting_and_observer_agree(
+        kind in select(vec![
+            StrategyKind::GdStar { beta: 2.0 },
+            StrategyKind::Sub,
+            StrategyKind::Sg2 { beta: 2.0 },
+            StrategyKind::Sr,
+            StrategyKind::Dm { beta: 2.0 },
+            StrategyKind::dc_lap(2.0),
+        ]),
+        capacity in select(vec![0.01, 0.05, 0.10]),
+    ) {
+        let (w, subs, costs) = fixture();
+        let options = SimOptions::at_capacity(kind, capacity);
+        let plain = simulate(w, subs, costs, &options).unwrap();
+
+        // Global totals are exactly the per-server sums.
+        let hits: u64 = plain.per_server.iter().map(|&(h, _)| h).sum();
+        let requests: u64 = plain.per_server.iter().map(|&(_, r)| r).sum();
+        prop_assert_eq!(plain.hits, hits);
+        prop_assert_eq!(plain.requests, requests);
+
+        // An aggregating observer sees the same totals and leaves the
+        // result bit-identical.
+        let obs = SharedObserver::new(StatsObserver::new());
+        let observed = simulate_observed(w, subs, costs, &options, obs.clone()).unwrap();
+        prop_assert_eq!(&observed, &plain);
+
+        let stats = obs.try_unwrap().expect("run kept an observer clone");
+        prop_assert_eq!(stats.requests(), plain.requests);
+        prop_assert_eq!(stats.hits(), plain.hits);
+        prop_assert_eq!(stats.push_transfers(), plain.traffic.pushed_pages);
+    }
+}

@@ -116,7 +116,10 @@ impl FetchCosts {
 
     /// The smallest proxy cost (1.0 for topology-derived costs).
     pub fn min(&self) -> f64 {
-        self.per_server.iter().copied().fold(f64::INFINITY, f64::min)
+        self.per_server
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// The largest proxy cost.

@@ -100,7 +100,7 @@ impl GraphModel {
                         constraint: "domains >= 1",
                     });
                 }
-                if !(alpha > 0.0 && alpha <= 1.0) || !(beta > 0.0 && beta <= 1.0) {
+                if !(alpha > 0.0 && alpha <= 1.0 && beta > 0.0 && beta <= 1.0) {
                     return Err(TopologyError::InvalidParameter {
                         name: "alpha/beta",
                         constraint: "0 < alpha, beta <= 1",
@@ -186,7 +186,7 @@ impl TopologyBuilder {
             return Err(TopologyError::TooFewNodes { nodes: self.nodes });
         }
         self.model.validate()?;
-        if !(self.plane > 0.0) {
+        if self.plane.is_nan() || self.plane <= 0.0 {
             return Err(TopologyError::InvalidParameter {
                 name: "plane_size",
                 constraint: "plane_size > 0",
@@ -235,13 +235,7 @@ impl TopologyBuilder {
 
 /// Waxman wiring restricted to a node subset (the whole graph for flat
 /// models; one level/cluster for the hierarchical model).
-fn wire_waxman_subset(
-    graph: &mut Graph,
-    nodes: &[usize],
-    alpha: f64,
-    beta: f64,
-    rng: &mut StdRng,
-) {
+fn wire_waxman_subset(graph: &mut Graph, nodes: &[usize], alpha: f64, beta: f64, rng: &mut StdRng) {
     // Diameter of the subset: maximum pairwise separation.
     let mut d_max: f64 = 0.0;
     for (i, &a) in nodes.iter().enumerate() {

@@ -90,7 +90,9 @@ impl Graph {
         if a == b || self.has_edge(a, b) {
             return;
         }
-        let w = self.positions[a].distance(self.positions[b]).max(f64::MIN_POSITIVE);
+        let w = self.positions[a]
+            .distance(self.positions[b])
+            .max(f64::MIN_POSITIVE);
         self.adjacency[a].push((b, w));
         self.adjacency[b].push((a, w));
         self.edge_count += 1;

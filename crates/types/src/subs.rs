@@ -76,10 +76,10 @@ impl SubscriptionTable {
 
     /// Iterates over `(page, server, count)` for every non-zero entry.
     pub fn iter(&self) -> impl Iterator<Item = (PageId, ServerId, u32)> + '_ {
-        self.rows.iter().enumerate().flat_map(|(p, row)| {
-            row.iter()
-                .map(move |&(s, c)| (PageId::new(p as u32), s, c))
-        })
+        self.rows
+            .iter()
+            .enumerate()
+            .flat_map(|(p, row)| row.iter().map(move |&(s, c)| (PageId::new(p as u32), s, c)))
     }
 }
 

@@ -173,11 +173,7 @@ impl RequestTrace {
             requests: self.events.len() as u64,
             distinct_pages: pages.len() as u64,
             requests_per_server: per_server,
-            span: self
-                .events
-                .last()
-                .map(|e| e.time)
-                .unwrap_or(SimTime::ZERO),
+            span: self.events.last().map(|e| e.time).unwrap_or(SimTime::ZERO),
         }
     }
 

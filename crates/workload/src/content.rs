@@ -28,9 +28,9 @@ pub const CATEGORIES: [&str; 10] = [
 
 /// Tag vocabulary used by the synthetic content model.
 pub const TAGS: [&str; 20] = [
-    "breaking", "election", "markets", "startup", "ai", "tennis", "football", "medicine",
-    "space", "climate", "movies", "music", "europe", "asia", "americas", "crime", "courts",
-    "storm", "economy", "research",
+    "breaking", "election", "markets", "startup", "ai", "tennis", "football", "medicine", "space",
+    "climate", "movies", "music", "europe", "asia", "americas", "crime", "courts", "storm",
+    "economy", "research",
 ];
 
 /// Deterministic page → attribute-map assignment.
@@ -156,9 +156,8 @@ mod tests {
     fn different_seeds_shuffle_categories() {
         let a = ContentModel::new(10);
         let b = ContentModel::new(11);
-        let differs = (0..50).any(|i| {
-            a.category_of(PageId::new(i)) != b.category_of(PageId::new(i))
-        });
+        let differs =
+            (0..50).any(|i| a.category_of(PageId::new(i)) != b.category_of(PageId::new(i)));
         assert!(differs);
     }
 

@@ -7,7 +7,6 @@
 //! here from scratch on top of uniform deviates.
 
 use rand::Rng as RngCore;
-use rand::RngExt;
 use serde::{Deserialize, Serialize};
 
 /// Log-normal sampler: `exp(mu + sigma * N(0,1))` via Box–Muller.
@@ -263,8 +262,7 @@ mod tests {
         assert_eq!(ln.sigma(), 0.5);
         let mut r = rng();
         let n = 20_000;
-        let mean_log: f64 =
-            (0..n).map(|_| ln.sample(&mut r).ln()).sum::<f64>() / n as f64;
+        let mean_log: f64 = (0..n).map(|_| ln.sample(&mut r).ln()).sum::<f64>() / n as f64;
         assert!((mean_log - 2.0).abs() < 0.02, "mean_log = {mean_log}");
     }
 
@@ -375,8 +373,10 @@ mod tests {
     fn age_decay_gamma_one_branch() {
         let d = AgeDecay::new(1.0).unwrap();
         let mut r = rng();
-        let mean: f64 =
-            (0..5_000).map(|_| d.sample_age_hours(&mut r, 168.0)).sum::<f64>() / 5_000.0;
+        let mean: f64 = (0..5_000)
+            .map(|_| d.sample_age_hours(&mut r, 168.0))
+            .sum::<f64>()
+            / 5_000.0;
         // E[age] = (span - ln(1+span)) / ln(1+span) ≈ 27.7 for span 168.
         assert!((20.0..40.0).contains(&mean), "mean = {mean}");
     }
@@ -385,8 +385,10 @@ mod tests {
     fn age_decay_gamma_zero_is_uniform() {
         let d = AgeDecay::new(0.0).unwrap();
         let mut r = rng();
-        let mean: f64 =
-            (0..20_000).map(|_| d.sample_age_hours(&mut r, 100.0)).sum::<f64>() / 20_000.0;
+        let mean: f64 = (0..20_000)
+            .map(|_| d.sample_age_hours(&mut r, 100.0))
+            .sum::<f64>()
+            / 20_000.0;
         assert!((mean - 50.0).abs() < 2.0, "mean = {mean}");
     }
 }

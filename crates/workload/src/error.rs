@@ -26,7 +26,10 @@ impl fmt::Display for WorkloadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WorkloadError::InvalidConfig { field, constraint } => {
-                write!(f, "invalid workload config: {field} must satisfy {constraint}")
+                write!(
+                    f,
+                    "invalid workload config: {field} must satisfy {constraint}"
+                )
             }
         }
     }

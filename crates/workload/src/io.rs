@@ -74,10 +74,7 @@ fn parse_err(line: usize, reason: impl Into<String>) -> TraceIoError {
     }
 }
 
-fn expect_header<R: BufRead>(
-    reader: &mut R,
-    expected: &str,
-) -> Result<(), TraceIoError> {
+fn expect_header<R: BufRead>(reader: &mut R, expected: &str) -> Result<(), TraceIoError> {
     let mut header = String::new();
     reader.read_line(&mut header)?;
     if header.trim_end() != expected {
@@ -174,10 +171,7 @@ pub fn read_pages<R: BufRead>(mut reader: R) -> Result<Vec<PageMeta>, TraceIoErr
 /// # Errors
 ///
 /// Propagates I/O failures.
-pub fn write_requests<W: Write>(
-    mut writer: W,
-    trace: &RequestTrace,
-) -> Result<(), TraceIoError> {
+pub fn write_requests<W: Write>(mut writer: W, trace: &RequestTrace) -> Result<(), TraceIoError> {
     writeln!(writer, "#pscd-requests v1")?;
     for ev in trace {
         writeln!(

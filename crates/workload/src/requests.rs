@@ -88,11 +88,7 @@ impl RequestConfig {
         if self.horizon == SimTime::ZERO {
             return Err(WorkloadError::invalid("horizon", "> 0"));
         }
-        if self
-            .class_gammas
-            .iter()
-            .any(|g| !g.is_finite() || *g < 0.0)
-        {
+        if self.class_gammas.iter().any(|g| !g.is_finite() || *g < 0.0) {
             return Err(WorkloadError::invalid("class_gammas", "finite and >= 0"));
         }
         if !(0.0..=1.0).contains(&self.day_overlap) {
@@ -198,9 +194,8 @@ pub fn generate_requests(
         let mut times: Vec<SimTime> = (0..count)
             .map(|_| {
                 let age = decays[class].sample_age_hours(&mut rng, span_h);
-                SimTime::from_hours_f64(publish_h + age).min(
-                    config.horizon.saturating_since(SimTime::from_millis(1)),
-                )
+                SimTime::from_hours_f64(publish_h + age)
+                    .min(config.horizon.saturating_since(SimTime::from_millis(1)))
             })
             .collect();
         times.sort_unstable();
@@ -219,9 +214,9 @@ pub fn generate_requests(
             let day = t.day_index().min(total_days - 1);
             if day != pool_day {
                 // Roll the pool forward day by day, applying the overlap.
-                for d in (pool_day + 1)..=day {
+                for slot in pools.iter_mut().take(day + 1).skip(pool_day + 1) {
                     pool = roll_pool(&mut rng, &pool, config.servers as usize, config.day_overlap);
-                    pools[d] = Some(pool.clone());
+                    *slot = Some(pool.clone());
                 }
                 pool_day = day;
             }
@@ -334,8 +329,7 @@ mod tests {
         }
         counts.sort_unstable_by(|a, b| b.cmp(a));
         // Head pages well above the tail (Zipf-Mandelbrot body/tail skew).
-        let head_mean: f64 =
-            counts[..20].iter().map(|&c| c as f64).sum::<f64>() / 20.0;
+        let head_mean: f64 = counts[..20].iter().map(|&c| c as f64).sum::<f64>() / 20.0;
         let tail_mean: f64 = counts[counts.len() / 2..]
             .iter()
             .map(|&c| c as f64)
@@ -361,16 +355,17 @@ mod tests {
                 .or_default()
                 .insert(ev.server.index());
         }
-        let top = counts.iter().max_by_key(|&(_, c)| *c).map(|(p, _)| *p).unwrap();
+        let top = counts
+            .iter()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(p, _)| *p)
+            .unwrap();
         let singles: Vec<u32> = counts
             .iter()
             .filter(|&(_, c)| *c <= 2)
             .map(|(p, _)| *p)
             .collect();
-        let avg_single: f64 = singles
-            .iter()
-            .map(|p| servers[p].len() as f64)
-            .sum::<f64>()
+        let avg_single: f64 = singles.iter().map(|p| servers[p].len() as f64).sum::<f64>()
             / singles.len().max(1) as f64;
         assert!(servers[&top].len() as f64 > avg_single);
     }

@@ -97,7 +97,9 @@ pub fn generate_subscriptions_partial(
             continue;
         }
         let sq = sample_pair_quality(&mut rng, quality);
-        let count = ((p_ij as f64 / sq).round() as u64).max(1).min(u32::MAX as u64) as u32;
+        let count = ((p_ij as f64 / sq).round() as u64)
+            .max(1)
+            .min(u32::MAX as u64) as u32;
         builder.add(page.into(), server.into(), count);
     }
     Ok(builder.build())
@@ -112,7 +114,7 @@ fn sample_pair_quality(rng: &mut StdRng, quality: f64) -> f64 {
         // Uniform in (0, 2*quality]: 1 - random() is in (0, 1].
         (1.0 - rng.random::<f64>()) * 2.0 * quality
     };
-    sq.max(MIN_PAIR_QUALITY).min(1.0)
+    sq.clamp(MIN_PAIR_QUALITY, 1.0)
 }
 
 #[cfg(test)]

@@ -2,13 +2,11 @@
 
 use serde::{Deserialize, Serialize};
 
-use pscd_types::{
-    Bytes, PageMeta, PublishingStream, RequestTrace, SimTime, SubscriptionTable,
-};
+use pscd_types::{Bytes, PageMeta, PublishingStream, RequestTrace, SimTime, SubscriptionTable};
 
 use crate::{
-    generate_publishing, generate_requests, generate_subscriptions,
-    generate_subscriptions_partial, PublishingConfig, RequestConfig, WorkloadError,
+    generate_publishing, generate_requests, generate_subscriptions, generate_subscriptions_partial,
+    PublishingConfig, RequestConfig, WorkloadError,
 };
 
 /// Full configuration of a synthetic publish/subscribe workload.
@@ -282,8 +280,7 @@ mod tests {
         let a = Workload::generate(&WorkloadConfig::news_scaled(0.01)).unwrap();
         let b = Workload::generate(&WorkloadConfig::news_scaled(0.01)).unwrap();
         assert_eq!(a, b);
-        let c =
-            Workload::generate(&WorkloadConfig::news_scaled(0.01).with_seed(99)).unwrap();
+        let c = Workload::generate(&WorkloadConfig::news_scaled(0.01).with_seed(99)).unwrap();
         assert_ne!(a, c);
     }
 
@@ -387,8 +384,7 @@ mod tests {
     #[test]
     fn alternative_trace_is_less_skewed() {
         let news = Workload::generate(&WorkloadConfig::news_scaled(0.02)).unwrap();
-        let alt =
-            Workload::generate(&WorkloadConfig::alternative_scaled(0.02)).unwrap();
+        let alt = Workload::generate(&WorkloadConfig::alternative_scaled(0.02)).unwrap();
         let top_share = |w: &Workload| {
             let mut counts = vec![0u64; w.pages().len()];
             for ev in w.requests() {

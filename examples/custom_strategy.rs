@@ -107,7 +107,10 @@ fn run_custom(
         if publish_first {
             let ev = publishes[pi];
             pi += 1;
-            engine.publish(&pages[ev.page.as_usize()], subscriptions.matched_servers(ev.page));
+            engine.publish(
+                &pages[ev.page.as_usize()],
+                subscriptions.matched_servers(ev.page),
+            );
         } else {
             let ev = requests[ri];
             ri += 1;
@@ -117,21 +120,28 @@ fn run_custom(
                 .unwrap();
         }
     }
-    (engine.global_hit_ratio(), engine.total_traffic().total_pages())
+    (
+        engine.global_hit_ratio(),
+        engine.total_traffic().total_pages(),
+    )
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = Workload::generate(&WorkloadConfig::news_scaled(0.1))?;
     let subscriptions = workload.subscriptions(1.0)?;
 
-    let (h, pages) = run_custom(&workload, &subscriptions, |cap| {
-        Box::new(PushLru::new(cap))
-    });
-    println!("PushLRU  hit ratio {:5.1}%   traffic {pages} pages", 100.0 * h);
+    let (h, pages) = run_custom(&workload, &subscriptions, |cap| Box::new(PushLru::new(cap)));
+    println!(
+        "PushLRU  hit ratio {:5.1}%   traffic {pages} pages",
+        100.0 * h
+    );
 
     // The built-in strategies, through the standard simulator.
     let costs = FetchCosts::uniform(workload.server_count());
-    for kind in [StrategyKind::GdStar { beta: 2.0 }, StrategyKind::Sg2 { beta: 2.0 }] {
+    for kind in [
+        StrategyKind::GdStar { beta: 2.0 },
+        StrategyKind::Sg2 { beta: 2.0 },
+    ] {
         let r = pscd::simulate(
             &workload,
             &subscriptions,

@@ -23,9 +23,7 @@ fn engine_matcher_agrees_with_manual_evaluation() {
     for s in 0..w.server_count() {
         let category = CATEGORIES[s as usize % CATEGORIES.len()];
         let sub = Subscription::new(vec![Predicate::eq("category", Value::str(category))]);
-        matcher
-            .subscribe(ServerId::new(s), sub.clone())
-            .unwrap();
+        matcher.subscribe(ServerId::new(s), sub.clone()).unwrap();
         subs_at.push(sub);
     }
     for page in w.pages().iter().take(300) {

@@ -155,7 +155,10 @@ fn fig7_traffic_overhead() {
         - fig.total_pages(always, "GD*").unwrap() as i64;
     let gap_necessary = fig.total_pages(necessary, "SUB").unwrap() as i64
         - fig.total_pages(necessary, "GD*").unwrap() as i64;
-    assert!(gap_necessary < gap_always, "{gap_necessary} >= {gap_always}");
+    assert!(
+        gap_necessary < gap_always,
+        "{gap_necessary} >= {gap_always}"
+    );
     // "SG2's traffic overhead is comparable to GD*" (within 50%).
     let gd = fig.total_pages(always, "GD*").unwrap() as f64;
     assert!(sg2_a < 1.5 * gd, "SG2 {sg2_a} vs GD* {gd}");

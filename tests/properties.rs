@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use pscd::cache::{CachePolicy, CacheStore, Gds, GdStar, LfuDa, Lru};
+use pscd::cache::{CachePolicy, CacheStore, GdStar, Gds, LfuDa, Lru};
 use pscd::{Bytes, PageId, PageRef, StrategyKind};
 
 /// A scripted cache operation.

@@ -1,8 +1,7 @@
 //! Export → import → simulate round-trip through the TSV trace format.
 
 use pscd::workload::io::{
-    read_pages, read_requests, read_subscriptions, write_pages, write_requests,
-    write_subscriptions,
+    read_pages, read_requests, read_subscriptions, write_pages, write_requests, write_subscriptions,
 };
 use pscd::{simulate, FetchCosts, SimOptions, StrategyKind, Workload, WorkloadConfig};
 
@@ -30,13 +29,8 @@ fn exported_traces_simulate_identically() {
         .map(|p| pscd::types::PublishEvent::new(p.publish_time(), p.id()))
         .collect();
     let publishing = pscd::types::PublishingStream::from_unsorted(publish_events);
-    let rebuilt = Workload::from_parts(
-        original.config().clone(),
-        pages,
-        publishing,
-        requests,
-    )
-    .unwrap();
+    let rebuilt =
+        Workload::from_parts(original.config().clone(), pages, publishing, requests).unwrap();
 
     // … and simulate both: identical results.
     let costs = FetchCosts::uniform(original.server_count());

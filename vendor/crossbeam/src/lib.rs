@@ -1,0 +1,66 @@
+//! Offline stand-in for the slice of `crossbeam` pscd uses:
+//! `crossbeam::thread::scope`, implemented over `std::thread::scope`.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads with crossbeam's `Result`-returning entry point.
+
+    use std::any::Any;
+
+    /// Handle passed to the scope closure; spawns scoped worker threads.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. Mirroring crossbeam, the closure
+        /// receives the scope so workers can spawn more workers.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads may borrow from the
+    /// environment; all threads are joined before returning.
+    ///
+    /// Unlike crossbeam, a panicking child propagates the panic out of
+    /// `scope` (std semantics) instead of surfacing as `Err`; the `Ok`
+    /// wrapper is kept for call-site compatibility.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` (see above).
+    #[allow(clippy::unnecessary_wraps)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_environment() {
+        let counter = AtomicU32::new(0);
+        let out = crate::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            7
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+}

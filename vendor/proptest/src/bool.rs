@@ -1,0 +1,18 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `true`/`false` with equal probability.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// The uniform boolean strategy (`proptest::bool::ANY`).
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}

@@ -1,0 +1,29 @@
+//! Sampling from explicit value lists.
+
+use std::fmt::Debug;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniformly selects one of the given values.
+///
+/// # Panics
+///
+/// The returned strategy panics on generation if `values` is empty.
+pub fn select<T: Clone + Debug>(values: Vec<T>) -> Select<T> {
+    Select { values }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.values.is_empty(), "select over an empty list");
+        self.values[rng.below(self.values.len() as u64) as usize].clone()
+    }
+}

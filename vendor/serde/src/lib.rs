@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The repository derives `Serialize`/`Deserialize` on its data types but
+//! never serializes through serde (structured output is hand-rendered:
+//! CSV in `pscd-experiments`, JSONL in `pscd-obs`). This shim keeps the
+//! derive sites compiling without network access: the traits are empty
+//! markers and the derives expand to nothing.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that upstream serde could serialize.
+pub trait Serialize {}
+
+/// Marker for types that upstream serde could deserialize.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
