@@ -89,6 +89,11 @@ pub struct DeliveryEngine<O: Observer = NullObserver> {
     proxies: Vec<Proxy>,
     scheme: PushScheme,
     obs: SharedObserver<O>,
+    /// Global id of the first proxy this engine owns. Non-zero only for
+    /// shard-local engines, which own the contiguous server range
+    /// `[first, first + proxies.len())` while keeping global
+    /// [`ServerId`]s in every public API.
+    first: u16,
 }
 
 impl DeliveryEngine {
@@ -123,6 +128,26 @@ impl<O: Observer> DeliveryEngine<O> {
         scheme: PushScheme,
         obs: SharedObserver<O>,
     ) -> Result<Self, BrokerError> {
+        DeliveryEngine::with_observer_offset(strategies, costs, scheme, obs, ServerId::new(0))
+    }
+
+    /// [`with_observer`](DeliveryEngine::with_observer) for an engine that
+    /// owns only the contiguous server range starting at `first`: proxy
+    /// `i` of `strategies` serves global server `first + i`. All public
+    /// APIs keep speaking global [`ServerId`]s, so a shard-local engine is
+    /// a drop-in replacement for a full one over its range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::MismatchedCosts`] if `strategies` and `costs`
+    /// differ in length.
+    pub fn with_observer_offset(
+        strategies: Vec<Box<dyn Strategy>>,
+        costs: Vec<f64>,
+        scheme: PushScheme,
+        obs: SharedObserver<O>,
+        first: ServerId,
+    ) -> Result<Self, BrokerError> {
         if strategies.len() != costs.len() {
             return Err(BrokerError::MismatchedCosts {
                 strategies: strategies.len(),
@@ -143,7 +168,24 @@ impl<O: Observer> DeliveryEngine<O> {
                 .collect(),
             scheme,
             obs,
+            first: first.index(),
         })
+    }
+
+    /// Translates a global server id into this engine's proxy slot, or
+    /// `None` if the server lies outside the owned range.
+    #[inline]
+    fn slot(&self, server: ServerId) -> Option<usize> {
+        server
+            .as_usize()
+            .checked_sub(self.first as usize)
+            .filter(|&i| i < self.proxies.len())
+    }
+
+    /// Global id of the first proxy this engine owns (0 for a full-range
+    /// engine).
+    pub fn first_server(&self) -> ServerId {
+        ServerId::new(self.first)
     }
 
     /// Number of proxies.
@@ -167,7 +209,8 @@ impl<O: Observer> DeliveryEngine<O> {
     pub fn publish(&mut self, page: &PageMeta, matched: &[(ServerId, u32)]) -> Vec<PushRecord> {
         let mut records = Vec::with_capacity(matched.len());
         for &(server, subs) in matched {
-            let proxy = &mut self.proxies[server.as_usize()];
+            let slot = self.slot(server).expect("matched server out of range");
+            let proxy = &mut self.proxies[slot];
             if !proxy.strategy.uses_push() {
                 continue;
             }
@@ -231,13 +274,11 @@ impl<O: Observer> DeliveryEngine<O> {
         subs: u32,
     ) -> Result<RequestRecord, BrokerError> {
         let count = self.proxies.len() as u16;
-        let proxy = self
-            .proxies
-            .get_mut(server.as_usize())
-            .ok_or(BrokerError::UnknownServer {
-                server,
-                server_count: count,
-            })?;
+        let slot = self.slot(server).ok_or(BrokerError::UnknownServer {
+            server,
+            server_count: count,
+        })?;
+        let proxy = &mut self.proxies[slot];
         let page_ref = PageRef::new(page.id(), page.size(), proxy.cost);
         let outcome = proxy.strategy.on_access(&page_ref, subs);
         proxy.requests += 1;
@@ -252,7 +293,7 @@ impl<O: Observer> DeliveryEngine<O> {
 
     /// Per-proxy traffic counters.
     pub fn traffic(&self, server: ServerId) -> Traffic {
-        self.proxies[server.as_usize()].traffic
+        self.proxies[self.slot(server).expect("server out of range")].traffic
     }
 
     /// Aggregate traffic across all proxies.
@@ -264,7 +305,7 @@ impl<O: Observer> DeliveryEngine<O> {
 
     /// Hits and requests at one proxy.
     pub fn hit_stats(&self, server: ServerId) -> (u64, u64) {
-        let p = &self.proxies[server.as_usize()];
+        let p = &self.proxies[self.slot(server).expect("server out of range")];
         (p.hits, p.requests)
     }
 
@@ -284,12 +325,16 @@ impl<O: Observer> DeliveryEngine<O> {
 
     /// Bytes currently cached at one proxy.
     pub fn cache_used(&self, server: ServerId) -> Bytes {
-        self.proxies[server.as_usize()].strategy.used()
+        self.proxies[self.slot(server).expect("server out of range")]
+            .strategy
+            .used()
     }
 
     /// Read access to a proxy's strategy.
     pub fn strategy(&self, server: ServerId) -> &dyn Strategy {
-        self.proxies[server.as_usize()].strategy.as_ref()
+        self.proxies[self.slot(server).expect("server out of range")]
+            .strategy
+            .as_ref()
     }
 
     /// Drops a stale page from every proxy cache (e.g. a newer version of
@@ -319,14 +364,11 @@ impl<O: Observer> DeliveryEngine<O> {
         strategy: Box<dyn Strategy>,
     ) -> Result<(), BrokerError> {
         let count = self.proxies.len() as u16;
-        let proxy = self
-            .proxies
-            .get_mut(server.as_usize())
-            .ok_or(BrokerError::UnknownServer {
-                server,
-                server_count: count,
-            })?;
-        proxy.strategy = strategy;
+        let slot = self.slot(server).ok_or(BrokerError::UnknownServer {
+            server,
+            server_count: count,
+        })?;
+        self.proxies[slot].strategy = strategy;
         Ok(())
     }
 }
@@ -463,6 +505,46 @@ mod tests {
         assert!(!e.request(ServerId::new(0), &p).unwrap().hit);
         assert!(e
             .replace_strategy(ServerId::new(9), StrategyKind::Sub.build(Bytes::new(1)))
+            .is_err());
+    }
+
+    #[test]
+    fn offset_engine_speaks_global_server_ids() {
+        let kind = StrategyKind::Sg2 { beta: 2.0 };
+        // A shard-local engine owning global servers 3 and 4.
+        let mut e = DeliveryEngine::with_observer_offset(
+            vec![kind.build(Bytes::new(1_000)), kind.build(Bytes::new(1_000))],
+            vec![1.0, 2.0],
+            PushScheme::Always,
+            SharedObserver::disabled(),
+            ServerId::new(3),
+        )
+        .unwrap();
+        assert_eq!(e.first_server(), ServerId::new(3));
+        let p = page(1, 100);
+        let recs = e.publish(&p, &[(ServerId::new(3), 5), (ServerId::new(4), 2)]);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].server, ServerId::new(3));
+        let r = e.request_with_subs(ServerId::new(4), &p, 2).unwrap();
+        assert!(r.hit);
+        assert_eq!(e.hit_stats(ServerId::new(4)), (1, 1));
+        assert_eq!(e.traffic(ServerId::new(3)).pushed_pages, 1);
+        assert!(e.cache_used(ServerId::new(3)) >= Bytes::new(100));
+        assert_eq!(e.strategy(ServerId::new(4)).name(), "SG2");
+        // Servers below or above the owned range are unknown.
+        assert!(matches!(
+            e.request(ServerId::new(2), &p),
+            Err(BrokerError::UnknownServer { .. })
+        ));
+        assert!(matches!(
+            e.request(ServerId::new(5), &p),
+            Err(BrokerError::UnknownServer { .. })
+        ));
+        e.replace_strategy(ServerId::new(4), kind.build(Bytes::new(1_000)))
+            .unwrap();
+        assert_eq!(e.cache_used(ServerId::new(4)), Bytes::ZERO);
+        assert!(e
+            .replace_strategy(ServerId::new(0), kind.build(Bytes::new(1)))
             .is_err());
     }
 

@@ -1,0 +1,172 @@
+//! Precomputed publish/notify fan-out: the push schedule of a whole run,
+//! resolved once up front.
+//!
+//! The matching information is static (paper §4.3), so the set of proxies
+//! a publish event fans out to is a pure function of the publishing
+//! stream and the subscription table. Resolving it once into a flat
+//! CSR-style table gives every consumer — the sequential runner, each
+//! shard of a sharded run — literally the same push schedule, which is
+//! one of the two pillars of the sharded runner's bit-identical merge
+//! (the other is that [`CrashPlan`](https://docs.rs/pscd-sim) victims are
+//! a pure function of the seed).
+
+use pscd_types::{PublishEvent, ServerId, SubscriptionTable};
+
+/// The resolved fan-out of every publish event in a stream: for event
+/// `i`, [`matched`](Fanout::matched)`(i)` is the `(server, subscription
+/// count)` list the matching engine would report, sorted by server id.
+///
+/// Stored flat (offsets + pairs) so iterating a run's whole push schedule
+/// is one linear scan, and so contiguous server ranges — the shard
+/// boundaries of a sharded run — can be sliced out of each list by
+/// binary search without copying.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_broker::Fanout;
+/// use pscd_types::{PageId, PublishEvent, ServerId, SimTime, SubscriptionTableBuilder};
+///
+/// let mut b = SubscriptionTableBuilder::new(2);
+/// b.add(PageId::new(0), ServerId::new(3), 2);
+/// b.add(PageId::new(1), ServerId::new(0), 1);
+/// b.add(PageId::new(1), ServerId::new(4), 5);
+/// let subs = b.build();
+/// let publishes = [
+///     PublishEvent::new(SimTime::ZERO, PageId::new(1)),
+///     PublishEvent::new(SimTime::from_secs(5), PageId::new(0)),
+/// ];
+/// let fanout = Fanout::precompute(&publishes, &subs);
+/// assert_eq!(fanout.matched(0), &[(ServerId::new(0), 1), (ServerId::new(4), 5)]);
+/// assert_eq!(fanout.matched(1), &[(ServerId::new(3), 2)]);
+/// assert_eq!(fanout.total_matched_pairs(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Fanout {
+    /// `offsets[i]..offsets[i + 1]` indexes `pairs` for publish event `i`.
+    offsets: Vec<u32>,
+    /// Matched `(server, count)` pairs, concatenated in event order; each
+    /// event's sublist is sorted by server id.
+    pairs: Vec<(ServerId, u32)>,
+}
+
+impl Fanout {
+    /// Resolves the fan-out of every event in `publishes` against the
+    /// static subscription table.
+    pub fn precompute(publishes: &[PublishEvent], subscriptions: &SubscriptionTable) -> Self {
+        let mut offsets = Vec::with_capacity(publishes.len() + 1);
+        let mut pairs = Vec::new();
+        offsets.push(0);
+        for ev in publishes {
+            pairs.extend_from_slice(subscriptions.matched_servers(ev.page));
+            offsets.push(pairs.len() as u32);
+        }
+        Self { offsets, pairs }
+    }
+
+    /// Number of publish events covered.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// `true` if no publish events are covered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The matched `(server, subscription count)` list of publish event
+    /// `index`, sorted by server id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn matched(&self, index: usize) -> &[(ServerId, u32)] {
+        let lo = self.offsets[index] as usize;
+        let hi = self.offsets[index + 1] as usize;
+        &self.pairs[lo..hi]
+    }
+
+    /// The part of event `index`'s matched list that falls inside the
+    /// half-open server range `[start, end)` — a subslice, found by
+    /// binary search, because each list is sorted by server id. This is
+    /// how a shard owning a contiguous server range reads its share of
+    /// the push schedule without copying or filtering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn matched_in(&self, index: usize, start: u16, end: u16) -> &[(ServerId, u32)] {
+        let matched = self.matched(index);
+        let lo = matched.partition_point(|&(s, _)| s.index() < start);
+        let hi = matched.partition_point(|&(s, _)| s.index() < end);
+        &matched[lo..hi]
+    }
+
+    /// Total matched `(event, server)` pairs across the whole schedule —
+    /// an upper bound on the pages any pushing scheme can transfer.
+    pub fn total_matched_pairs(&self) -> u64 {
+        self.pairs.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscd_types::{PageId, SimTime, SubscriptionTableBuilder};
+
+    fn fixture() -> (Vec<PublishEvent>, SubscriptionTable) {
+        let mut b = SubscriptionTableBuilder::new(3);
+        b.add(PageId::new(0), ServerId::new(1), 4);
+        b.add(PageId::new(0), ServerId::new(5), 1);
+        b.add(PageId::new(0), ServerId::new(9), 2);
+        b.add(PageId::new(2), ServerId::new(0), 7);
+        let publishes = vec![
+            PublishEvent::new(SimTime::ZERO, PageId::new(0)),
+            PublishEvent::new(SimTime::from_secs(1), PageId::new(1)),
+            PublishEvent::new(SimTime::from_secs(2), PageId::new(2)),
+            PublishEvent::new(SimTime::from_secs(3), PageId::new(0)),
+        ];
+        (publishes, b.build())
+    }
+
+    #[test]
+    fn precompute_matches_table_lookups() {
+        let (publishes, subs) = fixture();
+        let fanout = Fanout::precompute(&publishes, &subs);
+        assert_eq!(fanout.len(), 4);
+        assert!(!fanout.is_empty());
+        for (i, ev) in publishes.iter().enumerate() {
+            assert_eq!(fanout.matched(i), subs.matched_servers(ev.page));
+        }
+        assert_eq!(fanout.matched(1), &[]);
+        assert_eq!(fanout.total_matched_pairs(), 7);
+    }
+
+    #[test]
+    fn range_slices_are_exact_partitions() {
+        let (publishes, subs) = fixture();
+        let fanout = Fanout::precompute(&publishes, &subs);
+        // Splitting [0, 10) at any boundary partitions each list.
+        for split in 0..=10u16 {
+            for i in 0..fanout.len() {
+                let left = fanout.matched_in(i, 0, split);
+                let right = fanout.matched_in(i, split, 10);
+                let whole: Vec<_> = left.iter().chain(right).copied().collect();
+                assert_eq!(whole.as_slice(), fanout.matched(i));
+            }
+        }
+        // A range covering a single matched server picks exactly it.
+        assert_eq!(fanout.matched_in(0, 5, 6), &[(ServerId::new(5), 1)]);
+        assert_eq!(fanout.matched_in(0, 6, 9), &[]);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let fanout = Fanout::precompute(&[], &SubscriptionTable::empty(0));
+        assert!(fanout.is_empty());
+        assert_eq!(fanout.len(), 0);
+        assert_eq!(fanout.total_matched_pairs(), 0);
+    }
+}

@@ -8,8 +8,8 @@ use pscd_sim::SimOptions;
 use pscd_workload::{Workload, WorkloadConfig};
 
 use crate::{
-    pct, run_grid, ExperimentContext, ExperimentError, StrategyCells, TextTable, Trace, TraceRow,
-    CAPACITIES, PAPER_BETA,
+    pct, run_grid_threads, ExperimentContext, ExperimentError, StrategyCells, TextTable, Trace,
+    TraceRow, CAPACITIES, PAPER_BETA,
 };
 
 /// Classic access-only baselines (LRU, GDS, LFU-DA) against GD\*,
@@ -43,7 +43,8 @@ impl ClassicBaselines {
                     .iter()
                     .map(|&kind| (&subs, SimOptions::at_capacity(kind, capacity)))
                     .collect();
-                let results = run_grid(ctx.workload(trace), ctx.costs(), &jobs)?;
+                let results =
+                    run_grid_threads(ctx.workload(trace), ctx.costs(), &jobs, ctx.threads())?;
                 rows.push((
                     trace,
                     capacity,
@@ -133,7 +134,7 @@ impl LapBoundsSweep {
                     )
                 })
                 .collect();
-            let results = run_grid(ctx.workload(trace), ctx.costs(), &jobs)?;
+            let results = run_grid_threads(ctx.workload(trace), ctx.costs(), &jobs, ctx.threads())?;
             for (&bounds, r) in LAP_BOUNDS.iter().zip(results) {
                 cells.push((trace, bounds, r.hit_ratio()));
             }
@@ -206,7 +207,7 @@ impl PartitionSweep {
                     )
                 })
                 .collect();
-            let results = run_grid(ctx.workload(trace), ctx.costs(), &jobs)?;
+            let results = run_grid_threads(ctx.workload(trace), ctx.costs(), &jobs, ctx.threads())?;
             for (&frac, r) in PC_FRACTIONS.iter().zip(results) {
                 cells.push((trace, frac, r.hit_ratio()));
             }
@@ -275,7 +276,8 @@ impl CoverageSweep {
                     .iter()
                     .map(|&kind| (&subs, SimOptions::at_capacity(kind, 0.05)))
                     .collect();
-                let results = run_grid(ctx.workload(trace), ctx.costs(), &jobs)?;
+                let results =
+                    run_grid_threads(ctx.workload(trace), ctx.costs(), &jobs, ctx.threads())?;
                 rows.push((
                     trace,
                     coverage,
@@ -365,7 +367,7 @@ impl ShiftSensitivity {
                 .iter()
                 .map(|&kind| (&subs, SimOptions::at_capacity(kind, 0.05)))
                 .collect();
-            let results = run_grid(&w, ctx.costs(), &jobs)?;
+            let results = run_grid_threads(&w, ctx.costs(), &jobs, ctx.threads())?;
             rows.push((
                 shift,
                 pairs,

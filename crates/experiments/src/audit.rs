@@ -4,16 +4,19 @@
 //! artifacts — `summary.txt` plus, on request, one
 //! `events_<strategy>.jsonl` structured event log per strategy.
 //!
-//! This powers `repro <exhibit> --obs-dir DIR [--events]`. The replay is
-//! deliberately serial (one strategy at a time): the goal is a faithful,
-//! ordered decision log, not throughput.
+//! This powers `repro <exhibit> --obs-dir DIR [--events]`. With `--events`
+//! the replay is deliberately serial (one strategy at a time, one shard):
+//! the goal is a faithful, ordered decision log, not throughput. Without
+//! `--events` the replay goes through the sharded runner at the
+//! context's thread count, and the hard-check then verifies that the
+//! shard-merged registry totals equal the `SimResult` exactly.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 use pscd_core::StrategyKind;
 use pscd_obs::{JsonlObserver, Registry, SharedObserver, StatsObserver};
-use pscd_sim::{simulate_observed, SimOptions};
+use pscd_sim::{simulate_observed, simulate_observed_sharded, SimOptions};
 
 use crate::{ExperimentContext, ExperimentError, Trace};
 
@@ -53,10 +56,15 @@ pub struct ObsAudit {
 }
 
 impl ObsAudit {
-    /// Replays `kinds` serially on the NEWS trace at `capacity` with a
+    /// Replays `kinds` on the NEWS trace at `capacity` with a
     /// [`StatsObserver`] (and, with `events`, a tee'd [`JsonlObserver`])
     /// attached, writes `summary.txt` and the event logs into `dir`, and
     /// fails if any observer total disagrees with its `SimResult`.
+    ///
+    /// Without `events` the replay runs through the sharded path at
+    /// [`ExperimentContext::threads`], so the hard-check exercises the
+    /// deterministic shard merge; with `events` it stays serial so the
+    /// decision log is a single ordered stream.
     ///
     /// # Errors
     ///
@@ -80,28 +88,34 @@ impl ObsAudit {
         let mut rows = Vec::new();
         let mut timing = Registry::new();
         for &kind in kinds {
-            let events_path =
-                events.then(|| dir.join(format!("events_{}.jsonl", slug(kind.name()))));
-            let jsonl = match &events_path {
-                Some(path) => Some(JsonlObserver::to_file(path).map_err(|e| io_err(path, e))?),
-                None => None,
+            let (result, stats, events_path, events_written) = if events {
+                let events_path = dir.join(format!("events_{}.jsonl", slug(kind.name())));
+                let jsonl =
+                    JsonlObserver::to_file(&events_path).map_err(|e| io_err(&events_path, e))?;
+                let obs = SharedObserver::new((StatsObserver::new(), Some(jsonl)));
+                let options = SimOptions::at_capacity(kind, capacity);
+                let result = timing.time(kind.name(), || {
+                    simulate_observed(
+                        ctx.workload(trace),
+                        &subs,
+                        ctx.costs(),
+                        &options,
+                        obs.clone(),
+                    )
+                })?;
+                let (stats, jsonl) = obs
+                    .try_unwrap()
+                    .expect("the finished simulation holds no observer clones");
+                let events_written = jsonl.as_ref().map_or(0, JsonlObserver::events_written);
+                drop(jsonl); // flushes the event log
+                (result, stats, Some(events_path), events_written)
+            } else {
+                let options = SimOptions::at_capacity(kind, capacity).with_threads(ctx.threads());
+                let (result, stats): (_, StatsObserver) = timing.time(kind.name(), || {
+                    simulate_observed_sharded(ctx.workload(trace), &subs, ctx.costs(), &options)
+                })?;
+                (result, stats, None, 0)
             };
-            let obs = SharedObserver::new((StatsObserver::new(), jsonl));
-            let options = SimOptions::at_capacity(kind, capacity);
-            let result = timing.time(kind.name(), || {
-                simulate_observed(
-                    ctx.workload(trace),
-                    &subs,
-                    ctx.costs(),
-                    &options,
-                    obs.clone(),
-                )
-            })?;
-            let (stats, jsonl) = obs
-                .try_unwrap()
-                .expect("the finished simulation holds no observer clones");
-            let events_written = jsonl.as_ref().map_or(0, JsonlObserver::events_written);
-            drop(jsonl); // flushes the event log
             check(
                 &result.strategy,
                 "requests",
@@ -114,6 +128,18 @@ impl ObsAudit {
                 "pushed pages",
                 stats.push_transfers(),
                 result.traffic.pushed_pages,
+            )?;
+            check(
+                &result.strategy,
+                "pushed bytes",
+                stats.registry().bytes("bytes.pushed"),
+                result.traffic.pushed_bytes.as_u64(),
+            )?;
+            check(
+                &result.strategy,
+                "fetched bytes",
+                stats.registry().bytes("bytes.fetched"),
+                result.traffic.fetched_bytes.as_u64(),
             )?;
             rows.push(AuditRow {
                 strategy: result.strategy,
@@ -232,5 +258,28 @@ mod tests {
         assert!(summary.contains("== timing =="));
         assert_eq!(audit.timing.spans().len(), 2);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_audit_matches_serial_audit() {
+        // Without --events the audit replays through the sharded runner;
+        // its hard-checked totals must equal the serial tee run's.
+        let serial_ctx = ExperimentContext::scaled(0.003).unwrap().with_threads(1);
+        let sharded_ctx = ExperimentContext::scaled(0.003).unwrap().with_threads(4);
+        let base = std::env::temp_dir().join(format!("pscd_audit_shard_{}", std::process::id()));
+        let kinds = [StrategyKind::Sg2 { beta: 2.0 }, StrategyKind::Sub];
+        let serial = ObsAudit::run(&serial_ctx, &kinds, 0.05, &base.join("serial"), false).unwrap();
+        let sharded =
+            ObsAudit::run(&sharded_ctx, &kinds, 0.05, &base.join("shard"), false).unwrap();
+        assert_eq!(serial.rows.len(), sharded.rows.len());
+        for (a, b) in serial.rows.iter().zip(&sharded.rows) {
+            assert_eq!(a.strategy, b.strategy);
+            assert_eq!(a.requests, b.requests);
+            assert_eq!(a.hits, b.hits);
+            assert_eq!(a.pushed_pages, b.pushed_pages);
+            assert!(b.events_path.is_none());
+        }
+        assert!(base.join("shard/summary.txt").exists());
+        std::fs::remove_dir_all(&base).ok();
     }
 }

@@ -6,7 +6,7 @@ use pscd_core::StrategyKind;
 use pscd_sim::SimOptions;
 
 use crate::{
-    pct, run_grid, ExperimentContext, ExperimentError, TextTable, Trace, BETAS, CAPACITIES,
+    pct, run_grid_threads, ExperimentContext, ExperimentError, TextTable, Trace, BETAS, CAPACITIES,
 };
 
 /// Which GD\*-framework algorithm a β sweep cell belongs to.
@@ -73,7 +73,7 @@ impl BetaSweep {
                     )
                 })
                 .collect();
-            let results = run_grid(workload, ctx.costs(), &jobs)?;
+            let results = run_grid_threads(workload, ctx.costs(), &jobs, ctx.threads())?;
             for ((algorithm, capacity, beta), result) in plan.into_iter().zip(results) {
                 cells.push(BetaCell {
                     trace,

@@ -16,12 +16,13 @@ use pscd_experiments::{
     ShiftSensitivity, Table2, ToCsv, VarianceStudy, PAPER_BETA,
 };
 
-const USAGE: &str = "usage: repro <beta|fig3|fig4|table2|fig5|fig6|fig7|classic|lap-bounds|partition|coverage|shift|crash|invalidation|variance|ablations|all> [--scale FRACTION] [--csv DIR] [--obs-dir DIR [--events]]";
+const USAGE: &str = "usage: repro <beta|fig3|fig4|table2|fig5|fig6|fig7|classic|lap-bounds|partition|coverage|shift|crash|invalidation|variance|ablations|all> [--scale FRACTION] [--threads N] [--csv DIR] [--obs-dir DIR [--events]]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut exhibit = None;
     let mut scale = 1.0f64;
+    let mut threads = 0usize; // 0 = auto
     let mut csv_dir: Option<PathBuf> = None;
     let mut obs_dir: Option<PathBuf> = None;
     let mut events = false;
@@ -32,6 +33,13 @@ fn main() -> ExitCode {
                 Some(v) if v > 0.0 && v <= 1.0 => scale = v,
                 _ => {
                     eprintln!("--scale needs a fraction in (0, 1]");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => threads = n,
+                None => {
+                    eprintln!("--threads needs a worker count (0 = auto)");
                     return ExitCode::FAILURE;
                 }
             },
@@ -72,6 +80,7 @@ fn main() -> ExitCode {
     match run(
         &exhibit,
         scale,
+        threads,
         csv_dir.as_deref(),
         obs_dir.as_deref(),
         events,
@@ -91,12 +100,13 @@ fn main() -> ExitCode {
 fn run(
     exhibit: &str,
     scale: f64,
+    threads: usize,
     csv_dir: Option<&std::path::Path>,
     obs_dir: Option<&std::path::Path>,
     events: bool,
 ) -> Result<bool, ExperimentError> {
     eprintln!("generating workloads (scale = {scale}) …");
-    let ctx = ExperimentContext::scaled(scale)?;
+    let ctx = ExperimentContext::scaled(scale)?.with_threads(threads);
     let all = exhibit == "all";
     let mut known = all;
     let emit = |result: &dyn ToCsv| {
@@ -215,8 +225,9 @@ fn run(
     }
     if known {
         if let Some(dir) = obs_dir {
-            // Serial instrumented replay: the exhibit's lineup at the
-            // paper's middle capacity, with every decision audited.
+            // Instrumented replay of the exhibit's lineup at the paper's
+            // middle capacity: sharded with hard-checked merge totals, or
+            // serial with a full decision log when --events is set.
             let lineup = if exhibit == "fig3" {
                 StrategyKind::figure3_lineup(PAPER_BETA)
             } else {

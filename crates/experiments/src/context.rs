@@ -54,6 +54,7 @@ pub struct ExperimentContext {
     news: Workload,
     alternative: Workload,
     costs: FetchCosts,
+    threads: usize,
 }
 
 impl ExperimentContext {
@@ -84,7 +85,23 @@ impl ExperimentContext {
             news,
             alternative,
             costs,
+            threads: 0,
         })
+    }
+
+    /// Sets the worker-pool size used by sweeps and audits: `0` = auto
+    /// (machine parallelism, the default), `1` = serial, `n` = exactly
+    /// `n` workers. Purely a speed knob — every exhibit is bit-identical
+    /// at any setting.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured worker-pool size (`0` = auto).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The workload of one trace.
@@ -128,5 +145,7 @@ mod tests {
         assert!(ctx.subscriptions(Trace::News, 0.0).is_err());
         assert_eq!(Trace::News.name(), "NEWS");
         assert_eq!(Trace::Alternative.alpha(), 1.0);
+        assert_eq!(ctx.threads(), 0);
+        assert_eq!(ctx.with_threads(2).threads(), 2);
     }
 }

@@ -6,8 +6,8 @@ use pscd_core::StrategyKind;
 use pscd_sim::SimOptions;
 
 use crate::{
-    pct, run_grid, ExperimentContext, ExperimentError, TextTable, Trace, TraceRow, CAPACITIES,
-    PAPER_BETA,
+    pct, run_grid_threads, ExperimentContext, ExperimentError, TextTable, Trace, TraceRow,
+    CAPACITIES, PAPER_BETA,
 };
 
 /// Figure 3 of the paper: GD\* against the dual family (DM, DC-FP, DC-AP,
@@ -36,7 +36,8 @@ impl Fig3 {
                     .iter()
                     .map(|&kind| (&subs, SimOptions::at_capacity(kind, capacity)))
                     .collect();
-                let results = run_grid(ctx.workload(trace), ctx.costs(), &jobs)?;
+                let results =
+                    run_grid_threads(ctx.workload(trace), ctx.costs(), &jobs, ctx.threads())?;
                 rows.push((
                     trace,
                     capacity,

@@ -6,8 +6,8 @@ use pscd_core::StrategyKind;
 use pscd_sim::SimOptions;
 
 use crate::{
-    pct, run_grid, ExperimentContext, ExperimentError, TextTable, Trace, TraceRow, CAPACITIES,
-    PAPER_BETA,
+    pct, run_grid_threads, ExperimentContext, ExperimentError, TextTable, Trace, TraceRow,
+    CAPACITIES, PAPER_BETA,
 };
 
 /// Figure 4 of the paper: GD\*, SUB, SG1, SG2, SR and DC-LAP across the
@@ -35,7 +35,8 @@ impl Fig4 {
                     .iter()
                     .map(|&kind| (&subs, SimOptions::at_capacity(kind, capacity)))
                     .collect();
-                let results = run_grid(ctx.workload(trace), ctx.costs(), &jobs)?;
+                let results =
+                    run_grid_threads(ctx.workload(trace), ctx.costs(), &jobs, ctx.threads())?;
                 rows.push((
                     trace,
                     capacity,

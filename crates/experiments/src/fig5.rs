@@ -6,8 +6,8 @@ use pscd_core::StrategyKind;
 use pscd_sim::SimOptions;
 
 use crate::{
-    pct, run_grid, ExperimentContext, ExperimentError, TextTable, Trace, TraceRow, PAPER_BETA,
-    QUALITIES,
+    pct, run_grid_threads, ExperimentContext, ExperimentError, TextTable, Trace, TraceRow,
+    PAPER_BETA, QUALITIES,
 };
 
 /// Figure 5 of the paper: hit ratios of GD\*, SUB, SG1, SG2, SR and DC-LAP
@@ -35,7 +35,8 @@ impl Fig5 {
                     .iter()
                     .map(|&kind| (&subs, SimOptions::at_capacity(kind, 0.05)))
                     .collect();
-                let results = run_grid(ctx.workload(trace), ctx.costs(), &jobs)?;
+                let results =
+                    run_grid_threads(ctx.workload(trace), ctx.costs(), &jobs, ctx.threads())?;
                 rows.push((
                     trace,
                     quality,

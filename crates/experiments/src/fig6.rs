@@ -5,7 +5,7 @@ use std::fmt;
 use pscd_core::StrategyKind;
 use pscd_sim::SimOptions;
 
-use crate::{run_grid, ExperimentContext, ExperimentError, TextTable, Trace, PAPER_BETA};
+use crate::{run_grid_threads, ExperimentContext, ExperimentError, TextTable, Trace, PAPER_BETA};
 
 /// The strategies of figure 6: the best combined scheme against the two
 /// single-opportunity schemes.
@@ -43,7 +43,7 @@ impl Fig6 {
                 .into_iter()
                 .map(|kind| (&subs, SimOptions::at_capacity(kind, 0.05)))
                 .collect();
-            let results = run_grid(ctx.workload(trace), ctx.costs(), &jobs)?;
+            let results = run_grid_threads(ctx.workload(trace), ctx.costs(), &jobs, ctx.threads())?;
             for r in results {
                 series.push((trace, r.strategy.clone(), r.hourly.hit_ratio_percent()));
             }

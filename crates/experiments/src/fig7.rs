@@ -6,7 +6,7 @@ use pscd_broker::PushScheme;
 use pscd_core::StrategyKind;
 use pscd_sim::SimOptions;
 
-use crate::{run_grid, ExperimentContext, ExperimentError, TextTable, Trace, PAPER_BETA};
+use crate::{run_grid_threads, ExperimentContext, ExperimentError, TextTable, Trace, PAPER_BETA};
 
 /// The strategies of figure 7.
 fn lineup(beta: f64) -> Vec<StrategyKind> {
@@ -61,11 +61,12 @@ impl Fig7 {
                             scheme,
                             crash: None,
                             invalidate_stale: false,
+                            threads: 1,
                         },
                     )
                 })
                 .collect();
-            let results = run_grid(ctx.workload(trace), ctx.costs(), &jobs)?;
+            let results = run_grid_threads(ctx.workload(trace), ctx.costs(), &jobs, ctx.threads())?;
             for r in results {
                 series.push((scheme, r.strategy.clone(), r.hourly.traffic_pages()));
                 totals.push((

@@ -1,9 +1,10 @@
 //! Parallel execution of simulation grids.
+//!
+//! Built on [`pscd_sim::pool`], the same worker-pool primitives the
+//! simulator's intra-run sharding uses, so the two layers of parallelism
+//! share one implementation of work distribution and ordering.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
-
+use pscd_sim::pool::{effective_threads, parallel_indexed};
 use pscd_sim::{simulate, SimOptions, SimResult};
 use pscd_topology::FetchCosts;
 use pscd_types::SubscriptionTable;
@@ -18,9 +19,10 @@ pub type GridJob<'a> = (&'a SubscriptionTable, SimOptions);
 /// Runs a batch of simulations across all available cores, preserving job
 /// order in the results.
 ///
-/// Each simulation is single-threaded and independent (it builds its own
-/// proxy fleet), so the grid parallelizes perfectly; the paper's largest
-/// sweep (the β tuning of §5.1: 126 runs) completes in seconds.
+/// Each simulation is independent (it builds its own proxy fleet), so the
+/// grid parallelizes perfectly; the paper's largest sweep (the β tuning of
+/// §5.1: 126 runs) completes in seconds. Equivalent to
+/// [`run_grid_threads`] with `threads = 0` (auto).
 ///
 /// # Errors
 ///
@@ -31,37 +33,37 @@ pub fn run_grid(
     costs: &FetchCosts,
     jobs: &[GridJob<'_>],
 ) -> Result<Vec<SimResult>, ExperimentError> {
+    run_grid_threads(workload, costs, jobs, 0)
+}
+
+/// [`run_grid`] with an explicit pool size: `0` = auto (machine
+/// parallelism), `1` = serial, `n` = exactly `n` workers.
+///
+/// Grid-level workers compose with intra-run sharding (each job's
+/// [`SimOptions::threads`]); sweeps normally keep jobs sequential and
+/// parallelize across cells here instead, which avoids oversubscription.
+///
+/// # Errors
+///
+/// Returns the first simulation error encountered (the remaining jobs are
+/// still drained).
+pub fn run_grid_threads(
+    workload: &Workload,
+    costs: &FetchCosts,
+    jobs: &[GridJob<'_>],
+    threads: usize,
+) -> Result<Vec<SimResult>, ExperimentError> {
     if jobs.is_empty() {
         return Ok(Vec::new());
     }
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(jobs.len());
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<Result<SimResult, pscd_sim::SimError>>>> =
-        Mutex::new((0..jobs.len()).map(|_| None).collect());
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    return;
-                }
-                let (subs, options) = &jobs[i];
-                let r = simulate(workload, subs, costs, options);
-                results.lock()[i] = Some(r);
-            });
-        }
+    let threads = effective_threads(threads, jobs.len());
+    parallel_indexed(jobs.len(), threads, |i| {
+        let (subs, options) = &jobs[i];
+        simulate(workload, subs, costs, options)
     })
-    .expect("grid workers do not panic");
-
-    results
-        .into_inner()
-        .into_iter()
-        .map(|slot| slot.expect("every job ran").map_err(ExperimentError::from))
-        .collect()
+    .into_iter()
+    .map(|r| r.map_err(ExperimentError::from))
+    .collect()
 }
 
 #[cfg(test)]
@@ -69,11 +71,16 @@ mod tests {
     use super::*;
     use pscd_core::StrategyKind;
 
-    #[test]
-    fn grid_matches_serial_runs() {
+    fn fixture() -> (Workload, SubscriptionTable, FetchCosts) {
         let w = Workload::generate(&pscd_workload::WorkloadConfig::news_scaled(0.003)).unwrap();
         let subs = w.subscriptions(1.0).unwrap();
         let costs = FetchCosts::uniform(w.server_count());
+        (w, subs, costs)
+    }
+
+    #[test]
+    fn grid_matches_serial_runs() {
+        let (w, subs, costs) = fixture();
         let options = [
             SimOptions::at_capacity(StrategyKind::GdStar { beta: 2.0 }, 0.05),
             SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05),
@@ -84,6 +91,24 @@ mod tests {
         for (job, out) in jobs.iter().zip(&parallel) {
             let serial = simulate(&w, job.0, &costs, &job.1).unwrap();
             assert_eq!(&serial, out);
+        }
+    }
+
+    #[test]
+    fn pool_size_does_not_change_results() {
+        let (w, subs, costs) = fixture();
+        let options = [
+            SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05),
+            SimOptions::at_capacity(StrategyKind::Sub, 0.05),
+            // A cell that itself shards: grid workers and intra-run
+            // shard workers must compose without changing totals.
+            SimOptions::at_capacity(StrategyKind::GdStar { beta: 2.0 }, 0.05).with_threads(3),
+        ];
+        let jobs: Vec<GridJob> = options.iter().map(|&o| (&subs, o)).collect();
+        let serial = run_grid_threads(&w, &costs, &jobs, 1).unwrap();
+        for threads in [0, 2, 4] {
+            let pooled = run_grid_threads(&w, &costs, &jobs, threads).unwrap();
+            assert_eq!(serial, pooled, "grid threads={threads}");
         }
     }
 

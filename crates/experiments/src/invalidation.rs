@@ -5,7 +5,9 @@ use std::fmt;
 use pscd_core::StrategyKind;
 use pscd_sim::SimOptions;
 
-use crate::{pct, run_grid, ExperimentContext, ExperimentError, TextTable, Trace, PAPER_BETA};
+use crate::{
+    pct, run_grid_threads, ExperimentContext, ExperimentError, TextTable, Trace, PAPER_BETA,
+};
 
 /// Hit ratios with and without stale-version invalidation (NEWS and
 /// ALTERNATIVE, SQ = 1, 5% capacity).
@@ -47,7 +49,7 @@ impl InvalidationStudy {
                     SimOptions::at_capacity(kind, 0.05).with_invalidation(),
                 ));
             }
-            let results = run_grid(ctx.workload(trace), ctx.costs(), &jobs)?;
+            let results = run_grid_threads(ctx.workload(trace), ctx.costs(), &jobs, ctx.threads())?;
             for pair in results.chunks(2) {
                 rows.push((
                     trace,

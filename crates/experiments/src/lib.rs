@@ -65,7 +65,7 @@ pub use fig4::Fig4;
 pub use fig5::Fig5;
 pub use fig6::Fig6;
 pub use fig7::Fig7;
-pub use grid::{run_grid, GridJob};
+pub use grid::{run_grid, run_grid_threads, GridJob};
 pub use invalidation::InvalidationStudy;
 pub use recovery::{CrashRecovery, CRASH_HOUR};
 pub use table::{pct, signed_pct, TextTable};

@@ -12,7 +12,7 @@ use pscd_core::StrategyKind;
 use pscd_sim::{CrashPlan, SimOptions};
 use pscd_types::SimTime;
 
-use crate::{run_grid, ExperimentContext, ExperimentError, TextTable, Trace, PAPER_BETA};
+use crate::{run_grid_threads, ExperimentContext, ExperimentError, TextTable, Trace, PAPER_BETA};
 
 /// The crash instant used by the experiment (mid-week).
 pub const CRASH_HOUR: usize = 84;
@@ -43,7 +43,8 @@ impl CrashRecovery {
             .iter()
             .map(|&kind| (&subs, SimOptions::at_capacity(kind, 0.05).with_crash(crash)))
             .collect();
-        let results = run_grid(ctx.workload(Trace::News), ctx.costs(), &jobs)?;
+        let results =
+            run_grid_threads(ctx.workload(Trace::News), ctx.costs(), &jobs, ctx.threads())?;
         Ok(Self {
             series: results
                 .into_iter()

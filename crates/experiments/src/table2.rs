@@ -6,7 +6,7 @@ use pscd_core::StrategyKind;
 use pscd_sim::SimOptions;
 
 use crate::{
-    run_grid, signed_pct, ExperimentContext, ExperimentError, TextTable, Trace, PAPER_BETA,
+    run_grid_threads, signed_pct, ExperimentContext, ExperimentError, TextTable, Trace, PAPER_BETA,
 };
 
 /// The strategies Table 2 reports, in column order.
@@ -50,7 +50,7 @@ impl Table2 {
                 .iter()
                 .map(|&kind| (&subs, SimOptions::at_capacity(kind, 0.05)))
                 .collect();
-            let results = run_grid(ctx.workload(trace), ctx.costs(), &jobs)?;
+            let results = run_grid_threads(ctx.workload(trace), ctx.costs(), &jobs, ctx.threads())?;
             let baseline = &results[0];
             baselines.push((trace, baseline.hit_ratio()));
             rows.push((

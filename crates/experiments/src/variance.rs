@@ -13,7 +13,7 @@ use pscd_core::StrategyKind;
 use pscd_sim::SimOptions;
 use pscd_workload::{Workload, WorkloadConfig};
 
-use crate::{run_grid, ExperimentContext, ExperimentError, TextTable, Trace, PAPER_BETA};
+use crate::{run_grid_threads, ExperimentContext, ExperimentError, TextTable, Trace, PAPER_BETA};
 
 /// Mean and standard deviation of a sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,7 +89,7 @@ impl VarianceStudy {
                     .iter()
                     .map(|&kind| (&subs, SimOptions::at_capacity(kind, 0.05)))
                     .collect();
-                let results = run_grid(&workload, ctx.costs(), &jobs)?;
+                let results = run_grid_threads(&workload, ctx.costs(), &jobs, ctx.threads())?;
                 for r in results {
                     let slot = samples
                         .iter_mut()

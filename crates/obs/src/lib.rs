@@ -21,10 +21,15 @@
 //!   distributions of eviction values and page sizes) and wall-clock
 //!   span timing for coarse stages.
 //!
-//! One simulation run is single-threaded, so components share one
-//! observer through [`SharedObserver`] (`Rc<RefCell<_>>`); caches and
-//! strategies hold a per-proxy [`ObsHandle`] that stamps decision events
-//! with their [`ServerId`](pscd_types::ServerId).
+//! Within one shard of a simulation run everything is single-threaded,
+//! so components share one observer through [`SharedObserver`]
+//! (`Rc<RefCell<_>>`); caches and strategies hold a per-proxy
+//! [`ObsHandle`] that stamps decision events with their
+//! [`ServerId`](pscd_types::ServerId). Sharded runs give every shard a
+//! fresh observer and fold them back together in shard order through
+//! [`MergeableObserver::absorb`] — integer totals (hits, misses, bytes)
+//! merge exactly, which is what the `repro --obs-dir` audit hard-checks
+//! against the simulator's own accounting.
 //!
 //! # Examples
 //!
@@ -52,7 +57,8 @@ mod stats;
 
 pub use jsonl::{JsonlObserver, BUF_CAP};
 pub use observer::{
-    AdmitOrigin, EvictReason, NullObserver, ObsHandle, Observer, RelabelDirection, SharedObserver,
+    AdmitOrigin, EvictReason, MergeableObserver, NullObserver, ObsHandle, Observer,
+    RelabelDirection, SharedObserver,
 };
 pub use registry::{Log2Histogram, Registry, SharedRegistry};
 pub use stats::{StatsObserver, K_PUSH_TRANSFERS, K_REQUEST_HITS, K_REQUEST_MISSES};

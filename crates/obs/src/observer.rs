@@ -207,6 +207,27 @@ impl Observer for NullObserver {
     const ENABLED: bool = false;
 }
 
+/// An observer whose collected state can be combined across independent
+/// event streams — the contract behind sharded simulation runs: each
+/// shard records into a fresh `Self::default()`, and the shard-local
+/// observers are folded back together in shard order once all shards
+/// join.
+///
+/// Implementations must make `absorb` an exact merge for every integer
+/// total (counts, byte sums), so that the totals of a merged observer
+/// equal the totals a single observer would have collected over the
+/// interleaved stream. Order-sensitive state (event logs, span lists)
+/// cannot satisfy that and should not implement this trait.
+pub trait MergeableObserver: Observer + Default + Send {
+    /// Folds another observer's collected state into this one.
+    fn absorb(&mut self, other: Self);
+}
+
+impl MergeableObserver for NullObserver {
+    #[inline]
+    fn absorb(&mut self, _other: Self) {}
+}
+
 /// Tee: both observers see every event. Enabled if either side is.
 macro_rules! forward_pair {
     ($( $hook:ident ( $($arg:ident : $ty:ty),* ) );+ $(;)?) => {

@@ -3,7 +3,7 @@
 
 use pscd_types::{Bytes, PageId, ServerId, SimTime};
 
-use crate::observer::{AdmitOrigin, EvictReason, Observer, RelabelDirection};
+use crate::observer::{AdmitOrigin, EvictReason, MergeableObserver, Observer, RelabelDirection};
 use crate::registry::Registry;
 
 /// Counter key for cache hits; `request.hits + request.misses` must equal
@@ -41,6 +41,13 @@ impl StatsObserver {
     /// Consumes the observer, returning the collected metrics.
     pub fn into_registry(self) -> Registry {
         self.registry
+    }
+
+    /// Folds another observer's registry into this one (counters and byte
+    /// totals add up exactly; histograms merge; spans concatenate). Used
+    /// to combine the per-shard observers of a sharded simulation run.
+    pub fn merge(&mut self, other: &StatsObserver) {
+        self.registry.merge(&other.registry);
     }
 
     /// Total requests observed (hits + misses).
@@ -210,9 +217,36 @@ impl Observer for StatsObserver {
     }
 }
 
+impl MergeableObserver for StatsObserver {
+    #[inline]
+    fn absorb(&mut self, other: Self) {
+        self.registry.merge(&other.registry);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_adds_shard_totals_exactly() {
+        let mut a = StatsObserver::new();
+        let mut b = StatsObserver::new();
+        let p = PageId::new(1);
+        a.on_request(SimTime::ZERO, ServerId::new(0), p, Bytes::new(100), true);
+        a.on_request(SimTime::ZERO, ServerId::new(0), p, Bytes::new(100), false);
+        b.on_request(SimTime::ZERO, ServerId::new(1), p, Bytes::new(50), false);
+        b.on_push(ServerId::new(1), p, Bytes::new(50), true, true);
+        a.absorb(b);
+        assert_eq!(a.requests(), 3);
+        assert_eq!(a.hits(), 1);
+        assert_eq!(a.push_transfers(), 1);
+        assert_eq!(a.registry().bytes("bytes.fetched"), 150);
+        // Absorbing a fresh observer is the identity.
+        let before = a.requests();
+        a.absorb(StatsObserver::default());
+        assert_eq!(a.requests(), before);
+    }
 
     #[test]
     fn counters_track_the_event_stream() {

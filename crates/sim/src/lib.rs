@@ -9,6 +9,13 @@
 //! (eq. 8) and publisher→proxy traffic — are collected globally, per
 //! proxy and per hour.
 //!
+//! Because the proxies are independent caches, one run can be sharded
+//! across threads along the proxy axis ([`SimOptions::threads`]): the
+//! fleet is partitioned into contiguous server ranges, each shard replays
+//! its sub-timeline in parallel, and the shard results merge into totals
+//! bit-identical to the sequential replay (see the `differential` test
+//! suite and DESIGN.md).
+//!
 //! # Examples
 //!
 //! ```
@@ -31,9 +38,16 @@
 #![warn(missing_debug_implementations)]
 
 mod error;
+mod merge;
 mod metrics;
+pub mod pool;
 mod runner;
+mod shard;
 
 pub use error::SimError;
 pub use metrics::{HourlySeries, SimResult};
-pub use runner::{simulate, simulate_observed, CrashPlan, SimOptions, Simulation, StepEvent};
+pub use runner::{
+    simulate, simulate_observed, simulate_observed_sharded, CrashPlan, SimOptions, Simulation,
+    StepEvent,
+};
+pub use shard::ShardPlan;

@@ -1,0 +1,130 @@
+//! Deterministic merging of shard-local simulation results.
+//!
+//! Every quantity a shard produces — hit/request counters, [`Traffic`],
+//! [`HourlySeries`] buckets, per-proxy stats — is an unsigned integer, so
+//! merging is exact component-wise addition: associative, commutative and
+//! identity-preserving. That algebra (checked by the `merge_props`
+//! property suite) is why a sharded run's totals are *bit-identical* to
+//! the sequential run's no matter how the proxies were partitioned.
+
+use pscd_broker::Traffic;
+
+use crate::{HourlySeries, SimResult};
+
+impl HourlySeries {
+    /// Adds `other`'s buckets into this series, component-wise. Series of
+    /// different lengths are aligned at hour 0 and the shorter side is
+    /// treated as zero-padded, so the all-zero empty series is the merge
+    /// identity.
+    pub fn absorb(&mut self, other: &HourlySeries) {
+        fn add(into: &mut Vec<u64>, from: &[u64]) {
+            if into.len() < from.len() {
+                into.resize(from.len(), 0);
+            }
+            for (a, b) in into.iter_mut().zip(from) {
+                *a += b;
+            }
+        }
+        add(&mut self.hits, &other.hits);
+        add(&mut self.requests, &other.requests);
+        add(&mut self.pushed_pages, &other.pushed_pages);
+        add(&mut self.pushed_bytes, &other.pushed_bytes);
+        add(&mut self.fetched_pages, &other.fetched_pages);
+        add(&mut self.fetched_bytes, &other.fetched_bytes);
+    }
+}
+
+impl SimResult {
+    /// The merge identity: a zero-traffic, zero-request result for
+    /// `strategy` with `hours` hourly buckets and `servers` proxies.
+    /// Absorbing any shard result into it yields that result unchanged,
+    /// and absorbing every shard of a run yields the run's totals.
+    pub fn identity(strategy: &str, hours: usize, servers: u16) -> Self {
+        Self {
+            strategy: strategy.to_owned(),
+            hits: 0,
+            requests: 0,
+            traffic: Traffic::ZERO,
+            hourly: HourlySeries::new(hours),
+            per_server: vec![(0, 0); servers as usize],
+        }
+    }
+
+    /// Adds `other`'s counters into this result, component-wise: hits,
+    /// requests, traffic, hourly buckets, and per-proxy stats (aligned at
+    /// server 0, shorter side zero-padded). The `strategy` label is kept
+    /// from `self`; merging runs of different strategies is meaningless.
+    pub fn absorb(&mut self, other: &SimResult) {
+        self.hits += other.hits;
+        self.requests += other.requests;
+        self.traffic = self.traffic.merged(other.traffic);
+        self.hourly.absorb(&other.hourly);
+        if self.per_server.len() < other.per_server.len() {
+            self.per_server.resize(other.per_server.len(), (0, 0));
+        }
+        for ((h, r), &(oh, or)) in self.per_server.iter_mut().zip(&other.per_server) {
+            *h += oh;
+            *r += or;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscd_types::{Bytes, SimTime};
+
+    fn sample(seed: u64) -> SimResult {
+        let mut hourly = HourlySeries::new(3);
+        hourly.record_request(SimTime::from_hours(0), seed.is_multiple_of(2), Bytes::new(seed * 10));
+        hourly.record_push(SimTime::from_hours(2), Bytes::new(seed));
+        let mut traffic = Traffic::ZERO;
+        traffic.record_push(Bytes::new(seed));
+        SimResult {
+            strategy: "SG2".into(),
+            hits: seed,
+            requests: seed * 2,
+            traffic,
+            hourly,
+            per_server: vec![(seed, seed * 2), (0, 0)],
+        }
+    }
+
+    #[test]
+    fn identity_absorb_is_a_no_op() {
+        let shard = sample(7);
+        let mut acc = SimResult::identity("SG2", 3, 2);
+        acc.absorb(&shard);
+        assert_eq!(acc, shard);
+        let mut again = shard.clone();
+        again.absorb(&SimResult::identity("SG2", 0, 0));
+        assert_eq!(again, shard);
+    }
+
+    #[test]
+    fn absorb_adds_componentwise() {
+        let mut acc = sample(3);
+        acc.absorb(&sample(5));
+        assert_eq!(acc.hits, 8);
+        assert_eq!(acc.requests, 16);
+        assert_eq!(acc.traffic.pushed_pages, 2);
+        assert_eq!(acc.traffic.pushed_bytes, Bytes::new(8));
+        assert_eq!(acc.per_server, vec![(8, 16), (0, 0)]);
+        assert_eq!(acc.hourly.requests, [2, 0, 0]);
+        assert_eq!(acc.hourly.pushed_bytes, [0, 0, 8]);
+    }
+
+    #[test]
+    fn mismatched_lengths_zero_pad() {
+        let mut short = HourlySeries::new(1);
+        short.record_request(SimTime::from_hours(0), true, Bytes::new(1));
+        let mut long = HourlySeries::new(3);
+        long.record_request(SimTime::from_hours(2), false, Bytes::new(2));
+        let mut a = short.clone();
+        a.absorb(&long);
+        let mut b = long.clone();
+        b.absorb(&short);
+        assert_eq!(a, b, "zero-padding keeps absorb commutative");
+        assert_eq!(a.requests, [1, 0, 1]);
+    }
+}

@@ -1,0 +1,130 @@
+//! A minimal indexed fork/join pool over the vendored `crossbeam` scope.
+//!
+//! Both levels of parallelism in `pscd` — shards *within* one simulation
+//! run and jobs *across* a parameter sweep — reduce to the same shape:
+//! `jobs` independent index-addressed computations whose results must
+//! come back in index order so downstream merges are deterministic.
+//! [`parallel_indexed`] is that shape, once.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a requested thread count against the number of independent
+/// jobs: `0` means "auto" (the machine's available parallelism), any
+/// explicit count is honored as-is (oversubscription included — the
+/// differential tests rely on `threads = 4` exercising the sharded path
+/// even on a single-core runner), and the result never exceeds `jobs`
+/// (extra threads would idle) or drops below 1.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_sim::pool::effective_threads;
+///
+/// assert_eq!(effective_threads(1, 100), 1);
+/// assert_eq!(effective_threads(4, 100), 4);
+/// assert_eq!(effective_threads(4, 3), 3);
+/// assert_eq!(effective_threads(0, 0), 1);
+/// assert!(effective_threads(0, 100) >= 1);
+/// ```
+pub fn effective_threads(requested: usize, jobs: usize) -> usize {
+    let base = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    base.min(jobs).max(1)
+}
+
+/// Computes `f(0), f(1), …, f(jobs - 1)` on up to `threads` worker
+/// threads and returns the results **in index order**, regardless of
+/// which worker computed what when.
+///
+/// Workers claim indices from a shared atomic counter (work stealing), so
+/// uneven job sizes balance themselves. With `threads <= 1` or fewer than
+/// two jobs everything runs inline on the caller's thread — the
+/// sequential path stays allocation- and synchronization-free.
+///
+/// A panicking job propagates the panic to the caller (std scoped-thread
+/// semantics).
+///
+/// # Examples
+///
+/// ```
+/// use pscd_sim::pool::parallel_indexed;
+///
+/// let squares = parallel_indexed(5, 4, |i| i * i);
+/// assert_eq!(squares, [0, 1, 4, 9, 16]);
+/// ```
+pub fn parallel_indexed<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.min(jobs);
+    if threads <= 1 || jobs <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let out = f(i);
+                *slots[i].lock().expect("slot poisoned") = Some(out);
+            });
+        }
+    })
+    .expect("shim scope never errors");
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("every index was claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for threads in [1, 2, 4, 9] {
+            let out = parallel_indexed(17, threads, |i| i * 3);
+            assert_eq!(out, (0..17).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let out: Vec<u32> = parallel_indexed(0, 4, |_| unreachable!("no jobs"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn oversubscription_is_fine() {
+        // More threads than jobs: the extra workers find the counter
+        // exhausted and exit.
+        let out = parallel_indexed(2, 64, |i| i + 1);
+        assert_eq!(out, [1, 2]);
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto_and_clamps() {
+        assert_eq!(effective_threads(3, 2), 2);
+        assert_eq!(effective_threads(0, 1), 1);
+        let auto = effective_threads(0, 1_000);
+        assert!(auto >= 1);
+        // Explicit counts may oversubscribe the machine.
+        assert_eq!(effective_threads(16, 1_000), 16);
+    }
+}

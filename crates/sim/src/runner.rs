@@ -8,7 +8,7 @@ use rand::SeedableRng;
 
 use pscd_broker::{DeliveryEngine, PushScheme};
 use pscd_core::StrategyKind;
-use pscd_obs::{NullObserver, Observer, SharedObserver};
+use pscd_obs::{MergeableObserver, NullObserver, Observer, SharedObserver};
 use pscd_topology::FetchCosts;
 use pscd_types::{ServerId, SimTime, SubscriptionTable};
 use pscd_workload::Workload;
@@ -42,8 +42,11 @@ impl CrashPlan {
         }
     }
 
-    /// The deterministic set of crashed servers.
-    fn victims(&self, servers: u16) -> Vec<ServerId> {
+    /// The deterministic set of crashed servers: a pure function of the
+    /// plan's seed and the fleet size, independent of simulation state —
+    /// which is what lets fault injection shard cleanly (every shard
+    /// filters the same victim set to its own server range).
+    pub fn victims(&self, servers: u16) -> Vec<ServerId> {
         let n = ((servers as f64 * self.fraction).round() as usize).min(servers as usize);
         let mut all: Vec<u16> = (0..servers).collect();
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xc3a5_c85c_97cb_3127);
@@ -71,6 +74,13 @@ pub struct SimOptions {
     /// previous version from every proxy cache. Requests to the stale
     /// version then miss — the freshness tax of news caching.
     pub invalidate_stale: bool,
+    /// Worker threads for intra-run sharding: `1` (the default) replays
+    /// the whole trace sequentially, `0` picks the machine's available
+    /// parallelism, and any other count shards the proxy fleet across
+    /// that many threads (oversubscription allowed). Sharded totals are
+    /// bit-identical to sequential ones — the `differential` test suite
+    /// proves it for every strategy — so this is purely a speed knob.
+    pub threads: usize,
 }
 
 impl SimOptions {
@@ -83,6 +93,7 @@ impl SimOptions {
             scheme: PushScheme::Always,
             crash: None,
             invalidate_stale: false,
+            threads: 1,
         }
     }
 
@@ -90,6 +101,13 @@ impl SimOptions {
     #[must_use]
     pub fn with_crash(mut self, crash: CrashPlan) -> Self {
         self.crash = Some(crash);
+        self
+    }
+
+    /// Sets the worker-thread count (see [`SimOptions::threads`]).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -189,6 +207,95 @@ pub fn simulate_observed<O: Observer>(
     Ok(Simulation::with_observer(workload, subscriptions, costs, options, obs)?.run())
 }
 
+/// [`simulate_observed`] over the sharded path: each shard collects into
+/// its own fresh `O` and the shard observers are folded together in shard
+/// order via [`MergeableObserver::absorb`], so additive observer totals
+/// (hits, misses, transfers, bytes) match the sequential run exactly.
+/// Runs sharded even when [`SimOptions::threads`] resolves to one thread.
+///
+/// This exists because a [`SharedObserver`] is single-threaded by design
+/// (`Rc<RefCell<_>>`): an arbitrary observer handed to
+/// [`simulate_observed`] cannot cross shard boundaries, but an observer
+/// type that knows how to merge can be built per shard and recombined.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for the same invalid inputs as [`simulate`].
+///
+/// # Examples
+///
+/// ```
+/// use pscd_core::StrategyKind;
+/// use pscd_obs::StatsObserver;
+/// use pscd_sim::{simulate_observed_sharded, SimOptions};
+/// use pscd_topology::FetchCosts;
+/// use pscd_workload::{Workload, WorkloadConfig};
+///
+/// let w = Workload::generate(&WorkloadConfig::news_scaled(0.003))?;
+/// let subs = w.subscriptions(1.0)?;
+/// let costs = FetchCosts::uniform(w.server_count());
+/// let opt = SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05).with_threads(4);
+/// let (result, stats): (_, StatsObserver) =
+///     simulate_observed_sharded(&w, &subs, &costs, &opt)?;
+/// assert_eq!(stats.requests(), result.requests);
+/// assert_eq!(stats.hits(), result.hits);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn simulate_observed_sharded<O: MergeableObserver>(
+    workload: &Workload,
+    subscriptions: &SubscriptionTable,
+    costs: &FetchCosts,
+    options: &SimOptions,
+) -> Result<(SimResult, O), SimError> {
+    validate(workload, subscriptions, costs, options)?;
+    let shards = crate::pool::effective_threads(options.threads, workload.server_count() as usize);
+    Ok(crate::shard::run_sharded(
+        workload,
+        subscriptions,
+        costs,
+        options,
+        shards,
+    ))
+}
+
+/// Rejects mismatched inputs and invalid options; shared by every entry
+/// point (sequential, stepping, sharded).
+pub(crate) fn validate(
+    workload: &Workload,
+    subscriptions: &SubscriptionTable,
+    costs: &FetchCosts,
+    options: &SimOptions,
+) -> Result<(), SimError> {
+    let servers = workload.server_count();
+    if costs.server_count() != servers {
+        return Err(SimError::MismatchedCosts {
+            servers,
+            costs: costs.server_count(),
+        });
+    }
+    if options.capacity_fraction.is_nan() || options.capacity_fraction <= 0.0 {
+        return Err(SimError::InvalidOption {
+            option: "capacity_fraction",
+            constraint: "> 0",
+        });
+    }
+    if subscriptions.page_count() != workload.pages().len() {
+        return Err(SimError::MismatchedSubscriptions {
+            pages: workload.pages().len(),
+            table_pages: subscriptions.page_count(),
+        });
+    }
+    if let Some(plan) = options.crash {
+        if !(0.0..=1.0).contains(&plan.fraction) {
+            return Err(SimError::InvalidOption {
+                option: "crash.fraction",
+                constraint: "in [0, 1]",
+            });
+        }
+    }
+    Ok(())
+}
+
 /// One processed simulation event, as reported by [`Simulation::step`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StepEvent {
@@ -264,6 +371,7 @@ pub struct Simulation<'a, O: Observer = NullObserver> {
     options: SimOptions,
     engine: DeliveryEngine<O>,
     obs: SharedObserver<O>,
+    costs: FetchCosts,
     capacities: Vec<pscd_types::Bytes>,
     hourly: HourlySeries,
     pending_crash: Option<CrashPlan>,
@@ -314,33 +422,7 @@ impl<'a, O: Observer> Simulation<'a, O> {
         options: &SimOptions,
         obs: SharedObserver<O>,
     ) -> Result<Self, SimError> {
-        let servers = workload.server_count();
-        if costs.server_count() != servers {
-            return Err(SimError::MismatchedCosts {
-                servers,
-                costs: costs.server_count(),
-            });
-        }
-        if options.capacity_fraction.is_nan() || options.capacity_fraction <= 0.0 {
-            return Err(SimError::InvalidOption {
-                option: "capacity_fraction",
-                constraint: "> 0",
-            });
-        }
-        if subscriptions.page_count() != workload.pages().len() {
-            return Err(SimError::MismatchedSubscriptions {
-                pages: workload.pages().len(),
-                table_pages: subscriptions.page_count(),
-            });
-        }
-        if let Some(plan) = options.crash {
-            if !(0.0..=1.0).contains(&plan.fraction) {
-                return Err(SimError::InvalidOption {
-                    option: "crash.fraction",
-                    constraint: "in [0, 1]",
-                });
-            }
-        }
+        validate(workload, subscriptions, costs, options)?;
         let capacities = workload.cache_capacities(options.capacity_fraction);
         let strategies = capacities
             .iter()
@@ -365,6 +447,7 @@ impl<'a, O: Observer> Simulation<'a, O> {
             options: *options,
             engine,
             obs,
+            costs: costs.clone(),
             capacities,
             hourly: HourlySeries::new(hours),
             pending_crash: options.crash,
@@ -489,7 +572,30 @@ impl<'a, O: Observer> Simulation<'a, O> {
     }
 
     /// Drains the remaining timeline and returns the result.
+    ///
+    /// With [`SimOptions::threads`] other than 1 an untouched simulation
+    /// (no [`step`](Simulation::step) calls yet) runs sharded across the
+    /// proxy fleet; the totals are bit-identical to the sequential replay
+    /// (see the `differential` test suite). A simulation that has already
+    /// stepped, or one with an enabled observer (whose event stream is
+    /// inherently sequential), always drains on the calling thread.
     pub fn run(mut self) -> SimResult {
+        if !O::ENABLED && self.pi == 0 && self.ri == 0 && self.pending_invalidation.is_none() {
+            let shards = crate::pool::effective_threads(
+                self.options.threads,
+                self.workload.server_count() as usize,
+            );
+            if shards > 1 {
+                let (result, _null) = crate::shard::run_sharded::<NullObserver>(
+                    self.workload,
+                    self.subscriptions,
+                    &self.costs,
+                    &self.options,
+                    shards,
+                );
+                return result;
+            }
+        }
         while self.step().is_some() {}
         self.finish()
     }
@@ -645,6 +751,7 @@ mod tests {
             scheme,
             crash: None,
             invalidate_stale: false,
+            threads: 1,
         };
         let always = simulate(&w, &subs, &costs, &mk(PushScheme::Always)).unwrap();
         let necessary = simulate(&w, &subs, &costs, &mk(PushScheme::WhenNecessary)).unwrap();

@@ -1,0 +1,236 @@
+//! Differential equivalence suite: the sharded runner must be
+//! **bit-identical** to the sequential one — same `SimResult`, same
+//! `HourlySeries`, same per-proxy stats — for every strategy the paper
+//! evaluates, with and without fault injection, under both pushing
+//! schemes, at any shard count. Correctness of the parallel path is
+//! established here, not by inspection.
+
+use pscd_broker::PushScheme;
+use pscd_core::StrategyKind;
+use pscd_obs::SharedObserver;
+use pscd_obs::StatsObserver;
+use pscd_sim::{
+    simulate, simulate_observed, simulate_observed_sharded, CrashPlan, SimOptions, Simulation,
+};
+use pscd_topology::FetchCosts;
+use pscd_types::{SimTime, SubscriptionTable};
+use pscd_workload::{Workload, WorkloadConfig};
+
+/// Every strategy the paper evaluates (§5), plus the classic baselines.
+fn all_strategies() -> [StrategyKind; 12] {
+    [
+        StrategyKind::Lru,
+        StrategyKind::Gds,
+        StrategyKind::LfuDa,
+        StrategyKind::GdStar { beta: 2.0 },
+        StrategyKind::Sub,
+        StrategyKind::Sg1 { beta: 2.0 },
+        StrategyKind::Sg2 { beta: 2.0 },
+        StrategyKind::Sr,
+        StrategyKind::Dm { beta: 2.0 },
+        StrategyKind::dc_fp(2.0),
+        StrategyKind::DcAp { beta: 2.0 },
+        StrategyKind::dc_lap(2.0),
+    ]
+}
+
+fn fixture() -> (Workload, SubscriptionTable, FetchCosts) {
+    let w = Workload::generate(&WorkloadConfig::news_scaled(0.004)).unwrap();
+    let subs = w.subscriptions(0.8).unwrap();
+    let costs = FetchCosts::uniform(w.server_count());
+    (w, subs, costs)
+}
+
+/// Asserts `threads = 4` reproduces `threads = 1` bit for bit. The whole
+/// `SimResult` is compared — hits, requests, traffic, the full
+/// `HourlySeries`, and per-server stats.
+fn assert_bit_identical(
+    w: &Workload,
+    subs: &SubscriptionTable,
+    costs: &FetchCosts,
+    options: SimOptions,
+) {
+    let sequential = simulate(w, subs, costs, &options.with_threads(1)).unwrap();
+    let sharded = simulate(w, subs, costs, &options.with_threads(4)).unwrap();
+    assert_eq!(
+        sequential, sharded,
+        "threads=4 diverged from threads=1 for {}",
+        sequential.strategy
+    );
+    assert_eq!(sequential.hourly, sharded.hourly);
+}
+
+#[test]
+fn every_strategy_is_bit_identical_sharded() {
+    let (w, subs, costs) = fixture();
+    for kind in all_strategies() {
+        assert_bit_identical(&w, &subs, &costs, SimOptions::at_capacity(kind, 0.05));
+    }
+}
+
+#[test]
+fn every_strategy_is_bit_identical_sharded_with_crash() {
+    let (w, subs, costs) = fixture();
+    let crash = CrashPlan {
+        time: SimTime::from_days(2),
+        fraction: 0.5,
+        seed: 42,
+    };
+    for kind in all_strategies() {
+        assert_bit_identical(
+            &w,
+            &subs,
+            &costs,
+            SimOptions::at_capacity(kind, 0.05).with_crash(crash),
+        );
+    }
+}
+
+#[test]
+fn when_necessary_scheme_is_bit_identical_sharded() {
+    let (w, subs, costs) = fixture();
+    for kind in [
+        StrategyKind::Sub,
+        StrategyKind::Sg2 { beta: 2.0 },
+        StrategyKind::dc_lap(2.0),
+    ] {
+        let mut options = SimOptions::at_capacity(kind, 0.05);
+        options.scheme = PushScheme::WhenNecessary;
+        assert_bit_identical(&w, &subs, &costs, options);
+    }
+}
+
+#[test]
+fn invalidation_is_bit_identical_sharded() {
+    let (w, subs, costs) = fixture();
+    for kind in [
+        StrategyKind::Sg2 { beta: 2.0 },
+        StrategyKind::GdStar { beta: 2.0 },
+    ] {
+        assert_bit_identical(
+            &w,
+            &subs,
+            &costs,
+            SimOptions::at_capacity(kind, 0.10).with_invalidation(),
+        );
+    }
+}
+
+#[test]
+fn totals_are_independent_of_shard_count() {
+    let (w, subs, costs) = fixture();
+    let base = SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05);
+    let sequential = simulate(&w, &subs, &costs, &base).unwrap();
+    // 0 = auto (machine parallelism); large counts clamp to the fleet.
+    for threads in [0, 2, 3, 4, 7, 64] {
+        let sharded = simulate(&w, &subs, &costs, &base.with_threads(threads)).unwrap();
+        assert_eq!(sequential, sharded, "threads={threads}");
+    }
+}
+
+#[test]
+fn crash_with_full_fleet_and_edge_fractions_shards_cleanly() {
+    let (w, subs, costs) = fixture();
+    let base = SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05);
+    for fraction in [0.0, 0.3, 1.0] {
+        let crash = CrashPlan {
+            time: SimTime::from_days(3),
+            fraction,
+            seed: 7,
+        };
+        assert_bit_identical(&w, &subs, &costs, base.with_crash(crash));
+    }
+    // A crash instant past the last event never fires anywhere.
+    let late = CrashPlan::new(SimTime::from_days(100_000), 1.0);
+    assert_bit_identical(&w, &subs, &costs, base.with_crash(late));
+}
+
+#[test]
+fn sharded_observer_totals_match_simresult_and_sequential_observer() {
+    let (w, subs, costs) = fixture();
+    let options = SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05).with_threads(4);
+    let (result, merged): (_, StatsObserver) =
+        simulate_observed_sharded(&w, &subs, &costs, &options).unwrap();
+    // The merged shard registries must agree with the simulator's own
+    // accounting exactly — this is what `repro --obs-dir` hard-checks.
+    assert_eq!(merged.requests(), result.requests);
+    assert_eq!(merged.hits(), result.hits);
+    assert_eq!(merged.push_transfers(), result.traffic.pushed_pages);
+    assert_eq!(
+        merged.registry().bytes("bytes.pushed"),
+        result.traffic.pushed_bytes.as_u64()
+    );
+    assert_eq!(
+        merged.registry().bytes("bytes.fetched"),
+        result.traffic.fetched_bytes.as_u64()
+    );
+    // And with a sequential observed run on every additive counter that
+    // is not inherently per-run (crash/invalidate event occurrences may
+    // split across shards; everything below must merge exactly).
+    let shared = SharedObserver::new(StatsObserver::new());
+    let seq_result =
+        simulate_observed(&w, &subs, &costs, &options.with_threads(1), shared.clone()).unwrap();
+    let seq = shared.try_unwrap().unwrap();
+    assert_eq!(result, seq_result);
+    for key in [
+        "request.hits",
+        "request.misses",
+        "push.offers",
+        "push.transfers",
+        "push.stored",
+        "publish.events",
+        "notify.events",
+        "notify.matches",
+        "admit.push",
+        "admit.access",
+    ] {
+        assert_eq!(
+            merged.registry().counter(key),
+            seq.registry().counter(key),
+            "counter {key} diverged"
+        );
+    }
+    for key in ["bytes.pushed", "bytes.fetched", "bytes.evicted"] {
+        assert_eq!(
+            merged.registry().bytes(key),
+            seq.registry().bytes(key),
+            "byte counter {key} diverged"
+        );
+    }
+}
+
+#[test]
+fn sharded_observer_crash_totals_merge_exactly() {
+    let (w, subs, costs) = fixture();
+    let crash = CrashPlan {
+        time: SimTime::from_days(2),
+        fraction: 0.5,
+        seed: 42,
+    };
+    let options = SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05)
+        .with_crash(crash)
+        .with_threads(4);
+    let (result, merged): (_, StatsObserver) =
+        simulate_observed_sharded(&w, &subs, &costs, &options).unwrap();
+    assert_eq!(merged.requests(), result.requests);
+    assert_eq!(merged.hits(), result.hits);
+    // Victim and restart totals are additive across shards.
+    let victims = crash.victims(w.server_count()).len() as u64;
+    assert_eq!(merged.registry().counter("crash.victims"), victims);
+    assert_eq!(merged.registry().counter("restart.events"), victims);
+}
+
+#[test]
+fn stepped_then_run_still_matches() {
+    // A simulation that already stepped must keep draining sequentially
+    // (the shards would otherwise replay consumed events) and still end
+    // at the sequential answer.
+    let (w, subs, costs) = fixture();
+    let options = SimOptions::at_capacity(StrategyKind::Sub, 0.05).with_threads(4);
+    let sequential = simulate(&w, &subs, &costs, &options.with_threads(1)).unwrap();
+    let mut sim = Simulation::new(&w, &subs, &costs, &options).unwrap();
+    for _ in 0..10 {
+        sim.step();
+    }
+    assert_eq!(sim.run(), sequential);
+}

@@ -1,6 +1,7 @@
 //! End-to-end properties: global totals must equal the per-server sums,
 //! and a [`StatsObserver`] riding along must agree with the [`SimResult`]
-//! without perturbing the simulation.
+//! without perturbing the simulation — on the sequential path and the
+//! sharded one alike.
 
 use std::sync::OnceLock;
 
@@ -9,7 +10,7 @@ use proptest::sample::select;
 
 use pscd_core::StrategyKind;
 use pscd_obs::{SharedObserver, StatsObserver};
-use pscd_sim::{simulate, simulate_observed, SimOptions};
+use pscd_sim::{simulate, simulate_observed, simulate_observed_sharded, SimOptions};
 use pscd_topology::FetchCosts;
 use pscd_types::SubscriptionTable;
 use pscd_workload::{Workload, WorkloadConfig};
@@ -59,5 +60,56 @@ proptest! {
         prop_assert_eq!(stats.requests(), plain.requests);
         prop_assert_eq!(stats.hits(), plain.hits);
         prop_assert_eq!(stats.push_transfers(), plain.traffic.pushed_pages);
+    }
+
+    #[test]
+    fn sharded_path_keeps_the_accounting_invariants(
+        kind in select(vec![
+            StrategyKind::GdStar { beta: 2.0 },
+            StrategyKind::Sub,
+            StrategyKind::Sg2 { beta: 2.0 },
+            StrategyKind::Dm { beta: 2.0 },
+            StrategyKind::dc_lap(2.0),
+        ]),
+        capacity in select(vec![0.01, 0.05, 0.10]),
+        threads in select(vec![2usize, 3, 4]),
+    ) {
+        let (w, subs, costs) = fixture();
+        let options = SimOptions::at_capacity(kind, capacity);
+        let sequential = simulate(w, subs, costs, &options).unwrap();
+        let sharded = simulate(w, subs, costs, &options.with_threads(threads)).unwrap();
+        // Bit-identical to the sequential run...
+        prop_assert_eq!(&sharded, &sequential);
+
+        // ...and internally consistent on its own terms: hits + misses
+        // equal requests, per-server sums equal globals, and every miss
+        // fetches exactly one page (bytes conservation).
+        let hits: u64 = sharded.per_server.iter().map(|&(h, _)| h).sum();
+        let requests: u64 = sharded.per_server.iter().map(|&(_, r)| r).sum();
+        prop_assert_eq!(sharded.hits, hits);
+        prop_assert_eq!(sharded.requests, requests);
+        prop_assert_eq!(sharded.traffic.fetched_pages, sharded.requests - sharded.hits);
+        prop_assert_eq!(
+            sharded.hourly.fetched_bytes.iter().sum::<u64>(),
+            sharded.traffic.fetched_bytes.as_u64()
+        );
+        prop_assert_eq!(
+            sharded.hourly.pushed_bytes.iter().sum::<u64>(),
+            sharded.traffic.pushed_bytes.as_u64()
+        );
+        prop_assert_eq!(sharded.hourly.requests.iter().sum::<u64>(), sharded.requests);
+        prop_assert_eq!(sharded.hourly.hits.iter().sum::<u64>(), sharded.hits);
+
+        // Merged shard observers agree with the result exactly.
+        let (observed, stats): (_, StatsObserver) =
+            simulate_observed_sharded(w, subs, costs, &options.with_threads(threads)).unwrap();
+        prop_assert_eq!(&observed, &sequential);
+        prop_assert_eq!(stats.requests(), observed.requests);
+        prop_assert_eq!(stats.hits(), observed.hits);
+        prop_assert_eq!(stats.push_transfers(), observed.traffic.pushed_pages);
+        prop_assert_eq!(
+            stats.registry().bytes("bytes.fetched"),
+            observed.traffic.fetched_bytes.as_u64()
+        );
     }
 }

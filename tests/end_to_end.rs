@@ -75,19 +75,19 @@ fn traffic_accounting_is_exact_for_every_strategy() {
         StrategyKind::dc_lap(2.0),
     ] {
         for scheme in [PushScheme::Always, PushScheme::WhenNecessary] {
-            let r = simulate(
-                &w,
-                &subs,
-                &costs,
-                &SimOptions {
-                    strategy: kind,
-                    capacity_fraction: 0.05,
-                    scheme,
-                    crash: None,
-                    invalidate_stale: false,
-                },
-            )
-            .unwrap();
+            let options = SimOptions {
+                strategy: kind,
+                capacity_fraction: 0.05,
+                scheme,
+                crash: None,
+                invalidate_stale: false,
+                threads: 1,
+            };
+            let r = simulate(&w, &subs, &costs, &options).unwrap();
+            // The sharded runner reproduces the sequential accounting
+            // bit for bit, so every check below covers both paths.
+            let sharded = simulate(&w, &subs, &costs, &options.with_threads(4)).unwrap();
+            assert_eq!(r, sharded, "{} / {scheme:?}", kind.name());
             // Misses and fetches balance exactly.
             assert_eq!(
                 r.traffic.fetched_pages,
@@ -150,6 +150,7 @@ fn when_necessary_only_drops_declined_transfers() {
                     scheme,
                     crash: None,
                     invalidate_stale: false,
+                    threads: 1,
                 },
             )
             .unwrap()
