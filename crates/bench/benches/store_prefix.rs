@@ -1,0 +1,62 @@
+//! Byte-prefix-sum benchmark for [`CacheStore::candidate_size_below`]:
+//! the value-ordered index (`indexed`) against the linear scan it
+//! replaced (`scan`, reproduced here over the store's public iterator).
+//! Push-time placement asks this question at every admission attempt at
+//! every matched proxy, so its cost rides the simulator's hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pscd_cache::CacheStore;
+use pscd_types::{Bytes, PageId};
+
+/// A populated store plus the query values the placement path would ask.
+fn populated(entries: u32) -> (CacheStore, Vec<f64>) {
+    let mut store = CacheStore::new(Bytes::new(u64::MAX));
+    let mut x = 0x1234_5678_9abc_def0u64;
+    let mut rng = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for i in 0..entries {
+        let value = ((rng() % 1_024) as f64) / 8.0;
+        let size = Bytes::new(rng() % 10_000 + 500);
+        store.insert(PageId::new(i), size, value);
+    }
+    let queries: Vec<f64> = (0..64).map(|_| ((rng() % 1_024) as f64) / 8.0).collect();
+    (store, queries)
+}
+
+fn prefix_sum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_prefix");
+    for entries in [1_000u32, 8_000] {
+        let (store, queries) = populated(entries);
+        group.bench_function(&format!("indexed_{entries}"), |b| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|&q| store.candidate_size_below(q).as_u64())
+                    .sum::<u64>()
+            })
+        });
+        group.bench_function(&format!("scan_{entries}"), |b| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|&q| {
+                        store
+                            .iter()
+                            .filter(|p| p.value < q)
+                            .map(|p| p.size.as_u64())
+                            .sum::<u64>()
+                    })
+                    .sum::<u64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, prefix_sum);
+criterion_main!(benches);

@@ -34,10 +34,8 @@
 
 mod delivery;
 mod error;
-mod fanout;
 mod traffic;
 
 pub use delivery::{DeliveryEngine, PushRecord, PushScheme, RequestRecord};
 pub use error::BrokerError;
-pub use fanout::Fanout;
 pub use traffic::Traffic;

@@ -32,6 +32,7 @@ mod classic;
 mod engine;
 mod policy;
 mod store;
+mod vindex;
 
 pub use classic::{GdStar, Gds, LfuDa, Lru};
 pub use engine::GreedyDualEngine;

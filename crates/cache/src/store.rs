@@ -5,6 +5,8 @@ use std::collections::{BinaryHeap, HashMap};
 
 use pscd_types::{Bytes, PageId};
 
+use crate::vindex::ValueIndex;
+
 /// One cached page with its current value under the owning policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StoredPage {
@@ -66,7 +68,10 @@ impl Ord for HeapItem {
 /// This is the substrate under every replacement policy in `pscd`: the
 /// policy decides the values, the store tracks bytes and keeps the
 /// min-value order (with a lazy-deletion heap, so value updates are
-/// `O(log n)`).
+/// `O(log n)`). A value-ordered byte-prefix index rides along so the
+/// push-time placement question — [`candidate_size_below`]
+/// (CacheStore::candidate_size_below) — is `O(log n)` too instead of a
+/// full scan.
 ///
 /// # Examples
 ///
@@ -88,6 +93,9 @@ pub struct CacheStore {
     used: Bytes,
     entries: HashMap<PageId, Entry>,
     heap: BinaryHeap<HeapItem>,
+    /// Mirrors the live entries, ordered by `(value, stamp)` with subtree
+    /// byte sums, for sublinear strict-prefix queries.
+    index: ValueIndex,
     next_stamp: u64,
 }
 
@@ -99,6 +107,7 @@ impl CacheStore {
             used: Bytes::ZERO,
             entries: HashMap::new(),
             heap: BinaryHeap::new(),
+            index: ValueIndex::default(),
             next_stamp: 0,
         }
     }
@@ -164,11 +173,13 @@ impl CacheStore {
         debug_assert!(size <= self.capacity, "page larger than the whole cache");
         if let Some(old) = self.entries.remove(&page) {
             self.used -= old.size;
+            self.index.remove(old.value, old.stamp);
         }
         let stamp = self.bump();
         self.entries.insert(page, Entry { size, value, stamp });
         self.used += size;
         self.heap.push(HeapItem { value, stamp, page });
+        self.index.insert(value, stamp, size.as_u64());
     }
 
     /// Updates the value of a cached page. Returns `false` if absent.
@@ -178,13 +189,22 @@ impl CacheStore {
     /// Panics if `value` is NaN.
     pub fn update_value(&mut self, page: PageId, value: f64) -> bool {
         assert!(!value.is_nan(), "page value must not be NaN");
-        let stamp = self.bump();
-        let Some(entry) = self.entries.get_mut(&page) else {
+        // Look up before bumping: a miss must not burn a stamp (stamps
+        // order eviction ties, so phantom bumps would shift tie-breaks
+        // between otherwise identical histories).
+        let Some(&old) = self.entries.get(&page) else {
             return false;
         };
+        let stamp = self.bump();
+        let entry = self
+            .entries
+            .get_mut(&page)
+            .expect("present: looked up above");
         entry.value = value;
         entry.stamp = stamp;
         self.heap.push(HeapItem { value, stamp, page });
+        self.index.remove(old.value, old.stamp);
+        self.index.insert(value, stamp, old.size.as_u64());
         true
     }
 
@@ -192,6 +212,7 @@ impl CacheStore {
     pub fn remove(&mut self, page: PageId) -> Option<StoredPage> {
         let entry = self.entries.remove(&page)?;
         self.used -= entry.size;
+        self.index.remove(entry.value, entry.stamp);
         Some(StoredPage {
             page,
             size: entry.size,
@@ -221,12 +242,12 @@ impl CacheStore {
 
     /// Total size of cached pages whose value is strictly below `value` —
     /// the *candidate pages* of the paper's push-time placement (§3.2).
+    ///
+    /// Answered from the byte-prefix index in `O(log n)`; this runs on
+    /// every push-time admission attempt at every matched proxy, so a
+    /// scan here dominated publish cost on large caches.
     pub fn candidate_size_below(&self, value: f64) -> Bytes {
-        self.entries
-            .values()
-            .filter(|e| e.value < value)
-            .map(|e| e.size)
-            .sum()
+        Bytes::new(self.index.sum_below(value))
     }
 
     /// Iterates over all cached pages (arbitrary order).
@@ -379,5 +400,65 @@ mod tests {
     fn nan_values_rejected() {
         let mut s = CacheStore::new(Bytes::new(100));
         s.insert(page(1), Bytes::new(10), f64::NAN);
+    }
+
+    #[test]
+    fn missed_update_burns_no_stamp() {
+        // Regression: update_value on an absent page used to bump the
+        // stamp counter, silently shifting later eviction tie-breaks.
+        let mut s = CacheStore::new(Bytes::new(100));
+        s.insert(page(1), Bytes::new(10), 1.0);
+        assert!(!s.update_value(page(9), 5.0));
+        // If the miss had burned a stamp, page 2 would now carry stamp 2
+        // and the tie-break below would be unaffected — so instead compare
+        // against a store that never saw the miss.
+        s.insert(page(2), Bytes::new(10), 1.0);
+        let mut clean = CacheStore::new(Bytes::new(100));
+        clean.insert(page(1), Bytes::new(10), 1.0);
+        clean.insert(page(2), Bytes::new(10), 1.0);
+        assert_eq!(s.pop_min().unwrap().page, clean.pop_min().unwrap().page);
+        assert_eq!(s.pop_min().unwrap().page, clean.pop_min().unwrap().page);
+    }
+
+    #[test]
+    fn candidate_size_matches_full_scan_under_churn() {
+        // The indexed prefix sum must equal the O(n) scan it replaced,
+        // bit for bit, across inserts, re-inserts, updates and evictions.
+        let scan = |s: &CacheStore, v: f64| -> Bytes {
+            s.iter().filter(|p| p.value < v).map(|p| p.size).sum()
+        };
+        let mut s = CacheStore::new(Bytes::new(10_000));
+        let mut x = 0x9e37_79b9u64;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for step in 0..1_500u64 {
+            match rng() % 4 {
+                0 | 1 => {
+                    let p = page((rng() % 60) as u32);
+                    let size = Bytes::new(rng() % 50 + 1);
+                    let value = ((rng() % 24) as f64) / 8.0;
+                    s.insert(p, size, value);
+                }
+                2 => {
+                    let p = page((rng() % 60) as u32);
+                    let value = ((rng() % 24) as f64) / 8.0;
+                    s.update_value(p, value);
+                }
+                _ => {
+                    s.pop_min();
+                }
+            }
+            let q = ((rng() % 32) as f64) / 8.0;
+            assert_eq!(s.candidate_size_below(q), scan(&s, q), "step {step}");
+        }
+        assert_eq!(
+            s.candidate_size_below(f64::INFINITY),
+            s.used(),
+            "everything is below +inf"
+        );
     }
 }

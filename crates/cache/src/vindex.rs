@@ -1,0 +1,349 @@
+//! A value-ordered byte-prefix index: the sublinear structure behind
+//! [`CacheStore::candidate_size_below`](crate::CacheStore::candidate_size_below).
+//!
+//! Push-time placement (paper §3.2) asks, at *every* admission attempt at
+//! every matched proxy, "how many bytes do the pages worth less than this
+//! one occupy?" — a strict-prefix sum over the store's value order. The
+//! store's lazy-deletion heap cannot answer that, and a linear scan made
+//! the question `O(n)` per publish × proxy. This index keeps every live
+//! `(value, stamp)` entry in a randomized search tree (a treap keyed by
+//! value then stamp, with priorities derived from the stamp) where each
+//! node carries its subtree's byte total, so the prefix sum is one
+//! root-to-leaf walk: `O(log n)` expected.
+//!
+//! The float order needs one precaution: the tree is ordered by
+//! [`f64::total_cmp`] (stamps break exact ties), but the query uses IEEE
+//! `<` — and the two disagree on `-0.0` vs `+0.0`. Normalizing `-0.0` to
+//! `+0.0` on entry makes the orders agree on every value the store admits
+//! (NaN is rejected at the [`CacheStore`](crate::CacheStore) boundary),
+//! so the answer is bit-identical to the scan it replaces.
+
+/// Sentinel child index: no node.
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    /// Entry value, normalized (`-0.0` stored as `+0.0`).
+    value: f64,
+    /// The store's stamp for this entry — unique, so keys never collide.
+    stamp: u64,
+    /// Entry size in bytes.
+    size: u64,
+    /// Byte total of this node's subtree.
+    sum: u64,
+    /// Treap heap priority (hashed from the stamp: deterministic).
+    prio: u64,
+    left: u32,
+    right: u32,
+}
+
+/// The byte-prefix index over a store's live `(value, stamp, size)`
+/// entries. Every mutation of [`CacheStore`](crate::CacheStore)'s entry
+/// map mirrors into this structure — an entry is inserted exactly when it
+/// becomes live and removed exactly when its stamp dies, so there is no
+/// lazy deletion to skim.
+#[derive(Debug, Clone)]
+pub(crate) struct ValueIndex {
+    nodes: Vec<Node>,
+    /// Recyclable slots in `nodes`.
+    free: Vec<u32>,
+    root: u32,
+}
+
+impl Default for ValueIndex {
+    fn default() -> Self {
+        Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+        }
+    }
+}
+
+/// `-0.0` → `+0.0` so `total_cmp` order and IEEE `<` agree (see module
+/// docs). NaN never reaches the index.
+#[inline]
+fn normalize(value: f64) -> f64 {
+    if value == 0.0 {
+        0.0
+    } else {
+        value
+    }
+}
+
+/// splitmix64: spreads the sequential stamps into uniform treap
+/// priorities, keeping the tree balanced in expectation without any RNG
+/// state (and therefore fully deterministic).
+#[inline]
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ValueIndex {
+    /// Number of live entries.
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Byte total of the whole index.
+    #[cfg(test)]
+    fn total(&self) -> u64 {
+        self.subtree_sum(self.root)
+    }
+
+    #[inline]
+    fn subtree_sum(&self, t: u32) -> u64 {
+        if t == NIL {
+            0
+        } else {
+            self.nodes[t as usize].sum
+        }
+    }
+
+    #[inline]
+    fn pull_up(&mut self, t: u32) {
+        let (l, r) = {
+            let n = &self.nodes[t as usize];
+            (n.left, n.right)
+        };
+        let sum = self.subtree_sum(l) + self.subtree_sum(r) + self.nodes[t as usize].size;
+        self.nodes[t as usize].sum = sum;
+    }
+
+    /// `(value, stamp)` key order: value by `total_cmp`, ties by stamp.
+    #[inline]
+    fn key_less(&self, a: u32, value: f64, stamp: u64) -> bool {
+        let n = &self.nodes[a as usize];
+        match n.value.total_cmp(&value) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Equal => n.stamp < stamp,
+            std::cmp::Ordering::Greater => false,
+        }
+    }
+
+    fn alloc(&mut self, value: f64, stamp: u64, size: u64) -> u32 {
+        let node = Node {
+            value,
+            stamp,
+            size,
+            sum: size,
+            prio: splitmix64(stamp),
+            left: NIL,
+            right: NIL,
+        };
+        if let Some(slot) = self.free.pop() {
+            self.nodes[slot as usize] = node;
+            slot
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Splits subtree `t` into `(keys < (value, stamp), keys >= ...)`.
+    fn split(&mut self, t: u32, value: f64, stamp: u64) -> (u32, u32) {
+        if t == NIL {
+            return (NIL, NIL);
+        }
+        if self.key_less(t, value, stamp) {
+            let right = self.nodes[t as usize].right;
+            let (l, r) = self.split(right, value, stamp);
+            self.nodes[t as usize].right = l;
+            self.pull_up(t);
+            (t, r)
+        } else {
+            let left = self.nodes[t as usize].left;
+            let (l, r) = self.split(left, value, stamp);
+            self.nodes[t as usize].left = r;
+            self.pull_up(t);
+            (l, t)
+        }
+    }
+
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a as usize].prio >= self.nodes[b as usize].prio {
+            let right = self.nodes[a as usize].right;
+            let merged = self.merge(right, b);
+            self.nodes[a as usize].right = merged;
+            self.pull_up(a);
+            a
+        } else {
+            let left = self.nodes[b as usize].left;
+            let merged = self.merge(a, left);
+            self.nodes[b as usize].left = merged;
+            self.pull_up(b);
+            b
+        }
+    }
+
+    /// Records a live entry. `stamp` must be unique among live entries
+    /// (the store's stamps are globally unique).
+    pub(crate) fn insert(&mut self, value: f64, stamp: u64, size: u64) {
+        let value = normalize(value);
+        let id = self.alloc(value, stamp, size);
+        let (l, r) = self.split(self.root, value, stamp);
+        let lid = self.merge(l, id);
+        self.root = self.merge(lid, r);
+    }
+
+    /// Drops a live entry by its exact `(value, stamp)` key. The entry
+    /// must be present — the store only removes what it inserted.
+    pub(crate) fn remove(&mut self, value: f64, stamp: u64) {
+        let value = normalize(value);
+        self.root = self.remove_at(self.root, value, stamp);
+    }
+
+    fn remove_at(&mut self, t: u32, value: f64, stamp: u64) -> u32 {
+        debug_assert_ne!(t, NIL, "removing an entry the index never saw");
+        if t == NIL {
+            return NIL;
+        }
+        let n = &self.nodes[t as usize];
+        if n.value == value && n.stamp == stamp {
+            let (l, r) = (n.left, n.right);
+            self.free.push(t);
+            return self.merge(l, r);
+        }
+        if self.key_less(t, value, stamp) {
+            let right = self.nodes[t as usize].right;
+            let sub = self.remove_at(right, value, stamp);
+            self.nodes[t as usize].right = sub;
+        } else {
+            let left = self.nodes[t as usize].left;
+            let sub = self.remove_at(left, value, stamp);
+            self.nodes[t as usize].left = sub;
+        }
+        self.pull_up(t);
+        t
+    }
+
+    /// Total bytes of entries whose value is strictly below `value` under
+    /// IEEE `<` — exactly what the linear scan computed. One descent,
+    /// `O(log n)` expected.
+    pub(crate) fn sum_below(&self, value: f64) -> u64 {
+        let mut acc = 0u64;
+        let mut t = self.root;
+        while t != NIL {
+            let n = &self.nodes[t as usize];
+            if n.value < value {
+                // This node and its whole left subtree qualify.
+                acc += self.subtree_sum(n.left) + n.size;
+                t = n.right;
+            } else {
+                t = n.left;
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference model: the scan the index replaces.
+    #[derive(Default)]
+    struct Naive {
+        entries: Vec<(f64, u64, u64)>,
+    }
+
+    impl Naive {
+        fn insert(&mut self, value: f64, stamp: u64, size: u64) {
+            self.entries.push((value, stamp, size));
+        }
+        fn remove(&mut self, value: f64, stamp: u64) {
+            let at = self
+                .entries
+                .iter()
+                .position(|&(v, s, _)| v.to_bits() == value.to_bits() && s == stamp)
+                .expect("present");
+            self.entries.swap_remove(at);
+        }
+        fn sum_below(&self, value: f64) -> u64 {
+            self.entries
+                .iter()
+                .filter(|&&(v, _, _)| v < value)
+                .map(|&(_, _, sz)| sz)
+                .sum()
+        }
+    }
+
+    #[test]
+    fn prefix_sums_match_the_scan() {
+        let mut idx = ValueIndex::default();
+        let mut naive = Naive::default();
+        // Deterministic pseudo-random mutation stream.
+        let mut x = 0x1234_5678_9abc_def0u64;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut live: Vec<(f64, u64, u64)> = Vec::new();
+        let mut stamp = 0u64;
+        for _ in 0..2_000 {
+            let r = rng();
+            if live.len() < 8 || r % 3 != 0 {
+                // Coarse values force ties; sizes stay small.
+                let value = ((rng() % 32) as f64) / 4.0;
+                let size = rng() % 100 + 1;
+                idx.insert(value, stamp, size);
+                naive.insert(value, stamp, size);
+                live.push((value, stamp, size));
+                stamp += 1;
+            } else {
+                let at = (rng() as usize) % live.len();
+                let (v, s, _) = live.swap_remove(at);
+                idx.remove(v, s);
+                naive.remove(v, s);
+            }
+            let q = ((rng() % 40) as f64) / 4.0;
+            assert_eq!(idx.sum_below(q), naive.sum_below(q));
+        }
+        assert_eq!(idx.len(), live.len());
+        assert_eq!(idx.total(), live.iter().map(|&(_, _, sz)| sz).sum::<u64>());
+    }
+
+    #[test]
+    fn strictness_and_signed_zero() {
+        let mut idx = ValueIndex::default();
+        idx.insert(-0.0, 0, 10);
+        idx.insert(0.0, 1, 20);
+        idx.insert(1.0, 2, 40);
+        // IEEE: -0.0 < 0.0 is false, so nothing is below +0.0 or -0.0.
+        assert_eq!(idx.sum_below(0.0), 0);
+        assert_eq!(idx.sum_below(-0.0), 0);
+        assert_eq!(idx.sum_below(1.0), 30);
+        assert_eq!(idx.sum_below(f64::INFINITY), 70);
+        // Removal by the original (un-normalized) value works.
+        idx.remove(-0.0, 0);
+        assert_eq!(idx.sum_below(1.0), 20);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut idx = ValueIndex::default();
+        for round in 0..10u64 {
+            for i in 0..100u64 {
+                idx.insert(i as f64, round * 100 + i, 1);
+            }
+            for i in 0..100u64 {
+                idx.remove(i as f64, round * 100 + i);
+            }
+        }
+        assert_eq!(idx.len(), 0);
+        assert!(idx.nodes.len() <= 100, "arena grew: {}", idx.nodes.len());
+        assert_eq!(idx.sum_below(f64::INFINITY), 0);
+    }
+}

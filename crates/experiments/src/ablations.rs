@@ -4,6 +4,7 @@
 use std::fmt;
 
 use pscd_core::StrategyKind;
+use pscd_sim::trace::CompiledTrace;
 use pscd_sim::SimOptions;
 use pscd_workload::{Workload, WorkloadConfig};
 
@@ -37,14 +38,13 @@ impl ClassicBaselines {
         ];
         let mut rows = Vec::new();
         for trace in [Trace::News, Trace::Alternative] {
-            let subs = ctx.subscriptions(trace, 1.0)?;
+            let compiled = ctx.compiled(trace, 1.0)?;
             for &capacity in &CAPACITIES {
                 let jobs: Vec<_> = lineup
                     .iter()
-                    .map(|&kind| (&subs, SimOptions::at_capacity(kind, capacity)))
+                    .map(|&kind| (&*compiled, SimOptions::at_capacity(kind, capacity)))
                     .collect();
-                let results =
-                    run_grid_threads(ctx.workload(trace), ctx.costs(), &jobs, ctx.threads())?;
+                let results = run_grid_threads(ctx.costs(), &jobs, ctx.threads())?;
                 rows.push((
                     trace,
                     capacity,
@@ -117,12 +117,12 @@ impl LapBoundsSweep {
     pub fn run(ctx: &ExperimentContext) -> Result<Self, ExperimentError> {
         let mut cells = Vec::new();
         for trace in [Trace::News, Trace::Alternative] {
-            let subs = ctx.subscriptions(trace, 1.0)?;
+            let compiled = ctx.compiled(trace, 1.0)?;
             let jobs: Vec<_> = LAP_BOUNDS
                 .iter()
                 .map(|&(lo, hi)| {
                     (
-                        &subs,
+                        &*compiled,
                         SimOptions::at_capacity(
                             StrategyKind::DcLap {
                                 beta: PAPER_BETA,
@@ -134,7 +134,7 @@ impl LapBoundsSweep {
                     )
                 })
                 .collect();
-            let results = run_grid_threads(ctx.workload(trace), ctx.costs(), &jobs, ctx.threads())?;
+            let results = run_grid_threads(ctx.costs(), &jobs, ctx.threads())?;
             for (&bounds, r) in LAP_BOUNDS.iter().zip(results) {
                 cells.push((trace, bounds, r.hit_ratio()));
             }
@@ -191,12 +191,12 @@ impl PartitionSweep {
     pub fn run(ctx: &ExperimentContext) -> Result<Self, ExperimentError> {
         let mut cells = Vec::new();
         for trace in [Trace::News, Trace::Alternative] {
-            let subs = ctx.subscriptions(trace, 1.0)?;
+            let compiled = ctx.compiled(trace, 1.0)?;
             let jobs: Vec<_> = PC_FRACTIONS
                 .iter()
                 .map(|&pc_fraction| {
                     (
-                        &subs,
+                        &*compiled,
                         SimOptions::at_capacity(
                             StrategyKind::DcFp {
                                 beta: PAPER_BETA,
@@ -207,7 +207,7 @@ impl PartitionSweep {
                     )
                 })
                 .collect();
-            let results = run_grid_threads(ctx.workload(trace), ctx.costs(), &jobs, ctx.threads())?;
+            let results = run_grid_threads(ctx.costs(), &jobs, ctx.threads())?;
             for (&frac, r) in PC_FRACTIONS.iter().zip(results) {
                 cells.push((trace, frac, r.hit_ratio()));
             }
@@ -272,12 +272,14 @@ impl CoverageSweep {
         for trace in [Trace::News, Trace::Alternative] {
             for &coverage in &COVERAGES {
                 let subs = ctx.workload(trace).subscriptions_partial(1.0, coverage)?;
+                // Partial-coverage tables live outside the context's
+                // cache; compile once per level, share across the lineup.
+                let compiled = CompiledTrace::compile(ctx.workload(trace), &subs)?;
                 let jobs: Vec<_> = lineup
                     .iter()
-                    .map(|&kind| (&subs, SimOptions::at_capacity(kind, 0.05)))
+                    .map(|&kind| (&compiled, SimOptions::at_capacity(kind, 0.05)))
                     .collect();
-                let results =
-                    run_grid_threads(ctx.workload(trace), ctx.costs(), &jobs, ctx.threads())?;
+                let results = run_grid_threads(ctx.costs(), &jobs, ctx.threads())?;
                 rows.push((
                     trace,
                     coverage,
@@ -363,11 +365,12 @@ impl ShiftSensitivity {
             let w = Workload::generate(&cfg)?;
             let subs = w.subscriptions(1.0)?;
             let pairs = subs.iter().count() as u64;
+            let compiled = CompiledTrace::compile(&w, &subs)?;
             let jobs: Vec<_> = lineup
                 .iter()
-                .map(|&kind| (&subs, SimOptions::at_capacity(kind, 0.05)))
+                .map(|&kind| (&compiled, SimOptions::at_capacity(kind, 0.05)))
                 .collect();
-            let results = run_grid_threads(&w, ctx.costs(), &jobs, ctx.threads())?;
+            let results = run_grid_threads(ctx.costs(), &jobs, ctx.threads())?;
             rows.push((
                 shift,
                 pairs,

@@ -16,7 +16,7 @@ use std::path::{Path, PathBuf};
 
 use pscd_core::StrategyKind;
 use pscd_obs::{JsonlObserver, Registry, SharedObserver, StatsObserver};
-use pscd_sim::{simulate_observed, simulate_observed_sharded, SimOptions};
+use pscd_sim::{simulate_observed_sharded_compiled, SimOptions, Simulation};
 
 use crate::{ExperimentContext, ExperimentError, Trace};
 
@@ -84,7 +84,7 @@ impl ObsAudit {
         };
         std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
         let trace = Trace::News;
-        let subs = ctx.subscriptions(trace, 1.0)?;
+        let compiled = ctx.compiled(trace, 1.0)?;
         let mut rows = Vec::new();
         let mut timing = Registry::new();
         for &kind in kinds {
@@ -95,13 +95,13 @@ impl ObsAudit {
                 let obs = SharedObserver::new((StatsObserver::new(), Some(jsonl)));
                 let options = SimOptions::at_capacity(kind, capacity);
                 let result = timing.time(kind.name(), || {
-                    simulate_observed(
-                        ctx.workload(trace),
-                        &subs,
+                    Simulation::from_compiled_observed(
+                        &compiled,
                         ctx.costs(),
                         &options,
                         obs.clone(),
                     )
+                    .map(Simulation::run)
                 })?;
                 let (stats, jsonl) = obs
                     .try_unwrap()
@@ -112,7 +112,7 @@ impl ObsAudit {
             } else {
                 let options = SimOptions::at_capacity(kind, capacity).with_threads(ctx.threads());
                 let (result, stats): (_, StatsObserver) = timing.time(kind.name(), || {
-                    simulate_observed_sharded(ctx.workload(trace), &subs, ctx.costs(), &options)
+                    simulate_observed_sharded_compiled(&compiled, ctx.costs(), &options)
                 })?;
                 (result, stats, None, 0)
             };

@@ -54,8 +54,7 @@ impl BetaSweep {
     pub fn run(ctx: &ExperimentContext) -> Result<Self, ExperimentError> {
         let mut cells = Vec::new();
         for trace in [Trace::News, Trace::Alternative] {
-            let workload = ctx.workload(trace);
-            let subs = ctx.subscriptions(trace, 1.0)?;
+            let compiled = ctx.compiled(trace, 1.0)?;
             let mut plan = Vec::new();
             for algorithm in ALGORITHMS {
                 for &capacity in &CAPACITIES {
@@ -68,12 +67,12 @@ impl BetaSweep {
                 .iter()
                 .map(|&(algorithm, capacity, beta)| {
                     (
-                        &subs,
+                        &*compiled,
                         SimOptions::at_capacity(kind_for(algorithm, beta), capacity),
                     )
                 })
                 .collect();
-            let results = run_grid_threads(workload, ctx.costs(), &jobs, ctx.threads())?;
+            let results = run_grid_threads(ctx.costs(), &jobs, ctx.threads())?;
             for ((algorithm, capacity, beta), result) in plan.into_iter().zip(results) {
                 cells.push(BetaCell {
                     trace,

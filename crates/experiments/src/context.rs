@@ -1,5 +1,10 @@
-//! Shared experiment inputs: the two traces, subscriptions and costs.
+//! Shared experiment inputs: the two traces, subscriptions, costs, and
+//! the compiled-trace cache every exhibit's grid replays from.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use pscd_sim::trace::CompiledTrace;
 use pscd_topology::{FetchCosts, TopologyBuilder};
 use pscd_types::SubscriptionTable;
 use pscd_workload::{Workload, WorkloadConfig};
@@ -55,6 +60,10 @@ pub struct ExperimentContext {
     alternative: Workload,
     costs: FetchCosts,
     threads: usize,
+    /// Compiled traces keyed by `(trace, quality.to_bits())`: each
+    /// `(workload, subscription table)` pair is compiled exactly once and
+    /// every grid cell of every exhibit replays the shared value.
+    compiled: Mutex<HashMap<(Trace, u64), Arc<CompiledTrace>>>,
 }
 
 impl ExperimentContext {
@@ -86,6 +95,7 @@ impl ExperimentContext {
             alternative,
             costs,
             threads: 0,
+            compiled: Mutex::new(HashMap::new()),
         })
     }
 
@@ -125,6 +135,36 @@ impl ExperimentContext {
         Ok(self.workload(trace).subscriptions(quality)?)
     }
 
+    /// The compiled trace of one workload at a target subscription
+    /// quality — compiled on first use, cached for every later call, so a
+    /// whole experiment suite pays the timeline merge/fan-out/lineage
+    /// analysis exactly once per `(trace, quality)` pair no matter how
+    /// many grids replay it.
+    ///
+    /// The lock is held across compilation on purpose: two callers racing
+    /// on a cold key must not both compile (the single-compile guarantee
+    /// is asserted by the `compile_once` integration test).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for qualities outside `(0, 1]`.
+    pub fn compiled(
+        &self,
+        trace: Trace,
+        quality: f64,
+    ) -> Result<Arc<CompiledTrace>, ExperimentError> {
+        let key = (trace, quality.to_bits());
+        let mut cache = self.compiled.lock().expect("compiled-trace cache poisoned");
+        if let Some(hit) = cache.get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let workload = self.workload(trace);
+        let subs = workload.subscriptions(quality)?;
+        let compiled = Arc::new(CompiledTrace::compile(workload, &subs)?);
+        cache.insert(key, Arc::clone(&compiled));
+        Ok(compiled)
+    }
+
     /// The shared per-proxy fetch costs.
     pub fn costs(&self) -> &FetchCosts {
         &self.costs
@@ -147,5 +187,19 @@ mod tests {
         assert_eq!(Trace::Alternative.alpha(), 1.0);
         assert_eq!(ctx.threads(), 0);
         assert_eq!(ctx.with_threads(2).threads(), 2);
+    }
+
+    #[test]
+    fn compiled_traces_are_cached_per_trace_and_quality() {
+        let ctx = ExperimentContext::scaled(0.003).unwrap();
+        let a = ctx.compiled(Trace::News, 1.0).unwrap();
+        let b = ctx.compiled(Trace::News, 1.0).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same key must hit the cache");
+        let c = ctx.compiled(Trace::News, 0.5).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "different quality is a new entry");
+        let d = ctx.compiled(Trace::Alternative, 1.0).unwrap();
+        assert!(!Arc::ptr_eq(&a, &d), "different trace is a new entry");
+        assert_eq!(a.server_count(), ctx.workload(Trace::News).server_count());
+        assert!(ctx.compiled(Trace::News, 0.0).is_err());
     }
 }

@@ -29,14 +29,13 @@ impl Fig4 {
         let lineup = StrategyKind::figure4_lineup(PAPER_BETA);
         let mut rows = Vec::new();
         for trace in [Trace::News, Trace::Alternative] {
-            let subs = ctx.subscriptions(trace, 1.0)?;
+            let compiled = ctx.compiled(trace, 1.0)?;
             for &capacity in &CAPACITIES {
                 let jobs: Vec<_> = lineup
                     .iter()
-                    .map(|&kind| (&subs, SimOptions::at_capacity(kind, capacity)))
+                    .map(|&kind| (&*compiled, SimOptions::at_capacity(kind, capacity)))
                     .collect();
-                let results =
-                    run_grid_threads(ctx.workload(trace), ctx.costs(), &jobs, ctx.threads())?;
+                let results = run_grid_threads(ctx.costs(), &jobs, ctx.threads())?;
                 rows.push((
                     trace,
                     capacity,

@@ -30,13 +30,12 @@ impl Fig5 {
         let mut rows = Vec::new();
         for trace in [Trace::News, Trace::Alternative] {
             for &quality in &QUALITIES {
-                let subs = ctx.subscriptions(trace, quality)?;
+                let compiled = ctx.compiled(trace, quality)?;
                 let jobs: Vec<_> = lineup
                     .iter()
-                    .map(|&kind| (&subs, SimOptions::at_capacity(kind, 0.05)))
+                    .map(|&kind| (&*compiled, SimOptions::at_capacity(kind, 0.05)))
                     .collect();
-                let results =
-                    run_grid_threads(ctx.workload(trace), ctx.costs(), &jobs, ctx.threads())?;
+                let results = run_grid_threads(ctx.costs(), &jobs, ctx.threads())?;
                 rows.push((
                     trace,
                     quality,

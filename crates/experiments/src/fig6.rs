@@ -38,12 +38,12 @@ impl Fig6 {
     pub fn run(ctx: &ExperimentContext) -> Result<Self, ExperimentError> {
         let mut series = Vec::new();
         for trace in [Trace::News, Trace::Alternative] {
-            let subs = ctx.subscriptions(trace, 1.0)?;
+            let compiled = ctx.compiled(trace, 1.0)?;
             let jobs: Vec<_> = lineup(PAPER_BETA)
                 .into_iter()
-                .map(|kind| (&subs, SimOptions::at_capacity(kind, 0.05)))
+                .map(|kind| (&*compiled, SimOptions::at_capacity(kind, 0.05)))
                 .collect();
-            let results = run_grid_threads(ctx.workload(trace), ctx.costs(), &jobs, ctx.threads())?;
+            let results = run_grid_threads(ctx.costs(), &jobs, ctx.threads())?;
             for r in results {
                 series.push((trace, r.strategy.clone(), r.hourly.hit_ratio_percent()));
             }

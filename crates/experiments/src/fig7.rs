@@ -46,7 +46,7 @@ impl Fig7 {
     ///
     /// Propagates simulation failures.
     pub fn run_on(ctx: &ExperimentContext, trace: Trace) -> Result<Self, ExperimentError> {
-        let subs = ctx.subscriptions(trace, 1.0)?;
+        let compiled = ctx.compiled(trace, 1.0)?;
         let mut series = Vec::new();
         let mut totals = Vec::new();
         for scheme in [PushScheme::Always, PushScheme::WhenNecessary] {
@@ -54,7 +54,7 @@ impl Fig7 {
                 .into_iter()
                 .map(|kind| {
                     (
-                        &subs,
+                        &*compiled,
                         SimOptions {
                             strategy: kind,
                             capacity_fraction: 0.05,
@@ -66,7 +66,7 @@ impl Fig7 {
                     )
                 })
                 .collect();
-            let results = run_grid_threads(ctx.workload(trace), ctx.costs(), &jobs, ctx.threads())?;
+            let results = run_grid_threads(ctx.costs(), &jobs, ctx.threads())?;
             for r in results {
                 series.push((scheme, r.strategy.clone(), r.hourly.traffic_pages()));
                 totals.push((

@@ -3,37 +3,42 @@
 //! Built on [`pscd_sim::pool`], the same worker-pool primitives the
 //! simulator's intra-run sharding uses, so the two layers of parallelism
 //! share one implementation of work distribution and ordering.
+//!
+//! A grid runs over **compiled** traces: every cell of a strategy ×
+//! capacity × scheme sweep references the same immutable
+//! [`CompiledTrace`], so the timeline merge, fan-out resolution and
+//! lineage analysis are paid once per workload rather than once per cell
+//! (see [`ExperimentContext::compiled`](crate::ExperimentContext::compiled)).
 
 use pscd_sim::pool::{effective_threads, parallel_indexed};
-use pscd_sim::{simulate, SimOptions, SimResult};
+use pscd_sim::trace::CompiledTrace;
+use pscd_sim::{simulate_compiled, SimOptions, SimResult};
 use pscd_topology::FetchCosts;
-use pscd_types::SubscriptionTable;
-use pscd_workload::Workload;
 
 use crate::ExperimentError;
 
-/// One cell of a simulation grid: a subscription table (one per
-/// subscription quality) plus the run options.
-pub type GridJob<'a> = (&'a SubscriptionTable, SimOptions);
+/// One cell of a simulation grid: a compiled trace (one per workload ×
+/// subscription quality, shared by reference across cells) plus the run
+/// options.
+pub type GridJob<'a> = (&'a CompiledTrace, SimOptions);
 
 /// Runs a batch of simulations across all available cores, preserving job
 /// order in the results.
 ///
-/// Each simulation is independent (it builds its own proxy fleet), so the
-/// grid parallelizes perfectly; the paper's largest sweep (the β tuning of
-/// §5.1: 126 runs) completes in seconds. Equivalent to
-/// [`run_grid_threads`] with `threads = 0` (auto).
+/// Each cell replays its (shared, immutable) compiled trace through its
+/// own proxy fleet, so the grid parallelizes perfectly; the paper's
+/// largest sweep (the β tuning of §5.1: 126 runs) completes in seconds.
+/// Equivalent to [`run_grid_threads`] with `threads = 0` (auto).
 ///
 /// # Errors
 ///
 /// Returns the first simulation error encountered (the remaining jobs are
 /// still drained).
 pub fn run_grid(
-    workload: &Workload,
     costs: &FetchCosts,
     jobs: &[GridJob<'_>],
 ) -> Result<Vec<SimResult>, ExperimentError> {
-    run_grid_threads(workload, costs, jobs, 0)
+    run_grid_threads(costs, jobs, 0)
 }
 
 /// [`run_grid`] with an explicit pool size: `0` = auto (machine
@@ -48,7 +53,6 @@ pub fn run_grid(
 /// Returns the first simulation error encountered (the remaining jobs are
 /// still drained).
 pub fn run_grid_threads(
-    workload: &Workload,
     costs: &FetchCosts,
     jobs: &[GridJob<'_>],
     threads: usize,
@@ -58,8 +62,8 @@ pub fn run_grid_threads(
     }
     let threads = effective_threads(threads, jobs.len());
     parallel_indexed(jobs.len(), threads, |i| {
-        let (subs, options) = &jobs[i];
-        simulate(workload, subs, costs, options)
+        let (trace, options) = &jobs[i];
+        simulate_compiled(trace, costs, options)
     })
     .into_iter()
     .map(|r| r.map_err(ExperimentError::from))
@@ -70,33 +74,39 @@ pub fn run_grid_threads(
 mod tests {
     use super::*;
     use pscd_core::StrategyKind;
+    use pscd_sim::simulate;
+    use pscd_topology::FetchCosts;
+    use pscd_workload::Workload;
 
-    fn fixture() -> (Workload, SubscriptionTable, FetchCosts) {
+    fn fixture() -> (Workload, CompiledTrace, FetchCosts) {
         let w = Workload::generate(&pscd_workload::WorkloadConfig::news_scaled(0.003)).unwrap();
         let subs = w.subscriptions(1.0).unwrap();
         let costs = FetchCosts::uniform(w.server_count());
-        (w, subs, costs)
+        let trace = CompiledTrace::compile(&w, &subs).unwrap();
+        (w, trace, costs)
     }
 
     #[test]
     fn grid_matches_serial_runs() {
-        let (w, subs, costs) = fixture();
+        let (w, trace, costs) = fixture();
+        let subs = w.subscriptions(1.0).unwrap();
         let options = [
             SimOptions::at_capacity(StrategyKind::GdStar { beta: 2.0 }, 0.05),
             SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05),
             SimOptions::at_capacity(StrategyKind::Sub, 0.01),
         ];
-        let jobs: Vec<GridJob> = options.iter().map(|&o| (&subs, o)).collect();
-        let parallel = run_grid(&w, &costs, &jobs).unwrap();
+        let jobs: Vec<GridJob> = options.iter().map(|&o| (&trace, o)).collect();
+        let parallel = run_grid(&costs, &jobs).unwrap();
         for (job, out) in jobs.iter().zip(&parallel) {
-            let serial = simulate(&w, job.0, &costs, &job.1).unwrap();
+            // The grid (compiled path) must match the raw-input path.
+            let serial = simulate(&w, &subs, &costs, &job.1).unwrap();
             assert_eq!(&serial, out);
         }
     }
 
     #[test]
     fn pool_size_does_not_change_results() {
-        let (w, subs, costs) = fixture();
+        let (_w, trace, costs) = fixture();
         let options = [
             SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05),
             SimOptions::at_capacity(StrategyKind::Sub, 0.05),
@@ -104,27 +114,25 @@ mod tests {
             // shard workers must compose without changing totals.
             SimOptions::at_capacity(StrategyKind::GdStar { beta: 2.0 }, 0.05).with_threads(3),
         ];
-        let jobs: Vec<GridJob> = options.iter().map(|&o| (&subs, o)).collect();
-        let serial = run_grid_threads(&w, &costs, &jobs, 1).unwrap();
+        let jobs: Vec<GridJob> = options.iter().map(|&o| (&trace, o)).collect();
+        let serial = run_grid_threads(&costs, &jobs, 1).unwrap();
         for threads in [0, 2, 4] {
-            let pooled = run_grid_threads(&w, &costs, &jobs, threads).unwrap();
+            let pooled = run_grid_threads(&costs, &jobs, threads).unwrap();
             assert_eq!(serial, pooled, "grid threads={threads}");
         }
     }
 
     #[test]
     fn empty_grid_is_empty() {
-        let w = Workload::generate(&pscd_workload::WorkloadConfig::news_scaled(0.003)).unwrap();
-        let costs = FetchCosts::uniform(w.server_count());
-        assert!(run_grid(&w, &costs, &[]).unwrap().is_empty());
+        let (_w, _trace, costs) = fixture();
+        assert!(run_grid(&costs, &[]).unwrap().is_empty());
     }
 
     #[test]
     fn errors_propagate() {
-        let w = Workload::generate(&pscd_workload::WorkloadConfig::news_scaled(0.003)).unwrap();
-        let subs = w.subscriptions(1.0).unwrap();
-        let costs = FetchCosts::uniform(3); // wrong size
-        let jobs: Vec<GridJob> = vec![(&subs, SimOptions::at_capacity(StrategyKind::Sub, 0.05))];
-        assert!(run_grid(&w, &costs, &jobs).is_err());
+        let (_w, trace, _costs) = fixture();
+        let bad_costs = FetchCosts::uniform(3); // wrong size
+        let jobs: Vec<GridJob> = vec![(&trace, SimOptions::at_capacity(StrategyKind::Sub, 0.05))];
+        assert!(run_grid(&bad_costs, &jobs).is_err());
     }
 }

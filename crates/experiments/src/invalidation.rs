@@ -40,16 +40,16 @@ impl InvalidationStudy {
         ];
         let mut rows = Vec::new();
         for trace in [Trace::News, Trace::Alternative] {
-            let subs = ctx.subscriptions(trace, 1.0)?;
+            let compiled = ctx.compiled(trace, 1.0)?;
             let mut jobs = Vec::new();
             for &kind in &lineup {
-                jobs.push((&subs, SimOptions::at_capacity(kind, 0.05)));
+                jobs.push((&*compiled, SimOptions::at_capacity(kind, 0.05)));
                 jobs.push((
-                    &subs,
+                    &*compiled,
                     SimOptions::at_capacity(kind, 0.05).with_invalidation(),
                 ));
             }
-            let results = run_grid_threads(ctx.workload(trace), ctx.costs(), &jobs, ctx.threads())?;
+            let results = run_grid_threads(ctx.costs(), &jobs, ctx.threads())?;
             for pair in results.chunks(2) {
                 rows.push((
                     trace,

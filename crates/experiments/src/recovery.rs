@@ -37,14 +37,18 @@ impl CrashRecovery {
             StrategyKind::Sub,
             StrategyKind::GdStar { beta: PAPER_BETA },
         ];
-        let subs = ctx.subscriptions(Trace::News, 1.0)?;
+        let compiled = ctx.compiled(Trace::News, 1.0)?;
         let crash = CrashPlan::new(SimTime::from_hours(CRASH_HOUR as u64), 1.0);
         let jobs: Vec<_> = lineup
             .iter()
-            .map(|&kind| (&subs, SimOptions::at_capacity(kind, 0.05).with_crash(crash)))
+            .map(|&kind| {
+                (
+                    &*compiled,
+                    SimOptions::at_capacity(kind, 0.05).with_crash(crash),
+                )
+            })
             .collect();
-        let results =
-            run_grid_threads(ctx.workload(Trace::News), ctx.costs(), &jobs, ctx.threads())?;
+        let results = run_grid_threads(ctx.costs(), &jobs, ctx.threads())?;
         Ok(Self {
             series: results
                 .into_iter()

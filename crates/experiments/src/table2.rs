@@ -43,14 +43,14 @@ impl Table2 {
         let mut rows = Vec::new();
         let mut baselines = Vec::new();
         for trace in [Trace::News, Trace::Alternative] {
-            let subs = ctx.subscriptions(trace, 1.0)?;
+            let compiled = ctx.compiled(trace, 1.0)?;
             let mut kinds = vec![StrategyKind::GdStar { beta: PAPER_BETA }];
             kinds.extend(lineup(PAPER_BETA));
             let jobs: Vec<_> = kinds
                 .iter()
-                .map(|&kind| (&subs, SimOptions::at_capacity(kind, 0.05)))
+                .map(|&kind| (&*compiled, SimOptions::at_capacity(kind, 0.05)))
                 .collect();
-            let results = run_grid_threads(ctx.workload(trace), ctx.costs(), &jobs, ctx.threads())?;
+            let results = run_grid_threads(ctx.costs(), &jobs, ctx.threads())?;
             let baseline = &results[0];
             baselines.push((trace, baseline.hit_ratio()));
             rows.push((

@@ -10,6 +10,7 @@
 use std::fmt;
 
 use pscd_core::StrategyKind;
+use pscd_sim::trace::CompiledTrace;
 use pscd_sim::SimOptions;
 use pscd_workload::{Workload, WorkloadConfig};
 
@@ -85,11 +86,14 @@ impl VarianceStudy {
                 .with_seed(seed);
                 let workload = Workload::generate(&cfg)?;
                 let subs = workload.subscriptions(1.0)?;
+                // Reseeded workloads are outside the context's cache;
+                // compile once per seed and share across the lineup.
+                let compiled = CompiledTrace::compile(&workload, &subs)?;
                 let jobs: Vec<_> = lineup
                     .iter()
-                    .map(|&kind| (&subs, SimOptions::at_capacity(kind, 0.05)))
+                    .map(|&kind| (&compiled, SimOptions::at_capacity(kind, 0.05)))
                     .collect();
-                let results = run_grid_threads(&workload, ctx.costs(), &jobs, ctx.threads())?;
+                let results = run_grid_threads(ctx.costs(), &jobs, ctx.threads())?;
                 for r in results {
                     let slot = samples
                         .iter_mut()

@@ -9,10 +9,19 @@
 //! (eq. 8) and publisher→proxy traffic — are collected globally, per
 //! proxy and per hour.
 //!
-//! Because the proxies are independent caches, one run can be sharded
-//! across threads along the proxy axis ([`SimOptions::threads`]): the
-//! fleet is partitioned into contiguous server ranges, each shard replays
-//! its sub-timeline in parallel, and the shard results merge into totals
+//! The replay pipeline has two stages. First the strategy-independent
+//! facts of a `(Workload, SubscriptionTable)` pair — timeline order,
+//! per-publish fan-out, per-request subscription counts, invalidation
+//! lineage — are compiled **once** into an immutable [`CompiledTrace`];
+//! then any number of strategy × capacity × scheme cells replay that
+//! trace by reference ([`simulate_compiled`]), through one shared replay
+//! loop.
+//!
+//! Because the proxies are independent caches, one run can also be
+//! sharded across threads along the proxy axis ([`SimOptions::threads`]):
+//! the fleet is partitioned into contiguous server ranges, each shard
+//! replays its sub-timeline in parallel (the same replay loop restricted
+//! to a server range), and the shard results merge into totals
 //! bit-identical to the sequential replay (see the `differential` test
 //! suite and DESIGN.md).
 //!
@@ -43,11 +52,13 @@ mod metrics;
 pub mod pool;
 mod runner;
 mod shard;
+pub mod trace;
 
 pub use error::SimError;
 pub use metrics::{HourlySeries, SimResult};
 pub use runner::{
-    simulate, simulate_observed, simulate_observed_sharded, CrashPlan, SimOptions, Simulation,
-    StepEvent,
+    simulate, simulate_compiled, simulate_observed, simulate_observed_sharded,
+    simulate_observed_sharded_compiled, CrashPlan, SimOptions, Simulation, StepEvent,
 };
 pub use shard::ShardPlan;
+pub use trace::{CompiledEvent, CompiledEventKind, CompiledTrace};

@@ -76,7 +76,11 @@ mod tests {
 
     fn sample(seed: u64) -> SimResult {
         let mut hourly = HourlySeries::new(3);
-        hourly.record_request(SimTime::from_hours(0), seed.is_multiple_of(2), Bytes::new(seed * 10));
+        hourly.record_request(
+            SimTime::from_hours(0),
+            seed.is_multiple_of(2),
+            Bytes::new(seed * 10),
+        );
         hourly.record_push(SimTime::from_hours(2), Bytes::new(seed));
         let mut traffic = Traffic::ZERO;
         traffic.record_push(Bytes::new(seed));

@@ -1,4 +1,12 @@
 //! The discrete-event simulation runner.
+//!
+//! Since the compiled-trace refactor there is exactly **one** replay loop
+//! in the simulator: [`ReplayState::step`], driven over a
+//! [`CompiledTrace`]. The sequential runner is a replay over the full
+//! server range; a shard worker is the same replay over `[start, end)`
+//! (see `shard.rs`); a grid cell is a replay over a compiled trace shared
+//! by reference. Nothing re-derives timeline order, fan-outs,
+//! subscription counts or invalidation lineage per run.
 
 use serde::{Deserialize, Serialize};
 
@@ -13,6 +21,7 @@ use pscd_topology::FetchCosts;
 use pscd_types::{ServerId, SimTime, SubscriptionTable};
 use pscd_workload::Workload;
 
+use crate::trace::{CompiledEventKind, CompiledTrace};
 use crate::{HourlySeries, SimError, SimResult};
 
 /// A fault-injection plan: at `time`, a `fraction` of the proxies crash
@@ -119,13 +128,18 @@ impl SimOptions {
     }
 }
 
-/// Runs one full simulation: replays the workload's merged
-/// publishing/request timeline through a [`DeliveryEngine`] configured
-/// with one strategy instance per proxy.
+/// Runs one full simulation: compiles the workload's merged
+/// publishing/request timeline (see [`CompiledTrace`]) and replays it
+/// through a [`DeliveryEngine`] configured with one strategy instance per
+/// proxy.
 ///
 /// Publish events and request events are processed in time order
 /// (publishes first at equal timestamps, since a notification must precede
 /// the requests it triggers).
+///
+/// Callers replaying the *same* `(workload, subscriptions)` pair more
+/// than once should compile once with [`CompiledTrace::compile`] and use
+/// [`simulate_compiled`]; this convenience wrapper compiles per call.
 ///
 /// # Errors
 ///
@@ -159,6 +173,22 @@ pub fn simulate(
     options: &SimOptions,
 ) -> Result<SimResult, SimError> {
     Ok(Simulation::new(workload, subscriptions, costs, options)?.run())
+}
+
+/// [`simulate`] over an already-compiled trace: the whole point of
+/// [`CompiledTrace`] — compile once, replay N cells/shards against the
+/// same immutable value by reference.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the fetch-cost vector does not cover the
+/// trace's proxies or an option is out of range.
+pub fn simulate_compiled(
+    trace: &CompiledTrace,
+    costs: &FetchCosts,
+    options: &SimOptions,
+) -> Result<SimResult, SimError> {
+    Ok(Simulation::from_compiled(trace, costs, options)?.run())
 }
 
 /// [`simulate`] with every simulator decision reported to `obs`: timeline
@@ -248,18 +278,29 @@ pub fn simulate_observed_sharded<O: MergeableObserver>(
     options: &SimOptions,
 ) -> Result<(SimResult, O), SimError> {
     validate(workload, subscriptions, costs, options)?;
+    let trace = CompiledTrace::compile(workload, subscriptions)?;
     let shards = crate::pool::effective_threads(options.threads, workload.server_count() as usize);
-    Ok(crate::shard::run_sharded(
-        workload,
-        subscriptions,
-        costs,
-        options,
-        shards,
-    ))
+    Ok(crate::shard::run_sharded(&trace, costs, options, shards))
+}
+
+/// [`simulate_observed_sharded`] over an already-compiled trace.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for the same invalid inputs as
+/// [`simulate_compiled`].
+pub fn simulate_observed_sharded_compiled<O: MergeableObserver>(
+    trace: &CompiledTrace,
+    costs: &FetchCosts,
+    options: &SimOptions,
+) -> Result<(SimResult, O), SimError> {
+    validate_compiled(trace, costs, options)?;
+    let shards = crate::pool::effective_threads(options.threads, trace.server_count() as usize);
+    Ok(crate::shard::run_sharded(trace, costs, options, shards))
 }
 
 /// Rejects mismatched inputs and invalid options; shared by every entry
-/// point (sequential, stepping, sharded).
+/// point that starts from a raw `(workload, subscriptions)` pair.
 pub(crate) fn validate(
     workload: &Workload,
     subscriptions: &SubscriptionTable,
@@ -273,16 +314,37 @@ pub(crate) fn validate(
             costs: costs.server_count(),
         });
     }
-    if options.capacity_fraction.is_nan() || options.capacity_fraction <= 0.0 {
-        return Err(SimError::InvalidOption {
-            option: "capacity_fraction",
-            constraint: "> 0",
-        });
-    }
+    check_options(options)?;
     if subscriptions.page_count() != workload.pages().len() {
         return Err(SimError::MismatchedSubscriptions {
             pages: workload.pages().len(),
             table_pages: subscriptions.page_count(),
+        });
+    }
+    Ok(())
+}
+
+/// [`validate`] for entry points starting from a [`CompiledTrace`] (the
+/// subscription table is already baked in).
+pub(crate) fn validate_compiled(
+    trace: &CompiledTrace,
+    costs: &FetchCosts,
+    options: &SimOptions,
+) -> Result<(), SimError> {
+    if costs.server_count() != trace.server_count() {
+        return Err(SimError::MismatchedCosts {
+            servers: trace.server_count(),
+            costs: costs.server_count(),
+        });
+    }
+    check_options(options)
+}
+
+fn check_options(options: &SimOptions) -> Result<(), SimError> {
+    if options.capacity_fraction.is_nan() || options.capacity_fraction <= 0.0 {
+        return Err(SimError::InvalidOption {
+            option: "capacity_fraction",
+            constraint: "> 0",
         });
     }
     if let Some(plan) = options.crash {
@@ -335,6 +397,267 @@ pub enum StepEvent {
     },
 }
 
+/// THE replay loop: the single implementation of event processing, shared
+/// by the sequential runner (full server range) and every shard worker
+/// (its `[start, end)` range). Holds everything mutable about a replay —
+/// the engine, the cursor, pending crash/invalidation — while the
+/// [`CompiledTrace`] it replays is passed by reference into each call, so
+/// one immutable trace can feed any number of concurrent replays.
+#[derive(Debug)]
+pub(crate) struct ReplayState<O: Observer> {
+    options: SimOptions,
+    engine: DeliveryEngine<O>,
+    obs: SharedObserver<O>,
+    /// Full-fleet capacities (crash restarts index by global server id).
+    capacities: Vec<pscd_types::Bytes>,
+    hourly: HourlySeries,
+    /// Next timeline index to process.
+    cursor: usize,
+    /// Precomputed crash-insertion point; `None` once fired (or no plan).
+    crash_at: Option<usize>,
+    /// Crash victims inside `[start, end)`, resolved from the full fleet.
+    victims: Vec<ServerId>,
+    /// An invalidation to report before processing the next event.
+    pending_invalidation: Option<(pscd_types::PageId, usize)>,
+    start: u16,
+    end: u16,
+}
+
+impl<O: Observer> ReplayState<O> {
+    /// Builds the proxy fleet for servers `[start, end)`. Options must
+    /// already be validated.
+    pub(crate) fn new(
+        trace: &CompiledTrace,
+        costs: &FetchCosts,
+        options: &SimOptions,
+        obs: SharedObserver<O>,
+        start: u16,
+        end: u16,
+    ) -> Self {
+        let capacities = trace.capacities(options.capacity_fraction);
+        let strategies = (start..end)
+            .map(|s| {
+                let server = ServerId::new(s);
+                options
+                    .strategy
+                    .build_observed(capacities[s as usize], obs.handle(server))
+            })
+            .collect();
+        let local_costs = (start..end).map(|s| costs.cost(ServerId::new(s))).collect();
+        let engine = DeliveryEngine::with_observer_offset(
+            strategies,
+            local_costs,
+            options.scheme,
+            obs.clone(),
+            ServerId::new(start),
+        )
+        .expect("lengths match by construction");
+        // Victims are resolved over the *full* fleet (a pure function of
+        // the seed) and filtered to the range, so fault injection hits
+        // exactly the proxies it hits sequentially.
+        let victims = options
+            .crash
+            .map(|plan| plan.victims(trace.server_count()))
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|v| (start..end).contains(&v.index()))
+            .collect();
+        Self {
+            options: *options,
+            engine,
+            obs,
+            capacities,
+            hourly: HourlySeries::new(trace.hours()),
+            cursor: 0,
+            crash_at: options.crash.map(|plan| trace.crash_index(plan.time)),
+            victims,
+            pending_invalidation: None,
+            start,
+            end,
+        }
+    }
+
+    fn full_range(&self) -> bool {
+        self.start == 0 && self.end as usize == self.capacities.len()
+    }
+
+    pub(crate) fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    pub(crate) fn pending_invalidation(&self) -> bool {
+        self.pending_invalidation.is_some()
+    }
+
+    pub(crate) fn options(&self) -> &SimOptions {
+        &self.options
+    }
+
+    pub(crate) fn engine(&self) -> &DeliveryEngine<O> {
+        &self.engine
+    }
+
+    /// Processes the next timeline event of `trace` owned by this
+    /// replay's server range. Returns `None` when the timeline is
+    /// exhausted.
+    pub(crate) fn step(&mut self, trace: &CompiledTrace) -> Option<StepEvent> {
+        if let Some((stale, proxies)) = self.pending_invalidation.take() {
+            return Some(StepEvent::Invalidated { stale, proxies });
+        }
+        let events = trace.events();
+        // A partial-range replay (a shard worker) skips requests owned by
+        // other shards — a cursor advance with no observer or engine
+        // traffic. The full-range replay never enters this loop body.
+        while let Some(ev) = events.get(self.cursor) {
+            match ev.kind {
+                CompiledEventKind::Request { server, .. }
+                    if !(self.start..self.end).contains(&server.index()) =>
+                {
+                    self.cursor += 1;
+                }
+                _ => break,
+            }
+        }
+        let ev = *events.get(self.cursor)?;
+        // Stamp the clock first so decision events fired by the engines
+        // below carry this event's simulation time.
+        self.obs.clock(ev.time);
+        // Fault injection fires before the first owned event at/after its
+        // instant: `cursor >= crash_at` iff `ev.time >= plan.time`, since
+        // the timeline is time-sorted. The crash consumes no event.
+        if let Some(at) = self.crash_at {
+            if self.cursor >= at {
+                self.crash_at = None;
+                if !self.victims.is_empty() || self.full_range() {
+                    self.obs.crash(ev.time, &self.victims);
+                    for i in 0..self.victims.len() {
+                        let server = self.victims[i];
+                        let capacity = self.capacities[server.as_usize()];
+                        self.engine
+                            .replace_strategy(
+                                server,
+                                self.options
+                                    .strategy
+                                    .build_observed(capacity, self.obs.handle(server)),
+                            )
+                            .expect("victims filtered to the replay range");
+                        self.obs.restart(ev.time, server);
+                    }
+                }
+                return Some(StepEvent::Crashed {
+                    servers: self.victims.len(),
+                });
+            }
+        }
+        self.cursor += 1;
+        match ev.kind {
+            CompiledEventKind::Publish {
+                ordinal,
+                supersedes,
+            } => {
+                let meta = trace.page(ev.page);
+                if self.options.invalidate_stale {
+                    // The superseded version was resolved at compile time;
+                    // drop it from every cache in range before notifying.
+                    if let Some(stale) = supersedes {
+                        let dropped = self.engine.invalidate_everywhere(stale);
+                        if dropped > 0 {
+                            self.obs.invalidate(ev.time, stale, dropped);
+                            self.pending_invalidation = Some((stale, dropped));
+                        }
+                    }
+                }
+                let matched = trace.matched_in(ordinal, self.start, self.end);
+                // Timeline-wide events are reported once: the range owning
+                // server 0 fires notify/publish with the *global* matched
+                // count (`pushed` stays range-local).
+                if self.start == 0 {
+                    self.obs
+                        .notify(ev.time, ev.page, trace.matched(ordinal).len());
+                }
+                let mut pushed = 0;
+                for record in self.engine.publish(meta, matched) {
+                    if record.transferred {
+                        self.hourly.record_push(ev.time, meta.size());
+                        pushed += 1;
+                    }
+                }
+                if self.start == 0 {
+                    self.obs.publish(
+                        ev.time,
+                        ev.page,
+                        meta.size(),
+                        trace.matched(ordinal).len(),
+                        pushed,
+                    );
+                }
+                Some(StepEvent::Published {
+                    page: ev.page,
+                    time: ev.time,
+                    pushed,
+                })
+            }
+            CompiledEventKind::Request { server, subs } => {
+                let meta = trace.page(ev.page);
+                let record = self
+                    .engine
+                    .request_with_subs(server, meta, subs)
+                    .expect("requests filtered to the replay range");
+                self.obs
+                    .request(ev.time, server, ev.page, meta.size(), record.hit);
+                self.hourly.record_request(ev.time, record.hit, meta.size());
+                Some(StepEvent::Requested {
+                    page: ev.page,
+                    server,
+                    time: ev.time,
+                    hit: record.hit,
+                })
+            }
+        }
+    }
+
+    /// Finalizes the result from the current state. The per-server vector
+    /// spans the full fleet (zeros outside this replay's range) so shard
+    /// results merge by uniform component-wise addition.
+    pub(crate) fn finish(self) -> SimResult {
+        let servers = self.capacities.len();
+        let mut per_server = vec![(0u64, 0u64); servers];
+        let mut hits = 0u64;
+        let mut total_requests = 0u64;
+        for s in self.start..self.end {
+            let stats = self.engine.hit_stats(ServerId::new(s));
+            per_server[s as usize] = stats;
+            hits += stats.0;
+            total_requests += stats.1;
+        }
+        SimResult {
+            strategy: self.options.strategy.name().to_owned(),
+            hits,
+            requests: total_requests,
+            traffic: self.engine.total_traffic(),
+            hourly: self.hourly,
+            per_server,
+        }
+    }
+}
+
+/// The trace a [`Simulation`] replays: compiled privately from raw inputs
+/// or borrowed from the caller (compile once, simulate many).
+#[derive(Debug)]
+enum TraceSource<'a> {
+    Owned(Box<CompiledTrace>),
+    Shared(&'a CompiledTrace),
+}
+
+impl TraceSource<'_> {
+    fn get(&self) -> &CompiledTrace {
+        match self {
+            TraceSource::Owned(t) => t,
+            TraceSource::Shared(t) => t,
+        }
+    }
+}
+
 /// A stepping simulation: the same semantics as [`simulate`], exposed one
 /// event at a time so callers can interleave their own logic — live
 /// dashboards, additional fault injection, early stopping, custom
@@ -366,34 +689,22 @@ pub enum StepEvent {
 /// ```
 #[derive(Debug)]
 pub struct Simulation<'a, O: Observer = NullObserver> {
-    workload: &'a Workload,
-    subscriptions: &'a SubscriptionTable,
-    options: SimOptions,
-    engine: DeliveryEngine<O>,
-    obs: SharedObserver<O>,
+    trace: TraceSource<'a>,
     costs: FetchCosts,
-    capacities: Vec<pscd_types::Bytes>,
-    hourly: HourlySeries,
-    pending_crash: Option<CrashPlan>,
-    pi: usize,
-    ri: usize,
-    /// Latest published version per original article (only tracked with
-    /// `invalidate_stale`).
-    latest_version: std::collections::HashMap<pscd_types::PageId, pscd_types::PageId>,
-    /// An invalidation to report before processing the next event.
-    pending_invalidation: Option<(pscd_types::PageId, usize)>,
+    state: ReplayState<O>,
 }
 
 impl<'a> Simulation<'a> {
-    /// Prepares a simulation (builds the proxy fleet; consumes no events).
+    /// Prepares a simulation (compiles the trace and builds the proxy
+    /// fleet; consumes no events).
     ///
     /// # Errors
     ///
     /// Returns [`SimError`] for mismatched inputs or invalid options, like
     /// [`simulate`].
     pub fn new(
-        workload: &'a Workload,
-        subscriptions: &'a SubscriptionTable,
+        workload: &Workload,
+        subscriptions: &SubscriptionTable,
         costs: &FetchCosts,
         options: &SimOptions,
     ) -> Result<Self, SimError> {
@@ -404,6 +715,21 @@ impl<'a> Simulation<'a> {
             options,
             SharedObserver::disabled(),
         )
+    }
+
+    /// Prepares a simulation over an already-compiled trace, borrowed for
+    /// the simulation's lifetime (the trace is immutable and can feed any
+    /// number of simulations, concurrently included).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for mismatched costs or invalid options.
+    pub fn from_compiled(
+        trace: &'a CompiledTrace,
+        costs: &FetchCosts,
+        options: &SimOptions,
+    ) -> Result<Self, SimError> {
+        Simulation::from_compiled_observed(trace, costs, options, SharedObserver::disabled())
     }
 }
 
@@ -416,159 +742,75 @@ impl<'a, O: Observer> Simulation<'a, O> {
     /// Returns [`SimError`] for mismatched inputs or invalid options, like
     /// [`simulate`].
     pub fn with_observer(
-        workload: &'a Workload,
-        subscriptions: &'a SubscriptionTable,
+        workload: &Workload,
+        subscriptions: &SubscriptionTable,
         costs: &FetchCosts,
         options: &SimOptions,
         obs: SharedObserver<O>,
     ) -> Result<Self, SimError> {
         validate(workload, subscriptions, costs, options)?;
-        let capacities = workload.cache_capacities(options.capacity_fraction);
-        let strategies = capacities
-            .iter()
-            .enumerate()
-            .map(|(i, &cap)| {
-                options
-                    .strategy
-                    .build_observed(cap, obs.handle(ServerId::new(i as u16)))
-            })
-            .collect();
-        let engine = DeliveryEngine::with_observer(
-            strategies,
-            costs.iter().collect(),
-            options.scheme,
-            obs.clone(),
-        )
-        .expect("lengths match by construction");
-        let hours = (workload.horizon().as_hours_f64().ceil() as usize).max(1);
-        Ok(Self {
-            workload,
-            subscriptions,
-            options: *options,
-            engine,
+        let trace = CompiledTrace::compile(workload, subscriptions)?;
+        Ok(Self::build(
+            TraceSource::Owned(Box::new(trace)),
+            costs,
+            options,
             obs,
+        ))
+    }
+
+    /// [`from_compiled`](Simulation::from_compiled) with all simulator
+    /// decisions reported to `obs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for mismatched costs or invalid options.
+    pub fn from_compiled_observed(
+        trace: &'a CompiledTrace,
+        costs: &FetchCosts,
+        options: &SimOptions,
+        obs: SharedObserver<O>,
+    ) -> Result<Self, SimError> {
+        validate_compiled(trace, costs, options)?;
+        Ok(Self::build(TraceSource::Shared(trace), costs, options, obs))
+    }
+
+    fn build(
+        trace: TraceSource<'a>,
+        costs: &FetchCosts,
+        options: &SimOptions,
+        obs: SharedObserver<O>,
+    ) -> Self {
+        let servers = trace.get().server_count();
+        let state = ReplayState::new(trace.get(), costs, options, obs, 0, servers);
+        Self {
+            trace,
             costs: costs.clone(),
-            capacities,
-            hourly: HourlySeries::new(hours),
-            pending_crash: options.crash,
-            pi: 0,
-            ri: 0,
-            latest_version: std::collections::HashMap::new(),
-            pending_invalidation: None,
-        })
+            state,
+        }
+    }
+
+    /// The compiled trace this simulation replays.
+    pub fn trace(&self) -> &CompiledTrace {
+        self.trace.get()
     }
 
     /// Read access to the live delivery engine (per-proxy strategies,
     /// counters).
     pub fn engine(&self) -> &DeliveryEngine<O> {
-        &self.engine
+        self.state.engine()
     }
 
     /// `(events processed, events total)` progress.
     pub fn progress(&self) -> (usize, usize) {
-        (
-            self.pi + self.ri,
-            self.workload.publishing().len() + self.workload.requests().len(),
-        )
+        (self.state.cursor(), self.trace.get().len())
     }
 
     /// Processes the next timeline event (publishes before requests at
     /// equal timestamps, since a notification must precede the requests it
     /// triggers). Returns `None` when the timeline is exhausted.
     pub fn step(&mut self) -> Option<StepEvent> {
-        if let Some((stale, proxies)) = self.pending_invalidation.take() {
-            return Some(StepEvent::Invalidated { stale, proxies });
-        }
-        let publishes = self.workload.publishing().events();
-        let requests = self.workload.requests().events();
-        let pages = self.workload.pages();
-
-        let next_time = match (publishes.get(self.pi), requests.get(self.ri)) {
-            (Some(p), Some(r)) => p.time.min(r.time),
-            (Some(p), None) => p.time,
-            (None, Some(r)) => r.time,
-            (None, None) => return None,
-        };
-        // Stamp the clock first so decision events fired by the engines
-        // below carry this event's simulation time.
-        self.obs.clock(next_time);
-        // Fault injection fires before the first event at/after its time.
-        if let Some(plan) = self.pending_crash {
-            if next_time >= plan.time {
-                self.pending_crash = None;
-                let victims = plan.victims(self.workload.server_count());
-                let n = victims.len();
-                self.obs.crash(next_time, &victims);
-                for server in victims {
-                    let capacity = self.capacities[server.as_usize()];
-                    self.engine
-                        .replace_strategy(
-                            server,
-                            self.options
-                                .strategy
-                                .build_observed(capacity, self.obs.handle(server)),
-                        )
-                        .expect("victims are in range");
-                    self.obs.restart(next_time, server);
-                }
-                return Some(StepEvent::Crashed { servers: n });
-            }
-        }
-        let publish_next = match (publishes.get(self.pi), requests.get(self.ri)) {
-            (Some(p), Some(r)) => p.time <= r.time,
-            (Some(_), None) => true,
-            (None, _) => false,
-        };
-        if publish_next {
-            let ev = publishes[self.pi];
-            self.pi += 1;
-            let meta = &pages[ev.page.as_usize()];
-            if self.options.invalidate_stale {
-                // Track the lineage and drop the superseded version.
-                let origin = meta.kind().origin().unwrap_or(ev.page);
-                if let Some(previous) = self.latest_version.insert(origin, ev.page) {
-                    let dropped = self.engine.invalidate_everywhere(previous);
-                    if dropped > 0 {
-                        self.obs.invalidate(ev.time, previous, dropped);
-                        self.pending_invalidation = Some((previous, dropped));
-                    }
-                }
-            }
-            let matched = self.subscriptions.matched_servers(ev.page);
-            self.obs.notify(ev.time, ev.page, matched.len());
-            let mut pushed = 0;
-            for record in self.engine.publish(meta, matched) {
-                if record.transferred {
-                    self.hourly.record_push(ev.time, meta.size());
-                    pushed += 1;
-                }
-            }
-            self.obs
-                .publish(ev.time, ev.page, meta.size(), matched.len(), pushed);
-            Some(StepEvent::Published {
-                page: ev.page,
-                time: ev.time,
-                pushed,
-            })
-        } else {
-            let ev = requests[self.ri];
-            self.ri += 1;
-            let meta = &pages[ev.page.as_usize()];
-            let subs = self.subscriptions.count(ev.page, ev.server);
-            let record = self
-                .engine
-                .request_with_subs(ev.server, meta, subs)
-                .expect("trace validated against server count");
-            self.obs
-                .request(ev.time, ev.server, ev.page, meta.size(), record.hit);
-            self.hourly.record_request(ev.time, record.hit, meta.size());
-            Some(StepEvent::Requested {
-                page: ev.page,
-                server: ev.server,
-                time: ev.time,
-                hit: record.hit,
-            })
-        }
+        let Self { trace, state, .. } = self;
+        state.step(trace.get())
     }
 
     /// Drains the remaining timeline and returns the result.
@@ -580,17 +822,17 @@ impl<'a, O: Observer> Simulation<'a, O> {
     /// stepped, or one with an enabled observer (whose event stream is
     /// inherently sequential), always drains on the calling thread.
     pub fn run(mut self) -> SimResult {
-        if !O::ENABLED && self.pi == 0 && self.ri == 0 && self.pending_invalidation.is_none() {
+        if !O::ENABLED && self.state.cursor() == 0 && !self.state.pending_invalidation() {
+            let options = *self.state.options();
             let shards = crate::pool::effective_threads(
-                self.options.threads,
-                self.workload.server_count() as usize,
+                options.threads,
+                self.trace.get().server_count() as usize,
             );
             if shards > 1 {
                 let (result, _null) = crate::shard::run_sharded::<NullObserver>(
-                    self.workload,
-                    self.subscriptions,
+                    self.trace.get(),
                     &self.costs,
-                    &self.options,
+                    &options,
                     shards,
                 );
                 return result;
@@ -603,21 +845,7 @@ impl<'a, O: Observer> Simulation<'a, O> {
     /// Finalizes the result from the current state (usable mid-timeline
     /// for early stopping).
     pub fn finish(self) -> SimResult {
-        let servers = self.workload.server_count();
-        let per_server: Vec<(u64, u64)> = (0..servers)
-            .map(|s| self.engine.hit_stats(ServerId::new(s)))
-            .collect();
-        let (hits, total_requests) = per_server
-            .iter()
-            .fold((0u64, 0u64), |(h, r), &(sh, sr)| (h + sh, r + sr));
-        SimResult {
-            strategy: self.options.strategy.name().to_owned(),
-            hits,
-            requests: total_requests,
-            traffic: self.engine.total_traffic(),
-            hourly: self.hourly,
-            per_server,
-        }
+        self.state.finish()
     }
 }
 
@@ -695,6 +923,37 @@ mod tests {
                 r.traffic.pushed_pages
             );
         }
+    }
+
+    #[test]
+    fn compiled_entry_point_matches_convenience_wrapper() {
+        let w = tiny_workload();
+        let subs = w.subscriptions(1.0).unwrap();
+        let costs = FetchCosts::uniform(w.server_count());
+        let trace = CompiledTrace::compile(&w, &subs).unwrap();
+        for kind in [StrategyKind::Sub, StrategyKind::Sg2 { beta: 2.0 }] {
+            let opt = SimOptions::at_capacity(kind, 0.05);
+            let compiled = simulate_compiled(&trace, &costs, &opt).unwrap();
+            let raw = simulate(&w, &subs, &costs, &opt).unwrap();
+            assert_eq!(compiled, raw);
+        }
+        // Compiled-path validation still rejects bad inputs.
+        assert!(matches!(
+            simulate_compiled(
+                &trace,
+                &FetchCosts::uniform(3),
+                &SimOptions::at_capacity(StrategyKind::Sub, 0.05)
+            ),
+            Err(SimError::MismatchedCosts { .. })
+        ));
+        assert!(matches!(
+            simulate_compiled(
+                &trace,
+                &costs,
+                &SimOptions::at_capacity(StrategyKind::Sub, 0.0)
+            ),
+            Err(SimError::InvalidOption { .. })
+        ));
     }
 
     #[test]

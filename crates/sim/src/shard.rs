@@ -3,41 +3,49 @@
 //! The paper's proxies are independent caches — every request is served by
 //! exactly one proxy and a publish fans out to each matched proxy
 //! separately — so one run parallelizes along the proxy axis: partition
-//! the servers into contiguous ranges ([`ShardPlan`]), replay each
-//! shard's sub-timeline (all publishes + the shard's requests) on its own
-//! thread against a shard-local [`DeliveryEngine`], and fold the
-//! shard-local [`SimResult`]s together in shard order.
+//! the servers into contiguous ranges ([`ShardPlan`]), replay each shard's
+//! sub-timeline (all publishes + the shard's requests) on its own thread,
+//! and fold the shard-local [`SimResult`]s together in shard order.
 //!
-//! Determinism rests on three facts, each enforced structurally:
+//! A shard worker is not a second event loop: it is the same
+//! [`ReplayState`](crate::runner) the sequential runner drives, restricted
+//! to the shard's server range. Determinism rests on three facts, each
+//! enforced structurally:
 //!
-//! 1. **The push schedule is computed once.** [`Fanout::precompute`]
-//!    resolves every publish event's matched-proxy list up front; shards
-//!    slice their server range out of the same table, so no shard can see
-//!    a different fan-out than the sequential run.
+//! 1. **The push schedule is computed once.** [`CompiledTrace`] resolves
+//!    every publish event's matched-proxy list at compile time; shards
+//!    slice their server range out of the same table
+//!    ([`CompiledTrace::matched_in`]), so no shard can see a different
+//!    fan-out than the sequential run.
 //! 2. **Crash victims are a pure function of the seed.**
-//!    `CrashPlan::victims` is evaluated over the *full* server count on
-//!    the coordinating thread and filtered per shard, so fault injection
-//!    hits exactly the proxies it hits sequentially.
+//!    `CrashPlan::victims` is evaluated over the *full* server count and
+//!    filtered per shard, so fault injection hits exactly the proxies it
+//!    hits sequentially.
 //! 3. **Merging is exact.** Every merged quantity is an unsigned integer
 //!    and filtering preserves each proxy's event subsequence, so
 //!    component-wise addition reproduces the sequential totals bit for
 //!    bit (see `merge.rs` and the `differential` test suite).
+//!
+//! Observer notes: timeline-wide events are reported once — the shard
+//! owning server 0 fires `on_notify`/`on_publish` with the *global*
+//! matched count (the `pushed` argument is shard-local) — while per-proxy
+//! events (requests, pushes, cache decisions, restarts, shard-local
+//! crash/invalidation sets) fire on the owning shard, so additive totals
+//! such as `crash.victims`, `invalidate.dropped` and every hit/byte
+//! counter merge exactly; only the event-occurrence counters
+//! `crash.events` and `invalidate.events` may split across shards.
 
-use std::collections::HashMap;
-
-use pscd_broker::{DeliveryEngine, Fanout};
 use pscd_obs::{MergeableObserver, SharedObserver};
 use pscd_topology::FetchCosts;
-use pscd_types::{Bytes, RequestEvent, ServerId, SubscriptionTable};
-use pscd_workload::Workload;
 
 use crate::pool::parallel_indexed;
-use crate::runner::SimOptions;
-use crate::{HourlySeries, SimResult};
+use crate::runner::{ReplayState, SimOptions};
+use crate::trace::CompiledTrace;
+use crate::SimResult;
 
-/// A partition of the proxy fleet into contiguous [`ServerId`] ranges,
-/// one per shard, balanced by per-server request load so no thread drags
-/// the others.
+/// A partition of the proxy fleet into contiguous
+/// [`ServerId`](pscd_types::ServerId) ranges, one per shard, balanced by
+/// per-server request load so no thread drags the others.
 ///
 /// # Examples
 ///
@@ -102,221 +110,36 @@ impl ShardPlan {
     }
 }
 
-/// Everything a shard worker reads; shared immutably across threads.
-struct ShardContext<'a> {
-    workload: &'a Workload,
-    subscriptions: &'a SubscriptionTable,
-    costs: &'a FetchCosts,
-    options: SimOptions,
-    capacities: Vec<Bytes>,
-    fanout: Fanout,
-    /// Crash victims over the full fleet, resolved once from the seed.
-    victims: Vec<ServerId>,
-    hours: usize,
-}
-
-/// Runs the simulation sharded over `threads` threads (callers resolve
-/// the thread count via [`pool::effective_threads`](crate::pool)) and
-/// returns the merged result plus the per-shard observers folded in
-/// shard order. Inputs must already be validated.
+/// Runs the replay sharded over `threads` threads (callers resolve the
+/// thread count via [`pool::effective_threads`](crate::pool)) and returns
+/// the merged result plus the per-shard observers folded in shard order.
+/// Inputs must already be validated.
 pub(crate) fn run_sharded<O: MergeableObserver>(
-    workload: &Workload,
-    subscriptions: &SubscriptionTable,
+    trace: &CompiledTrace,
     costs: &FetchCosts,
     options: &SimOptions,
     threads: usize,
 ) -> (SimResult, O) {
-    let servers = workload.server_count();
-    let load = workload.requests().stats(servers).requests_per_server;
-    let plan = ShardPlan::balanced(&load, threads);
-    let ctx = ShardContext {
-        workload,
-        subscriptions,
-        costs,
-        options: *options,
-        capacities: workload.cache_capacities(options.capacity_fraction),
-        fanout: Fanout::precompute(workload.publishing().events(), subscriptions),
-        victims: options
-            .crash
-            .map(|plan| plan.victims(servers))
-            .unwrap_or_default(),
-        hours: (workload.horizon().as_hours_f64().ceil() as usize).max(1),
-    };
+    let plan = ShardPlan::balanced(trace.request_load(), threads);
     let shard_outputs = parallel_indexed(plan.shards(), threads, |k| {
         let (start, end) = plan.range(k);
-        run_shard::<O>(&ctx, start, end)
+        let obs = SharedObserver::new(O::default());
+        let mut state = ReplayState::new(trace, costs, options, obs.clone(), start, end);
+        while state.step(trace).is_some() {}
+        let result = state.finish();
+        let observer = obs
+            .try_unwrap()
+            .unwrap_or_else(|_| panic!("shard dropped every observer clone"));
+        (result, observer)
     });
-    let mut result = SimResult::identity(options.strategy.name(), ctx.hours, servers);
+    let mut result =
+        SimResult::identity(options.strategy.name(), trace.hours(), trace.server_count());
     let mut merged_obs = O::default();
     for (shard_result, shard_obs) in shard_outputs {
         result.absorb(&shard_result);
         merged_obs.absorb(shard_obs);
     }
     (result, merged_obs)
-}
-
-/// Replays one shard's sub-timeline: all publish events plus the requests
-/// of servers `[start, end)`, in exactly the order the sequential runner
-/// processes them (publishes before requests at equal timestamps).
-///
-/// Observer notes: timeline-wide events are reported once — shard 0
-/// fires `on_notify`/`on_publish` with the *global* matched count (the
-/// `pushed` argument is shard-local) — while per-proxy events (requests,
-/// pushes, cache decisions, restarts, shard-local crash/invalidation
-/// sets) fire on the owning shard, so additive totals such as
-/// `crash.victims`, `invalidate.dropped` and every hit/byte counter merge
-/// exactly; only the event-occurrence counters `crash.events` and
-/// `invalidate.events` may split across shards.
-fn run_shard<O: MergeableObserver>(ctx: &ShardContext<'_>, start: u16, end: u16) -> (SimResult, O) {
-    let obs = SharedObserver::new(O::default());
-    let options = &ctx.options;
-    let publishes = ctx.workload.publishing().events();
-    let pages = ctx.workload.pages();
-    let requests: Vec<RequestEvent> = ctx
-        .workload
-        .requests()
-        .events()
-        .iter()
-        .filter(|r| (start..end).contains(&r.server.index()))
-        .copied()
-        .collect();
-    let strategies = (start..end)
-        .map(|s| {
-            let server = ServerId::new(s);
-            options
-                .strategy
-                .build_observed(ctx.capacities[s as usize], obs.handle(server))
-        })
-        .collect();
-    let local_costs = (start..end)
-        .map(|s| ctx.costs.cost(ServerId::new(s)))
-        .collect();
-    let mut engine = DeliveryEngine::with_observer_offset(
-        strategies,
-        local_costs,
-        options.scheme,
-        obs.clone(),
-        ServerId::new(start),
-    )
-    .expect("lengths match by construction");
-    let local_victims: Vec<ServerId> = ctx
-        .victims
-        .iter()
-        .filter(|v| (start..end).contains(&v.index()))
-        .copied()
-        .collect();
-    let mut hourly = HourlySeries::new(ctx.hours);
-    let mut pending_crash = options.crash;
-    let mut latest_version: HashMap<pscd_types::PageId, pscd_types::PageId> = HashMap::new();
-    let mut pi = 0usize;
-    let mut ri = 0usize;
-    loop {
-        let next_time = match (publishes.get(pi), requests.get(ri)) {
-            (Some(p), Some(r)) => p.time.min(r.time),
-            (Some(p), None) => p.time,
-            (None, Some(r)) => r.time,
-            (None, None) => break,
-        };
-        obs.clock(next_time);
-        // Fault injection fires before the first shard event at/after its
-        // time; the affected proxies have seen no event since the instant
-        // the sequential runner fires, so their state is identical.
-        if let Some(plan) = pending_crash {
-            if next_time >= plan.time {
-                pending_crash = None;
-                if !local_victims.is_empty() {
-                    obs.crash(next_time, &local_victims);
-                    for &server in &local_victims {
-                        let capacity = ctx.capacities[server.as_usize()];
-                        engine
-                            .replace_strategy(
-                                server,
-                                options
-                                    .strategy
-                                    .build_observed(capacity, obs.handle(server)),
-                            )
-                            .expect("victims filtered to shard range");
-                        obs.restart(next_time, server);
-                    }
-                }
-            }
-        }
-        let publish_next = match (publishes.get(pi), requests.get(ri)) {
-            (Some(p), Some(r)) => p.time <= r.time,
-            (Some(_), None) => true,
-            (None, _) => false,
-        };
-        if publish_next {
-            let ev = publishes[pi];
-            pi += 1;
-            let meta = &pages[ev.page.as_usize()];
-            if options.invalidate_stale {
-                // The lineage map is driven by the (global) publish stream
-                // alone, so every shard tracks identical versions.
-                let origin = meta.kind().origin().unwrap_or(ev.page);
-                if let Some(previous) = latest_version.insert(origin, ev.page) {
-                    let dropped = engine.invalidate_everywhere(previous);
-                    if dropped > 0 {
-                        obs.invalidate(ev.time, previous, dropped);
-                    }
-                }
-            }
-            let matched = ctx.fanout.matched_in(pi - 1, start, end);
-            if start == 0 {
-                let global = ctx.fanout.matched(pi - 1);
-                obs.notify(ev.time, ev.page, global.len());
-            }
-            let mut pushed = 0usize;
-            for record in engine.publish(meta, matched) {
-                if record.transferred {
-                    hourly.record_push(ev.time, meta.size());
-                    pushed += 1;
-                }
-            }
-            if start == 0 {
-                let global = ctx.fanout.matched(pi - 1);
-                obs.publish(ev.time, ev.page, meta.size(), global.len(), pushed);
-            }
-        } else {
-            let ev = requests[ri];
-            ri += 1;
-            let meta = &pages[ev.page.as_usize()];
-            let subs = ctx.subscriptions.count(ev.page, ev.server);
-            let record = engine
-                .request_with_subs(ev.server, meta, subs)
-                .expect("requests filtered to shard range");
-            obs.request(ev.time, ev.server, ev.page, meta.size(), record.hit);
-            hourly.record_request(ev.time, record.hit, meta.size());
-        }
-    }
-    // Full-length per-server vector (zeros outside the shard's range) so
-    // merging shard results is uniform component-wise addition.
-    let servers = ctx.workload.server_count();
-    let mut per_server = vec![(0u64, 0u64); servers as usize];
-    let mut hits = 0u64;
-    let mut total_requests = 0u64;
-    for s in start..end {
-        let stats = engine.hit_stats(ServerId::new(s));
-        per_server[s as usize] = stats;
-        hits += stats.0;
-        total_requests += stats.1;
-    }
-    let traffic = engine.total_traffic();
-    drop(engine);
-    let observer = obs
-        .try_unwrap()
-        .unwrap_or_else(|_| panic!("shard dropped every observer clone"));
-    (
-        SimResult {
-            strategy: options.strategy.name().to_owned(),
-            hits,
-            requests: total_requests,
-            traffic,
-            hourly,
-            per_server,
-        },
-        observer,
-    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,461 @@
+//! The compiled trace: one workload, resolved once, replayed everywhere.
+//!
+//! Every cell of the paper's evaluation grid (§5: strategy × capacity ×
+//! scheme) replays the *same* fixed workload, and so does every shard of
+//! a sharded run. The strategy-independent work of that replay — merging
+//! the publish and request streams into one time-ordered timeline,
+//! resolving each publish event's matched-proxy fan-out and each request
+//! event's subscription count against the static matching information
+//! (§4.3), and tracking the version lineage that drives stale-page
+//! invalidation — is a pure function of `(Workload, SubscriptionTable)`.
+//!
+//! [`CompiledTrace`] performs that work exactly once. The result is an
+//! immutable, `Sync` value: a flat event array with publish-before-request
+//! ordering at equal timestamps baked in, a CSR-style fan-out table
+//! (absorbing what used to be `pscd_broker::Fanout`), per-request
+//! subscription counts, per-publish `supersedes` lineage, and the
+//! capacity basis. The sequential runner, every shard worker, and every
+//! grid cell replay the same compiled value by reference — which is both
+//! the speed win (no per-cell re-derivation) and a determinism pillar
+//! (no consumer can see a different timeline than any other).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pscd_types::{Bytes, PageId, PageMeta, ServerId, SimTime, SubscriptionTable};
+use pscd_workload::Workload;
+
+use crate::SimError;
+
+/// Process-wide count of [`CompiledTrace::compile`] invocations; lets
+/// tests assert that a sweep compiles its workload exactly once.
+static COMPILE_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// One event of the flattened timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompiledEvent {
+    /// The event instant.
+    pub time: SimTime,
+    /// The page involved (index into [`CompiledTrace::pages`]).
+    pub page: PageId,
+    /// Publish- or request-specific payload.
+    pub kind: CompiledEventKind,
+}
+
+/// The payload distinguishing publish events from request events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompiledEventKind {
+    /// A page is published.
+    Publish {
+        /// Position in the publishing stream; indexes the fan-out table
+        /// ([`CompiledTrace::matched`]).
+        ordinal: u32,
+        /// The previously-latest version of this article that this
+        /// publish supersedes (the invalidation lineage, resolved at
+        /// compile time; `None` for first versions).
+        supersedes: Option<PageId>,
+    },
+    /// A subscriber requests a page at a proxy.
+    Request {
+        /// The proxy serving the request.
+        server: ServerId,
+        /// Pre-resolved subscription count of `(page, server)`.
+        subs: u32,
+    },
+}
+
+/// An immutable, thread-shareable compilation of one
+/// `(Workload, SubscriptionTable)` pair — build it once, replay it from
+/// as many cells, shards and threads as needed.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_core::StrategyKind;
+/// use pscd_sim::{simulate_compiled, CompiledTrace, SimOptions};
+/// use pscd_topology::FetchCosts;
+/// use pscd_workload::{Workload, WorkloadConfig};
+///
+/// let w = Workload::generate(&WorkloadConfig::news_scaled(0.004))?;
+/// let subs = w.subscriptions(1.0)?;
+/// let costs = FetchCosts::uniform(w.server_count());
+/// let trace = CompiledTrace::compile(&w, &subs)?;
+/// // Replay the same compiled trace under two strategies.
+/// let gd = simulate_compiled(
+///     &trace,
+///     &costs,
+///     &SimOptions::at_capacity(StrategyKind::GdStar { beta: 2.0 }, 0.05),
+/// )?;
+/// let sg2 = simulate_compiled(
+///     &trace,
+///     &costs,
+///     &SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05),
+/// )?;
+/// assert_eq!(gd.requests, sg2.requests);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledTrace {
+    /// The merged timeline (publishes before requests at equal times).
+    events: Vec<CompiledEvent>,
+    /// Page metadata, indexed by page id.
+    pages: Vec<PageMeta>,
+    /// `offsets[i]..offsets[i + 1]` indexes `pairs` for publish ordinal
+    /// `i` (CSR fan-out, absorbed from the old `pscd_broker::Fanout`).
+    offsets: Vec<u32>,
+    /// Matched `(server, count)` pairs in publish order; each publish's
+    /// sublist is sorted by server id.
+    pairs: Vec<(ServerId, u32)>,
+    servers: u16,
+    hours: usize,
+    horizon: SimTime,
+    publish_count: usize,
+    request_count: usize,
+    /// Requests per server — the shard-plan load vector.
+    load: Vec<u64>,
+    /// Per-server unique requested bytes — the capacity basis.
+    unique_bytes: Vec<Bytes>,
+    /// One-page minimum capacity for servers that requested nothing.
+    min_capacity: Bytes,
+}
+
+impl CompiledTrace {
+    /// Compiles a workload against one subscription table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MismatchedSubscriptions`] if the table covers
+    /// a different page universe than the workload.
+    pub fn compile(
+        workload: &Workload,
+        subscriptions: &SubscriptionTable,
+    ) -> Result<Self, SimError> {
+        if subscriptions.page_count() != workload.pages().len() {
+            return Err(SimError::MismatchedSubscriptions {
+                pages: workload.pages().len(),
+                table_pages: subscriptions.page_count(),
+            });
+        }
+        let publishes = workload.publishing().events();
+        let requests = workload.requests().events();
+        let pages = workload.pages();
+
+        let mut events = Vec::with_capacity(publishes.len() + requests.len());
+        let mut offsets = Vec::with_capacity(publishes.len() + 1);
+        let mut pairs = Vec::new();
+        offsets.push(0u32);
+        // The lineage map is driven by the publish stream alone, so it
+        // can be resolved here, once, into per-event `supersedes` links.
+        let mut latest_version: HashMap<PageId, PageId> = HashMap::new();
+        let (mut pi, mut ri) = (0usize, 0usize);
+        while pi < publishes.len() || ri < requests.len() {
+            // Publishes before requests at equal timestamps: a
+            // notification must precede the requests it triggers.
+            let publish_next = match (publishes.get(pi), requests.get(ri)) {
+                (Some(p), Some(r)) => p.time <= r.time,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if publish_next {
+                let ev = publishes[pi];
+                let ordinal = pi as u32;
+                pi += 1;
+                let meta = &pages[ev.page.as_usize()];
+                let origin = meta.kind().origin().unwrap_or(ev.page);
+                let supersedes = latest_version.insert(origin, ev.page);
+                pairs.extend_from_slice(subscriptions.matched_servers(ev.page));
+                offsets.push(pairs.len() as u32);
+                events.push(CompiledEvent {
+                    time: ev.time,
+                    page: ev.page,
+                    kind: CompiledEventKind::Publish {
+                        ordinal,
+                        supersedes,
+                    },
+                });
+            } else {
+                let ev = requests[ri];
+                ri += 1;
+                events.push(CompiledEvent {
+                    time: ev.time,
+                    page: ev.page,
+                    kind: CompiledEventKind::Request {
+                        server: ev.server,
+                        subs: subscriptions.count(ev.page, ev.server),
+                    },
+                });
+            }
+        }
+        let servers = workload.server_count();
+        COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
+        Ok(Self {
+            events,
+            pages: pages.to_vec(),
+            offsets,
+            pairs,
+            servers,
+            hours: (workload.horizon().as_hours_f64().ceil() as usize).max(1),
+            horizon: workload.horizon(),
+            publish_count: publishes.len(),
+            request_count: requests.len(),
+            load: workload.requests().requests_per_server(servers),
+            unique_bytes: workload.unique_bytes_per_server(),
+            min_capacity: workload.min_cache_capacity(),
+        })
+    }
+
+    /// Process-wide number of [`compile`](CompiledTrace::compile) calls so
+    /// far — the hook the compile-exactly-once tests assert on.
+    pub fn compile_count() -> u64 {
+        COMPILE_COUNT.load(Ordering::Relaxed)
+    }
+
+    /// The merged timeline.
+    #[inline]
+    pub fn events(&self) -> &[CompiledEvent] {
+        &self.events
+    }
+
+    /// Total events (publishes + requests).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if the timeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of publish events.
+    pub fn publish_count(&self) -> usize {
+        self.publish_count
+    }
+
+    /// Number of request events.
+    pub fn request_count(&self) -> usize {
+        self.request_count
+    }
+
+    /// The page table, indexed by page id.
+    pub fn pages(&self) -> &[PageMeta] {
+        &self.pages
+    }
+
+    /// Metadata of one page.
+    #[inline]
+    pub fn page(&self, page: PageId) -> &PageMeta {
+        &self.pages[page.as_usize()]
+    }
+
+    /// Number of proxy servers.
+    pub fn server_count(&self) -> u16 {
+        self.servers
+    }
+
+    /// Hour buckets covering the horizon (≥ 1).
+    pub fn hours(&self) -> usize {
+        self.hours
+    }
+
+    /// The simulation horizon.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// The matched `(server, subscription count)` list of publish ordinal
+    /// `ordinal`, sorted by server id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ordinal` is out of range.
+    #[inline]
+    pub fn matched(&self, ordinal: u32) -> &[(ServerId, u32)] {
+        let lo = self.offsets[ordinal as usize] as usize;
+        let hi = self.offsets[ordinal as usize + 1] as usize;
+        &self.pairs[lo..hi]
+    }
+
+    /// The part of ordinal `ordinal`'s matched list inside the half-open
+    /// server range `[start, end)` — a subslice found by binary search,
+    /// because each list is sorted by server id. This is how a shard
+    /// owning a contiguous server range reads its share of the push
+    /// schedule without copying or filtering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ordinal` is out of range.
+    #[inline]
+    pub fn matched_in(&self, ordinal: u32, start: u16, end: u16) -> &[(ServerId, u32)] {
+        let matched = self.matched(ordinal);
+        let lo = matched.partition_point(|&(s, _)| s.index() < start);
+        let hi = matched.partition_point(|&(s, _)| s.index() < end);
+        &matched[lo..hi]
+    }
+
+    /// Total matched `(event, server)` pairs across the whole push
+    /// schedule — an upper bound on the pages any pushing scheme can
+    /// transfer.
+    pub fn total_matched_pairs(&self) -> u64 {
+        self.pairs.len() as u64
+    }
+
+    /// Requests per server over the whole trace — the load vector shard
+    /// plans balance on.
+    pub fn request_load(&self) -> &[u64] {
+        &self.load
+    }
+
+    /// Per-server cache capacities at a fraction of unique requested
+    /// bytes; identical to `Workload::cache_capacities` (servers that
+    /// requested nothing get a one-page minimum).
+    pub fn capacities(&self, fraction: f64) -> Vec<Bytes> {
+        self.unique_bytes
+            .iter()
+            .map(|&b| {
+                let c = b.scaled(fraction);
+                if c.is_zero() {
+                    self.min_capacity
+                } else {
+                    c
+                }
+            })
+            .collect()
+    }
+
+    /// The precomputed crash-insertion point: the index of the first
+    /// event at or after `time`. A replay's crash fires when its cursor
+    /// reaches this index — equivalent to the time comparison the
+    /// pre-compiled runner made per event, but resolved once.
+    pub fn crash_index(&self, time: SimTime) -> usize {
+        self.events.partition_point(|e| e.time < time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscd_workload::WorkloadConfig;
+
+    fn fixture() -> (Workload, SubscriptionTable) {
+        let w = Workload::generate(&WorkloadConfig::news_scaled(0.004)).unwrap();
+        let subs = w.subscriptions(1.0).unwrap();
+        (w, subs)
+    }
+
+    #[test]
+    fn timeline_is_merged_in_order_with_publishes_first() {
+        let (w, subs) = fixture();
+        let trace = CompiledTrace::compile(&w, &subs).unwrap();
+        assert_eq!(trace.len(), w.publishing().len() + w.requests().len());
+        assert_eq!(trace.publish_count(), w.publishing().len());
+        assert_eq!(trace.request_count(), w.requests().len());
+        for pair in trace.events().windows(2) {
+            assert!(pair[0].time <= pair[1].time, "timeline out of order");
+            if pair[0].time == pair[1].time {
+                // At equal timestamps no request may precede a publish.
+                assert!(
+                    !(matches!(pair[0].kind, CompiledEventKind::Request { .. })
+                        && matches!(pair[1].kind, CompiledEventKind::Publish { .. })),
+                    "request before publish at equal time"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_matches_table_lookups() {
+        let (w, subs) = fixture();
+        let trace = CompiledTrace::compile(&w, &subs).unwrap();
+        let mut publishes = 0u32;
+        let mut pairs = 0u64;
+        for ev in trace.events() {
+            match ev.kind {
+                CompiledEventKind::Publish { ordinal, .. } => {
+                    assert_eq!(trace.matched(ordinal), subs.matched_servers(ev.page));
+                    pairs += trace.matched(ordinal).len() as u64;
+                    publishes += 1;
+                }
+                CompiledEventKind::Request { server, subs: n } => {
+                    assert_eq!(n, subs.count(ev.page, server));
+                }
+            }
+        }
+        assert_eq!(publishes as usize, trace.publish_count());
+        assert_eq!(pairs, trace.total_matched_pairs());
+    }
+
+    #[test]
+    fn matched_in_slices_are_exact_partitions() {
+        let (w, subs) = fixture();
+        let trace = CompiledTrace::compile(&w, &subs).unwrap();
+        let servers = trace.server_count();
+        for ordinal in 0..trace.publish_count().min(40) as u32 {
+            for split in [0, 1, servers / 2, servers] {
+                let left = trace.matched_in(ordinal, 0, split);
+                let right = trace.matched_in(ordinal, split, servers);
+                let whole: Vec<_> = left.iter().chain(right).copied().collect();
+                assert_eq!(whole.as_slice(), trace.matched(ordinal));
+            }
+        }
+    }
+
+    #[test]
+    fn supersedes_links_follow_the_lineage() {
+        let (w, subs) = fixture();
+        let trace = CompiledTrace::compile(&w, &subs).unwrap();
+        let mut latest: HashMap<PageId, PageId> = HashMap::new();
+        let mut links = 0usize;
+        for ev in trace.events() {
+            if let CompiledEventKind::Publish { supersedes, .. } = ev.kind {
+                let origin = trace.page(ev.page).kind().origin().unwrap_or(ev.page);
+                assert_eq!(supersedes, latest.insert(origin, ev.page));
+                if supersedes.is_some() {
+                    links += 1;
+                }
+            }
+        }
+        assert!(links > 0, "the NEWS trace republishes modified versions");
+    }
+
+    #[test]
+    fn capacity_basis_matches_workload() {
+        let (w, subs) = fixture();
+        let trace = CompiledTrace::compile(&w, &subs).unwrap();
+        for fraction in [0.01, 0.05, 0.10] {
+            assert_eq!(trace.capacities(fraction), w.cache_capacities(fraction));
+        }
+        assert_eq!(
+            trace.request_load(),
+            w.requests()
+                .requests_per_server(w.server_count())
+                .as_slice()
+        );
+        assert_eq!(trace.server_count(), w.server_count());
+        assert_eq!(trace.horizon(), w.horizon());
+    }
+
+    #[test]
+    fn crash_index_is_the_first_event_at_or_after() {
+        let (w, subs) = fixture();
+        let trace = CompiledTrace::compile(&w, &subs).unwrap();
+        assert_eq!(trace.crash_index(SimTime::ZERO), 0);
+        assert_eq!(trace.crash_index(SimTime::from_days(100_000)), trace.len());
+        let mid = trace.events()[trace.len() / 2].time;
+        let at = trace.crash_index(mid);
+        assert!(trace.events()[at].time >= mid);
+        assert!(at == 0 || trace.events()[at - 1].time < mid);
+    }
+
+    #[test]
+    fn mismatched_subscriptions_rejected_and_counter_advances() {
+        let (w, subs) = fixture();
+        let before = CompiledTrace::compile_count();
+        assert!(matches!(
+            CompiledTrace::compile(&w, &SubscriptionTable::empty(1)),
+            Err(SimError::MismatchedSubscriptions { .. })
+        ));
+        let _ = CompiledTrace::compile(&w, &subs).unwrap();
+        assert!(CompiledTrace::compile_count() > before);
+    }
+}

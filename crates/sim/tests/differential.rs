@@ -1,19 +1,32 @@
-//! Differential equivalence suite: the sharded runner must be
-//! **bit-identical** to the sequential one — same `SimResult`, same
+//! Differential equivalence suite: every replay path must be
+//! **bit-identical** to every other — same `SimResult`, same
 //! `HourlySeries`, same per-proxy stats — for every strategy the paper
 //! evaluates, with and without fault injection, under both pushing
-//! schemes, at any shard count. Correctness of the parallel path is
-//! established here, not by inspection.
+//! schemes, at any shard count. Correctness of the parallel path and of
+//! the compiled-trace layer is established here, not by inspection.
+//!
+//! The anchor is [`reference_simulate`]: the pre-refactor per-event loop,
+//! re-derived from the raw workload streams with no `CompiledTrace`
+//! anywhere, kept alive as an executable specification. The sequential
+//! compiled replay, the sharded replay at every thread count, and the
+//! convenience wrappers are all proven against it.
 
-use pscd_broker::PushScheme;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use proptest::sample::select;
+
+use pscd_broker::{DeliveryEngine, PushScheme};
 use pscd_core::StrategyKind;
 use pscd_obs::SharedObserver;
 use pscd_obs::StatsObserver;
 use pscd_sim::{
-    simulate, simulate_observed, simulate_observed_sharded, CrashPlan, SimOptions, Simulation,
+    simulate, simulate_compiled, simulate_observed, simulate_observed_sharded, CompiledTrace,
+    CrashPlan, HourlySeries, SimOptions, SimResult, Simulation,
 };
 use pscd_topology::FetchCosts;
-use pscd_types::{SimTime, SubscriptionTable};
+use pscd_types::{PageId, ServerId, SimTime, SubscriptionTable};
 use pscd_workload::{Workload, WorkloadConfig};
 
 /// Every strategy the paper evaluates (§5), plus the classic baselines.
@@ -233,4 +246,205 @@ fn stepped_then_run_still_matches() {
         sim.step();
     }
     assert_eq!(sim.run(), sequential);
+}
+
+// ---------------------------------------------------------------------------
+// The reference loop: an independent reimplementation of the simulator as
+// it existed before the compiled-trace layer.
+// ---------------------------------------------------------------------------
+
+/// The pre-refactor per-event replay, rebuilt here from the raw workload
+/// streams and the public broker/subscription APIs only — no
+/// [`CompiledTrace`] anywhere. Timeline order is merged on the fly
+/// (publishes first at equal timestamps), each publish re-resolves its
+/// fan-out from the subscription table, each request re-looks-up its
+/// subscription count, the invalidation lineage is tracked in a live map,
+/// and the crash instant is re-compared per event. This is the executable
+/// specification the compiled replay is proven bit-identical against.
+fn reference_simulate(
+    w: &Workload,
+    subs: &SubscriptionTable,
+    costs: &FetchCosts,
+    options: &SimOptions,
+) -> SimResult {
+    let servers = w.server_count();
+    let capacities = w.cache_capacities(options.capacity_fraction);
+    let strategies = capacities
+        .iter()
+        .map(|&c| options.strategy.build(c))
+        .collect();
+    let cost_vec = (0..servers).map(|s| costs.cost(ServerId::new(s))).collect();
+    let mut engine = DeliveryEngine::new(strategies, cost_vec, options.scheme).unwrap();
+    let mut hourly = HourlySeries::new((w.horizon().as_hours_f64().ceil() as usize).max(1));
+    let mut latest_version: HashMap<PageId, PageId> = HashMap::new();
+    let mut crash = options.crash;
+    let victims = options
+        .crash
+        .map(|plan| plan.victims(servers))
+        .unwrap_or_default();
+    let publishes = w.publishing().events();
+    let requests = w.requests().events();
+    let pages = w.pages();
+    let (mut pi, mut ri) = (0usize, 0usize);
+    while pi < publishes.len() || ri < requests.len() {
+        // Publishes before requests at equal timestamps: a notification
+        // must precede the requests it triggers.
+        let publish_next = match (publishes.get(pi), requests.get(ri)) {
+            (Some(p), Some(r)) => p.time <= r.time,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        let next_time = if publish_next {
+            publishes[pi].time
+        } else {
+            requests[ri].time
+        };
+        // Fault injection fires before the first event at/after its
+        // instant and consumes no event.
+        if let Some(plan) = crash {
+            if next_time >= plan.time {
+                crash = None;
+                for &server in &victims {
+                    engine
+                        .replace_strategy(
+                            server,
+                            options.strategy.build(capacities[server.as_usize()]),
+                        )
+                        .unwrap();
+                }
+            }
+        }
+        if publish_next {
+            let ev = publishes[pi];
+            pi += 1;
+            let meta = &pages[ev.page.as_usize()];
+            let origin = meta.kind().origin().unwrap_or(ev.page);
+            let stale = latest_version.insert(origin, ev.page);
+            if options.invalidate_stale {
+                if let Some(stale) = stale {
+                    engine.invalidate_everywhere(stale);
+                }
+            }
+            for record in engine.publish(meta, subs.matched_servers(ev.page)) {
+                if record.transferred {
+                    hourly.record_push(ev.time, meta.size());
+                }
+            }
+        } else {
+            let ev = requests[ri];
+            ri += 1;
+            let meta = &pages[ev.page.as_usize()];
+            let record = engine
+                .request_with_subs(ev.server, meta, subs.count(ev.page, ev.server))
+                .unwrap();
+            hourly.record_request(ev.time, record.hit, meta.size());
+        }
+    }
+    let per_server: Vec<(u64, u64)> = (0..servers)
+        .map(|s| engine.hit_stats(ServerId::new(s)))
+        .collect();
+    SimResult {
+        strategy: options.strategy.name().to_owned(),
+        hits: per_server.iter().map(|&(h, _)| h).sum(),
+        requests: per_server.iter().map(|&(_, r)| r).sum(),
+        traffic: engine.total_traffic(),
+        hourly,
+        per_server,
+    }
+}
+
+/// One shared fixture (with its compilation) for the reference-loop
+/// tests, built once per process — the reference loop is the slow path
+/// here, so the inputs are reused across tests and proptest cases.
+fn shared_fixture() -> &'static (Workload, SubscriptionTable, FetchCosts, CompiledTrace) {
+    static FIX: OnceLock<(Workload, SubscriptionTable, FetchCosts, CompiledTrace)> =
+        OnceLock::new();
+    FIX.get_or_init(|| {
+        let (w, subs, costs) = fixture();
+        let trace = CompiledTrace::compile(&w, &subs).unwrap();
+        (w, subs, costs, trace)
+    })
+}
+
+#[test]
+fn compiled_replay_matches_the_reference_loop_for_every_strategy() {
+    let (w, subs, costs, trace) = shared_fixture();
+    for kind in all_strategies() {
+        let options = SimOptions::at_capacity(kind, 0.05);
+        let reference = reference_simulate(w, subs, costs, &options);
+        // Sequential compiled replay, the convenience wrapper (which
+        // compiles privately), and the sharded replay all land on the
+        // reference answer bit for bit.
+        let compiled = simulate_compiled(trace, costs, &options).unwrap();
+        assert_eq!(reference, compiled, "compiled diverged for {}", kind.name());
+        let raw = simulate(w, subs, costs, &options).unwrap();
+        assert_eq!(reference, raw, "wrapper diverged for {}", kind.name());
+        let sharded = simulate_compiled(trace, costs, &options.with_threads(4)).unwrap();
+        assert_eq!(reference, sharded, "shards diverged for {}", kind.name());
+    }
+}
+
+#[test]
+fn reference_agrees_under_crash_invalidation_and_when_necessary() {
+    let (w, subs, costs, trace) = shared_fixture();
+    let crash = CrashPlan {
+        time: SimTime::from_days(2),
+        fraction: 0.5,
+        seed: 42,
+    };
+    for kind in [
+        StrategyKind::Sub,
+        StrategyKind::Sg2 { beta: 2.0 },
+        StrategyKind::dc_lap(2.0),
+    ] {
+        // Pile every option on at once: crash + stale invalidation +
+        // When-Necessary pushing.
+        let mut options = SimOptions::at_capacity(kind, 0.05)
+            .with_crash(crash)
+            .with_invalidation();
+        options.scheme = PushScheme::WhenNecessary;
+        let reference = reference_simulate(w, subs, costs, &options);
+        for threads in [1usize, 3, 4] {
+            let got = simulate_compiled(trace, costs, &options.with_threads(threads)).unwrap();
+            assert_eq!(
+                reference,
+                got,
+                "{} diverged at threads={threads}",
+                kind.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The satellite guarantee, sampled across the whole option space:
+    /// strategy × capacity × scheme × crash plan × invalidation × shard
+    /// count, every combination bit-identical to the reference loop.
+    #[test]
+    fn compiled_replay_is_bit_identical_to_the_reference_loop(
+        kind in select(all_strategies().to_vec()),
+        capacity in select(vec![0.01, 0.05, 0.10]),
+        scheme in select(vec![PushScheme::Always, PushScheme::WhenNecessary]),
+        crash in select(vec![
+            None,
+            Some(CrashPlan { time: SimTime::from_days(2), fraction: 0.5, seed: 42 }),
+            Some(CrashPlan { time: SimTime::from_days(1), fraction: 1.0, seed: 7 }),
+        ]),
+        invalidate in select(vec![false, true]),
+        threads in select(vec![1usize, 2, 4, 7]),
+    ) {
+        let (w, subs, costs, trace) = shared_fixture();
+        let mut options = SimOptions::at_capacity(kind, capacity);
+        options.scheme = scheme;
+        options.crash = crash;
+        options.invalidate_stale = invalidate;
+        let reference = reference_simulate(w, subs, costs, &options);
+        let compiled =
+            simulate_compiled(trace, costs, &options.with_threads(threads)).unwrap();
+        prop_assert_eq!(&reference, &compiled);
+        let raw = simulate(w, subs, costs, &options.with_threads(threads)).unwrap();
+        prop_assert_eq!(&reference, &raw);
+    }
 }

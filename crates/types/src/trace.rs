@@ -161,18 +161,31 @@ impl RequestTrace {
         totals
     }
 
-    /// Summary statistics of the trace.
-    pub fn stats(&self, server_count: u16) -> TraceStats {
+    /// Requests per server over the whole trace — the load vector trace
+    /// compilation and shard planning balance on. Cheaper than
+    /// [`stats`](RequestTrace::stats) (no distinct-page tracking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event references a server `>= server_count`.
+    pub fn requests_per_server(&self, server_count: u16) -> Vec<u64> {
         let mut per_server = vec![0u64; server_count as usize];
-        let mut pages = HashSet::new();
         for ev in &self.events {
             per_server[ev.server.as_usize()] += 1;
+        }
+        per_server
+    }
+
+    /// Summary statistics of the trace.
+    pub fn stats(&self, server_count: u16) -> TraceStats {
+        let mut pages = HashSet::new();
+        for ev in &self.events {
             pages.insert(ev.page);
         }
         TraceStats {
             requests: self.events.len() as u64,
             distinct_pages: pages.len() as u64,
-            requests_per_server: per_server,
+            requests_per_server: self.requests_per_server(server_count),
             span: self.events.last().map(|e| e.time).unwrap_or(SimTime::ZERO),
         }
     }

@@ -237,11 +237,18 @@ impl Workload {
             .unique_bytes_per_server(&self.pages, self.server_count())
     }
 
+    /// The one-page minimum capacity granted to servers whose trace
+    /// requested nothing — exposed so trace compilation can reproduce
+    /// [`Workload::cache_capacities`] without the workload in hand.
+    pub fn min_cache_capacity(&self) -> Bytes {
+        Bytes::new(self.config.publishing.max_page_bytes)
+    }
+
     /// Per-server cache capacities at a fraction of unique requested bytes
     /// (the paper evaluates 1%, 5% and 10%). Servers that requested nothing
     /// get a one-page minimum so they remain functional.
     pub fn cache_capacities(&self, fraction: f64) -> Vec<Bytes> {
-        let min = Bytes::new(self.config.publishing.max_page_bytes);
+        let min = self.min_cache_capacity();
         self.unique_bytes_per_server()
             .into_iter()
             .map(|b| {

@@ -66,7 +66,7 @@ pub use pscd_cache::{CachePolicy, GdStar, PageRef};
 pub use pscd_core::{Strategy, StrategyKind};
 pub use pscd_experiments::ExperimentContext;
 pub use pscd_matching::{Content, Matcher, Predicate, Subscription, SubscriptionIndex, Value};
-pub use pscd_sim::{simulate, CrashPlan, SimOptions, SimResult};
+pub use pscd_sim::{simulate, simulate_compiled, CompiledTrace, CrashPlan, SimOptions, SimResult};
 pub use pscd_topology::{FetchCosts, GraphModel, TopologyBuilder};
 pub use pscd_types::{Bytes, PageId, PageMeta, ServerId, SimTime, SubscriptionTable};
 pub use pscd_workload::{Workload, WorkloadConfig};
