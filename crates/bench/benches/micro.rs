@@ -32,8 +32,9 @@ fn cache_benches(c: &mut Criterion) {
         b.iter_batched(
             || GdStar::new(Bytes::from_kib(256), 2.0),
             |mut cache| {
+                let mut evicted = Vec::new();
                 for &i in &accesses {
-                    let _ = cache.access(&page_ref(i));
+                    let _ = cache.access(&page_ref(i), &mut evicted);
                 }
                 cache.len()
             },
@@ -45,11 +46,12 @@ fn cache_benches(c: &mut Criterion) {
         b.iter_batched(
             || StrategyKind::dc_lap(2.0).build(Bytes::from_kib(256)),
             |mut s| {
+                let mut evicted = Vec::new();
                 for (k, &i) in accesses.iter().enumerate() {
                     if k % 3 == 0 {
-                        let _ = s.on_push(&page_ref(i), (i % 13) + 1);
+                        let _ = s.on_push(&page_ref(i), (i % 13) + 1, &mut evicted);
                     } else {
-                        let _ = s.on_access(&page_ref(i), (i % 13) + 1);
+                        let _ = s.on_access(&page_ref(i), (i % 13) + 1, &mut evicted);
                     }
                 }
                 s.len()
@@ -70,11 +72,12 @@ fn observer_benches(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let accesses: Vec<u32> = (0..10_000).map(|_| zipf.sample(&mut rng) as u32).collect();
     let run_mixed = |s: &mut Box<dyn pscd_core::Strategy>| {
+        let mut evicted = Vec::new();
         for (k, &i) in accesses.iter().enumerate() {
             if k % 3 == 0 {
-                let _ = s.on_push(&page_ref(i), (i % 13) + 1);
+                let _ = s.on_push(&page_ref(i), (i % 13) + 1, &mut evicted);
             } else {
-                let _ = s.on_access(&page_ref(i), (i % 13) + 1);
+                let _ = s.on_access(&page_ref(i), (i % 13) + 1, &mut evicted);
             }
         }
         s.len()

@@ -4,9 +4,9 @@
 use serde::{Deserialize, Serialize};
 
 use pscd_cache::PageRef;
-use pscd_core::Strategy;
+use pscd_core::{Strategy, StrategyImpl};
 use pscd_obs::{NullObserver, Observer, SharedObserver};
-use pscd_types::{Bytes, PageMeta, ServerId};
+use pscd_types::{Bytes, PageId, PageMeta, ServerId};
 
 use crate::{BrokerError, Traffic};
 
@@ -48,8 +48,8 @@ pub struct RequestRecord {
 /// One proxy server: a content-distribution strategy plus its network
 /// distance to the publisher.
 #[derive(Debug)]
-struct Proxy {
-    strategy: Box<dyn Strategy>,
+struct Proxy<O: Observer> {
+    strategy: StrategyImpl<O>,
     cost: f64,
     traffic: Traffic,
     hits: u64,
@@ -86,9 +86,13 @@ struct Proxy {
 /// ```
 #[derive(Debug)]
 pub struct DeliveryEngine<O: Observer = NullObserver> {
-    proxies: Vec<Proxy>,
+    proxies: Vec<Proxy<O>>,
     scheme: PushScheme,
     obs: SharedObserver<O>,
+    /// Reused eviction scratch handed to the strategies, so the hot path
+    /// performs no per-event allocation once it has grown to the high-water
+    /// mark (see [`reserve_evict_scratch`](Self::reserve_evict_scratch)).
+    scratch: Vec<PageId>,
     /// Global id of the first proxy this engine owns. Non-zero only for
     /// shard-local engines, which own the contiguous server range
     /// `[first, first + proxies.len())` while keeping global
@@ -148,6 +152,31 @@ impl<O: Observer> DeliveryEngine<O> {
         obs: SharedObserver<O>,
         first: ServerId,
     ) -> Result<Self, BrokerError> {
+        Self::from_impls(
+            strategies.into_iter().map(StrategyImpl::from).collect(),
+            costs,
+            scheme,
+            obs,
+            first,
+        )
+    }
+
+    /// [`with_observer_offset`](DeliveryEngine::with_observer_offset) over
+    /// concrete enum-dispatched strategies — the allocation-free form used
+    /// by the replay hot loop (built via
+    /// [`StrategyKind::build_impl_observed`](pscd_core::StrategyKind::build_impl_observed)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::MismatchedCosts`] if `strategies` and `costs`
+    /// differ in length.
+    pub fn from_impls(
+        strategies: Vec<StrategyImpl<O>>,
+        costs: Vec<f64>,
+        scheme: PushScheme,
+        obs: SharedObserver<O>,
+        first: ServerId,
+    ) -> Result<Self, BrokerError> {
         if strategies.len() != costs.len() {
             return Err(BrokerError::MismatchedCosts {
                 strategies: strategies.len(),
@@ -169,7 +198,18 @@ impl<O: Observer> DeliveryEngine<O> {
             scheme,
             obs,
             first: first.index(),
+            scratch: Vec::new(),
         })
+    }
+
+    /// Grows the internal eviction scratch to at least `capacity` entries.
+    /// Call once before entering an allocation-free replay loop: a single
+    /// event can evict at most the resident page count, so the page
+    /// universe size is always a safe bound.
+    pub fn reserve_evict_scratch(&mut self, capacity: usize) {
+        if self.scratch.capacity() < capacity {
+            self.scratch.reserve(capacity - self.scratch.capacity());
+        }
     }
 
     /// Translates a global server id into this engine's proxy slot, or
@@ -208,21 +248,52 @@ impl<O: Observer> DeliveryEngine<O> {
     /// Panics if a matched server is out of range.
     pub fn publish(&mut self, page: &PageMeta, matched: &[(ServerId, u32)]) -> Vec<PushRecord> {
         let mut records = Vec::with_capacity(matched.len());
+        self.publish_into(page, matched, &mut records);
+        records
+    }
+
+    /// [`publish`](DeliveryEngine::publish) writing its records into a
+    /// caller-provided buffer (cleared on entry) instead of allocating a
+    /// fresh `Vec` — the form the replay hot loop uses to stay
+    /// allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a matched server is out of range.
+    pub fn publish_into(
+        &mut self,
+        page: &PageMeta,
+        matched: &[(ServerId, u32)],
+        out: &mut Vec<PushRecord>,
+    ) {
+        out.clear();
+        let first = self.first as usize;
+        let scheme = self.scheme;
+        let Self {
+            proxies,
+            obs,
+            scratch,
+            ..
+        } = self;
         for &(server, subs) in matched {
-            let slot = self.slot(server).expect("matched server out of range");
-            let proxy = &mut self.proxies[slot];
+            let slot = server
+                .as_usize()
+                .checked_sub(first)
+                .filter(|&i| i < proxies.len())
+                .expect("matched server out of range");
+            let proxy = &mut proxies[slot];
             if !proxy.strategy.uses_push() {
                 continue;
             }
             let page_ref = PageRef::new(page.id(), page.size(), proxy.cost);
-            let (transferred, stored) = match self.scheme {
+            let (transferred, stored) = match scheme {
                 PushScheme::Always => {
-                    let stored = proxy.strategy.on_push(&page_ref, subs).is_stored();
+                    let stored = proxy.strategy.on_push(&page_ref, subs, scratch).is_stored();
                     (true, stored)
                 }
                 PushScheme::WhenNecessary => {
                     if proxy.strategy.would_store(&page_ref, subs) {
-                        let stored = proxy.strategy.on_push(&page_ref, subs).is_stored();
+                        let stored = proxy.strategy.on_push(&page_ref, subs, scratch).is_stored();
                         (stored, stored)
                     } else {
                         (false, false)
@@ -233,16 +304,14 @@ impl<O: Observer> DeliveryEngine<O> {
                 proxy.traffic.record_push(page.size());
             }
             if O::ENABLED {
-                self.obs
-                    .push(server, page.id(), page.size(), transferred, stored);
+                obs.push(server, page.id(), page.size(), transferred, stored);
             }
-            records.push(PushRecord {
+            out.push(PushRecord {
                 server,
                 transferred,
                 stored,
             });
         }
-        records
     }
 
     /// Serves a subscriber request for `page` at `server`. A miss fetches
@@ -278,9 +347,12 @@ impl<O: Observer> DeliveryEngine<O> {
             server,
             server_count: count,
         })?;
-        let proxy = &mut self.proxies[slot];
+        let Self {
+            proxies, scratch, ..
+        } = self;
+        let proxy = &mut proxies[slot];
         let page_ref = PageRef::new(page.id(), page.size(), proxy.cost);
-        let outcome = proxy.strategy.on_access(&page_ref, subs);
+        let outcome = proxy.strategy.on_access(&page_ref, subs, scratch);
         proxy.requests += 1;
         let hit = outcome.is_hit();
         if hit {
@@ -332,9 +404,7 @@ impl<O: Observer> DeliveryEngine<O> {
 
     /// Read access to a proxy's strategy.
     pub fn strategy(&self, server: ServerId) -> &dyn Strategy {
-        self.proxies[self.slot(server).expect("server out of range")]
-            .strategy
-            .as_ref()
+        &self.proxies[self.slot(server).expect("server out of range")].strategy
     }
 
     /// Drops a stale page from every proxy cache (e.g. a newer version of
@@ -361,14 +431,14 @@ impl<O: Observer> DeliveryEngine<O> {
     pub fn replace_strategy(
         &mut self,
         server: ServerId,
-        strategy: Box<dyn Strategy>,
+        strategy: impl Into<StrategyImpl<O>>,
     ) -> Result<(), BrokerError> {
         let count = self.proxies.len() as u16;
         let slot = self.slot(server).ok_or(BrokerError::UnknownServer {
             server,
             server_count: count,
         })?;
-        self.proxies[slot].strategy = strategy;
+        self.proxies[slot].strategy = strategy.into();
         Ok(())
     }
 }

@@ -2,12 +2,14 @@
 //!
 //! Each policy is generic over an [`Observer`] (defaulting to the
 //! zero-cost [`NullObserver`]); `with_observer` constructors route the
-//! underlying engine's admission/eviction events to an [`ObsHandle`].
+//! underlying engine's admission/eviction events to an [`ObsHandle`],
+//! and `with_layout` constructors additionally select the state
+//! [`Layout`] (sparse hash tables vs. dense per-ordinal arrays).
 
 use pscd_obs::{NullObserver, ObsHandle, Observer};
 use pscd_types::{Bytes, PageId};
 
-use crate::{AccessOutcome, CachePolicy, GreedyDualEngine, PageRef};
+use crate::{AccessOutcome, CachePolicy, GreedyDualEngine, Layout, PageRef};
 
 macro_rules! delegate_policy_queries {
     () => {
@@ -58,13 +60,14 @@ macro_rules! manual_clone {
 /// use pscd_types::{Bytes, PageId};
 ///
 /// let mut lru = Lru::new(Bytes::new(20));
+/// let mut evicted = Vec::new();
 /// let a = PageRef::new(PageId::new(1), Bytes::new(10), 1.0);
 /// let b = PageRef::new(PageId::new(2), Bytes::new(10), 1.0);
 /// let c = PageRef::new(PageId::new(3), Bytes::new(10), 1.0);
-/// lru.access(&a);
-/// lru.access(&b);
-/// lru.access(&a); // refresh a
-/// lru.access(&c); // evicts b, the least recently used
+/// lru.access(&a, &mut evicted);
+/// lru.access(&b, &mut evicted);
+/// lru.access(&a, &mut evicted); // refresh a
+/// lru.access(&c, &mut evicted); // evicts b, the least recently used
 /// assert!(lru.contains(a.page) && lru.contains(c.page) && !lru.contains(b.page));
 /// ```
 #[derive(Debug)]
@@ -84,8 +87,13 @@ impl Lru {
 impl<O: Observer> Lru<O> {
     /// Creates an LRU cache reporting cache decisions to `obs`.
     pub fn with_observer(capacity: Bytes, obs: ObsHandle<O>) -> Self {
+        Self::with_layout(capacity, Layout::Sparse, obs)
+    }
+
+    /// Creates an LRU cache with an explicit state [`Layout`].
+    pub fn with_layout(capacity: Bytes, layout: Layout, obs: ObsHandle<O>) -> Self {
         Self {
-            engine: GreedyDualEngine::with_observer(capacity, obs),
+            engine: GreedyDualEngine::with_layout(capacity, layout, obs),
         }
     }
 }
@@ -95,8 +103,8 @@ impl<O: Observer> CachePolicy for Lru<O> {
         "LRU"
     }
 
-    fn access(&mut self, page: &PageRef) -> AccessOutcome {
-        self.engine.access(page, |_, l| l + 1.0)
+    fn access(&mut self, page: &PageRef, evicted: &mut Vec<PageId>) -> AccessOutcome {
+        self.engine.access(page, |_, l| l + 1.0, evicted)
     }
 
     delegate_policy_queries!();
@@ -120,8 +128,13 @@ impl Gds {
 impl<O: Observer> Gds<O> {
     /// Creates a GDS cache reporting cache decisions to `obs`.
     pub fn with_observer(capacity: Bytes, obs: ObsHandle<O>) -> Self {
+        Self::with_layout(capacity, Layout::Sparse, obs)
+    }
+
+    /// Creates a GDS cache with an explicit state [`Layout`].
+    pub fn with_layout(capacity: Bytes, layout: Layout, obs: ObsHandle<O>) -> Self {
         Self {
-            engine: GreedyDualEngine::with_observer(capacity, obs),
+            engine: GreedyDualEngine::with_layout(capacity, layout, obs),
         }
     }
 }
@@ -131,9 +144,9 @@ impl<O: Observer> CachePolicy for Gds<O> {
         "GDS"
     }
 
-    fn access(&mut self, page: &PageRef) -> AccessOutcome {
+    fn access(&mut self, page: &PageRef, evicted: &mut Vec<PageId>) -> AccessOutcome {
         let w = page.cost / page.size.as_f64();
-        self.engine.access(page, |_, l| l + w)
+        self.engine.access(page, |_, l| l + w, evicted)
     }
 
     delegate_policy_queries!();
@@ -158,8 +171,13 @@ impl LfuDa {
 impl<O: Observer> LfuDa<O> {
     /// Creates an LFU-DA cache reporting cache decisions to `obs`.
     pub fn with_observer(capacity: Bytes, obs: ObsHandle<O>) -> Self {
+        Self::with_layout(capacity, Layout::Sparse, obs)
+    }
+
+    /// Creates an LFU-DA cache with an explicit state [`Layout`].
+    pub fn with_layout(capacity: Bytes, layout: Layout, obs: ObsHandle<O>) -> Self {
         Self {
-            engine: GreedyDualEngine::with_observer(capacity, obs),
+            engine: GreedyDualEngine::with_layout(capacity, layout, obs),
         }
     }
 }
@@ -169,8 +187,8 @@ impl<O: Observer> CachePolicy for LfuDa<O> {
         "LFU-DA"
     }
 
-    fn access(&mut self, page: &PageRef) -> AccessOutcome {
-        self.engine.access(page, |f, l| l + f as f64)
+    fn access(&mut self, page: &PageRef, evicted: &mut Vec<PageId>) -> AccessOutcome {
+        self.engine.access(page, |f, l| l + f as f64, evicted)
     }
 
     delegate_policy_queries!();
@@ -193,9 +211,10 @@ impl<O: Observer> CachePolicy for LfuDa<O> {
 /// use pscd_types::{Bytes, PageId};
 ///
 /// let mut gd = GdStar::new(Bytes::new(100), 2.0);
+/// let mut evicted = Vec::new();
 /// let page = PageRef::new(PageId::new(1), Bytes::new(10), 4.0);
-/// assert!(gd.access(&page).is_miss());
-/// assert!(gd.access(&page).is_hit());
+/// assert!(gd.access(&page, &mut evicted).is_miss());
+/// assert!(gd.access(&page, &mut evicted).is_hit());
 /// ```
 #[derive(Debug)]
 pub struct GdStar<O: Observer = NullObserver> {
@@ -223,9 +242,18 @@ impl<O: Observer> GdStar<O> {
     ///
     /// Panics unless `beta` is positive and finite.
     pub fn with_observer(capacity: Bytes, beta: f64, obs: ObsHandle<O>) -> Self {
+        Self::with_layout(capacity, beta, Layout::Sparse, obs)
+    }
+
+    /// Creates a GD\* cache with an explicit state [`Layout`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta` is positive and finite.
+    pub fn with_layout(capacity: Bytes, beta: f64, layout: Layout, obs: ObsHandle<O>) -> Self {
         assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
         Self {
-            engine: GreedyDualEngine::with_observer(capacity, obs),
+            engine: GreedyDualEngine::with_layout(capacity, layout, obs),
             beta,
         }
     }
@@ -252,10 +280,13 @@ impl<O: Observer> CachePolicy for GdStar<O> {
         "GD*"
     }
 
-    fn access(&mut self, page: &PageRef) -> AccessOutcome {
+    fn access(&mut self, page: &PageRef, evicted: &mut Vec<PageId>) -> AccessOutcome {
         let (cost, size, beta) = (page.cost, page.size, self.beta);
-        self.engine
-            .access(page, |f, l| l + gdstar_weight(f as f64, cost, size, beta))
+        self.engine.access(
+            page,
+            |f, l| l + gdstar_weight(f as f64, cost, size, beta),
+            evicted,
+        )
     }
 
     delegate_policy_queries!();
@@ -271,18 +302,15 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recent() {
+        let mut ev = Vec::new();
         let mut lru = Lru::new(Bytes::new(30));
-        lru.access(&pref(1, 10, 1.0));
-        lru.access(&pref(2, 10, 1.0));
-        lru.access(&pref(3, 10, 1.0));
-        lru.access(&pref(1, 10, 1.0)); // refresh 1
-        let out = lru.access(&pref(4, 10, 1.0));
-        assert_eq!(
-            out,
-            AccessOutcome::MissAdmitted {
-                evicted: vec![PageId::new(2)]
-            }
-        );
+        lru.access(&pref(1, 10, 1.0), &mut ev);
+        lru.access(&pref(2, 10, 1.0), &mut ev);
+        lru.access(&pref(3, 10, 1.0), &mut ev);
+        lru.access(&pref(1, 10, 1.0), &mut ev); // refresh 1
+        let out = lru.access(&pref(4, 10, 1.0), &mut ev);
+        assert_eq!(out, AccessOutcome::MissAdmitted);
+        assert_eq!(ev, vec![PageId::new(2)]);
         assert_eq!(lru.name(), "LRU");
         assert_eq!(lru.len(), 3);
         assert_eq!(lru.used(), Bytes::new(30));
@@ -291,35 +319,29 @@ mod tests {
 
     #[test]
     fn gds_prefers_cheap_small_eviction() {
+        let mut ev = Vec::new();
         let mut gds = Gds::new(Bytes::new(20));
         // Page 1: c/s = 0.1 (cheap to refetch); page 2: c/s = 1.0.
-        gds.access(&pref(1, 10, 1.0));
-        gds.access(&pref(2, 10, 10.0));
-        let out = gds.access(&pref(3, 10, 5.0));
-        assert_eq!(
-            out,
-            AccessOutcome::MissAdmitted {
-                evicted: vec![PageId::new(1)]
-            }
-        );
+        gds.access(&pref(1, 10, 1.0), &mut ev);
+        gds.access(&pref(2, 10, 10.0), &mut ev);
+        let out = gds.access(&pref(3, 10, 5.0), &mut ev);
+        assert_eq!(out, AccessOutcome::MissAdmitted);
+        assert_eq!(ev, vec![PageId::new(1)]);
         assert_eq!(gds.name(), "GDS");
     }
 
     #[test]
     fn lfu_da_protects_frequent_pages() {
+        let mut ev = Vec::new();
         let mut lfu = LfuDa::new(Bytes::new(20));
         let hot = pref(1, 10, 1.0);
-        lfu.access(&hot);
-        lfu.access(&hot);
-        lfu.access(&hot); // f = 3
-        lfu.access(&pref(2, 10, 1.0)); // f = 1
-        let out = lfu.access(&pref(3, 10, 1.0));
-        assert_eq!(
-            out,
-            AccessOutcome::MissAdmitted {
-                evicted: vec![PageId::new(2)]
-            }
-        );
+        lfu.access(&hot, &mut ev);
+        lfu.access(&hot, &mut ev);
+        lfu.access(&hot, &mut ev); // f = 3
+        lfu.access(&pref(2, 10, 1.0), &mut ev); // f = 1
+        let out = lfu.access(&pref(3, 10, 1.0), &mut ev);
+        assert_eq!(out, AccessOutcome::MissAdmitted);
+        assert_eq!(ev, vec![PageId::new(2)]);
         assert!(lfu.contains(PageId::new(1)));
         assert_eq!(lfu.name(), "LFU-DA");
     }
@@ -336,35 +358,33 @@ mod tests {
 
     #[test]
     fn gdstar_combines_frequency_and_cost() {
+        let mut ev = Vec::new();
         let mut gd = GdStar::new(Bytes::new(20), 2.0);
         assert_eq!(gd.beta(), 2.0);
         // Page 1 accessed twice (f=2, c/s=1): weight sqrt(2) ≈ 1.41.
         let p1 = pref(1, 10, 10.0);
-        gd.access(&p1);
-        gd.access(&p1);
+        gd.access(&p1, &mut ev);
+        gd.access(&p1, &mut ev);
         // Page 2 once, cheap (f=1, c/s=0.1): weight ≈ 0.32.
-        gd.access(&pref(2, 10, 1.0));
+        gd.access(&pref(2, 10, 1.0), &mut ev);
         // Page 3 arrives: evicts page 2 (lowest value).
-        let out = gd.access(&pref(3, 10, 5.0));
-        assert_eq!(
-            out,
-            AccessOutcome::MissAdmitted {
-                evicted: vec![PageId::new(2)]
-            }
-        );
+        let out = gd.access(&pref(3, 10, 5.0), &mut ev);
+        assert_eq!(out, AccessOutcome::MissAdmitted);
+        assert_eq!(ev, vec![PageId::new(2)]);
         // Inflation rose to page 2's value.
         assert!(gd.inflation() > 0.0);
     }
 
     #[test]
     fn gdstar_inflation_ages_old_pages() {
+        let mut ev = Vec::new();
         let mut gd = GdStar::new(Bytes::new(20), 1.0);
         // Hot page with moderate value.
         let old = pref(1, 10, 2.0); // weight f*0.2
-        gd.access(&old);
+        gd.access(&old, &mut ev);
         // Fill and churn the other slot repeatedly with cheap pages.
         for i in 2..30 {
-            gd.access(&pref(i, 10, 4.0));
+            gd.access(&pref(i, 10, 4.0), &mut ev);
         }
         // After enough churn, inflation L exceeds the old page's static
         // value and a newcomer evicts it even with f = 1.
@@ -383,6 +403,7 @@ mod tests {
 
     #[test]
     fn policies_are_object_safe() {
+        let mut ev = Vec::new();
         let mut policies: Vec<Box<dyn CachePolicy>> = vec![
             Box::new(Lru::new(Bytes::new(10))),
             Box::new(Gds::new(Bytes::new(10))),
@@ -391,8 +412,53 @@ mod tests {
         ];
         for p in &mut policies {
             assert!(p.is_empty());
-            p.access(&pref(1, 5, 1.0));
+            p.access(&pref(1, 5, 1.0), &mut ev);
             assert_eq!(p.len(), 1);
+        }
+    }
+
+    #[test]
+    fn dense_layout_policies_match_sparse() {
+        let mut ev_s = Vec::new();
+        let mut ev_d = Vec::new();
+        let dense = Layout::Dense { page_count: 40 };
+        let mut pairs: Vec<(Box<dyn CachePolicy>, Box<dyn CachePolicy>)> = vec![
+            (
+                Box::new(Lru::new(Bytes::new(50))),
+                Box::new(Lru::with_layout(
+                    Bytes::new(50),
+                    dense,
+                    ObsHandle::disabled(),
+                )),
+            ),
+            (
+                Box::new(GdStar::new(Bytes::new(50), 2.0)),
+                Box::new(GdStar::with_layout(
+                    Bytes::new(50),
+                    2.0,
+                    dense,
+                    ObsHandle::disabled(),
+                )),
+            ),
+        ];
+        let mut x = 0xdead_beefu64;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..1_000 {
+            let p = pref((rng() % 40) as u32, rng() % 20 + 1, (rng() % 9 + 1) as f64);
+            for (sparse, dense) in &mut pairs {
+                assert_eq!(
+                    sparse.access(&p, &mut ev_s),
+                    dense.access(&p, &mut ev_d),
+                    "{}",
+                    sparse.name()
+                );
+                assert_eq!(ev_s, ev_d);
+            }
         }
     }
 
@@ -401,11 +467,12 @@ mod tests {
         use pscd_obs::{SharedObserver, StatsObserver};
         use pscd_types::ServerId;
 
+        let mut ev = Vec::new();
         let shared = SharedObserver::new(StatsObserver::new());
         let mut lru = Lru::with_observer(Bytes::new(20), shared.handle(ServerId::new(0)));
-        lru.access(&pref(1, 10, 1.0));
-        lru.access(&pref(2, 10, 1.0));
-        lru.access(&pref(3, 10, 1.0)); // evicts page 1
+        lru.access(&pref(1, 10, 1.0), &mut ev);
+        lru.access(&pref(2, 10, 1.0), &mut ev);
+        lru.access(&pref(3, 10, 1.0), &mut ev); // evicts page 1
         lru.invalidate(PageId::new(3));
         drop(lru);
         let stats = shared.try_unwrap().unwrap();

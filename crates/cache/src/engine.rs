@@ -1,10 +1,9 @@
 //! The shared greedy-dual replacement engine.
 
-use std::collections::HashMap;
-
 use pscd_obs::{AdmitOrigin, EvictReason, NullObserver, ObsHandle, Observer};
 use pscd_types::{Bytes, PageId};
 
+use crate::layout::{Layout, PageTable};
 use crate::{AccessOutcome, CacheStore, PageRef};
 
 /// The greedy-dual family's shared machinery: an *inflation* value `L` that
@@ -18,6 +17,11 @@ use crate::{AccessOutcome, CacheStore, PageRef};
 /// (`g = (f·c/s)^(1/β)`) and the subscription-aware variants built in
 /// `pscd-core`.
 ///
+/// Evicted pages are reported through caller-owned scratch buffers (a
+/// `&mut Vec<PageId>` per operation, cleared on entry): with a
+/// [`Layout::Dense`] store and a warm scratch buffer, no engine operation
+/// allocates.
+///
 /// The observer parameter defaults to [`NullObserver`], whose hooks are
 /// compile-time disabled: uninstrumented engines pay nothing. An engine
 /// built via [`with_observer`](GreedyDualEngine::with_observer) reports
@@ -27,7 +31,7 @@ use crate::{AccessOutcome, CacheStore, PageRef};
 pub struct GreedyDualEngine<O: Observer = NullObserver> {
     store: CacheStore,
     inflation: f64,
-    freq: HashMap<PageId, u32>,
+    freq: PageTable<u32>,
     obs: ObsHandle<O>,
 }
 
@@ -59,10 +63,17 @@ impl Default for GreedyDualEngine {
 impl<O: Observer> GreedyDualEngine<O> {
     /// Creates an engine reporting admissions and evictions to `obs`.
     pub fn with_observer(capacity: Bytes, obs: ObsHandle<O>) -> Self {
+        Self::with_layout(capacity, Layout::Sparse, obs)
+    }
+
+    /// Creates an engine with an explicit state [`Layout`]. The dense
+    /// layout preallocates the store and the frequency table for the full
+    /// page universe, so steady-state operation never allocates.
+    pub fn with_layout(capacity: Bytes, layout: Layout, obs: ObsHandle<O>) -> Self {
         Self {
-            store: CacheStore::new(capacity),
+            store: CacheStore::with_layout(capacity, layout),
             inflation: 0.0,
-            freq: HashMap::new(),
+            freq: PageTable::with_layout(layout),
             obs,
         }
     }
@@ -76,7 +87,7 @@ impl<O: Observer> GreedyDualEngine<O> {
     /// The in-cache reference count of a page (0 if absent).
     #[inline]
     pub fn frequency(&self, page: PageId) -> u32 {
-        self.freq.get(&page).copied().unwrap_or(0)
+        self.freq.get(page)
     }
 
     /// Read access to the underlying store.
@@ -92,29 +103,33 @@ impl<O: Observer> GreedyDualEngine<O> {
     /// Misses always admit the page (evicting as needed), matching the
     /// classic GD\* pseudo-code; pages larger than the whole cache are
     /// bypassed.
+    ///
+    /// `evicted` is cleared on entry and filled with the evicted pages.
     pub fn access<W: FnMut(u32, f64) -> f64>(
         &mut self,
         page: &PageRef,
         mut value: W,
+        evicted: &mut Vec<PageId>,
     ) -> AccessOutcome {
+        evicted.clear();
         if self.store.contains(page.page) {
-            let f = self.freq.entry(page.page).or_insert(0);
-            *f += 1;
-            let v = value(*f, self.inflation);
+            let f = self.freq.get(page.page) + 1;
+            self.freq.set(page.page, f);
+            let v = value(f, self.inflation);
             self.store.update_value(page.page, v);
             return AccessOutcome::Hit;
         }
         if page.size > self.store.capacity() {
             return AccessOutcome::MissBypassed;
         }
-        let evicted = self.make_room(page.size);
-        self.freq.insert(page.page, 1);
+        self.make_room(page.size, evicted);
+        self.freq.set(page.page, 1);
         let v = value(1, self.inflation);
         self.store.insert(page.page, page.size, v);
         if O::ENABLED {
             self.obs.admit(page.page, page.size, v, AdmitOrigin::Access);
         }
-        AccessOutcome::MissAdmitted { evicted }
+        AccessOutcome::MissAdmitted
     }
 
     /// Records an access under a *value-gated* admission: on a miss the
@@ -123,48 +138,55 @@ impl<O: Observer> GreedyDualEngine<O> {
     /// combined schemes, §3.3: "the replacement module discards the
     /// requested page immediately after forwarding it to the user if the
     /// page's value is not high enough").
+    ///
+    /// `evicted` is cleared on entry and filled with the evicted pages.
     pub fn access_gated<W: FnMut(u32, f64) -> f64>(
         &mut self,
         page: &PageRef,
         mut value: W,
+        evicted: &mut Vec<PageId>,
     ) -> AccessOutcome {
+        evicted.clear();
         if self.store.contains(page.page) {
-            let f = self.freq.entry(page.page).or_insert(0);
-            *f += 1;
-            let v = value(*f, self.inflation);
+            let f = self.freq.get(page.page) + 1;
+            self.freq.set(page.page, f);
+            let v = value(f, self.inflation);
             self.store.update_value(page.page, v);
             return AccessOutcome::Hit;
         }
         let f = 1;
         let v = value(f, self.inflation);
-        match self.try_admit(page, v, EvictReason::Access) {
-            Some(evicted) => {
-                self.freq.insert(page.page, f);
-                if O::ENABLED {
-                    self.obs.admit(page.page, page.size, v, AdmitOrigin::Access);
-                }
-                AccessOutcome::MissAdmitted { evicted }
+        if self.try_admit(page, v, EvictReason::Access, evicted) {
+            self.freq.set(page.page, f);
+            if O::ENABLED {
+                self.obs.admit(page.page, page.size, v, AdmitOrigin::Access);
             }
-            None => AccessOutcome::MissBypassed,
+            AccessOutcome::MissAdmitted
+        } else {
+            AccessOutcome::MissBypassed
         }
     }
 
     /// Push-time placement of a page valued at `value` (absolute, not
     /// relative to `L`): stores it only if free space plus the total size
     /// of strictly-less-valuable residents covers the page (§3.2/§3.3).
-    /// Returns the evicted pages, or `None` if the page was declined.
-    /// No-op returning `Some(vec![])` if the page is already cached.
-    pub fn push_valued(&mut self, page: &PageRef, value: f64) -> Option<Vec<PageId>> {
+    /// Returns `true` if the page is cached afterwards (trivially so when
+    /// it already was), `false` if it was declined. `evicted` is cleared
+    /// on entry and filled with the evicted pages.
+    pub fn push_valued(&mut self, page: &PageRef, value: f64, evicted: &mut Vec<PageId>) -> bool {
+        evicted.clear();
         if self.store.contains(page.page) {
-            return Some(Vec::new());
+            return true;
         }
-        let evicted = self.try_admit(page, value, EvictReason::Push)?;
-        self.freq.insert(page.page, 0);
+        if !self.try_admit(page, value, EvictReason::Push, evicted) {
+            return false;
+        }
+        self.freq.set(page.page, 0);
         if O::ENABLED {
             self.obs
                 .admit(page.page, page.size, value, AdmitOrigin::Push);
         }
-        Some(evicted)
+        true
     }
 
     /// Updates the cached page's value (e.g. after a subscription-count
@@ -178,14 +200,14 @@ impl<O: Observer> GreedyDualEngine<O> {
     /// bytes live on elsewhere (e.g. a dual-caches PC→AC move) — the
     /// caller reports the transfer through its own hook instead.
     pub fn take(&mut self, page: PageId) -> Option<(Bytes, f64)> {
-        self.freq.remove(&page);
+        self.freq.remove(page);
         self.store.remove(page).map(|p| (p.size, p.value))
     }
 
     /// Removes a page (without touching `L`), returning `true` if present.
     /// Reported to the observer as an [`EvictReason::Invalidate`].
     pub fn evict(&mut self, page: PageId) -> bool {
-        self.freq.remove(&page);
+        self.freq.remove(page);
         match self.store.remove(page) {
             Some(removed) => {
                 if O::ENABLED {
@@ -204,42 +226,42 @@ impl<O: Observer> GreedyDualEngine<O> {
 
     /// Evicts least-valuable pages until `size` fits, raising `L` to the
     /// value of the last eviction (classic greedy-dual replacement).
-    fn make_room(&mut self, size: Bytes) -> Vec<PageId> {
-        let mut evicted = Vec::new();
+    /// Appends the victims to `evicted`.
+    fn make_room(&mut self, size: Bytes, evicted: &mut Vec<PageId>) {
         while self.store.free() < size {
             let victim = self
                 .store
                 .pop_min()
                 .expect("cache cannot be empty while free < size <= capacity");
             self.inflation = victim.value;
-            self.freq.remove(&victim.page);
+            self.freq.remove(victim.page);
             if O::ENABLED {
                 self.obs
                     .evict(victim.page, victim.size, victim.value, EvictReason::Access);
             }
             evicted.push(victim.page);
         }
-        evicted
     }
 
     /// Admits a page valued `value` only over strictly-less-valuable
-    /// residents; raises `L` on evictions (reported under `reason`).
+    /// residents; raises `L` on evictions (reported under `reason`,
+    /// appended to `evicted`). Returns `false` if the page was declined.
     fn try_admit(
         &mut self,
         page: &PageRef,
         value: f64,
         reason: EvictReason,
-    ) -> Option<Vec<PageId>> {
+        evicted: &mut Vec<PageId>,
+    ) -> bool {
         if page.size > self.store.capacity() {
-            return None;
+            return false;
         }
         if self.store.free() < page.size {
             let reclaimable = self.store.free() + self.store.candidate_size_below(value);
             if reclaimable < page.size {
-                return None;
+                return false;
             }
         }
-        let mut evicted = Vec::new();
         while self.store.free() < page.size {
             let victim = self
                 .store
@@ -247,7 +269,7 @@ impl<O: Observer> GreedyDualEngine<O> {
                 .expect("candidate check guarantees enough evictable bytes");
             debug_assert!(victim.value < value);
             self.inflation = victim.value;
-            self.freq.remove(&victim.page);
+            self.freq.remove(victim.page);
             if O::ENABLED {
                 self.obs
                     .evict(victim.page, victim.size, victim.value, reason);
@@ -255,7 +277,7 @@ impl<O: Observer> GreedyDualEngine<O> {
             evicted.push(victim.page);
         }
         self.store.insert(page.page, page.size, value);
-        Some(evicted)
+        true
     }
 }
 
@@ -269,33 +291,31 @@ mod tests {
 
     #[test]
     fn hit_updates_frequency_and_value() {
+        let mut ev = Vec::new();
         let mut e = GreedyDualEngine::new(Bytes::new(100));
         let p = pref(1, 10);
-        assert!(matches!(
-            e.access(&p, |f, l| l + f as f64),
-            AccessOutcome::MissAdmitted { .. }
-        ));
+        assert_eq!(
+            e.access(&p, |f, l| l + f as f64, &mut ev),
+            AccessOutcome::MissAdmitted
+        );
         assert_eq!(e.frequency(p.page), 1);
         assert_eq!(e.store().value(p.page), Some(1.0));
-        assert!(e.access(&p, |f, l| l + f as f64).is_hit());
+        assert!(e.access(&p, |f, l| l + f as f64, &mut ev).is_hit());
         assert_eq!(e.frequency(p.page), 2);
         assert_eq!(e.store().value(p.page), Some(2.0));
     }
 
     #[test]
     fn eviction_raises_inflation() {
+        let mut ev = Vec::new();
         let mut e = GreedyDualEngine::new(Bytes::new(20));
-        e.access(&pref(1, 10), |_, l| l + 1.0);
-        e.access(&pref(2, 10), |_, l| l + 2.0);
+        e.access(&pref(1, 10), |_, l| l + 1.0, &mut ev);
+        e.access(&pref(2, 10), |_, l| l + 2.0, &mut ev);
         assert_eq!(e.inflation(), 0.0);
         // Page 3 forces one eviction: victim is page 1 (value 1.0).
-        let out = e.access(&pref(3, 10), |_, l| l + 5.0);
-        assert_eq!(
-            out,
-            AccessOutcome::MissAdmitted {
-                evicted: vec![PageId::new(1)]
-            }
-        );
+        let out = e.access(&pref(3, 10), |_, l| l + 5.0, &mut ev);
+        assert_eq!(out, AccessOutcome::MissAdmitted);
+        assert_eq!(ev, vec![PageId::new(1)]);
         assert_eq!(e.inflation(), 1.0);
         // New insertions start from L: value = 1.0 + 5.0.
         assert_eq!(e.store().value(PageId::new(3)), Some(6.0));
@@ -303,24 +323,26 @@ mod tests {
 
     #[test]
     fn frequency_discarded_on_eviction() {
+        let mut ev = Vec::new();
         let mut e = GreedyDualEngine::new(Bytes::new(20));
         let p1 = pref(1, 10);
-        e.access(&p1, |f, l| l + f as f64);
-        e.access(&p1, |f, l| l + f as f64);
+        e.access(&p1, |f, l| l + f as f64, &mut ev);
+        e.access(&p1, |f, l| l + f as f64, &mut ev);
         assert_eq!(e.frequency(p1.page), 2);
-        e.access(&pref(2, 10), |_, l| l + 10.0);
-        e.access(&pref(3, 10), |_, l| l + 10.0); // evicts page 1
+        e.access(&pref(2, 10), |_, l| l + 10.0, &mut ev);
+        e.access(&pref(3, 10), |_, l| l + 10.0, &mut ev); // evicts page 1
         assert_eq!(e.frequency(p1.page), 0);
         // Re-access restarts at f = 1 (In-Cache LFU).
-        e.access(&p1, |f, l| l + f as f64);
+        e.access(&p1, |f, l| l + f as f64, &mut ev);
         assert_eq!(e.frequency(p1.page), 1);
     }
 
     #[test]
     fn oversized_page_bypassed() {
+        let mut ev = Vec::new();
         let mut e = GreedyDualEngine::new(Bytes::new(10));
         assert_eq!(
-            e.access(&pref(1, 11), |_, l| l + 1.0),
+            e.access(&pref(1, 11), |_, l| l + 1.0, &mut ev),
             AccessOutcome::MissBypassed
         );
         assert_eq!(e.store().len(), 0);
@@ -328,53 +350,66 @@ mod tests {
 
     #[test]
     fn gated_access_declines_low_value() {
+        let mut ev = Vec::new();
         let mut e = GreedyDualEngine::new(Bytes::new(20));
-        e.access(&pref(1, 10), |_, l| l + 5.0);
-        e.access(&pref(2, 10), |_, l| l + 5.0);
+        e.access(&pref(1, 10), |_, l| l + 5.0, &mut ev);
+        e.access(&pref(2, 10), |_, l| l + 5.0, &mut ev);
         // Value 1.0 < both residents: declined.
         assert_eq!(
-            e.access_gated(&pref(3, 10), |_, l| l + 1.0),
+            e.access_gated(&pref(3, 10), |_, l| l + 1.0, &mut ev),
             AccessOutcome::MissBypassed
         );
         assert!(!e.store().contains(PageId::new(3)));
         // Value 9.0 beats one resident: admitted.
-        let out = e.access_gated(&pref(4, 10), |_, l| l + 9.0);
-        assert!(matches!(out, AccessOutcome::MissAdmitted { ref evicted } if evicted.len() == 1));
+        let out = e.access_gated(&pref(4, 10), |_, l| l + 9.0, &mut ev);
+        assert_eq!(out, AccessOutcome::MissAdmitted);
+        assert_eq!(ev.len(), 1);
     }
 
     #[test]
     fn gated_access_hits_like_normal() {
+        let mut ev = Vec::new();
         let mut e = GreedyDualEngine::new(Bytes::new(20));
-        e.access_gated(&pref(1, 10), |f, l| l + f as f64);
-        assert!(e.access_gated(&pref(1, 10), |f, l| l + f as f64).is_hit());
+        e.access_gated(&pref(1, 10), |f, l| l + f as f64, &mut ev);
+        assert!(e
+            .access_gated(&pref(1, 10), |f, l| l + f as f64, &mut ev)
+            .is_hit());
         assert_eq!(e.frequency(PageId::new(1)), 2);
     }
 
     #[test]
     fn push_valued_admission_rules() {
+        let mut ev = Vec::new();
         let mut e = GreedyDualEngine::new(Bytes::new(30));
         // Free space: no eviction needed.
-        assert_eq!(e.push_valued(&pref(1, 10), 2.0), Some(vec![]));
-        assert_eq!(e.push_valued(&pref(2, 20), 3.0), Some(vec![]));
+        assert!(e.push_valued(&pref(1, 10), 2.0, &mut ev));
+        assert!(ev.is_empty());
+        assert!(e.push_valued(&pref(2, 20), 3.0, &mut ev));
+        assert!(ev.is_empty());
         // Full. New page worth less than all residents: declined.
-        assert_eq!(e.push_valued(&pref(3, 10), 1.0), None);
+        assert!(!e.push_valued(&pref(3, 10), 1.0, &mut ev));
         // Worth more than page 1 but candidates too small for 20 bytes.
-        assert_eq!(e.push_valued(&pref(4, 20), 2.5), None);
+        assert!(!e.push_valued(&pref(4, 20), 2.5, &mut ev));
         // Worth more than page 1, fits in its 10 bytes.
-        assert_eq!(e.push_valued(&pref(5, 10), 2.5), Some(vec![PageId::new(1)]));
+        assert!(e.push_valued(&pref(5, 10), 2.5, &mut ev));
+        assert_eq!(ev, vec![PageId::new(1)]);
         assert_eq!(e.inflation(), 2.0);
         // Already cached: no-op success.
-        assert_eq!(e.push_valued(&pref(5, 10), 9.9), Some(vec![]));
+        assert!(e.push_valued(&pref(5, 10), 9.9, &mut ev));
+        assert!(ev.is_empty());
         // Larger than the whole cache: declined.
-        assert_eq!(e.push_valued(&pref(6, 31), 99.0), None);
+        assert!(!e.push_valued(&pref(6, 31), 99.0, &mut ev));
     }
 
     #[test]
     fn pushed_pages_start_at_zero_frequency() {
+        let mut ev = Vec::new();
         let mut e = GreedyDualEngine::new(Bytes::new(30));
-        e.push_valued(&pref(1, 10), 2.0);
+        e.push_valued(&pref(1, 10), 2.0, &mut ev);
         assert_eq!(e.frequency(PageId::new(1)), 0);
-        assert!(e.access(&pref(1, 10), |f, l| l + f as f64).is_hit());
+        assert!(e
+            .access(&pref(1, 10), |f, l| l + f as f64, &mut ev)
+            .is_hit());
         assert_eq!(e.frequency(PageId::new(1)), 1);
     }
 
@@ -383,13 +418,14 @@ mod tests {
         use pscd_obs::{SharedObserver, StatsObserver};
         use pscd_types::ServerId;
 
+        let mut ev = Vec::new();
         let shared = SharedObserver::new(StatsObserver::new());
         let mut e =
             GreedyDualEngine::with_observer(Bytes::new(20), shared.handle(ServerId::new(5)));
-        e.access(&pref(1, 10), |_, l| l + 1.0);
-        e.access(&pref(2, 10), |_, l| l + 2.0);
-        e.access(&pref(3, 10), |_, l| l + 5.0); // evicts page 1 (access)
-        e.push_valued(&pref(4, 10), 9.0); // evicts page 2 (push), admits via push
+        e.access(&pref(1, 10), |_, l| l + 1.0, &mut ev);
+        e.access(&pref(2, 10), |_, l| l + 2.0, &mut ev);
+        e.access(&pref(3, 10), |_, l| l + 5.0, &mut ev); // evicts page 1 (access)
+        e.push_valued(&pref(4, 10), 9.0, &mut ev); // evicts page 2 (push), admits via push
         e.evict(PageId::new(4)); // invalidate
         drop(e);
         let stats = shared.try_unwrap().unwrap();
@@ -406,12 +442,55 @@ mod tests {
 
     #[test]
     fn revalue_and_evict() {
+        let mut ev = Vec::new();
         let mut e = GreedyDualEngine::new(Bytes::new(30));
-        e.access(&pref(1, 10), |_, l| l + 1.0);
+        e.access(&pref(1, 10), |_, l| l + 1.0, &mut ev);
         assert!(e.revalue(PageId::new(1), 7.0));
         assert_eq!(e.store().value(PageId::new(1)), Some(7.0));
         assert!(e.evict(PageId::new(1)));
         assert!(!e.evict(PageId::new(1)));
         assert!(!e.revalue(PageId::new(1), 1.0));
+    }
+
+    #[test]
+    fn dense_engine_matches_sparse() {
+        let mut ev_s = Vec::new();
+        let mut ev_d = Vec::new();
+        let mut sparse = GreedyDualEngine::new(Bytes::new(40));
+        let mut dense: GreedyDualEngine = GreedyDualEngine::with_layout(
+            Bytes::new(40),
+            Layout::Dense { page_count: 32 },
+            ObsHandle::disabled(),
+        );
+        let mut x = 0x1234_5678u64;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..2_000 {
+            let p = pref((rng() % 32) as u32, rng() % 15 + 1);
+            match rng() % 3 {
+                0 => {
+                    let a = sparse.access(&p, |f, l| l + f as f64, &mut ev_s);
+                    let b = dense.access(&p, |f, l| l + f as f64, &mut ev_d);
+                    assert_eq!(a, b);
+                }
+                1 => {
+                    let w = (rng() % 8) as f64;
+                    assert_eq!(
+                        sparse.push_valued(&p, w, &mut ev_s),
+                        dense.push_valued(&p, w, &mut ev_d)
+                    );
+                }
+                _ => {
+                    assert_eq!(sparse.evict(p.page), dense.evict(p.page));
+                }
+            }
+            assert_eq!(ev_s, ev_d);
+            assert_eq!(sparse.inflation(), dense.inflation());
+            assert_eq!(sparse.store().used(), dense.store().used());
+        }
     }
 }

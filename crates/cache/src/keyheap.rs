@@ -1,0 +1,374 @@
+//! An eager, index-addressable min-heap over `(value, stamp, page)` keys.
+//!
+//! [`CacheStore`](crate::CacheStore) used to keep its eviction order in a
+//! lazy-deletion `BinaryHeap`: every value update pushed a fresh item and
+//! left the stale one behind, so the heap grew without bound over a run
+//! and `peek_min` had to mutate the heap to skim stale tops. [`KeyHeap`]
+//! replaces that with an *eager* heap of exactly the live entries: each
+//! slot knows its array position, and every mutation reports position
+//! moves through a caller-supplied writeback so an external table (a
+//! `HashMap` entry or a dense per-ordinal slot) can address any element
+//! directly. That makes `peek` a `&self` read, `remove`/`update`
+//! `O(log n)` without tombstones, and the heap's footprint proportional
+//! to the cache's live population — the properties the allocation-free
+//! replay loop is built on.
+//!
+//! The comparator is *exactly* the lazy heap's: smallest value first,
+//! ties broken by smallest stamp (oldest (re)valuation), then smallest
+//! page id. Stamps are unique within one owner, so the pop sequence is a
+//! total order and provably identical to the lazy-deletion heap's.
+
+use std::cmp::Ordering;
+
+use pscd_types::{Bytes, PageId};
+
+/// One live heap element: the eviction key plus the page it belongs to
+/// and its size. The slot is the *only* per-page record the store keeps —
+/// the page table maps ordinals to heap positions — so everything a
+/// lookup, peek or eviction needs travels with the slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeapSlot {
+    /// Current policy value; eviction pops the smallest first.
+    pub value: f64,
+    /// Monotone (re)valuation stamp; ties pop oldest first.
+    pub stamp: u64,
+    /// The page this key belongs to.
+    pub page: PageId,
+    /// Bytes the page occupies (payload — never compared).
+    pub size: Bytes,
+}
+
+impl HeapSlot {
+    /// `true` if `self` pops before `other`.
+    #[inline]
+    fn before(&self, other: &Self) -> bool {
+        // `partial_cmp` falls back to Equal exactly like the old lazy
+        // heap; NaN values are rejected upstream so the branch is moot.
+        match self
+            .value
+            .partial_cmp(&other.value)
+            .unwrap_or(Ordering::Equal)
+        {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => (self.stamp, self.page) < (other.stamp, other.page),
+        }
+    }
+}
+
+/// An index-addressable binary min-heap (see the module docs).
+///
+/// Every mutating call takes a `track(page, pos)` writeback closure and
+/// invokes it for each slot whose array position changed (including the
+/// inserted or re-keyed slot's final position), never for a removed slot.
+#[derive(Debug, Clone, Default)]
+pub struct KeyHeap {
+    slots: Vec<HeapSlot>,
+}
+
+impl KeyHeap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty heap with room for `n` slots before reallocating.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of live slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` if the heap holds nothing.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The live slots in heap order (position `i`'s children sit at
+    /// `2i + 1` and `2i + 2`). Useful for iterating the live population
+    /// without any notion of sortedness.
+    #[inline]
+    pub fn slots(&self) -> &[HeapSlot] {
+        &self.slots
+    }
+
+    /// The minimum slot, without mutating anything.
+    #[inline]
+    pub fn peek(&self) -> Option<&HeapSlot> {
+        self.slots.first()
+    }
+
+    /// Inserts a slot, reporting every position move through `track`.
+    pub fn push(&mut self, slot: HeapSlot, track: &mut impl FnMut(PageId, u32)) {
+        self.slots.push(slot);
+        self.sift_up(self.slots.len() - 1, track);
+    }
+
+    /// Removes and returns the minimum slot.
+    pub fn pop(&mut self, track: &mut impl FnMut(PageId, u32)) -> Option<HeapSlot> {
+        if self.slots.is_empty() {
+            None
+        } else {
+            Some(self.remove(0, track))
+        }
+    }
+
+    /// Removes the slot at `pos` (as last reported through `track`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of bounds.
+    pub fn remove(&mut self, pos: u32, track: &mut impl FnMut(PageId, u32)) -> HeapSlot {
+        let i = pos as usize;
+        let last = self.slots.len() - 1;
+        self.slots.swap(i, last);
+        let removed = self.slots.pop().expect("remove from a non-empty heap");
+        if i < self.slots.len() {
+            // The former tail landed mid-heap; it may belong either way.
+            if self.sift_up(i, track) == i {
+                self.sift_down(i, track);
+            }
+        }
+        removed
+    }
+
+    /// Re-keys the slot at `pos` and restores heap order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of bounds.
+    pub fn update(
+        &mut self,
+        pos: u32,
+        value: f64,
+        stamp: u64,
+        track: &mut impl FnMut(PageId, u32),
+    ) {
+        let i = pos as usize;
+        self.slots[i].value = value;
+        self.slots[i].stamp = stamp;
+        if self.sift_up(i, track) == i {
+            self.sift_down(i, track);
+        }
+    }
+
+    /// Moves `slots[i]` up to its place; reports every move plus the
+    /// final resting position. Returns the final position.
+    fn sift_up(&mut self, mut i: usize, track: &mut impl FnMut(PageId, u32)) -> usize {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.slots[i].before(&self.slots[parent]) {
+                self.slots.swap(i, parent);
+                track(self.slots[i].page, i as u32);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        track(self.slots[i].page, i as u32);
+        i
+    }
+
+    /// Moves `slots[i]` down to its place; reports every move plus the
+    /// final resting position. Returns the final position.
+    fn sift_down(&mut self, mut i: usize, track: &mut impl FnMut(PageId, u32)) -> usize {
+        loop {
+            let left = 2 * i + 1;
+            let right = left + 1;
+            let mut min = i;
+            if left < self.slots.len() && self.slots[left].before(&self.slots[min]) {
+                min = left;
+            }
+            if right < self.slots.len() && self.slots[right].before(&self.slots[min]) {
+                min = right;
+            }
+            if min == i {
+                break;
+            }
+            self.slots.swap(i, min);
+            track(self.slots[i].page, i as u32);
+            i = min;
+        }
+        track(self.slots[i].page, i as u32);
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    use super::*;
+
+    fn page(i: u32) -> PageId {
+        PageId::new(i)
+    }
+
+    /// A reference harness: a `KeyHeap` plus a position map maintained
+    /// purely through the writeback, checked for consistency after every
+    /// operation.
+    #[derive(Default)]
+    struct Tracked {
+        heap: KeyHeap,
+        pos: HashMap<PageId, u32>,
+    }
+
+    impl Tracked {
+        fn push(&mut self, value: f64, stamp: u64, p: PageId) {
+            let pos = &mut self.pos;
+            self.heap.push(
+                HeapSlot {
+                    value,
+                    stamp,
+                    page: p,
+                    size: Bytes::new(1),
+                },
+                &mut |pg, i| {
+                    pos.insert(pg, i);
+                },
+            );
+            self.check();
+        }
+
+        fn pop(&mut self) -> Option<HeapSlot> {
+            let pos = &mut self.pos;
+            let out = self.heap.pop(&mut |pg, i| {
+                pos.insert(pg, i);
+            });
+            if let Some(s) = out {
+                self.pos.remove(&s.page);
+            }
+            self.check();
+            out
+        }
+
+        fn remove(&mut self, p: PageId) -> HeapSlot {
+            let at = self.pos[&p];
+            let pos = &mut self.pos;
+            let out = self.heap.remove(at, &mut |pg, i| {
+                pos.insert(pg, i);
+            });
+            self.pos.remove(&p);
+            self.check();
+            out
+        }
+
+        fn update(&mut self, p: PageId, value: f64, stamp: u64) {
+            let at = self.pos[&p];
+            let pos = &mut self.pos;
+            self.heap.update(at, value, stamp, &mut |pg, i| {
+                pos.insert(pg, i);
+            });
+            self.check();
+        }
+
+        fn check(&self) {
+            assert_eq!(self.pos.len(), self.heap.len(), "position map drift");
+            for (&p, &i) in &self.pos {
+                assert_eq!(self.heap.slots()[i as usize].page, p, "stale position");
+            }
+            for i in 1..self.heap.len() {
+                let parent = (i - 1) / 2;
+                assert!(
+                    !self.heap.slots()[i].before(&self.heap.slots()[parent]),
+                    "heap property violated at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pops_in_value_then_stamp_then_page_order() {
+        let mut t = Tracked::default();
+        t.push(2.0, 0, page(1));
+        t.push(1.0, 1, page(2));
+        t.push(1.0, 2, page(3));
+        t.push(3.0, 3, page(4));
+        let order: Vec<u32> = std::iter::from_fn(|| t.pop())
+            .map(|s| s.page.index())
+            .collect();
+        assert_eq!(order, [2, 3, 1, 4]);
+    }
+
+    #[test]
+    fn remove_and_update_keep_positions_honest() {
+        let mut t = Tracked::default();
+        for i in 0..20 {
+            t.push((i % 7) as f64, i, page(i as u32));
+        }
+        assert_eq!(t.remove(page(13)).page, page(13));
+        assert_eq!(t.remove(page(0)).page, page(0));
+        t.update(page(7), -1.0, 20);
+        assert_eq!(t.pop().unwrap().page, page(7));
+        t.update(page(14), 99.0, 21);
+        let mut rest: Vec<u32> = std::iter::from_fn(|| t.pop())
+            .map(|s| s.page.index())
+            .collect();
+        assert_eq!(rest.pop(), Some(14), "re-keyed to max pops last");
+        assert_eq!(rest.len(), 16);
+    }
+
+    #[test]
+    fn matches_reference_binary_heap_under_churn() {
+        // Drive the eager heap and a (sort-based) reference through the
+        // same operation stream; the pop order must match exactly.
+        let mut t = Tracked::default();
+        let mut reference: Vec<HeapSlot> = Vec::new();
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut stamp = 0u64;
+        let mut next_page = 0u32;
+        for _ in 0..2_000 {
+            match rng() % 4 {
+                0 | 1 => {
+                    let value = ((rng() % 16) as f64) / 4.0;
+                    t.push(value, stamp, page(next_page));
+                    reference.push(HeapSlot {
+                        value,
+                        stamp,
+                        page: page(next_page),
+                        size: Bytes::new(1),
+                    });
+                    stamp += 1;
+                    next_page += 1;
+                }
+                2 if !reference.is_empty() => {
+                    let k = (rng() as usize) % reference.len();
+                    let p = reference[k].page;
+                    let value = ((rng() % 16) as f64) / 4.0;
+                    t.update(p, value, stamp);
+                    reference[k].value = value;
+                    reference[k].stamp = stamp;
+                    stamp += 1;
+                }
+                _ => {
+                    let got = t.pop();
+                    reference.sort_by(|a, b| {
+                        a.value
+                            .partial_cmp(&b.value)
+                            .unwrap()
+                            .then(a.stamp.cmp(&b.stamp))
+                    });
+                    let want = if reference.is_empty() {
+                        None
+                    } else {
+                        Some(reference.remove(0))
+                    };
+                    assert_eq!(got.map(|s| s.page), want.map(|s| s.page));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Sparse vs. dense state layout for page-keyed structures.
+//!
+//! A compiled trace guarantees its page ids are dense ordinals
+//! `0..page_count` (the `CompiledTrace` ordinal contract), which lets
+//! every page-keyed table in the replay hot loop — cache entries,
+//! frequency counts, per-strategy side state — live in a flat `Vec`
+//! indexed by ordinal instead of a `HashMap`. [`Layout`] is the single
+//! knob that selects between the two representations at construction
+//! time; the sparse form remains the default for callers that feed
+//! arbitrary page ids (unit tests, the differential reference loop,
+//! external strategies).
+
+use std::collections::HashMap;
+
+use pscd_types::PageId;
+
+/// How a page-keyed structure stores its state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Layout {
+    /// Hash-addressed; accepts any page id. The default.
+    #[default]
+    Sparse,
+    /// Direct-indexed by page ordinal; only ids in `0..page_count` may
+    /// ever be stored (reads outside the range simply miss). Storage for
+    /// the full universe is preallocated up front, so steady-state
+    /// mutation never allocates.
+    Dense {
+        /// Size of the page-id universe (`CompiledTrace::pages().len()`).
+        page_count: usize,
+    },
+}
+
+/// A page-keyed table of plain values where the default value means
+/// "absent" — the representation behind frequency counts and per-page
+/// counters. Under [`Layout::Dense`] reads and writes are direct `Vec`
+/// indexing; under [`Layout::Sparse`] they fall back to a `HashMap`.
+#[derive(Debug, Clone)]
+pub struct PageTable<T> {
+    repr: Repr<T>,
+}
+
+#[derive(Debug, Clone)]
+enum Repr<T> {
+    Sparse(HashMap<PageId, T>),
+    Dense(Vec<T>),
+}
+
+impl<T: Copy + Default> PageTable<T> {
+    /// An empty table with the given layout.
+    pub fn with_layout(layout: Layout) -> Self {
+        Self {
+            repr: match layout {
+                Layout::Sparse => Repr::Sparse(HashMap::new()),
+                Layout::Dense { page_count } => Repr::Dense(vec![T::default(); page_count]),
+            },
+        }
+    }
+
+    /// The value for `page` (`T::default()` if never set).
+    #[inline]
+    pub fn get(&self, page: PageId) -> T {
+        match &self.repr {
+            Repr::Sparse(map) => map.get(&page).copied().unwrap_or_default(),
+            Repr::Dense(vec) => vec.get(page.as_usize()).copied().unwrap_or_default(),
+        }
+    }
+
+    /// Sets the value for `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`Layout::Dense`] if `page` is outside the declared
+    /// universe — storing such an id would silently violate the ordinal
+    /// contract.
+    #[inline]
+    pub fn set(&mut self, page: PageId, value: T) {
+        match &mut self.repr {
+            Repr::Sparse(map) => {
+                map.insert(page, value);
+            }
+            Repr::Dense(vec) => vec[page.as_usize()] = value,
+        }
+    }
+
+    /// Resets `page` to the absent (default) value.
+    #[inline]
+    pub fn remove(&mut self, page: PageId) {
+        match &mut self.repr {
+            Repr::Sparse(map) => {
+                map.remove(&page);
+            }
+            Repr::Dense(vec) => {
+                if let Some(slot) = vec.get_mut(page.as_usize()) {
+                    *slot = T::default();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_and_dense_agree() {
+        let mut sparse: PageTable<u32> = PageTable::with_layout(Layout::Sparse);
+        let mut dense: PageTable<u32> = PageTable::with_layout(Layout::Dense { page_count: 8 });
+        for t in [&mut sparse, &mut dense] {
+            t.set(PageId::new(3), 7);
+            t.set(PageId::new(0), 1);
+            t.set(PageId::new(3), t.get(PageId::new(3)) + 1);
+            t.remove(PageId::new(0));
+        }
+        for p in 0..8 {
+            assert_eq!(sparse.get(PageId::new(p)), dense.get(PageId::new(p)));
+        }
+        assert_eq!(dense.get(PageId::new(3)), 8);
+        assert_eq!(dense.get(PageId::new(100)), 0, "out-of-range reads miss");
+    }
+
+    #[test]
+    #[should_panic]
+    fn dense_rejects_out_of_universe_writes() {
+        let mut dense: PageTable<u32> = PageTable::with_layout(Layout::Dense { page_count: 4 });
+        dense.set(PageId::new(4), 1);
+    }
+}

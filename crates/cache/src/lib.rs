@@ -3,7 +3,11 @@
 //! This crate provides the access-time caching layer the paper builds on:
 //!
 //! * [`CacheStore`] — a capacity-limited page store with value-ordered
-//!   eviction (lazy-deletion min-heap).
+//!   eviction (eager index-addressable min-heap, [`KeyHeap`]).
+//! * [`Layout`] — sparse (hash-table) vs. dense (page-ordinal-indexed
+//!   array) state backing, selectable per cache. Dense mode preallocates
+//!   every table to the page-universe size so the steady-state replay
+//!   loop performs no heap allocations.
 //! * [`GreedyDualEngine`] — the greedy-dual machinery shared by the whole
 //!   policy family: inflation value `L`, In-Cache LFU reference counts,
 //!   always-admit and value-gated placement, and the push-time placement
@@ -19,9 +23,10 @@
 //! use pscd_types::{Bytes, PageId};
 //!
 //! let mut cache = GdStar::new(Bytes::from_kib(64), 2.0);
+//! let mut evicted = Vec::new();
 //! let page = PageRef::new(PageId::new(0), Bytes::new(9_000), 3.0);
-//! assert!(cache.access(&page).is_miss());
-//! assert!(cache.access(&page).is_hit());
+//! assert!(cache.access(&page, &mut evicted).is_miss());
+//! assert!(cache.access(&page, &mut evicted).is_hit());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -30,11 +35,14 @@
 
 mod classic;
 mod engine;
+mod keyheap;
+mod layout;
 mod policy;
 mod store;
-mod vindex;
 
 pub use classic::{GdStar, Gds, LfuDa, Lru};
 pub use engine::GreedyDualEngine;
+pub use keyheap::{HeapSlot, KeyHeap};
+pub use layout::{Layout, PageTable};
 pub use policy::{AccessOutcome, CachePolicy, PageRef};
 pub use store::{CacheStore, StoredPage};

@@ -33,16 +33,20 @@ impl PageRef {
 }
 
 /// What happened when a page was accessed through a cache.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Evicted pages are reported through the caller-provided scratch buffer
+/// of the operation that produced the outcome (see
+/// [`CachePolicy::access`]), not carried here — keeping the outcome a
+/// plain enum is what lets the replay hot loop run without heap
+/// allocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessOutcome {
     /// The page was served from the cache.
     Hit,
     /// The page was fetched from the publisher and admitted to the cache,
-    /// evicting the listed pages (possibly none).
-    MissAdmitted {
-        /// Pages evicted to make room.
-        evicted: Vec<PageId>,
-    },
+    /// evicting the pages listed in the operation's scratch buffer
+    /// (possibly none).
+    MissAdmitted,
     /// The page was fetched and forwarded to the user without caching it
     /// (too large, or not valuable enough under the policy).
     MissBypassed,
@@ -71,8 +75,11 @@ pub trait CachePolicy: fmt::Debug {
     fn name(&self) -> &'static str;
 
     /// Records an access to `page`, updating cache state and (on a miss)
-    /// performing placement/replacement.
-    fn access(&mut self, page: &PageRef) -> AccessOutcome;
+    /// performing placement/replacement. `evicted` is a caller-owned
+    /// scratch buffer: it is cleared on entry and holds the evicted pages
+    /// on return (empty unless the outcome is
+    /// [`AccessOutcome::MissAdmitted`]).
+    fn access(&mut self, page: &PageRef, evicted: &mut Vec<PageId>) -> AccessOutcome;
 
     /// `true` if the page is currently cached.
     fn contains(&self, page: PageId) -> bool;
@@ -105,7 +112,7 @@ mod tests {
     fn outcome_predicates() {
         assert!(AccessOutcome::Hit.is_hit());
         assert!(!AccessOutcome::Hit.is_miss());
-        assert!(AccessOutcome::MissAdmitted { evicted: vec![] }.is_miss());
+        assert!(AccessOutcome::MissAdmitted.is_miss());
         assert!(AccessOutcome::MissBypassed.is_miss());
     }
 

@@ -1,11 +1,11 @@
 //! Byte-capacity cache store with value-ordered eviction.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 use pscd_types::{Bytes, PageId};
 
-use crate::vindex::ValueIndex;
+use crate::keyheap::{HeapSlot, KeyHeap};
+use crate::layout::Layout;
 
 /// One cached page with its current value under the owning policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -18,46 +18,64 @@ pub struct StoredPage {
     pub value: f64,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    size: Bytes,
-    value: f64,
-    /// Bumped every time the value changes, to invalidate stale heap items.
-    stamp: u64,
+/// Sentinel heap position marking an absent dense slot.
+const NO_POS: u32 = u32::MAX;
+
+/// The page → heap-position table: hash-addressed or direct-indexed by
+/// page ordinal (see [`Layout`]). All per-page state (value, stamp,
+/// size) lives in the heap slot the position points at, so this table is
+/// 4 bytes per tracked page and the dense form's construction cost is one
+/// `u32` fill over the page universe.
+#[derive(Debug, Clone)]
+enum Backing {
+    Sparse(HashMap<PageId, u32>),
+    Dense(Vec<u32>),
 }
 
-/// Max-heap item ordered so that `pop` yields the *smallest* value first,
-/// breaking ties by insertion order (oldest first).
-#[derive(Debug, Clone, Copy)]
-struct HeapItem {
-    value: f64,
-    stamp: u64,
-    page: PageId,
-}
-
-impl PartialEq for HeapItem {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
+impl Backing {
+    #[inline]
+    fn get(&self, page: PageId) -> Option<u32> {
+        match self {
+            Backing::Sparse(map) => map.get(&page).copied(),
+            Backing::Dense(vec) => vec.get(page.as_usize()).copied().filter(|&p| p != NO_POS),
+        }
     }
-}
 
-impl Eq for HeapItem {}
-
-impl PartialOrd for HeapItem {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+    /// Registers a fresh page; the page must not be live.
+    #[inline]
+    fn insert(&mut self, page: PageId, pos: u32) {
+        match self {
+            Backing::Sparse(map) => {
+                map.insert(page, pos);
+            }
+            Backing::Dense(vec) => vec[page.as_usize()] = pos,
+        }
     }
-}
 
-impl Ord for HeapItem {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want min-value at the top.
-        other
-            .value
-            .partial_cmp(&self.value)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.stamp.cmp(&self.stamp))
-            .then_with(|| other.page.cmp(&self.page))
+    #[inline]
+    fn remove(&mut self, page: PageId) -> Option<u32> {
+        match self {
+            Backing::Sparse(map) => map.remove(&page),
+            Backing::Dense(vec) => {
+                let slot = vec.get_mut(page.as_usize())?;
+                if *slot == NO_POS {
+                    None
+                } else {
+                    Some(std::mem::replace(slot, NO_POS))
+                }
+            }
+        }
+    }
+
+    /// Heap-position writeback target for [`KeyHeap`] mutations.
+    #[inline]
+    fn set_pos(&mut self, page: PageId, pos: u32) {
+        match self {
+            Backing::Sparse(map) => {
+                *map.get_mut(&page).expect("tracked page is live") = pos;
+            }
+            Backing::Dense(vec) => vec[page.as_usize()] = pos,
+        }
     }
 }
 
@@ -67,11 +85,19 @@ impl Ord for HeapItem {
 ///
 /// This is the substrate under every replacement policy in `pscd`: the
 /// policy decides the values, the store tracks bytes and keeps the
-/// min-value order (with a lazy-deletion heap, so value updates are
-/// `O(log n)`). A value-ordered byte-prefix index rides along so the
-/// push-time placement question — [`candidate_size_below`]
-/// (CacheStore::candidate_size_below) — is `O(log n)` too instead of a
-/// full scan.
+/// min-value order in an eager index-addressable heap ([`KeyHeap`]), so
+/// updates are `O(log n)` with no stale-entry churn and
+/// [`peek_min`](CacheStore::peek_min) is a `&self` read. The heap slots
+/// *are* the entries — the page table only maps pages to heap positions —
+/// so the live population sits in one compact array and the push-time
+/// placement question, [`candidate_size_below`](CacheStore::candidate_size_below),
+/// is answered by a pruned walk of that array with zero bookkeeping on
+/// the mutation paths.
+///
+/// Two page-table layouts exist (see [`Layout`]): the hash-addressed
+/// default, and a dense direct-indexed form for replays over a compiled
+/// trace whose page ids are ordinals `0..page_count`. The dense form
+/// preallocates everything at construction and never allocates again.
 ///
 /// # Examples
 ///
@@ -87,29 +113,53 @@ impl Ord for HeapItem {
 /// assert_eq!(evicted.page, PageId::new(1));
 /// assert_eq!(store.free(), Bytes::new(60));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CacheStore {
     capacity: Bytes,
     used: Bytes,
-    entries: HashMap<PageId, Entry>,
-    heap: BinaryHeap<HeapItem>,
-    /// Mirrors the live entries, ordered by `(value, stamp)` with subtree
-    /// byte sums, for sublinear strict-prefix queries.
-    index: ValueIndex,
+    positions: Backing,
+    heap: KeyHeap,
     next_stamp: u64,
 }
 
+impl Default for CacheStore {
+    fn default() -> Self {
+        Self::new(Bytes::ZERO)
+    }
+}
+
 impl CacheStore {
-    /// Creates an empty store with the given byte capacity.
+    /// Creates an empty hash-addressed store with the given byte capacity.
     pub fn new(capacity: Bytes) -> Self {
+        Self::with_layout(capacity, Layout::Sparse)
+    }
+
+    /// Creates an empty store with the given byte capacity and layout.
+    ///
+    /// A [`Layout::Dense`] store may only ever hold pages with ordinals
+    /// in `0..page_count`; inserting outside that universe panics. All
+    /// internal structures are preallocated to the universe size, so no
+    /// later operation allocates.
+    pub fn with_layout(capacity: Bytes, layout: Layout) -> Self {
+        let (positions, heap) = match layout {
+            Layout::Sparse => (Backing::Sparse(HashMap::new()), KeyHeap::new()),
+            Layout::Dense { page_count } => (
+                Backing::Dense(vec![NO_POS; page_count]),
+                KeyHeap::with_capacity(page_count),
+            ),
+        };
         Self {
             capacity,
             used: Bytes::ZERO,
-            entries: HashMap::new(),
-            heap: BinaryHeap::new(),
-            index: ValueIndex::default(),
+            positions,
+            heap,
             next_stamp: 0,
         }
+    }
+
+    /// Shorthand for a [`Layout::Dense`] store over `page_count` ordinals.
+    pub fn dense(capacity: Bytes, page_count: usize) -> Self {
+        Self::with_layout(capacity, Layout::Dense { page_count })
     }
 
     /// Total capacity in bytes.
@@ -133,29 +183,37 @@ impl CacheStore {
     /// Number of cached pages.
     #[inline]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.heap.len()
     }
 
     /// `true` if nothing is cached.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.heap.is_empty()
     }
 
     /// `true` if `page` is cached.
     #[inline]
     pub fn contains(&self, page: PageId) -> bool {
-        self.entries.contains_key(&page)
+        self.positions.get(page).is_some()
+    }
+
+    /// The live heap slot of a cached page.
+    #[inline]
+    fn slot(&self, page: PageId) -> Option<&HeapSlot> {
+        self.positions
+            .get(page)
+            .map(|pos| &self.heap.slots()[pos as usize])
     }
 
     /// The current value of a cached page.
     pub fn value(&self, page: PageId) -> Option<f64> {
-        self.entries.get(&page).map(|e| e.value)
+        self.slot(page).map(|s| s.value)
     }
 
     /// The size of a cached page.
     pub fn size(&self, page: PageId) -> Option<Bytes> {
-        self.entries.get(&page).map(|e| e.size)
+        self.slot(page).map(|s| s.size)
     }
 
     /// Inserts a page with an initial value. Replaces (and re-sizes) the
@@ -167,19 +225,28 @@ impl CacheStore {
     ///
     /// # Panics
     ///
-    /// Panics if `value` is NaN.
+    /// Panics if `value` is NaN, or if the store is [`Layout::Dense`] and
+    /// `page` lies outside its ordinal universe.
     pub fn insert(&mut self, page: PageId, size: Bytes, value: f64) {
         assert!(!value.is_nan(), "page value must not be NaN");
         debug_assert!(size <= self.capacity, "page larger than the whole cache");
-        if let Some(old) = self.entries.remove(&page) {
-            self.used -= old.size;
-            self.index.remove(old.value, old.stamp);
-        }
+        self.detach(page);
         let stamp = self.bump();
-        self.entries.insert(page, Entry { size, value, stamp });
+        let Self {
+            positions, heap, ..
+        } = self;
+        // Position 0 is a placeholder; the push writeback corrects it.
+        positions.insert(page, 0);
+        heap.push(
+            HeapSlot {
+                value,
+                stamp,
+                page,
+                size,
+            },
+            &mut |p, pos| positions.set_pos(p, pos),
+        );
         self.used += size;
-        self.heap.push(HeapItem { value, stamp, page });
-        self.index.insert(value, stamp, size.as_u64());
     }
 
     /// Updates the value of a cached page. Returns `false` if absent.
@@ -192,83 +259,81 @@ impl CacheStore {
         // Look up before bumping: a miss must not burn a stamp (stamps
         // order eviction ties, so phantom bumps would shift tie-breaks
         // between otherwise identical histories).
-        let Some(&old) = self.entries.get(&page) else {
+        let Some(pos) = self.positions.get(page) else {
             return false;
         };
         let stamp = self.bump();
-        let entry = self
-            .entries
-            .get_mut(&page)
-            .expect("present: looked up above");
-        entry.value = value;
-        entry.stamp = stamp;
-        self.heap.push(HeapItem { value, stamp, page });
-        self.index.remove(old.value, old.stamp);
-        self.index.insert(value, stamp, old.size.as_u64());
+        let Self {
+            positions, heap, ..
+        } = self;
+        heap.update(pos, value, stamp, &mut |p, pos| positions.set_pos(p, pos));
         true
     }
 
     /// Removes a page, returning its record if present.
     pub fn remove(&mut self, page: PageId) -> Option<StoredPage> {
-        let entry = self.entries.remove(&page)?;
-        self.used -= entry.size;
-        self.index.remove(entry.value, entry.stamp);
-        Some(StoredPage {
+        self.detach(page).map(|slot| StoredPage {
             page,
-            size: entry.size,
-            value: entry.value,
+            size: slot.size,
+            value: slot.value,
         })
     }
 
     /// The least valuable page without removing it.
-    pub fn peek_min(&mut self) -> Option<StoredPage> {
-        self.skim();
-        self.heap.peek().map(|item| {
-            let entry = &self.entries[&item.page];
-            StoredPage {
-                page: item.page,
-                size: entry.size,
-                value: entry.value,
-            }
+    pub fn peek_min(&self) -> Option<StoredPage> {
+        self.heap.peek().map(|slot| StoredPage {
+            page: slot.page,
+            size: slot.size,
+            value: slot.value,
         })
     }
 
     /// Removes and returns the least valuable page.
     pub fn pop_min(&mut self) -> Option<StoredPage> {
-        self.skim();
-        let item = self.heap.pop()?;
-        self.remove(item.page)
+        let page = self.heap.peek()?.page;
+        self.remove(page)
     }
 
     /// Total size of cached pages whose value is strictly below `value` —
     /// the *candidate pages* of the paper's push-time placement (§3.2).
     ///
-    /// Answered from the byte-prefix index in `O(log n)`; this runs on
-    /// every push-time admission attempt at every matched proxy, so a
-    /// scan here dominated publish cost on large caches.
+    /// Answered by one branch-predictable sweep of the heap's compact
+    /// slot array, with *no* auxiliary index to maintain on the
+    /// insert/update/evict paths. The live population is small (tens of
+    /// pages at the paper's capacities) and sits in one contiguous
+    /// array, so the sweep is cheaper than any pointer-hopping index —
+    /// and byte sizes sum in `u64`, so visit order cannot perturb the
+    /// answer: it is bit-identical by construction.
     pub fn candidate_size_below(&self, value: f64) -> Bytes {
-        Bytes::new(self.index.sum_below(value))
+        let total: u64 = self
+            .heap
+            .slots()
+            .iter()
+            .filter(|slot| slot.value < value)
+            .map(|slot| slot.size.as_u64())
+            .sum();
+        Bytes::new(total)
     }
 
-    /// Iterates over all cached pages (arbitrary order).
+    /// Iterates over all cached pages (arbitrary order). Cost is
+    /// proportional to the live population in both layouts.
     pub fn iter(&self) -> impl Iterator<Item = StoredPage> + '_ {
-        self.entries.iter().map(|(&page, e)| StoredPage {
-            page,
-            size: e.size,
-            value: e.value,
+        self.heap.slots().iter().map(|slot| StoredPage {
+            page: slot.page,
+            size: slot.size,
+            value: slot.value,
         })
     }
 
-    /// Drops stale heap items (lazy deletion).
-    fn skim(&mut self) {
-        while let Some(top) = self.heap.peek() {
-            match self.entries.get(&top.page) {
-                Some(e) if e.stamp == top.stamp => return,
-                _ => {
-                    self.heap.pop();
-                }
-            }
-        }
+    /// Unlinks a live entry from both structures, returning its slot.
+    fn detach(&mut self, page: PageId) -> Option<HeapSlot> {
+        let pos = self.positions.remove(page)?;
+        let Self {
+            positions, heap, ..
+        } = self;
+        let slot = heap.remove(pos, &mut |p, pos| positions.set_pos(p, pos));
+        self.used -= slot.size;
+        Some(slot)
     }
 
     fn bump(&mut self) -> u64 {
@@ -286,113 +351,131 @@ mod tests {
         PageId::new(i)
     }
 
+    /// Every store test runs against both layouts.
+    fn both(capacity: u64) -> [CacheStore; 2] {
+        [
+            CacheStore::new(Bytes::new(capacity)),
+            CacheStore::dense(Bytes::new(capacity), 64),
+        ]
+    }
+
     #[test]
     fn insert_and_accounting() {
-        let mut s = CacheStore::new(Bytes::new(100));
-        assert!(s.is_empty());
-        s.insert(page(1), Bytes::new(30), 1.0);
-        s.insert(page(2), Bytes::new(20), 2.0);
-        assert_eq!(s.len(), 2);
-        assert_eq!(s.used(), Bytes::new(50));
-        assert_eq!(s.free(), Bytes::new(50));
-        assert!(s.contains(page(1)));
-        assert_eq!(s.value(page(1)), Some(1.0));
-        assert_eq!(s.size(page(2)), Some(Bytes::new(20)));
-        assert_eq!(s.value(page(9)), None);
+        for mut s in both(100) {
+            assert!(s.is_empty());
+            s.insert(page(1), Bytes::new(30), 1.0);
+            s.insert(page(2), Bytes::new(20), 2.0);
+            assert_eq!(s.len(), 2);
+            assert_eq!(s.used(), Bytes::new(50));
+            assert_eq!(s.free(), Bytes::new(50));
+            assert!(s.contains(page(1)));
+            assert_eq!(s.value(page(1)), Some(1.0));
+            assert_eq!(s.size(page(2)), Some(Bytes::new(20)));
+            assert_eq!(s.value(page(9)), None);
+        }
     }
 
     #[test]
     fn reinsert_replaces() {
-        let mut s = CacheStore::new(Bytes::new(100));
-        s.insert(page(1), Bytes::new(30), 1.0);
-        s.insert(page(1), Bytes::new(50), 9.0);
-        assert_eq!(s.len(), 1);
-        assert_eq!(s.used(), Bytes::new(50));
-        assert_eq!(s.value(page(1)), Some(9.0));
+        for mut s in both(100) {
+            s.insert(page(1), Bytes::new(30), 1.0);
+            s.insert(page(1), Bytes::new(50), 9.0);
+            assert_eq!(s.len(), 1);
+            assert_eq!(s.used(), Bytes::new(50));
+            assert_eq!(s.value(page(1)), Some(9.0));
+        }
     }
 
     #[test]
     fn pop_min_orders_by_value() {
-        let mut s = CacheStore::new(Bytes::new(100));
-        s.insert(page(1), Bytes::new(10), 3.0);
-        s.insert(page(2), Bytes::new(10), 1.0);
-        s.insert(page(3), Bytes::new(10), 2.0);
-        assert_eq!(s.pop_min().unwrap().page, page(2));
-        assert_eq!(s.pop_min().unwrap().page, page(3));
-        assert_eq!(s.pop_min().unwrap().page, page(1));
-        assert!(s.pop_min().is_none());
-        assert!(s.used().is_zero());
+        for mut s in both(100) {
+            s.insert(page(1), Bytes::new(10), 3.0);
+            s.insert(page(2), Bytes::new(10), 1.0);
+            s.insert(page(3), Bytes::new(10), 2.0);
+            assert_eq!(s.pop_min().unwrap().page, page(2));
+            assert_eq!(s.pop_min().unwrap().page, page(3));
+            assert_eq!(s.pop_min().unwrap().page, page(1));
+            assert!(s.pop_min().is_none());
+            assert!(s.used().is_zero());
+        }
     }
 
     #[test]
     fn equal_values_pop_oldest_first() {
-        let mut s = CacheStore::new(Bytes::new(100));
-        s.insert(page(1), Bytes::new(10), 1.0);
-        s.insert(page(2), Bytes::new(10), 1.0);
-        assert_eq!(s.pop_min().unwrap().page, page(1));
+        for mut s in both(100) {
+            s.insert(page(1), Bytes::new(10), 1.0);
+            s.insert(page(2), Bytes::new(10), 1.0);
+            assert_eq!(s.pop_min().unwrap().page, page(1));
+        }
         // Re-valuing refreshes recency: page 3 older stamp than re-valued 2.
-        let mut s = CacheStore::new(Bytes::new(100));
-        s.insert(page(2), Bytes::new(10), 1.0);
-        s.insert(page(3), Bytes::new(10), 1.0);
-        s.update_value(page(2), 1.0);
-        assert_eq!(s.pop_min().unwrap().page, page(3));
+        for mut s in both(100) {
+            s.insert(page(2), Bytes::new(10), 1.0);
+            s.insert(page(3), Bytes::new(10), 1.0);
+            s.update_value(page(2), 1.0);
+            assert_eq!(s.pop_min().unwrap().page, page(3));
+        }
     }
 
     #[test]
     fn update_value_reorders() {
-        let mut s = CacheStore::new(Bytes::new(100));
-        s.insert(page(1), Bytes::new(10), 1.0);
-        s.insert(page(2), Bytes::new(10), 2.0);
-        assert!(s.update_value(page(1), 5.0));
-        assert_eq!(s.peek_min().unwrap().page, page(2));
-        assert_eq!(s.pop_min().unwrap().page, page(2));
-        assert!(!s.update_value(page(9), 1.0));
+        for mut s in both(100) {
+            s.insert(page(1), Bytes::new(10), 1.0);
+            s.insert(page(2), Bytes::new(10), 2.0);
+            assert!(s.update_value(page(1), 5.0));
+            assert_eq!(s.peek_min().unwrap().page, page(2));
+            assert_eq!(s.pop_min().unwrap().page, page(2));
+            assert!(!s.update_value(page(9), 1.0));
+        }
     }
 
     #[test]
-    fn remove_then_pop_skips_stale() {
-        let mut s = CacheStore::new(Bytes::new(100));
-        s.insert(page(1), Bytes::new(10), 1.0);
-        s.insert(page(2), Bytes::new(10), 2.0);
-        assert_eq!(s.remove(page(1)).unwrap().size, Bytes::new(10));
-        assert_eq!(s.pop_min().unwrap().page, page(2));
-        assert!(s.remove(page(1)).is_none());
+    fn remove_then_pop_skips_removed() {
+        for mut s in both(100) {
+            s.insert(page(1), Bytes::new(10), 1.0);
+            s.insert(page(2), Bytes::new(10), 2.0);
+            assert_eq!(s.remove(page(1)).unwrap().size, Bytes::new(10));
+            assert_eq!(s.pop_min().unwrap().page, page(2));
+            assert!(s.remove(page(1)).is_none());
+        }
     }
 
     #[test]
     fn candidate_size_below_counts_strictly() {
-        let mut s = CacheStore::new(Bytes::new(100));
-        s.insert(page(1), Bytes::new(10), 1.0);
-        s.insert(page(2), Bytes::new(20), 2.0);
-        s.insert(page(3), Bytes::new(30), 3.0);
-        assert_eq!(s.candidate_size_below(3.0), Bytes::new(30));
-        assert_eq!(s.candidate_size_below(3.1), Bytes::new(60));
-        assert_eq!(s.candidate_size_below(1.0), Bytes::ZERO);
+        for mut s in both(100) {
+            s.insert(page(1), Bytes::new(10), 1.0);
+            s.insert(page(2), Bytes::new(20), 2.0);
+            s.insert(page(3), Bytes::new(30), 3.0);
+            assert_eq!(s.candidate_size_below(3.0), Bytes::new(30));
+            assert_eq!(s.candidate_size_below(3.1), Bytes::new(60));
+            assert_eq!(s.candidate_size_below(1.0), Bytes::ZERO);
+        }
     }
 
     #[test]
     fn iter_sees_all() {
-        let mut s = CacheStore::new(Bytes::new(100));
-        s.insert(page(1), Bytes::new(10), 1.0);
-        s.insert(page(2), Bytes::new(20), 2.0);
-        let mut pages: Vec<u32> = s.iter().map(|p| p.page.index()).collect();
-        pages.sort_unstable();
-        assert_eq!(pages, [1, 2]);
+        for mut s in both(100) {
+            s.insert(page(1), Bytes::new(10), 1.0);
+            s.insert(page(2), Bytes::new(20), 2.0);
+            let mut pages: Vec<u32> = s.iter().map(|p| p.page.index()).collect();
+            pages.sort_unstable();
+            assert_eq!(pages, [1, 2]);
+        }
     }
 
     #[test]
     fn many_updates_stay_consistent() {
-        let mut s = CacheStore::new(Bytes::new(1_000));
-        for i in 0..50 {
-            s.insert(page(i), Bytes::new(10), i as f64);
+        for mut s in both(1_000) {
+            for i in 0..50 {
+                s.insert(page(i), Bytes::new(10), i as f64);
+            }
+            for i in 0..50 {
+                s.update_value(page(i), (50 - i) as f64);
+            }
+            // Min should now be the page with value 1 (i = 49).
+            assert_eq!(s.peek_min().unwrap().page, page(49));
+            assert_eq!(s.len(), 50);
+            assert_eq!(s.used(), Bytes::new(500));
         }
-        for i in 0..50 {
-            s.update_value(page(i), (50 - i) as f64);
-        }
-        // Min should now be the page with value 1 (i = 49).
-        assert_eq!(s.peek_min().unwrap().page, page(49));
-        assert_eq!(s.len(), 50);
-        assert_eq!(s.used(), Bytes::new(500));
     }
 
     #[test]
@@ -403,21 +486,28 @@ mod tests {
     }
 
     #[test]
+    #[should_panic]
+    fn dense_rejects_out_of_universe_inserts() {
+        let mut s = CacheStore::dense(Bytes::new(100), 4);
+        s.insert(page(4), Bytes::new(10), 1.0);
+    }
+
+    #[test]
     fn missed_update_burns_no_stamp() {
         // Regression: update_value on an absent page used to bump the
         // stamp counter, silently shifting later eviction tie-breaks.
-        let mut s = CacheStore::new(Bytes::new(100));
-        s.insert(page(1), Bytes::new(10), 1.0);
-        assert!(!s.update_value(page(9), 5.0));
-        // If the miss had burned a stamp, page 2 would now carry stamp 2
-        // and the tie-break below would be unaffected — so instead compare
-        // against a store that never saw the miss.
-        s.insert(page(2), Bytes::new(10), 1.0);
-        let mut clean = CacheStore::new(Bytes::new(100));
-        clean.insert(page(1), Bytes::new(10), 1.0);
-        clean.insert(page(2), Bytes::new(10), 1.0);
-        assert_eq!(s.pop_min().unwrap().page, clean.pop_min().unwrap().page);
-        assert_eq!(s.pop_min().unwrap().page, clean.pop_min().unwrap().page);
+        for [mut s, mut clean] in [both(100), both(100)] {
+            s.insert(page(1), Bytes::new(10), 1.0);
+            assert!(!s.update_value(page(9), 5.0));
+            // If the miss had burned a stamp, page 2 would now carry stamp 2
+            // and the tie-break below would be unaffected — so instead compare
+            // against a store that never saw the miss.
+            s.insert(page(2), Bytes::new(10), 1.0);
+            clean.insert(page(1), Bytes::new(10), 1.0);
+            clean.insert(page(2), Bytes::new(10), 1.0);
+            assert_eq!(s.pop_min().unwrap().page, clean.pop_min().unwrap().page);
+            assert_eq!(s.pop_min().unwrap().page, clean.pop_min().unwrap().page);
+        }
     }
 
     #[test]
@@ -427,38 +517,83 @@ mod tests {
         let scan = |s: &CacheStore, v: f64| -> Bytes {
             s.iter().filter(|p| p.value < v).map(|p| p.size).sum()
         };
-        let mut s = CacheStore::new(Bytes::new(10_000));
-        let mut x = 0x9e37_79b9u64;
+        for mut s in both(10_000) {
+            let mut x = 0x9e37_79b9u64;
+            let mut rng = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            for step in 0..1_500u64 {
+                match rng() % 4 {
+                    0 | 1 => {
+                        let p = page((rng() % 60) as u32);
+                        let size = Bytes::new(rng() % 50 + 1);
+                        let value = ((rng() % 24) as f64) / 8.0;
+                        s.insert(p, size, value);
+                    }
+                    2 => {
+                        let p = page((rng() % 60) as u32);
+                        let value = ((rng() % 24) as f64) / 8.0;
+                        s.update_value(p, value);
+                    }
+                    _ => {
+                        s.pop_min();
+                    }
+                }
+                let q = ((rng() % 32) as f64) / 8.0;
+                assert_eq!(s.candidate_size_below(q), scan(&s, q), "step {step}");
+            }
+            assert_eq!(
+                s.candidate_size_below(f64::INFINITY),
+                s.used(),
+                "everything is below +inf"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_pop_identically_under_churn() {
+        // Same operation stream, both layouts: every pop must agree.
+        let mut sparse = CacheStore::new(Bytes::new(10_000));
+        let mut dense = CacheStore::dense(Bytes::new(10_000), 60);
+        let mut x = 0x5bd1_e995u64;
         let mut rng = move || {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
             x
         };
-        for step in 0..1_500u64 {
-            match rng() % 4 {
+        for _ in 0..3_000u64 {
+            match rng() % 5 {
                 0 | 1 => {
                     let p = page((rng() % 60) as u32);
                     let size = Bytes::new(rng() % 50 + 1);
                     let value = ((rng() % 24) as f64) / 8.0;
-                    s.insert(p, size, value);
+                    sparse.insert(p, size, value);
+                    dense.insert(p, size, value);
                 }
                 2 => {
                     let p = page((rng() % 60) as u32);
                     let value = ((rng() % 24) as f64) / 8.0;
-                    s.update_value(p, value);
+                    assert_eq!(sparse.update_value(p, value), dense.update_value(p, value));
+                }
+                3 => {
+                    let p = page((rng() % 60) as u32);
+                    assert_eq!(sparse.remove(p), dense.remove(p));
                 }
                 _ => {
-                    s.pop_min();
+                    assert_eq!(sparse.peek_min(), dense.peek_min());
+                    assert_eq!(sparse.pop_min(), dense.pop_min());
                 }
             }
-            let q = ((rng() % 32) as f64) / 8.0;
-            assert_eq!(s.candidate_size_below(q), scan(&s, q), "step {step}");
+            assert_eq!(sparse.used(), dense.used());
+            assert_eq!(sparse.len(), dense.len());
         }
-        assert_eq!(
-            s.candidate_size_below(f64::INFINITY),
-            s.used(),
-            "everything is below +inf"
-        );
+        while let Some(got) = sparse.pop_min() {
+            assert_eq!(Some(got), dense.pop_min());
+        }
+        assert!(dense.pop_min().is_none());
     }
 }

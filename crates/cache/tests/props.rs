@@ -5,7 +5,8 @@ use std::collections::HashMap;
 
 use proptest::prelude::*;
 
-use pscd_cache::{AccessOutcome, CachePolicy, GdStar, PageRef};
+use pscd_cache::{AccessOutcome, CachePolicy, GdStar, Layout, PageRef};
+use pscd_obs::ObsHandle;
 use pscd_types::{Bytes, PageId};
 
 /// Naive reference GD\*: linear scans instead of heaps, literally
@@ -83,7 +84,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     /// Same hits, same cache contents, same byte usage — on arbitrary
-    /// access streams.
+    /// access streams, in both sparse and dense layouts.
     #[test]
     fn engine_matches_reference_gdstar(
         accesses in proptest::collection::vec(0u32..30, 1..300),
@@ -91,23 +92,38 @@ proptest! {
         beta in proptest::sample::select(vec![0.5f64, 1.0, 2.0]),
     ) {
         let mut real = GdStar::new(Bytes::new(capacity), beta);
+        let mut dense = GdStar::with_layout(
+            Bytes::new(capacity),
+            beta,
+            Layout::Dense { page_count: 30 },
+            ObsHandle::disabled(),
+        );
         let mut reference = ReferenceGdStar::new(capacity, beta);
+        let mut scratch = Vec::new();
+        let mut dense_scratch = Vec::new();
         for &page in &accesses {
             let (size, cost) = page_params(page);
             let expected_hit = reference.access(page, size, cost);
-            let outcome = real.access(&PageRef::new(PageId::new(page), Bytes::new(size), cost));
+            let pref = PageRef::new(PageId::new(page), Bytes::new(size), cost);
+            let outcome = real.access(&pref, &mut scratch);
+            let dense_outcome = dense.access(&pref, &mut dense_scratch);
             prop_assert_eq!(
                 outcome.is_hit(),
                 expected_hit,
                 "divergence at page {} (size {}, cost {})",
                 page, size, cost
             );
+            prop_assert_eq!(outcome, dense_outcome);
+            prop_assert_eq!(&scratch, &dense_scratch);
         }
         // Final state agrees exactly.
         prop_assert_eq!(real.used().as_u64(), reference.used);
         prop_assert_eq!(real.len(), reference.pages.len());
+        prop_assert_eq!(dense.used(), real.used());
+        prop_assert_eq!(dense.len(), real.len());
         for (&page, &(..)) in &reference.pages {
             prop_assert!(real.contains(PageId::new(page)), "missing page {page}");
+            prop_assert!(dense.contains(PageId::new(page)), "dense missing page {page}");
         }
     }
 
@@ -119,11 +135,12 @@ proptest! {
         capacity in 100u64..1000,
     ) {
         let mut cache = GdStar::new(Bytes::new(capacity), 2.0);
+        let mut evicted = Vec::new();
         for &page in &accesses {
             let (size, cost) = page_params(page);
             let before = cache.used();
-            match cache.access(&PageRef::new(PageId::new(page), Bytes::new(size), cost)) {
-                AccessOutcome::MissAdmitted { evicted } => {
+            match cache.access(&PageRef::new(PageId::new(page), Bytes::new(size), cost), &mut evicted) {
+                AccessOutcome::MissAdmitted => {
                     prop_assert!(!evicted.contains(&PageId::new(page)));
                     for victim in &evicted {
                         prop_assert!(!cache.contains(*victim));

@@ -19,10 +19,11 @@ use crate::{PushOutcome, Strategy, StrategyClass};
 /// let mut s = AccessOnly::new(GdStar::new(Bytes::from_kib(4), 2.0));
 /// assert_eq!(s.class(), StrategyClass::AccessTime);
 /// let page = PageRef::new(PageId::new(0), Bytes::new(100), 1.0);
+/// let mut evicted = Vec::new();
 /// // Pushes are declined: there is no push module.
-/// assert!(!s.on_push(&page, 10).is_stored());
-/// assert!(s.on_access(&page, 0).is_miss());
-/// assert!(s.on_access(&page, 0).is_hit());
+/// assert!(!s.on_push(&page, 10, &mut evicted).is_stored());
+/// assert!(s.on_access(&page, 0, &mut evicted).is_miss());
+/// assert!(s.on_access(&page, 0, &mut evicted).is_hit());
 /// ```
 #[derive(Debug)]
 pub struct AccessOnly<P> {
@@ -55,7 +56,8 @@ impl<P: CachePolicy> Strategy for AccessOnly<P> {
         StrategyClass::AccessTime
     }
 
-    fn on_push(&mut self, _page: &PageRef, _subs: u32) -> PushOutcome {
+    fn on_push(&mut self, _page: &PageRef, _subs: u32, evicted: &mut Vec<PageId>) -> PushOutcome {
+        evicted.clear();
         PushOutcome::Declined
     }
 
@@ -63,8 +65,13 @@ impl<P: CachePolicy> Strategy for AccessOnly<P> {
         false
     }
 
-    fn on_access(&mut self, page: &PageRef, _subs: u32) -> AccessOutcome {
-        self.policy.access(page)
+    fn on_access(
+        &mut self,
+        page: &PageRef,
+        _subs: u32,
+        evicted: &mut Vec<PageId>,
+    ) -> AccessOutcome {
+        self.policy.access(page, evicted)
     }
 
     fn contains(&self, page: PageId) -> bool {
@@ -99,8 +106,9 @@ mod tests {
 
     #[test]
     fn pushes_never_store() {
+        let mut ev = Vec::new();
         let mut s = AccessOnly::new(Lru::new(Bytes::new(100)));
-        assert_eq!(s.on_push(&page(1, 10), 100), PushOutcome::Declined);
+        assert_eq!(s.on_push(&page(1, 10), 100, &mut ev), PushOutcome::Declined);
         assert!(!s.would_store(&page(1, 10), 100));
         assert!(!s.uses_push());
         assert_eq!(s.len(), 0);
@@ -108,10 +116,11 @@ mod tests {
 
     #[test]
     fn accesses_delegate() {
+        let mut ev = Vec::new();
         let mut s = AccessOnly::new(Lru::new(Bytes::new(100)));
-        assert!(s.on_access(&page(1, 10), 0).is_miss());
+        assert!(s.on_access(&page(1, 10), 0, &mut ev).is_miss());
         assert!(s.contains(PageId::new(1)));
-        assert!(s.on_access(&page(1, 10), 0).is_hit());
+        assert!(s.on_access(&page(1, 10), 0, &mut ev).is_hit());
         assert_eq!(s.used(), Bytes::new(10));
         assert_eq!(s.capacity(), Bytes::new(100));
         assert_eq!(s.name(), "LRU");

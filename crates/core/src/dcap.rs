@@ -1,12 +1,13 @@
 //! DC-AP and DC-LAP: dual caches with (limited) adaptive partition (§3.3).
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
-use pscd_cache::{AccessOutcome, PageRef};
+use pscd_cache::{AccessOutcome, Layout, PageRef};
 use pscd_obs::{AdmitOrigin, EvictReason, NullObserver, ObsHandle, Observer, RelabelDirection};
 use pscd_types::{Bytes, PageId};
 
+use crate::table::EntryTable;
 use crate::{PushOutcome, Strategy, StrategyClass};
 
 /// Which portion of the storage a page's bytes are labeled as.
@@ -75,6 +76,11 @@ impl Ord for HeapItem {
 /// DC-LAP additionally bounds the PC fraction of the storage (paper: 25% to
 /// 75%); a re-partition that would violate the bounds is skipped, falling
 /// back to DC-FP behaviour for that operation.
+///
+/// Because a page's value is refreshed on every access, the two eviction
+/// orders are maintained as lazy-deletion heaps even in dense layout;
+/// DC-AP/DC-LAP are therefore *amortized* allocation-free, not strictly so
+/// (see DESIGN.md §12).
 #[derive(Debug)]
 pub struct DcAdaptive<O: Observer = NullObserver> {
     capacity: Bytes,
@@ -82,7 +88,7 @@ pub struct DcAdaptive<O: Observer = NullObserver> {
     pc_alloc: Bytes,
     used_pc: Bytes,
     used_ac: Bytes,
-    entries: HashMap<PageId, Entry>,
+    entries: EntryTable<Entry>,
     pc_heap: BinaryHeap<HeapItem>,
     ac_heap: BinaryHeap<HeapItem>,
     /// GD\* inflation of the AC module.
@@ -166,12 +172,51 @@ impl<O: Observer> DcAdaptive<O> {
         Self::with_bounds(capacity, beta, lo, hi, "DC-LAP", obs)
     }
 
+    /// [`ap`](DcAdaptive::ap) with an explicit state [`Layout`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta` is positive and finite.
+    pub fn ap_with_layout(capacity: Bytes, beta: f64, layout: Layout, obs: ObsHandle<O>) -> Self {
+        Self::with_bounds_layout(capacity, beta, 0.0, 1.0, "DC-AP", layout, obs)
+    }
+
+    /// [`lap_with_bounds`](DcAdaptive::lap_with_bounds) with an explicit
+    /// state [`Layout`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta` is positive and finite and
+    /// `0 <= lo <= 0.5 <= hi <= 1`.
+    pub fn lap_with_bounds_layout(
+        capacity: Bytes,
+        beta: f64,
+        lo: f64,
+        hi: f64,
+        layout: Layout,
+        obs: ObsHandle<O>,
+    ) -> Self {
+        Self::with_bounds_layout(capacity, beta, lo, hi, "DC-LAP", layout, obs)
+    }
+
     fn with_bounds(
         capacity: Bytes,
         beta: f64,
         lo: f64,
         hi: f64,
         name: &'static str,
+        obs: ObsHandle<O>,
+    ) -> Self {
+        Self::with_bounds_layout(capacity, beta, lo, hi, name, Layout::Sparse, obs)
+    }
+
+    fn with_bounds_layout(
+        capacity: Bytes,
+        beta: f64,
+        lo: f64,
+        hi: f64,
+        name: &'static str,
+        layout: Layout,
         obs: ObsHandle<O>,
     ) -> Self {
         assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
@@ -184,7 +229,7 @@ impl<O: Observer> DcAdaptive<O> {
             pc_alloc: capacity.scaled(0.5),
             used_pc: Bytes::ZERO,
             used_ac: Bytes::ZERO,
-            entries: HashMap::new(),
+            entries: EntryTable::with_layout(layout),
             pc_heap: BinaryHeap::new(),
             ac_heap: BinaryHeap::new(),
             inflation: 0.0,
@@ -282,10 +327,10 @@ impl<O: Observer> DcAdaptive<O> {
             };
             let live = self
                 .entries
-                .get(&item.page)
+                .get(item.page)
                 .is_some_and(|e| e.side == side && e.stamp == item.stamp);
             if live {
-                let entry = self.entries.remove(&item.page).expect("live entry");
+                let entry = self.entries.remove(item.page).expect("live entry");
                 match side {
                     Side::Pc => self.used_pc -= entry.size,
                     Side::Ac => self.used_ac -= entry.size,
@@ -297,9 +342,9 @@ impl<O: Observer> DcAdaptive<O> {
 
     fn candidate_size_below(&self, side: Side, v: f64) -> Bytes {
         self.entries
-            .values()
-            .filter(|e| e.side == side && e.value < v)
-            .map(|e| e.size)
+            .iter()
+            .filter(|(_, e)| e.side == side && e.value < v)
+            .map(|(_, e)| e.size)
             .sum()
     }
 
@@ -310,7 +355,7 @@ impl<O: Observer> DcAdaptive<O> {
             .entries
             .iter()
             .filter(|(_, e)| e.side == Side::Ac && e.last_access_tick < self.ac_last_replacement)
-            .map(|(&p, e)| (p, e.value, e.size, e.stamp))
+            .map(|(p, e)| (p, e.value, e.size, e.stamp))
             .collect();
         stale.sort_unstable_by(|a, b| {
             a.1.partial_cmp(&b.1)
@@ -353,10 +398,11 @@ impl<O: Observer> Strategy for DcAdaptive<O> {
         StrategyClass::Combined
     }
 
-    fn on_push(&mut self, page: &PageRef, subs: u32) -> PushOutcome {
+    fn on_push(&mut self, page: &PageRef, subs: u32, evicted: &mut Vec<PageId>) -> PushOutcome {
+        evicted.clear();
         self.tick += 1;
-        if self.entries.contains_key(&page.page) {
-            return PushOutcome::Stored { evicted: vec![] };
+        if self.entries.contains(page.page) {
+            return PushOutcome::Stored;
         }
         let v = Self::sub_value(page, subs);
         // Phase 1: SUB within the current PC allocation.
@@ -366,7 +412,6 @@ impl<O: Observer> Strategy for DcAdaptive<O> {
             if page.size > self.pc_alloc {
                 // Even an empty PC cannot hold it; fall through to phase 2.
             } else {
-                let mut evicted = Vec::new();
                 while self.free_pc() < page.size {
                     let (victim, entry) = self.pop_min(Side::Pc).expect("candidates suffice");
                     if O::ENABLED {
@@ -379,16 +424,15 @@ impl<O: Observer> Strategy for DcAdaptive<O> {
                 if O::ENABLED {
                     self.obs.admit(page.page, page.size, v, AdmitOrigin::Push);
                 }
-                return PushOutcome::Stored { evicted };
+                return PushOutcome::Stored;
             }
         }
         // Phase 2: adaptive re-partition over stale AC pages.
         let needed = page.size.saturating_sub(self.free_pc());
         match self.plan_relabel(needed) {
             Some(victims) => {
-                let mut evicted = Vec::new();
                 for victim in victims {
-                    let entry = self.entries.remove(&victim).expect("planned victim");
+                    let entry = self.entries.remove(victim).expect("planned victim");
                     self.used_ac -= entry.size;
                     self.pc_alloc += entry.size;
                     if O::ENABLED {
@@ -406,14 +450,14 @@ impl<O: Observer> Strategy for DcAdaptive<O> {
                 if O::ENABLED {
                     self.obs.admit(page.page, page.size, v, AdmitOrigin::Push);
                 }
-                PushOutcome::Stored { evicted }
+                PushOutcome::Stored
             }
             None => PushOutcome::Declined,
         }
     }
 
     fn would_store(&self, page: &PageRef, subs: u32) -> bool {
-        if self.entries.contains_key(&page.page) {
+        if self.entries.contains(page.page) {
             return true;
         }
         if page.size > self.capacity {
@@ -429,9 +473,15 @@ impl<O: Observer> Strategy for DcAdaptive<O> {
         self.plan_relabel(needed).is_some()
     }
 
-    fn on_access(&mut self, page: &PageRef, _subs: u32) -> AccessOutcome {
+    fn on_access(
+        &mut self,
+        page: &PageRef,
+        _subs: u32,
+        evicted: &mut Vec<PageId>,
+    ) -> AccessOutcome {
+        evicted.clear();
         self.tick += 1;
-        if let Some(entry) = self.entries.get(&page.page).copied() {
+        if let Some(entry) = self.entries.get(page.page).copied() {
             debug_assert_eq!(
                 entry.size, page.size,
                 "a page's size must be stable across calls"
@@ -444,6 +494,9 @@ impl<O: Observer> Strategy for DcAdaptive<O> {
                     if new_pc >= self.lo_bytes() {
                         self.pc_alloc = new_pc;
                         self.used_pc -= entry.size;
+                        // Re-insert under the new side (the stale PC heap
+                        // item is skimmed by stamp on a later pop).
+                        self.entries.remove(page.page);
                         let value = self.gd_value(1, page);
                         self.insert(page, Side::Ac, value, 1);
                         if O::ENABLED {
@@ -453,7 +506,7 @@ impl<O: Observer> Strategy for DcAdaptive<O> {
                     } else {
                         // Remove from PC and run a GD* placement in AC.
                         self.used_pc -= entry.size;
-                        self.entries.remove(&page.page);
+                        self.entries.remove(page.page);
                         if O::ENABLED {
                             // Even the bounded fallback moves the page
                             // across the partition.
@@ -487,7 +540,7 @@ impl<O: Observer> Strategy for DcAdaptive<O> {
                     let freq = entry.freq + 1;
                     let value = self.gd_value(freq, page);
                     let stamp = self.stamp();
-                    let e = self.entries.get_mut(&page.page).expect("present");
+                    let e = self.entries.get_mut(page.page).expect("present");
                     e.freq = freq;
                     e.value = value;
                     e.stamp = stamp;
@@ -505,7 +558,6 @@ impl<O: Observer> Strategy for DcAdaptive<O> {
             if page.size > self.ac_allocation() {
                 return AccessOutcome::MissBypassed;
             }
-            let mut evicted = Vec::new();
             while self.free_ac() < page.size {
                 let (victim, entry) = self.pop_min(Side::Ac).expect("AC holds enough bytes");
                 self.inflation = entry.value;
@@ -522,16 +574,16 @@ impl<O: Observer> Strategy for DcAdaptive<O> {
                 self.obs
                     .admit(page.page, page.size, value, AdmitOrigin::Access);
             }
-            AccessOutcome::MissAdmitted { evicted }
+            AccessOutcome::MissAdmitted
         }
     }
 
     fn contains(&self, page: PageId) -> bool {
-        self.entries.contains_key(&page)
+        self.entries.contains(page)
     }
 
     fn invalidate(&mut self, page: PageId) -> bool {
-        match self.entries.remove(&page) {
+        match self.entries.remove(page) {
             Some(entry) => {
                 match entry.side {
                     Side::Pc => self.used_pc -= entry.size,
@@ -580,71 +632,81 @@ mod tests {
 
     #[test]
     fn sub_placement_within_pc() {
+        let mut ev = Vec::new();
         let mut d = DcAdaptive::ap(Bytes::new(100), 2.0);
-        assert!(d.on_push(&page(1, 50, 1.0), 5).is_stored());
+        assert!(d.on_push(&page(1, 50, 1.0), 5, &mut ev).is_stored());
         // PC full; low-value push declined (no stale AC pages to take).
-        assert_eq!(d.on_push(&page(2, 50, 1.0), 1), PushOutcome::Declined);
-        // Higher-value push displaces within PC.
-        let out = d.on_push(&page(3, 50, 1.0), 50);
         assert_eq!(
-            out,
-            PushOutcome::Stored {
-                evicted: vec![PageId::new(1)]
-            }
+            d.on_push(&page(2, 50, 1.0), 1, &mut ev),
+            PushOutcome::Declined
         );
+        // Higher-value push displaces within PC.
+        let out = d.on_push(&page(3, 50, 1.0), 50, &mut ev);
+        assert_eq!(out, PushOutcome::Stored);
+        assert_eq!(ev, vec![PageId::new(1)]);
         assert_eq!(d.pc_allocation(), Bytes::new(50));
     }
 
     #[test]
     fn access_relabels_pc_storage_to_ac() {
+        let mut ev = Vec::new();
         let mut d = DcAdaptive::ap(Bytes::new(100), 2.0);
         let p = page(1, 30, 1.0);
-        d.on_push(&p, 5);
+        d.on_push(&p, 5, &mut ev);
         assert_eq!(d.used(), Bytes::new(30));
-        assert_eq!(d.on_access(&p, 5), AccessOutcome::Hit);
+        assert_eq!(d.on_access(&p, 5, &mut ev), AccessOutcome::Hit);
         // Storage followed the page: PC shrank, AC grew, nothing was evicted.
         assert_eq!(d.pc_allocation(), Bytes::new(20));
         assert_eq!(d.ac_allocation(), Bytes::new(80));
         assert_eq!(d.len(), 1);
         // Second access: plain AC hit.
-        assert_eq!(d.on_access(&p, 5), AccessOutcome::Hit);
+        assert_eq!(d.on_access(&p, 5, &mut ev), AccessOutcome::Hit);
     }
 
     #[test]
     fn relabel_avoids_spurious_ac_replacement() {
+        let mut ev = Vec::new();
         let mut d = DcAdaptive::ap(Bytes::new(100), 2.0);
         // Fill AC (50 bytes) with misses.
-        d.on_access(&page(1, 25, 1.0), 0);
-        d.on_access(&page(2, 25, 1.0), 0);
+        d.on_access(&page(1, 25, 1.0), 0, &mut ev);
+        d.on_access(&page(2, 25, 1.0), 0, &mut ev);
         // Push and access a PC page: with DC-FP this would evict from AC;
         // DC-AP relabels instead and keeps all three pages.
-        d.on_push(&page(3, 40, 1.0), 9);
-        assert_eq!(d.on_access(&page(3, 40, 1.0), 9), AccessOutcome::Hit);
+        d.on_push(&page(3, 40, 1.0), 9, &mut ev);
+        assert_eq!(
+            d.on_access(&page(3, 40, 1.0), 9, &mut ev),
+            AccessOutcome::Hit
+        );
         assert_eq!(d.len(), 3);
         assert_eq!(d.ac_allocation(), Bytes::new(90));
     }
 
     #[test]
     fn failed_push_takes_stale_ac_storage() {
+        let mut ev = Vec::new();
         let mut d = DcAdaptive::ap(Bytes::new(100), 1.0);
         // AC pages via misses: p1 hot (two accesses), p2 cold, p3 medium.
-        d.on_access(&page(1, 20, 1.0), 0);
-        d.on_access(&page(1, 20, 1.0), 0); // value 2/20 = 0.1
-        d.on_access(&page(2, 20, 1.0), 0); // value 0.05
-        d.on_access(&page(3, 10, 1.0), 0); // value 0.1
-                                           // No AC replacement has happened yet -> no stale pages -> a push
-                                           // too large for the whole PC allocation is declined.
-        assert_eq!(d.on_push(&page(5, 60, 1.0), 9), PushOutcome::Declined);
+        d.on_access(&page(1, 20, 1.0), 0, &mut ev);
+        d.on_access(&page(1, 20, 1.0), 0, &mut ev); // value 2/20 = 0.1
+        d.on_access(&page(2, 20, 1.0), 0, &mut ev); // value 0.05
+        d.on_access(&page(3, 10, 1.0), 0, &mut ev); // value 0.1
+                                                    // No AC replacement has happened yet -> no stale pages -> a push
+                                                    // too large for the whole PC allocation is declined.
+        assert_eq!(
+            d.on_push(&page(5, 60, 1.0), 9, &mut ev),
+            PushOutcome::Declined
+        );
         // A 10-byte miss forces an AC replacement (AC is full at 50):
         // the cold p2 is evicted and the replacement tick advances.
-        assert!(matches!(
-            d.on_access(&page(6, 10, 1.0), 0),
-            AccessOutcome::MissAdmitted { ref evicted } if evicted == &[PageId::new(2)]
-        ));
+        assert_eq!(
+            d.on_access(&page(6, 10, 1.0), 0, &mut ev),
+            AccessOutcome::MissAdmitted
+        );
+        assert_eq!(ev, vec![PageId::new(2)]);
         // p1 and p3 now predate the last AC replacement -> stale. A push
         // needing 5 bytes beyond the free PC can relabel their storage.
         let before_pc = d.pc_allocation();
-        let out = d.on_push(&page(7, 55, 2.0), 9);
+        let out = d.on_push(&page(7, 55, 2.0), 9, &mut ev);
         assert!(out.is_stored(), "adaptive relabel should admit: {out:?}");
         assert!(d.pc_allocation() > before_pc);
         assert_eq!(d.pc_allocation(), Bytes::new(70)); // took p1's 20 bytes
@@ -654,11 +716,15 @@ mod tests {
     #[test]
     fn lap_bounds_limit_relabel() {
         // DC-LAP with bounds [0.25, 0.75] of 100 bytes: PC in [25, 75].
+        let mut ev = Vec::new();
         let mut d = DcAdaptive::lap(Bytes::new(100), 2.0);
         // One 30-byte PC page; accessing it would shrink PC to 20 < 25:
         // bounds forbid the relabel, so the page *moves* (DC-FP style).
-        d.on_push(&page(1, 30, 1.0), 5);
-        assert_eq!(d.on_access(&page(1, 30, 1.0), 5), AccessOutcome::Hit);
+        d.on_push(&page(1, 30, 1.0), 5, &mut ev);
+        assert_eq!(
+            d.on_access(&page(1, 30, 1.0), 5, &mut ev),
+            AccessOutcome::Hit
+        );
         assert_eq!(d.pc_allocation(), Bytes::new(50)); // unchanged
         assert!(d.contains(PageId::new(1))); // moved into AC
         assert_eq!(d.len(), 1);
@@ -666,22 +732,24 @@ mod tests {
 
     #[test]
     fn miss_replacement_confined_to_ac() {
+        let mut ev = Vec::new();
         let mut d = DcAdaptive::ap(Bytes::new(100), 2.0);
-        d.on_push(&page(1, 50, 1.0), 100); // PC full, high value
-                                           // Misses cycle through AC (50 bytes) without touching the PC page.
+        d.on_push(&page(1, 50, 1.0), 100, &mut ev); // PC full, high value
+                                                    // Misses cycle through AC (50 bytes) without touching the PC page.
         for i in 2..8 {
-            d.on_access(&page(i, 30, 1.0), 0);
+            d.on_access(&page(i, 30, 1.0), 0, &mut ev);
         }
         assert!(d.contains(PageId::new(1)));
         // AC larger than allocation is bypassed.
         assert_eq!(
-            d.on_access(&page(99, 60, 1.0), 0),
+            d.on_access(&page(99, 60, 1.0), 0, &mut ev),
             AccessOutcome::MissBypassed
         );
     }
 
     #[test]
     fn would_store_matches_on_push() {
+        let mut ev = Vec::new();
         let mut d = DcAdaptive::lap(Bytes::new(100), 2.0);
         let pushes = [
             (page(1, 40, 1.0), 10u32),
@@ -693,7 +761,7 @@ mod tests {
         for (p, subs) in pushes {
             assert_eq!(
                 d.would_store(&p, subs),
-                d.on_push(&p, subs).is_stored(),
+                d.on_push(&p, subs, &mut ev).is_stored(),
                 "page {:?}",
                 p.page
             );
@@ -702,6 +770,7 @@ mod tests {
 
     #[test]
     fn accounting_invariants_hold_under_churn() {
+        let mut ev = Vec::new();
         let mut d = DcAdaptive::lap(Bytes::new(200), 2.0);
         for i in 0..200u32 {
             let id = i % 37;
@@ -709,9 +778,9 @@ mod tests {
             // PageRef must be stable across calls.
             let p = page(id, 10 + (id as u64 % 5) * 13, 1.0 + (id % 3) as f64);
             if i % 3 == 0 {
-                d.on_push(&p, i % 11);
+                d.on_push(&p, i % 11, &mut ev);
             } else {
-                d.on_access(&p, i % 7);
+                d.on_access(&p, i % 7, &mut ev);
             }
             assert!(d.used() <= d.capacity(), "over capacity at step {i}");
             assert!(d.pc_allocation() <= d.capacity());
@@ -722,6 +791,64 @@ mod tests {
                 "LAP bounds violated at step {i}: {}",
                 d.pc_allocation()
             );
+        }
+    }
+
+    #[test]
+    fn dense_layout_matches_sparse() {
+        let mut ev_s = Vec::new();
+        let mut ev_d = Vec::new();
+        let layouts = Layout::Dense { page_count: 37 };
+        let mut pairs = [
+            (
+                DcAdaptive::ap(Bytes::new(200), 2.0),
+                DcAdaptive::ap_with_layout(Bytes::new(200), 2.0, layouts, ObsHandle::disabled()),
+            ),
+            (
+                DcAdaptive::lap(Bytes::new(200), 2.0),
+                DcAdaptive::lap_with_bounds_layout(
+                    Bytes::new(200),
+                    2.0,
+                    0.25,
+                    0.75,
+                    layouts,
+                    ObsHandle::disabled(),
+                ),
+            ),
+        ];
+        let mut x = 0xfeed_f00du64;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for i in 0..3_000u32 {
+            let id = (rng() % 37) as u32;
+            // Size and cost are functions of the page id (stable PageRef).
+            let p = page(id, 10 + (id as u64 % 5) * 13, 1.0 + (id % 3) as f64);
+            let subs = (rng() % 15) as u32;
+            let op = rng() % 5;
+            for (sparse, dense) in &mut pairs {
+                match op {
+                    0 | 1 => assert_eq!(
+                        sparse.on_push(&p, subs, &mut ev_s),
+                        dense.on_push(&p, subs, &mut ev_d),
+                        "{} push diverged at step {i}",
+                        sparse.name()
+                    ),
+                    2 => assert_eq!(sparse.invalidate(p.page), dense.invalidate(p.page)),
+                    _ => assert_eq!(
+                        sparse.on_access(&p, subs, &mut ev_s),
+                        dense.on_access(&p, subs, &mut ev_d),
+                        "{} access diverged at step {i}",
+                        sparse.name()
+                    ),
+                }
+                assert_eq!(ev_s, ev_d, "evictions diverged at step {i}");
+                assert_eq!(sparse.used(), dense.used());
+                assert_eq!(sparse.pc_allocation(), dense.pc_allocation());
+            }
         }
     }
 

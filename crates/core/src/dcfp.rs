@@ -1,6 +1,6 @@
 //! DC-FP: dual caches with fixed partition (§3.3).
 
-use pscd_cache::{AccessOutcome, GreedyDualEngine, PageRef};
+use pscd_cache::{AccessOutcome, GreedyDualEngine, Layout, PageRef};
 use pscd_obs::{NullObserver, ObsHandle, Observer, RelabelDirection};
 use pscd_types::{Bytes, PageId};
 
@@ -72,6 +72,23 @@ impl<O: Observer> DcFp<O> {
         pc_fraction: f64,
         obs: ObsHandle<O>,
     ) -> Self {
+        Self::with_fraction_layout(capacity, beta, pc_fraction, Layout::Sparse, obs)
+    }
+
+    /// [`with_fraction`](DcFp::with_fraction) with an explicit state
+    /// [`Layout`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta` is positive and finite and
+    /// `0 < pc_fraction < 1`.
+    pub fn with_fraction_layout(
+        capacity: Bytes,
+        beta: f64,
+        pc_fraction: f64,
+        layout: Layout,
+        obs: ObsHandle<O>,
+    ) -> Self {
         assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
         assert!(
             pc_fraction > 0.0 && pc_fraction < 1.0,
@@ -80,8 +97,8 @@ impl<O: Observer> DcFp<O> {
         let pc_capacity = capacity.scaled(pc_fraction);
         let ac_capacity = capacity - pc_capacity;
         Self {
-            pc: GreedyDualEngine::with_observer(pc_capacity, obs.clone()),
-            ac: GreedyDualEngine::with_observer(ac_capacity, obs.clone()),
+            pc: GreedyDualEngine::with_layout(pc_capacity, layout, obs.clone()),
+            ac: GreedyDualEngine::with_layout(ac_capacity, layout, obs.clone()),
             beta,
             obs,
         }
@@ -119,14 +136,19 @@ impl<O: Observer> Strategy for DcFp<O> {
         StrategyClass::Combined
     }
 
-    fn on_push(&mut self, page: &PageRef, subs: u32) -> PushOutcome {
+    fn on_push(&mut self, page: &PageRef, subs: u32, evicted: &mut Vec<PageId>) -> PushOutcome {
         if self.ac.store().contains(page.page) {
             // Already promoted to AC; nothing to place.
-            return PushOutcome::Stored { evicted: vec![] };
+            evicted.clear();
+            return PushOutcome::Stored;
         }
-        match self.pc.push_valued(page, Self::sub_value(page, subs)) {
-            Some(evicted) => PushOutcome::Stored { evicted },
-            None => PushOutcome::Declined,
+        if self
+            .pc
+            .push_valued(page, Self::sub_value(page, subs), evicted)
+        {
+            PushOutcome::Stored
+        } else {
+            PushOutcome::Declined
         }
     }
 
@@ -141,7 +163,12 @@ impl<O: Observer> Strategy for DcFp<O> {
         store.free() + store.candidate_size_below(Self::sub_value(page, subs)) >= page.size
     }
 
-    fn on_access(&mut self, page: &PageRef, _subs: u32) -> AccessOutcome {
+    fn on_access(
+        &mut self,
+        page: &PageRef,
+        _subs: u32,
+        evicted: &mut Vec<PageId>,
+    ) -> AccessOutcome {
         if self.pc.store().contains(page.page) {
             // PC hit: move the page to AC, where it is henceforth judged by
             // its access pattern; the move may trigger a replacement in AC.
@@ -150,10 +177,16 @@ impl<O: Observer> Strategy for DcFp<O> {
                 self.obs
                     .relabel(page.page, page.size, RelabelDirection::PcToAc);
             }
-            let _ = self.ac.access(page, Self::gd_value(self.beta, page));
+            let _ = self
+                .ac
+                .access(page, Self::gd_value(self.beta, page), evicted);
+            // The user-visible outcome is a hit: pages displaced inside AC
+            // by the move are not reported (as before the scratch API).
+            evicted.clear();
             return AccessOutcome::Hit;
         }
-        self.ac.access(page, Self::gd_value(self.beta, page))
+        self.ac
+            .access(page, Self::gd_value(self.beta, page), evicted)
     }
 
     fn contains(&self, page: PageId) -> bool {
@@ -198,68 +231,81 @@ mod tests {
 
     #[test]
     fn pushes_confined_to_pc() {
+        let mut ev = Vec::new();
         let mut d = DcFp::new(Bytes::new(40), 2.0);
-        assert!(d.on_push(&page(1, 20, 1.0), 5).is_stored());
+        assert!(d.on_push(&page(1, 20, 1.0), 5, &mut ev).is_stored());
         // PC (20 bytes) is full; equal-value page declined even though AC
         // is empty: pushes never use AC space.
-        assert_eq!(d.on_push(&page(2, 20, 1.0), 5), PushOutcome::Declined);
+        assert_eq!(
+            d.on_push(&page(2, 20, 1.0), 5, &mut ev),
+            PushOutcome::Declined
+        );
         // More valuable page displaces the first within PC.
-        assert!(d.on_push(&page(3, 20, 1.0), 50).is_stored());
+        assert!(d.on_push(&page(3, 20, 1.0), 50, &mut ev).is_stored());
         assert!(!d.contains(PageId::new(1)));
     }
 
     #[test]
     fn pc_hit_moves_page_to_ac() {
+        let mut ev = Vec::new();
         let mut d = DcFp::new(Bytes::new(40), 2.0);
         let p = page(1, 10, 1.0);
-        d.on_push(&p, 5);
-        assert_eq!(d.on_access(&p, 5), AccessOutcome::Hit);
+        d.on_push(&p, 5, &mut ev);
+        assert_eq!(d.on_access(&p, 5, &mut ev), AccessOutcome::Hit);
         // Page now lives in AC: PC has room again for an equal-value push.
-        assert!(d.on_push(&page(2, 20, 1.0), 5).is_stored());
+        assert!(d.on_push(&page(2, 20, 1.0), 5, &mut ev).is_stored());
         assert!(d.contains(p.page));
         assert_eq!(d.len(), 2);
         // Second access is an AC hit.
-        assert_eq!(d.on_access(&p, 5), AccessOutcome::Hit);
+        assert_eq!(d.on_access(&p, 5, &mut ev), AccessOutcome::Hit);
     }
 
     #[test]
     fn re_push_after_promotion_is_noop() {
+        let mut ev = Vec::new();
         let mut d = DcFp::new(Bytes::new(40), 2.0);
         let p = page(1, 10, 1.0);
-        d.on_push(&p, 5);
-        d.on_access(&p, 5); // promoted to AC
-        assert_eq!(d.on_push(&p, 5), PushOutcome::Stored { evicted: vec![] });
+        d.on_push(&p, 5, &mut ev);
+        d.on_access(&p, 5, &mut ev); // promoted to AC
+        assert_eq!(d.on_push(&p, 5, &mut ev), PushOutcome::Stored);
+        assert!(ev.is_empty());
         assert!(d.would_store(&p, 0));
         assert_eq!(d.len(), 1);
     }
 
     #[test]
     fn misses_use_gdstar_on_ac() {
+        let mut ev = Vec::new();
         let mut d = DcFp::new(Bytes::new(40), 2.0);
         // Fill AC (20 bytes) through misses.
-        assert!(matches!(
-            d.on_access(&page(1, 10, 1.0), 0),
-            AccessOutcome::MissAdmitted { .. }
-        ));
-        assert!(matches!(
-            d.on_access(&page(2, 10, 1.0), 0),
-            AccessOutcome::MissAdmitted { .. }
-        ));
+        assert_eq!(
+            d.on_access(&page(1, 10, 1.0), 0, &mut ev),
+            AccessOutcome::MissAdmitted
+        );
+        assert_eq!(
+            d.on_access(&page(2, 10, 1.0), 0, &mut ev),
+            AccessOutcome::MissAdmitted
+        );
         // Third miss evicts within AC only.
-        let out = d.on_access(&page(3, 10, 1.0), 0);
-        assert!(matches!(out, AccessOutcome::MissAdmitted { ref evicted } if evicted.len() == 1));
+        let out = d.on_access(&page(3, 10, 1.0), 0, &mut ev);
+        assert_eq!(out, AccessOutcome::MissAdmitted);
+        assert_eq!(ev.len(), 1);
         assert_eq!(d.used(), Bytes::new(20));
     }
 
     #[test]
     fn move_can_trigger_ac_replacement() {
+        let mut ev = Vec::new();
         let mut d = DcFp::new(Bytes::new(40), 2.0);
         // Fill AC with two cold pages.
-        d.on_access(&page(1, 10, 1.0), 0);
-        d.on_access(&page(2, 10, 1.0), 0);
+        d.on_access(&page(1, 10, 1.0), 0, &mut ev);
+        d.on_access(&page(2, 10, 1.0), 0, &mut ev);
         // Push then access page 3: the PC->AC move must evict from AC.
-        d.on_push(&page(3, 20, 1.0), 9);
-        assert_eq!(d.on_access(&page(3, 20, 1.0), 9), AccessOutcome::Hit);
+        d.on_push(&page(3, 20, 1.0), 9, &mut ev);
+        assert_eq!(
+            d.on_access(&page(3, 20, 1.0), 9, &mut ev),
+            AccessOutcome::Hit
+        );
         assert!(d.contains(PageId::new(3)));
         assert_eq!(d.ac_capacity(), Bytes::new(20));
         assert!(!d.contains(PageId::new(1)) && !d.contains(PageId::new(2)));
@@ -271,6 +317,46 @@ mod tests {
         assert_eq!(d.name(), "DC-FP");
         assert_eq!(d.class(), StrategyClass::Combined);
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn dense_layout_matches_sparse() {
+        let mut ev_s = Vec::new();
+        let mut ev_d = Vec::new();
+        let mut sparse = DcFp::new(Bytes::new(60), 2.0);
+        let mut dense = DcFp::with_fraction_layout(
+            Bytes::new(60),
+            2.0,
+            0.5,
+            Layout::Dense { page_count: 30 },
+            ObsHandle::disabled(),
+        );
+        let mut x = 0x5151_5151u64;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for i in 0..3_000u32 {
+            let p = page((rng() % 30) as u32, rng() % 15 + 1, (rng() % 5 + 1) as f64);
+            let subs = (rng() % 20) as u32;
+            if rng() % 2 == 0 {
+                assert_eq!(
+                    sparse.on_push(&p, subs, &mut ev_s),
+                    dense.on_push(&p, subs, &mut ev_d),
+                    "push diverged at step {i}"
+                );
+            } else {
+                assert_eq!(
+                    sparse.on_access(&p, subs, &mut ev_s),
+                    dense.on_access(&p, subs, &mut ev_d),
+                    "access diverged at step {i}"
+                );
+            }
+            assert_eq!(ev_s, ev_d, "evictions diverged at step {i}");
+            assert_eq!(sparse.used(), dense.used());
+        }
     }
 
     #[test]

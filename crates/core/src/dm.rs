@@ -1,12 +1,13 @@
 //! DM: single cache, dual replacement methods (§3.3).
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
-use pscd_cache::{AccessOutcome, PageRef};
+use pscd_cache::{AccessOutcome, Layout, PageRef};
 use pscd_obs::{AdmitOrigin, EvictReason, NullObserver, ObsHandle, Observer};
 use pscd_types::{Bytes, PageId};
 
+use crate::table::EntryTable;
 use crate::{PushOutcome, Strategy, StrategyClass};
 
 /// Which of the two replacement modules is evaluating.
@@ -66,11 +67,16 @@ impl Ord for HeapItem {
 /// freshly pushed page with high predicted use can be evicted on a cache
 /// miss because it has no access history yet — the motivation for the
 /// Dual-Caches family.
+///
+/// Because every page carries two independently-refreshed values, the two
+/// eviction orders are maintained as lazy-deletion heaps even in dense
+/// layout; DM is therefore *amortized* allocation-free, not strictly so
+/// (see DESIGN.md §12).
 #[derive(Debug)]
 pub struct DualMethods<O: Observer = NullObserver> {
     capacity: Bytes,
     used: Bytes,
-    entries: HashMap<PageId, Entry>,
+    entries: EntryTable<Entry>,
     access_heap: BinaryHeap<HeapItem>,
     sub_heap: BinaryHeap<HeapItem>,
     inflation: f64,
@@ -97,11 +103,20 @@ impl<O: Observer> DualMethods<O> {
     ///
     /// Panics unless `beta` is positive and finite.
     pub fn with_observer(capacity: Bytes, beta: f64, obs: ObsHandle<O>) -> Self {
+        Self::with_layout(capacity, beta, Layout::Sparse, obs)
+    }
+
+    /// Creates a DM proxy cache with an explicit state [`Layout`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta` is positive and finite.
+    pub fn with_layout(capacity: Bytes, beta: f64, layout: Layout, obs: ObsHandle<O>) -> Self {
         assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
         Self {
             capacity,
             used: Bytes::ZERO,
-            entries: HashMap::new(),
+            entries: EntryTable::with_layout(layout),
             access_heap: BinaryHeap::new(),
             sub_heap: BinaryHeap::new(),
             inflation: 0.0,
@@ -136,12 +151,12 @@ impl<O: Observer> DualMethods<O> {
     /// Total size of pages whose value *under the given module* is below `v`.
     fn candidate_size_below(&self, module: Module, v: f64) -> Bytes {
         self.entries
-            .values()
-            .filter(|e| match module {
+            .iter()
+            .filter(|(_, e)| match module {
                 Module::Access => e.access_value < v,
                 Module::Push => e.sub_value < v,
             })
-            .map(|e| e.size)
+            .map(|(_, e)| e.size)
             .sum()
     }
 
@@ -152,12 +167,12 @@ impl<O: Observer> DualMethods<O> {
                 Module::Access => self.access_heap.pop()?,
                 Module::Push => self.sub_heap.pop()?,
             };
-            let live = self.entries.get(&item.page).is_some_and(|e| match module {
+            let live = self.entries.get(item.page).is_some_and(|e| match module {
                 Module::Access => e.access_stamp == item.stamp,
                 Module::Push => e.sub_stamp == item.stamp,
             });
             if live {
-                let entry = self.entries.remove(&item.page).expect("live entry");
+                let entry = self.entries.remove(item.page).expect("live entry");
                 self.used -= entry.size;
                 return Some((item.page, entry));
             }
@@ -201,15 +216,15 @@ impl<O: Observer> Strategy for DualMethods<O> {
         StrategyClass::Combined
     }
 
-    fn on_push(&mut self, page: &PageRef, subs: u32) -> PushOutcome {
-        if self.entries.contains_key(&page.page) {
-            return PushOutcome::Stored { evicted: vec![] };
+    fn on_push(&mut self, page: &PageRef, subs: u32, evicted: &mut Vec<PageId>) -> PushOutcome {
+        evicted.clear();
+        if self.entries.contains(page.page) {
+            return PushOutcome::Stored;
         }
         if !self.would_store(page, subs) {
             return PushOutcome::Declined;
         }
         let v = Self::sub_value(page, subs);
-        let mut evicted = Vec::new();
         while self.free() < page.size {
             let (victim, entry) = self
                 .pop_min(Module::Push)
@@ -227,11 +242,11 @@ impl<O: Observer> Strategy for DualMethods<O> {
         if O::ENABLED {
             self.obs.admit(page.page, page.size, v, AdmitOrigin::Push);
         }
-        PushOutcome::Stored { evicted }
+        PushOutcome::Stored
     }
 
     fn would_store(&self, page: &PageRef, subs: u32) -> bool {
-        if self.entries.contains_key(&page.page) {
+        if self.entries.contains(page.page) {
             return true;
         }
         if page.size > self.capacity {
@@ -241,8 +256,9 @@ impl<O: Observer> Strategy for DualMethods<O> {
         self.free() + self.candidate_size_below(Module::Push, v) >= page.size
     }
 
-    fn on_access(&mut self, page: &PageRef, subs: u32) -> AccessOutcome {
-        if let Some(entry) = self.entries.get_mut(&page.page) {
+    fn on_access(&mut self, page: &PageRef, subs: u32, evicted: &mut Vec<PageId>) -> AccessOutcome {
+        evicted.clear();
+        if let Some(entry) = self.entries.get_mut(page.page) {
             entry.freq += 1;
             let freq = entry.freq;
             let stamp = {
@@ -251,7 +267,7 @@ impl<O: Observer> Strategy for DualMethods<O> {
                 s
             };
             let v = self.inflation + self.gd_weight(freq, page);
-            let entry = self.entries.get_mut(&page.page).expect("present");
+            let entry = self.entries.get_mut(page.page).expect("present");
             entry.access_value = v;
             entry.access_stamp = stamp;
             self.access_heap.push(HeapItem {
@@ -266,7 +282,6 @@ impl<O: Observer> Strategy for DualMethods<O> {
         if page.size > self.capacity {
             return AccessOutcome::MissBypassed;
         }
-        let mut evicted = Vec::new();
         while self.free() < page.size {
             let (victim, entry) = self
                 .pop_min(Module::Access)
@@ -284,15 +299,15 @@ impl<O: Observer> Strategy for DualMethods<O> {
         if O::ENABLED {
             self.obs.admit(page.page, page.size, v, AdmitOrigin::Access);
         }
-        AccessOutcome::MissAdmitted { evicted }
+        AccessOutcome::MissAdmitted
     }
 
     fn contains(&self, page: PageId) -> bool {
-        self.entries.contains_key(&page)
+        self.entries.contains(page)
     }
 
     fn invalidate(&mut self, page: PageId) -> bool {
-        match self.entries.remove(&page) {
+        match self.entries.remove(page) {
             Some(entry) => {
                 self.used -= entry.size;
                 if O::ENABLED {
@@ -332,87 +347,87 @@ mod tests {
 
     #[test]
     fn push_and_access_modules_use_their_own_values() {
+        let mut ev = Vec::new();
         let mut dm = DualMethods::new(Bytes::new(20), 1.0);
         // Page 1: hot in use (2 accesses), but zero subscriptions.
         let p1 = page(1, 10, 10.0);
-        dm.on_access(&p1, 0);
-        dm.on_access(&p1, 0);
+        dm.on_access(&p1, 0, &mut ev);
+        dm.on_access(&p1, 0, &mut ev);
         // Page 2: pushed with low subscription value.
-        assert!(dm.on_push(&page(2, 10, 10.0), 1).is_stored());
+        assert!(dm.on_push(&page(2, 10, 10.0), 1, &mut ev).is_stored());
         // Push module sees p1's sub value (0) as weakest: a push evicts the
         // hot page — exactly the DM interference the paper describes.
-        let out = dm.on_push(&page(3, 10, 10.0), 2);
-        assert_eq!(
-            out,
-            PushOutcome::Stored {
-                evicted: vec![PageId::new(1)]
-            }
-        );
+        let out = dm.on_push(&page(3, 10, 10.0), 2, &mut ev);
+        assert_eq!(out, PushOutcome::Stored);
+        assert_eq!(ev, vec![PageId::new(1)]);
     }
 
     #[test]
     fn access_module_evicts_unaccessed_pushed_pages_first() {
+        let mut ev = Vec::new();
         let mut dm = DualMethods::new(Bytes::new(20), 1.0);
         // Highly subscribed pushed page (no accesses yet).
-        dm.on_push(&page(1, 10, 10.0), 100);
+        dm.on_push(&page(1, 10, 10.0), 100, &mut ev);
         // Accessed page.
-        dm.on_access(&page(2, 10, 10.0), 0);
+        dm.on_access(&page(2, 10, 10.0), 0, &mut ev);
         // Miss forces access-time replacement: victim is the pushed page
         // (access value = L + 0) despite its high subscription value.
-        let out = dm.on_access(&page(3, 10, 10.0), 0);
-        assert_eq!(
-            out,
-            AccessOutcome::MissAdmitted {
-                evicted: vec![PageId::new(1)]
-            }
-        );
+        let out = dm.on_access(&page(3, 10, 10.0), 0, &mut ev);
+        assert_eq!(out, AccessOutcome::MissAdmitted);
+        assert_eq!(ev, vec![PageId::new(1)]);
     }
 
     #[test]
     fn push_declines_when_candidates_insufficient() {
+        let mut ev = Vec::new();
         let mut dm = DualMethods::new(Bytes::new(20), 1.0);
-        dm.on_push(&page(1, 10, 1.0), 10);
-        dm.on_push(&page(2, 10, 1.0), 10);
-        assert_eq!(dm.on_push(&page(3, 10, 1.0), 5), PushOutcome::Declined);
+        dm.on_push(&page(1, 10, 1.0), 10, &mut ev);
+        dm.on_push(&page(2, 10, 1.0), 10, &mut ev);
+        assert_eq!(
+            dm.on_push(&page(3, 10, 1.0), 5, &mut ev),
+            PushOutcome::Declined
+        );
         assert!(!dm.would_store(&page(3, 10, 1.0), 5));
         assert!(dm.would_store(&page(4, 10, 1.0), 50));
         // Re-push of a cached page is a trivial success.
         assert_eq!(
-            dm.on_push(&page(1, 10, 1.0), 1),
-            PushOutcome::Stored { evicted: vec![] }
+            dm.on_push(&page(1, 10, 1.0), 1, &mut ev),
+            PushOutcome::Stored
         );
+        assert!(ev.is_empty());
     }
 
     #[test]
     fn hits_update_access_value() {
+        let mut ev = Vec::new();
         let mut dm = DualMethods::new(Bytes::new(20), 1.0);
         let p = page(1, 10, 10.0);
-        dm.on_push(&p, 1);
-        assert!(dm.on_access(&p, 1).is_hit());
-        assert!(dm.on_access(&p, 1).is_hit());
+        dm.on_push(&p, 1, &mut ev);
+        assert!(dm.on_access(&p, 1, &mut ev).is_hit());
+        assert!(dm.on_access(&p, 1, &mut ev).is_hit());
         assert_eq!(dm.len(), 1);
         assert_eq!(dm.used(), Bytes::new(10));
         // After two accesses, p survives an access-time replacement against
         // a single-access newcomer even though another page is present.
-        dm.on_access(&page(2, 10, 1.0), 0);
-        let out = dm.on_access(&page(3, 10, 5.0), 0);
-        assert_eq!(
-            out,
-            AccessOutcome::MissAdmitted {
-                evicted: vec![PageId::new(2)]
-            }
-        );
+        dm.on_access(&page(2, 10, 1.0), 0, &mut ev);
+        let out = dm.on_access(&page(3, 10, 5.0), 0, &mut ev);
+        assert_eq!(out, AccessOutcome::MissAdmitted);
+        assert_eq!(ev, vec![PageId::new(2)]);
         assert!(dm.contains(p.page));
     }
 
     #[test]
     fn oversized_pages_bypassed() {
+        let mut ev = Vec::new();
         let mut dm = DualMethods::new(Bytes::new(10), 2.0);
         assert_eq!(
-            dm.on_access(&page(1, 11, 1.0), 0),
+            dm.on_access(&page(1, 11, 1.0), 0, &mut ev),
             AccessOutcome::MissBypassed
         );
-        assert_eq!(dm.on_push(&page(2, 11, 1.0), 5), PushOutcome::Declined);
+        assert_eq!(
+            dm.on_push(&page(2, 11, 1.0), 5, &mut ev),
+            PushOutcome::Declined
+        );
         assert!(dm.len() == 0);
         assert_eq!(dm.capacity(), Bytes::new(10));
         assert_eq!(dm.name(), "DM");
@@ -427,20 +442,61 @@ mod tests {
 
     #[test]
     fn accounting_invariants_hold_under_churn() {
+        let mut ev = Vec::new();
         let mut dm = DualMethods::new(Bytes::new(300), 2.0);
         for i in 0..300u32 {
             let id = i % 41;
             let p = page(id, 10 + (id as u64 % 7) * 17, 1.0 + (id % 3) as f64);
             if i % 2 == 0 {
-                let _ = dm.on_push(&p, id % 9);
+                let _ = dm.on_push(&p, id % 9, &mut ev);
             } else {
-                let _ = dm.on_access(&p, id % 9);
+                let _ = dm.on_access(&p, id % 9, &mut ev);
             }
             assert!(dm.used() <= dm.capacity(), "over capacity at step {i}");
             // Byte accounting equals the sum of resident entry sizes.
-            let sum: Bytes = dm.entries.values().map(|e| e.size).sum();
+            let sum: Bytes = dm.entries.iter().map(|(_, e)| e.size).sum();
             assert_eq!(sum, dm.used(), "accounting drift at step {i}");
         }
         assert!(dm.len() > 0);
+    }
+
+    #[test]
+    fn dense_layout_matches_sparse() {
+        let mut ev_s = Vec::new();
+        let mut ev_d = Vec::new();
+        let mut sparse = DualMethods::new(Bytes::new(60), 2.0);
+        let mut dense = DualMethods::with_layout(
+            Bytes::new(60),
+            2.0,
+            Layout::Dense { page_count: 30 },
+            ObsHandle::disabled(),
+        );
+        let mut x = 0xabcd_ef01u64;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for i in 0..3_000u32 {
+            let p = page((rng() % 30) as u32, rng() % 15 + 1, (rng() % 5 + 1) as f64);
+            let subs = (rng() % 20) as u32;
+            match rng() % 4 {
+                0 => assert_eq!(
+                    sparse.on_push(&p, subs, &mut ev_s),
+                    dense.on_push(&p, subs, &mut ev_d),
+                    "push diverged at step {i}"
+                ),
+                1 => assert_eq!(sparse.invalidate(p.page), dense.invalidate(p.page)),
+                _ => assert_eq!(
+                    sparse.on_access(&p, subs, &mut ev_s),
+                    dense.on_access(&p, subs, &mut ev_d),
+                    "access diverged at step {i}"
+                ),
+            }
+            assert_eq!(ev_s, ev_d, "evictions diverged at step {i}");
+            assert_eq!(sparse.used(), dense.used());
+            assert_eq!(sparse.len(), dense.len());
+        }
     }
 }

@@ -2,11 +2,14 @@
 
 use serde::{Deserialize, Serialize};
 
-use pscd_cache::{GdStar, Gds, LfuDa, Lru};
-use pscd_obs::{ObsHandle, Observer};
-use pscd_types::Bytes;
+use pscd_cache::{AccessOutcome, GdStar, Gds, Layout, LfuDa, Lru, PageRef};
+use pscd_obs::{NullObserver, ObsHandle, Observer};
+use pscd_types::{Bytes, PageId};
 
-use crate::{AccessOnly, DcAdaptive, DcFp, DualMethods, SingleCache, Strategy, Sub};
+use crate::{
+    AccessOnly, DcAdaptive, DcFp, DualMethods, PushOutcome, SingleCache, Strategy, StrategyClass,
+    Sub,
+};
 
 /// A buildable description of every strategy in the paper (plus the classic
 /// access-only baselines), used to parameterize experiments.
@@ -133,6 +136,56 @@ impl StrategyKind {
         }
     }
 
+    /// Instantiates the strategy as a concrete [`StrategyImpl`] — the
+    /// enum-dispatch form used by the replay hot loop — with an explicit
+    /// state [`Layout`]. `Layout::Dense` preallocates every per-page table
+    /// to the page-universe size, making the steady-state hot loop free of
+    /// heap allocations (DM and DC-AP/DC-LAP keep lazy-deletion heaps and
+    /// are amortized allocation-free; see DESIGN.md §12).
+    pub fn build_impl_observed<O: Observer>(
+        &self,
+        capacity: Bytes,
+        layout: Layout,
+        obs: ObsHandle<O>,
+    ) -> StrategyImpl<O> {
+        match *self {
+            StrategyKind::Lru => {
+                StrategyImpl::Lru(AccessOnly::new(Lru::with_layout(capacity, layout, obs)))
+            }
+            StrategyKind::Gds => {
+                StrategyImpl::Gds(AccessOnly::new(Gds::with_layout(capacity, layout, obs)))
+            }
+            StrategyKind::LfuDa => {
+                StrategyImpl::LfuDa(AccessOnly::new(LfuDa::with_layout(capacity, layout, obs)))
+            }
+            StrategyKind::GdStar { beta } => StrategyImpl::GdStar(AccessOnly::new(
+                GdStar::with_layout(capacity, beta, layout, obs),
+            )),
+            StrategyKind::Sub => StrategyImpl::Sub(Sub::with_layout(capacity, layout, obs)),
+            StrategyKind::Sg1 { beta } => {
+                StrategyImpl::Single(SingleCache::sg1_with_layout(capacity, beta, layout, obs))
+            }
+            StrategyKind::Sg2 { beta } => {
+                StrategyImpl::Single(SingleCache::sg2_with_layout(capacity, beta, layout, obs))
+            }
+            StrategyKind::Sr => {
+                StrategyImpl::Single(SingleCache::sr_with_layout(capacity, layout, obs))
+            }
+            StrategyKind::Dm { beta } => {
+                StrategyImpl::Dm(DualMethods::with_layout(capacity, beta, layout, obs))
+            }
+            StrategyKind::DcFp { beta, pc_fraction } => StrategyImpl::DcFp(
+                DcFp::with_fraction_layout(capacity, beta, pc_fraction, layout, obs),
+            ),
+            StrategyKind::DcAp { beta } => {
+                StrategyImpl::Dc(DcAdaptive::ap_with_layout(capacity, beta, layout, obs))
+            }
+            StrategyKind::DcLap { beta, lo, hi } => StrategyImpl::Dc(
+                DcAdaptive::lap_with_bounds_layout(capacity, beta, lo, hi, layout, obs),
+            ),
+        }
+    }
+
     /// The paper's defaults: DC-FP at 50/50, DC-LAP bounded to [25%, 75%].
     pub fn dc_fp(beta: f64) -> Self {
         StrategyKind::DcFp {
@@ -174,6 +227,104 @@ impl StrategyKind {
     }
 }
 
+/// A concrete, enum-dispatched strategy: every paper strategy as a variant,
+/// plus a [`Box<dyn Strategy>`] escape hatch for externally-defined
+/// strategies.
+///
+/// The replay hot loop stores proxies as `StrategyImpl` so per-event
+/// dispatch is a jump table over a small enum instead of a virtual call,
+/// and so the compiler can inline the strategy bodies into the loop.
+/// `StrategyImpl` itself implements [`Strategy`], so any code written
+/// against the trait accepts it unchanged.
+#[derive(Debug)]
+pub enum StrategyImpl<O: Observer = NullObserver> {
+    /// LRU behind the access-only adapter.
+    Lru(AccessOnly<Lru<O>>),
+    /// GreedyDual-Size behind the access-only adapter.
+    Gds(AccessOnly<Gds<O>>),
+    /// LFU-DA behind the access-only adapter.
+    LfuDa(AccessOnly<LfuDa<O>>),
+    /// GD\* behind the access-only adapter.
+    GdStar(AccessOnly<GdStar<O>>),
+    /// Push-time-only SUB.
+    Sub(Sub<O>),
+    /// SG1 / SG2 / SR.
+    Single(SingleCache<O>),
+    /// Dual-Methods.
+    Dm(DualMethods<O>),
+    /// Dual-Caches, fixed partition.
+    DcFp(DcFp<O>),
+    /// DC-AP / DC-LAP.
+    Dc(DcAdaptive<O>),
+    /// Escape hatch: dynamic dispatch over an arbitrary strategy.
+    Dyn(Box<dyn Strategy>),
+}
+
+impl<O: Observer> From<Box<dyn Strategy>> for StrategyImpl<O> {
+    fn from(strategy: Box<dyn Strategy>) -> Self {
+        StrategyImpl::Dyn(strategy)
+    }
+}
+
+macro_rules! dispatch {
+    ($self:expr, $s:ident => $body:expr) => {
+        match $self {
+            StrategyImpl::Lru($s) => $body,
+            StrategyImpl::Gds($s) => $body,
+            StrategyImpl::LfuDa($s) => $body,
+            StrategyImpl::GdStar($s) => $body,
+            StrategyImpl::Sub($s) => $body,
+            StrategyImpl::Single($s) => $body,
+            StrategyImpl::Dm($s) => $body,
+            StrategyImpl::DcFp($s) => $body,
+            StrategyImpl::Dc($s) => $body,
+            StrategyImpl::Dyn($s) => $body,
+        }
+    };
+}
+
+impl<O: Observer> Strategy for StrategyImpl<O> {
+    fn name(&self) -> &'static str {
+        dispatch!(self, s => s.name())
+    }
+
+    fn class(&self) -> StrategyClass {
+        dispatch!(self, s => s.class())
+    }
+
+    fn on_push(&mut self, page: &PageRef, subs: u32, evicted: &mut Vec<PageId>) -> PushOutcome {
+        dispatch!(self, s => s.on_push(page, subs, evicted))
+    }
+
+    fn would_store(&self, page: &PageRef, subs: u32) -> bool {
+        dispatch!(self, s => s.would_store(page, subs))
+    }
+
+    fn on_access(&mut self, page: &PageRef, subs: u32, evicted: &mut Vec<PageId>) -> AccessOutcome {
+        dispatch!(self, s => s.on_access(page, subs, evicted))
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        dispatch!(self, s => s.contains(page))
+    }
+
+    fn capacity(&self) -> Bytes {
+        dispatch!(self, s => s.capacity())
+    }
+
+    fn used(&self) -> Bytes {
+        dispatch!(self, s => s.used())
+    }
+
+    fn len(&self) -> usize {
+        dispatch!(self, s => s.len())
+    }
+
+    fn invalidate(&mut self, page: PageId) -> bool {
+        dispatch!(self, s => s.invalidate(page))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,14 +347,15 @@ mod tests {
             StrategyKind::DcAp { beta: 2.0 },
             StrategyKind::dc_lap(2.0),
         ];
+        let mut ev = Vec::new();
         for kind in kinds {
             let mut s = kind.build(Bytes::from_kib(4));
             assert_eq!(s.name(), kind.name());
             assert_eq!(s.capacity(), Bytes::from_kib(4));
             // Smoke: run one push and one access through each.
             let p = PageRef::new(PageId::new(0), Bytes::new(128), 1.0);
-            let _ = s.on_push(&p, 3);
-            let _ = s.on_access(&p, 3);
+            let _ = s.on_push(&p, 3, &mut ev);
+            let _ = s.on_access(&p, 3, &mut ev);
             assert!(s.used() <= s.capacity());
         }
     }
@@ -221,11 +373,12 @@ mod tests {
             StrategyKind::dc_fp(2.0),
             StrategyKind::dc_lap(2.0),
         ] {
+            let mut ev = Vec::new();
             let shared = SharedObserver::new(StatsObserver::new());
             let mut s = kind.build_observed(Bytes::from_kib(4), shared.handle(ServerId::new(0)));
             let p = PageRef::new(PageId::new(0), Bytes::new(128), 1.0);
-            let _ = s.on_push(&p, 3);
-            let _ = s.on_access(&p, 3);
+            let _ = s.on_push(&p, 3, &mut ev);
+            let _ = s.on_access(&p, 3, &mut ev);
             drop(s);
             let stats = shared.try_unwrap().unwrap();
             let admits =

@@ -30,10 +30,11 @@
 //! let mut proxy = StrategyKind::Sg2 { beta: 2.0 }.build(Bytes::from_kib(64));
 //!
 //! // A fresh page matching 12 subscriptions at this proxy is pushed…
+//! let mut evicted = Vec::new();
 //! let page = PageRef::new(PageId::new(0), Bytes::new(9_000), 2.0);
-//! assert!(proxy.on_push(&page, 12).is_stored());
+//! assert!(proxy.on_push(&page, 12, &mut evicted).is_stored());
 //! // …and the first subscriber request is a local hit.
-//! assert!(proxy.on_access(&page, 12).is_hit());
+//! assert!(proxy.on_access(&page, 12, &mut evicted).is_hit());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -48,12 +49,15 @@ mod kind;
 mod single;
 mod strategy;
 mod sub;
+mod table;
+
+pub use pscd_cache::Layout;
 
 pub use access_only::AccessOnly;
 pub use dcap::DcAdaptive;
 pub use dcfp::DcFp;
 pub use dm::DualMethods;
-pub use kind::StrategyKind;
+pub use kind::{StrategyImpl, StrategyKind};
 pub use single::SingleCache;
 pub use strategy::{AccessOutcome, PageRef, PushOutcome, Strategy, StrategyClass};
 pub use sub::Sub;

@@ -1,8 +1,6 @@
 //! Single-cache, single-replacement combined strategies: SG1, SG2, SR (§3.3).
 
-use std::collections::HashMap;
-
-use pscd_cache::{AccessOutcome, GreedyDualEngine, PageRef};
+use pscd_cache::{AccessOutcome, GreedyDualEngine, Layout, PageRef, PageTable};
 use pscd_obs::{NullObserver, ObsHandle, Observer};
 use pscd_types::{Bytes, PageId};
 
@@ -50,15 +48,16 @@ enum Model {
 /// use pscd_types::{Bytes, PageId};
 ///
 /// let mut sg2 = SingleCache::sg2(Bytes::from_kib(4), 2.0);
+/// let mut evicted = Vec::new();
 /// let page = PageRef::new(PageId::new(0), Bytes::new(256), 1.0);
-/// assert!(sg2.on_push(&page, 5).is_stored());
-/// assert!(sg2.on_access(&page, 5).is_hit());
+/// assert!(sg2.on_push(&page, 5, &mut evicted).is_stored());
+/// assert!(sg2.on_access(&page, 5, &mut evicted).is_hit());
 /// ```
 #[derive(Debug)]
 pub struct SingleCache<O: Observer = NullObserver> {
     engine: GreedyDualEngine<O>,
     /// Cumulative access counts per page (not reset on eviction).
-    accesses: HashMap<PageId, u32>,
+    accesses: PageTable<u32>,
     model: Model,
     name: &'static str,
 }
@@ -95,13 +94,7 @@ impl<O: Observer> SingleCache<O> {
     ///
     /// Panics unless `beta` is positive and finite.
     pub fn sg1_observed(capacity: Bytes, beta: f64, obs: ObsHandle<O>) -> Self {
-        assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
-        Self {
-            engine: GreedyDualEngine::with_observer(capacity, obs),
-            accesses: HashMap::new(),
-            model: Model::Sg1 { beta },
-            name: "SG1",
-        }
+        Self::sg1_with_layout(capacity, beta, Layout::Sparse, obs)
     }
 
     /// [`sg2`](SingleCache::sg2) reporting cache decisions to `obs`.
@@ -110,28 +103,57 @@ impl<O: Observer> SingleCache<O> {
     ///
     /// Panics unless `beta` is positive and finite.
     pub fn sg2_observed(capacity: Bytes, beta: f64, obs: ObsHandle<O>) -> Self {
-        assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
-        Self {
-            engine: GreedyDualEngine::with_observer(capacity, obs),
-            accesses: HashMap::new(),
-            model: Model::Sg2 { beta },
-            name: "SG2",
-        }
+        Self::sg2_with_layout(capacity, beta, Layout::Sparse, obs)
     }
 
     /// [`sr`](SingleCache::sr) reporting cache decisions to `obs`.
     pub fn sr_observed(capacity: Bytes, obs: ObsHandle<O>) -> Self {
+        Self::sr_with_layout(capacity, Layout::Sparse, obs)
+    }
+
+    /// [`sg1`](SingleCache::sg1) with an explicit state [`Layout`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta` is positive and finite.
+    pub fn sg1_with_layout(capacity: Bytes, beta: f64, layout: Layout, obs: ObsHandle<O>) -> Self {
+        assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
+        Self::with_model(capacity, layout, obs, Model::Sg1 { beta }, "SG1")
+    }
+
+    /// [`sg2`](SingleCache::sg2) with an explicit state [`Layout`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta` is positive and finite.
+    pub fn sg2_with_layout(capacity: Bytes, beta: f64, layout: Layout, obs: ObsHandle<O>) -> Self {
+        assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
+        Self::with_model(capacity, layout, obs, Model::Sg2 { beta }, "SG2")
+    }
+
+    /// [`sr`](SingleCache::sr) with an explicit state [`Layout`].
+    pub fn sr_with_layout(capacity: Bytes, layout: Layout, obs: ObsHandle<O>) -> Self {
+        Self::with_model(capacity, layout, obs, Model::Sr, "SR")
+    }
+
+    fn with_model(
+        capacity: Bytes,
+        layout: Layout,
+        obs: ObsHandle<O>,
+        model: Model,
+        name: &'static str,
+    ) -> Self {
         Self {
-            engine: GreedyDualEngine::with_observer(capacity, obs),
-            accesses: HashMap::new(),
-            model: Model::Sr,
-            name: "SR",
+            engine: GreedyDualEngine::with_layout(capacity, layout, obs),
+            accesses: PageTable::with_layout(layout),
+            model,
+            name,
         }
     }
 
     /// The cumulative access count recorded for a page.
     pub fn access_count(&self, page: PageId) -> u32 {
-        self.accesses.get(&page).copied().unwrap_or(0)
+        self.accesses.get(page)
     }
 
     /// The strategy's page value given subscription count `subs`, access
@@ -161,12 +183,13 @@ impl<O: Observer> Strategy for SingleCache<O> {
         StrategyClass::Combined
     }
 
-    fn on_push(&mut self, page: &PageRef, subs: u32) -> PushOutcome {
+    fn on_push(&mut self, page: &PageRef, subs: u32, evicted: &mut Vec<PageId>) -> PushOutcome {
         let a = self.access_count(page.page);
         let v = self.value(page, subs, a, self.engine.inflation());
-        match self.engine.push_valued(page, v) {
-            Some(evicted) => PushOutcome::Stored { evicted },
-            None => PushOutcome::Declined,
+        if self.engine.push_valued(page, v, evicted) {
+            PushOutcome::Stored
+        } else {
+            PushOutcome::Declined
         }
     }
 
@@ -183,12 +206,9 @@ impl<O: Observer> Strategy for SingleCache<O> {
         store.free() + store.candidate_size_below(v) >= page.size
     }
 
-    fn on_access(&mut self, page: &PageRef, subs: u32) -> AccessOutcome {
-        let a = {
-            let e = self.accesses.entry(page.page).or_insert(0);
-            *e += 1;
-            *e
-        };
+    fn on_access(&mut self, page: &PageRef, subs: u32, evicted: &mut Vec<PageId>) -> AccessOutcome {
+        let a = self.accesses.get(page.page) + 1;
+        self.accesses.set(page.page, a);
         // The closure ignores the engine's in-cache count: this family
         // tracks cumulative accesses itself (see type docs).
         let model = self.model;
@@ -204,7 +224,8 @@ impl<O: Observer> Strategy for SingleCache<O> {
                 Model::Sr => (subs as f64 - a as f64).max(0.0) * cs,
             }
         };
-        self.engine.access_gated(page, |_, l| name_value(l))
+        self.engine
+            .access_gated(page, |_, l| name_value(l), evicted)
     }
 
     fn contains(&self, page: PageId) -> bool {
@@ -249,101 +270,109 @@ mod tests {
 
     #[test]
     fn push_then_access_hits() {
+        let mut ev = Vec::new();
         for mut s in [
             SingleCache::sg1(Bytes::new(100), 2.0),
             SingleCache::sg2(Bytes::new(100), 2.0),
             SingleCache::sr(Bytes::new(100)),
         ] {
             let p = page(1, 10, 1.0);
-            assert!(s.on_push(&p, 4).is_stored());
-            assert!(s.on_access(&p, 4).is_hit());
+            assert!(s.on_push(&p, 4, &mut ev).is_stored());
+            assert!(s.on_access(&p, 4, &mut ev).is_hit());
             assert_eq!(s.access_count(p.page), 1);
         }
     }
 
     #[test]
     fn sg2_value_decays_with_accesses() {
+        let mut ev = Vec::new();
         let mut sg2 = SingleCache::sg2(Bytes::new(30), 1.0);
         let p = page(1, 10, 10.0);
-        sg2.on_push(&p, 2); // f = 2 - 0 = 2 -> value 2*1 = 2
+        sg2.on_push(&p, 2, &mut ev); // f = 2 - 0 = 2 -> value 2*1 = 2
         let v0 = sg2.engineer_value(p.page);
-        sg2.on_access(&p, 2); // a = 1, f = 1
+        sg2.on_access(&p, 2, &mut ev); // a = 1, f = 1
         let v1 = sg2.engineer_value(p.page);
-        sg2.on_access(&p, 2); // a = 2, f = 0
+        sg2.on_access(&p, 2, &mut ev); // a = 2, f = 0
         let v2 = sg2.engineer_value(p.page);
         assert!(v0 > v1 && v1 > v2, "{v0} > {v1} > {v2} expected");
     }
 
     #[test]
     fn sg1_value_grows_with_accesses() {
+        let mut ev = Vec::new();
         let mut sg1 = SingleCache::sg1(Bytes::new(30), 1.0);
         let p = page(1, 10, 10.0);
-        sg1.on_push(&p, 2);
+        sg1.on_push(&p, 2, &mut ev);
         let v0 = sg1.engineer_value(p.page);
-        sg1.on_access(&p, 2);
+        sg1.on_access(&p, 2, &mut ev);
         let v1 = sg1.engineer_value(p.page);
         assert!(v1 > v0);
     }
 
     #[test]
     fn access_counts_survive_eviction() {
+        let mut ev = Vec::new();
         let mut sr = SingleCache::sr(Bytes::new(10));
         let p = page(1, 10, 1.0);
-        sr.on_push(&p, 3);
-        sr.on_access(&p, 3); // a = 1
-                             // Displace it with a much more valuable page.
-        assert!(sr.on_push(&page(2, 10, 1.0), 100).is_stored());
+        sr.on_push(&p, 3, &mut ev);
+        sr.on_access(&p, 3, &mut ev); // a = 1
+                                      // Displace it with a much more valuable page.
+        assert!(sr.on_push(&page(2, 10, 1.0), 100, &mut ev).is_stored());
         assert!(!sr.contains(p.page));
         // The count is still there: a = 1 persists.
         assert_eq!(sr.access_count(p.page), 1);
-        sr.on_access(&p, 3); // a = 2, f = 1, value small -> gated out
+        sr.on_access(&p, 3, &mut ev); // a = 2, f = 1, value small -> gated out
         assert_eq!(sr.access_count(p.page), 2);
     }
 
     #[test]
     fn sr_exhausted_pages_are_not_admitted() {
+        let mut ev = Vec::new();
         let mut sr = SingleCache::sr(Bytes::new(20));
         let hot = page(1, 10, 1.0);
-        sr.on_push(&hot, 1);
+        sr.on_push(&hot, 1, &mut ev);
         // One subscriber, one read: future refs 0 after this access.
-        assert!(sr.on_access(&hot, 1).is_hit());
+        assert!(sr.on_access(&hot, 1, &mut ev).is_hit());
         // Now fill with a valuable page, then re-request the dead page:
-        sr.on_push(&page(2, 10, 1.0), 50);
-        assert!(sr.on_push(&page(3, 10, 1.0), 50).is_stored()); // evicts hot (v=0)
+        sr.on_push(&page(2, 10, 1.0), 50, &mut ev);
+        assert!(sr.on_push(&page(3, 10, 1.0), 50, &mut ev).is_stored()); // evicts hot (v=0)
         assert!(!sr.contains(hot.page));
         // Re-access: s - a = 1 - 2 -> clamped 0; value 0; cache full with
         // positive-valued pages -> bypassed.
-        assert_eq!(sr.on_access(&hot, 1), AccessOutcome::MissBypassed);
+        assert_eq!(sr.on_access(&hot, 1, &mut ev), AccessOutcome::MissBypassed);
     }
 
     #[test]
     fn gated_miss_admission_requires_value() {
+        let mut ev = Vec::new();
         let mut sg2 = SingleCache::sg2(Bytes::new(20), 1.0);
-        sg2.on_push(&page(1, 10, 1.0), 100);
-        sg2.on_push(&page(2, 10, 1.0), 100);
+        sg2.on_push(&page(1, 10, 1.0), 100, &mut ev);
+        sg2.on_push(&page(2, 10, 1.0), 100, &mut ev);
         // Page with zero subscriptions missing: f = 0 - 1 -> 0 -> low value.
         assert_eq!(
-            sg2.on_access(&page(3, 10, 1.0), 0),
+            sg2.on_access(&page(3, 10, 1.0), 0, &mut ev),
             AccessOutcome::MissBypassed
         );
         // Page with many subscriptions missing: admitted over weaker... none
         // weaker here (both 100-sub pages), so still bypassed.
         assert_eq!(
-            sg2.on_access(&page(4, 10, 1.0), 50),
+            sg2.on_access(&page(4, 10, 1.0), 50, &mut ev),
             AccessOutcome::MissBypassed
         );
         // Against low-value residents it is admitted.
         let mut sg2 = SingleCache::sg2(Bytes::new(20), 1.0);
-        sg2.on_push(&page(1, 10, 1.0), 1);
-        sg2.on_push(&page(2, 10, 1.0), 1);
-        assert!(matches!(
-            sg2.on_access(&page(4, 10, 1.0), 50),
-            AccessOutcome::MissAdmitted { .. }
-        ));
+        sg2.on_push(&page(1, 10, 1.0), 1, &mut ev);
+        sg2.on_push(&page(2, 10, 1.0), 1, &mut ev);
+        assert_eq!(
+            sg2.on_access(&page(4, 10, 1.0), 50, &mut ev),
+            AccessOutcome::MissAdmitted
+        );
+        assert!(!ev.is_empty());
     }
 
     #[test]
     fn would_store_matches_on_push() {
+        let mut ev = Vec::new();
         let mut sg1 = SingleCache::sg1(Bytes::new(20), 2.0);
         let cases = [
             (page(1, 10, 1.0), 10u32),
@@ -355,10 +384,63 @@ mod tests {
         for (p, subs) in cases {
             assert_eq!(
                 sg1.would_store(&p, subs),
-                sg1.on_push(&p, subs).is_stored(),
+                sg1.on_push(&p, subs, &mut ev).is_stored(),
                 "page {:?}",
                 p.page
             );
+        }
+    }
+
+    #[test]
+    fn dense_layout_matches_sparse() {
+        let mut ev_s = Vec::new();
+        let mut ev_d = Vec::new();
+        let dense = Layout::Dense { page_count: 24 };
+        let disabled = ObsHandle::disabled;
+        let mut pairs = [
+            (
+                SingleCache::sg1(Bytes::new(40), 2.0),
+                SingleCache::sg1_with_layout(Bytes::new(40), 2.0, dense, disabled()),
+            ),
+            (
+                SingleCache::sg2(Bytes::new(40), 2.0),
+                SingleCache::sg2_with_layout(Bytes::new(40), 2.0, dense, disabled()),
+            ),
+            (
+                SingleCache::sr(Bytes::new(40)),
+                SingleCache::sr_with_layout(Bytes::new(40), dense, disabled()),
+            ),
+        ];
+        let mut x = 0x9e37_79b9u64;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..2_000 {
+            let p = page((rng() % 24) as u32, rng() % 15 + 1, (rng() % 5 + 1) as f64);
+            let subs = (rng() % 20) as u32;
+            let push = rng() % 2 == 0;
+            for (sparse, dense) in &mut pairs {
+                if push {
+                    assert_eq!(
+                        sparse.on_push(&p, subs, &mut ev_s),
+                        dense.on_push(&p, subs, &mut ev_d),
+                        "{}",
+                        sparse.name()
+                    );
+                } else {
+                    assert_eq!(
+                        sparse.on_access(&p, subs, &mut ev_s),
+                        dense.on_access(&p, subs, &mut ev_d),
+                        "{}",
+                        sparse.name()
+                    );
+                }
+                assert_eq!(ev_s, ev_d);
+                assert_eq!(sparse.used(), dense.used());
+            }
         }
     }
 

@@ -18,13 +18,16 @@ pub enum StrategyClass {
 }
 
 /// What happened when a matched page was pushed to a proxy.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Evicted pages are reported through the caller-provided scratch buffer
+/// of [`Strategy::on_push`], not carried here — keeping the outcome a
+/// plain enum is what lets the replay hot loop run without heap
+/// allocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PushOutcome {
-    /// The proxy stored the page, evicting the listed pages.
-    Stored {
-        /// Pages evicted to make room.
-        evicted: Vec<PageId>,
-    },
+    /// The proxy stored the page, evicting the pages listed in the
+    /// operation's scratch buffer (possibly none).
+    Stored,
     /// The proxy declined the page (not valuable enough / no push module).
     Declined,
 }
@@ -32,7 +35,7 @@ pub enum PushOutcome {
 impl PushOutcome {
     /// `true` if the page entered the cache.
     pub fn is_stored(&self) -> bool {
-        matches!(self, PushOutcome::Stored { .. })
+        matches!(self, PushOutcome::Stored)
     }
 }
 
@@ -58,8 +61,11 @@ pub trait Strategy: fmt::Debug {
     /// Taxonomy position (Table 1).
     fn class(&self) -> StrategyClass;
 
-    /// Handles a push-time placement opportunity.
-    fn on_push(&mut self, page: &PageRef, subs: u32) -> PushOutcome;
+    /// Handles a push-time placement opportunity. `evicted` is a
+    /// caller-owned scratch buffer: it is cleared on entry and holds the
+    /// evicted pages on return (empty unless the outcome is
+    /// [`PushOutcome::Stored`]).
+    fn on_push(&mut self, page: &PageRef, subs: u32, evicted: &mut Vec<PageId>) -> PushOutcome;
 
     /// Pure predicate: would [`on_push`](Strategy::on_push) store this page
     /// right now? Used by the Pushing-When-Necessary scheme (§5.6), where
@@ -67,8 +73,9 @@ pub trait Strategy: fmt::Debug {
     /// transfers any content.
     fn would_store(&self, page: &PageRef, subs: u32) -> bool;
 
-    /// Handles a user request for `page` at this proxy.
-    fn on_access(&mut self, page: &PageRef, subs: u32) -> AccessOutcome;
+    /// Handles a user request for `page` at this proxy. `evicted` follows
+    /// the same scratch-buffer contract as [`on_push`](Strategy::on_push).
+    fn on_access(&mut self, page: &PageRef, subs: u32, evicted: &mut Vec<PageId>) -> AccessOutcome;
 
     /// `true` if the page is currently cached (in any cache portion).
     fn contains(&self, page: PageId) -> bool;
@@ -105,7 +112,7 @@ mod tests {
 
     #[test]
     fn push_outcome_predicates() {
-        assert!(PushOutcome::Stored { evicted: vec![] }.is_stored());
+        assert!(PushOutcome::Stored.is_stored());
         assert!(!PushOutcome::Declined.is_stored());
     }
 }

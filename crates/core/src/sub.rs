@@ -1,6 +1,6 @@
 //! SUB: push-time-only placement driven by subscription matching (§3.2).
 
-use pscd_cache::{AccessOutcome, GreedyDualEngine, PageRef};
+use pscd_cache::{AccessOutcome, GreedyDualEngine, Layout, PageRef};
 use pscd_obs::{NullObserver, ObsHandle, Observer};
 use pscd_types::{Bytes, PageId};
 
@@ -26,9 +26,10 @@ use crate::{PushOutcome, Strategy, StrategyClass};
 /// use pscd_types::{Bytes, PageId};
 ///
 /// let mut sub = Sub::new(Bytes::from_kib(4));
+/// let mut evicted = Vec::new();
 /// let page = PageRef::new(PageId::new(0), Bytes::new(512), 1.0);
-/// assert!(sub.on_push(&page, 3).is_stored());
-/// assert!(sub.on_access(&page, 3).is_hit());
+/// assert!(sub.on_push(&page, 3, &mut evicted).is_stored());
+/// assert!(sub.on_access(&page, 3, &mut evicted).is_hit());
 /// ```
 #[derive(Debug)]
 pub struct Sub<O: Observer = NullObserver> {
@@ -45,8 +46,13 @@ impl Sub {
 impl<O: Observer> Sub<O> {
     /// Creates a SUB proxy cache reporting cache decisions to `obs`.
     pub fn with_observer(capacity: Bytes, obs: ObsHandle<O>) -> Self {
+        Self::with_layout(capacity, Layout::Sparse, obs)
+    }
+
+    /// Creates a SUB proxy cache with an explicit state [`Layout`].
+    pub fn with_layout(capacity: Bytes, layout: Layout, obs: ObsHandle<O>) -> Self {
         Self {
-            engine: GreedyDualEngine::with_observer(capacity, obs),
+            engine: GreedyDualEngine::with_layout(capacity, layout, obs),
         }
     }
 
@@ -65,10 +71,14 @@ impl<O: Observer> Strategy for Sub<O> {
         StrategyClass::PushTime
     }
 
-    fn on_push(&mut self, page: &PageRef, subs: u32) -> PushOutcome {
-        match self.engine.push_valued(page, Self::value(page, subs)) {
-            Some(evicted) => PushOutcome::Stored { evicted },
-            None => PushOutcome::Declined,
+    fn on_push(&mut self, page: &PageRef, subs: u32, evicted: &mut Vec<PageId>) -> PushOutcome {
+        if self
+            .engine
+            .push_valued(page, Self::value(page, subs), evicted)
+        {
+            PushOutcome::Stored
+        } else {
+            PushOutcome::Declined
         }
     }
 
@@ -83,7 +93,13 @@ impl<O: Observer> Strategy for Sub<O> {
         store.free() + store.candidate_size_below(Self::value(page, subs)) >= page.size
     }
 
-    fn on_access(&mut self, page: &PageRef, _subs: u32) -> AccessOutcome {
+    fn on_access(
+        &mut self,
+        page: &PageRef,
+        _subs: u32,
+        evicted: &mut Vec<PageId>,
+    ) -> AccessOutcome {
+        evicted.clear();
         if self.engine.store().contains(page.page) {
             AccessOutcome::Hit
         } else {
@@ -123,50 +139,56 @@ mod tests {
 
     #[test]
     fn stores_by_subscription_value() {
+        let mut ev = Vec::new();
         let mut sub = Sub::new(Bytes::new(20));
         // Two pages fill the cache; values 10*1/10 = 1.0 and 2.0.
-        assert!(sub.on_push(&page(1, 10, 1.0), 10).is_stored());
-        assert!(sub.on_push(&page(2, 10, 1.0), 20).is_stored());
+        assert!(sub.on_push(&page(1, 10, 1.0), 10, &mut ev).is_stored());
+        assert!(sub.on_push(&page(2, 10, 1.0), 20, &mut ev).is_stored());
         // Low-value page declined.
-        assert_eq!(sub.on_push(&page(3, 10, 1.0), 5), PushOutcome::Declined);
+        assert_eq!(
+            sub.on_push(&page(3, 10, 1.0), 5, &mut ev),
+            PushOutcome::Declined
+        );
         assert!(!sub.contains(PageId::new(3)));
         // High-value page evicts the weakest.
-        let out = sub.on_push(&page(4, 10, 1.0), 30);
-        assert_eq!(
-            out,
-            PushOutcome::Stored {
-                evicted: vec![PageId::new(1)]
-            }
-        );
+        let out = sub.on_push(&page(4, 10, 1.0), 30, &mut ev);
+        assert_eq!(out, PushOutcome::Stored);
+        assert_eq!(ev, vec![PageId::new(1)]);
     }
 
     #[test]
     fn declines_when_candidates_too_small() {
+        let mut ev = Vec::new();
         let mut sub = Sub::new(Bytes::new(30));
-        sub.on_push(&page(1, 10, 1.0), 10); // v = 1.0
-        sub.on_push(&page(2, 20, 1.0), 40); // v = 2.0
-                                            // New 20-byte page worth 1.5: only page 1 (10 bytes) is a weaker
-                                            // candidate -> total candidate size 10 < 20 -> declined (§3.2).
-        assert_eq!(sub.on_push(&page(3, 20, 1.0), 30), PushOutcome::Declined);
+        sub.on_push(&page(1, 10, 1.0), 10, &mut ev); // v = 1.0
+        sub.on_push(&page(2, 20, 1.0), 40, &mut ev); // v = 2.0
+                                                     // New 20-byte page worth 1.5: only page 1 (10 bytes) is a weaker
+                                                     // candidate -> total candidate size 10 < 20 -> declined (§3.2).
+        assert_eq!(
+            sub.on_push(&page(3, 20, 1.0), 30, &mut ev),
+            PushOutcome::Declined
+        );
         assert!(!sub.would_store(&page(3, 20, 1.0), 30));
         assert!(sub.would_store(&page(4, 10, 1.0), 20));
     }
 
     #[test]
     fn misses_never_cache() {
+        let mut ev = Vec::new();
         let mut sub = Sub::new(Bytes::new(100));
         let p = page(1, 10, 1.0);
-        assert_eq!(sub.on_access(&p, 50), AccessOutcome::MissBypassed);
-        assert_eq!(sub.on_access(&p, 50), AccessOutcome::MissBypassed);
+        assert_eq!(sub.on_access(&p, 50, &mut ev), AccessOutcome::MissBypassed);
+        assert_eq!(sub.on_access(&p, 50, &mut ev), AccessOutcome::MissBypassed);
         assert!(sub.is_empty());
     }
 
     #[test]
     fn hits_on_pushed_pages() {
+        let mut ev = Vec::new();
         let mut sub = Sub::new(Bytes::new(100));
         let p = page(1, 10, 1.0);
-        sub.on_push(&p, 2);
-        assert_eq!(sub.on_access(&p, 2), AccessOutcome::Hit);
+        sub.on_push(&p, 2, &mut ev);
+        assert_eq!(sub.on_access(&p, 2, &mut ev), AccessOutcome::Hit);
         assert_eq!(sub.used(), Bytes::new(10));
         assert_eq!(sub.capacity(), Bytes::new(100));
         assert_eq!(sub.name(), "SUB");
@@ -176,6 +198,7 @@ mod tests {
 
     #[test]
     fn would_store_matches_on_push() {
+        let mut ev = Vec::new();
         let mut sub = Sub::new(Bytes::new(20));
         let cases = [
             (page(1, 10, 1.0), 10u32),
@@ -186,16 +209,57 @@ mod tests {
         ];
         for (p, subs) in cases {
             let predicted = sub.would_store(&p, subs);
-            let actual = sub.on_push(&p, subs).is_stored();
+            let actual = sub.on_push(&p, subs, &mut ev).is_stored();
             assert_eq!(predicted, actual, "page {:?} subs {subs}", p.page);
         }
     }
 
     #[test]
     fn zero_subscriptions_zero_value() {
+        let mut ev = Vec::new();
         let mut sub = Sub::new(Bytes::new(10));
-        assert!(sub.on_push(&page(1, 10, 1.0), 0).is_stored()); // empty cache: free space
-                                                                // Another zero-value page cannot displace it (not strictly less).
-        assert_eq!(sub.on_push(&page(2, 10, 1.0), 0), PushOutcome::Declined);
+        // Empty cache: free space admits even a zero-value page.
+        assert!(sub.on_push(&page(1, 10, 1.0), 0, &mut ev).is_stored());
+        // Another zero-value page cannot displace it (not strictly less).
+        assert_eq!(
+            sub.on_push(&page(2, 10, 1.0), 0, &mut ev),
+            PushOutcome::Declined
+        );
+    }
+
+    #[test]
+    fn dense_layout_matches_sparse() {
+        let mut ev_s = Vec::new();
+        let mut ev_d = Vec::new();
+        let mut sparse = Sub::new(Bytes::new(40));
+        let mut dense = Sub::with_layout(
+            Bytes::new(40),
+            Layout::Dense { page_count: 24 },
+            ObsHandle::disabled(),
+        );
+        let mut x = 0x1234_5678u64;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..2_000 {
+            let p = page((rng() % 24) as u32, rng() % 15 + 1, (rng() % 5 + 1) as f64);
+            let subs = (rng() % 40) as u32;
+            if rng() % 3 == 0 {
+                assert_eq!(
+                    sparse.on_access(&p, subs, &mut ev_s),
+                    dense.on_access(&p, subs, &mut ev_d)
+                );
+            } else {
+                assert_eq!(
+                    sparse.on_push(&p, subs, &mut ev_s),
+                    dense.on_push(&p, subs, &mut ev_d)
+                );
+            }
+            assert_eq!(ev_s, ev_d);
+            assert_eq!(sparse.used(), dense.used());
+        }
     }
 }

@@ -1,0 +1,175 @@
+//! Layout-aware resident-page tables shared by the heap-based strategies
+//! (DM, DC-AP/DC-LAP).
+
+use std::collections::HashMap;
+
+use pscd_cache::Layout;
+use pscd_types::PageId;
+
+/// Sentinel live-list index marking a vacant dense slot.
+const NO_IDX: u32 = u32::MAX;
+
+/// The page → live-list-position index.
+#[derive(Debug)]
+enum Index {
+    Sparse(HashMap<PageId, u32>),
+    Dense(Vec<u32>),
+}
+
+impl Index {
+    #[inline]
+    fn get(&self, page: PageId) -> Option<u32> {
+        match self {
+            Index::Sparse(m) => m.get(&page).copied(),
+            Index::Dense(v) => v.get(page.as_usize()).copied().filter(|&i| i != NO_IDX),
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, page: PageId, idx: u32) {
+        match self {
+            Index::Sparse(m) => {
+                m.insert(page, idx);
+            }
+            Index::Dense(v) => v[page.as_usize()] = idx,
+        }
+    }
+
+    #[inline]
+    fn take(&mut self, page: PageId) -> Option<u32> {
+        match self {
+            Index::Sparse(m) => m.remove(&page),
+            Index::Dense(v) => {
+                let slot = v.get_mut(page.as_usize())?;
+                if *slot == NO_IDX {
+                    None
+                } else {
+                    Some(std::mem::replace(slot, NO_IDX))
+                }
+            }
+        }
+    }
+}
+
+/// Resident-page table: a page → position index over a compact
+/// `(page, entry)` live list, so full scans (candidate sizing,
+/// stale-page sweeps) cost O(resident pages) in both layouts instead of
+/// O(page universe) in dense mode — and the dense form preallocates only
+/// one `u32` per page ordinal, keeping construction a cheap sentinel
+/// fill no matter how fat the entry type is.
+#[derive(Debug)]
+pub(crate) struct EntryTable<E> {
+    index: Index,
+    live: Vec<(PageId, E)>,
+}
+
+impl<E> EntryTable<E> {
+    pub(crate) fn with_layout(layout: Layout) -> Self {
+        match layout {
+            Layout::Sparse => Self {
+                index: Index::Sparse(HashMap::new()),
+                live: Vec::new(),
+            },
+            Layout::Dense { page_count } => Self {
+                index: Index::Dense(vec![NO_IDX; page_count]),
+                live: Vec::with_capacity(page_count),
+            },
+        }
+    }
+
+    pub(crate) fn get(&self, page: PageId) -> Option<&E> {
+        self.index.get(page).map(|i| &self.live[i as usize].1)
+    }
+
+    pub(crate) fn get_mut(&mut self, page: PageId) -> Option<&mut E> {
+        self.index.get(page).map(|i| &mut self.live[i as usize].1)
+    }
+
+    pub(crate) fn contains(&self, page: PageId) -> bool {
+        self.index.get(page).is_some()
+    }
+
+    /// Inserts a fresh entry. The page must not be resident.
+    pub(crate) fn insert(&mut self, page: PageId, entry: E) {
+        debug_assert!(self.index.get(page).is_none(), "insert over a live entry");
+        self.index.set(page, self.live.len() as u32);
+        self.live.push((page, entry));
+    }
+
+    pub(crate) fn remove(&mut self, page: PageId) -> Option<E> {
+        let idx = self.index.take(page)? as usize;
+        let (_, entry) = self.live.swap_remove(idx);
+        if let Some(&(moved, _)) = self.live.get(idx) {
+            self.index.set(moved, idx as u32);
+        }
+        Some(entry)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Iterates resident entries (arbitrary order — callers must only do
+    /// order-insensitive work, e.g. commutative sums or sort-after).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (PageId, &E)> {
+        self.live.iter().map(|(p, e)| (*p, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_and_dense_agree_under_churn() {
+        let mut sparse = EntryTable::<u32>::with_layout(Layout::Sparse);
+        let mut dense = EntryTable::<u32>::with_layout(Layout::Dense { page_count: 20 });
+        let mut x = 0x0bad_cafeu64;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for i in 0..2_000u32 {
+            let page = PageId::new((rng() % 20) as u32);
+            match rng() % 3 {
+                0 => {
+                    if !sparse.contains(page) {
+                        sparse.insert(page, i);
+                        dense.insert(page, i);
+                    }
+                }
+                1 => {
+                    assert_eq!(sparse.remove(page), dense.remove(page));
+                }
+                _ => {
+                    assert_eq!(sparse.get(page), dense.get(page));
+                }
+            }
+            assert_eq!(sparse.len(), dense.len());
+            // The live list covers exactly the resident pages.
+            let mut a: Vec<u32> = sparse.iter().map(|(_, e)| *e).collect();
+            let mut b: Vec<u32> = dense.iter().map(|(_, e)| *e).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn live_indices_stay_honest_after_swap_remove() {
+        let mut t = EntryTable::<u32>::with_layout(Layout::Dense { page_count: 8 });
+        for i in 0..8 {
+            t.insert(PageId::new(i), i);
+        }
+        t.remove(PageId::new(0)); // last entry swaps into slot 0
+        for (page, &e) in t.iter() {
+            assert_eq!(*t.get(page).unwrap(), e);
+        }
+        assert_eq!(t.len(), 7);
+        // Mutate through get_mut and observe through iter.
+        *t.get_mut(PageId::new(7)).unwrap() = 99;
+        assert!(t.iter().any(|(_, &e)| e == 99));
+    }
+}

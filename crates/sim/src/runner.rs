@@ -14,8 +14,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use pscd_broker::{DeliveryEngine, PushScheme};
-use pscd_core::StrategyKind;
+use pscd_broker::{DeliveryEngine, PushRecord, PushScheme};
+use pscd_core::{Layout, StrategyKind};
 use pscd_obs::{MergeableObserver, NullObserver, Observer, SharedObserver};
 use pscd_topology::FetchCosts;
 use pscd_types::{ServerId, SimTime, SubscriptionTable};
@@ -419,6 +419,12 @@ pub(crate) struct ReplayState<O: Observer> {
     victims: Vec<ServerId>,
     /// An invalidation to report before processing the next event.
     pending_invalidation: Option<(pscd_types::PageId, usize)>,
+    /// Dense page-universe layout shared by every strategy this replay
+    /// builds (including crash restarts).
+    layout: Layout,
+    /// Reused publish-record buffer: [`DeliveryEngine::publish_into`]
+    /// writes into it, keeping the steady-state loop allocation-free.
+    push_scratch: Vec<PushRecord>,
     start: u16,
     end: u16,
 }
@@ -435,16 +441,23 @@ impl<O: Observer> ReplayState<O> {
         end: u16,
     ) -> Self {
         let capacities = trace.capacities(options.capacity_fraction);
+        // Page ids in a compiled trace are dense ordinals `0..pages()`, so
+        // every per-page table can be a flat preallocated vector.
+        let layout = Layout::Dense {
+            page_count: trace.pages().len(),
+        };
         let strategies = (start..end)
             .map(|s| {
                 let server = ServerId::new(s);
-                options
-                    .strategy
-                    .build_observed(capacities[s as usize], obs.handle(server))
+                options.strategy.build_impl_observed(
+                    capacities[s as usize],
+                    layout,
+                    obs.handle(server),
+                )
             })
             .collect();
         let local_costs = (start..end).map(|s| costs.cost(ServerId::new(s))).collect();
-        let engine = DeliveryEngine::with_observer_offset(
+        let mut engine = DeliveryEngine::from_impls(
             strategies,
             local_costs,
             options.scheme,
@@ -452,6 +465,9 @@ impl<O: Observer> ReplayState<O> {
             ServerId::new(start),
         )
         .expect("lengths match by construction");
+        // One event can evict at most the page universe; size the eviction
+        // scratch once so the hot loop never grows it.
+        engine.reserve_evict_scratch(trace.pages().len());
         // Victims are resolved over the *full* fleet (a pure function of
         // the seed) and filtered to the range, so fault injection hits
         // exactly the proxies it hits sequentially.
@@ -472,6 +488,8 @@ impl<O: Observer> ReplayState<O> {
             crash_at: options.crash.map(|plan| trace.crash_index(plan.time)),
             victims,
             pending_invalidation: None,
+            layout,
+            push_scratch: Vec::with_capacity((end - start) as usize),
             start,
             end,
         }
@@ -536,9 +554,11 @@ impl<O: Observer> ReplayState<O> {
                         self.engine
                             .replace_strategy(
                                 server,
-                                self.options
-                                    .strategy
-                                    .build_observed(capacity, self.obs.handle(server)),
+                                self.options.strategy.build_impl_observed(
+                                    capacity,
+                                    self.layout,
+                                    self.obs.handle(server),
+                                ),
                             )
                             .expect("victims filtered to the replay range");
                         self.obs.restart(ev.time, server);
@@ -576,7 +596,9 @@ impl<O: Observer> ReplayState<O> {
                         .notify(ev.time, ev.page, trace.matched(ordinal).len());
                 }
                 let mut pushed = 0;
-                for record in self.engine.publish(meta, matched) {
+                self.engine
+                    .publish_into(meta, matched, &mut self.push_scratch);
+                for record in &self.push_scratch {
                     if record.transferred {
                         self.hourly.record_push(ev.time, meta.size());
                         pushed += 1;

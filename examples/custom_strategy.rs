@@ -43,12 +43,11 @@ impl Strategy for PushLru {
         StrategyClass::Combined
     }
 
-    fn on_push(&mut self, page: &PageRef, _subs: u32) -> PushOutcome {
+    fn on_push(&mut self, page: &PageRef, _subs: u32, evicted: &mut Vec<PageId>) -> PushOutcome {
         // Treat the push like an access: LRU admits unconditionally.
-        match self.cache.access(page) {
+        match self.cache.access(page, evicted) {
             AccessOutcome::MissBypassed => PushOutcome::Declined,
-            AccessOutcome::Hit => PushOutcome::Stored { evicted: vec![] },
-            AccessOutcome::MissAdmitted { evicted } => PushOutcome::Stored { evicted },
+            AccessOutcome::Hit | AccessOutcome::MissAdmitted => PushOutcome::Stored,
         }
     }
 
@@ -56,8 +55,13 @@ impl Strategy for PushLru {
         page.size <= self.cache.capacity()
     }
 
-    fn on_access(&mut self, page: &PageRef, _subs: u32) -> AccessOutcome {
-        self.cache.access(page)
+    fn on_access(
+        &mut self,
+        page: &PageRef,
+        _subs: u32,
+        evicted: &mut Vec<PageId>,
+    ) -> AccessOutcome {
+        self.cache.access(page, evicted)
     }
 
     fn contains(&self, page: PageId) -> bool {

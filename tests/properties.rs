@@ -58,13 +58,14 @@ proptest! {
     ) {
         for kind in all_kinds() {
             let mut s = kind.build(Bytes::new(capacity));
+            let mut ev = Vec::new();
             for op in &ops {
                 match *op {
                     Op::Push { page, subs } => {
-                        let _ = s.on_push(&page_ref(page), subs);
+                        let _ = s.on_push(&page_ref(page), subs, &mut ev);
                     }
                     Op::Access { page, subs } => {
-                        let _ = s.on_access(&page_ref(page), subs);
+                        let _ = s.on_access(&page_ref(page), subs, &mut ev);
                     }
                     Op::Invalidate { page } => {
                         let was = s.contains(PageId::new(page));
@@ -94,18 +95,19 @@ proptest! {
             if !s.uses_push() {
                 continue;
             }
+            let mut ev = Vec::new();
             for op in &ops {
                 match *op {
                     Op::Push { page, subs } => {
                         let predicted = s.would_store(&page_ref(page), subs);
-                        let stored = s.on_push(&page_ref(page), subs).is_stored();
+                        let stored = s.on_push(&page_ref(page), subs, &mut ev).is_stored();
                         prop_assert_eq!(
                             predicted, stored,
                             "{}: would_store lied for page {}", s.name(), page
                         );
                     }
                     Op::Access { page, subs } => {
-                        let _ = s.on_access(&page_ref(page), subs);
+                        let _ = s.on_access(&page_ref(page), subs, &mut ev);
                     }
                     Op::Invalidate { page } => {
                         let _ = s.invalidate(PageId::new(page));
@@ -123,17 +125,18 @@ proptest! {
     ) {
         for kind in all_kinds() {
             let mut s = kind.build(Bytes::new(capacity));
+            let mut ev = Vec::new();
             for op in &ops {
                 match *op {
                     Op::Push { page, subs } => {
-                        let outcome = s.on_push(&page_ref(page), subs);
+                        let outcome = s.on_push(&page_ref(page), subs, &mut ev);
                         if outcome.is_stored() {
                             prop_assert!(s.contains(PageId::new(page)), "{}", s.name());
                         }
                     }
                     Op::Access { page, subs } => {
                         let was_cached = s.contains(PageId::new(page));
-                        let outcome = s.on_access(&page_ref(page), subs);
+                        let outcome = s.on_access(&page_ref(page), subs, &mut ev);
                         prop_assert_eq!(
                             outcome.is_hit(), was_cached,
                             "{}: hit does not match cache state", s.name()
@@ -178,9 +181,10 @@ proptest! {
             Box::new(LfuDa::new(capacity)),
             Box::new(GdStar::new(capacity, 2.0)),
         ];
+        let mut ev = Vec::new();
         for p in &mut policies {
-            prop_assert!(p.access(&pr).is_miss());
-            prop_assert!(p.access(&pr).is_hit(), "{}", p.name());
+            prop_assert!(p.access(&pr, &mut ev).is_miss());
+            prop_assert!(p.access(&pr, &mut ev).is_hit(), "{}", p.name());
         }
     }
 }
