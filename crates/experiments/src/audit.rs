@@ -86,7 +86,10 @@ impl ObsAudit {
         let trace = Trace::News;
         let compiled = ctx.compiled(trace, 1.0)?;
         let mut rows = Vec::new();
-        let mut timing = Registry::new();
+        // Lead the report with the cold-path phase spans (generation,
+        // costs, subscriptions, compilation) so the audit shows where
+        // setup time went before any strategy replay span.
+        let mut timing = ctx.cold_timing();
         for &kind in kinds {
             let (result, stats, events_path, events_written) = if events {
                 let events_path = dir.join(format!("events_{}.jsonl", slug(kind.name())));
@@ -256,7 +259,17 @@ mod tests {
         assert!(summary.contains("== SG2 =="));
         assert!(summary.contains("observer totals verified"));
         assert!(summary.contains("== timing =="));
-        assert_eq!(audit.timing.spans().len(), 2);
+        // Cold-path phase spans lead, one replay span per strategy follows.
+        assert!(summary.contains("cold.generate.news"));
+        assert!(summary.contains("cold.compile"));
+        let labels: Vec<&str> = audit
+            .timing
+            .spans()
+            .iter()
+            .map(|(l, _)| l.as_str())
+            .collect();
+        assert_eq!(labels.last(), Some(&"SG2"));
+        assert_eq!(labels.iter().filter(|l| !l.starts_with("cold.")).count(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -106,7 +106,7 @@ fn run(
     events: bool,
 ) -> Result<bool, ExperimentError> {
     eprintln!("generating workloads (scale = {scale}) …");
-    let ctx = ExperimentContext::scaled(scale)?.with_threads(threads);
+    let ctx = ExperimentContext::scaled_threads(scale, threads)?;
     let all = exhibit == "all";
     let mut known = all;
     let emit = |result: &dyn ToCsv| {

@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+use pscd_obs::{Registry, SharedRegistry};
 use pscd_sim::trace::CompiledTrace;
 use pscd_topology::{FetchCosts, TopologyBuilder};
 use pscd_types::SubscriptionTable;
@@ -64,6 +65,10 @@ pub struct ExperimentContext {
     /// `(workload, subscription table)` pair is compiled exactly once and
     /// every grid cell of every exhibit replays the shared value.
     compiled: Mutex<HashMap<(Trace, u64), Arc<CompiledTrace>>>,
+    /// Wall-clock spans of the cold-path phases (workload generation,
+    /// fetch costs, subscription synthesis, trace compilation) — merged
+    /// into audit reports so `--obs-dir` shows where setup time goes.
+    cold: SharedRegistry,
 }
 
 impl ExperimentContext {
@@ -78,24 +83,49 @@ impl ExperimentContext {
         Self::scaled(1.0)
     }
 
-    /// Proportionally scaled-down context for tests and benches.
+    /// Proportionally scaled-down context for tests and benches;
+    /// equivalent to [`scaled_threads`](Self::scaled_threads) with the
+    /// auto thread count.
     ///
     /// # Errors
     ///
     /// Propagates workload/topology generation failures.
     pub fn scaled(factor: f64) -> Result<Self, ExperimentError> {
-        let news = Workload::generate(&WorkloadConfig::news_scaled(factor))?;
-        let alternative = Workload::generate(&WorkloadConfig::alternative_scaled(factor))?;
-        let topo = TopologyBuilder::new(news.server_count() as usize + 1)
-            .seed(42)
-            .build()?;
-        let costs = FetchCosts::from_topology(&topo, 0)?;
+        Self::scaled_threads(factor, 0)
+    }
+
+    /// Scaled context whose entire cold path — workload generation now,
+    /// subscription synthesis and trace compilation later in
+    /// [`compiled`](Self::compiled) — runs on up to `threads` pool
+    /// workers (`0` = auto, `1` = serial). Purely a speed knob: every
+    /// generated and compiled value is bit-identical at any setting.
+    /// Each phase's wall-clock span is recorded for
+    /// [`cold_timing`](Self::cold_timing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload/topology generation failures.
+    pub fn scaled_threads(factor: f64, threads: usize) -> Result<Self, ExperimentError> {
+        let cold = SharedRegistry::new();
+        let news = cold.time("cold.generate.news", || {
+            Workload::generate_threads(&WorkloadConfig::news_scaled(factor), threads)
+        })?;
+        let alternative = cold.time("cold.generate.alternative", || {
+            Workload::generate_threads(&WorkloadConfig::alternative_scaled(factor), threads)
+        })?;
+        let costs = cold.time("cold.costs", || {
+            let topo = TopologyBuilder::new(news.server_count() as usize + 1)
+                .seed(42)
+                .build()?;
+            FetchCosts::from_topology(&topo, 0).map_err(ExperimentError::from)
+        })?;
         Ok(Self {
             news,
             alternative,
             costs,
-            threads: 0,
+            threads,
             compiled: Mutex::new(HashMap::new()),
+            cold,
         })
     }
 
@@ -165,8 +195,12 @@ impl ExperimentContext {
             }
         }
         let workload = self.workload(trace);
-        let subs = workload.subscriptions(quality)?;
-        let compiled = Arc::new(CompiledTrace::compile(workload, &subs)?);
+        let subs = self.cold.time("cold.subscriptions", || {
+            workload.subscriptions_threads(quality, self.threads)
+        })?;
+        let compiled = Arc::new(self.cold.time("cold.compile", || {
+            CompiledTrace::compile_threads(workload, &subs, self.threads)
+        })?);
         let mut cache = self.compiled.lock().expect("compiled-trace cache poisoned");
         Ok(Arc::clone(cache.entry(key).or_insert(compiled)))
     }
@@ -174,6 +208,14 @@ impl ExperimentContext {
     /// The shared per-proxy fetch costs.
     pub fn costs(&self) -> &FetchCosts {
         &self.costs
+    }
+
+    /// A snapshot of the cold-path phase timings recorded so far:
+    /// `cold.generate.*` from construction, plus one
+    /// `cold.subscriptions` / `cold.compile` span per compiled-cache
+    /// miss. Audits merge this into their timing report.
+    pub fn cold_timing(&self) -> Registry {
+        self.cold.snapshot()
     }
 }
 
@@ -193,6 +235,26 @@ mod tests {
         assert_eq!(Trace::Alternative.alpha(), 1.0);
         assert_eq!(ctx.threads(), 0);
         assert_eq!(ctx.with_threads(2).threads(), 2);
+    }
+
+    #[test]
+    fn cold_timing_records_phase_spans() {
+        let ctx = ExperimentContext::scaled_threads(0.003, 2).unwrap();
+        assert_eq!(ctx.threads(), 2);
+        let labels = |reg: &Registry| -> Vec<String> {
+            reg.spans().iter().map(|(l, _)| l.clone()).collect()
+        };
+        let before = labels(&ctx.cold_timing());
+        assert!(before.contains(&"cold.generate.news".into()));
+        assert!(before.contains(&"cold.generate.alternative".into()));
+        assert!(before.contains(&"cold.costs".into()));
+        ctx.compiled(Trace::News, 1.0).unwrap();
+        let after = labels(&ctx.cold_timing());
+        assert!(after.contains(&"cold.subscriptions".into()));
+        assert!(after.contains(&"cold.compile".into()));
+        // A cache hit re-derives nothing, so it times nothing.
+        ctx.compiled(Trace::News, 1.0).unwrap();
+        assert_eq!(ctx.cold_timing().spans().len(), after.len());
     }
 
     #[test]

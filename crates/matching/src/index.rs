@@ -1,27 +1,117 @@
 //! Counting-based subscription index.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
 use crate::{Content, Op, Subscription, SubscriptionId, Value};
 
-/// Position of a predicate inside its subscription.
-type PredRef = (SubscriptionId, usize);
+/// A predicate's position: `(dense subscription ordinal, predicate index)`.
+///
+/// Bucket entries address subscriptions by their *ordinal* — the position
+/// in [`SubscriptionIndex::order`] — so the match kernel can count
+/// satisfied predicates in a flat array instead of a hash map.
+type Entry = (u32, u32);
+
+/// Reusable counting scratch for the batched match kernel.
+///
+/// Holds one counter slot per registered subscription (by dense ordinal),
+/// epoch-stamped so consecutive matches skip clearing: a slot's counter is
+/// live only when its stamp equals the current epoch, which a new match
+/// bumps in O(1). After warm-up (slots sized to the index, capacities
+/// grown to the biggest result) a match makes **zero allocations** — the
+/// property the `alloc_free` suite asserts.
+///
+/// One scratch serves any number of indexes and contents, as long as each
+/// call sees a scratch at least as old as the previous one (the scratch
+/// grows monotonically). Not `Sync`: use one scratch per worker thread.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_matching::{Content, MatchScratch, Predicate, Subscription, SubscriptionIndex, Value};
+/// let mut idx = SubscriptionIndex::new();
+/// let id = idx.insert(Subscription::new(vec![Predicate::ge("words", 100)]));
+/// let mut scratch = MatchScratch::new();
+/// let mut out = Vec::new();
+/// idx.matches_into(&Content::new().with("words", Value::int(150)), &mut scratch, &mut out);
+/// assert_eq!(out, vec![id]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MatchScratch {
+    /// Satisfied-predicate counters, indexed by ordinal; live only when
+    /// the stamp matches the current epoch.
+    counts: Vec<u32>,
+    /// Epoch stamp per ordinal.
+    stamp: Vec<u32>,
+    /// The current match's epoch.
+    epoch: u32,
+    /// Ordinals touched by the current match.
+    touched: Vec<u32>,
+}
+
+impl MatchScratch {
+    /// Creates an empty scratch; it sizes itself to the index on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a new match epoch over `n` ordinals.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.counts.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            // Epoch wrap: every stamp is stale, reset them all once.
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.touched.clear();
+    }
+
+    /// Counts one satisfied predicate of ordinal `ord`.
+    fn bump(&mut self, ord: u32) {
+        let i = ord as usize;
+        if self.stamp[i] == self.epoch {
+            self.counts[i] += 1;
+        } else {
+            self.stamp[i] = self.epoch;
+            self.counts[i] = 1;
+            self.touched.push(ord);
+        }
+    }
+
+    /// Counts one satisfied predicate for every entry in a bucket.
+    fn bump_all(&mut self, refs: &[Entry]) {
+        for &(ord, _) in refs {
+            self.bump(ord);
+        }
+    }
+}
 
 /// A matching engine over many subscriptions, organized for sub-linear
 /// matching in the style of the *counting algorithm* (Yan & Garcia-Molina;
 /// Fabret et al., SIGMOD'01):
 ///
-/// * Equality predicates are hash-indexed per `(attribute, value)`, so one
-///   lookup per content attribute finds every satisfied equality predicate.
-/// * `Contains` predicates on tag sets are hash-indexed per
-///   `(attribute, tag)`.
+/// * Equality predicates are hash-indexed per attribute and then per
+///   value, so one borrowed-key lookup per content attribute finds every
+///   satisfied equality predicate.
+/// * `Contains` predicates on tag sets are hash-indexed per attribute and
+///   then per tag.
 /// * The remaining operator classes (ranges, prefixes, …) are grouped per
 ///   attribute and evaluated only when the content carries that attribute.
 ///
 /// Each satisfied predicate increments its subscription's counter; a
-/// subscription matches when all its predicates are satisfied.
+/// subscription matches when all its predicates are satisfied. The
+/// counters live in a caller-provided [`MatchScratch`] keyed by dense
+/// subscription ordinals, so the batched entry points
+/// ([`SubscriptionIndex::matches_into`],
+/// [`SubscriptionIndex::match_count_scratch`]) make zero steady-state
+/// allocations; [`SubscriptionIndex::matches`] and
+/// [`SubscriptionIndex::match_count`] are thin compatibility wrappers that
+/// allocate a fresh scratch per call.
 ///
 /// # Examples
 ///
@@ -40,14 +130,22 @@ type PredRef = (SubscriptionId, usize);
 pub struct SubscriptionIndex {
     subscriptions: HashMap<SubscriptionId, Subscription>,
     next_id: u64,
-    /// `(attr, value) -> equality predicates` satisfied by that exact value.
-    eq_index: HashMap<(String, Value), Vec<PredRef>>,
-    /// `(attr, tag) -> Contains predicates` satisfied when the tag is present.
-    tag_index: HashMap<(String, String), Vec<PredRef>>,
+    /// Dense ordinal -> subscription id (swap-removed on unregister).
+    order: Vec<SubscriptionId>,
+    /// Subscription id -> its current dense ordinal.
+    ordinal_of: HashMap<SubscriptionId, u32>,
+    /// Predicate count per ordinal (a subscription matches when its
+    /// counter reaches this).
+    pred_count: Vec<u32>,
+    /// `attr -> value -> equality predicates` satisfied by that value.
+    eq_index: HashMap<String, HashMap<Value, Vec<Entry>>>,
+    /// `attr -> tag -> Contains predicates` satisfied when the tag is present.
+    tag_index: HashMap<String, HashMap<String, Vec<Entry>>>,
     /// `attr -> other predicates` evaluated when the attribute is present.
-    scan_index: HashMap<String, Vec<PredRef>>,
-    /// Subscriptions with no predicates (match everything).
-    wildcards: BTreeSet<SubscriptionId>,
+    scan_index: HashMap<String, Vec<Entry>>,
+    /// Subscriptions with no predicates (match everything), ascending.
+    /// Ids grow monotonically, so insertion keeps the order.
+    wildcards: Vec<SubscriptionId>,
 }
 
 impl SubscriptionIndex {
@@ -70,20 +168,28 @@ impl SubscriptionIndex {
     pub fn insert(&mut self, subscription: Subscription) -> SubscriptionId {
         let id = SubscriptionId::new(self.next_id);
         self.next_id += 1;
+        let ordinal = self.order.len() as u32;
+        self.order.push(id);
+        self.ordinal_of.insert(id, ordinal);
+        self.pred_count.push(subscription.len() as u32);
         if subscription.is_empty() {
-            self.wildcards.insert(id);
+            self.wildcards.push(id);
         }
         for (pred_idx, pred) in subscription.predicates().iter().enumerate() {
-            let entry = (id, pred_idx);
+            let entry = (ordinal, pred_idx as u32);
             match pred.op() {
                 Op::Eq(v) => self
                     .eq_index
-                    .entry((pred.attr().to_owned(), v.clone()))
+                    .entry(pred.attr().to_owned())
+                    .or_default()
+                    .entry(v.clone())
                     .or_default()
                     .push(entry),
                 Op::Contains(tag) => self
                     .tag_index
-                    .entry((pred.attr().to_owned(), tag.clone()))
+                    .entry(pred.attr().to_owned())
+                    .or_default()
+                    .entry(tag.clone())
                     .or_default()
                     .push(entry),
                 _ => self
@@ -100,20 +206,72 @@ impl SubscriptionIndex {
     /// Unregisters a subscription. Returns the subscription if it existed.
     pub fn remove(&mut self, id: SubscriptionId) -> Option<Subscription> {
         let sub = self.subscriptions.remove(&id)?;
-        self.wildcards.remove(&id);
+        let ordinal = self
+            .ordinal_of
+            .remove(&id)
+            .expect("registered subscriptions have ordinals");
+        if sub.is_empty() {
+            if let Ok(pos) = self.wildcards.binary_search(&id) {
+                self.wildcards.remove(pos);
+            }
+        }
+        self.drop_entries(&sub, ordinal);
+        // Swap-remove the ordinal slot; the moved subscription (previously
+        // last) takes over `ordinal` and its bucket entries are rewritten.
+        let last = (self.order.len() - 1) as u32;
+        self.order.swap_remove(ordinal as usize);
+        self.pred_count.swap_remove(ordinal as usize);
+        if ordinal != last {
+            let moved = self.order[ordinal as usize];
+            self.ordinal_of.insert(moved, ordinal);
+            let moved_sub = self.subscriptions[&moved].clone();
+            self.renumber_entries(&moved_sub, last, ordinal);
+        }
+        Some(sub)
+    }
+
+    /// Removes `sub`'s entries (held under `ordinal`) from its buckets.
+    fn drop_entries(&mut self, sub: &Subscription, ordinal: u32) {
         for pred in sub.predicates() {
             let bucket = match pred.op() {
-                Op::Eq(v) => self.eq_index.get_mut(&(pred.attr().to_owned(), v.clone())),
+                Op::Eq(v) => self
+                    .eq_index
+                    .get_mut(pred.attr())
+                    .and_then(|m| m.get_mut(v)),
                 Op::Contains(tag) => self
                     .tag_index
-                    .get_mut(&(pred.attr().to_owned(), tag.clone())),
+                    .get_mut(pred.attr())
+                    .and_then(|m| m.get_mut(tag)),
                 _ => self.scan_index.get_mut(pred.attr()),
             };
             if let Some(bucket) = bucket {
-                bucket.retain(|&(sid, _)| sid != id);
+                bucket.retain(|&(ord, _)| ord != ordinal);
             }
         }
-        Some(sub)
+    }
+
+    /// Rewrites `sub`'s bucket entries from ordinal `from` to `to`.
+    fn renumber_entries(&mut self, sub: &Subscription, from: u32, to: u32) {
+        for pred in sub.predicates() {
+            let bucket = match pred.op() {
+                Op::Eq(v) => self
+                    .eq_index
+                    .get_mut(pred.attr())
+                    .and_then(|m| m.get_mut(v)),
+                Op::Contains(tag) => self
+                    .tag_index
+                    .get_mut(pred.attr())
+                    .and_then(|m| m.get_mut(tag)),
+                _ => self.scan_index.get_mut(pred.attr()),
+            };
+            if let Some(bucket) = bucket {
+                for entry in bucket.iter_mut() {
+                    if entry.0 == from {
+                        entry.0 = to;
+                    }
+                }
+            }
+        }
     }
 
     /// Looks up a registered subscription.
@@ -121,57 +279,99 @@ impl SubscriptionIndex {
         self.subscriptions.get(&id)
     }
 
-    /// The ids of all subscriptions matching `content`, sorted by id.
-    pub fn matches(&self, content: &Content) -> Vec<SubscriptionId> {
-        let mut counts: HashMap<SubscriptionId, usize> = HashMap::new();
-        let bump = |refs: &[PredRef], counts: &mut HashMap<SubscriptionId, usize>| {
-            for &(id, _) in refs {
-                *counts.entry(id).or_insert(0) += 1;
-            }
-        };
+    /// Counts satisfied predicates per touched ordinal into `scratch`.
+    fn accumulate(&self, content: &Content, scratch: &mut MatchScratch) {
+        scratch.begin(self.order.len());
         for (attr, value) in content.iter() {
-            if let Some(refs) = self.eq_index.get(&(attr.to_owned(), value.clone())) {
-                bump(refs, &mut counts);
+            if let Some(refs) = self.eq_index.get(attr).and_then(|m| m.get(value)) {
+                scratch.bump_all(refs);
             }
             match value {
                 Value::Tags(tags) => {
-                    for tag in tags {
-                        if let Some(refs) = self.tag_index.get(&(attr.to_owned(), tag.clone())) {
-                            bump(refs, &mut counts);
+                    if let Some(by_tag) = self.tag_index.get(attr) {
+                        for tag in tags {
+                            if let Some(refs) = by_tag.get(tag.as_str()) {
+                                scratch.bump_all(refs);
+                            }
                         }
                     }
                 }
                 Value::Str(s) => {
                     // `Contains` on a string attribute means equality.
-                    if let Some(refs) = self.tag_index.get(&(attr.to_owned(), s.clone())) {
-                        bump(refs, &mut counts);
+                    if let Some(refs) = self.tag_index.get(attr).and_then(|m| m.get(s.as_str())) {
+                        scratch.bump_all(refs);
                     }
                 }
                 Value::Int(_) => {}
             }
             if let Some(refs) = self.scan_index.get(attr) {
-                for &(id, pred_idx) in refs {
-                    let sub = &self.subscriptions[&id];
-                    if sub.predicates()[pred_idx].eval(content) {
-                        *counts.entry(id).or_insert(0) += 1;
+                for &(ord, pred_idx) in refs {
+                    let sub = &self.subscriptions[&self.order[ord as usize]];
+                    if sub.predicates()[pred_idx as usize].eval(content) {
+                        scratch.bump(ord);
                     }
                 }
             }
         }
-        let mut out: Vec<SubscriptionId> = counts
-            .into_iter()
-            .filter(|&(id, n)| n == self.subscriptions[&id].len())
-            .map(|(id, _)| id)
-            .chain(self.wildcards.iter().copied())
-            .collect();
+    }
+
+    /// The batched match kernel: writes the ids of all subscriptions
+    /// matching `content` into `out` (cleared first), sorted by id.
+    ///
+    /// All bookkeeping lives in `scratch`; after warm-up the call makes
+    /// zero allocations, which is what lets trace compilation evaluate
+    /// millions of publishes without touching the allocator.
+    pub fn matches_into(
+        &self,
+        content: &Content,
+        scratch: &mut MatchScratch,
+        out: &mut Vec<SubscriptionId>,
+    ) {
+        out.clear();
+        self.accumulate(content, scratch);
+        for &ord in &scratch.touched {
+            if scratch.counts[ord as usize] == self.pred_count[ord as usize] {
+                out.push(self.order[ord as usize]);
+            }
+        }
+        out.extend_from_slice(&self.wildcards);
         out.sort_unstable();
+    }
+
+    /// The number of subscriptions matching `content`, counted in
+    /// `scratch` without materializing the id list — the `f_S(p)` quantity
+    /// consumed by push-time strategies, allocation-free.
+    pub fn match_count_scratch(&self, content: &Content, scratch: &mut MatchScratch) -> usize {
+        self.accumulate(content, scratch);
+        let mut n = self.wildcards.len();
+        for &ord in &scratch.touched {
+            if scratch.counts[ord as usize] == self.pred_count[ord as usize] {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// The ids of all subscriptions matching `content`, sorted by id.
+    ///
+    /// Compatibility wrapper over [`SubscriptionIndex::matches_into`] that
+    /// allocates a fresh scratch per call; batch callers should hold a
+    /// [`MatchScratch`] and reuse it.
+    pub fn matches(&self, content: &Content) -> Vec<SubscriptionId> {
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        self.matches_into(content, &mut scratch, &mut out);
         out
     }
 
     /// The number of subscriptions matching `content` — the `f_S(p)`
     /// quantity consumed by push-time strategies.
+    ///
+    /// Compatibility wrapper over
+    /// [`SubscriptionIndex::match_count_scratch`].
     pub fn match_count(&self, content: &Content) -> usize {
-        self.matches(content).len()
+        let mut scratch = MatchScratch::new();
+        self.match_count_scratch(content, &mut scratch)
     }
 
     /// Iterates over all registered subscriptions in id order.
@@ -270,6 +470,79 @@ mod tests {
         assert!(idx.is_empty());
         assert_eq!(idx.match_count(&sports_page()), 0);
         assert!(idx.remove(a).is_none());
+    }
+
+    #[test]
+    fn swap_removed_ordinals_keep_matching() {
+        // Removing an early subscription moves the last one into its
+        // ordinal slot; its bucket entries must follow.
+        let mut idx = SubscriptionIndex::new();
+        let a = idx.insert(Subscription::new(vec![Predicate::eq(
+            "category",
+            Value::str("sports"),
+        )]));
+        let b = idx.insert(Subscription::new(vec![Predicate::ge("words", 100)]));
+        let c = idx.insert(Subscription::new(vec![
+            Predicate::eq("category", Value::str("sports")),
+            Predicate::contains("tags", "tennis"),
+        ]));
+        assert_eq!(idx.matches(&sports_page()), vec![a, b, c]);
+        idx.remove(a);
+        assert_eq!(idx.matches(&sports_page()), vec![b, c]);
+        idx.remove(b);
+        assert_eq!(idx.matches(&sports_page()), vec![c]);
+        let d = idx.insert(Subscription::new(vec![Predicate::lt("words", 10_000)]));
+        assert_eq!(idx.matches(&sports_page()), vec![c, d]);
+    }
+
+    #[test]
+    fn scratch_reuse_across_indexes_and_contents() {
+        let mut small = SubscriptionIndex::new();
+        let s = small.insert(Subscription::new(vec![Predicate::contains(
+            "tags", "tennis",
+        )]));
+        let mut big = SubscriptionIndex::new();
+        let mut expected = Vec::new();
+        for i in 0..40 {
+            expected.push(big.insert(Subscription::new(vec![Predicate::ge("words", i * 10)])));
+        }
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        big.matches_into(&sports_page(), &mut scratch, &mut out);
+        assert_eq!(out.len(), 40);
+        assert_eq!(out, expected);
+        small.matches_into(&sports_page(), &mut scratch, &mut out);
+        assert_eq!(out, vec![s]);
+        assert_eq!(small.match_count_scratch(&Content::new(), &mut scratch), 0);
+        big.matches_into(&sports_page(), &mut scratch, &mut out);
+        assert_eq!(out.len(), 40);
+    }
+
+    #[test]
+    fn scratch_and_wrapper_agree() {
+        let mut idx = SubscriptionIndex::new();
+        for i in 0..20 {
+            idx.insert(Subscription::new(vec![Predicate::ge("words", i * 100)]));
+        }
+        idx.insert(Subscription::wildcard());
+        idx.insert(Subscription::new(vec![
+            Predicate::eq("category", Value::str("sports")),
+            Predicate::contains("tags", "us-open"),
+        ]));
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        for content in [
+            sports_page(),
+            Content::new(),
+            sports_page().with("words", Value::int(5)),
+        ] {
+            idx.matches_into(&content, &mut scratch, &mut out);
+            assert_eq!(out, idx.matches(&content));
+            assert_eq!(
+                idx.match_count_scratch(&content, &mut scratch),
+                idx.match_count(&content)
+            );
+        }
     }
 
     #[test]

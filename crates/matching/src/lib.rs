@@ -53,7 +53,7 @@ pub use aggregate::AggregatedMatcher;
 pub use content::{Content, Value};
 pub use cover::{covers, CoverSet};
 pub use error::MatchError;
-pub use index::SubscriptionIndex;
+pub use index::{MatchScratch, SubscriptionIndex};
 pub use matcher::{EngineMatcher, Matcher, TableMatcher};
 pub use predicate::{Op, Predicate};
 pub use subscription::{Subscription, SubscriptionId};

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use pscd_types::{PageId, ServerId, SubscriptionTable};
 
-use crate::{Content, MatchError, Subscription, SubscriptionId, SubscriptionIndex};
+use crate::{Content, MatchError, MatchScratch, Subscription, SubscriptionId, SubscriptionIndex};
 
 /// Source of per-(page, server) subscription match counts.
 ///
@@ -152,6 +152,29 @@ impl EngineMatcher {
                 server,
                 server_count: self.per_server.len() as u16,
             })
+    }
+
+    /// The batched form of [`Matcher::matched_servers`]: writes the
+    /// matched `(server, count)` rows into `out` (cleared first), sorted
+    /// by server id, counting in the caller's [`MatchScratch`]. After
+    /// warm-up the call makes zero allocations, so a publish fan-out loop
+    /// can evaluate every proxy's index without touching the allocator.
+    pub fn matched_servers_into(
+        &self,
+        page: PageId,
+        scratch: &mut MatchScratch,
+        out: &mut Vec<(ServerId, u32)>,
+    ) {
+        out.clear();
+        let Some(content) = self.contents.get(&page) else {
+            return;
+        };
+        for (i, idx) in self.per_server.iter().enumerate() {
+            let n = idx.match_count_scratch(content, scratch) as u32;
+            if n > 0 {
+                out.push((ServerId::new(i as u16), n));
+            }
+        }
     }
 
     fn index_mut(&mut self, server: ServerId) -> Result<&mut SubscriptionIndex, MatchError> {

@@ -1,0 +1,143 @@
+//! Proves the batched match kernel is allocation-free in steady state.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; the test
+//! builds a heterogeneous index (equality, tag, range, wildcard
+//! subscriptions), warms one `MatchScratch` and output buffer past their
+//! one-time growth, then matches every content again and asserts the
+//! allocation counter did not move — the `matches_into` /
+//! `match_count_scratch` contract the publish fan-out loops rely on.
+//!
+//! Everything lives in ONE `#[test]` so no harness bookkeeping runs — and
+//! allocates — inside the measurement window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pscd_matching::{
+    Content, EngineMatcher, MatchScratch, Predicate, Subscription, SubscriptionIndex, Value,
+};
+use pscd_types::{PageId, ServerId};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_matching_does_not_allocate() {
+    let categories = ["sports", "politics", "tech", "music", "science"];
+    let tags = ["tennis", "elections", "ai", "jazz", "space", "live"];
+
+    // A populated index exercising every bucket type: equality pairs,
+    // tag containment, range predicates (the scan path), wildcards.
+    let mut index = SubscriptionIndex::new();
+    for i in 0..2_000usize {
+        let cat = categories[i % categories.len()];
+        let tag = tags[i % tags.len()];
+        let sub = match i % 4 {
+            0 => Subscription::new(vec![Predicate::eq("category", Value::str(cat))]),
+            1 => Subscription::new(vec![
+                Predicate::eq("category", Value::str(cat)),
+                Predicate::contains("tags", tag),
+            ]),
+            2 => Subscription::new(vec![Predicate::ge("bytes", (i as i64 % 16) * 1_024)]),
+            _ => Subscription::wildcard(),
+        };
+        index.insert(sub);
+    }
+
+    // A per-proxy matcher over the same kind of mix, driving the batched
+    // `matched_servers_into` fan-out API.
+    let mut engine = EngineMatcher::new(8);
+    for i in 0..400usize {
+        let server = ServerId::new((i % 8) as u16);
+        let cat = categories[i % categories.len()];
+        engine
+            .subscribe(
+                server,
+                Subscription::new(vec![Predicate::eq("category", Value::str(cat))]),
+            )
+            .unwrap();
+    }
+
+    let contents: Vec<Content> = (0..64usize)
+        .map(|i| {
+            Content::new()
+                .with("category", Value::str(categories[i % categories.len()]))
+                .with("tags", Value::tags([tags[i % tags.len()]]))
+                .with("bytes", Value::int((i as i64 % 20) * 1_024))
+        })
+        .collect();
+    for (i, content) in contents.iter().enumerate() {
+        engine.register_page(PageId::new(i as u32), content.clone());
+    }
+
+    let mut scratch = MatchScratch::new();
+    let mut out = Vec::new();
+    let mut fanout = Vec::new();
+
+    // Warm-up: every content once, so scratch arrays, the touched list,
+    // and the output buffers reach their high-water marks.
+    let mut warm_matches = 0usize;
+    for content in &contents {
+        index.matches_into(content, &mut scratch, &mut out);
+        warm_matches += out.len();
+        warm_matches += index.match_count_scratch(content, &mut scratch);
+    }
+    for i in 0..contents.len() {
+        engine.matched_servers_into(PageId::new(i as u32), &mut scratch, &mut fanout);
+        warm_matches += fanout.len();
+    }
+    assert!(warm_matches > 0, "warm-up matched nothing — bad fixture");
+
+    // Measurement window: the same calls must not touch the allocator.
+    let before = allocations();
+    let mut steady_matches = 0usize;
+    for _ in 0..4 {
+        for content in &contents {
+            index.matches_into(content, &mut scratch, &mut out);
+            steady_matches += out.len();
+            steady_matches += index.match_count_scratch(content, &mut scratch);
+        }
+        for i in 0..contents.len() {
+            engine.matched_servers_into(PageId::new(i as u32), &mut scratch, &mut fanout);
+            steady_matches += fanout.len();
+        }
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "{} allocation(s) across {} steady-state matches",
+        after - before,
+        steady_matches,
+    );
+    assert_eq!(steady_matches, warm_matches * 4);
+}

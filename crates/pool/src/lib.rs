@@ -1,10 +1,21 @@
 //! A minimal indexed fork/join pool over the vendored `crossbeam` scope.
 //!
-//! Both levels of parallelism in `pscd` — shards *within* one simulation
-//! run and jobs *across* a parameter sweep — reduce to the same shape:
-//! `jobs` independent index-addressed computations whose results must
-//! come back in index order so downstream merges are deterministic.
-//! [`parallel_indexed`] is that shape, once.
+//! Every level of parallelism in `pscd` — shards *within* one simulation
+//! run, jobs *across* a parameter sweep, and the cold-path fan-outs
+//! (workload substreams, trace compilation, per-source shortest paths) —
+//! reduces to the same shape: `jobs` independent index-addressed
+//! computations whose results must come back in index order so downstream
+//! merges are deterministic. [`parallel_indexed`] is that shape, once;
+//! [`parallel_chunked`] is its batched variant for fine-grained work.
+//!
+//! The crate sits at the bottom of the workspace (only the vendored
+//! `crossbeam` below it) so that `pscd-workload` and `pscd-topology` can
+//! parallelize generation without depending on the simulator;
+//! `pscd_sim::pool` re-exports it under the pre-existing path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -19,7 +30,7 @@ use std::sync::Mutex;
 /// # Examples
 ///
 /// ```
-/// use pscd_sim::pool::effective_threads;
+/// use pscd_pool::effective_threads;
 ///
 /// assert_eq!(effective_threads(1, 100), 1);
 /// assert_eq!(effective_threads(4, 100), 4);
@@ -43,8 +54,9 @@ pub fn effective_threads(requested: usize, jobs: usize) -> usize {
 /// which worker computed what when.
 ///
 /// Workers claim indices from a shared atomic counter (work stealing), so
-/// uneven job sizes balance themselves. With `threads <= 1` or fewer than
-/// two jobs everything runs inline on the caller's thread — the
+/// uneven job sizes balance themselves. `threads` is resolved through
+/// [`effective_threads`] (`0` = auto); with one effective thread or fewer
+/// than two jobs everything runs inline on the caller's thread — the
 /// sequential path stays allocation- and synchronization-free.
 ///
 /// A panicking job propagates the panic to the caller (std scoped-thread
@@ -53,7 +65,7 @@ pub fn effective_threads(requested: usize, jobs: usize) -> usize {
 /// # Examples
 ///
 /// ```
-/// use pscd_sim::pool::parallel_indexed;
+/// use pscd_pool::parallel_indexed;
 ///
 /// let squares = parallel_indexed(5, 4, |i| i * i);
 /// assert_eq!(squares, [0, 1, 4, 9, 16]);
@@ -63,7 +75,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = threads.min(jobs);
+    let threads = effective_threads(threads, jobs);
     if threads <= 1 || jobs <= 1 {
         return (0..jobs).map(f).collect();
     }
@@ -90,6 +102,49 @@ where
                 .expect("every index was claimed exactly once")
         })
         .collect()
+}
+
+/// Splits `0..len` into contiguous chunks of at most `chunk` items, maps
+/// each chunk through `f` on up to `threads` workers, and concatenates
+/// the per-chunk outputs **in chunk order**.
+///
+/// This is the shape of the cold path's fine-grained fan-outs: thousands
+/// of per-entity jobs far too small to schedule individually. The chunk
+/// size is part of the call site's contract, *not* derived from the
+/// thread count, so the chunk boundaries — and therefore any per-chunk
+/// RNG substreams — are identical at every thread count.
+///
+/// With one effective thread (`threads = 1`, or `0` = auto on a
+/// single-core machine) everything runs inline on the caller's thread.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_pool::parallel_chunked;
+///
+/// let out = parallel_chunked(10, 4, 2, |range| range.collect::<Vec<_>>());
+/// assert_eq!(out, (0..10).collect::<Vec<_>>());
+/// ```
+pub fn parallel_chunked<T, F>(len: usize, chunk: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
+{
+    let chunk = chunk.max(1);
+    let jobs = len.div_ceil(chunk);
+    if jobs <= 1 {
+        return f(0..len);
+    }
+    let parts = parallel_indexed(jobs, threads, |j| {
+        let start = j * chunk;
+        f(start..(start + chunk).min(len))
+    });
+    let total: usize = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for part in parts {
+        out.extend(part);
+    }
+    out
 }
 
 #[cfg(test)]

@@ -49,7 +49,7 @@
 mod error;
 mod merge;
 mod metrics;
-pub mod pool;
+pub use pscd_pool as pool;
 mod runner;
 mod shard;
 pub mod trace;

@@ -25,11 +25,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use pscd_types::{Bytes, PageId, PageMeta, ServerId, SimTime, SubscriptionTable};
 use pscd_workload::Workload;
 
+use crate::pool::parallel_chunked;
 use crate::SimError;
 
 /// Process-wide count of [`CompiledTrace::compile`] invocations; lets
 /// tests assert that a sweep compiles its workload exactly once.
 static COMPILE_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Publishes resolved per fan-out job. Pure scheduling granularity: the
+/// fan-out of publish ordinal `i` depends only on `i`, so chunk
+/// boundaries never affect the compiled output.
+const PUBLISH_CHUNK: usize = 512;
+
+/// Requests resolved per subscription-count job; scheduling granularity
+/// only, like [`PUBLISH_CHUNK`].
+const REQUEST_CHUNK: usize = 4096;
 
 /// One event of the flattened timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,7 +130,9 @@ pub struct CompiledTrace {
 }
 
 impl CompiledTrace {
-    /// Compiles a workload against one subscription table.
+    /// Compiles a workload against one subscription table; equivalent to
+    /// [`compile_threads`](CompiledTrace::compile_threads) with one
+    /// thread.
     ///
     /// # Errors
     ///
@@ -129,6 +141,29 @@ impl CompiledTrace {
     pub fn compile(
         workload: &Workload,
         subscriptions: &SubscriptionTable,
+    ) -> Result<Self, SimError> {
+        Self::compile_threads(workload, subscriptions, 1)
+    }
+
+    /// Compiles a workload on up to `threads` pool workers (`0` = auto).
+    ///
+    /// The stream merge (timeline order, `supersedes` lineage) is
+    /// inherently sequential and stays on the caller's thread; the two
+    /// expensive strategy-independent resolutions — the publish fan-out
+    /// table and the per-request subscription counts — are each a pure
+    /// per-event function of the static matching information, so they
+    /// shard over the pool by event index and reassemble in index order.
+    /// The compiled value is **bit-identical at every thread count**; the
+    /// `cold_differential` suite enforces this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MismatchedSubscriptions`] if the table covers
+    /// a different page universe than the workload.
+    pub fn compile_threads(
+        workload: &Workload,
+        subscriptions: &SubscriptionTable,
+        threads: usize,
     ) -> Result<Self, SimError> {
         if subscriptions.page_count() != workload.pages().len() {
             return Err(SimError::MismatchedSubscriptions {
@@ -140,17 +175,16 @@ impl CompiledTrace {
         let requests = workload.requests().events();
         let pages = workload.pages();
 
+        // Phase 1 (sequential): merge the two streams into the timeline
+        // skeleton. Publishes go before requests at equal timestamps — a
+        // notification must precede the requests it triggers — and the
+        // lineage map is driven by the publish stream alone, so it is
+        // resolved here, once, into per-event `supersedes` links.
+        // Request `subs` counts are left 0 and filled in phase 3.
         let mut events = Vec::with_capacity(publishes.len() + requests.len());
-        let mut offsets = Vec::with_capacity(publishes.len() + 1);
-        let mut pairs = Vec::new();
-        offsets.push(0u32);
-        // The lineage map is driven by the publish stream alone, so it
-        // can be resolved here, once, into per-event `supersedes` links.
         let mut latest_version: HashMap<PageId, PageId> = HashMap::new();
         let (mut pi, mut ri) = (0usize, 0usize);
         while pi < publishes.len() || ri < requests.len() {
-            // Publishes before requests at equal timestamps: a
-            // notification must precede the requests it triggers.
             let publish_next = match (publishes.get(pi), requests.get(ri)) {
                 (Some(p), Some(r)) => p.time <= r.time,
                 (Some(_), None) => true,
@@ -163,8 +197,6 @@ impl CompiledTrace {
                 let meta = &pages[ev.page.as_usize()];
                 let origin = meta.kind().origin().unwrap_or(ev.page);
                 let supersedes = latest_version.insert(origin, ev.page);
-                pairs.extend_from_slice(subscriptions.matched_servers(ev.page));
-                offsets.push(pairs.len() as u32);
                 events.push(CompiledEvent {
                     time: ev.time,
                     page: ev.page,
@@ -181,11 +213,45 @@ impl CompiledTrace {
                     page: ev.page,
                     kind: CompiledEventKind::Request {
                         server: ev.server,
-                        subs: subscriptions.count(ev.page, ev.server),
+                        subs: 0,
                     },
                 });
             }
         }
+
+        // Phase 2: the publish fan-out, sharded by publish ordinal and
+        // assembled into the CSR in ordinal order.
+        let fanouts: Vec<&[(ServerId, u32)]> =
+            parallel_chunked(publishes.len(), PUBLISH_CHUNK, threads, |range| {
+                range
+                    .map(|i| subscriptions.matched_servers(publishes[i].page))
+                    .collect()
+            });
+        let mut offsets = Vec::with_capacity(publishes.len() + 1);
+        offsets.push(0u32);
+        let total: usize = fanouts.iter().map(|m| m.len()).sum();
+        let mut pairs = Vec::with_capacity(total);
+        for matched in fanouts {
+            pairs.extend_from_slice(matched);
+            offsets.push(pairs.len() as u32);
+        }
+
+        // Phase 3: per-request subscription counts, sharded by request
+        // index (request-stream order) and written back in that order.
+        let subs_counts: Vec<u32> =
+            parallel_chunked(requests.len(), REQUEST_CHUNK, threads, |range| {
+                range
+                    .map(|i| subscriptions.count(requests[i].page, requests[i].server))
+                    .collect()
+            });
+        let mut next_request = 0usize;
+        for ev in &mut events {
+            if let CompiledEventKind::Request { subs, .. } = &mut ev.kind {
+                *subs = subs_counts[next_request];
+                next_request += 1;
+            }
+        }
+
         let servers = workload.server_count();
         COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
         Ok(Self {
@@ -445,6 +511,16 @@ mod tests {
         let at = trace.crash_index(mid);
         assert!(trace.events()[at].time >= mid);
         assert!(at == 0 || trace.events()[at - 1].time < mid);
+    }
+
+    #[test]
+    fn compile_is_bit_identical_at_every_thread_count() {
+        let (w, subs) = fixture();
+        let seq = CompiledTrace::compile_threads(&w, &subs, 1).unwrap();
+        for threads in [2, 4, 0] {
+            let par = CompiledTrace::compile_threads(&w, &subs, threads).unwrap();
+            assert_eq!(seq, par, "threads = {threads}");
+        }
     }
 
     #[test]

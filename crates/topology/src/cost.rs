@@ -71,6 +71,39 @@ impl FetchCosts {
     /// reach the publisher (disconnected graph).
     pub fn from_topology(graph: &Graph, publisher: usize) -> Result<Self, TopologyError> {
         let dist = graph.shortest_paths(publisher)?;
+        Self::normalize(&dist, publisher)
+    }
+
+    /// Derives one [`FetchCosts`] per publisher in `publishers` order,
+    /// running the per-source shortest-path computations on up to
+    /// `threads` pool workers (`0` = auto). Each result is exactly what
+    /// [`from_topology`](Self::from_topology) returns for that publisher
+    /// — same exclusion of the publisher node, same normalization — and
+    /// bit-identical at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NodeOutOfRange`] if any publisher is not
+    /// a node, and [`TopologyError::InvalidParameter`] if some proxy
+    /// cannot reach its publisher.
+    pub fn from_topology_many(
+        graph: &Graph,
+        publishers: &[usize],
+        threads: usize,
+    ) -> Result<Vec<Self>, TopologyError> {
+        let dists = graph.shortest_paths_many(publishers, threads)?;
+        publishers
+            .iter()
+            .zip(dists)
+            .map(|(&publisher, dist)| Self::normalize(&dist, publisher))
+            .collect()
+    }
+
+    /// The shared tail of [`from_topology`](Self::from_topology) and
+    /// [`from_topology_many`](Self::from_topology_many): drop the
+    /// publisher's own entry, reject unreachable proxies, normalize the
+    /// cheapest proxy to 1.0.
+    fn normalize(dist: &[f64], publisher: usize) -> Result<Self, TopologyError> {
         let proxy_dists: Vec<f64> = dist
             .iter()
             .enumerate()
@@ -175,5 +208,19 @@ mod tests {
         let g = TopologyBuilder::new(5).seed(0).build().unwrap();
         let c = FetchCosts::from_topology(&g, 3).unwrap();
         assert_eq!(c.server_count(), 4);
+    }
+
+    #[test]
+    fn many_matches_looped_singles_at_every_thread_count() {
+        let g = TopologyBuilder::new(21).seed(7).build().unwrap();
+        let publishers = [0usize, 5, 20, 0];
+        for threads in [1, 2, 0] {
+            let many = FetchCosts::from_topology_many(&g, &publishers, threads).unwrap();
+            assert_eq!(many.len(), publishers.len());
+            for (i, &p) in publishers.iter().enumerate() {
+                assert_eq!(many[i], FetchCosts::from_topology(&g, p).unwrap());
+            }
+        }
+        assert!(FetchCosts::from_topology_many(&g, &[0, 99], 2).is_err());
     }
 }

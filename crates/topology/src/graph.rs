@@ -2,7 +2,9 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
 
+use pscd_pool::parallel_indexed;
 use serde::{Deserialize, Serialize};
 
 use crate::{Point, TopologyError};
@@ -18,16 +20,75 @@ pub struct Edge {
     pub weight: f64,
 }
 
+/// The adjacency lists flattened into compressed-sparse-row form:
+/// node `v`'s neighbors live at `offsets[v]..offsets[v + 1]` in
+/// `targets`/`weights`, in the same order as the builder added them.
+/// One contiguous layout instead of `n` separate heap allocations —
+/// built lazily on first shortest-path query, shared by every query
+/// after it (and by every worker of [`Graph::shortest_paths_many`]).
+#[derive(Debug, Clone)]
+struct CsrAdj {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+impl CsrAdj {
+    fn build(adjacency: &[Vec<(usize, f64)>]) -> Self {
+        let half_edges: usize = adjacency.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(adjacency.len() + 1);
+        let mut targets = Vec::with_capacity(half_edges);
+        let mut weights = Vec::with_capacity(half_edges);
+        offsets.push(0u32);
+        for adj in adjacency {
+            for &(next, w) in adj {
+                targets.push(next as u32);
+                weights.push(w);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        Self {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    #[inline]
+    fn neighbors(&self, node: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.offsets[node] as usize;
+        let hi = self.offsets[node + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .zip(&self.weights[lo..hi])
+            .map(|(&t, &w)| (t as usize, w))
+    }
+}
+
 /// An undirected weighted graph of network nodes placed on a plane.
 ///
 /// Node 0 is conventionally the publisher; the remaining nodes are proxy
 /// servers, but the graph itself is agnostic.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
 pub struct Graph {
     positions: Vec<Point>,
     /// adjacency[v] = [(neighbor, weight)]
     adjacency: Vec<Vec<(usize, f64)>>,
     edge_count: usize,
+    /// Lazily-built CSR mirror of `adjacency`; reset by [`add_edge`]
+    /// (Graph::add_edge), excluded from equality and serialization.
+    #[serde(skip)]
+    csr: OnceLock<CsrAdj>,
+}
+
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        // The CSR cache is derived state: whether it has been built yet
+        // must not distinguish otherwise-identical graphs.
+        self.positions == other.positions
+            && self.adjacency == other.adjacency
+            && self.edge_count == other.edge_count
+    }
 }
 
 impl Graph {
@@ -38,6 +99,7 @@ impl Graph {
             positions,
             adjacency: vec![Vec::new(); n],
             edge_count: 0,
+            csr: OnceLock::new(),
         }
     }
 
@@ -96,6 +158,15 @@ impl Graph {
         self.adjacency[a].push((b, w));
         self.adjacency[b].push((a, w));
         self.edge_count += 1;
+        // The CSR mirror no longer reflects the adjacency lists; rebuild
+        // lazily on the next shortest-path query.
+        self.csr = OnceLock::new();
+    }
+
+    /// The CSR mirror of the adjacency lists, built at most once per
+    /// mutation epoch.
+    fn csr(&self) -> &CsrAdj {
+        self.csr.get_or_init(|| CsrAdj::build(&self.adjacency))
     }
 
     /// All edges, each reported once with `a < b`.
@@ -111,8 +182,8 @@ impl Graph {
         out
     }
 
-    /// Single-source shortest path distances from `source` (Dijkstra).
-    /// Unreachable nodes get `f64::INFINITY`.
+    /// Single-source shortest path distances from `source` (Dijkstra over
+    /// the cached CSR adjacency). Unreachable nodes get `f64::INFINITY`.
     ///
     /// # Errors
     ///
@@ -125,29 +196,34 @@ impl Graph {
                 nodes: n,
             });
         }
-        let mut dist = vec![f64::INFINITY; n];
-        dist[source] = 0.0;
-        let mut heap = BinaryHeap::new();
-        heap.push(HeapEntry {
-            dist: 0.0,
-            node: source,
-        });
-        while let Some(HeapEntry { dist: d, node }) = heap.pop() {
-            if d > dist[node] {
-                continue;
-            }
-            for &(next, w) in &self.adjacency[node] {
-                let nd = d + w;
-                if nd < dist[next] {
-                    dist[next] = nd;
-                    heap.push(HeapEntry {
-                        dist: nd,
-                        node: next,
-                    });
-                }
-            }
+        Ok(dijkstra(self.csr(), n, source))
+    }
+
+    /// Shortest-path distance vectors from many sources, computed
+    /// per-source on up to `threads` pool workers (`0` = auto) and
+    /// returned in `sources` order. The CSR adjacency is built once on
+    /// the caller's thread and shared read-only by every worker; each
+    /// per-source run relaxes edges in exactly the order the sequential
+    /// [`shortest_paths`](Graph::shortest_paths) does, so the distances
+    /// are bit-identical at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NodeOutOfRange`] for the first
+    /// out-of-range source (checked up front — no partial work).
+    pub fn shortest_paths_many(
+        &self,
+        sources: &[usize],
+        threads: usize,
+    ) -> Result<Vec<Vec<f64>>, TopologyError> {
+        let n = self.node_count();
+        if let Some(&node) = sources.iter().find(|&&s| s >= n) {
+            return Err(TopologyError::NodeOutOfRange { node, nodes: n });
         }
-        Ok(dist)
+        let csr = self.csr();
+        Ok(parallel_indexed(sources.len(), threads, |i| {
+            dijkstra(csr, n, sources[i])
+        }))
     }
 
     /// Connected components as lists of node indices (each sorted).
@@ -181,6 +257,35 @@ impl Graph {
     pub fn is_connected(&self) -> bool {
         self.node_count() <= 1 || self.components().len() == 1
     }
+}
+
+/// Dijkstra over a CSR adjacency; relaxation order matches the original
+/// per-`Vec` adjacency walk exactly, so the result is independent of how
+/// (or on which thread) the CSR was built.
+fn dijkstra(csr: &CsrAdj, n: usize, source: usize) -> Vec<f64> {
+    let mut dist = vec![f64::INFINITY; n];
+    dist[source] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+        if d > dist[node] {
+            continue;
+        }
+        for (next, w) in csr.neighbors(node) {
+            let nd = d + w;
+            if nd < dist[next] {
+                dist[next] = nd;
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: next,
+                });
+            }
+        }
+    }
+    dist
 }
 
 /// Min-heap entry: `BinaryHeap` is a max-heap, so ordering is reversed.
@@ -302,6 +407,50 @@ mod tests {
         assert_eq!(edges.len(), 4);
         assert!(edges.iter().all(|e| e.a < e.b));
         assert!(edges.iter().all(|e| e.weight > 0.0));
+    }
+
+    #[test]
+    fn csr_cache_is_invalidated_by_add_edge() {
+        let mut g = Graph::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ]);
+        g.add_edge(0, 1);
+        // Querying builds the CSR cache…
+        assert!(g.shortest_paths(0).unwrap()[2].is_infinite());
+        // …and mutating must rebuild it, not serve stale adjacency.
+        g.add_edge(1, 2);
+        assert_eq!(g.shortest_paths(0).unwrap()[2], 2.0);
+        // No-op adds (duplicates, self-loops) are fine either way.
+        g.add_edge(0, 1);
+        g.add_edge(2, 2);
+        assert_eq!(g.shortest_paths(0).unwrap()[2], 2.0);
+    }
+
+    #[test]
+    fn equality_ignores_the_csr_cache() {
+        let queried = square();
+        let fresh = square();
+        let _ = queried.shortest_paths(0).unwrap();
+        assert_eq!(queried, fresh);
+    }
+
+    #[test]
+    fn shortest_paths_many_matches_the_looped_singles() {
+        let g = square();
+        let sources = [0usize, 2, 1, 0, 3];
+        for threads in [1, 2, 0] {
+            let many = g.shortest_paths_many(&sources, threads).unwrap();
+            for (i, &s) in sources.iter().enumerate() {
+                assert_eq!(many[i], g.shortest_paths(s).unwrap(), "source {s}");
+            }
+        }
+        assert!(matches!(
+            g.shortest_paths_many(&[0, 99], 2),
+            Err(TopologyError::NodeOutOfRange { node: 99, .. })
+        ));
+        assert!(g.shortest_paths_many(&[], 2).unwrap().is_empty());
     }
 
     #[test]

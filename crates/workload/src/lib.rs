@@ -44,13 +44,23 @@ mod error;
 pub mod io;
 mod publishing;
 mod requests;
+pub mod seeds;
 mod subscriptions;
 mod workload;
 
 pub use content::{ContentModel, CATEGORIES, TAGS};
 pub use dist::{AgeDecay, LogNormal, StepwiseInterval, Zipf};
 pub use error::WorkloadError;
-pub use publishing::{generate_publishing, PublishingConfig, PublishingOutput};
-pub use requests::{generate_requests, popularity_class, popularity_class_shifted, RequestConfig};
-pub use subscriptions::{generate_subscriptions, generate_subscriptions_partial};
+pub use publishing::{
+    generate_publishing, generate_publishing_legacy, generate_publishing_threads, PublishingConfig,
+    PublishingOutput,
+};
+pub use requests::{
+    generate_requests, generate_requests_legacy, generate_requests_threads, popularity_class,
+    popularity_class_shifted, RequestConfig,
+};
+pub use subscriptions::{
+    generate_subscriptions, generate_subscriptions_legacy, generate_subscriptions_partial,
+    generate_subscriptions_partial_threads, generate_subscriptions_threads,
+};
 pub use workload::{Workload, WorkloadConfig};

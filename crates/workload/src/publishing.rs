@@ -1,5 +1,6 @@
 //! Publishing-stream generation (paper §4.1).
 
+use pscd_pool::parallel_chunked;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
@@ -7,7 +8,12 @@ use serde::{Deserialize, Serialize};
 
 use pscd_types::{Bytes, PageId, PageKind, PageMeta, PublishEvent, PublishingStream, SimTime};
 
-use crate::{LogNormal, StepwiseInterval, WorkloadError};
+use crate::{seeds, LogNormal, StepwiseInterval, WorkloadError};
+
+/// Entities per pool job in the parallel publishing fan-outs. Purely a
+/// scheduling granularity: every entity draws from its own substream, so
+/// the output is identical at any chunk size or thread count.
+const ENTITY_CHUNK: usize = 1024;
 
 /// Configuration of the publishing stream.
 ///
@@ -127,6 +133,13 @@ pub struct PublishingOutput {
 /// versions of random updated pages) to hit `total_pages` exactly, as the
 /// paper fixes the 7-day stream at 30,147 pages.
 ///
+/// Randomness comes from per-entity substreams ([`crate::seeds`]): each
+/// original's first-publish instant, each origin's modification interval,
+/// and each page's size draw from an independently seeded child stream, so
+/// [`generate_publishing_threads`] produces **bit-identical** output on
+/// any number of worker threads. The pre-substream single-stream scheme
+/// survives as [`generate_publishing_legacy`].
+///
 /// # Errors
 ///
 /// Returns [`WorkloadError::InvalidConfig`] for inconsistent configs.
@@ -140,6 +153,144 @@ pub struct PublishingOutput {
 /// # Ok::<(), pscd_workload::WorkloadError>(())
 /// ```
 pub fn generate_publishing(
+    config: &PublishingConfig,
+    seed: u64,
+) -> Result<PublishingOutput, WorkloadError> {
+    generate_publishing_threads(config, seed, 1)
+}
+
+/// [`generate_publishing`] on up to `threads` pool workers (`0` = auto,
+/// `1` = inline). Output is bit-identical at every thread count.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InvalidConfig`] for inconsistent configs.
+pub fn generate_publishing_threads(
+    config: &PublishingConfig,
+    seed: u64,
+    threads: usize,
+) -> Result<PublishingOutput, WorkloadError> {
+    config.validate()?;
+    let sizes =
+        LogNormal::new(config.size_mu, config.size_sigma).expect("validated size parameters");
+    let horizon_ms = config.horizon.as_millis();
+
+    // 1. Originals: uniform first-publish times, one substream each.
+    let mut first_pub: Vec<SimTime> =
+        parallel_chunked(config.distinct_pages, ENTITY_CHUNK, threads, |range| {
+            range
+                .map(|i| {
+                    let mut rng = seeds::stream_rng(seed, seeds::PUB_TIME, i as u64);
+                    SimTime::from_millis(rng.random_range(0..horizon_ms))
+                })
+                .collect()
+        });
+    first_pub.sort_unstable();
+
+    // 2. Pick which originals get updated (structural draw, sequential —
+    //    one shuffle of the index vector).
+    let mut indices: Vec<usize> = (0..config.distinct_pages).collect();
+    indices.shuffle(&mut seeds::stream_rng(seed, seeds::PUB_STRUCT, 0));
+    let updated: Vec<usize> = indices[..config.updated_pages].to_vec();
+
+    // 3. Natural modification times from fixed per-origin intervals, one
+    //    substream per origin.
+    let mut mods: Vec<(usize, SimTime)> =
+        parallel_chunked(updated.len(), ENTITY_CHUNK, threads, |range| {
+            let mut out = Vec::new();
+            for k in range {
+                let orig = updated[k];
+                let mut rng = seeds::stream_rng(seed, seeds::PUB_INTERVAL, orig as u64);
+                let interval = SimTime::from_hours_f64(config.intervals.sample_hours(&mut rng));
+                if interval == SimTime::ZERO {
+                    continue;
+                }
+                let mut t = first_pub[orig] + interval;
+                while t < config.horizon {
+                    out.push((orig, t));
+                    t += interval;
+                }
+            }
+            out
+        });
+
+    // 4. Adjust to exactly `total_pages` (sequential — the adjustment is a
+    //    single global decision over the concatenated mod list).
+    let mut rng = seeds::stream_rng(seed, seeds::PUB_ADJUST, 0);
+    let needed = config.total_pages - config.distinct_pages;
+    if mods.len() > needed {
+        mods.shuffle(&mut rng);
+        mods.truncate(needed);
+    } else {
+        while mods.len() < needed {
+            let orig = updated[rng.random_range(0..updated.len())];
+            let lo = first_pub[orig].as_millis();
+            if lo + 1 >= horizon_ms {
+                // Original published at the very end; pick another.
+                continue;
+            }
+            let t = SimTime::from_millis(rng.random_range(lo + 1..horizon_ms));
+            mods.push((orig, t));
+        }
+    }
+    mods.sort_unstable_by_key(|&(orig, t)| (t, orig));
+
+    // 5. Page sizes: one substream per final page id.
+    let size_of: Vec<Bytes> =
+        parallel_chunked(config.total_pages, ENTITY_CHUNK, threads, |range| {
+            range
+                .map(|id| {
+                    let mut rng = seeds::stream_rng(seed, seeds::PUB_SIZE, id as u64);
+                    let raw = sizes.sample(&mut rng).round().max(0.0) as u64;
+                    Bytes::new(raw.clamp(config.min_page_bytes, config.max_page_bytes))
+                })
+                .collect()
+        });
+
+    // 6. Materialize page metadata: originals first, then modifications in
+    //    publish order; version numbers count per origin.
+    let mut pages: Vec<PageMeta> = Vec::with_capacity(config.total_pages);
+    for (i, &t) in first_pub.iter().enumerate() {
+        pages.push(PageMeta::new(
+            PageId::new(i as u32),
+            size_of[i],
+            t,
+            PageKind::Original,
+        ));
+    }
+    let mut version_counter = vec![0u32; config.distinct_pages];
+    for (k, &(orig, t)) in mods.iter().enumerate() {
+        version_counter[orig] += 1;
+        let id = config.distinct_pages + k;
+        pages.push(PageMeta::new(
+            PageId::new(id as u32),
+            size_of[id],
+            t,
+            PageKind::Modified {
+                origin: PageId::new(orig as u32),
+                version: version_counter[orig],
+            },
+        ));
+    }
+
+    let events: Vec<PublishEvent> = pages
+        .iter()
+        .map(|p| PublishEvent::new(p.publish_time(), p.id()))
+        .collect();
+    let stream = PublishingStream::from_unsorted(events);
+    Ok(PublishingOutput { pages, stream })
+}
+
+/// The pre-substream generator: one `StdRng` threaded through every draw.
+///
+/// Kept as a compatibility constructor for workloads generated before the
+/// parallel cold path landed; the draw order makes it inherently serial.
+/// New code should use [`generate_publishing`].
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InvalidConfig`] for inconsistent configs.
+pub fn generate_publishing_legacy(
     config: &PublishingConfig,
     seed: u64,
 ) -> Result<PublishingOutput, WorkloadError> {
@@ -264,6 +415,29 @@ mod tests {
     }
 
     #[test]
+    fn parallel_generation_is_bit_identical() {
+        for seed in [0, 5, 99] {
+            let seq = generate_publishing_threads(&small(), seed, 1).unwrap();
+            for threads in [2, 4, 0] {
+                let par = generate_publishing_threads(&small(), seed, threads).unwrap();
+                assert_eq!(seq, par, "threads = {threads}, seed = {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_generator_differs_but_matches_shape() {
+        let new = generate_publishing(&small(), 5).unwrap();
+        let old = generate_publishing_legacy(&small(), 5).unwrap();
+        assert_eq!(old.pages.len(), new.pages.len());
+        assert_eq!(old.stream.len(), new.stream.len());
+        // Different draw schemes: same seed, different streams.
+        assert_ne!(old, new);
+        // Legacy stays deterministic too.
+        assert_eq!(old, generate_publishing_legacy(&small(), 5).unwrap());
+    }
+
+    #[test]
     fn originals_then_modifications() {
         let cfg = small();
         let out = generate_publishing(&cfg, 2).unwrap();
@@ -339,6 +513,7 @@ mod tests {
         let mut c = small();
         c.distinct_pages = 0;
         assert!(generate_publishing(&c, 0).is_err());
+        assert!(generate_publishing_legacy(&c, 0).is_err());
         let mut c = small();
         c.updated_pages = c.distinct_pages + 1;
         assert!(generate_publishing(&c, 0).is_err());

@@ -1,5 +1,6 @@
 //! Request-stream generation (paper §4.2).
 
+use pscd_pool::parallel_chunked;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
@@ -7,7 +8,18 @@ use serde::{Deserialize, Serialize};
 
 use pscd_types::{PageMeta, RequestEvent, RequestTrace, ServerId, SimTime};
 
-use crate::{AgeDecay, WorkloadError, Zipf};
+use crate::{seeds, AgeDecay, WorkloadError, Zipf};
+
+/// Multinomial draws per substream chunk. Unlike the per-entity chunking
+/// elsewhere, each chunk here *is* the substream entity (one RNG per
+/// `ZIPF_CHUNK` consecutive draws), so this constant is part of the
+/// deterministic output: changing it reshuffles which popularity draws
+/// share a stream. Thread count and scheduling still never matter.
+const ZIPF_CHUNK: usize = 8_192;
+
+/// Pages per pool job in the per-page placement fan-out. Purely a
+/// scheduling granularity (each page has its own substream).
+const PAGE_CHUNK: usize = 256;
 
 /// Configuration of the request stream.
 ///
@@ -136,11 +148,165 @@ pub fn popularity_class_shifted(rank: usize, alpha: f64, shift: f64) -> usize {
 /// starting at its publish time; (4) split references across per-day
 /// candidate-server pools sized by eq. 6 with 60% day-over-day overlap.
 ///
+/// Randomness comes from per-entity substreams ([`crate::seeds`]): the
+/// multinomial draw is chunked into fixed-size substream blocks and each
+/// page's placement (times, pools, server picks) draws from that page's
+/// own child stream, so [`generate_requests_threads`] is **bit-identical**
+/// at any thread count. The pre-substream single-stream scheme survives as
+/// [`generate_requests_legacy`].
+///
 /// # Errors
 ///
 /// Returns [`WorkloadError::InvalidConfig`] for invalid configs or an empty
 /// page table.
 pub fn generate_requests(
+    pages: &[PageMeta],
+    config: &RequestConfig,
+    seed: u64,
+) -> Result<RequestTrace, WorkloadError> {
+    generate_requests_threads(pages, config, seed, 1)
+}
+
+/// [`generate_requests`] on up to `threads` pool workers (`0` = auto,
+/// `1` = inline). Output is bit-identical at every thread count.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InvalidConfig`] for invalid configs or an empty
+/// page table.
+pub fn generate_requests_threads(
+    pages: &[PageMeta],
+    config: &RequestConfig,
+    seed: u64,
+    threads: usize,
+) -> Result<RequestTrace, WorkloadError> {
+    config.validate()?;
+    if pages.is_empty() {
+        return Err(WorkloadError::invalid("pages", "non-empty page table"));
+    }
+    let n = pages.len();
+
+    // (1) Random rank permutation: rank_of[page] in 1..=n (structural
+    //     draw, one sequential substream).
+    let mut ranks: Vec<usize> = (1..=n).collect();
+    ranks.shuffle(&mut seeds::stream_rng(seed, seeds::REQ_RANK, 0));
+    let rank_of = ranks; // rank_of[page_index] = rank
+
+    // (2) Multinomial draw of per-page request counts, in fixed-size
+    //     substream chunks. The accumulation into `counts` is sequential
+    //     and chunk-ordered, so the sum is identical at any thread count.
+    let zipf = Zipf::with_shift(n, config.zipf_alpha, config.zipf_shift)
+        .expect("validated zipf parameters");
+    let mut page_of_rank = vec![0usize; n + 1];
+    for (page, &rank) in rank_of.iter().enumerate() {
+        page_of_rank[rank] = page;
+    }
+    let total = config.total_requests as usize;
+    let drawn: Vec<u32> = parallel_chunked(total, ZIPF_CHUNK, threads, |range| {
+        let mut rng = seeds::stream_rng(seed, seeds::REQ_ZIPF, (range.start / ZIPF_CHUNK) as u64);
+        range.map(|_| zipf.sample(&mut rng) as u32).collect()
+    });
+    let mut counts = vec![0u64; n];
+    for rank in drawn {
+        counts[page_of_rank[rank as usize]] += 1;
+    }
+    let max_count = counts.iter().copied().max().unwrap_or(0).max(1);
+
+    // (3)+(4) Timing and server assignment, one substream per page.
+    let decays: Vec<AgeDecay> = config
+        .class_gammas
+        .iter()
+        .map(|&g| AgeDecay::new(g).expect("validated gammas"))
+        .collect();
+    let events: Vec<RequestEvent> = parallel_chunked(n, PAGE_CHUNK, threads, |range| {
+        let mut out = Vec::new();
+        for page_idx in range {
+            let count = counts[page_idx];
+            if count == 0 {
+                continue;
+            }
+            let mut rng = seeds::stream_rng(seed, seeds::REQ_PAGE, page_idx as u64);
+            place_page_requests(
+                &mut out,
+                &mut rng,
+                &pages[page_idx],
+                count,
+                max_count,
+                rank_of[page_idx],
+                config,
+                &decays,
+            );
+        }
+        out
+    });
+
+    Ok(RequestTrace::from_unsorted(events))
+}
+
+/// Emits `count` requests for one page: age-decay times plus the per-day
+/// candidate-server pools of eq. 6 (shared by the substream and legacy
+/// generators; all randomness comes from the caller's `rng`).
+#[allow(clippy::too_many_arguments)]
+fn place_page_requests(
+    out: &mut Vec<RequestEvent>,
+    rng: &mut StdRng,
+    page: &PageMeta,
+    count: u64,
+    max_count: u64,
+    rank: usize,
+    config: &RequestConfig,
+    decays: &[AgeDecay],
+) {
+    let horizon_h = config.horizon.as_hours_f64();
+    let total_days = (config.horizon.as_days_f64().ceil() as usize).max(1);
+    let class = popularity_class_shifted(rank, config.zipf_alpha, config.zipf_shift);
+    let publish_h = page.publish_time().as_hours_f64();
+    let span_h = (horizon_h - publish_h).max(0.0);
+
+    // Request instants.
+    let mut times: Vec<SimTime> = (0..count)
+        .map(|_| {
+            let age = decays[class].sample_age_hours(rng, span_h);
+            SimTime::from_hours_f64(publish_h + age)
+                .min(config.horizon.saturating_since(SimTime::from_millis(1)))
+        })
+        .collect();
+    times.sort_unstable();
+
+    // Per-day server pools (eq. 6 + 60% overlap).
+    let rel = count as f64 / max_count as f64;
+    let pool_size = ((config.servers as f64 * rel.powf(config.server_exponent)).ceil() as usize)
+        .clamp(1, config.servers as usize);
+    let mut pool = sample_distinct(rng, config.servers as usize, pool_size);
+    let mut pool_day = times.first().map(|t| t.day_index()).unwrap_or(0);
+    let mut pools: Vec<Option<Vec<u16>>> = vec![None; total_days];
+    pools[pool_day.min(total_days - 1)] = Some(pool.clone());
+
+    for &t in &times {
+        let day = t.day_index().min(total_days - 1);
+        if day != pool_day {
+            // Roll the pool forward day by day, applying the overlap.
+            for slot in pools.iter_mut().take(day + 1).skip(pool_day + 1) {
+                pool = roll_pool(rng, &pool, config.servers as usize, config.day_overlap);
+                *slot = Some(pool.clone());
+            }
+            pool_day = day;
+        }
+        let server = pool[rng.random_range(0..pool.len())];
+        out.push(RequestEvent::new(t, ServerId::new(server), page.id()));
+    }
+}
+
+/// The pre-substream generator: one `StdRng` threaded through every draw.
+///
+/// Kept as a compatibility constructor for traces generated before the
+/// parallel cold path landed. New code should use [`generate_requests`].
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InvalidConfig`] for invalid configs or an empty
+/// page table.
+pub fn generate_requests_legacy(
     pages: &[PageMeta],
     config: &RequestConfig,
     seed: u64,
@@ -176,53 +342,21 @@ pub fn generate_requests(
         .iter()
         .map(|&g| AgeDecay::new(g).expect("validated gammas"))
         .collect();
-    let horizon_h = config.horizon.as_hours_f64();
-    let total_days = (config.horizon.as_days_f64().ceil() as usize).max(1);
     let mut events: Vec<RequestEvent> = Vec::with_capacity(config.total_requests as usize);
-
     for (page_idx, &count) in counts.iter().enumerate() {
         if count == 0 {
             continue;
         }
-        let page = &pages[page_idx];
-        let class =
-            popularity_class_shifted(rank_of[page_idx], config.zipf_alpha, config.zipf_shift);
-        let publish_h = page.publish_time().as_hours_f64();
-        let span_h = (horizon_h - publish_h).max(0.0);
-
-        // Request instants.
-        let mut times: Vec<SimTime> = (0..count)
-            .map(|_| {
-                let age = decays[class].sample_age_hours(&mut rng, span_h);
-                SimTime::from_hours_f64(publish_h + age)
-                    .min(config.horizon.saturating_since(SimTime::from_millis(1)))
-            })
-            .collect();
-        times.sort_unstable();
-
-        // Per-day server pools (eq. 6 + 60% overlap).
-        let rel = count as f64 / max_count as f64;
-        let pool_size = ((config.servers as f64 * rel.powf(config.server_exponent)).ceil()
-            as usize)
-            .clamp(1, config.servers as usize);
-        let mut pool = sample_distinct(&mut rng, config.servers as usize, pool_size);
-        let mut pool_day = times.first().map(|t| t.day_index()).unwrap_or(0);
-        let mut pools: Vec<Option<Vec<u16>>> = vec![None; total_days];
-        pools[pool_day.min(total_days - 1)] = Some(pool.clone());
-
-        for &t in &times {
-            let day = t.day_index().min(total_days - 1);
-            if day != pool_day {
-                // Roll the pool forward day by day, applying the overlap.
-                for slot in pools.iter_mut().take(day + 1).skip(pool_day + 1) {
-                    pool = roll_pool(&mut rng, &pool, config.servers as usize, config.day_overlap);
-                    *slot = Some(pool.clone());
-                }
-                pool_day = day;
-            }
-            let server = pool[rng.random_range(0..pool.len())];
-            events.push(RequestEvent::new(t, ServerId::new(server), page.id()));
-        }
+        place_page_requests(
+            &mut events,
+            &mut rng,
+            &pages[page_idx],
+            count,
+            max_count,
+            rank_of[page_idx],
+            config,
+            &decays,
+        );
     }
 
     Ok(RequestTrace::from_unsorted(events))
@@ -320,6 +454,38 @@ mod tests {
     }
 
     #[test]
+    fn parallel_generation_is_bit_identical() {
+        let pages = pages();
+        // Spans multiple ZIPF_CHUNK blocks to exercise chunk seeding.
+        let cfg = RequestConfig {
+            servers: 20,
+            total_requests: 20_000,
+            ..RequestConfig::news()
+        };
+        for seed in [0, 3, 77] {
+            let seq = generate_requests_threads(&pages, &cfg, seed, 1).unwrap();
+            for threads in [2, 4, 0] {
+                let par = generate_requests_threads(&pages, &cfg, seed, threads).unwrap();
+                assert_eq!(seq, par, "threads = {threads}, seed = {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_generator_differs_but_matches_shape() {
+        let pages = pages();
+        let new = generate_requests(&pages, &small_config(), 3).unwrap();
+        let old = generate_requests_legacy(&pages, &small_config(), 3).unwrap();
+        assert_eq!(old.len(), new.len());
+        assert!(old.validate(pages.len(), 20).is_ok());
+        assert_ne!(old, new);
+        assert_eq!(
+            old,
+            generate_requests_legacy(&pages, &small_config(), 3).unwrap()
+        );
+    }
+
+    #[test]
     fn popularity_is_zipf_skewed() {
         let pages = pages();
         let trace = generate_requests(&pages, &small_config(), 5).unwrap();
@@ -391,6 +557,7 @@ mod tests {
         let mut c = small_config();
         c.servers = 0;
         assert!(generate_requests(&pages, &c, 0).is_err());
+        assert!(generate_requests_legacy(&pages, &c, 0).is_err());
         let mut c = small_config();
         c.total_requests = 0;
         assert!(generate_requests(&pages, &c, 0).is_err());
@@ -407,6 +574,7 @@ mod tests {
         c.server_exponent = 0.0;
         assert!(generate_requests(&pages, &c, 0).is_err());
         assert!(generate_requests(&[], &small_config(), 0).is_err());
+        assert!(generate_requests_legacy(&[], &small_config(), 0).is_err());
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! Subscription generation through the subscription-quality model (§4.3).
 
+use pscd_pool::parallel_chunked;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
 
 use pscd_types::{RequestTrace, SubscriptionTable, SubscriptionTableBuilder};
 
-use crate::WorkloadError;
+use crate::{seeds, WorkloadError};
 
 /// Floor on a sampled per-pair subscription quality. Eq. 7 with `SQ <= 0.5`
 /// draws `SQ_{i,j}` uniformly from `(0, 2·SQ]`, which is unbounded in
@@ -14,6 +15,10 @@ use crate::WorkloadError;
 /// 100× its request count, keeping the synthetic population finite without
 /// affecting the achievable qualities the paper evaluates (SQ >= 0.25).
 const MIN_PAIR_QUALITY: f64 = 0.01;
+
+/// Page groups per pool job in the parallel fan-out. Purely a scheduling
+/// granularity (each page has its own substream).
+const GROUP_CHUNK: usize = 512;
 
 /// Derives the per-(page, server) subscription counts from a request trace
 /// using the paper's subscription-quality model (eq. 7):
@@ -25,6 +30,12 @@ const MIN_PAIR_QUALITY: f64 = 0.01;
 ///
 /// `quality == 1` is the ideal case where subscriptions predict requests
 /// exactly (`S_{i,j} = P_{i,j}`).
+///
+/// The quality draws of one page's (page, server) pairs come from that
+/// page's own RNG substream ([`crate::seeds`]), in ascending server order,
+/// so [`generate_subscriptions_threads`] is **bit-identical** at any
+/// thread count. The pre-substream single-stream scheme survives as
+/// [`generate_subscriptions_legacy`].
 ///
 /// # Errors
 ///
@@ -49,7 +60,23 @@ pub fn generate_subscriptions(
     quality: f64,
     seed: u64,
 ) -> Result<SubscriptionTable, WorkloadError> {
-    generate_subscriptions_partial(trace, page_count, quality, 1.0, seed)
+    generate_subscriptions_partial_threads(trace, page_count, quality, 1.0, seed, 1)
+}
+
+/// [`generate_subscriptions`] on up to `threads` pool workers (`0` = auto,
+/// `1` = inline). Output is bit-identical at every thread count.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InvalidConfig`] unless `0 < quality <= 1`.
+pub fn generate_subscriptions_threads(
+    trace: &RequestTrace,
+    page_count: usize,
+    quality: f64,
+    seed: u64,
+    threads: usize,
+) -> Result<SubscriptionTable, WorkloadError> {
+    generate_subscriptions_partial_threads(trace, page_count, quality, 1.0, seed, threads)
 }
 
 /// Like [`generate_subscriptions`], but only a `coverage` fraction of the
@@ -66,6 +93,96 @@ pub fn generate_subscriptions(
 /// Returns [`WorkloadError::InvalidConfig`] unless `0 < quality <= 1` and
 /// `0 <= coverage <= 1`.
 pub fn generate_subscriptions_partial(
+    trace: &RequestTrace,
+    page_count: usize,
+    quality: f64,
+    coverage: f64,
+    seed: u64,
+) -> Result<SubscriptionTable, WorkloadError> {
+    generate_subscriptions_partial_threads(trace, page_count, quality, coverage, seed, 1)
+}
+
+/// [`generate_subscriptions_partial`] on up to `threads` pool workers
+/// (`0` = auto, `1` = inline). Output is bit-identical at every thread
+/// count.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InvalidConfig`] unless `0 < quality <= 1` and
+/// `0 <= coverage <= 1`.
+pub fn generate_subscriptions_partial_threads(
+    trace: &RequestTrace,
+    page_count: usize,
+    quality: f64,
+    coverage: f64,
+    seed: u64,
+    threads: usize,
+) -> Result<SubscriptionTable, WorkloadError> {
+    if !(quality > 0.0 && quality <= 1.0) {
+        return Err(WorkloadError::invalid("quality", "0 < quality <= 1"));
+    }
+    if !(0.0..=1.0).contains(&coverage) {
+        return Err(WorkloadError::invalid("coverage", "0 <= coverage <= 1"));
+    }
+
+    // P_{i,j}: requests per (page, server), grouped by page in ascending
+    // (page, server) order.
+    let mut requests: HashMap<(u32, u16), u64> = HashMap::new();
+    for ev in trace {
+        *requests
+            .entry((ev.page.index(), ev.server.index()))
+            .or_default() += 1;
+    }
+    let mut pairs: Vec<((u32, u16), u64)> = requests.into_iter().collect();
+    pairs.sort_unstable();
+    let mut groups: Vec<(u32, Vec<(u16, u64)>)> = Vec::new();
+    for ((page, server), p_ij) in pairs {
+        match groups.last_mut() {
+            Some((p, servers)) if *p == page => servers.push((server, p_ij)),
+            _ => groups.push((page, vec![(server, p_ij)])),
+        }
+    }
+
+    // One substream per page: coverage gate + quality draw over that
+    // page's servers in ascending order.
+    let rows: Vec<(u32, u16, u32)> =
+        parallel_chunked(groups.len(), GROUP_CHUNK, threads, |range| {
+            let mut out = Vec::new();
+            for gi in range {
+                let (page, servers) = &groups[gi];
+                let mut rng = seeds::stream_rng(seed, seeds::SUBS, u64::from(*page));
+                for &(server, p_ij) in servers {
+                    if coverage < 1.0 && rng.random::<f64>() >= coverage {
+                        continue;
+                    }
+                    let sq = sample_pair_quality(&mut rng, quality);
+                    let count = ((p_ij as f64 / sq).round() as u64)
+                        .max(1)
+                        .min(u32::MAX as u64) as u32;
+                    out.push((*page, server, count));
+                }
+            }
+            out
+        });
+
+    let mut builder = SubscriptionTableBuilder::new(page_count);
+    for (page, server, count) in rows {
+        builder.add(page.into(), server.into(), count);
+    }
+    Ok(builder.build())
+}
+
+/// The pre-substream generator: one `StdRng` threaded through every pair.
+///
+/// Kept as a compatibility constructor for tables generated before the
+/// parallel cold path landed. New code should use
+/// [`generate_subscriptions`].
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InvalidConfig`] unless `0 < quality <= 1` and
+/// `0 <= coverage <= 1`.
+pub fn generate_subscriptions_legacy(
     trace: &RequestTrace,
     page_count: usize,
     quality: f64,
@@ -178,6 +295,39 @@ mod tests {
         let a = generate_subscriptions(&trace(), 3, 0.25, 9).unwrap();
         let b = generate_subscriptions(&trace(), 3, 0.25, 9).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_generation_is_bit_identical() {
+        for (quality, coverage) in [(1.0, 1.0), (0.5, 1.0), (0.25, 0.6)] {
+            let seq = generate_subscriptions_partial_threads(&trace(), 3, quality, coverage, 9, 1)
+                .unwrap();
+            for threads in [2, 4, 0] {
+                let par = generate_subscriptions_partial_threads(
+                    &trace(),
+                    3,
+                    quality,
+                    coverage,
+                    9,
+                    threads,
+                )
+                .unwrap();
+                assert_eq!(seq, par, "threads = {threads}, quality = {quality}");
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_generator_keeps_perfect_quality_exact() {
+        let old = generate_subscriptions_legacy(&trace(), 3, 1.0, 1.0, 1).unwrap();
+        assert_eq!(old.count(PageId::new(0), ServerId::new(0)), 5);
+        assert_eq!(old.count(PageId::new(0), ServerId::new(1)), 3);
+        assert_eq!(
+            old,
+            generate_subscriptions_legacy(&trace(), 3, 1.0, 1.0, 1).unwrap()
+        );
+        assert!(generate_subscriptions_legacy(&trace(), 3, 0.0, 1.0, 0).is_err());
+        assert!(generate_subscriptions_legacy(&trace(), 3, 1.0, -0.1, 0).is_err());
     }
 
     #[test]

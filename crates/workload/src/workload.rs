@@ -5,8 +5,9 @@ use serde::{Deserialize, Serialize};
 use pscd_types::{Bytes, PageMeta, PublishingStream, RequestTrace, SimTime, SubscriptionTable};
 
 use crate::{
-    generate_publishing, generate_requests, generate_subscriptions, generate_subscriptions_partial,
-    PublishingConfig, RequestConfig, WorkloadError,
+    generate_publishing_legacy, generate_publishing_threads, generate_requests_legacy,
+    generate_requests_threads, generate_subscriptions_partial_threads,
+    generate_subscriptions_threads, PublishingConfig, RequestConfig, WorkloadError,
 };
 
 /// Full configuration of a synthetic publish/subscribe workload.
@@ -95,14 +96,57 @@ impl Workload {
     /// # Ok::<(), pscd_workload::WorkloadError>(())
     /// ```
     pub fn generate(config: &WorkloadConfig) -> Result<Self, WorkloadError> {
+        Self::generate_threads(config, 1)
+    }
+
+    /// [`Workload::generate`] on up to `threads` pool workers (`0` = auto,
+    /// `1` = inline). Output is bit-identical at every thread count: every
+    /// random draw comes from a per-entity substream ([`crate::seeds`]),
+    /// so parallelism only changes who computes what, never what is
+    /// computed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidConfig`] for invalid configurations.
+    pub fn generate_threads(
+        config: &WorkloadConfig,
+        threads: usize,
+    ) -> Result<Self, WorkloadError> {
         if config.publishing.horizon != config.requests.horizon {
             return Err(WorkloadError::invalid(
                 "horizon",
                 "publishing.horizon == requests.horizon",
             ));
         }
-        let publishing = generate_publishing(&config.publishing, config.seed)?;
-        let requests = generate_requests(&publishing.pages, &config.requests, config.seed)?;
+        let publishing = generate_publishing_threads(&config.publishing, config.seed, threads)?;
+        let requests =
+            generate_requests_threads(&publishing.pages, &config.requests, config.seed, threads)?;
+        Ok(Self {
+            config: config.clone(),
+            pages: publishing.pages,
+            publishing: publishing.stream,
+            requests,
+        })
+    }
+
+    /// Compatibility constructor: generates the workload with the
+    /// pre-substream single-stream generators
+    /// ([`generate_publishing_legacy`]/[`generate_requests_legacy`]), which
+    /// reproduce traces generated before the parallel cold path landed.
+    /// Inherently serial; new code should use [`Workload::generate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidConfig`] for invalid configurations.
+    pub fn generate_legacy(config: &WorkloadConfig) -> Result<Self, WorkloadError> {
+        if config.publishing.horizon != config.requests.horizon {
+            return Err(WorkloadError::invalid(
+                "horizon",
+                "publishing.horizon == requests.horizon",
+            ));
+        }
+        let publishing = generate_publishing_legacy(&config.publishing, config.seed)?;
+        let requests = generate_requests_legacy(&publishing.pages, &config.requests, config.seed)?;
         Ok(Self {
             config: config.clone(),
             pages: publishing.pages,
@@ -199,11 +243,26 @@ impl Workload {
     ///
     /// Returns [`WorkloadError::InvalidConfig`] unless `0 < quality <= 1`.
     pub fn subscriptions(&self, quality: f64) -> Result<SubscriptionTable, WorkloadError> {
-        generate_subscriptions(
+        self.subscriptions_threads(quality, 1)
+    }
+
+    /// [`Workload::subscriptions`] on up to `threads` pool workers (`0` =
+    /// auto, `1` = inline). Output is bit-identical at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidConfig`] unless `0 < quality <= 1`.
+    pub fn subscriptions_threads(
+        &self,
+        quality: f64,
+        threads: usize,
+    ) -> Result<SubscriptionTable, WorkloadError> {
+        generate_subscriptions_threads(
             &self.requests,
             self.pages.len(),
             quality,
             self.config.seed ^ quality.to_bits(),
+            threads,
         )
     }
 
@@ -221,12 +280,13 @@ impl Workload {
         quality: f64,
         coverage: f64,
     ) -> Result<SubscriptionTable, WorkloadError> {
-        generate_subscriptions_partial(
+        generate_subscriptions_partial_threads(
             &self.requests,
             self.pages.len(),
             quality,
             coverage,
             self.config.seed ^ quality.to_bits() ^ coverage.to_bits().rotate_left(17),
+            1,
         )
     }
 
