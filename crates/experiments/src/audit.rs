@@ -15,8 +15,8 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 use pscd_core::StrategyKind;
-use pscd_obs::{JsonlObserver, Registry, SharedObserver, StatsObserver};
-use pscd_sim::{simulate_observed_sharded_compiled, SimOptions, Simulation};
+use pscd_obs::{JsonlObserver, Registry, SharedObserver, StatsObserver, TraceSink};
+use pscd_sim::{simulate_observed_sharded_compiled_traced, SimOptions, Simulation};
 
 use crate::{ExperimentContext, ExperimentError, Trace};
 
@@ -79,6 +79,25 @@ impl ObsAudit {
         dir: &Path,
         events: bool,
     ) -> Result<Self, ExperimentError> {
+        Self::run_traced(ctx, kinds, capacity, dir, events, &TraceSink::disabled())
+    }
+
+    /// [`run`](Self::run) with timeline tracing: the sharded replays
+    /// record per-shard tracks into `sink` (see `repro --trace`). Only
+    /// the non-`events` path shards, so only it traces; a disabled sink
+    /// makes this exactly `run`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_traced(
+        ctx: &ExperimentContext,
+        kinds: &[StrategyKind],
+        capacity: f64,
+        dir: &Path,
+        events: bool,
+        sink: &TraceSink,
+    ) -> Result<Self, ExperimentError> {
         let io_err = |what: &Path, e: std::io::Error| {
             ExperimentError::Io(format!("{}: {e}", what.display()))
         };
@@ -115,7 +134,12 @@ impl ObsAudit {
             } else {
                 let options = SimOptions::at_capacity(kind, capacity).with_threads(ctx.threads());
                 let (result, stats): (_, StatsObserver) = timing.time(kind.name(), || {
-                    simulate_observed_sharded_compiled(&compiled, ctx.costs(), &options)
+                    simulate_observed_sharded_compiled_traced(
+                        &compiled,
+                        ctx.costs(),
+                        &options,
+                        sink,
+                    )
                 })?;
                 (result, stats, None, 0)
             };

@@ -11,12 +11,15 @@ use std::process::ExitCode;
 
 use pscd_core::StrategyKind;
 use pscd_experiments::{
-    BetaSweep, ClassicBaselines, CoverageSweep, CrashRecovery, ExperimentContext, ExperimentError,
-    Fig3, Fig4, Fig5, Fig6, Fig7, InvalidationStudy, LapBoundsSweep, ObsAudit, PartitionSweep,
-    ShiftSensitivity, Table2, ToCsv, VarianceStudy, PAPER_BETA,
+    validate_bench_json, BenchReport, BetaSweep, ClassicBaselines, CoverageSweep, CrashRecovery,
+    ExperimentContext, ExperimentError, Fig3, Fig4, Fig5, Fig6, Fig7, InvalidationStudy,
+    LapBoundsSweep, ObsAudit, PartitionSweep, ShiftSensitivity, Table2, ToCsv, Trace,
+    VarianceStudy, BENCH_PR, PAPER_BETA,
 };
+use pscd_obs::{render_chrome_trace, NullObserver, SpanEvent, TraceSink};
+use pscd_sim::{simulate_observed_sharded_compiled_traced, SimOptions};
 
-const USAGE: &str = "usage: repro <beta|fig3|fig4|table2|fig5|fig6|fig7|classic|lap-bounds|partition|coverage|shift|crash|invalidation|variance|ablations|all> [--scale FRACTION] [--threads N] [--csv DIR] [--obs-dir DIR [--events]]";
+const USAGE: &str = "usage: repro <beta|fig3|fig4|table2|fig5|fig6|fig7|classic|lap-bounds|partition|coverage|shift|crash|invalidation|variance|ablations|all> [--scale FRACTION] [--threads N] [--csv DIR] [--obs-dir DIR [--events]] [--trace FILE]\n       repro bench [--quick] [--out FILE] [--check FILE]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,7 +28,11 @@ fn main() -> ExitCode {
     let mut threads = 0usize; // 0 = auto
     let mut csv_dir: Option<PathBuf> = None;
     let mut obs_dir: Option<PathBuf> = None;
+    let mut trace_file: Option<PathBuf> = None;
     let mut events = false;
+    let mut quick = false;
+    let mut bench_out: Option<PathBuf> = None;
+    let mut bench_check: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -57,7 +64,29 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--trace" => match it.next() {
+                Some(path) => trace_file = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--trace needs an output file (Chrome trace-event JSON)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--events" => events = true,
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(path) => bench_out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--out needs an output file");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--check" => match it.next() {
+                Some(path) => bench_check = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--check needs a BENCH_*.json file to validate");
+                    return ExitCode::FAILURE;
+                }
+            },
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -77,12 +106,16 @@ fn main() -> ExitCode {
         eprintln!("--events requires --obs-dir\n{USAGE}");
         return ExitCode::FAILURE;
     }
+    if exhibit == "bench" {
+        return run_bench(quick, bench_out.as_deref(), bench_check.as_deref());
+    }
     match run(
         &exhibit,
         scale,
         threads,
         csv_dir.as_deref(),
         obs_dir.as_deref(),
+        trace_file.as_deref(),
         events,
     ) {
         Ok(true) => ExitCode::SUCCESS,
@@ -97,16 +130,85 @@ fn main() -> ExitCode {
     }
 }
 
+/// `repro bench`: run the pinned perf suite and write `BENCH_<pr>.json`,
+/// or — with `--check FILE` — just validate an existing document against
+/// the schema (the CI bench-smoke contract).
+fn run_bench(
+    quick: bool,
+    out: Option<&std::path::Path>,
+    check: Option<&std::path::Path>,
+) -> ExitCode {
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate_bench_json(&text) {
+            Ok(n) => {
+                println!("{}: valid ({n} benchmarks)", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{}: INVALID: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+    eprintln!(
+        "running pinned bench suite ({}) …",
+        if quick { "quick" } else { "full" }
+    );
+    let report = match BenchReport::run(quick) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{report}");
+    let default = PathBuf::from(format!("BENCH_{BENCH_PR}.json"));
+    let path = out.unwrap_or(&default);
+    let json = report.to_json();
+    if let Err(e) = validate_bench_json(&json) {
+        eprintln!("internal error: emitted JSON fails its own schema: {e}");
+        return ExitCode::FAILURE;
+    }
+    match std::fs::write(path, json) {
+        Ok(()) => {
+            eprintln!("wrote {}", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn run(
     exhibit: &str,
     scale: f64,
     threads: usize,
     csv_dir: Option<&std::path::Path>,
     obs_dir: Option<&std::path::Path>,
+    trace_file: Option<&std::path::Path>,
     events: bool,
 ) -> Result<bool, ExperimentError> {
+    let sink = if trace_file.is_some() {
+        TraceSink::enabled()
+    } else {
+        TraceSink::disabled()
+    };
+    if let Some(epoch) = sink.epoch() {
+        // Collect the worker pool's per-task spans against the same epoch
+        // so cold-path fan-outs and grid cells land on the timeline too.
+        pscd_sim::pool::spans::enable(epoch);
+    }
     eprintln!("generating workloads (scale = {scale}) …");
-    let ctx = ExperimentContext::scaled_threads(scale, threads)?;
+    let ctx = ExperimentContext::scaled_threads_traced(scale, threads, sink.clone())?;
     let all = exhibit == "all";
     let mut known = all;
     let emit = |result: &dyn ToCsv| {
@@ -224,20 +326,20 @@ fn run(
         println!("{}", ShiftSensitivity::run(&ctx, scale)?);
     }
     if known {
+        let lineup = if exhibit == "fig3" {
+            StrategyKind::figure3_lineup(PAPER_BETA)
+        } else {
+            StrategyKind::figure4_lineup(PAPER_BETA)
+        };
         if let Some(dir) = obs_dir {
             // Instrumented replay of the exhibit's lineup at the paper's
             // middle capacity: sharded with hard-checked merge totals, or
             // serial with a full decision log when --events is set.
-            let lineup = if exhibit == "fig3" {
-                StrategyKind::figure3_lineup(PAPER_BETA)
-            } else {
-                StrategyKind::figure4_lineup(PAPER_BETA)
-            };
             eprintln!(
                 "replaying {} strategies with observers (events: {events}) …",
                 lineup.len()
             );
-            let audit = ObsAudit::run(&ctx, &lineup, 0.05, dir, events)?;
+            let audit = ObsAudit::run_traced(&ctx, &lineup, 0.05, dir, events, &sink)?;
             for row in &audit.rows {
                 eprintln!(
                     "  {:>6}: requests {}  hits {}  pushed {}  events {}",
@@ -245,7 +347,47 @@ fn run(
                 );
             }
             eprintln!("wrote {}", dir.join("summary.txt").display());
+        } else if trace_file.is_some() {
+            // No audit replay to trace: record one sharded replay of the
+            // lineup's lead strategy so the timeline has per-shard tracks.
+            let kind = lineup[0];
+            eprintln!("tracing a sharded replay of {} …", kind.name());
+            let compiled = ctx.compiled(Trace::News, 1.0)?;
+            let options = SimOptions::at_capacity(kind, 0.05).with_threads(ctx.threads());
+            let (_result, _obs): (_, NullObserver) =
+                simulate_observed_sharded_compiled_traced(&compiled, ctx.costs(), &options, &sink)?;
         }
     }
+    if let Some(path) = trace_file {
+        flush_pool_spans(&sink);
+        let mut file = std::fs::File::create(path)
+            .map_err(|e| ExperimentError::Io(format!("{}: {e}", path.display())))?;
+        render_chrome_trace(&sink.snapshot(), &mut file)
+            .map_err(|e| ExperimentError::Io(format!("{}: {e}", path.display())))?;
+        eprintln!(
+            "wrote {} ({} spans)",
+            path.display(),
+            sink.snapshot().span_count()
+        );
+    }
     Ok(known)
+}
+
+/// Converts the worker pool's collected task spans into one timeline
+/// track per pool worker (`pool worker <w>`, span label = the phase that
+/// was current when the task ran, detail = the job index).
+fn flush_pool_spans(sink: &TraceSink) {
+    let mut by_worker: std::collections::BTreeMap<usize, Vec<SpanEvent>> =
+        std::collections::BTreeMap::new();
+    for s in pscd_sim::pool::spans::disable() {
+        by_worker.entry(s.worker).or_default().push(SpanEvent {
+            label: s.phase,
+            start_ns: s.start_ns,
+            dur_ns: s.end_ns - s.start_ns,
+            detail: Some(format!("job {}", s.job)),
+        });
+    }
+    for (w, events) in by_worker {
+        sink.add_events(&format!("pool worker {w}"), events);
+    }
 }

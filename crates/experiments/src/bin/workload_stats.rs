@@ -86,6 +86,7 @@ fn usage() -> ExitCode {
 }
 
 fn print_stats(w: &Workload, trace: &str) {
+    let mut reg = Registry::new();
     let pages = w.pages();
     let alpha = w.config().requests.zipf_alpha;
     let shift = w.config().requests.zipf_shift;
@@ -105,7 +106,9 @@ fn print_stats(w: &Workload, trace: &str) {
         pages.len() - originals,
         origins.len()
     );
-    let mut sizes: Vec<u64> = pages.iter().map(|p| p.size().as_u64()).collect();
+    let mut sizes: Vec<u64> = reg.time("scan.stream", || {
+        pages.iter().map(|p| p.size().as_u64()).collect()
+    });
     sizes.sort_unstable();
     let pct = |q: f64| sizes[((sizes.len() - 1) as f64 * q) as usize];
     println!(
@@ -121,10 +124,12 @@ fn print_stats(w: &Workload, trace: &str) {
     let requests = w.requests();
     let mut per_page: HashMap<u32, u64> = HashMap::new();
     let mut pairs: HashSet<(u32, u16)> = HashSet::new();
-    for ev in requests {
-        *per_page.entry(ev.page.index()).or_default() += 1;
-        pairs.insert((ev.page.index(), ev.server.index()));
-    }
+    reg.time("scan.stream", || {
+        for ev in requests {
+            *per_page.entry(ev.page.index()).or_default() += 1;
+            pairs.insert((ev.page.index(), ev.server.index()));
+        }
+    });
     let mut counts: Vec<u64> = per_page.values().copied().collect();
     counts.sort_unstable_by(|a, b| b.cmp(a));
     println!("\n# request stream");
@@ -146,7 +151,9 @@ fn print_stats(w: &Workload, trace: &str) {
     println!("class sizes:      {class_pages:?} (by rank, classes 0-3)");
 
     // Subscriptions at SQ = 1.
-    let subs = w.subscriptions(1.0).expect("SQ = 1 is valid");
+    let subs = reg
+        .time("subscriptions", || w.subscriptions(1.0))
+        .expect("SQ = 1 is valid");
     let total_subs: u64 = subs.iter().map(|(_, _, c)| c as u64).sum();
     println!("\n# subscriptions (SQ = 1)");
     println!("pairs:            {}", subs.iter().count());
@@ -154,7 +161,6 @@ fn print_stats(w: &Workload, trace: &str) {
 
     // The same trace folded through the observability registry: the log₂
     // histograms show the size and popularity shapes at a glance.
-    let mut reg = Registry::new();
     reg.add("pages.total", pages.len() as u64);
     reg.add("pages.originals", originals as u64);
     reg.add("requests.total", requests.len() as u64);
@@ -170,6 +176,13 @@ fn print_stats(w: &Workload, trace: &str) {
     }
     println!("\n# registry (log2 buckets)");
     print!("{}", reg.render());
+
+    // Aggregated phase timings: the two stream scans share one label, so
+    // the rolled-up view shows the total with its repeat count.
+    println!("\n# phase totals");
+    for (label, total, count) in reg.span_totals() {
+        println!("{label:<18} {total:>10.3?}  (x{count})");
+    }
 
     // Capacity settings.
     println!("\n# per-proxy cache capacities");

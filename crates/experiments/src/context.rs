@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use pscd_obs::{Registry, SharedRegistry};
+use pscd_obs::{Registry, SharedRegistry, TraceSink};
 use pscd_sim::trace::CompiledTrace;
 use pscd_topology::{FetchCosts, TopologyBuilder};
 use pscd_types::SubscriptionTable;
@@ -69,6 +69,11 @@ pub struct ExperimentContext {
     /// fetch costs, subscription synthesis, trace compilation) — merged
     /// into audit reports so `--obs-dir` shows where setup time goes.
     cold: SharedRegistry,
+    /// Timeline tracing sink (`repro --trace`): every cold phase records
+    /// a span on the `cold` track, and the worker pool's per-task phase
+    /// label follows the current phase. Disabled by default — recording
+    /// then costs nothing.
+    sink: TraceSink,
 }
 
 impl ExperimentContext {
@@ -106,14 +111,32 @@ impl ExperimentContext {
     ///
     /// Propagates workload/topology generation failures.
     pub fn scaled_threads(factor: f64, threads: usize) -> Result<Self, ExperimentError> {
+        Self::scaled_threads_traced(factor, threads, TraceSink::disabled())
+    }
+
+    /// [`scaled_threads`](Self::scaled_threads) with timeline tracing:
+    /// every cold-path phase (now and in later
+    /// [`compiled`](Self::compiled) calls) records a span on the `cold`
+    /// track of `sink`, and the worker pool's task-span phase label is
+    /// kept current so per-chunk pool tasks attribute to the right phase.
+    /// A disabled sink makes this exactly `scaled_threads`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload/topology generation failures.
+    pub fn scaled_threads_traced(
+        factor: f64,
+        threads: usize,
+        sink: TraceSink,
+    ) -> Result<Self, ExperimentError> {
         let cold = SharedRegistry::new();
-        let news = cold.time("cold.generate.news", || {
+        let news = phase(&cold, &sink, "cold.generate.news", || {
             Workload::generate_threads(&WorkloadConfig::news_scaled(factor), threads)
         })?;
-        let alternative = cold.time("cold.generate.alternative", || {
+        let alternative = phase(&cold, &sink, "cold.generate.alternative", || {
             Workload::generate_threads(&WorkloadConfig::alternative_scaled(factor), threads)
         })?;
-        let costs = cold.time("cold.costs", || {
+        let costs = phase(&cold, &sink, "cold.costs", || {
             let topo = TopologyBuilder::new(news.server_count() as usize + 1)
                 .seed(42)
                 .build()?;
@@ -126,6 +149,7 @@ impl ExperimentContext {
             threads,
             compiled: Mutex::new(HashMap::new()),
             cold,
+            sink,
         })
     }
 
@@ -195,10 +219,10 @@ impl ExperimentContext {
             }
         }
         let workload = self.workload(trace);
-        let subs = self.cold.time("cold.subscriptions", || {
+        let subs = phase(&self.cold, &self.sink, "cold.subscriptions", || {
             workload.subscriptions_threads(quality, self.threads)
         })?;
-        let compiled = Arc::new(self.cold.time("cold.compile", || {
+        let compiled = Arc::new(phase(&self.cold, &self.sink, "cold.compile", || {
             CompiledTrace::compile_threads(workload, &subs, self.threads)
         })?);
         let mut cache = self.compiled.lock().expect("compiled-trace cache poisoned");
@@ -217,6 +241,30 @@ impl ExperimentContext {
     pub fn cold_timing(&self) -> Registry {
         self.cold.snapshot()
     }
+
+    /// The timeline-tracing sink this context records cold phases into
+    /// (disabled unless constructed via
+    /// [`scaled_threads_traced`](Self::scaled_threads_traced)).
+    pub fn trace_sink(&self) -> &TraceSink {
+        &self.sink
+    }
+}
+
+/// Runs one cold-path phase: a registry span (for `cold_timing`), a trace
+/// span on the `cold` track, and the pool's task-span phase label, all
+/// under the same name. With a disabled sink this is exactly
+/// `cold.time(label, f)`.
+fn phase<T, E>(
+    cold: &SharedRegistry,
+    sink: &TraceSink,
+    label: &str,
+    f: impl FnOnce() -> Result<T, E>,
+) -> Result<T, E> {
+    if sink.is_enabled() {
+        pscd_sim::pool::spans::set_phase(label);
+    }
+    let mut rec = sink.recorder("cold");
+    rec.span(label, || cold.time(label, f))
 }
 
 #[cfg(test)]

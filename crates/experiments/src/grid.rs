@@ -60,6 +60,11 @@ pub fn run_grid_threads(
     if jobs.is_empty() {
         return Ok(Vec::new());
     }
+    if pscd_sim::pool::spans::is_enabled() {
+        // Under `repro --trace` each grid cell shows up as one pool task
+        // span; label the fan-out so the timeline reads correctly.
+        pscd_sim::pool::spans::set_phase("grid.cell");
+    }
     let threads = effective_threads(threads, jobs.len());
     parallel_indexed(jobs.len(), threads, |i| {
         let (trace, options) = &jobs[i];

@@ -1,0 +1,182 @@
+//! Chrome trace-event export: renders a [`TraceLog`] as the JSON object
+//! format consumed by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
+//!
+//! Every [`Track`](crate::Track) becomes one thread lane (`tid` = its
+//! index in the log, named via a `thread_name` metadata event) and every
+//! [`SpanEvent`](crate::SpanEvent) becomes one complete event (`"ph":
+//! "X"`) with microsecond timestamps relative to the sink epoch. Nesting
+//! is implied by containment, so the begin/end structure recorded by
+//! [`TraceRecorder`](crate::TraceRecorder) renders as stacked spans.
+//!
+//! The emitted JSON uses only keys from the trace-event format spec:
+//! `name`, `ph`, `pid`, `tid`, `ts`, `dur`, `args`.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+use crate::trace::TraceLog;
+
+/// The `pid` every event is filed under (one process per export).
+const PID: u32 = 1;
+
+/// Renders `log` as Chrome trace-event JSON into `out`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn render_chrome_trace(log: &TraceLog, out: &mut impl Write) -> io::Result<()> {
+    let mut buf = String::with_capacity(256 + log.span_count() * 128);
+    buf.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |buf: &mut String| {
+        if first {
+            first = false;
+        } else {
+            buf.push(',');
+        }
+    };
+    for (tid, track) in log.tracks().iter().enumerate() {
+        sep(&mut buf);
+        let _ = write!(
+            buf,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            Escaped(&track.name)
+        );
+        for ev in &track.events {
+            sep(&mut buf);
+            let _ = write!(
+                buf,
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{PID},\"tid\":{tid},\
+                 \"ts\":{},\"dur\":{}",
+                Escaped(&ev.label),
+                Micros(ev.start_ns),
+                Micros(ev.dur_ns),
+            );
+            if let Some(detail) = &ev.detail {
+                let _ = write!(buf, ",\"args\":{{\"detail\":\"{}\"}}", Escaped(detail));
+            }
+            buf.push('}');
+        }
+    }
+    buf.push_str("]}\n");
+    out.write_all(buf.as_bytes())
+}
+
+/// [`render_chrome_trace`] into a `String` (infallible).
+pub fn chrome_trace_to_string(log: &TraceLog) -> String {
+    let mut out = Vec::new();
+    render_chrome_trace(log, &mut out).expect("Vec<u8> sink never fails");
+    String::from_utf8(out).expect("exporter writes only UTF-8")
+}
+
+/// Nanoseconds displayed as microseconds with sub-µs precision (the
+/// trace-event `ts`/`dur` unit is µs; fractions are allowed).
+struct Micros(u64);
+
+impl std::fmt::Display for Micros {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let whole = self.0 / 1_000;
+        let frac = self.0 % 1_000;
+        if frac == 0 {
+            write!(f, "{whole}")
+        } else {
+            write!(f, "{whole}.{frac:03}")
+        }
+    }
+}
+
+/// A string rendered with JSON escaping (quotes, backslashes, control
+/// characters).
+struct Escaped<'a>(&'a str);
+
+impl std::fmt::Display for Escaped<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for c in self.0.chars() {
+            match c {
+                '"' => f.write_str("\\\"")?,
+                '\\' => f.write_str("\\\\")?,
+                '\n' => f.write_str("\\n")?,
+                '\r' => f.write_str("\\r")?,
+                '\t' => f.write_str("\\t")?,
+                c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                c => f.write_char(c)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{SpanEvent, TraceSink};
+
+    fn event(label: &str, start_ns: u64, dur_ns: u64, detail: Option<&str>) -> SpanEvent {
+        SpanEvent {
+            label: label.to_owned(),
+            start_ns,
+            dur_ns,
+            detail: detail.map(str::to_owned),
+        }
+    }
+
+    #[test]
+    fn renders_tracks_as_named_tid_lanes() {
+        let mut log = TraceLog::new();
+        log.add_events("main", vec![event("cold.compile", 1_500, 2_000_000, None)]);
+        log.add_events(
+            "shard 0 [0,50)",
+            vec![event(
+                "replay.SG2",
+                3_000_000,
+                500,
+                Some("events [0, 8192)"),
+            )],
+        );
+        let json = chrome_trace_to_string(&log);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+        // Metadata names both lanes.
+        assert!(json.contains(
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"main\"}}"
+        ));
+        assert!(json.contains("\"args\":{\"name\":\"shard 0 [0,50)\"}"));
+        // Complete events with µs timestamps (1500 ns = 1.5 µs).
+        assert!(json.contains(
+            "{\"name\":\"cold.compile\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\
+             \"ts\":1.500,\"dur\":2000}"
+        ));
+        assert!(json.contains("\"tid\":1,\"ts\":3000,\"dur\":0.500"));
+        assert!(json.contains("\"args\":{\"detail\":\"events [0, 8192)\"}"));
+    }
+
+    #[test]
+    fn escapes_json_special_characters() {
+        let mut log = TraceLog::new();
+        log.add_events(
+            "t\"rack\\",
+            vec![event("a\"b", 0, 1, Some("line1\nline2\t\u{1}"))],
+        );
+        let json = chrome_trace_to_string(&log);
+        assert!(json.contains("\"name\":\"t\\\"rack\\\\\""));
+        assert!(json.contains("\"name\":\"a\\\"b\""));
+        assert!(json.contains("line1\\nline2\\t\\u0001"));
+    }
+
+    #[test]
+    fn empty_log_is_valid_json_shell() {
+        let json = chrome_trace_to_string(&TraceLog::new());
+        assert_eq!(json, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n");
+    }
+
+    #[test]
+    fn end_to_end_from_a_sink() {
+        let sink = TraceSink::enabled();
+        sink.recorder("main").span("phase", || ());
+        let json = chrome_trace_to_string(&sink.drain());
+        assert!(json.contains("\"name\":\"phase\""));
+        assert!(json.contains("\"ph\":\"X\""));
+    }
+}

@@ -20,6 +20,12 @@
 //!   counters, byte counters, [`Log2Histogram`]s (order-of-magnitude
 //!   distributions of eviction values and page sizes) and wall-clock
 //!   span timing for coarse stages.
+//! * [`TraceSink`] / [`TraceRecorder`] / [`TraceLog`] — timeline tracing:
+//!   nested, monotonic-timestamped, per-track span events, merged across
+//!   shards like the registry monoid and exported as Chrome trace-event
+//!   JSON by [`chrome::render_chrome_trace`] (load the file in
+//!   `chrome://tracing` or Perfetto). Zero-cost when the sink is
+//!   disabled.
 //!
 //! Within one shard of a simulation run everything is single-threaded,
 //! so components share one observer through [`SharedObserver`]
@@ -50,11 +56,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chrome;
 mod jsonl;
 mod observer;
 mod registry;
 mod stats;
+mod trace;
 
+pub use chrome::{chrome_trace_to_string, render_chrome_trace};
 pub use jsonl::{JsonlObserver, BUF_CAP};
 pub use observer::{
     AdmitOrigin, EvictReason, MergeableObserver, NullObserver, ObsHandle, Observer,
@@ -62,3 +71,4 @@ pub use observer::{
 };
 pub use registry::{Log2Histogram, Registry, SharedRegistry};
 pub use stats::{StatsObserver, K_PUSH_TRANSFERS, K_REQUEST_HITS, K_REQUEST_MISSES};
+pub use trace::{OpenSpan, SpanEvent, TraceLog, TraceRecorder, TraceSink, Track};

@@ -102,6 +102,55 @@ impl Log2Histogram {
         self.buckets.iter().map(|(&e, &c)| (e, c))
     }
 
+    /// A bucket-resolution estimate of the `q`-quantile (`q` in `[0, 1]`):
+    /// the sample at rank `⌈q·n⌉` is located in its power-of-two bucket
+    /// and the bucket's span is interpolated linearly by the rank's
+    /// position inside it, clamped to the recorded `min`/`max`. Exact for
+    /// the extremes (`q = 0` → min, `q = 1` → max); within a factor of 2
+    /// elsewhere, which is all a log₂ sketch can promise. Returns 0 with
+    /// no samples; NaN `q` is treated as 1.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = if q.is_nan() { 1.0 } else { q.clamp(0.0, 1.0) };
+        // Rank of the target sample, 1-based: ceil(q * n), at least 1.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&e, &c) in &self.buckets {
+            if seen + c >= rank {
+                if e == ZERO_BUCKET {
+                    // All non-positive samples collapse into one bucket;
+                    // min is the only bound we kept for them.
+                    return self.min.min(0.0);
+                }
+                let lo = (e as f64).exp2();
+                let hi = (e as f64 + 1.0).exp2();
+                // Position of the rank inside this bucket, in (0, 1].
+                let frac = (rank - seen) as f64 / c as f64;
+                let est = lo + (hi - lo) * frac;
+                return est.clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`quantile`](Self::quantile)).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate (see [`quantile`](Self::quantile)).
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate (see [`quantile`](Self::quantile)).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
     /// Folds another histogram into this one.
     pub fn merge(&mut self, other: &Log2Histogram) {
         for (&e, &c) in &other.buckets {
@@ -260,6 +309,24 @@ impl Registry {
         &self.spans
     }
 
+    /// Spans aggregated by label, in label order: `(label, total, count)`.
+    /// The flat [`spans`](Self::spans) list keeps every recording (and
+    /// duplicates labels when a phase runs more than once — e.g. one
+    /// `cold.compile` per compiled-cache miss); this is the rolled-up
+    /// view reports should print.
+    pub fn span_totals(&self) -> Vec<(&str, Duration, u64)> {
+        let mut totals: BTreeMap<&str, (Duration, u64)> = BTreeMap::new();
+        for (label, d) in &self.spans {
+            let entry = totals.entry(label.as_str()).or_insert((Duration::ZERO, 0));
+            entry.0 += *d;
+            entry.1 += 1;
+        }
+        totals
+            .into_iter()
+            .map(|(label, (total, count))| (label, total, count))
+            .collect()
+    }
+
     /// Folds another registry into this one (counters add up, histograms
     /// merge, spans concatenate).
     pub fn merge(&mut self, other: &Registry) {
@@ -284,9 +351,17 @@ impl Registry {
     pub fn render(&self) -> String {
         let mut out = String::new();
         if !self.spans.is_empty() {
+            // Aggregated by label: a phase that ran N times (e.g. one
+            // `cold.compile` per cache miss) prints one row with its
+            // total and count instead of N look-alike rows.
             out.push_str("spans:\n");
-            for (label, d) in &self.spans {
-                let _ = writeln!(out, "  {label:<40} {:>12.3} ms", d.as_secs_f64() * 1e3);
+            for (label, total, count) in self.span_totals() {
+                let ms = total.as_secs_f64() * 1e3;
+                if count == 1 {
+                    let _ = writeln!(out, "  {label:<40} {ms:>12.3} ms");
+                } else {
+                    let _ = writeln!(out, "  {label:<40} {ms:>12.3} ms  (x{count})");
+                }
             }
         }
         if !self.counters.is_empty() {
@@ -304,11 +379,15 @@ impl Registry {
         for (name, h) in &self.histograms {
             let _ = writeln!(
                 out,
-                "histogram {name} (n={}, mean={:.2}, min={:.2}, max={:.2}):",
+                "histogram {name} (n={}, mean={:.2}, min={:.2}, max={:.2}, \
+                 ~p50={:.2}, ~p90={:.2}, ~p99={:.2}):",
                 h.count(),
                 h.mean(),
                 h.min(),
-                h.max()
+                h.max(),
+                h.p50(),
+                h.p90(),
+                h.p99()
             );
             h.render_into(&mut out, "  ");
         }
@@ -394,6 +473,77 @@ mod tests {
         assert_eq!(a.min(), 1.0);
         let by_exp: BTreeMap<i32, u64> = a.buckets().collect();
         assert_eq!(by_exp[&2], 2); // 5.0 and 5.5 share [4, 8)
+    }
+
+    #[test]
+    fn quantile_estimates_land_in_the_right_bucket() {
+        let mut h = Log2Histogram::new();
+        // 100 samples: 89 in [1, 2), 10 in [8, 16), 1 at 1000.
+        for _ in 0..89 {
+            h.record(1.5);
+        }
+        for _ in 0..10 {
+            h.record(10.0);
+        }
+        h.record(1000.0);
+        // p50 sits in the [1, 2) bucket.
+        assert!((1.0..2.0).contains(&h.p50()), "p50 = {}", h.p50());
+        // p90 is the 90th sample: first of the [8, 16) bucket.
+        assert!((8.0..16.0).contains(&h.p90()), "p90 = {}", h.p90());
+        // p99 is the 99th sample: last of the [8, 16) bucket (the linear
+        // interpolation may land exactly on the upper edge).
+        assert!((8.0..=16.0).contains(&h.p99()), "p99 = {}", h.p99());
+        // The extremes are exact.
+        assert_eq!(h.quantile(0.0), 1.5);
+        assert_eq!(h.quantile(1.0), 1000.0);
+        // Out-of-range and NaN q clamp instead of panicking.
+        assert_eq!(h.quantile(7.0), 1000.0);
+        assert_eq!(h.quantile(-3.0), 1.5);
+        assert_eq!(h.quantile(f64::NAN), 1000.0);
+    }
+
+    #[test]
+    fn quantiles_handle_edge_shapes() {
+        // Empty histogram.
+        assert_eq!(Log2Histogram::new().p50(), 0.0);
+        // Single sample: every quantile is that sample.
+        let mut one = Log2Histogram::new();
+        one.record(42.0);
+        assert_eq!(one.p50(), 42.0);
+        assert_eq!(one.p99(), 42.0);
+        // Non-positive samples report through the underflow bucket.
+        let mut neg = Log2Histogram::new();
+        neg.record(-5.0);
+        neg.record(-1.0);
+        neg.record(0.0);
+        assert_eq!(neg.p50(), -5.0, "underflow bucket reports min");
+        // Mixed: the positive tail still resolves.
+        let mut mixed = Log2Histogram::new();
+        mixed.record(0.0);
+        mixed.record(512.0);
+        assert!((256.0..=512.0).contains(&mixed.p99()), "{}", mixed.p99());
+    }
+
+    #[test]
+    fn span_totals_aggregate_duplicate_labels() {
+        let mut r = Registry::new();
+        r.record_span("compile", Duration::from_millis(10));
+        r.record_span("generate", Duration::from_millis(5));
+        r.record_span("compile", Duration::from_millis(30));
+        // The flat list keeps every recording…
+        assert_eq!(r.spans().len(), 3);
+        // …while the rolled-up view sums by label.
+        assert_eq!(
+            r.span_totals(),
+            [
+                ("compile", Duration::from_millis(40), 2),
+                ("generate", Duration::from_millis(5), 1),
+            ]
+        );
+        let text = r.render();
+        assert!(text.contains("(x2)"), "duplicate count shown: {text}");
+        // One row per label, not per recording.
+        assert_eq!(text.matches("compile").count(), 1);
     }
 
     #[test]

@@ -20,6 +20,121 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+pub mod spans {
+    //! Opt-in per-task span collection for pool jobs.
+    //!
+    //! The pool sits below `pscd-obs` in the workspace, so it cannot emit
+    //! into a [`TraceSink`](https://docs.rs) directly; instead this module
+    //! keeps a tiny global store of [`TaskSpan`]s that a driver enables
+    //! around a cold-path phase ([`enable`] with the sink's epoch,
+    //! [`set_phase`] per fan-out) and drains back out ([`disable`]) to
+    //! convert into whatever timeline format it likes. When disabled —
+    //! the default, and the state every simulation run sees — the only
+    //! cost at a job boundary is one relaxed atomic load: no clock reads,
+    //! no locks, no allocation.
+    //!
+    //! Timestamps are nanoseconds since the caller-supplied epoch so the
+    //! spans line up with other tracks recorded against the same epoch.
+
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    /// One pool job execution: which worker ran which job index of which
+    /// phase, and when (nanoseconds since the [`enable`] epoch).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct TaskSpan {
+        /// The phase label current at [`set_phase`] time.
+        pub phase: String,
+        /// Worker index within the pool (`0..threads`).
+        pub worker: usize,
+        /// Job index within the fan-out (`0..jobs`).
+        pub job: usize,
+        /// Job start, ns since the epoch.
+        pub start_ns: u64,
+        /// Job end, ns since the epoch.
+        pub end_ns: u64,
+    }
+
+    struct State {
+        epoch: Instant,
+        phase: String,
+        spans: Vec<TaskSpan>,
+    }
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static STATE: Mutex<Option<State>> = Mutex::new(None);
+
+    /// Starts collecting task spans, timestamped relative to `epoch`.
+    ///
+    /// Collection is process-global (the pool's fan-outs are themselves
+    /// global); drivers enable it around the cold path, not inside
+    /// replay. Re-enabling discards anything previously collected.
+    pub fn enable(epoch: Instant) {
+        let mut state = STATE.lock().expect("span state poisoned");
+        *state = Some(State {
+            epoch,
+            phase: String::from("pool"),
+            spans: Vec::new(),
+        });
+        ENABLED.store(true, Ordering::Release);
+    }
+
+    /// Labels all subsequently recorded spans with `label` (e.g.
+    /// `"cold.generate.news"`). No-op while disabled.
+    pub fn set_phase(label: &str) {
+        if !is_enabled() {
+            return;
+        }
+        if let Some(state) = STATE.lock().expect("span state poisoned").as_mut() {
+            state.phase.clear();
+            state.phase.push_str(label);
+        }
+    }
+
+    /// Whether task spans are being collected right now.
+    #[inline]
+    pub fn is_enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Stops collecting and returns everything recorded since [`enable`].
+    pub fn disable() -> Vec<TaskSpan> {
+        ENABLED.store(false, Ordering::Release);
+        let mut state = STATE.lock().expect("span state poisoned");
+        state.take().map(|s| s.spans).unwrap_or_default()
+    }
+
+    /// Records one executed job. Called by the pool with timestamps taken
+    /// around `f(i)`; silently dropped if collection was disabled in
+    /// between.
+    pub(crate) fn record(worker: usize, job: usize, start: Instant, end: Instant) {
+        if let Some(state) = STATE.lock().expect("span state poisoned").as_mut() {
+            let start_ns = start.saturating_duration_since(state.epoch).as_nanos() as u64;
+            let end_ns = end.saturating_duration_since(state.epoch).as_nanos() as u64;
+            state.spans.push(TaskSpan {
+                phase: state.phase.clone(),
+                worker,
+                job,
+                start_ns,
+                end_ns: end_ns.max(start_ns),
+            });
+        }
+    }
+
+    /// Runs `f`, recording it as `(worker, job)` when collection is on.
+    #[inline]
+    pub(crate) fn run_timed<T>(worker: usize, job: usize, f: impl FnOnce() -> T) -> T {
+        if !is_enabled() {
+            return f();
+        }
+        let start = Instant::now();
+        let out = f();
+        record(worker, job, start, Instant::now());
+        out
+    }
+}
+
 /// Resolves a requested thread count against the number of independent
 /// jobs: `0` means "auto" (the machine's available parallelism), any
 /// explicit count is honored as-is (oversubscription included — the
@@ -77,18 +192,19 @@ where
 {
     let threads = effective_threads(threads, jobs);
     if threads <= 1 || jobs <= 1 {
-        return (0..jobs).map(f).collect();
+        return (0..jobs).map(|i| spans::run_timed(0, i, || f(i))).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
     crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
+        let (next, slots, f) = (&next, &slots, &f);
+        for w in 0..threads {
+            scope.spawn(move |_| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs {
                     break;
                 }
-                let out = f(i);
+                let out = spans::run_timed(w, i, || f(i));
                 *slots[i].lock().expect("slot poisoned") = Some(out);
             });
         }
@@ -171,6 +287,29 @@ mod tests {
         // exhausted and exit.
         let out = parallel_indexed(2, 64, |i| i + 1);
         assert_eq!(out, [1, 2]);
+    }
+
+    #[test]
+    fn task_spans_capture_every_job_when_enabled() {
+        // Collection is process-global, so other tests running
+        // concurrently may also record; assert on presence, not count.
+        spans::enable(std::time::Instant::now());
+        spans::set_phase("test.fanout");
+        let out = parallel_indexed(6, 3, |i| i + 10);
+        let recorded = spans::disable();
+        assert_eq!(out, [10, 11, 12, 13, 14, 15]);
+        for job in 0..6 {
+            let span = recorded
+                .iter()
+                .find(|s| s.job == job && s.phase == "test.fanout")
+                .unwrap_or_else(|| panic!("job {job} missing from {recorded:?}"));
+            assert!(span.end_ns >= span.start_ns);
+            assert!(span.worker < 3);
+        }
+        // Disabled again: nothing records, nothing to drain.
+        let _ = parallel_indexed(3, 2, |i| i);
+        assert!(spans::disable().is_empty());
+        assert!(!spans::is_enabled());
     }
 
     #[test]

@@ -58,7 +58,8 @@ pub use error::SimError;
 pub use metrics::{HourlySeries, SimResult};
 pub use runner::{
     simulate, simulate_compiled, simulate_observed, simulate_observed_sharded,
-    simulate_observed_sharded_compiled, CrashPlan, SimOptions, Simulation, StepEvent,
+    simulate_observed_sharded_compiled, simulate_observed_sharded_compiled_traced, CrashPlan,
+    SimOptions, Simulation, StepEvent,
 };
 pub use shard::ShardPlan;
 pub use trace::{CompiledEvent, CompiledEventKind, CompiledTrace};

@@ -299,6 +299,31 @@ pub fn simulate_observed_sharded_compiled<O: MergeableObserver>(
     Ok(crate::shard::run_sharded(trace, costs, options, shards))
 }
 
+/// [`simulate_observed_sharded_compiled`] with timeline tracing: each
+/// shard worker records one track of coarse per-chunk replay spans into
+/// `sink` (export with
+/// [`render_chrome_trace`](pscd_obs::render_chrome_trace)). A disabled
+/// sink makes this exactly [`simulate_observed_sharded_compiled`] — the
+/// workers run the uninstrumented loop, so totals are bit-identical with
+/// tracing on or off (proved by the `trace_differential` suite).
+///
+/// # Errors
+///
+/// Returns [`SimError`] for the same invalid inputs as
+/// [`simulate_compiled`].
+pub fn simulate_observed_sharded_compiled_traced<O: MergeableObserver>(
+    trace: &CompiledTrace,
+    costs: &FetchCosts,
+    options: &SimOptions,
+    sink: &pscd_obs::TraceSink,
+) -> Result<(SimResult, O), SimError> {
+    validate_compiled(trace, costs, options)?;
+    let shards = crate::pool::effective_threads(options.threads, trace.server_count() as usize);
+    Ok(crate::shard::run_sharded_traced(
+        trace, costs, options, shards, sink,
+    ))
+}
+
 /// Rejects mismatched inputs and invalid options; shared by every entry
 /// point that starts from a raw `(workload, subscriptions)` pair.
 pub(crate) fn validate(

@@ -35,7 +35,7 @@
 //! counter merge exactly; only the event-occurrence counters
 //! `crash.events` and `invalidate.events` may split across shards.
 
-use pscd_obs::{MergeableObserver, SharedObserver};
+use pscd_obs::{MergeableObserver, Observer, SharedObserver, TraceRecorder, TraceSink};
 use pscd_topology::FetchCosts;
 
 use crate::pool::parallel_indexed;
@@ -120,12 +120,64 @@ pub(crate) fn run_sharded<O: MergeableObserver>(
     options: &SimOptions,
     threads: usize,
 ) -> (SimResult, O) {
+    run_sharded_traced(trace, costs, options, threads, &TraceSink::disabled())
+}
+
+/// How many timeline events a shard replays between trace-span
+/// boundaries. Coarse on purpose: per-chunk spans keep the instrumented
+/// run within measurement noise (a clock read every ~8k events), and the
+/// disabled path never enters the chunked loop at all.
+const REPLAY_CHUNK: usize = 8192;
+
+/// Drains `state` in [`REPLAY_CHUNK`]-sized chunks, recording one span
+/// per chunk (label `replay.<strategy>`, detail = the cursor range).
+fn replay_chunked<O: Observer>(
+    state: &mut ReplayState<O>,
+    trace: &CompiledTrace,
+    rec: &mut TraceRecorder,
+) {
+    let label = format!("replay.{}", state.options().strategy.name());
+    loop {
+        let from = state.cursor();
+        let span = rec.begin();
+        let mut n = 0usize;
+        while n < REPLAY_CHUNK && state.step(trace).is_some() {
+            n += 1;
+        }
+        let to = state.cursor();
+        if n > 0 {
+            rec.end_with(span, &label, || format!("events [{from}, {to})"));
+        }
+        if n < REPLAY_CHUNK {
+            return;
+        }
+    }
+}
+
+/// [`run_sharded`] with trace spans: each shard worker records one track
+/// (`shard <k> [<start>,<end>)`) of per-chunk replay spans into `sink`.
+/// With a disabled sink the workers run the exact uninstrumented loop.
+pub(crate) fn run_sharded_traced<O: MergeableObserver>(
+    trace: &CompiledTrace,
+    costs: &FetchCosts,
+    options: &SimOptions,
+    threads: usize,
+    sink: &TraceSink,
+) -> (SimResult, O) {
+    if sink.is_enabled() {
+        crate::pool::spans::set_phase("replay.shard");
+    }
     let plan = ShardPlan::balanced(trace.request_load(), threads);
     let shard_outputs = parallel_indexed(plan.shards(), threads, |k| {
         let (start, end) = plan.range(k);
         let obs = SharedObserver::new(O::default());
         let mut state = ReplayState::new(trace, costs, options, obs.clone(), start, end);
-        while state.step(trace).is_some() {}
+        if sink.is_enabled() {
+            let mut rec = sink.recorder(format!("shard {k} [{start},{end})"));
+            replay_chunked(&mut state, trace, &mut rec);
+        } else {
+            while state.step(trace).is_some() {}
+        }
         let result = state.finish();
         let observer = obs
             .try_unwrap()

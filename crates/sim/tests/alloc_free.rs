@@ -20,6 +20,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use pscd_core::StrategyKind;
+use pscd_obs::TraceSink;
 use pscd_sim::{SimOptions, Simulation};
 use pscd_topology::FetchCosts;
 use pscd_workload::{Workload, WorkloadConfig};
@@ -98,4 +99,36 @@ fn steady_state_replay_does_not_allocate() {
         let result = sim.finish();
         assert!(result.requests > 0);
     }
+
+    // A *disabled* TraceRecorder in the hot loop must cost nothing: no
+    // clock reads feed the allocator, begin() returns a None span, and
+    // end_with() never builds its detail string. Replays the same loop
+    // with per-chunk recorder calls and asserts the counter stays flat.
+    let sink = TraceSink::disabled();
+    let mut rec = sink.recorder("alloc-free");
+    let opt = SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05).with_invalidation();
+    let mut sim = Simulation::from_compiled(&trace, &costs, &opt).unwrap();
+    for _ in 0..warm_up {
+        sim.step();
+    }
+    let before = allocations();
+    let mut span = rec.begin();
+    let mut n = 0usize;
+    while sim.step().is_some() {
+        n += 1;
+        if n.is_multiple_of(1024) {
+            rec.end_with(span, "replay.chunk", || format!("events ..{n}"));
+            span = rec.begin();
+        }
+    }
+    rec.end_with(span, "replay.chunk", || format!("events ..{n}"));
+    rec.flush();
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "disabled tracing allocated {} time(s) in the hot loop",
+        after - before,
+    );
+    assert!(sim.finish().requests > 0);
 }
