@@ -407,6 +407,50 @@ impl<O: Observer> DeliveryEngine<O> {
         &self.proxies[self.slot(server).expect("server out of range")].strategy
     }
 
+    /// Read access to a proxy's concrete strategy — the enum-dispatch form,
+    /// giving snapshot code access to
+    /// [`StrategyImpl::encode_snapshot`](pscd_core::StrategyImpl).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn strategy_impl(&self, server: ServerId) -> &StrategyImpl<O> {
+        &self.proxies[self.slot(server).expect("server out of range")].strategy
+    }
+
+    /// Mutable access to a proxy's concrete strategy, for restoring a
+    /// snapshot in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn strategy_impl_mut(&mut self, server: ServerId) -> &mut StrategyImpl<O> {
+        let slot = self.slot(server).expect("server out of range");
+        &mut self.proxies[slot].strategy
+    }
+
+    /// Overwrites a proxy's accounting counters (hits, requests, traffic)
+    /// with values restored from a snapshot. The strategy state itself is
+    /// restored separately via
+    /// [`strategy_impl_mut`](Self::strategy_impl_mut).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn restore_accounting(
+        &mut self,
+        server: ServerId,
+        hits: u64,
+        requests: u64,
+        traffic: Traffic,
+    ) {
+        let slot = self.slot(server).expect("server out of range");
+        let proxy = &mut self.proxies[slot];
+        proxy.hits = hits;
+        proxy.requests = requests;
+        proxy.traffic = traffic;
+    }
+
     /// Drops a stale page from every proxy cache (e.g. a newer version of
     /// the same article was just published). Returns the number of proxies
     /// that actually held it.

@@ -9,6 +9,7 @@
 use pscd_obs::{NullObserver, ObsHandle, Observer};
 use pscd_types::{Bytes, PageId};
 
+use crate::snapshot::{SnapshotError, SnapshotReader};
 use crate::{AccessOutcome, CachePolicy, GreedyDualEngine, Layout, PageRef};
 
 macro_rules! delegate_policy_queries {
@@ -34,6 +35,38 @@ macro_rules! delegate_policy_queries {
         }
     };
 }
+
+macro_rules! snapshot_delegate {
+    ($name:ident) => {
+        impl<O: Observer> $name<O> {
+            /// Serializes the cache's mutable state for a snapshot; tuning
+            /// parameters (capacity, β) are configuration, not state.
+            pub fn encode_state(&self, out: &mut Vec<u8>) {
+                self.engine.encode_state(out);
+            }
+
+            /// Restores state captured by
+            /// [`encode_state`](Self::encode_state), replacing the cache's
+            /// current contents.
+            ///
+            /// # Errors
+            ///
+            /// Returns a [`SnapshotError`] on truncated or corrupt input;
+            /// the cache's contents are then unspecified — discard it.
+            pub fn decode_state(
+                &mut self,
+                r: &mut SnapshotReader<'_>,
+            ) -> Result<(), SnapshotError> {
+                self.engine.decode_state(r)
+            }
+        }
+    };
+}
+
+snapshot_delegate!(Lru);
+snapshot_delegate!(Gds);
+snapshot_delegate!(LfuDa);
+snapshot_delegate!(GdStar);
 
 macro_rules! manual_clone {
     ($name:ident { $($extra:ident),* }) => {

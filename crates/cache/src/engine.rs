@@ -4,6 +4,7 @@ use pscd_obs::{AdmitOrigin, EvictReason, NullObserver, ObsHandle, Observer};
 use pscd_types::{Bytes, PageId};
 
 use crate::layout::{Layout, PageTable};
+use crate::snapshot::{put_f64, put_u32, SnapshotError, SnapshotReader};
 use crate::{AccessOutcome, CacheStore, PageRef};
 
 /// The greedy-dual family's shared machinery: an *inflation* value `L` that
@@ -222,6 +223,43 @@ impl<O: Observer> GreedyDualEngine<O> {
             }
             None => false,
         }
+    }
+
+    /// Serializes the engine's mutable state — inflation `L`, the store,
+    /// and the in-cache reference count of every resident — for a
+    /// snapshot. Capacity, layout and observer are configuration and are
+    /// not encoded.
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.inflation);
+        self.store.encode_state(out);
+        // Frequency counts only exist for residents (In-Cache LFU), so
+        // one u32 per heap slot, in the store's canonical slot order.
+        for slot in self.store.iter() {
+            put_u32(out, self.freq.get(slot.page));
+        }
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state),
+    /// replacing the engine's current contents. The engine keeps its own
+    /// capacity, layout and observer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] on truncated or corrupt input; the
+    /// engine's contents are then unspecified — discard it.
+    pub fn decode_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let inflation = r.read_f64()?;
+        let Self { store, freq, .. } = self;
+        freq.clear();
+        store.decode_state(r)?;
+        for slot in store.iter() {
+            let f = r.read_u32()?;
+            if f != 0 {
+                freq.set(slot.page, f);
+            }
+        }
+        self.inflation = inflation;
+        Ok(())
     }
 
     /// Evicts least-valuable pages until `size` fits, raising `L` to the

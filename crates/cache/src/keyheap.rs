@@ -99,6 +99,16 @@ impl KeyHeap {
         &self.slots
     }
 
+    /// Rebuilds a heap from a slot array previously captured via
+    /// [`slots`](Self::slots). The array is adopted verbatim: a dump of a
+    /// valid heap is itself a valid heap, so restoring it position for
+    /// position reproduces the original ordering bit for bit — which is
+    /// what snapshot round-trips rely on.
+    pub(crate) fn from_slots(slots: Vec<HeapSlot>) -> Self {
+        debug_assert!((1..slots.len()).all(|i| !slots[i].before(&slots[(i - 1) / 2])));
+        Self { slots }
+    }
+
     /// The minimum slot, without mutating anything.
     #[inline]
     pub fn peek(&self) -> Option<&HeapSlot> {

@@ -96,6 +96,38 @@ impl<T: Copy + Default> PageTable<T> {
             }
         }
     }
+
+    /// Resets every page to the absent value, keeping the layout (and,
+    /// for the dense form, the preallocated universe).
+    pub fn clear(&mut self) {
+        match &mut self.repr {
+            Repr::Sparse(map) => map.clear(),
+            Repr::Dense(vec) => vec.fill(T::default()),
+        }
+    }
+}
+
+impl<T: Copy + Default + PartialEq> PageTable<T> {
+    /// All non-default entries, sorted by page id. The sparse form's hash
+    /// order is nondeterministic, so snapshot encoders go through this to
+    /// get a canonical dump.
+    pub fn entries(&self) -> Vec<(PageId, T)> {
+        let mut out: Vec<(PageId, T)> = match &self.repr {
+            Repr::Sparse(map) => map
+                .iter()
+                .filter(|(_, v)| **v != T::default())
+                .map(|(&p, &v)| (p, v))
+                .collect(),
+            Repr::Dense(vec) => vec
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| **v != T::default())
+                .map(|(i, &v)| (PageId::new(i as u32), v))
+                .collect(),
+        };
+        out.sort_unstable_by_key(|(p, _)| *p);
+        out
+    }
 }
 
 #[cfg(test)]

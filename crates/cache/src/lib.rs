@@ -38,6 +38,7 @@ mod engine;
 mod keyheap;
 mod layout;
 mod policy;
+pub mod snapshot;
 mod store;
 
 pub use classic::{GdStar, Gds, LfuDa, Lru};
@@ -45,4 +46,5 @@ pub use engine::GreedyDualEngine;
 pub use keyheap::{HeapSlot, KeyHeap};
 pub use layout::{Layout, PageTable};
 pub use policy::{AccessOutcome, CachePolicy, PageRef};
+pub use snapshot::{SnapshotError, SnapshotReader};
 pub use store::{CacheStore, StoredPage};

@@ -6,6 +6,7 @@ use pscd_types::{Bytes, PageId};
 
 use crate::keyheap::{HeapSlot, KeyHeap};
 use crate::layout::Layout;
+use crate::snapshot::{put_f64, put_u32, put_u64, SnapshotError, SnapshotReader};
 
 /// One cached page with its current value under the owning policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,6 +65,15 @@ impl Backing {
                     Some(std::mem::replace(slot, NO_POS))
                 }
             }
+        }
+    }
+
+    /// `true` if `page` may legally be stored under this backing.
+    #[inline]
+    fn in_universe(&self, page: PageId) -> bool {
+        match self {
+            Backing::Sparse(_) => true,
+            Backing::Dense(vec) => page.as_usize() < vec.len(),
         }
     }
 
@@ -323,6 +333,66 @@ impl CacheStore {
             size: slot.size,
             value: slot.value,
         })
+    }
+
+    /// Serializes the complete mutable state — stamp counter plus every
+    /// heap slot in heap order — for a snapshot. Capacity and layout are
+    /// configuration, not state: they come from the owner at restore
+    /// time. The dump is canonical (heap order is deterministic), so
+    /// identical stores encode to identical bytes.
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.next_stamp);
+        put_u32(out, self.heap.len() as u32);
+        for slot in self.heap.slots() {
+            put_f64(out, slot.value);
+            put_u64(out, slot.stamp);
+            put_u32(out, slot.page.index());
+            put_u64(out, slot.size.as_u64());
+        }
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state)
+    /// into this store, replacing its current contents. The store keeps
+    /// its own capacity and layout; the snapshot's slot array is adopted
+    /// position for position, so the restored eviction order is
+    /// bit-identical to the encoded one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] if the buffer is truncated or the
+    /// encoded population cannot be valid. On error the store's contents
+    /// are unspecified (memory-safe, but partially restored) — discard it.
+    pub fn decode_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let next_stamp = r.read_u64()?;
+        let n = r.read_u32()? as usize;
+        // Fixed 24-byte minimum per slot bounds n against garbage counts.
+        if n > r.remaining() / 24 {
+            return Err(SnapshotError::Corrupt("slot count exceeds snapshot size"));
+        }
+        while self.pop_min().is_some() {}
+        let mut slots = Vec::with_capacity(n);
+        let mut used = 0u64;
+        for pos in 0..n {
+            let value = r.read_f64()?;
+            let stamp = r.read_u64()?;
+            let page = PageId::new(r.read_u32()?);
+            let size = Bytes::new(r.read_u64()?);
+            if !self.positions.in_universe(page) {
+                return Err(SnapshotError::Corrupt("page outside the dense universe"));
+            }
+            self.positions.insert(page, pos as u32);
+            used += size.as_u64();
+            slots.push(HeapSlot {
+                value,
+                stamp,
+                page,
+                size,
+            });
+        }
+        self.heap = KeyHeap::from_slots(slots);
+        self.used = Bytes::new(used);
+        self.next_stamp = next_stamp;
+        Ok(())
     }
 
     /// Unlinks a live entry from both structures, returning its slot.

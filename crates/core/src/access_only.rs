@@ -41,6 +41,11 @@ impl<P: CachePolicy> AccessOnly<P> {
         &self.policy
     }
 
+    /// Mutable access to the wrapped policy (state restoration).
+    pub fn policy_mut(&mut self) -> &mut P {
+        &mut self.policy
+    }
+
     /// Unwraps the policy.
     pub fn into_inner(self) -> P {
         self.policy

@@ -287,6 +287,92 @@ impl<O: Observer> DcAdaptive<O> {
         s
     }
 
+    /// Serializes the mutable state for a snapshot: the partition point,
+    /// the AC module's GD\* registers, and every resident entry in
+    /// live-list order (see [`DualMethods::encode_state`] on why stale
+    /// lazy-deletion heap items need not be encoded).
+    ///
+    /// [`DualMethods::encode_state`]: crate::DualMethods
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        use pscd_cache::snapshot::{put_f64, put_u32, put_u64, put_u8};
+        put_u64(out, self.pc_alloc.as_u64());
+        put_f64(out, self.inflation);
+        put_u64(out, self.tick);
+        put_u64(out, self.ac_last_replacement);
+        put_u64(out, self.next_stamp);
+        put_u32(out, self.entries.len() as u32);
+        for (page, e) in self.entries.iter() {
+            put_u32(out, page.index());
+            put_u64(out, e.size.as_u64());
+            put_u8(out, matches!(e.side, Side::Ac) as u8);
+            put_f64(out, e.value);
+            put_u64(out, e.stamp);
+            put_u32(out, e.freq);
+            put_u64(out, e.last_access_tick);
+        }
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state).
+    pub(crate) fn decode_state(
+        &mut self,
+        r: &mut pscd_cache::SnapshotReader<'_>,
+    ) -> Result<(), pscd_cache::SnapshotError> {
+        use pscd_cache::SnapshotError;
+        let pc_alloc = Bytes::new(r.read_u64()?);
+        let inflation = r.read_f64()?;
+        let tick = r.read_u64()?;
+        let ac_last_replacement = r.read_u64()?;
+        let next_stamp = r.read_u64()?;
+        let n = r.read_u32()? as usize;
+        if n > r.remaining() / 41 {
+            return Err(SnapshotError::Corrupt("DC entry count overruns buffer"));
+        }
+        self.entries.clear();
+        self.pc_heap.clear();
+        self.ac_heap.clear();
+        self.used_pc = Bytes::ZERO;
+        self.used_ac = Bytes::ZERO;
+        for _ in 0..n {
+            let page = PageId::new(r.read_u32()?);
+            let size = Bytes::new(r.read_u64()?);
+            let side = match r.read_u8()? {
+                0 => Side::Pc,
+                1 => Side::Ac,
+                _ => return Err(SnapshotError::Corrupt("bad DC side tag")),
+            };
+            let entry = Entry {
+                size,
+                side,
+                value: r.read_f64()?,
+                stamp: r.read_u64()?,
+                freq: r.read_u32()?,
+                last_access_tick: r.read_u64()?,
+            };
+            self.entries.insert(page, entry);
+            let item = HeapItem {
+                value: entry.value,
+                stamp: entry.stamp,
+                page,
+            };
+            match side {
+                Side::Pc => {
+                    self.used_pc += size;
+                    self.pc_heap.push(item);
+                }
+                Side::Ac => {
+                    self.used_ac += size;
+                    self.ac_heap.push(item);
+                }
+            }
+        }
+        self.pc_alloc = pc_alloc;
+        self.inflation = inflation;
+        self.tick = tick;
+        self.ac_last_replacement = ac_last_replacement;
+        self.next_stamp = next_stamp;
+        Ok(())
+    }
+
     fn insert(&mut self, page: &PageRef, side: Side, value: f64, freq: u32) {
         let stamp = self.stamp();
         self.entries.insert(

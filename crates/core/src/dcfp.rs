@@ -114,6 +114,22 @@ impl<O: Observer> DcFp<O> {
         self.ac.store().capacity()
     }
 
+    /// Serializes the mutable state: the PC engine followed by the AC
+    /// engine (each partition is an independent [`GreedyDualEngine`]).
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        self.pc.encode_state(out);
+        self.ac.encode_state(out);
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state).
+    pub(crate) fn decode_state(
+        &mut self,
+        r: &mut pscd_cache::SnapshotReader<'_>,
+    ) -> Result<(), pscd_cache::SnapshotError> {
+        self.pc.decode_state(r)?;
+        self.ac.decode_state(r)
+    }
+
     fn sub_value(page: &PageRef, subs: u32) -> f64 {
         subs as f64 * page.cost / page.size.as_f64()
     }

@@ -179,6 +179,73 @@ impl<O: Observer> DualMethods<O> {
         }
     }
 
+    /// Serializes the mutable state for a snapshot: inflation, the stamp
+    /// counter, and every resident entry in live-list order. Live-list
+    /// order is history-determined, so two caches that processed the same
+    /// operation stream encode identically. Stale lazy-deletion heap
+    /// items are deliberately not encoded: stamps give each live entry a
+    /// unique key, so heaps rebuilt from live entries pop in exactly the
+    /// same order the originals would (stale items are skimmed either way).
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        use pscd_cache::snapshot::{put_f64, put_u32, put_u64};
+        put_f64(out, self.inflation);
+        put_u64(out, self.next_stamp);
+        put_u32(out, self.entries.len() as u32);
+        for (page, e) in self.entries.iter() {
+            put_u32(out, page.index());
+            put_u64(out, e.size.as_u64());
+            put_f64(out, e.access_value);
+            put_f64(out, e.sub_value);
+            put_u64(out, e.access_stamp);
+            put_u64(out, e.sub_stamp);
+            put_u32(out, e.freq);
+        }
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state).
+    pub(crate) fn decode_state(
+        &mut self,
+        r: &mut pscd_cache::SnapshotReader<'_>,
+    ) -> Result<(), pscd_cache::SnapshotError> {
+        use pscd_cache::SnapshotError;
+        let inflation = r.read_f64()?;
+        let next_stamp = r.read_u64()?;
+        let n = r.read_u32()? as usize;
+        if n > r.remaining() / 48 {
+            return Err(SnapshotError::Corrupt("DM entry count overruns buffer"));
+        }
+        self.entries.clear();
+        self.access_heap.clear();
+        self.sub_heap.clear();
+        self.used = Bytes::ZERO;
+        for _ in 0..n {
+            let page = PageId::new(r.read_u32()?);
+            let entry = Entry {
+                size: Bytes::new(r.read_u64()?),
+                access_value: r.read_f64()?,
+                sub_value: r.read_f64()?,
+                access_stamp: r.read_u64()?,
+                sub_stamp: r.read_u64()?,
+                freq: r.read_u32()?,
+            };
+            self.entries.insert(page, entry);
+            self.used += entry.size;
+            self.access_heap.push(HeapItem {
+                value: entry.access_value,
+                stamp: entry.access_stamp,
+                page,
+            });
+            self.sub_heap.push(HeapItem {
+                value: entry.sub_value,
+                stamp: entry.sub_stamp,
+                page,
+            });
+        }
+        self.inflation = inflation;
+        self.next_stamp = next_stamp;
+        Ok(())
+    }
+
     fn insert(&mut self, page: &PageRef, access_value: f64, sub_value: f64, freq: u32) {
         let access_stamp = self.stamp();
         let sub_stamp = self.stamp();

@@ -2,7 +2,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use pscd_cache::{AccessOutcome, GdStar, Gds, Layout, LfuDa, Lru, PageRef};
+use pscd_cache::snapshot::put_u8;
+use pscd_cache::{
+    AccessOutcome, GdStar, Gds, Layout, LfuDa, Lru, PageRef, SnapshotError, SnapshotReader,
+};
 use pscd_obs::{NullObserver, ObsHandle, Observer};
 use pscd_types::{Bytes, PageId};
 
@@ -260,6 +263,75 @@ pub enum StrategyImpl<O: Observer = NullObserver> {
     Dyn(Box<dyn Strategy>),
 }
 
+impl<O: Observer> StrategyImpl<O> {
+    /// The wire tag identifying this variant in a snapshot stream.
+    fn snapshot_tag(&self) -> Result<u8, SnapshotError> {
+        Ok(match self {
+            StrategyImpl::Lru(_) => 0,
+            StrategyImpl::Gds(_) => 1,
+            StrategyImpl::LfuDa(_) => 2,
+            StrategyImpl::GdStar(_) => 3,
+            StrategyImpl::Sub(_) => 4,
+            StrategyImpl::Single(_) => 5,
+            StrategyImpl::Dm(_) => 6,
+            StrategyImpl::DcFp(_) => 7,
+            StrategyImpl::Dc(_) => 8,
+            StrategyImpl::Dyn(_) => {
+                return Err(SnapshotError::Unsupported(
+                    "dyn strategies cannot be snapshotted",
+                ))
+            }
+        })
+    }
+
+    /// Serializes the strategy's mutable state (cache contents, heap
+    /// priorities, aging clocks) into `out`, prefixed with a variant tag.
+    ///
+    /// Configuration — capacity, β, partition bounds — is *not* encoded:
+    /// snapshots are restored into a freshly built strategy of the same
+    /// [`StrategyKind`], which already carries it. [`StrategyImpl::Dyn`]
+    /// is opaque and returns [`SnapshotError::Unsupported`].
+    pub fn encode_snapshot(&self, out: &mut Vec<u8>) -> Result<(), SnapshotError> {
+        put_u8(out, self.snapshot_tag()?);
+        match self {
+            StrategyImpl::Lru(a) => a.policy().encode_state(out),
+            StrategyImpl::Gds(a) => a.policy().encode_state(out),
+            StrategyImpl::LfuDa(a) => a.policy().encode_state(out),
+            StrategyImpl::GdStar(a) => a.policy().encode_state(out),
+            StrategyImpl::Sub(s) => s.encode_state(out),
+            StrategyImpl::Single(s) => s.encode_state(out),
+            StrategyImpl::Dm(s) => s.encode_state(out),
+            StrategyImpl::DcFp(s) => s.encode_state(out),
+            StrategyImpl::Dc(s) => s.encode_state(out),
+            StrategyImpl::Dyn(_) => unreachable!("snapshot_tag rejects Dyn"),
+        }
+        Ok(())
+    }
+
+    /// Restores state captured by [`encode_snapshot`](Self::encode_snapshot)
+    /// into this strategy, which must be the same variant (built from the
+    /// same [`StrategyKind`] and layout). On error the strategy's state is
+    /// unspecified and it should be discarded.
+    pub fn decode_snapshot(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let tag = r.read_u8()?;
+        if tag != self.snapshot_tag()? {
+            return Err(SnapshotError::Corrupt("snapshot tag mismatches strategy"));
+        }
+        match self {
+            StrategyImpl::Lru(a) => a.policy_mut().decode_state(r),
+            StrategyImpl::Gds(a) => a.policy_mut().decode_state(r),
+            StrategyImpl::LfuDa(a) => a.policy_mut().decode_state(r),
+            StrategyImpl::GdStar(a) => a.policy_mut().decode_state(r),
+            StrategyImpl::Sub(s) => s.decode_state(r),
+            StrategyImpl::Single(s) => s.decode_state(r),
+            StrategyImpl::Dm(s) => s.decode_state(r),
+            StrategyImpl::DcFp(s) => s.decode_state(r),
+            StrategyImpl::Dc(s) => s.decode_state(r),
+            StrategyImpl::Dyn(_) => unreachable!("snapshot_tag rejects Dyn"),
+        }
+    }
+}
+
 impl<O: Observer> From<Box<dyn Strategy>> for StrategyImpl<O> {
     fn from(strategy: Box<dyn Strategy>) -> Self {
         StrategyImpl::Dyn(strategy)
@@ -385,6 +457,123 @@ mod tests {
                 stats.registry().counter("admit.access") + stats.registry().counter("admit.push");
             assert!(admits >= 1, "{} reported no admissions", kind.name());
         }
+    }
+
+    #[test]
+    fn snapshots_round_trip_for_every_kind() {
+        use pscd_obs::ObsHandle;
+
+        let kinds = [
+            StrategyKind::Lru,
+            StrategyKind::Gds,
+            StrategyKind::LfuDa,
+            StrategyKind::GdStar { beta: 2.0 },
+            StrategyKind::Sub,
+            StrategyKind::Sg1 { beta: 2.0 },
+            StrategyKind::Sg2 { beta: 2.0 },
+            StrategyKind::Sr,
+            StrategyKind::Dm { beta: 2.0 },
+            StrategyKind::dc_fp(2.0),
+            StrategyKind::DcAp { beta: 2.0 },
+            StrategyKind::dc_lap(2.0),
+        ];
+        let layout = Layout::Dense { page_count: 32 };
+        for kind in kinds {
+            let mut live = kind.build_impl_observed(Bytes::new(300), layout, ObsHandle::disabled());
+            let mut ev = Vec::new();
+            let mut x = 0x9e37_79b9u64;
+            let mut rng = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            // A page's size and cost are fixed attributes of the page.
+            let page = |i: u32| {
+                PageRef::new(PageId::new(i), Bytes::new((i as u64 * 7) % 40 + 1), {
+                    (i % 4 + 1) as f64
+                })
+            };
+            // Churn, snapshot mid-stream, restore into a fresh instance,
+            // then verify both copies behave identically afterwards.
+            for _ in 0..500 {
+                let p = page((rng() % 32) as u32);
+                let subs = (rng() % 20) as u32;
+                match rng() % 5 {
+                    0 | 1 => drop(live.on_push(&p, subs, &mut ev)),
+                    4 => drop(live.invalidate(p.page)),
+                    _ => drop(live.on_access(&p, subs, &mut ev)),
+                }
+            }
+            let mut buf = Vec::new();
+            live.encode_snapshot(&mut buf)
+                .unwrap_or_else(|e| panic!("{}: encode failed: {e}", kind.name()));
+            let mut restored =
+                kind.build_impl_observed(Bytes::new(300), layout, ObsHandle::disabled());
+            let mut r = SnapshotReader::new(&buf);
+            restored
+                .decode_snapshot(&mut r)
+                .unwrap_or_else(|e| panic!("{}: decode failed: {e}", kind.name()));
+            assert!(r.is_empty(), "{}: trailing snapshot bytes", kind.name());
+            assert_eq!(live.used(), restored.used(), "{}", kind.name());
+            assert_eq!(live.len(), restored.len(), "{}", kind.name());
+
+            let mut ev_a = Vec::new();
+            let mut ev_b = Vec::new();
+            for _ in 0..500 {
+                let p = page((rng() % 32) as u32);
+                let subs = (rng() % 20) as u32;
+                match rng() % 5 {
+                    0 | 1 => assert_eq!(
+                        live.on_push(&p, subs, &mut ev_a),
+                        restored.on_push(&p, subs, &mut ev_b),
+                        "{}: push diverged",
+                        kind.name()
+                    ),
+                    4 => assert_eq!(
+                        live.invalidate(p.page),
+                        restored.invalidate(p.page),
+                        "{}: invalidate diverged",
+                        kind.name()
+                    ),
+                    _ => assert_eq!(
+                        live.on_access(&p, subs, &mut ev_a),
+                        restored.on_access(&p, subs, &mut ev_b),
+                        "{}: access diverged",
+                        kind.name()
+                    ),
+                }
+                assert_eq!(ev_a, ev_b, "{}: evictions diverged", kind.name());
+                assert_eq!(live.used(), restored.used(), "{}", kind.name());
+            }
+            // Re-encoding both sides must now be byte-identical.
+            let mut buf_a = Vec::new();
+            let mut buf_b = Vec::new();
+            live.encode_snapshot(&mut buf_a).unwrap();
+            restored.encode_snapshot(&mut buf_b).unwrap();
+            assert_eq!(buf_a, buf_b, "{}: re-encoded snapshots differ", kind.name());
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_mismatched_tag_and_dyn() {
+        use pscd_obs::ObsHandle;
+
+        let layout = Layout::Dense { page_count: 8 };
+        let lru: StrategyImpl =
+            StrategyKind::Lru.build_impl_observed(Bytes::new(100), layout, ObsHandle::disabled());
+        let mut buf = Vec::new();
+        lru.encode_snapshot(&mut buf).unwrap();
+        let mut gds: StrategyImpl =
+            StrategyKind::Gds.build_impl_observed(Bytes::new(100), layout, ObsHandle::disabled());
+        let err = gds
+            .decode_snapshot(&mut SnapshotReader::new(&buf))
+            .unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err}");
+
+        let dynamic: StrategyImpl = StrategyKind::Lru.build(Bytes::new(100)).into();
+        let err = dynamic.encode_snapshot(&mut Vec::new()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Unsupported(_)), "{err}");
     }
 
     #[test]

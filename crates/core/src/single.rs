@@ -156,6 +156,40 @@ impl<O: Observer> SingleCache<O> {
         self.accesses.get(page)
     }
 
+    /// Serializes the mutable state — the engine plus the cumulative
+    /// access-count table (which, unlike the engine's In-Cache LFU
+    /// counts, covers evicted pages too).
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        use pscd_cache::snapshot::put_u32;
+        self.engine.encode_state(out);
+        let counts = self.accesses.entries();
+        put_u32(out, counts.len() as u32);
+        for (page, a) in counts {
+            put_u32(out, page.index());
+            put_u32(out, a);
+        }
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state).
+    pub(crate) fn decode_state(
+        &mut self,
+        r: &mut pscd_cache::SnapshotReader<'_>,
+    ) -> Result<(), pscd_cache::SnapshotError> {
+        use pscd_cache::SnapshotError;
+        self.engine.decode_state(r)?;
+        let n = r.read_u32()? as usize;
+        if n > r.remaining() / 8 {
+            return Err(SnapshotError::Corrupt("access-count table overruns buffer"));
+        }
+        self.accesses.clear();
+        for _ in 0..n {
+            let page = PageId::new(r.read_u32()?);
+            let a = r.read_u32()?;
+            self.accesses.set(page, a);
+        }
+        Ok(())
+    }
+
     /// The strategy's page value given subscription count `subs`, access
     /// count `a` and inflation `l`.
     fn value(&self, page: &PageRef, subs: u32, a: u32, l: f64) -> f64 {

@@ -60,6 +60,19 @@ impl<O: Observer> Sub<O> {
     fn value(page: &PageRef, subs: u32) -> f64 {
         subs as f64 * page.cost / page.size.as_f64()
     }
+
+    /// Serializes the cache's mutable state for a snapshot.
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        self.engine.encode_state(out);
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state).
+    pub(crate) fn decode_state(
+        &mut self,
+        r: &mut pscd_cache::SnapshotReader<'_>,
+    ) -> Result<(), pscd_cache::SnapshotError> {
+        self.engine.decode_state(r)
+    }
 }
 
 impl<O: Observer> Strategy for Sub<O> {

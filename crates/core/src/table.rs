@@ -109,6 +109,16 @@ impl<E> EntryTable<E> {
         self.live.len()
     }
 
+    /// Removes every entry, keeping the layout (and the dense form's
+    /// preallocated index).
+    pub(crate) fn clear(&mut self) {
+        match &mut self.index {
+            Index::Sparse(m) => m.clear(),
+            Index::Dense(v) => v.fill(NO_IDX),
+        }
+        self.live.clear();
+    }
+
     /// Iterates resident entries (arbitrary order — callers must only do
     /// order-insensitive work, e.g. commutative sums or sort-after).
     pub(crate) fn iter(&self) -> impl Iterator<Item = (PageId, &E)> {

@@ -19,7 +19,7 @@ use pscd_experiments::{
 use pscd_obs::{render_chrome_trace, NullObserver, SpanEvent, TraceSink};
 use pscd_sim::{simulate_observed_sharded_compiled_traced, SimOptions};
 
-const USAGE: &str = "usage: repro <beta|fig3|fig4|table2|fig5|fig6|fig7|classic|lap-bounds|partition|coverage|shift|crash|invalidation|variance|ablations|all> [--scale FRACTION] [--threads N] [--csv DIR] [--obs-dir DIR [--events]] [--trace FILE]\n       repro bench [--quick] [--out FILE] [--check FILE]";
+const USAGE: &str = "usage: repro <beta|fig3|fig4|table2|fig5|fig6|fig7|classic|lap-bounds|partition|coverage|shift|crash|invalidation|variance|ablations|all> [--scale FRACTION] [--threads N] [--csv DIR] [--obs-dir DIR [--events]] [--trace FILE]\n       repro bench [--quick] [--out FILE] [--check FILE]\n       repro serve --load [--scale FRACTION] [--threads N] [--batch N] [--dir DIR [--snapshot-every K]]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +33,10 @@ fn main() -> ExitCode {
     let mut quick = false;
     let mut bench_out: Option<PathBuf> = None;
     let mut bench_check: Option<PathBuf> = None;
+    let mut load = false;
+    let mut batch = 256usize;
+    let mut snapshot_every = 0u64;
+    let mut serve_dir: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -73,6 +77,28 @@ fn main() -> ExitCode {
             },
             "--events" => events = true,
             "--quick" => quick = true,
+            "--load" => load = true,
+            "--batch" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => batch = n,
+                _ => {
+                    eprintln!("--batch needs a positive ingest batch size");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--snapshot-every" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(k) => snapshot_every = k,
+                None => {
+                    eprintln!("--snapshot-every needs an event count (0 = never)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--dir" => match it.next() {
+                Some(dir) => serve_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--dir needs a directory for the journal and snapshots");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--out" => match it.next() {
                 Some(path) => bench_out = Some(PathBuf::from(path)),
                 None => {
@@ -108,6 +134,21 @@ fn main() -> ExitCode {
     }
     if exhibit == "bench" {
         return run_bench(quick, bench_out.as_deref(), bench_check.as_deref());
+    }
+    if exhibit == "serve" {
+        if !load {
+            eprintln!(
+                "serve has no network listener yet; run the seeded load generator with --load\n{USAGE}"
+            );
+            return ExitCode::FAILURE;
+        }
+        return match run_serve(scale, threads, batch, snapshot_every, serve_dir.as_deref()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     match run(
         &exhibit,
@@ -186,6 +227,86 @@ fn run_bench(
             ExitCode::FAILURE
         }
     }
+}
+
+/// `repro serve --load`: stand up the live broker service on the seeded
+/// news workload and drive every event through its front door, printing
+/// sustained throughput, batch latency quantiles, and the final
+/// accounting (which matches a batch replay bit-for-bit — the
+/// `service_differential` suite holds that equivalence).
+fn run_serve(
+    scale: f64,
+    threads: usize,
+    batch: usize,
+    snapshot_every: u64,
+    dir: Option<&std::path::Path>,
+) -> Result<(), ExperimentError> {
+    eprintln!("generating workloads (scale = {scale}) …");
+    let ctx = ExperimentContext::scaled_threads(scale, 0)?;
+    let compiled = ctx.compiled(Trace::News, 1.0)?;
+    let subs = ctx.subscriptions(Trace::News, 1.0)?;
+    let events = ctx.workload(Trace::News).live_events(&subs);
+    let kind = StrategyKind::Sg2 { beta: PAPER_BETA };
+    let mut config = pscd_service::ServiceConfig::new(
+        kind,
+        compiled.capacities(0.05),
+        ctx.costs().iter().collect(),
+        pscd_broker::PushScheme::Always,
+        compiled.pages().iter().copied().collect(),
+        compiled.hours(),
+    )
+    .with_workers(threads)
+    .with_batch_size(batch);
+    if let Some(dir) = dir {
+        config = config.with_persistence(dir.to_path_buf(), snapshot_every);
+        eprintln!(
+            "journaling to {} (snapshot every {} events)",
+            dir.display(),
+            if snapshot_every == 0 {
+                "∞".to_owned()
+            } else {
+                snapshot_every.to_string()
+            }
+        );
+    }
+    let mut core = pscd_service::ServiceCore::new(config)?;
+    eprintln!(
+        "serving {} as {} events arrive in batches of {batch} …",
+        kind.name(),
+        events.len()
+    );
+    let mut registry = pscd_obs::Registry::new();
+    let report = pscd_service::run_load(
+        &mut core,
+        &events,
+        batch,
+        &mut registry,
+        &TraceSink::disabled(),
+    )?;
+    let outcome = core.shutdown()?;
+    let result = &outcome.result;
+    let hit_rate = if result.requests > 0 {
+        result.hits as f64 / result.requests as f64
+    } else {
+        0.0
+    };
+    println!(
+        "ingested {} events in {} batches over {:.2} s",
+        report.events, report.batches, report.elapsed_secs
+    );
+    println!(
+        "sustained {:.0} events/s (batch latency p50 {:.1} µs, p99 {:.1} µs)",
+        report.events_per_sec, report.batch_micros_p50, report.batch_micros_p99
+    );
+    println!(
+        "requests {}  hits {}  hit rate {:.4}  pushed {} pages  fetched {} pages",
+        result.requests,
+        result.hits,
+        hit_rate,
+        result.traffic.pushed_pages,
+        result.traffic.fetched_pages
+    );
+    Ok(())
 }
 
 fn run(

@@ -2,7 +2,9 @@
 //! the compiled-trace cache every exhibit's grid replays from.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use pscd_obs::{Registry, SharedRegistry, TraceSink};
 use pscd_sim::trace::CompiledTrace;
@@ -196,7 +198,8 @@ impl ExperimentContext {
     /// many grids replay it.
     ///
     /// Compilation happens **outside** the cache lock: the memo `Mutex` is
-    /// taken only for the map lookup and the insert, so a caller compiling
+    /// taken only for the map lookup and the insert (and, being `parking_lot`,
+    /// cannot poison if a panic unwinds through a replay), so a caller compiling
     /// a cold key (seconds at paper scale) never blocks callers of other,
     /// already-warm keys. Two callers racing on the same cold key may both
     /// compile; the double-checked insert keeps the first value, every
@@ -213,7 +216,7 @@ impl ExperimentContext {
     ) -> Result<Arc<CompiledTrace>, ExperimentError> {
         let key = (trace, quality.to_bits());
         {
-            let cache = self.compiled.lock().expect("compiled-trace cache poisoned");
+            let cache = self.compiled.lock();
             if let Some(hit) = cache.get(&key) {
                 return Ok(Arc::clone(hit));
             }
@@ -225,7 +228,7 @@ impl ExperimentContext {
         let compiled = Arc::new(phase(&self.cold, &self.sink, "cold.compile", || {
             CompiledTrace::compile_threads(workload, &subs, self.threads)
         })?);
-        let mut cache = self.compiled.lock().expect("compiled-trace cache poisoned");
+        let mut cache = self.compiled.lock();
         Ok(Arc::clone(cache.entry(key).or_insert(compiled)))
     }
 

@@ -19,6 +19,9 @@ pub enum ExperimentError {
     Sim(SimError),
     /// Writing observability artifacts failed.
     Io(String),
+    /// A live service run failed (rendered, since service errors carry
+    /// non-cloneable I/O sources).
+    Service(String),
     /// An observer's aggregate totals disagreed with the simulation's own
     /// accounting — an instrumentation bug, never expected in a release.
     ObserverMismatch {
@@ -36,6 +39,7 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Topology(e) => write!(f, "topology generation failed: {e}"),
             ExperimentError::Sim(e) => write!(f, "simulation failed: {e}"),
             ExperimentError::Io(detail) => write!(f, "cannot write audit output: {detail}"),
+            ExperimentError::Service(detail) => write!(f, "service run failed: {detail}"),
             ExperimentError::ObserverMismatch { strategy, detail } => {
                 write!(
                     f,
@@ -52,7 +56,9 @@ impl Error for ExperimentError {
             ExperimentError::Workload(e) => Some(e),
             ExperimentError::Topology(e) => Some(e),
             ExperimentError::Sim(e) => Some(e),
-            ExperimentError::Io(_) | ExperimentError::ObserverMismatch { .. } => None,
+            ExperimentError::Io(_)
+            | ExperimentError::Service(_)
+            | ExperimentError::ObserverMismatch { .. } => None,
         }
     }
 }
@@ -75,6 +81,12 @@ impl From<SimError> for ExperimentError {
     }
 }
 
+impl From<pscd_service::ServiceError> for ExperimentError {
+    fn from(e: pscd_service::ServiceError) -> Self {
+        ExperimentError::Service(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +106,8 @@ mod tests {
             constraint: "c",
         });
         assert!(e.to_string().contains("simulation"));
+        let e = ExperimentError::from(pscd_service::ServiceError::Stopped);
+        assert!(e.to_string().contains("service"));
+        assert!(e.source().is_none());
     }
 }

@@ -1,0 +1,115 @@
+//! Edge-case coverage for the trace pipeline: absorbing empty logs,
+//! panic safety of the `end_with` detail closure, and chrome-trace
+//! export of runs that recorded no spans.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use pscd_obs::{chrome_trace_to_string, SpanEvent, TraceLog, TraceSink};
+
+fn one_span(track: &str, label: &str) -> TraceLog {
+    let mut log = TraceLog::new();
+    log.add_events(
+        track,
+        vec![SpanEvent {
+            label: label.to_owned(),
+            start_ns: 10,
+            dur_ns: 5,
+            detail: None,
+        }],
+    );
+    log
+}
+
+#[test]
+fn absorbing_an_empty_log_changes_nothing() {
+    // identity on the right …
+    let mut log = one_span("t", "x");
+    let before = log.clone();
+    log.absorb(TraceLog::new());
+    assert_eq!(log, before);
+
+    // … and on the left: an empty accumulator adopts the other log whole.
+    let mut empty = TraceLog::new();
+    empty.absorb(before.clone());
+    assert_eq!(empty, before);
+
+    // empty ∘ empty stays empty and grows no tracks.
+    let mut a = TraceLog::new();
+    a.absorb(TraceLog::new());
+    assert!(a.is_empty());
+    assert!(a.tracks().is_empty());
+    assert_eq!(a.span_count(), 0);
+}
+
+#[test]
+fn absorb_merges_by_track_across_many_empty_folds() {
+    let mut acc = TraceLog::new();
+    for k in 0..4 {
+        acc.absorb(TraceLog::new()); // interleaved identities must not
+        acc.absorb(one_span("t", &format!("s{k}"))); // fragment the track
+    }
+    assert_eq!(acc.tracks().len(), 1);
+    assert_eq!(acc.tracks()[0].events.len(), 4);
+    assert_eq!(acc.span_count(), 4);
+}
+
+#[test]
+fn end_with_survives_a_panicking_detail_closure() {
+    let sink = TraceSink::enabled();
+    let mut rec = sink.recorder("main");
+    rec.span("before", || ());
+
+    let open = rec.begin();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        rec.end_with(open, "doomed", || panic!("detail construction failed"));
+    }));
+    assert!(
+        result.is_err(),
+        "the panic must propagate, not be swallowed"
+    );
+
+    // The recorder stays usable: the half-open span is simply dropped and
+    // later spans record normally.
+    rec.span("after", || ());
+    rec.flush();
+    let log = sink.drain();
+    assert_eq!(log.tracks().len(), 1);
+    let labels: Vec<&str> = log.tracks()[0]
+        .events
+        .iter()
+        .map(|e| e.label.as_str())
+        .collect();
+    assert_eq!(labels, ["before", "after"], "doomed span must not appear");
+}
+
+#[test]
+fn end_with_skips_the_closure_entirely_when_disabled() {
+    let sink = TraceSink::disabled();
+    let mut rec = sink.recorder("main");
+    let open = rec.begin();
+    // A panicking closure is safe here because it must never run.
+    rec.end_with(open, "never", || unreachable!("detail built while off"));
+    rec.flush();
+    assert!(sink.drain().is_empty());
+}
+
+#[test]
+fn zero_span_runs_export_an_empty_chrome_shell() {
+    // An enabled sink whose recorders completed no spans must still
+    // render the valid empty trace document — no stray thread_name
+    // metadata for tracks that never flushed an event.
+    let sink = TraceSink::enabled();
+    {
+        let rec = sink.recorder("idle worker");
+        let _ = rec.begin(); // opened, never ended
+    } // drop flushes (nothing)
+    let log = sink.drain();
+    assert!(log.is_empty());
+    let json = chrome_trace_to_string(&log);
+    assert_eq!(json, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n");
+    assert!(!json.contains("thread_name"));
+
+    // Draining twice is fine: the second drain is the same empty shell.
+    let json2 = chrome_trace_to_string(&sink.drain());
+    assert_eq!(json2, json);
+}

@@ -1,0 +1,313 @@
+//! Service configuration and errors.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use pscd_broker::{BrokerError, PushScheme};
+use pscd_cache::SnapshotError;
+use pscd_core::StrategyKind;
+use pscd_types::{Bytes, PageMeta};
+
+/// Configuration of a live broker service: the same strategy/capacity/
+/// scheme knobs a batch simulation takes, plus the service-only knobs —
+/// worker count, ingest batch size, snapshot cadence and persistence
+/// directory.
+///
+/// The page universe is fixed up front ([`ServiceConfig::pages`]): like
+/// the batch replay, the service runs every per-page table in dense
+/// layout so the steady-state ingest path performs no heap allocation.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The content-distribution strategy run at every proxy.
+    pub strategy: StrategyKind,
+    /// Per-proxy cache capacities (the fleet size is `capacities.len()`).
+    pub capacities: Vec<Bytes>,
+    /// Per-proxy fetch costs; must match `capacities` in length.
+    pub costs: Vec<f64>,
+    /// The pushing scheme (paper §5.6).
+    pub scheme: PushScheme,
+    /// Drop the previous version of an article from every cache when a
+    /// modified version is published.
+    pub invalidate_stale: bool,
+    /// The page universe, indexed by page id. Shared (not copied) with
+    /// every worker.
+    pub pages: Arc<[PageMeta]>,
+    /// Hourly accounting buckets to preallocate.
+    pub hours: usize,
+    /// Worker threads: `1` (the default) applies events inline on the
+    /// ingesting thread, `0` picks the machine's parallelism, any other
+    /// count shards the proxy fleet across that many persistent workers.
+    pub workers: usize,
+    /// Events buffered per dispatch to the workers.
+    pub batch_size: usize,
+    /// Take a state snapshot every this many ingested events
+    /// (`0` disables snapshots; a journal-only service recovers by
+    /// replaying from the start).
+    pub snapshot_every: u64,
+    /// Persistence directory for the event journal and snapshots.
+    /// `None` runs fully in memory (no durability, no recovery).
+    pub dir: Option<PathBuf>,
+}
+
+impl ServiceConfig {
+    /// A single-threaded, in-memory service configuration; durability and
+    /// parallelism are opted into via the builder methods.
+    pub fn new(
+        strategy: StrategyKind,
+        capacities: Vec<Bytes>,
+        costs: Vec<f64>,
+        scheme: PushScheme,
+        pages: Arc<[PageMeta]>,
+        hours: usize,
+    ) -> Self {
+        Self {
+            strategy,
+            capacities,
+            costs,
+            scheme,
+            invalidate_stale: false,
+            pages,
+            hours,
+            workers: 1,
+            batch_size: 256,
+            snapshot_every: 0,
+            dir: None,
+        }
+    }
+
+    /// Sets the worker-thread count (see [`ServiceConfig::workers`]).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the ingest batch size.
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Enables persistence: journal to `dir`, snapshot every
+    /// `snapshot_every` events (`0` = journal only).
+    #[must_use]
+    pub fn with_persistence(mut self, dir: PathBuf, snapshot_every: u64) -> Self {
+        self.dir = Some(dir);
+        self.snapshot_every = snapshot_every;
+        self
+    }
+
+    /// Enables stale-version invalidation.
+    #[must_use]
+    pub fn with_invalidation(mut self) -> Self {
+        self.invalidate_stale = true;
+        self
+    }
+
+    /// Number of proxy servers.
+    pub fn server_count(&self) -> u16 {
+        self.capacities.len() as u16
+    }
+
+    /// Rejects structurally invalid configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Config`] when a field violates its
+    /// constraint.
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        if self.capacities.is_empty() {
+            return Err(ServiceError::Config {
+                what: "capacities",
+                constraint: "at least one proxy",
+            });
+        }
+        if self.capacities.len() > u16::MAX as usize {
+            return Err(ServiceError::Config {
+                what: "capacities",
+                constraint: "at most u16::MAX proxies",
+            });
+        }
+        if self.costs.len() != self.capacities.len() {
+            return Err(ServiceError::Config {
+                what: "costs",
+                constraint: "one cost per proxy",
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(ServiceError::Config {
+                what: "batch_size",
+                constraint: ">= 1",
+            });
+        }
+        if self.hours == 0 {
+            return Err(ServiceError::Config {
+                what: "hours",
+                constraint: ">= 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Why a service operation failed.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// A configuration field violates its constraint.
+    Config {
+        /// The offending field.
+        what: &'static str,
+        /// The constraint it violates.
+        constraint: &'static str,
+    },
+    /// An event referenced a page outside the configured universe.
+    UnknownPage {
+        /// The page index the event carried.
+        page: u32,
+        /// The configured page-universe size.
+        pages: usize,
+    },
+    /// An event referenced a server outside the fleet.
+    UnknownServer {
+        /// The server index the event carried.
+        server: u16,
+        /// The fleet size.
+        servers: u16,
+    },
+    /// A delivery-engine operation failed.
+    Broker(BrokerError),
+    /// A snapshot could not be encoded or decoded.
+    Snapshot(SnapshotError),
+    /// Journal or snapshot file I/O failed.
+    Io(std::io::Error),
+    /// A persisted file is structurally invalid.
+    CorruptFile(&'static str),
+    /// The service thread is no longer running.
+    Stopped,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Config { what, constraint } => {
+                write!(f, "invalid service config: {what} must be {constraint}")
+            }
+            ServiceError::UnknownPage { page, pages } => {
+                write!(
+                    f,
+                    "event references page {page} outside universe of {pages}"
+                )
+            }
+            ServiceError::UnknownServer { server, servers } => {
+                write!(
+                    f,
+                    "event references server {server} outside fleet of {servers}"
+                )
+            }
+            ServiceError::Broker(e) => write!(f, "broker error: {e}"),
+            ServiceError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            ServiceError::Io(e) => write!(f, "service i/o error: {e}"),
+            ServiceError::CorruptFile(what) => write!(f, "corrupt service file: {what}"),
+            ServiceError::Stopped => write!(f, "service is no longer running"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Broker(e) => Some(e),
+            ServiceError::Snapshot(e) => Some(e),
+            ServiceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BrokerError> for ServiceError {
+    fn from(e: BrokerError) -> Self {
+        ServiceError::Broker(e)
+    }
+}
+
+impl From<SnapshotError> for ServiceError {
+    fn from(e: SnapshotError) -> Self {
+        ServiceError::Snapshot(e)
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscd_types::{PageId, PageKind, SimTime};
+
+    fn pages(n: u32) -> Arc<[PageMeta]> {
+        (0..n)
+            .map(|i| {
+                PageMeta::new(
+                    PageId::new(i),
+                    Bytes::new(100),
+                    SimTime::ZERO,
+                    PageKind::Original,
+                )
+            })
+            .collect()
+    }
+
+    fn base() -> ServiceConfig {
+        ServiceConfig::new(
+            StrategyKind::Sg2 { beta: 2.0 },
+            vec![Bytes::new(1_000); 4],
+            vec![1.0; 4],
+            PushScheme::Always,
+            pages(8),
+            24,
+        )
+    }
+
+    #[test]
+    fn valid_config_passes() {
+        assert!(base().validate().is_ok());
+        assert_eq!(base().server_count(), 4);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = base();
+        c.costs.pop();
+        assert!(matches!(
+            c.validate(),
+            Err(ServiceError::Config { what: "costs", .. })
+        ));
+        let mut c = base();
+        c.capacities.clear();
+        c.costs.clear();
+        assert!(c.validate().is_err());
+        let c = base().with_batch_size(0);
+        assert!(c.validate().is_err());
+        let mut c = base();
+        c.hours = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ServiceError::Config {
+            what: "hours",
+            constraint: ">= 1",
+        };
+        assert_eq!(e.to_string(), "invalid service config: hours must be >= 1");
+        assert!(ServiceError::Stopped.to_string().contains("no longer"));
+        assert!(ServiceError::CorruptFile("bad magic")
+            .to_string()
+            .contains("bad magic"));
+    }
+}

@@ -1,0 +1,589 @@
+//! The service supervisor: event ingestion, routing, snapshots and
+//! crash recovery.
+//!
+//! [`ServiceCore`] owns everything strategy-independent — the live
+//! subscription rows, version lineage, the write-ahead journal and the
+//! snapshot cadence — and streams fully resolved batches to the proxy
+//! fleet. Events are **resolved at ingest**: a publish's fan-out is
+//! copied out of the subscription rows the moment it arrives, so a later
+//! subscribe in the same batch can never retroactively change it. That
+//! is what makes the service bit-identical to the batch replay, which
+//! performs the same resolution in [`CompiledTrace::compile`].
+//!
+//! [`CompiledTrace::compile`]: pscd_sim::CompiledTrace::compile
+
+use std::fs;
+use std::mem;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use pscd_cache::snapshot::{put_u16, put_u32, put_u64};
+use pscd_cache::SnapshotReader;
+use pscd_pool::effective_threads;
+use pscd_sim::{HourlySeries, SimResult};
+use pscd_types::{LiveEvent, PageId, ServerId};
+
+use crate::config::{ServiceConfig, ServiceError};
+use crate::journal::Journal;
+use crate::wire::SNAPSHOT_MAGIC;
+use crate::worker::{
+    put_server_snap, read_server_snap, ResolvedBatch, ResolvedEvent, ServerSnap, Shard,
+    ShardRestore, ShardSnap, ToWorker, WorkerHandle,
+};
+
+const JOURNAL_FILE: &str = "journal.bin";
+const SNAPSHOT_FILE: &str = "snapshot.bin";
+
+/// The proxy fleet: either one shard applied inline on the ingesting
+/// thread (the allocation-free single-threaded path), or persistent
+/// worker threads each owning a contiguous server range.
+#[derive(Debug)]
+enum Fleet {
+    Inline(Box<Shard>),
+    Threaded(Vec<WorkerHandle>),
+}
+
+/// The final state of a drained service: the run's accounting (the same
+/// [`SimResult`] shape the batch simulation produces) plus every proxy's
+/// serialized cache state, in server order.
+#[derive(Debug)]
+pub struct ServiceOutcome {
+    /// Merged accounting across the fleet.
+    pub result: SimResult,
+    /// Per-proxy strategy snapshots ([`StrategyImpl::encode_snapshot`]
+    /// blobs), indexed by server.
+    ///
+    /// [`StrategyImpl::encode_snapshot`]: pscd_core::StrategyImpl::encode_snapshot
+    pub proxies: Vec<Vec<u8>>,
+}
+
+/// A live broker service: ingests publish/subscribe/request events one
+/// at a time (no pre-merged timeline), journals them, and applies them
+/// to the proxy fleet.
+#[derive(Debug)]
+pub struct ServiceCore {
+    config: ServiceConfig,
+    /// Live subscription rows, page-major, each sorted by server — the
+    /// mutable twin of [`pscd_types::SubscriptionTable`].
+    rows: Vec<Vec<(ServerId, u32)>>,
+    /// Latest published version per origin page (invalidation lineage).
+    latest_version: Vec<Option<PageId>>,
+    fleet: Fleet,
+    journal: Option<Journal>,
+    batch: ResolvedBatch,
+    events_applied: u64,
+    last_snapshot: u64,
+}
+
+/// Contiguous even partition of `servers` across `workers` shards.
+fn partition(servers: u16, workers: usize) -> Vec<(u16, u16)> {
+    let workers = workers as u16;
+    let base = servers / workers;
+    let rem = servers % workers;
+    let mut ranges = Vec::with_capacity(workers as usize);
+    let mut start = 0u16;
+    for i in 0..workers {
+        let len = base + u16::from(i < rem);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    ranges
+}
+
+impl ServiceCore {
+    /// Starts a fresh service. With a persistence directory configured,
+    /// any existing journal is truncated — use [`ServiceCore::recover`]
+    /// to resume from persisted state instead.
+    pub fn new(config: ServiceConfig) -> Result<Self, ServiceError> {
+        config.validate()?;
+        let journal = match &config.dir {
+            Some(dir) => {
+                fs::create_dir_all(dir)?;
+                Some(Journal::create(&dir.join(JOURNAL_FILE))?)
+            }
+            None => None,
+        };
+        let fleet = Self::build_fleet(&config, None)?;
+        let pages = config.pages.len();
+        Ok(Self {
+            rows: vec![Vec::new(); pages],
+            latest_version: vec![None; pages],
+            fleet,
+            journal,
+            batch: ResolvedBatch::with_capacity(config.batch_size, config.server_count()),
+            events_applied: 0,
+            last_snapshot: 0,
+            config,
+        })
+    }
+
+    /// Rebuilds a crashed service from its persistence directory: the
+    /// last snapshot (if any) restores the fleet, then the journal's
+    /// suffix replays through the ordinary ingest path. Converges to the
+    /// exact state of a service that never crashed, because resolution
+    /// and apply are deterministic functions of the event sequence.
+    pub fn recover(config: ServiceConfig) -> Result<Self, ServiceError> {
+        config.validate()?;
+        let dir = config.dir.clone().ok_or(ServiceError::Config {
+            what: "dir",
+            constraint: "set for recovery",
+        })?;
+        let journal_path = dir.join(JOURNAL_FILE);
+        let events = Journal::read_all(&journal_path)?;
+        let snapshot = match fs::read(dir.join(SNAPSHOT_FILE)) {
+            Ok(bytes) => Some(decode_snapshot_file(&bytes, &config)?),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e.into()),
+        };
+        let (k, rows, latest_version, restore) = match snapshot {
+            Some(s) => (s.events_applied, s.rows, s.latest_version, Some(s.restore)),
+            None => {
+                let pages = config.pages.len();
+                (0, vec![Vec::new(); pages], vec![None; pages], None)
+            }
+        };
+        if (events.len() as u64) < k {
+            return Err(ServiceError::CorruptFile("journal shorter than snapshot"));
+        }
+        let fleet = Self::build_fleet(&config, restore)?;
+        let mut core = Self {
+            rows,
+            latest_version,
+            fleet,
+            journal: None,
+            batch: ResolvedBatch::with_capacity(config.batch_size, config.server_count()),
+            events_applied: k,
+            last_snapshot: k,
+            config,
+        };
+        // Replay the journal suffix without re-journaling and without
+        // taking cadence snapshots (the journal already covers it).
+        for ev in &events[k as usize..] {
+            core.check(ev)?;
+            core.resolve(*ev);
+            if core.batch.events.len() >= core.config.batch_size {
+                core.dispatch()?;
+            }
+        }
+        core.flush()?;
+        core.journal = Some(Journal::open_append(&journal_path)?);
+        Ok(core)
+    }
+
+    fn build_fleet(
+        config: &ServiceConfig,
+        restore: Option<Vec<ShardSnap>>,
+    ) -> Result<Fleet, ServiceError> {
+        let servers = config.server_count();
+        let workers = effective_threads(config.workers, servers as usize);
+        // Restored state arrives as one merged snapshot: all servers in
+        // order plus one hourly series. Split the servers back across the
+        // fleet; the hourly buckets all land on shard 0 (absorb is
+        // component-wise addition, so placement is irrelevant to totals).
+        let mut snaps = restore.map(|mut s| {
+            let hourly = s
+                .iter()
+                .skip(1)
+                .fold(s[0].hourly.clone(), |mut acc, shard| {
+                    acc.absorb(&shard.hourly);
+                    acc
+                });
+            let servers: Vec<ServerSnap> = s.drain(..).flat_map(|shard| shard.servers).collect();
+            (servers.into_iter(), Some(hourly))
+        });
+        if workers <= 1 {
+            let mut shard = Box::new(Shard::build(config, 0, servers));
+            if let Some((servers_iter, hourly)) = &mut snaps {
+                let restore = ShardRestore {
+                    servers: servers_iter.collect(),
+                    hourly: hourly.take(),
+                };
+                shard.restore(&restore)?;
+            }
+            return Ok(Fleet::Inline(shard));
+        }
+        let mut handles = Vec::with_capacity(workers);
+        for (start, end) in partition(servers, workers) {
+            let restore = snaps.as_mut().map(|(servers_iter, hourly)| ShardRestore {
+                servers: servers_iter.by_ref().take((end - start) as usize).collect(),
+                hourly: hourly.take(),
+            });
+            handles.push(WorkerHandle::spawn(config, start, end, restore)?);
+        }
+        Ok(Fleet::Threaded(handles))
+    }
+
+    /// Total events accepted so far (journal offset of the next event).
+    pub fn events_applied(&self) -> u64 {
+        self.events_applied
+    }
+
+    /// Ingests one event.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownPage`]/[`ServiceError::UnknownServer`] if
+    /// the event references ids outside the configured universe (the
+    /// event is rejected before it is journaled), or a persistence error.
+    pub fn ingest(&mut self, ev: LiveEvent) -> Result<(), ServiceError> {
+        self.ingest_all(std::slice::from_ref(&ev))
+    }
+
+    /// Ingests a sequence of events as one journal write.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceCore::ingest`]; validation runs over the whole slice
+    /// before anything is journaled, so a rejected call changes nothing.
+    pub fn ingest_all(&mut self, events: &[LiveEvent]) -> Result<(), ServiceError> {
+        for ev in events {
+            self.check(ev)?;
+        }
+        if let Some(journal) = &mut self.journal {
+            journal.append(events)?;
+        }
+        for ev in events {
+            self.resolve(*ev);
+            if self.batch.events.len() >= self.config.batch_size {
+                self.dispatch()?;
+            }
+            if self.config.snapshot_every > 0
+                && self.events_applied - self.last_snapshot >= self.config.snapshot_every
+            {
+                self.snapshot_now()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Bounds-checks an event against the configured universe.
+    fn check(&self, ev: &LiveEvent) -> Result<(), ServiceError> {
+        let (page, server) = match *ev {
+            LiveEvent::Subscribe { page, server, .. } => (page, Some(server)),
+            LiveEvent::Publish { page, .. } => (page, None),
+            LiveEvent::Request { page, server, .. } => (page, Some(server)),
+        };
+        if page.as_usize() >= self.config.pages.len() {
+            return Err(ServiceError::UnknownPage {
+                page: page.index(),
+                pages: self.config.pages.len(),
+            });
+        }
+        if let Some(server) = server {
+            if server.index() >= self.config.server_count() {
+                return Err(ServiceError::UnknownServer {
+                    server: server.index(),
+                    servers: self.config.server_count(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves one (already bounds-checked) event into the pending
+    /// batch, updating the supervisor's live state.
+    fn resolve(&mut self, ev: LiveEvent) {
+        self.events_applied += 1;
+        match ev {
+            LiveEvent::Subscribe {
+                page,
+                server,
+                count,
+            } => {
+                // Subscribes take effect instantly and are never
+                // dispatched: every publish resolved before this point
+                // already copied its fan-out out of the rows.
+                let row = &mut self.rows[page.as_usize()];
+                match row.binary_search_by_key(&server, |&(s, _)| s) {
+                    Ok(i) if count == 0 => {
+                        row.remove(i);
+                    }
+                    Ok(i) => row[i].1 = count,
+                    Err(_) if count == 0 => {}
+                    Err(i) => row.insert(i, (server, count)),
+                }
+            }
+            LiveEvent::Publish { time, page } => {
+                let meta = &self.config.pages[page.as_usize()];
+                let origin = meta.kind().origin().unwrap_or(page);
+                let supersedes = self.latest_version[origin.as_usize()].replace(page);
+                let pair_lo = self.batch.pairs.len() as u32;
+                self.batch
+                    .pairs
+                    .extend_from_slice(&self.rows[page.as_usize()]);
+                let pair_hi = self.batch.pairs.len() as u32;
+                self.batch.events.push(ResolvedEvent::Publish {
+                    time,
+                    page,
+                    pair_lo,
+                    pair_hi,
+                    supersedes,
+                });
+            }
+            LiveEvent::Request { time, server, page } => {
+                let row = &self.rows[page.as_usize()];
+                let subs = row
+                    .binary_search_by_key(&server, |&(s, _)| s)
+                    .map(|i| row[i].1)
+                    .unwrap_or(0);
+                self.batch.events.push(ResolvedEvent::Request {
+                    time,
+                    server,
+                    page,
+                    subs,
+                });
+            }
+        }
+    }
+
+    /// Sends the pending batch to the fleet.
+    fn dispatch(&mut self) -> Result<(), ServiceError> {
+        if self.batch.events.is_empty() {
+            return Ok(());
+        }
+        match &mut self.fleet {
+            Fleet::Inline(shard) => {
+                shard.apply(
+                    &self.batch,
+                    &self.config.pages,
+                    self.config.invalidate_stale,
+                );
+                self.batch.clear();
+            }
+            Fleet::Threaded(handles) => {
+                let batch = Arc::new(mem::take(&mut self.batch));
+                for handle in handles.iter() {
+                    handle.send(ToWorker::Batch(Arc::clone(&batch)))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies every buffered event now.
+    pub fn flush(&mut self) -> Result<(), ServiceError> {
+        self.dispatch()
+    }
+
+    /// Takes a state snapshot immediately (flushing buffered events
+    /// first) and writes it atomically to the persistence directory.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Config`] if no persistence directory is
+    /// configured; otherwise snapshot-encoding or I/O errors.
+    pub fn snapshot_now(&mut self) -> Result<(), ServiceError> {
+        let dir = self.config.dir.clone().ok_or(ServiceError::Config {
+            what: "dir",
+            constraint: "set for snapshots",
+        })?;
+        self.flush()?;
+        let snaps = self.collect_snaps()?;
+        let mut out = Vec::new();
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        put_u64(&mut out, self.events_applied);
+        put_u32(&mut out, self.config.pages.len() as u32);
+        for row in &self.rows {
+            put_u32(&mut out, row.len() as u32);
+            for &(server, count) in row {
+                put_u16(&mut out, server.index());
+                put_u32(&mut out, count);
+            }
+        }
+        for latest in &self.latest_version {
+            put_u32(&mut out, latest.map_or(u32::MAX, PageId::index));
+        }
+        let hourly = snaps
+            .iter()
+            .skip(1)
+            .fold(snaps[0].hourly.clone(), |mut acc, s| {
+                acc.absorb(&s.hourly);
+                acc
+            });
+        put_hourly(&mut out, &hourly);
+        put_u16(&mut out, self.config.server_count());
+        for snap in &snaps {
+            for server in &snap.servers {
+                put_server_snap(&mut out, server);
+            }
+        }
+        let tmp = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+        fs::write(&tmp, &out)?;
+        fs::rename(&tmp, dir.join(SNAPSHOT_FILE))?;
+        self.last_snapshot = self.events_applied;
+        Ok(())
+    }
+
+    fn collect_snaps(&mut self) -> Result<Vec<ShardSnap>, ServiceError> {
+        match &mut self.fleet {
+            Fleet::Inline(shard) => Ok(vec![shard.snapshot()?]),
+            Fleet::Threaded(handles) => {
+                let mut replies = Vec::with_capacity(handles.len());
+                for handle in handles.iter() {
+                    let (tx, rx) = mpsc::channel();
+                    handle.send(ToWorker::Snapshot(tx))?;
+                    replies.push(rx);
+                }
+                replies
+                    .into_iter()
+                    .map(|rx| Ok(rx.recv().map_err(|_| ServiceError::Stopped)??))
+                    .collect()
+            }
+        }
+    }
+
+    /// Drains the service: flushes buffered events, stops the workers,
+    /// and returns the merged accounting plus every proxy's serialized
+    /// cache state.
+    pub fn shutdown(mut self) -> Result<ServiceOutcome, ServiceError> {
+        self.flush()?;
+        let servers = self.config.server_count();
+        let partials = match &mut self.fleet {
+            Fleet::Inline(shard) => vec![shard.finish(servers)?],
+            Fleet::Threaded(handles) => {
+                let mut replies = Vec::with_capacity(handles.len());
+                for handle in handles.iter() {
+                    let (tx, rx) = mpsc::channel();
+                    handle.send(ToWorker::Finish(tx))?;
+                    replies.push(rx);
+                }
+                replies
+                    .into_iter()
+                    .map(|rx| Ok(rx.recv().map_err(|_| ServiceError::Stopped)??))
+                    .collect::<Result<Vec<_>, ServiceError>>()?
+            }
+        };
+        let mut result = SimResult::identity(&partials[0].0.strategy, self.config.hours, servers);
+        let mut proxies = Vec::with_capacity(servers as usize);
+        for (partial, blobs) in partials {
+            result.absorb(&partial);
+            proxies.extend(blobs);
+        }
+        Ok(ServiceOutcome { result, proxies })
+    }
+}
+
+/// A decoded snapshot file.
+struct SnapshotState {
+    events_applied: u64,
+    rows: Vec<Vec<(ServerId, u32)>>,
+    latest_version: Vec<Option<PageId>>,
+    restore: Vec<ShardSnap>,
+}
+
+fn put_hourly(out: &mut Vec<u8>, hourly: &HourlySeries) {
+    put_u32(out, hourly.hours() as u32);
+    for series in [
+        &hourly.hits,
+        &hourly.requests,
+        &hourly.pushed_pages,
+        &hourly.pushed_bytes,
+        &hourly.fetched_pages,
+        &hourly.fetched_bytes,
+    ] {
+        for &v in series {
+            put_u64(out, v);
+        }
+    }
+}
+
+fn read_hourly(r: &mut SnapshotReader<'_>) -> Result<HourlySeries, ServiceError> {
+    let hours = r.read_u32()? as usize;
+    let mut hourly = HourlySeries::new(hours);
+    for series in [
+        &mut hourly.hits,
+        &mut hourly.requests,
+        &mut hourly.pushed_pages,
+        &mut hourly.pushed_bytes,
+        &mut hourly.fetched_pages,
+        &mut hourly.fetched_bytes,
+    ] {
+        for v in series.iter_mut() {
+            *v = r.read_u64()?;
+        }
+    }
+    Ok(hourly)
+}
+
+fn decode_snapshot_file(
+    bytes: &[u8],
+    config: &ServiceConfig,
+) -> Result<SnapshotState, ServiceError> {
+    if bytes.len() < SNAPSHOT_MAGIC.len() || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(ServiceError::CorruptFile("snapshot header"));
+    }
+    let mut r = SnapshotReader::new(&bytes[SNAPSHOT_MAGIC.len()..]);
+    let events_applied = r.read_u64()?;
+    let page_count = r.read_u32()? as usize;
+    if page_count != config.pages.len() {
+        return Err(ServiceError::CorruptFile("snapshot page universe"));
+    }
+    let mut rows = Vec::with_capacity(page_count);
+    for _ in 0..page_count {
+        let len = r.read_u32()? as usize;
+        let mut row = Vec::with_capacity(len);
+        for _ in 0..len {
+            let server = ServerId::new(r.read_u16()?);
+            let count = r.read_u32()?;
+            row.push((server, count));
+        }
+        rows.push(row);
+    }
+    let mut latest_version = Vec::with_capacity(page_count);
+    for _ in 0..page_count {
+        let raw = r.read_u32()?;
+        latest_version.push((raw != u32::MAX).then(|| PageId::new(raw)));
+    }
+    let hourly = read_hourly(&mut r)?;
+    let server_count = r.read_u16()?;
+    if server_count != config.server_count() {
+        return Err(ServiceError::CorruptFile("snapshot fleet size"));
+    }
+    let mut servers = Vec::with_capacity(server_count as usize);
+    for _ in 0..server_count {
+        servers.push(read_server_snap(&mut r)?);
+    }
+    if !r.is_empty() {
+        return Err(ServiceError::CorruptFile("trailing snapshot bytes"));
+    }
+    Ok(SnapshotState {
+        events_applied,
+        rows,
+        latest_version,
+        restore: vec![ShardSnap { hourly, servers }],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_contiguous_and_even() {
+        assert_eq!(partition(8, 3), vec![(0, 3), (3, 6), (6, 8)]);
+        assert_eq!(partition(4, 4), vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(partition(5, 2), vec![(0, 3), (3, 5)]);
+        let ranges = partition(7, 3);
+        assert_eq!(ranges.first().unwrap().0, 0);
+        assert_eq!(ranges.last().unwrap().1, 7);
+    }
+
+    #[test]
+    fn hourly_round_trips() {
+        let mut h = HourlySeries::new(3);
+        h.record_request(
+            pscd_types::SimTime::from_hours(1),
+            false,
+            pscd_types::Bytes::new(7),
+        );
+        h.record_push(
+            pscd_types::SimTime::from_hours(2),
+            pscd_types::Bytes::new(9),
+        );
+        let mut out = Vec::new();
+        put_hourly(&mut out, &h);
+        let mut r = SnapshotReader::new(&out);
+        assert_eq!(read_hourly(&mut r).unwrap(), h);
+        assert!(r.is_empty());
+    }
+}

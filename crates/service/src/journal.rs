@@ -1,0 +1,171 @@
+//! The write-ahead event journal.
+//!
+//! Every ingest command appends its events to the journal *before* they
+//! are applied, in one `write_all` from a reused scratch buffer. The
+//! crash model is process death (no fsync): a killed service loses at
+//! most the tail record of an in-flight write, which recovery detects as
+//! a truncated record and discards. Everything the journal holds before
+//! that point replays deterministically.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+use pscd_cache::{SnapshotError, SnapshotReader};
+use pscd_types::LiveEvent;
+
+use crate::config::ServiceError;
+use crate::wire::{put_event, read_event, JOURNAL_MAGIC};
+
+/// An append-only journal of [`LiveEvent`]s.
+#[derive(Debug)]
+pub(crate) struct Journal {
+    file: File,
+    scratch: Vec<u8>,
+}
+
+impl Journal {
+    /// Creates a fresh journal at `path` (truncating any existing file)
+    /// and writes the header.
+    pub(crate) fn create(path: &Path) -> Result<Self, ServiceError> {
+        let mut file = File::create(path)?;
+        file.write_all(JOURNAL_MAGIC)?;
+        Ok(Self {
+            file,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Opens an existing journal for appending (the header must already
+    /// be present — use after [`Journal::read_all`] during recovery).
+    pub(crate) fn open_append(path: &Path) -> Result<Self, ServiceError> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Self {
+            file,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Appends `events` as one contiguous write.
+    pub(crate) fn append(&mut self, events: &[LiveEvent]) -> Result<(), ServiceError> {
+        self.scratch.clear();
+        for ev in events {
+            put_event(&mut self.scratch, ev);
+        }
+        self.file.write_all(&self.scratch)?;
+        Ok(())
+    }
+
+    /// Reads every complete record of the journal at `path`. A truncated
+    /// final record (a write cut short by a crash) is silently dropped;
+    /// anything else malformed is an error. Returns an empty list if the
+    /// file does not exist.
+    pub(crate) fn read_all(path: &Path) -> Result<Vec<LiveEvent>, ServiceError> {
+        let mut buf = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut buf)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        }
+        if buf.len() < JOURNAL_MAGIC.len() || &buf[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+            return Err(ServiceError::CorruptFile("journal header"));
+        }
+        let mut r = SnapshotReader::new(&buf[JOURNAL_MAGIC.len()..]);
+        let mut events = Vec::new();
+        while !r.is_empty() {
+            match read_event(&mut r) {
+                Ok(ev) => events.push(ev),
+                // A crash mid-write leaves a partial tail record; state
+                // was never applied past it, so dropping it is correct.
+                Err(SnapshotError::Truncated { .. }) => break,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscd_types::{PageId, ServerId, SimTime};
+
+    fn events() -> Vec<LiveEvent> {
+        vec![
+            LiveEvent::Subscribe {
+                page: PageId::new(1),
+                server: ServerId::new(0),
+                count: 4,
+            },
+            LiveEvent::Publish {
+                time: SimTime::from_secs(1),
+                page: PageId::new(1),
+            },
+            LiveEvent::Request {
+                time: SimTime::from_secs(2),
+                server: ServerId::new(0),
+                page: PageId::new(1),
+            },
+        ]
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pscd-journal-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.bin")
+    }
+
+    #[test]
+    fn append_then_read_round_trips() {
+        let path = tmp("roundtrip");
+        let evs = events();
+        {
+            let mut j = Journal::create(&path).unwrap();
+            j.append(&evs[..2]).unwrap();
+            j.append(&evs[2..]).unwrap();
+        }
+        assert_eq!(Journal::read_all(&path).unwrap(), evs);
+        // Reopen in append mode and extend.
+        {
+            let mut j = Journal::open_append(&path).unwrap();
+            j.append(&evs[..1]).unwrap();
+        }
+        let all = Journal::read_all(&path).unwrap();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[3], evs[0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_reads_empty() {
+        let path = tmp("missing").with_file_name("nope.bin");
+        assert!(Journal::read_all(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncated_tail_record_is_dropped() {
+        let path = tmp("truncated");
+        {
+            let mut j = Journal::create(&path).unwrap();
+            j.append(&events()).unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let evs = Journal::read_all(&path).unwrap();
+        assert_eq!(evs, events()[..2]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_header_is_corrupt() {
+        let path = tmp("badheader");
+        std::fs::write(&path, b"NOTAMAGIC").unwrap();
+        assert!(matches!(
+            Journal::read_all(&path),
+            Err(ServiceError::CorruptFile(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,221 @@
+//! The channel-based service front door.
+//!
+//! [`BrokerService::start`] runs a [`ServiceCore`] on its own thread and
+//! hands back a [`ServiceHandle`] — a cheap, cloneable ingestion client.
+//! Clients submit publish/subscribe/request events as individual
+//! messages with no pre-merged timeline; the service thread owns all
+//! ordering (the channel's FIFO order *is* the event order).
+
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use pscd_types::LiveEvent;
+
+use crate::config::{ServiceConfig, ServiceError};
+use crate::core::{ServiceCore, ServiceOutcome};
+
+enum Command {
+    Ingest(Vec<LiveEvent>),
+    Flush,
+    Snapshot,
+    Shutdown(Sender<Result<ServiceOutcome, ServiceError>>),
+    /// Drop the core on the spot — no flush, no snapshot. Simulates a
+    /// crash for the recovery tests.
+    Kill,
+}
+
+impl std::fmt::Debug for Command {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Command::Ingest(evs) => write!(f, "Ingest({} events)", evs.len()),
+            Command::Flush => write!(f, "Flush"),
+            Command::Snapshot => write!(f, "Snapshot"),
+            Command::Shutdown(_) => write!(f, "Shutdown"),
+            Command::Kill => write!(f, "Kill"),
+        }
+    }
+}
+
+/// A running broker service (the thread owning a [`ServiceCore`]).
+#[derive(Debug)]
+pub struct BrokerService {
+    handle: ServiceHandle,
+    join: Option<JoinHandle<()>>,
+}
+
+/// An ingestion client for a running [`BrokerService`]. Clone freely;
+/// all clones feed the same service thread.
+#[derive(Debug, Clone)]
+pub struct ServiceHandle {
+    tx: Sender<Command>,
+}
+
+impl BrokerService {
+    /// Builds the service core (fresh, or recovered when `recover` is
+    /// set) and starts its thread. Construction errors are reported here,
+    /// not deferred to the first ingest.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServiceCore::new`]/[`ServiceCore::recover`] error.
+    pub fn start(config: ServiceConfig, recover: bool) -> Result<Self, ServiceError> {
+        let (tx, rx) = mpsc::channel::<Command>();
+        let (ready_tx, ready_rx) = mpsc::channel::<Result<(), ServiceError>>();
+        let join = std::thread::Builder::new()
+            .name("pscd-service".to_owned())
+            .spawn(move || service_main(config, recover, &ready_tx, &rx))?;
+        match ready_rx.recv() {
+            Ok(Ok(())) => Ok(Self {
+                handle: ServiceHandle { tx },
+                join: Some(join),
+            }),
+            Ok(Err(e)) => {
+                join.join().ok();
+                Err(e)
+            }
+            Err(_) => {
+                join.join().ok();
+                Err(ServiceError::Stopped)
+            }
+        }
+    }
+
+    /// The ingestion client.
+    pub fn handle(&self) -> ServiceHandle {
+        self.handle.clone()
+    }
+
+    /// Drains the service and returns its final state. The first error
+    /// the core hit while processing ingested events (if any) is
+    /// reported here.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Stopped`] if the service thread already exited; a
+    /// deferred ingest error or a shutdown error otherwise.
+    pub fn shutdown(mut self) -> Result<ServiceOutcome, ServiceError> {
+        let (tx, rx) = mpsc::channel();
+        self.handle
+            .tx
+            .send(Command::Shutdown(tx))
+            .map_err(|_| ServiceError::Stopped)?;
+        let outcome = rx.recv().map_err(|_| ServiceError::Stopped)?;
+        if let Some(join) = self.join.take() {
+            join.join().ok();
+        }
+        outcome
+    }
+
+    /// Kills the service without flushing or snapshotting, as a crash
+    /// would. Persisted state is whatever the journal and the last
+    /// snapshot already hold.
+    pub fn kill(mut self) {
+        self.handle.tx.send(Command::Kill).ok();
+        if let Some(join) = self.join.take() {
+            join.join().ok();
+        }
+    }
+}
+
+impl Drop for BrokerService {
+    fn drop(&mut self) {
+        if let Some(join) = self.join.take() {
+            // Closing the channel ends the service loop (without a final
+            // flush — use `shutdown` for a clean drain).
+            self.handle.tx.send(Command::Kill).ok();
+            join.join().ok();
+        }
+    }
+}
+
+impl ServiceHandle {
+    /// Submits one event.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Stopped`] if the service thread exited.
+    /// Processing errors (unknown page/server, I/O) are deferred and
+    /// reported by [`BrokerService::shutdown`].
+    pub fn submit(&self, ev: LiveEvent) -> Result<(), ServiceError> {
+        self.submit_all(vec![ev])
+    }
+
+    /// Submits a sequence of events as one message.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceHandle::submit`].
+    pub fn submit_all(&self, events: Vec<LiveEvent>) -> Result<(), ServiceError> {
+        self.tx
+            .send(Command::Ingest(events))
+            .map_err(|_| ServiceError::Stopped)
+    }
+
+    /// Asks the service to apply all buffered events now.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Stopped`] if the service thread exited.
+    pub fn flush(&self) -> Result<(), ServiceError> {
+        self.tx
+            .send(Command::Flush)
+            .map_err(|_| ServiceError::Stopped)
+    }
+
+    /// Asks the service to take a snapshot now.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Stopped`] if the service thread exited.
+    pub fn snapshot(&self) -> Result<(), ServiceError> {
+        self.tx
+            .send(Command::Snapshot)
+            .map_err(|_| ServiceError::Stopped)
+    }
+}
+
+fn service_main(
+    config: ServiceConfig,
+    recover: bool,
+    ready: &Sender<Result<(), ServiceError>>,
+    rx: &Receiver<Command>,
+) {
+    let core = if recover {
+        ServiceCore::recover(config)
+    } else {
+        ServiceCore::new(config)
+    };
+    let mut core = match core {
+        Ok(core) => {
+            ready.send(Ok(())).ok();
+            core
+        }
+        Err(e) => {
+            ready.send(Err(e)).ok();
+            return;
+        }
+    };
+    // The first processing error is latched and reported at shutdown;
+    // later commands are still accepted (ingest validation rejects whole
+    // slices, so a poisoned command never half-applies).
+    let mut deferred: Option<ServiceError> = None;
+    while let Ok(cmd) = rx.recv() {
+        let result = match cmd {
+            Command::Ingest(events) => core.ingest_all(&events),
+            Command::Flush => core.flush(),
+            Command::Snapshot => core.snapshot_now(),
+            Command::Shutdown(reply) => {
+                let outcome = match deferred.take() {
+                    Some(e) => Err(e),
+                    None => core.shutdown(),
+                };
+                reply.send(outcome).ok();
+                return;
+            }
+            Command::Kill => return,
+        };
+        if let Err(e) = result {
+            deferred.get_or_insert(e);
+        }
+    }
+}

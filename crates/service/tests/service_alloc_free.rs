@@ -1,0 +1,115 @@
+//! Proves the service's inline ingest path is allocation-free in steady
+//! state: once the subscription rows exist and the batch buffers are
+//! warm, publish/request ingestion — resolve, batch, dispatch, apply —
+//! performs no heap allocation. (Threaded fleets ship `Arc` batches and
+//! journaled services buffer writes; the claim is specifically about the
+//! in-memory `workers = 1` hot path, the service twin of the replay's
+//! `alloc_free` suite.)
+//!
+//! Everything lives in ONE `#[test]` so no harness bookkeeping (test
+//! threads, output capture) runs — and allocates — inside a measurement
+//! window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pscd_broker::PushScheme;
+use pscd_core::StrategyKind;
+use pscd_service::{ServiceConfig, ServiceCore};
+use pscd_sim::CompiledTrace;
+use pscd_topology::FetchCosts;
+use pscd_types::{LiveEvent, PageMeta};
+use pscd_workload::{Workload, WorkloadConfig};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_ingest_does_not_allocate() {
+    let w = Workload::generate(&WorkloadConfig::news_scaled(0.01)).unwrap();
+    let subs = w.subscriptions(1.0).unwrap();
+    let events = w.live_events(&subs);
+    let trace = CompiledTrace::compile(&w, &subs).unwrap();
+    let pages: Arc<[PageMeta]> = trace.pages().iter().copied().collect();
+    let costs: Vec<f64> = FetchCosts::uniform(w.server_count()).iter().collect();
+    assert!(events.len() > 1_000, "stream too small to be meaningful");
+    // Subscription churn legitimately grows the rows; warm past every
+    // subscribe plus a quarter of the traffic so the batch buffers and
+    // every engine's lazy structures have seen real load.
+    let first_traffic = events
+        .iter()
+        .position(|ev| !matches!(ev, LiveEvent::Subscribe { .. }))
+        .unwrap();
+    let warm_up = first_traffic + (events.len() - first_traffic) / 4;
+
+    // Same scope as the replay's suite: the strictly allocation-free
+    // strategies (DM and DC-AP/DC-LAP are amortized, DESIGN.md §12).
+    let strategies = [
+        StrategyKind::Lru,
+        StrategyKind::Gds,
+        StrategyKind::LfuDa,
+        StrategyKind::GdStar { beta: 2.0 },
+        StrategyKind::Sub,
+        StrategyKind::Sg1 { beta: 2.0 },
+        StrategyKind::Sg2 { beta: 2.0 },
+        StrategyKind::Sr,
+        StrategyKind::dc_fp(2.0),
+    ];
+    for kind in strategies {
+        let config = ServiceConfig::new(
+            kind,
+            trace.capacities(0.05),
+            costs.clone(),
+            PushScheme::Always,
+            Arc::clone(&pages),
+            trace.hours(),
+        )
+        .with_invalidation();
+        let mut core = ServiceCore::new(config).unwrap();
+        core.ingest_all(&events[..warm_up]).unwrap();
+        let before = allocations();
+        core.ingest_all(&events[warm_up..]).unwrap();
+        core.flush().unwrap();
+        let after = allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "{}: {} allocation(s) over {} steady-state events",
+            kind.name(),
+            after - before,
+            events.len() - warm_up,
+        );
+        let outcome = core.shutdown().unwrap();
+        assert!(outcome.result.requests > 0);
+    }
+}

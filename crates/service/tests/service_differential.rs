@@ -1,0 +1,328 @@
+//! Service-vs-batch differential suite: the live service, fed the same
+//! events one at a time through its ingestion front door, must end in
+//! **bit-identical** state to the batch replay — the same `SimResult`
+//! (hits, requests, traffic, hourly buckets, per-proxy stats) and the
+//! same serialized per-proxy cache contents — for every strategy the
+//! paper evaluates, at any worker count and batch size.
+//!
+//! The second half is the crash-recovery property: a service killed at a
+//! proptest-chosen journal offset and rebuilt via
+//! [`ServiceCore::recover`] must converge to the *uncrashed* run (and
+//! hence, transitively, to the batch replay).
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+
+use pscd_broker::PushScheme;
+use pscd_core::StrategyKind;
+use pscd_service::{BrokerService, ServiceConfig, ServiceCore, ServiceOutcome};
+use pscd_sim::{CompiledTrace, SimOptions, SimResult, Simulation};
+use pscd_topology::FetchCosts;
+use pscd_types::{LiveEvent, PageMeta, ServerId};
+use pscd_workload::{Workload, WorkloadConfig};
+
+/// Every strategy the paper evaluates (§5), plus the classic baselines.
+fn all_strategies() -> [StrategyKind; 12] {
+    [
+        StrategyKind::Lru,
+        StrategyKind::Gds,
+        StrategyKind::LfuDa,
+        StrategyKind::GdStar { beta: 2.0 },
+        StrategyKind::Sub,
+        StrategyKind::Sg1 { beta: 2.0 },
+        StrategyKind::Sg2 { beta: 2.0 },
+        StrategyKind::Sr,
+        StrategyKind::Dm { beta: 2.0 },
+        StrategyKind::dc_fp(2.0),
+        StrategyKind::DcAp { beta: 2.0 },
+        StrategyKind::dc_lap(2.0),
+    ]
+}
+
+struct Fixture {
+    trace: CompiledTrace,
+    costs: FetchCosts,
+    events: Vec<LiveEvent>,
+    pages: Arc<[PageMeta]>,
+}
+
+/// The shared workload, compiled once: the batch replay consumes the
+/// compiled trace, the service consumes the *same* facts as a flat event
+/// stream (subscriptions first, then the publish/request timeline).
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let w = Workload::generate(&WorkloadConfig::news_scaled(0.004)).unwrap();
+        let subs = w.subscriptions(1.0).unwrap();
+        let costs = FetchCosts::uniform(w.server_count());
+        let events = w.live_events(&subs);
+        let trace = CompiledTrace::compile(&w, &subs).unwrap();
+        let pages: Arc<[PageMeta]> = trace.pages().iter().copied().collect();
+        Fixture {
+            trace,
+            costs,
+            events,
+            pages,
+        }
+    })
+}
+
+const CAPACITY_FRACTION: f64 = 0.05;
+
+/// The batch reference: a sequential compiled replay, with every proxy's
+/// cache state serialized just before the result is finalized.
+fn batch_run(kind: StrategyKind, invalidate: bool) -> (SimResult, Vec<Vec<u8>>) {
+    let f = fixture();
+    let mut options = SimOptions::at_capacity(kind, CAPACITY_FRACTION);
+    if invalidate {
+        options = options.with_invalidation();
+    }
+    let mut sim = Simulation::from_compiled(&f.trace, &f.costs, &options).unwrap();
+    while sim.step().is_some() {}
+    let engine = sim.engine();
+    let proxies = (0..f.trace.server_count())
+        .map(|s| {
+            let mut blob = Vec::new();
+            engine
+                .strategy_impl(ServerId::new(s))
+                .encode_snapshot(&mut blob)
+                .unwrap();
+            blob
+        })
+        .collect();
+    (sim.finish(), proxies)
+}
+
+fn service_config(kind: StrategyKind, invalidate: bool) -> ServiceConfig {
+    let f = fixture();
+    let mut config = ServiceConfig::new(
+        kind,
+        f.trace.capacities(CAPACITY_FRACTION),
+        f.costs.iter().collect(),
+        PushScheme::Always,
+        Arc::clone(&f.pages),
+        f.trace.hours(),
+    );
+    if invalidate {
+        config = config.with_invalidation();
+    }
+    config
+}
+
+fn assert_equivalent(kind: StrategyKind, outcome: &ServiceOutcome, invalidate: bool, label: &str) {
+    let (reference, proxies) = batch_run(kind, invalidate);
+    assert_eq!(
+        outcome.result, reference,
+        "service accounting diverged from batch replay for {} ({label})",
+        reference.strategy
+    );
+    assert_eq!(outcome.result.hourly, reference.hourly);
+    assert_eq!(
+        outcome.proxies, proxies,
+        "per-proxy cache state diverged from batch replay for {} ({label})",
+        reference.strategy
+    );
+}
+
+/// Guards against a vacuous differential: the shared stream must be
+/// substantial and the reference run must actually exercise hits,
+/// misses and pushes.
+#[test]
+fn fixture_is_not_degenerate() {
+    let f = fixture();
+    assert!(f.events.len() > 1_000, "only {} events", f.events.len());
+    assert!(f
+        .events
+        .iter()
+        .any(|ev| matches!(ev, LiveEvent::Publish { .. })));
+    let (reference, _) = batch_run(StrategyKind::Sg2 { beta: 2.0 }, false);
+    assert!(reference.requests > 0);
+    assert!(reference.hits > 0);
+    assert!(reference.hits < reference.requests, "no misses exercised");
+    assert!(reference.traffic.pushed_pages > 0);
+}
+
+#[test]
+fn every_strategy_is_bit_identical_inline() {
+    let f = fixture();
+    for kind in all_strategies() {
+        let mut core = ServiceCore::new(service_config(kind, false)).unwrap();
+        core.ingest_all(&f.events).unwrap();
+        let outcome = core.shutdown().unwrap();
+        assert_equivalent(kind, &outcome, false, "workers=1");
+    }
+}
+
+#[test]
+fn every_strategy_is_bit_identical_threaded() {
+    let f = fixture();
+    for kind in all_strategies() {
+        let mut core = ServiceCore::new(
+            service_config(kind, false)
+                .with_workers(3)
+                .with_batch_size(64),
+        )
+        .unwrap();
+        // Uneven submission chunks exercise the batching boundaries.
+        for chunk in f.events.chunks(101) {
+            core.ingest_all(chunk).unwrap();
+        }
+        let outcome = core.shutdown().unwrap();
+        assert_equivalent(kind, &outcome, false, "workers=3");
+    }
+}
+
+#[test]
+fn invalidation_is_bit_identical() {
+    let f = fixture();
+    for kind in [
+        StrategyKind::GdStar { beta: 2.0 },
+        StrategyKind::Sg2 { beta: 2.0 },
+        StrategyKind::dc_lap(2.0),
+    ] {
+        for workers in [1usize, 4] {
+            let mut core =
+                ServiceCore::new(service_config(kind, true).with_workers(workers)).unwrap();
+            core.ingest_all(&f.events).unwrap();
+            let outcome = core.shutdown().unwrap();
+            assert_equivalent(kind, &outcome, true, "invalidation");
+        }
+    }
+}
+
+#[test]
+fn single_event_ingest_matches_batched_ingest() {
+    let f = fixture();
+    let kind = StrategyKind::Sg2 { beta: 2.0 };
+    let mut core = ServiceCore::new(service_config(kind, false).with_batch_size(1)).unwrap();
+    for ev in &f.events {
+        core.ingest(*ev).unwrap();
+    }
+    let outcome = core.shutdown().unwrap();
+    assert_equivalent(kind, &outcome, false, "batch_size=1");
+}
+
+#[test]
+fn channel_front_door_is_bit_identical() {
+    let f = fixture();
+    let kind = StrategyKind::GdStar { beta: 2.0 };
+    let service = BrokerService::start(service_config(kind, false).with_workers(2), false).unwrap();
+    let handle = service.handle();
+    for chunk in f.events.chunks(157) {
+        handle.submit_all(chunk.to_vec()).unwrap();
+    }
+    handle.flush().unwrap();
+    let outcome = service.shutdown().unwrap();
+    assert_equivalent(kind, &outcome, false, "channel API");
+}
+
+#[test]
+fn invalid_events_are_rejected_without_side_effects() {
+    let f = fixture();
+    let kind = StrategyKind::Lru;
+    let mut core = ServiceCore::new(service_config(kind, false)).unwrap();
+    let bad = LiveEvent::Request {
+        time: pscd_types::SimTime::ZERO,
+        server: ServerId::new(f.trace.server_count()),
+        page: pscd_types::PageId::new(0),
+    };
+    // A slice with a bad event is rejected whole; the good prefix must
+    // not have been applied.
+    assert!(core.ingest_all(&[f.events[0], bad]).is_err());
+    assert_eq!(core.events_applied(), 0);
+    core.ingest_all(&f.events).unwrap();
+    let outcome = core.shutdown().unwrap();
+    assert_equivalent(kind, &outcome, false, "after rejected ingest");
+}
+
+/// A convergence-relevant subset of the lineup: one representative per
+/// state shape (list-backed, heap-backed, subscription-aware, dual, and
+/// the adaptive pair), keeping the proptest affordable.
+fn recovery_strategies() -> [StrategyKind; 6] {
+    [
+        StrategyKind::Lru,
+        StrategyKind::GdStar { beta: 2.0 },
+        StrategyKind::Sg2 { beta: 2.0 },
+        StrategyKind::Dm { beta: 2.0 },
+        StrategyKind::DcAp { beta: 2.0 },
+        StrategyKind::dc_fp(2.0),
+    ]
+}
+
+fn temp_service_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pscd-service-recovery-{tag}-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Kill-and-recover: ingest a prefix of the stream, crash (drop the
+    /// core without flushing or snapshotting), recover from the journal +
+    /// last snapshot, ingest the rest — the final state must be
+    /// bit-identical to the batch replay of the whole stream.
+    #[test]
+    fn recovery_converges_to_the_uncrashed_run(
+        strategy_idx in 0usize..6,
+        kill_at in 0.0f64..1.0,
+        snapshot_every in proptest::sample::select(vec![0u64, 64, 256, 1024]),
+        chunk in proptest::sample::select(vec![1usize, 7, 50]),
+    ) {
+        let f = fixture();
+        let kind = recovery_strategies()[strategy_idx];
+        let k = (kill_at * f.events.len() as f64) as usize;
+        let dir = temp_service_dir(&format!("{strategy_idx}-{snapshot_every}-{chunk}"));
+        let config = service_config(kind, false).with_persistence(dir.clone(), snapshot_every);
+
+        let mut core = ServiceCore::new(config.clone()).unwrap();
+        for c in f.events[..k].chunks(chunk) {
+            core.ingest_all(c).unwrap();
+        }
+        prop_assert_eq!(core.events_applied(), k as u64);
+        // Crash: drop without flush or snapshot. Buffered (undispatched)
+        // events are in the journal, so recovery replays them.
+        drop(core);
+
+        let mut recovered = ServiceCore::recover(config).unwrap();
+        prop_assert_eq!(recovered.events_applied(), k as u64);
+        recovered.ingest_all(&f.events[k..]).unwrap();
+        let outcome = recovered.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        let (reference, proxies) = batch_run(kind, false);
+        prop_assert_eq!(&outcome.result, &reference);
+        prop_assert_eq!(&outcome.proxies, &proxies);
+    }
+
+    /// The channel front door's crash path: `kill` drops the core
+    /// mid-stream; a recovered service finishes the run identically.
+    #[test]
+    fn killed_service_recovers_through_the_front_door(
+        kill_at in 0.1f64..0.9,
+    ) {
+        let f = fixture();
+        let kind = StrategyKind::Sg2 { beta: 2.0 };
+        let k = (kill_at * f.events.len() as f64) as usize;
+        let dir = temp_service_dir("front-door");
+        let config = service_config(kind, false).with_persistence(dir.clone(), 512);
+
+        let service = BrokerService::start(config.clone(), false).unwrap();
+        let handle = service.handle();
+        handle.submit_all(f.events[..k].to_vec()).unwrap();
+        service.kill();
+
+        let recovered = BrokerService::start(config, true).unwrap();
+        recovered.handle().submit_all(f.events[k..].to_vec()).unwrap();
+        let outcome = recovered.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        let (reference, proxies) = batch_run(kind, false);
+        prop_assert_eq!(&outcome.result, &reference);
+        prop_assert_eq!(&outcome.proxies, &proxies);
+    }
+}

@@ -47,6 +47,7 @@
 #![warn(missing_debug_implementations)]
 
 mod error;
+pub mod live;
 mod merge;
 mod metrics;
 pub use pscd_pool as pool;

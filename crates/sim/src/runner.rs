@@ -620,15 +620,14 @@ impl<O: Observer> ReplayState<O> {
                     self.obs
                         .notify(ev.time, ev.page, trace.matched(ordinal).len());
                 }
-                let mut pushed = 0;
-                self.engine
-                    .publish_into(meta, matched, &mut self.push_scratch);
-                for record in &self.push_scratch {
-                    if record.transferred {
-                        self.hourly.record_push(ev.time, meta.size());
-                        pushed += 1;
-                    }
-                }
+                let pushed = crate::live::apply_publish(
+                    &mut self.engine,
+                    &mut self.hourly,
+                    meta,
+                    ev.time,
+                    matched,
+                    &mut self.push_scratch,
+                );
                 if self.start == 0 {
                     self.obs.publish(
                         ev.time,
@@ -646,13 +645,17 @@ impl<O: Observer> ReplayState<O> {
             }
             CompiledEventKind::Request { server, subs } => {
                 let meta = trace.page(ev.page);
-                let record = self
-                    .engine
-                    .request_with_subs(server, meta, subs)
-                    .expect("requests filtered to the replay range");
+                let record = crate::live::apply_request(
+                    &mut self.engine,
+                    &mut self.hourly,
+                    server,
+                    meta,
+                    ev.time,
+                    subs,
+                )
+                .expect("requests filtered to the replay range");
                 self.obs
                     .request(ev.time, server, ev.page, meta.size(), record.hit);
-                self.hourly.record_request(ev.time, record.hit, meta.size());
                 Some(StepEvent::Requested {
                     page: ev.page,
                     server,

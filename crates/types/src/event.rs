@@ -42,9 +42,75 @@ impl RequestEvent {
     }
 }
 
+/// One message arriving at a live broker's front door: the service-mode
+/// equivalent of a pre-merged replay timeline, where subscriptions,
+/// publications, and requests are individual ingest events instead of
+/// precompiled tables.
+///
+/// Events carry their simulated timestamp (used for hourly accounting);
+/// subscriptions are instantaneous control messages and carry none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LiveEvent {
+    /// Sets the number of subscriptions matching `page` at `server`.
+    Subscribe {
+        /// The page the subscriptions match.
+        page: PageId,
+        /// The proxy the subscribers are attached to.
+        server: ServerId,
+        /// The new subscription count (replaces the previous one).
+        count: u32,
+    },
+    /// A page becomes available at the publisher.
+    Publish {
+        /// When the page is published.
+        time: SimTime,
+        /// The page being published.
+        page: PageId,
+    },
+    /// A subscriber attached to `server` requests `page`.
+    Request {
+        /// When the request arrives at the proxy.
+        time: SimTime,
+        /// The proxy server the requesting subscriber is attached to.
+        server: ServerId,
+        /// The requested page.
+        page: PageId,
+    },
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn live_event_variants_compare_by_field() {
+        let sub = LiveEvent::Subscribe {
+            page: PageId::new(1),
+            server: ServerId::new(2),
+            count: 3,
+        };
+        let publ = LiveEvent::Publish {
+            time: SimTime::from_secs(4),
+            page: PageId::new(5),
+        };
+        let req = LiveEvent::Request {
+            time: SimTime::from_secs(6),
+            server: ServerId::new(7),
+            page: PageId::new(8),
+        };
+        // Copy semantics and per-variant equality.
+        let copy = sub;
+        assert_eq!(copy, sub);
+        assert_ne!(sub, publ);
+        assert_ne!(publ, req);
+        assert_ne!(
+            publ,
+            LiveEvent::Publish {
+                time: SimTime::from_secs(4),
+                page: PageId::new(6),
+            }
+        );
+    }
 
     #[test]
     fn constructors_store_fields() {

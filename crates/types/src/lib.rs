@@ -43,7 +43,7 @@ mod trace;
 
 pub use bytes::Bytes;
 pub use error::TraceError;
-pub use event::{PublishEvent, RequestEvent};
+pub use event::{LiveEvent, PublishEvent, RequestEvent};
 pub use id::{PageId, ServerId};
 pub use page::{PageKind, PageMeta};
 pub use subs::{SubscriptionTable, SubscriptionTableBuilder};

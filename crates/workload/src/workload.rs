@@ -2,7 +2,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use pscd_types::{Bytes, PageMeta, PublishingStream, RequestTrace, SimTime, SubscriptionTable};
+use pscd_types::{
+    Bytes, LiveEvent, PageMeta, PublishingStream, RequestTrace, SimTime, SubscriptionTable,
+};
 
 use crate::{
     generate_publishing_legacy, generate_publishing_threads, generate_requests_legacy,
@@ -290,6 +292,53 @@ impl Workload {
         )
     }
 
+    /// Flattens the workload into the live-service event stream: every
+    /// subscription as an up-front [`LiveEvent::Subscribe`] control
+    /// message (in the table's page-major order), followed by the
+    /// publishing stream and request trace merged in time order with the
+    /// same tie-break trace compilation uses (a publish precedes a request
+    /// at the same instant). Feeding this stream to the service therefore
+    /// reproduces, event for event, the timeline trace compilation
+    /// (`CompiledTrace::compile` in `pscd-sim`) builds for batch replay.
+    pub fn live_events(&self, subs: &SubscriptionTable) -> Vec<LiveEvent> {
+        let sub_count = subs.iter().count();
+        let mut events =
+            Vec::with_capacity(sub_count + self.publishing.len() + self.requests.len());
+        events.extend(
+            subs.iter()
+                .map(|(page, server, count)| LiveEvent::Subscribe {
+                    page,
+                    server,
+                    count,
+                }),
+        );
+        let mut pubs = self.publishing.iter().peekable();
+        let mut reqs = self.requests.iter().peekable();
+        loop {
+            let publish_first = match (pubs.peek(), reqs.peek()) {
+                (Some(p), Some(r)) => p.time <= r.time,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if publish_first {
+                let p = pubs.next().expect("peeked");
+                events.push(LiveEvent::Publish {
+                    time: p.time,
+                    page: p.page,
+                });
+            } else {
+                let r = reqs.next().expect("peeked");
+                events.push(LiveEvent::Request {
+                    time: r.time,
+                    server: r.server,
+                    page: r.page,
+                });
+            }
+        }
+        events
+    }
+
     /// Per-server unique bytes requested over the whole trace — the basis
     /// for the paper's cache-capacity settings.
     pub fn unique_bytes_per_server(&self) -> Vec<Bytes> {
@@ -439,6 +488,50 @@ mod tests {
             w.requests().clone(),
         )
         .is_err());
+    }
+
+    #[test]
+    fn live_events_cover_the_whole_workload_in_time_order() {
+        let w = tiny();
+        let subs = w.subscriptions(1.0).unwrap();
+        let events = w.live_events(&subs);
+        let sub_count = subs.iter().count();
+        assert_eq!(
+            events.len(),
+            sub_count + w.publishing().len() + w.requests().len()
+        );
+        // All subscribes lead, in table order.
+        for (ev, (page, server, count)) in events.iter().zip(subs.iter()) {
+            assert_eq!(
+                *ev,
+                LiveEvent::Subscribe {
+                    page,
+                    server,
+                    count
+                }
+            );
+        }
+        // The rest is time-ordered, with publishes winning ties.
+        let mut last = SimTime::ZERO;
+        let mut publishes = 0;
+        let mut requests = 0;
+        for ev in &events[sub_count..] {
+            let time = match ev {
+                LiveEvent::Subscribe { .. } => panic!("subscribe after the timeline started"),
+                LiveEvent::Publish { time, .. } => {
+                    publishes += 1;
+                    *time
+                }
+                LiveEvent::Request { time, .. } => {
+                    requests += 1;
+                    *time
+                }
+            };
+            assert!(time >= last, "timeline out of order");
+            last = time;
+        }
+        assert_eq!(publishes, w.publishing().len());
+        assert_eq!(requests, w.requests().len());
     }
 
     #[test]
