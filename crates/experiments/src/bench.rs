@@ -19,7 +19,8 @@ use std::time::Instant;
 use pscd_core::StrategyKind;
 use pscd_matching::{Content, MatchScratch, Predicate, Subscription, SubscriptionIndex, Value};
 use pscd_sim::trace::CompiledTrace;
-use pscd_sim::{simulate_compiled, SimOptions};
+use pscd_sim::{simulate_compiled, ReplaySource, SimOptions, StreamingTrace};
+use pscd_types::SimTime;
 use pscd_workload::{Workload, WorkloadConfig};
 
 use crate::{ExperimentContext, ExperimentError, Table2, Trace};
@@ -28,11 +29,11 @@ use crate::{ExperimentContext, ExperimentError, Table2, Trace};
 pub const BENCH_SCHEMA: &str = "pscd-bench/1";
 
 /// The PR this harness ships in; names the default output file
-/// (`BENCH_7.json`).
-pub const BENCH_PR: u32 = 7;
+/// (`BENCH_8.json`).
+pub const BENCH_PR: u32 = 8;
 
 /// Minimum benchmarks a valid document must carry (the pinned suite has
-/// ten; a shrunk document means the suite silently lost coverage).
+/// thirteen; a shrunk document means the suite silently lost coverage).
 pub const MIN_BENCHMARKS: usize = 8;
 
 /// One benchmark's summarized samples.
@@ -116,6 +117,36 @@ impl BenchReport {
                 let t = Instant::now();
                 CompiledTrace::compile_threads(&workload, &subs, 0)?;
                 Ok(millis(t))
+            })?,
+        ));
+
+        // The streaming alternative to cold.compile: build the windowed
+        // source and drain one full 24-hour-window pass (same compiled
+        // events, O(window) resident), plus the peak window-buffer bytes
+        // that bound its resident compile state.
+        let window = SimTime::from_hours(24);
+        rows.push(summarize(
+            "cold.stream",
+            "ms",
+            sample(n, || {
+                let t = Instant::now();
+                let stream = StreamingTrace::new(&config, 1.0, window, 0)?;
+                let mut pass = stream.open();
+                while pass.next_window().is_some() {}
+                Ok(millis(t))
+            })?,
+        ));
+        let stream = StreamingTrace::new(&config, 1.0, window, 0)?;
+        rows.push(summarize(
+            "cold.stream.peak_bytes",
+            "MB",
+            sample(n, || {
+                let mut pass = stream.open();
+                let mut peak = 0usize;
+                while pass.next_window().is_some() {
+                    peak = peak.max(pass.buffer_bytes());
+                }
+                Ok(peak as f64 / 1e6)
             })?,
         ));
 
@@ -775,6 +806,9 @@ mod tests {
             "cold.generate.news",
             "cold.subscriptions",
             "cold.compile",
+            "cold.stream",
+            "cold.stream.peak_bytes",
+            "service.sustained_load",
             "hot_loop.gdstar",
             "hot_loop.sub",
             "hot_loop.sg2",

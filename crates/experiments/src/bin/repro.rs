@@ -17,9 +17,14 @@ use pscd_experiments::{
     VarianceStudy, BENCH_PR, PAPER_BETA,
 };
 use pscd_obs::{render_chrome_trace, NullObserver, SpanEvent, TraceSink};
-use pscd_sim::{simulate_observed_sharded_compiled_traced, SimOptions};
+use pscd_sim::{
+    simulate_observed_sharded_compiled_traced, simulate_streamed, SimOptions, StreamingTrace,
+};
+use pscd_topology::{FetchCosts, TopologyBuilder};
+use pscd_types::SimTime;
+use pscd_workload::ScenarioConfig;
 
-const USAGE: &str = "usage: repro <beta|fig3|fig4|table2|fig5|fig6|fig7|classic|lap-bounds|partition|coverage|shift|crash|invalidation|variance|ablations|all> [--scale FRACTION] [--threads N] [--csv DIR] [--obs-dir DIR [--events]] [--trace FILE]\n       repro bench [--quick] [--out FILE] [--check FILE]\n       repro serve --load [--scale FRACTION] [--threads N] [--batch N] [--dir DIR [--snapshot-every K]]";
+const USAGE: &str = "usage: repro <beta|fig3|fig4|table2|fig5|fig6|fig7|classic|lap-bounds|partition|coverage|shift|crash|invalidation|variance|ablations|all> [--scale FRACTION] [--threads N] [--stream-window HOURS] [--csv DIR] [--obs-dir DIR [--events]] [--trace FILE]\n       repro scenario <list|NAME|FILE> [--stream-window HOURS] [--threads N]\n       repro bench [--quick] [--out FILE] [--check FILE]\n       repro serve --load [--scale FRACTION] [--threads N] [--batch N] [--dir DIR [--snapshot-every K]]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,6 +39,8 @@ fn main() -> ExitCode {
     let mut bench_out: Option<PathBuf> = None;
     let mut bench_check: Option<PathBuf> = None;
     let mut load = false;
+    let mut stream_window: Option<u64> = None;
+    let mut scenario_arg: Option<String> = None;
     let mut batch = 256usize;
     let mut snapshot_every = 0u64;
     let mut serve_dir: Option<PathBuf> = None;
@@ -72,6 +79,13 @@ fn main() -> ExitCode {
                 Some(path) => trace_file = Some(PathBuf::from(path)),
                 None => {
                     eprintln!("--trace needs an output file (Chrome trace-event JSON)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--stream-window" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(h) if h > 0 => stream_window = Some(h),
+                _ => {
+                    eprintln!("--stream-window needs a positive window length in hours");
                     return ExitCode::FAILURE;
                 }
             },
@@ -118,6 +132,9 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             name if exhibit.is_none() => exhibit = Some(name.to_owned()),
+            name if exhibit.as_deref() == Some("scenario") && scenario_arg.is_none() => {
+                scenario_arg = Some(name.to_owned())
+            }
             other => {
                 eprintln!("unexpected argument: {other}\n{USAGE}");
                 return ExitCode::FAILURE;
@@ -135,6 +152,19 @@ fn main() -> ExitCode {
     if exhibit == "bench" {
         return run_bench(quick, bench_out.as_deref(), bench_check.as_deref());
     }
+    if exhibit == "scenario" {
+        let Some(arg) = scenario_arg else {
+            eprintln!("scenario needs <list|NAME|FILE>\n{USAGE}");
+            return ExitCode::FAILURE;
+        };
+        return match run_scenario(&arg, threads, stream_window) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if exhibit == "serve" {
         if !load {
             eprintln!(
@@ -150,15 +180,13 @@ fn main() -> ExitCode {
             }
         };
     }
-    match run(
-        &exhibit,
-        scale,
-        threads,
-        csv_dir.as_deref(),
-        obs_dir.as_deref(),
-        trace_file.as_deref(),
+    let outputs = Outputs {
+        csv_dir: csv_dir.as_deref(),
+        obs_dir: obs_dir.as_deref(),
+        trace_file: trace_file.as_deref(),
         events,
-    ) {
+    };
+    match run(&exhibit, scale, threads, stream_window, &outputs) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => {
             eprintln!("unknown exhibit: {exhibit}\n{USAGE}");
@@ -309,15 +337,106 @@ fn run_serve(
     Ok(())
 }
 
+/// `repro scenario`: the config-driven workload library. `list` prints
+/// the shipped scenarios; a name (or a path to a scenario text file)
+/// builds the workload through the streaming compiler and replays the
+/// figure-4 lineup on it at the paper's middle capacity.
+fn run_scenario(
+    arg: &str,
+    threads: usize,
+    stream_window: Option<u64>,
+) -> Result<(), ExperimentError> {
+    if arg == "list" {
+        println!("shipped scenarios:");
+        for s in ScenarioConfig::shipped() {
+            let config = s.workload_config()?;
+            println!(
+                "  {:<14} seed {}  {} pages  {} requests  {} days",
+                s.name,
+                s.seed,
+                config.publishing.total_pages,
+                config.requests.total_requests,
+                s.horizon_days
+            );
+        }
+        return Ok(());
+    }
+    let scenario = match ScenarioConfig::shipped_by_name(arg) {
+        Some(s) => s,
+        None => {
+            let text = std::fs::read_to_string(arg)
+                .map_err(|e| ExperimentError::Io(format!("{arg}: {e}")))?;
+            ScenarioConfig::from_text(&text)
+                .map_err(|e| ExperimentError::Io(format!("{arg}: {e}")))?
+        }
+    };
+    let window = SimTime::from_hours(stream_window.unwrap_or(24));
+    eprintln!(
+        "building scenario \"{}\" through {}-hour streaming windows …",
+        scenario.name,
+        window.as_millis() / SimTime::from_hours(1).as_millis()
+    );
+    let stream = StreamingTrace::from_scenario(&scenario, 1.0, window, threads)?;
+    let meta = stream.meta();
+    println!(
+        "scenario {}: {} pages, {} publishes, {} requests, {} proxies, {} windows, digest {:016x}",
+        scenario.name,
+        meta.pages().len(),
+        meta.publish_count(),
+        meta.request_count(),
+        meta.server_count(),
+        stream.window_count(),
+        scenario.digest()?
+    );
+    let topo = TopologyBuilder::new(meta.server_count() as usize + 1)
+        .seed(42)
+        .build()?;
+    let costs = FetchCosts::from_topology(&topo, 0)?;
+    println!(
+        "{:<8} {:>9} {:>12} {:>13}",
+        "strategy", "hit rate", "pushed pages", "fetched pages"
+    );
+    for kind in StrategyKind::figure4_lineup(PAPER_BETA) {
+        let options = SimOptions::at_capacity(kind, 0.05).with_threads(threads);
+        let result = simulate_streamed(&stream, &costs, &options)?;
+        let hit_rate = if result.requests > 0 {
+            result.hits as f64 / result.requests as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<8} {:>9.4} {:>12} {:>13}",
+            kind.name(),
+            hit_rate,
+            result.traffic.pushed_pages,
+            result.traffic.fetched_pages
+        );
+    }
+    Ok(())
+}
+
+/// Where an exhibit run writes besides stdout: CSV exports, observer
+/// audits (with or without the per-decision event log), chrome traces.
+struct Outputs<'a> {
+    csv_dir: Option<&'a std::path::Path>,
+    obs_dir: Option<&'a std::path::Path>,
+    trace_file: Option<&'a std::path::Path>,
+    events: bool,
+}
+
 fn run(
     exhibit: &str,
     scale: f64,
     threads: usize,
-    csv_dir: Option<&std::path::Path>,
-    obs_dir: Option<&std::path::Path>,
-    trace_file: Option<&std::path::Path>,
-    events: bool,
+    stream_window: Option<u64>,
+    outputs: &Outputs<'_>,
 ) -> Result<bool, ExperimentError> {
+    let &Outputs {
+        csv_dir,
+        obs_dir,
+        trace_file,
+        events,
+    } = outputs;
     let sink = if trace_file.is_some() {
         TraceSink::enabled()
     } else {
@@ -329,7 +448,11 @@ fn run(
         pscd_sim::pool::spans::enable(epoch);
     }
     eprintln!("generating workloads (scale = {scale}) …");
-    let ctx = ExperimentContext::scaled_threads_traced(scale, threads, sink.clone())?;
+    let mut ctx = ExperimentContext::scaled_threads_traced(scale, threads, sink.clone())?;
+    if let Some(hours) = stream_window {
+        eprintln!("compiling traces through {hours}-hour streaming windows …");
+        ctx = ctx.with_stream_window(SimTime::from_hours(hours));
+    }
     let all = exhibit == "all";
     let mut known = all;
     let emit = |result: &dyn ToCsv| {

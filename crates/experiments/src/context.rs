@@ -8,8 +8,9 @@ use parking_lot::Mutex;
 
 use pscd_obs::{Registry, SharedRegistry, TraceSink};
 use pscd_sim::trace::CompiledTrace;
+use pscd_sim::StreamingTrace;
 use pscd_topology::{FetchCosts, TopologyBuilder};
-use pscd_types::SubscriptionTable;
+use pscd_types::{SimTime, SubscriptionTable};
 use pscd_workload::{Workload, WorkloadConfig};
 
 use crate::ExperimentError;
@@ -63,6 +64,13 @@ pub struct ExperimentContext {
     alternative: Workload,
     costs: FetchCosts,
     threads: usize,
+    /// When set, [`compiled`](Self::compiled) builds each trace through
+    /// the streaming window compiler ([`StreamingTrace`]) at this window
+    /// size instead of the monolithic [`CompiledTrace::compile`]. The
+    /// result is bit-identical (the streaming differential suite proves
+    /// it), so every exhibit's CSV byte-compares across the two modes —
+    /// the knob trades peak compile memory for window bookkeeping.
+    stream_window: Option<SimTime>,
     /// Compiled traces keyed by `(trace, quality.to_bits())`: each
     /// `(workload, subscription table)` pair is compiled exactly once and
     /// every grid cell of every exhibit replays the shared value.
@@ -149,6 +157,7 @@ impl ExperimentContext {
             alternative,
             costs,
             threads,
+            stream_window: None,
             compiled: Mutex::new(HashMap::new()),
             cold,
             sink,
@@ -168,6 +177,21 @@ impl ExperimentContext {
     /// The configured worker-pool size (`0` = auto).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Routes every later [`compiled`](Self::compiled) call through the
+    /// streaming window compiler at `window` (`repro --stream-window`).
+    /// Purely a memory-shape knob: the compiled value is bit-identical
+    /// to the monolithic path, so downstream exhibits are unchanged.
+    #[must_use]
+    pub fn with_stream_window(mut self, window: SimTime) -> Self {
+        self.stream_window = Some(window);
+        self
+    }
+
+    /// The streaming compile window, if one is configured.
+    pub fn stream_window(&self) -> Option<SimTime> {
+        self.stream_window
     }
 
     /// The workload of one trace.
@@ -222,12 +246,23 @@ impl ExperimentContext {
             }
         }
         let workload = self.workload(trace);
-        let subs = phase(&self.cold, &self.sink, "cold.subscriptions", || {
-            workload.subscriptions_threads(quality, self.threads)
-        })?;
-        let compiled = Arc::new(phase(&self.cold, &self.sink, "cold.compile", || {
-            CompiledTrace::compile_threads(workload, &subs, self.threads)
-        })?);
+        let compiled = if let Some(window) = self.stream_window {
+            // Streaming mode: regenerate-and-compile one window at a
+            // time from the workload config (subscriptions derive from
+            // the counted per-page draws inside), then concatenate. Same
+            // value, O(window) compile memory.
+            Arc::new(phase(&self.cold, &self.sink, "cold.stream", || {
+                StreamingTrace::new(workload.config(), quality, window, self.threads)
+                    .map(|s| s.materialize())
+            })?)
+        } else {
+            let subs = phase(&self.cold, &self.sink, "cold.subscriptions", || {
+                workload.subscriptions_threads(quality, self.threads)
+            })?;
+            Arc::new(phase(&self.cold, &self.sink, "cold.compile", || {
+                CompiledTrace::compile_threads(workload, &subs, self.threads)
+            })?)
+        };
         let mut cache = self.compiled.lock();
         Ok(Arc::clone(cache.entry(key).or_insert(compiled)))
     }
@@ -306,6 +341,28 @@ mod tests {
         // A cache hit re-derives nothing, so it times nothing.
         ctx.compiled(Trace::News, 1.0).unwrap();
         assert_eq!(ctx.cold_timing().spans().len(), after.len());
+    }
+
+    #[test]
+    fn stream_window_compiles_identically() {
+        let mono = ExperimentContext::scaled(0.003)
+            .unwrap()
+            .compiled(Trace::News, 1.0)
+            .unwrap();
+        let ctx = ExperimentContext::scaled(0.003)
+            .unwrap()
+            .with_stream_window(SimTime::from_hours(12));
+        assert_eq!(ctx.stream_window(), Some(SimTime::from_hours(12)));
+        let streamed = ctx.compiled(Trace::News, 1.0).unwrap();
+        assert_eq!(*mono, *streamed);
+        let labels: Vec<String> = ctx
+            .cold_timing()
+            .spans()
+            .iter()
+            .map(|(l, _)| l.clone())
+            .collect();
+        assert!(labels.contains(&"cold.stream".into()));
+        assert!(!labels.contains(&"cold.compile".into()));
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! copied out of the subscription rows the moment it arrives, so a later
 //! subscribe in the same batch can never retroactively change it. That
 //! is what makes the service bit-identical to the batch replay, which
-//! performs the same resolution in [`CompiledTrace::compile`].
+//! performs the same resolution in [`CompiledTrace::compile`] — and the
+//! resolution state machines themselves live in [`pscd_sim::resolve`],
+//! shared verbatim by both paths.
 //!
 //! [`CompiledTrace::compile`]: pscd_sim::CompiledTrace::compile
 
@@ -20,6 +22,7 @@ use std::sync::Arc;
 use pscd_cache::snapshot::{put_u16, put_u32, put_u64};
 use pscd_cache::SnapshotReader;
 use pscd_pool::effective_threads;
+use pscd_sim::resolve::{SubscriptionRows, VersionHeads};
 use pscd_sim::{HourlySeries, SimResult};
 use pscd_types::{LiveEvent, PageId, ServerId};
 
@@ -63,11 +66,10 @@ pub struct ServiceOutcome {
 #[derive(Debug)]
 pub struct ServiceCore {
     config: ServiceConfig,
-    /// Live subscription rows, page-major, each sorted by server — the
-    /// mutable twin of [`pscd_types::SubscriptionTable`].
-    rows: Vec<Vec<(ServerId, u32)>>,
-    /// Latest published version per origin page (invalidation lineage).
-    latest_version: Vec<Option<PageId>>,
+    /// Live subscription rows (shared resolution state machine).
+    rows: SubscriptionRows,
+    /// Invalidation lineage: latest published version per origin page.
+    heads: VersionHeads,
     fleet: Fleet,
     journal: Option<Journal>,
     batch: ResolvedBatch,
@@ -106,8 +108,8 @@ impl ServiceCore {
         let fleet = Self::build_fleet(&config, None)?;
         let pages = config.pages.len();
         Ok(Self {
-            rows: vec![Vec::new(); pages],
-            latest_version: vec![None; pages],
+            rows: SubscriptionRows::new(pages),
+            heads: VersionHeads::new(pages),
             fleet,
             journal,
             batch: ResolvedBatch::with_capacity(config.batch_size, config.server_count()),
@@ -135,11 +137,16 @@ impl ServiceCore {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
             Err(e) => return Err(e.into()),
         };
-        let (k, rows, latest_version, restore) = match snapshot {
-            Some(s) => (s.events_applied, s.rows, s.latest_version, Some(s.restore)),
+        let (k, rows, heads, restore) = match snapshot {
+            Some(s) => (s.events_applied, s.rows, s.heads, Some(s.restore)),
             None => {
                 let pages = config.pages.len();
-                (0, vec![Vec::new(); pages], vec![None; pages], None)
+                (
+                    0,
+                    SubscriptionRows::new(pages),
+                    VersionHeads::new(pages),
+                    None,
+                )
             }
         };
         if (events.len() as u64) < k {
@@ -148,7 +155,7 @@ impl ServiceCore {
         let fleet = Self::build_fleet(&config, restore)?;
         let mut core = Self {
             rows,
-            latest_version,
+            heads,
             fleet,
             journal: None,
             batch: ResolvedBatch::with_capacity(config.batch_size, config.server_count()),
@@ -281,7 +288,8 @@ impl ServiceCore {
     }
 
     /// Resolves one (already bounds-checked) event into the pending
-    /// batch, updating the supervisor's live state.
+    /// batch, updating the supervisor's live state through the shared
+    /// resolution machines in [`pscd_sim::resolve`].
     fn resolve(&mut self, ev: LiveEvent) {
         self.events_applied += 1;
         match ev {
@@ -293,24 +301,13 @@ impl ServiceCore {
                 // Subscribes take effect instantly and are never
                 // dispatched: every publish resolved before this point
                 // already copied its fan-out out of the rows.
-                let row = &mut self.rows[page.as_usize()];
-                match row.binary_search_by_key(&server, |&(s, _)| s) {
-                    Ok(i) if count == 0 => {
-                        row.remove(i);
-                    }
-                    Ok(i) => row[i].1 = count,
-                    Err(_) if count == 0 => {}
-                    Err(i) => row.insert(i, (server, count)),
-                }
+                self.rows.set(page, server, count);
             }
             LiveEvent::Publish { time, page } => {
                 let meta = &self.config.pages[page.as_usize()];
-                let origin = meta.kind().origin().unwrap_or(page);
-                let supersedes = self.latest_version[origin.as_usize()].replace(page);
+                let supersedes = self.heads.publish(page, meta);
                 let pair_lo = self.batch.pairs.len() as u32;
-                self.batch
-                    .pairs
-                    .extend_from_slice(&self.rows[page.as_usize()]);
+                self.batch.pairs.extend_from_slice(self.rows.row(page));
                 let pair_hi = self.batch.pairs.len() as u32;
                 self.batch.events.push(ResolvedEvent::Publish {
                     time,
@@ -321,16 +318,11 @@ impl ServiceCore {
                 });
             }
             LiveEvent::Request { time, server, page } => {
-                let row = &self.rows[page.as_usize()];
-                let subs = row
-                    .binary_search_by_key(&server, |&(s, _)| s)
-                    .map(|i| row[i].1)
-                    .unwrap_or(0);
                 self.batch.events.push(ResolvedEvent::Request {
                     time,
                     server,
                     page,
-                    subs,
+                    subs: self.rows.subs(page, server),
                 });
             }
         }
@@ -383,14 +375,14 @@ impl ServiceCore {
         out.extend_from_slice(SNAPSHOT_MAGIC);
         put_u64(&mut out, self.events_applied);
         put_u32(&mut out, self.config.pages.len() as u32);
-        for row in &self.rows {
+        for row in self.rows.rows() {
             put_u32(&mut out, row.len() as u32);
             for &(server, count) in row {
                 put_u16(&mut out, server.index());
                 put_u32(&mut out, count);
             }
         }
-        for latest in &self.latest_version {
+        for latest in self.heads.heads() {
             put_u32(&mut out, latest.map_or(u32::MAX, PageId::index));
         }
         let hourly = snaps
@@ -466,8 +458,8 @@ impl ServiceCore {
 /// A decoded snapshot file.
 struct SnapshotState {
     events_applied: u64,
-    rows: Vec<Vec<(ServerId, u32)>>,
-    latest_version: Vec<Option<PageId>>,
+    rows: SubscriptionRows,
+    heads: VersionHeads,
     restore: Vec<ShardSnap>,
 }
 
@@ -529,10 +521,10 @@ fn decode_snapshot_file(
         }
         rows.push(row);
     }
-    let mut latest_version = Vec::with_capacity(page_count);
+    let mut heads = Vec::with_capacity(page_count);
     for _ in 0..page_count {
         let raw = r.read_u32()?;
-        latest_version.push((raw != u32::MAX).then(|| PageId::new(raw)));
+        heads.push((raw != u32::MAX).then(|| PageId::new(raw)));
     }
     let hourly = read_hourly(&mut r)?;
     let server_count = r.read_u16()?;
@@ -548,8 +540,8 @@ fn decode_snapshot_file(
     }
     Ok(SnapshotState {
         events_applied,
-        rows,
-        latest_version,
+        rows: SubscriptionRows::from_rows(rows),
+        heads: VersionHeads::from_heads(heads),
         restore: vec![ShardSnap { hourly, servers }],
     })
 }

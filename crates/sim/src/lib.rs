@@ -12,10 +12,16 @@
 //! The replay pipeline has two stages. First the strategy-independent
 //! facts of a `(Workload, SubscriptionTable)` pair — timeline order,
 //! per-publish fan-out, per-request subscription counts, invalidation
-//! lineage — are compiled **once** into an immutable [`CompiledTrace`];
-//! then any number of strategy × capacity × scheme cells replay that
-//! trace by reference ([`simulate_compiled`]), through one shared replay
-//! loop.
+//! lineage — are compiled into [`TraceWindow`]s pulled from a
+//! [`ReplaySource`]; then any number of strategy × capacity × scheme
+//! cells replay those windows through one shared replay loop. The
+//! materialized source compiles everything **once** into an immutable
+//! [`CompiledTrace`] and replays it by reference
+//! ([`simulate_compiled`]); the streaming source ([`StreamingTrace`])
+//! generates and compiles each time-window lazily from the workload
+//! config, so peak memory is bounded by the window, not the trace
+//! ([`simulate_streamed`]). The two are bit-identical (the
+//! `stream_differential` suite proves it).
 //!
 //! Because the proxies are independent caches, one run can also be
 //! sharded across threads along the proxy axis ([`SimOptions::threads`]):
@@ -51,16 +57,21 @@ pub mod live;
 mod merge;
 mod metrics;
 pub use pscd_pool as pool;
+pub mod resolve;
 mod runner;
 mod shard;
+pub mod stream;
 pub mod trace;
+pub mod window;
 
 pub use error::SimError;
 pub use metrics::{HourlySeries, SimResult};
 pub use runner::{
     simulate, simulate_compiled, simulate_observed, simulate_observed_sharded,
-    simulate_observed_sharded_compiled, simulate_observed_sharded_compiled_traced, CrashPlan,
-    SimOptions, Simulation, StepEvent,
+    simulate_observed_sharded_compiled, simulate_observed_sharded_compiled_traced,
+    simulate_windowed, CrashPlan, SimOptions, Simulation, StepEvent,
 };
 pub use shard::ShardPlan;
+pub use stream::{simulate_streamed, StreamingTrace, StreamingWindows};
 pub use trace::{CompiledEvent, CompiledEventKind, CompiledTrace};
+pub use window::{CompiledWindows, ReplayMeta, ReplaySource, TraceWindow};

@@ -1,0 +1,234 @@
+//! Strategy-independent event resolution, shared by trace compilation
+//! and the live service supervisor.
+//!
+//! Resolving an event stream means turning raw publish/subscribe/request
+//! events into their replayable facts: a publish's matched-proxy fan-out
+//! frozen at publish time, the per-origin version head it supersedes
+//! (invalidation lineage), and a request's subscription count at request
+//! time. Batch compilation ([`CompiledTrace`](crate::CompiledTrace)),
+//! the streaming source ([`StreamingTrace`](crate::StreamingTrace)) and
+//! the live service (`pscd-service`) all perform exactly this resolution
+//! — the service's differential suite proves they end bit-identical — so
+//! the state machines live here, once, and every resolver calls them.
+
+use pscd_types::{PageId, PageMeta, ServerId};
+
+/// The invalidation lineage: the latest published version per *origin*
+/// page. A publish of page `p` with origin `o` (itself for originals)
+/// supersedes whatever version was previously the head of `o`.
+///
+/// Dense over the page universe — origins are page ids — so lineage
+/// lookups are flat indexing and carrying the heads across streaming
+/// window boundaries is an explicit, inspectable value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionHeads {
+    heads: Vec<Option<PageId>>,
+}
+
+impl VersionHeads {
+    /// Empty lineage over a `page_count`-page universe (no version
+    /// published yet).
+    pub fn new(page_count: usize) -> Self {
+        Self {
+            heads: vec![None; page_count],
+        }
+    }
+
+    /// Rebuilds carried lineage state (service snapshot recovery).
+    pub fn from_heads(heads: Vec<Option<PageId>>) -> Self {
+        Self { heads }
+    }
+
+    /// Records the publish of `page` (described by `meta`) and returns
+    /// the version it supersedes: the previous head of `page`'s origin,
+    /// or `None` for a first version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page's origin is outside the page universe.
+    #[inline]
+    pub fn publish(&mut self, page: PageId, meta: &PageMeta) -> Option<PageId> {
+        let origin = meta.kind().origin().unwrap_or(page);
+        self.heads[origin.as_usize()].replace(page)
+    }
+
+    /// The raw heads, indexed by origin page (snapshot encoding).
+    pub fn heads(&self) -> &[Option<PageId>] {
+        &self.heads
+    }
+
+    /// Size of the page universe the lineage covers.
+    pub fn page_count(&self) -> usize {
+        self.heads.len()
+    }
+}
+
+/// Live per-(page, server) subscription counts: page-major rows, each
+/// sorted by server id — the mutable twin of
+/// [`SubscriptionTable`](pscd_types::SubscriptionTable).
+///
+/// A publish freezes its fan-out by copying the page's current row; a
+/// request reads its subscription count from the row as of request time.
+/// Both are order-sensitive against subscribes, which is why every
+/// resolver must share this one implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubscriptionRows {
+    rows: Vec<Vec<(ServerId, u32)>>,
+}
+
+impl SubscriptionRows {
+    /// Empty rows over a `page_count`-page universe.
+    pub fn new(page_count: usize) -> Self {
+        Self {
+            rows: vec![Vec::new(); page_count],
+        }
+    }
+
+    /// Rebuilds carried rows (service snapshot recovery).
+    pub fn from_rows(rows: Vec<Vec<(ServerId, u32)>>) -> Self {
+        Self { rows }
+    }
+
+    /// Applies a subscribe: sets `(page, server)` to `count`, inserting,
+    /// updating or (at `count == 0`) removing the pair while keeping the
+    /// row sorted by server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is outside the page universe.
+    #[inline]
+    pub fn set(&mut self, page: PageId, server: ServerId, count: u32) {
+        let row = &mut self.rows[page.as_usize()];
+        match row.binary_search_by_key(&server, |&(s, _)| s) {
+            Ok(i) if count == 0 => {
+                row.remove(i);
+            }
+            Ok(i) => row[i].1 = count,
+            Err(_) if count == 0 => {}
+            Err(i) => row.insert(i, (server, count)),
+        }
+    }
+
+    /// The current `(server, count)` row of `page`, sorted by server —
+    /// what a publish freezes into its fan-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is outside the page universe.
+    #[inline]
+    pub fn row(&self, page: PageId) -> &[(ServerId, u32)] {
+        &self.rows[page.as_usize()]
+    }
+
+    /// The subscription count of `(page, server)` right now — what a
+    /// request resolves against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is outside the page universe.
+    #[inline]
+    pub fn subs(&self, page: PageId, server: ServerId) -> u32 {
+        let row = &self.rows[page.as_usize()];
+        row.binary_search_by_key(&server, |&(s, _)| s)
+            .map(|i| row[i].1)
+            .unwrap_or(0)
+    }
+
+    /// All rows, page-major (snapshot encoding).
+    pub fn rows(&self) -> &[Vec<(ServerId, u32)>] {
+        &self.rows
+    }
+
+    /// Size of the page universe the rows cover.
+    pub fn page_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscd_types::{Bytes, PageKind, SimTime};
+
+    fn meta(id: u32, kind: PageKind) -> PageMeta {
+        PageMeta::new(PageId::new(id), Bytes::new(100), SimTime::ZERO, kind)
+    }
+
+    #[test]
+    fn version_heads_track_origin_lineage() {
+        let mut heads = VersionHeads::new(4);
+        // Original page 0, then two modified versions with origin 0.
+        assert_eq!(
+            heads.publish(PageId::new(0), &meta(0, PageKind::Original)),
+            None
+        );
+        assert_eq!(
+            heads.publish(
+                PageId::new(2),
+                &meta(
+                    2,
+                    PageKind::Modified {
+                        origin: PageId::new(0),
+                        version: 1
+                    }
+                )
+            ),
+            Some(PageId::new(0))
+        );
+        assert_eq!(
+            heads.publish(
+                PageId::new(3),
+                &meta(
+                    3,
+                    PageKind::Modified {
+                        origin: PageId::new(0),
+                        version: 1
+                    }
+                )
+            ),
+            Some(PageId::new(2))
+        );
+        // An unrelated original has its own lineage.
+        assert_eq!(
+            heads.publish(PageId::new(1), &meta(1, PageKind::Original)),
+            None
+        );
+        assert_eq!(heads.heads()[0], Some(PageId::new(3)));
+        assert_eq!(heads.heads()[1], Some(PageId::new(1)));
+        // Round-trips through raw heads.
+        let rebuilt = VersionHeads::from_heads(heads.heads().to_vec());
+        assert_eq!(rebuilt, heads);
+    }
+
+    #[test]
+    fn subscription_rows_insert_update_remove_keep_order() {
+        let mut rows = SubscriptionRows::new(2);
+        let page = PageId::new(1);
+        rows.set(page, ServerId::new(5), 3);
+        rows.set(page, ServerId::new(1), 7);
+        rows.set(page, ServerId::new(9), 2);
+        assert_eq!(
+            rows.row(page),
+            &[
+                (ServerId::new(1), 7),
+                (ServerId::new(5), 3),
+                (ServerId::new(9), 2)
+            ]
+        );
+        // Update in place.
+        rows.set(page, ServerId::new(5), 4);
+        assert_eq!(rows.subs(page, ServerId::new(5)), 4);
+        // Zero removes; zero on an absent pair is a no-op.
+        rows.set(page, ServerId::new(1), 0);
+        rows.set(page, ServerId::new(3), 0);
+        assert_eq!(
+            rows.row(page),
+            &[(ServerId::new(5), 4), (ServerId::new(9), 2)]
+        );
+        assert_eq!(rows.subs(page, ServerId::new(1)), 0);
+        assert!(rows.row(PageId::new(0)).is_empty());
+        // Round-trips through raw rows.
+        let rebuilt = SubscriptionRows::from_rows(rows.rows().to_vec());
+        assert_eq!(rebuilt, rows);
+    }
+}

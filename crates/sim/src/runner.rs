@@ -1,12 +1,13 @@
 //! The discrete-event simulation runner.
 //!
 //! Since the compiled-trace refactor there is exactly **one** replay loop
-//! in the simulator: [`ReplayState::step`], driven over a
-//! [`CompiledTrace`]. The sequential runner is a replay over the full
-//! server range; a shard worker is the same replay over `[start, end)`
-//! (see `shard.rs`); a grid cell is a replay over a compiled trace shared
-//! by reference. Nothing re-derives timeline order, fan-outs,
-//! subscription counts or invalidation lineage per run.
+//! in the simulator: [`ReplayState::step`], driven over compiled
+//! [`TraceWindow`]s. The sequential runner replays the full server range
+//! over one whole-trace window; a shard worker is the same replay over
+//! `[start, end)` (see `shard.rs`); a windowed run pulls bounded chunks
+//! from any [`ReplaySource`] ([`simulate_windowed`]). Nothing re-derives
+//! timeline order, fan-outs, subscription counts or invalidation lineage
+//! per run.
 
 use serde::{Deserialize, Serialize};
 
@@ -22,6 +23,7 @@ use pscd_types::{ServerId, SimTime, SubscriptionTable};
 use pscd_workload::Workload;
 
 use crate::trace::{CompiledEventKind, CompiledTrace};
+use crate::window::{ReplayMeta, ReplaySource, TraceWindow};
 use crate::{HourlySeries, SimError, SimResult};
 
 /// A fault-injection plan: at `time`, a `fraction` of the proxies crash
@@ -324,6 +326,44 @@ pub fn simulate_observed_sharded_compiled_traced<O: MergeableObserver>(
     ))
 }
 
+/// [`simulate_compiled`] over any [`ReplaySource`]: pulls compiled
+/// [`TraceWindow`]s one bounded chunk at a time and replays them through
+/// the same [`ReplayState`] loop, sequentially on the calling thread
+/// ([`SimOptions::threads`] is ignored here — sharding a source needs one
+/// source per worker; see `simulate_streamed`). With a
+/// [`CompiledTrace::windows`] source the result is bit-identical to
+/// [`simulate_compiled`] at every window size; with a
+/// [`StreamingTrace`](crate::StreamingTrace) source peak memory stays
+/// O(window) instead of O(trace). Both claims are proved by the
+/// `stream_differential` suite.
+///
+/// The source is consumed: windows are pulled until it returns `None`.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the fetch-cost vector does not cover the
+/// source's proxies or an option is out of range.
+pub fn simulate_windowed<S: ReplaySource>(
+    source: &mut S,
+    costs: &FetchCosts,
+    options: &SimOptions,
+) -> Result<SimResult, SimError> {
+    validate_meta(source.meta(), costs, options)?;
+    let servers = source.meta().server_count();
+    let mut state = ReplayState::new(
+        source.meta(),
+        costs,
+        options,
+        SharedObserver::disabled(),
+        0,
+        servers,
+    );
+    while let Some(window) = source.next_window() {
+        while state.step(&window).is_some() {}
+    }
+    Ok(state.finish())
+}
+
 /// Rejects mismatched inputs and invalid options; shared by every entry
 /// point that starts from a raw `(workload, subscriptions)` pair.
 pub(crate) fn validate(
@@ -356,9 +396,19 @@ pub(crate) fn validate_compiled(
     costs: &FetchCosts,
     options: &SimOptions,
 ) -> Result<(), SimError> {
-    if costs.server_count() != trace.server_count() {
+    validate_meta(trace.meta(), costs, options)
+}
+
+/// [`validate`] for entry points starting from any [`ReplaySource`] — the
+/// trace-wide facts in [`ReplayMeta`] are all validation needs.
+pub(crate) fn validate_meta(
+    meta: &ReplayMeta,
+    costs: &FetchCosts,
+    options: &SimOptions,
+) -> Result<(), SimError> {
+    if costs.server_count() != meta.server_count() {
         return Err(SimError::MismatchedCosts {
-            servers: trace.server_count(),
+            servers: meta.server_count(),
             costs: costs.server_count(),
         });
     }
@@ -425,9 +475,12 @@ pub enum StepEvent {
 /// THE replay loop: the single implementation of event processing, shared
 /// by the sequential runner (full server range) and every shard worker
 /// (its `[start, end)` range). Holds everything mutable about a replay —
-/// the engine, the cursor, pending crash/invalidation — while the
-/// [`CompiledTrace`] it replays is passed by reference into each call, so
-/// one immutable trace can feed any number of concurrent replays.
+/// the engine, the global cursor, pending crash/invalidation — while the
+/// timeline arrives as [`TraceWindow`]s passed by reference into each
+/// call: the whole trace at once ([`CompiledTrace::full_window`]), or one
+/// bounded chunk at a time from any [`ReplaySource`]. The state carries
+/// nothing window-local, so window boundaries are invisible to replay
+/// semantics (the `stream_differential` suite proves it).
 #[derive(Debug)]
 pub(crate) struct ReplayState<O: Observer> {
     options: SimOptions,
@@ -436,10 +489,14 @@ pub(crate) struct ReplayState<O: Observer> {
     /// Full-fleet capacities (crash restarts index by global server id).
     capacities: Vec<pscd_types::Bytes>,
     hourly: HourlySeries,
-    /// Next timeline index to process.
+    /// Next *global* timeline index to process.
     cursor: usize,
-    /// Precomputed crash-insertion point; `None` once fired (or no plan).
-    crash_at: Option<usize>,
+    /// Pending crash instant; `None` once fired (or no plan). Compared
+    /// against each owned event's time — on the time-sorted timeline this
+    /// is exactly the "first event at or after the crash instant" index
+    /// the pre-window runner precomputed, but it needs no whole-trace
+    /// search, so it carries across window seams for free.
+    crash_at: Option<SimTime>,
     /// Crash victims inside `[start, end)`, resolved from the full fleet.
     victims: Vec<ServerId>,
     /// An invalidation to report before processing the next event.
@@ -458,18 +515,18 @@ impl<O: Observer> ReplayState<O> {
     /// Builds the proxy fleet for servers `[start, end)`. Options must
     /// already be validated.
     pub(crate) fn new(
-        trace: &CompiledTrace,
+        meta: &ReplayMeta,
         costs: &FetchCosts,
         options: &SimOptions,
         obs: SharedObserver<O>,
         start: u16,
         end: u16,
     ) -> Self {
-        let capacities = trace.capacities(options.capacity_fraction);
+        let capacities = meta.capacities(options.capacity_fraction);
         // Page ids in a compiled trace are dense ordinals `0..pages()`, so
         // every per-page table can be a flat preallocated vector.
         let layout = Layout::Dense {
-            page_count: trace.pages().len(),
+            page_count: meta.pages().len(),
         };
         let strategies = (start..end)
             .map(|s| {
@@ -492,13 +549,13 @@ impl<O: Observer> ReplayState<O> {
         .expect("lengths match by construction");
         // One event can evict at most the page universe; size the eviction
         // scratch once so the hot loop never grows it.
-        engine.reserve_evict_scratch(trace.pages().len());
+        engine.reserve_evict_scratch(meta.pages().len());
         // Victims are resolved over the *full* fleet (a pure function of
         // the seed) and filtered to the range, so fault injection hits
         // exactly the proxies it hits sequentially.
         let victims = options
             .crash
-            .map(|plan| plan.victims(trace.server_count()))
+            .map(|plan| plan.victims(meta.server_count()))
             .unwrap_or_default()
             .into_iter()
             .filter(|v| (start..end).contains(&v.index()))
@@ -508,9 +565,9 @@ impl<O: Observer> ReplayState<O> {
             engine,
             obs,
             capacities,
-            hourly: HourlySeries::new(trace.hours()),
+            hourly: HourlySeries::new(meta.hours()),
             cursor: 0,
-            crash_at: options.crash.map(|plan| trace.crash_index(plan.time)),
+            crash_at: options.crash.map(|plan| plan.time),
             victims,
             pending_invalidation: None,
             layout,
@@ -540,18 +597,23 @@ impl<O: Observer> ReplayState<O> {
         &self.engine
     }
 
-    /// Processes the next timeline event of `trace` owned by this
-    /// replay's server range. Returns `None` when the timeline is
-    /// exhausted.
-    pub(crate) fn step(&mut self, trace: &CompiledTrace) -> Option<StepEvent> {
+    /// Processes the next timeline event of `window` owned by this
+    /// replay's server range. Returns `None` when the window is exhausted
+    /// — the driver then pulls the next window from its source (a `None`
+    /// on the final window ends the replay).
+    pub(crate) fn step(&mut self, window: &TraceWindow<'_>) -> Option<StepEvent> {
         if let Some((stale, proxies)) = self.pending_invalidation.take() {
             return Some(StepEvent::Invalidated { stale, proxies });
         }
-        let events = trace.events();
+        let events = window.events();
+        debug_assert!(
+            self.cursor >= window.start_index(),
+            "window behind the replay cursor"
+        );
         // A partial-range replay (a shard worker) skips requests owned by
         // other shards — a cursor advance with no observer or engine
         // traffic. The full-range replay never enters this loop body.
-        while let Some(ev) = events.get(self.cursor) {
+        while let Some(ev) = events.get(self.cursor - window.start_index()) {
             match ev.kind {
                 CompiledEventKind::Request { server, .. }
                     if !(self.start..self.end).contains(&server.index()) =>
@@ -561,15 +623,17 @@ impl<O: Observer> ReplayState<O> {
                 _ => break,
             }
         }
-        let ev = *events.get(self.cursor)?;
+        let ev = *events.get(self.cursor - window.start_index())?;
         // Stamp the clock first so decision events fired by the engines
         // below carry this event's simulation time.
         self.obs.clock(ev.time);
         // Fault injection fires before the first owned event at/after its
-        // instant: `cursor >= crash_at` iff `ev.time >= plan.time`, since
-        // the timeline is time-sorted. The crash consumes no event.
+        // instant — the time comparison on a time-sorted timeline is
+        // exactly the precomputed crash-index check, window seams
+        // included (a crash instant falling between windows fires before
+        // the next window's first event). The crash consumes no event.
         if let Some(at) = self.crash_at {
-            if self.cursor >= at {
+            if ev.time >= at {
                 self.crash_at = None;
                 if !self.victims.is_empty() || self.full_range() {
                     self.obs.crash(ev.time, &self.victims);
@@ -600,7 +664,7 @@ impl<O: Observer> ReplayState<O> {
                 ordinal,
                 supersedes,
             } => {
-                let meta = trace.page(ev.page);
+                let meta = window.page(ev.page);
                 if self.options.invalidate_stale {
                     // The superseded version was resolved at compile time;
                     // drop it from every cache in range before notifying.
@@ -612,13 +676,13 @@ impl<O: Observer> ReplayState<O> {
                         }
                     }
                 }
-                let matched = trace.matched_in(ordinal, self.start, self.end);
+                let matched = window.matched_in(ordinal, self.start, self.end);
                 // Timeline-wide events are reported once: the range owning
                 // server 0 fires notify/publish with the *global* matched
                 // count (`pushed` stays range-local).
                 if self.start == 0 {
                     self.obs
-                        .notify(ev.time, ev.page, trace.matched(ordinal).len());
+                        .notify(ev.time, ev.page, window.matched(ordinal).len());
                 }
                 let pushed = crate::live::apply_publish(
                     &mut self.engine,
@@ -633,7 +697,7 @@ impl<O: Observer> ReplayState<O> {
                         ev.time,
                         ev.page,
                         meta.size(),
-                        trace.matched(ordinal).len(),
+                        window.matched(ordinal).len(),
                         pushed,
                     );
                 }
@@ -644,7 +708,7 @@ impl<O: Observer> ReplayState<O> {
                 })
             }
             CompiledEventKind::Request { server, subs } => {
-                let meta = trace.page(ev.page);
+                let meta = window.page(ev.page);
                 let record = crate::live::apply_request(
                     &mut self.engine,
                     &mut self.hourly,
@@ -831,7 +895,7 @@ impl<'a, O: Observer> Simulation<'a, O> {
         obs: SharedObserver<O>,
     ) -> Self {
         let servers = trace.get().server_count();
-        let state = ReplayState::new(trace.get(), costs, options, obs, 0, servers);
+        let state = ReplayState::new(trace.get().meta(), costs, options, obs, 0, servers);
         Self {
             trace,
             costs: costs.clone(),
@@ -860,7 +924,8 @@ impl<'a, O: Observer> Simulation<'a, O> {
     /// triggers). Returns `None` when the timeline is exhausted.
     pub fn step(&mut self) -> Option<StepEvent> {
         let Self { trace, state, .. } = self;
-        state.step(trace.get())
+        let window = trace.get().full_window();
+        state.step(&window)
     }
 
     /// Drains the remaining timeline and returns the result.

@@ -41,6 +41,7 @@ use pscd_topology::FetchCosts;
 use crate::pool::parallel_indexed;
 use crate::runner::{ReplayState, SimOptions};
 use crate::trace::CompiledTrace;
+use crate::window::{ReplayMeta, ReplaySource, TraceWindow};
 use crate::SimResult;
 
 /// A partition of the proxy fleet into contiguous
@@ -129,11 +130,12 @@ pub(crate) fn run_sharded<O: MergeableObserver>(
 /// disabled path never enters the chunked loop at all.
 const REPLAY_CHUNK: usize = 8192;
 
-/// Drains `state` in [`REPLAY_CHUNK`]-sized chunks, recording one span
-/// per chunk (label `replay.<strategy>`, detail = the cursor range).
+/// Drains one window of `state` in [`REPLAY_CHUNK`]-sized chunks,
+/// recording one span per chunk (label `replay.<strategy>`, detail = the
+/// cursor range).
 fn replay_chunked<O: Observer>(
     state: &mut ReplayState<O>,
-    trace: &CompiledTrace,
+    window: &TraceWindow<'_>,
     rec: &mut TraceRecorder,
 ) {
     let label = format!("replay.{}", state.options().strategy.name());
@@ -141,7 +143,7 @@ fn replay_chunked<O: Observer>(
         let from = state.cursor();
         let span = rec.begin();
         let mut n = 0usize;
-        while n < REPLAY_CHUNK && state.step(trace).is_some() {
+        while n < REPLAY_CHUNK && state.step(window).is_some() {
             n += 1;
         }
         let to = state.cursor();
@@ -171,12 +173,13 @@ pub(crate) fn run_sharded_traced<O: MergeableObserver>(
     let shard_outputs = parallel_indexed(plan.shards(), threads, |k| {
         let (start, end) = plan.range(k);
         let obs = SharedObserver::new(O::default());
-        let mut state = ReplayState::new(trace, costs, options, obs.clone(), start, end);
+        let mut state = ReplayState::new(trace.meta(), costs, options, obs.clone(), start, end);
+        let window = trace.full_window();
         if sink.is_enabled() {
             let mut rec = sink.recorder(format!("shard {k} [{start},{end})"));
-            replay_chunked(&mut state, trace, &mut rec);
+            replay_chunked(&mut state, &window, &mut rec);
         } else {
-            while state.step(trace).is_some() {}
+            while state.step(&window).is_some() {}
         }
         let result = state.finish();
         let observer = obs
@@ -186,6 +189,54 @@ pub(crate) fn run_sharded_traced<O: MergeableObserver>(
     });
     let mut result =
         SimResult::identity(options.strategy.name(), trace.hours(), trace.server_count());
+    let mut merged_obs = O::default();
+    for (shard_result, shard_obs) in shard_outputs {
+        result.absorb(&shard_result);
+        merged_obs.absorb(shard_obs);
+    }
+    (result, merged_obs)
+}
+
+/// [`run_sharded`] over any [`ReplaySource`], opened independently per
+/// shard worker: each worker calls `make()` for its own source and pulls
+/// its own window sequence. This is what makes a lazily generating source
+/// shardable at all — a window borrows its source, a
+/// [`SharedObserver`] is single-threaded, and the replay loop is
+/// sequential per shard, so sharing one source across workers is neither
+/// possible nor wanted. The price is that each shard regenerates the
+/// full window stream (shards filter the same timeline to their server
+/// range); the win is that no shard ever holds more than one window.
+/// Inputs must already be validated against `meta`.
+pub(crate) fn run_sharded_source<S, F, O>(
+    meta: &ReplayMeta,
+    make: F,
+    costs: &FetchCosts,
+    options: &SimOptions,
+    threads: usize,
+) -> (SimResult, O)
+where
+    S: ReplaySource,
+    F: Fn() -> S + Sync,
+    O: MergeableObserver,
+{
+    let plan = ShardPlan::balanced(meta.request_load(), threads);
+    let shard_outputs = parallel_indexed(plan.shards(), threads, |k| {
+        let (start, end) = plan.range(k);
+        let obs = SharedObserver::new(O::default());
+        let mut state = ReplayState::new(meta, costs, options, obs.clone(), start, end);
+        let mut source = make();
+        debug_assert_eq!(source.meta(), meta, "per-shard source disagrees on meta");
+        while let Some(window) = source.next_window() {
+            while state.step(&window).is_some() {}
+        }
+        let result = state.finish();
+        let observer = obs
+            .try_unwrap()
+            .unwrap_or_else(|_| panic!("shard dropped every observer clone"));
+        (result, observer)
+    });
+    let mut result =
+        SimResult::identity(options.strategy.name(), meta.hours(), meta.server_count());
     let mut merged_obs = O::default();
     for (shard_result, shard_obs) in shard_outputs {
         result.absorb(&shard_result);

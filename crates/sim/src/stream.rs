@@ -1,0 +1,631 @@
+//! Streaming trace compilation: bounded-memory replay straight from the
+//! workload config.
+//!
+//! [`CompiledTrace`] materializes the whole timeline — millions of events
+//! for paper-scale traces — before the first replay step. But every
+//! random draw in `pscd-workload` already comes from a per-entity
+//! substream ([`pscd_workload::seeds`]), so any page's request events can
+//! be regenerated on demand, bit for bit, without the rest of the trace.
+//! [`StreamingTrace`] exploits that: it keeps only the O(pages) artifacts
+//! resident (page table, publish stream, the [`RequestStream`] draws, the
+//! subscription table, per-page time spans) and compiles each time-window
+//! of the timeline lazily as the replay loop pulls it, carrying the
+//! cross-window state — per-origin version heads, the global publish
+//! ordinal, the global event index — explicitly in [`StreamingWindows`].
+//! Peak memory is O(window), not O(trace); the `stream_memory` suite
+//! proves it with a counting allocator.
+//!
+//! Bit-identity with the monolithic path rests on three facts:
+//!
+//! 1. **Stable time-sort commutes with time-windowing.** The monolithic
+//!    request trace is the stable time-sort of the page-major
+//!    concatenation of per-page events; filtering that order to `[t0, t1)`
+//!    equals regenerating the pages overlapping the window, filtering
+//!    per event, and stable-sorting — equal-time ties resolve page-major
+//!    either way. A scenario [`TimeWarp`] is applied per event *before*
+//!    the sort in both paths, so warping cannot reorder ties.
+//! 2. **Publish/request merging is windowable.** Windows cut the timeline
+//!    at instants, so the `publish.time <= request.time` tie-break only
+//!    ever compares events landing in the same window.
+//! 3. **Resolution is per-event or carried.** Fan-outs and subscription
+//!    counts are static table lookups; the only cross-event state,
+//!    the per-origin version heads driving `supersedes`, is carried in
+//!    [`VersionHeads`] across window seams.
+//!
+//! The `stream_differential` suite asserts [`StreamingTrace::materialize`]
+//! `==` [`CompiledTrace::compile`] and replay-result equality for every
+//! strategy across window sizes.
+
+use pscd_obs::NullObserver;
+use pscd_topology::FetchCosts;
+use pscd_types::{Bytes, PublishEvent, RequestEvent, ServerId, SimTime, SubscriptionTable};
+use pscd_workload::{
+    generate_publishing_threads, generate_subscriptions_from_counts, RequestStream, ScenarioConfig,
+    TimeWarp, WorkloadConfig, WorkloadError,
+};
+
+use crate::pool::parallel_chunked;
+use crate::resolve::VersionHeads;
+use crate::runner::{simulate_windowed, validate_meta, SimOptions};
+use crate::trace::{CompiledEvent, CompiledEventKind, CompiledTrace};
+use crate::window::{ReplayMeta, ReplaySource, TraceWindow};
+use crate::{SimError, SimResult};
+
+/// Pages per pool job in the counting scan. Scheduling granularity only —
+/// every page has its own substream, so chunking never affects output.
+const SCAN_CHUNK: usize = 256;
+
+/// A replay source that regenerates and compiles the timeline one
+/// time-window at a time, directly from the workload config.
+///
+/// Construction runs the trace-wide draws ([`RequestStream::prepare`]),
+/// the publish stream, and one counting scan over the pages (request
+/// counts per `(page, server)`, per-page time spans, the capacity/load
+/// basis) — everything O(pages + servers), never the event bulk. The
+/// subscription table is derived from the counted `P_{i,j}` exactly as
+/// `Workload::subscriptions` derives it from the materialized trace, so
+/// both paths resolve against the same table.
+///
+/// [`open`](StreamingTrace::open) starts a window pass;
+/// [`simulate_streamed`] replays one (sharded if asked);
+/// [`materialize`](StreamingTrace::materialize) rebuilds the full
+/// [`CompiledTrace`] for differential proofs and memoizing consumers.
+#[derive(Debug)]
+pub struct StreamingTrace {
+    meta: ReplayMeta,
+    /// The full publish stream, time-sorted (O(pages), kept resident).
+    publishes: Vec<PublishEvent>,
+    /// The trace-wide request draws; per-page events regenerate from it.
+    stream: RequestStream,
+    /// Optional scenario intensity remap, applied per event before each
+    /// window's stable sort (see the module docs on tie order).
+    warp: Option<TimeWarp>,
+    subscriptions: SubscriptionTable,
+    /// Warped `[first, last]` request instants per page; `None` for pages
+    /// that drew no requests. The window overlap filter.
+    page_span: Vec<Option<(SimTime, SimTime)>>,
+    /// Window length in milliseconds.
+    window_ms: u64,
+    /// Number of windows tiling `[0, horizon)`.
+    window_count: usize,
+}
+
+/// One page's contribution to the counting scan.
+struct PageScan {
+    page: u32,
+    /// `(server, requests)` in ascending server order.
+    servers: Vec<(u16, u64)>,
+    /// Warped `[first, last]` request instants.
+    span: (SimTime, SimTime),
+}
+
+impl StreamingTrace {
+    /// Builds a streaming source for `config` with subscriptions at
+    /// `quality` (coverage 1, like `Workload::subscriptions`), windows of
+    /// length `window` (`0` = one whole-horizon window), on up to
+    /// `threads` pool workers (`0` = auto, `1` = inline). Deterministic in
+    /// the config seed at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidConfig`] for invalid configs,
+    /// mismatched horizons, or an out-of-range quality.
+    pub fn new(
+        config: &WorkloadConfig,
+        quality: f64,
+        window: SimTime,
+        threads: usize,
+    ) -> Result<Self, WorkloadError> {
+        Self::with_warp(config, None, quality, window, threads)
+    }
+
+    /// [`new`](StreamingTrace::new) for a scenario: derives the workload
+    /// config and [`TimeWarp`] from `scenario` and streams the warped
+    /// timeline — bit-identical to compiling `scenario.build_threads()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidConfig`] for invalid scenarios or
+    /// an out-of-range quality.
+    pub fn from_scenario(
+        scenario: &ScenarioConfig,
+        quality: f64,
+        window: SimTime,
+        threads: usize,
+    ) -> Result<Self, WorkloadError> {
+        let config = scenario.workload_config()?;
+        let warp = scenario.time_warp()?;
+        Self::with_warp(&config, warp, quality, window, threads)
+    }
+
+    fn with_warp(
+        config: &WorkloadConfig,
+        warp: Option<TimeWarp>,
+        quality: f64,
+        window: SimTime,
+        threads: usize,
+    ) -> Result<Self, WorkloadError> {
+        if config.publishing.horizon != config.requests.horizon {
+            return Err(WorkloadError::InvalidConfig {
+                field: "horizon",
+                constraint: "publishing.horizon == requests.horizon",
+            });
+        }
+        let publishing = generate_publishing_threads(&config.publishing, config.seed, threads)?;
+        let pages = publishing.pages;
+        let stream = RequestStream::prepare(pages.len(), &config.requests, config.seed, threads)?;
+
+        // The counting scan: regenerate each page's events once, count
+        // them per server, note the warped time span — and drop them.
+        // This is the only full pass outside replay; it holds one page's
+        // events at a time per worker.
+        let scans: Vec<PageScan> = parallel_chunked(pages.len(), SCAN_CHUNK, threads, |range| {
+            let mut out = Vec::new();
+            let mut scratch: Vec<RequestEvent> = Vec::new();
+            let mut servers: Vec<u16> = Vec::new();
+            for page_idx in range {
+                if stream.count(page_idx) == 0 {
+                    continue;
+                }
+                scratch.clear();
+                stream.append_page_requests(&pages, page_idx, &mut scratch);
+                // Events are time-sorted within the page; a monotone warp
+                // keeps first/last the span ends.
+                let first = scratch.first().expect("count > 0").time;
+                let last = scratch.last().expect("count > 0").time;
+                let span = match &warp {
+                    Some(w) => (w.apply(first), w.apply(last)),
+                    None => (first, last),
+                };
+                servers.clear();
+                servers.extend(scratch.iter().map(|e| e.server.index()));
+                servers.sort_unstable();
+                let mut counts: Vec<(u16, u64)> = Vec::new();
+                for &s in servers.iter() {
+                    match counts.last_mut() {
+                        Some((prev, n)) if *prev == s => *n += 1,
+                        _ => counts.push((s, 1)),
+                    }
+                }
+                out.push(PageScan {
+                    page: page_idx as u32,
+                    servers: counts,
+                    span,
+                });
+            }
+            out
+        });
+
+        let servers = config.requests.servers;
+        let mut load = vec![0u64; servers as usize];
+        let mut unique_bytes = vec![Bytes::ZERO; servers as usize];
+        let mut page_span = vec![None; pages.len()];
+        let mut groups: Vec<(u32, Vec<(u16, u64)>)> = Vec::with_capacity(scans.len());
+        let mut request_count = 0usize;
+        for scan in scans {
+            let size = pages[scan.page as usize].size();
+            for &(s, n) in &scan.servers {
+                load[s as usize] += n;
+                unique_bytes[s as usize] += size;
+                request_count += n as usize;
+            }
+            page_span[scan.page as usize] = Some(scan.span);
+            groups.push((scan.page, scan.servers));
+        }
+
+        // Same counts, same per-page substreams, same seed derivation as
+        // `Workload::subscriptions` — hence the same table.
+        let subscriptions = generate_subscriptions_from_counts(
+            &groups,
+            pages.len(),
+            quality,
+            1.0,
+            config.seed ^ quality.to_bits(),
+            threads,
+        )?;
+
+        let horizon = config.publishing.horizon;
+        let window_ms = match window.as_millis() {
+            0 => horizon.as_millis().max(1),
+            ms => ms,
+        };
+        let window_count = (horizon.as_millis().max(1)).div_ceil(window_ms).max(1) as usize;
+        let publishes = publishing.stream.events().to_vec();
+        Ok(Self {
+            meta: ReplayMeta {
+                publish_count: publishes.len(),
+                request_count,
+                pages,
+                servers,
+                hours: (horizon.as_hours_f64().ceil() as usize).max(1),
+                horizon,
+                load,
+                unique_bytes,
+                min_capacity: Bytes::new(config.publishing.max_page_bytes),
+            },
+            publishes,
+            stream,
+            warp,
+            subscriptions,
+            page_span,
+            window_ms,
+            window_count,
+        })
+    }
+
+    /// The trace-wide replay facts (page table, fleet, capacity basis).
+    pub fn meta(&self) -> &ReplayMeta {
+        &self.meta
+    }
+
+    /// The subscription table both paths resolve against.
+    pub fn subscriptions(&self) -> &SubscriptionTable {
+        &self.subscriptions
+    }
+
+    /// Window length.
+    pub fn window_size(&self) -> SimTime {
+        SimTime::from_millis(self.window_ms)
+    }
+
+    /// Number of windows tiling the horizon.
+    pub fn window_count(&self) -> usize {
+        self.window_count
+    }
+
+    /// Starts a window pass: a [`ReplaySource`] yielding the timeline in
+    /// `window_size` slices. Each open pass regenerates the request
+    /// events window by window (reusing its buffers), carrying version
+    /// heads, publish ordinals and event indices across seams. Multiple
+    /// passes can be open concurrently — the trace itself is immutable —
+    /// which is what lets shard workers each pull their own sequence.
+    pub fn open(&self) -> StreamingWindows<'_> {
+        StreamingWindows {
+            trace: self,
+            next_window: 0,
+            publish_cursor: 0,
+            start_index: 0,
+            heads: VersionHeads::new(self.meta.pages.len()),
+            events: Vec::new(),
+            offsets: Vec::new(),
+            pairs: Vec::new(),
+            scratch: Vec::new(),
+            requests: Vec::new(),
+        }
+    }
+
+    /// Rebuilds the monolithic [`CompiledTrace`] by draining one window
+    /// pass and concatenating (rebasing each window's local CSR onto the
+    /// global pair table). The result is `==` to
+    /// [`CompiledTrace::compile`] on the materialized workload — the
+    /// differential proof, and the bridge for consumers that want to
+    /// stream the compile but memoize the result.
+    pub fn materialize(&self) -> CompiledTrace {
+        let mut events: Vec<CompiledEvent> = Vec::with_capacity(self.meta.len());
+        let mut offsets: Vec<u32> = Vec::with_capacity(self.meta.publish_count() + 1);
+        offsets.push(0);
+        let mut pairs: Vec<(ServerId, u32)> = Vec::new();
+        let mut pass = self.open();
+        while let Some(w) = pass.next_window() {
+            events.extend_from_slice(w.events());
+            let base = pairs.len() as u32;
+            for &off in &w.offsets[1..] {
+                offsets.push(base + off);
+            }
+            pairs.extend_from_slice(w.pairs);
+        }
+        CompiledTrace::from_parts(self.meta.clone(), events, offsets, pairs)
+    }
+}
+
+/// One pass over a [`StreamingTrace`]'s windows: the lazily generating
+/// [`ReplaySource`]. All cross-window replay state lives here explicitly —
+/// the carried [`VersionHeads`] (invalidation lineage), the global publish
+/// cursor/ordinal, and the global event index — while the window buffers
+/// are reused allocation-steady from window to window.
+#[derive(Debug)]
+pub struct StreamingWindows<'a> {
+    trace: &'a StreamingTrace,
+    next_window: usize,
+    /// Publishes consumed so far == the next window's ordinal base.
+    publish_cursor: usize,
+    /// Global timeline index of the next window's first event.
+    start_index: usize,
+    /// Per-origin latest versions, carried across window seams.
+    heads: VersionHeads,
+    events: Vec<CompiledEvent>,
+    offsets: Vec<u32>,
+    pairs: Vec<(ServerId, u32)>,
+    /// Per-page regeneration buffer.
+    scratch: Vec<RequestEvent>,
+    /// The window's filtered, warped, stably sorted requests.
+    requests: Vec<RequestEvent>,
+}
+
+impl StreamingWindows<'_> {
+    /// Bytes currently held in the reusable window buffers — what "peak
+    /// memory is O(window)" means concretely; the `stream_memory` suite
+    /// checks the allocator against it.
+    pub fn buffer_bytes(&self) -> usize {
+        self.events.capacity() * std::mem::size_of::<CompiledEvent>()
+            + self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.pairs.capacity() * std::mem::size_of::<(ServerId, u32)>()
+            + self.scratch.capacity() * std::mem::size_of::<RequestEvent>()
+            + self.requests.capacity() * std::mem::size_of::<RequestEvent>()
+    }
+}
+
+impl ReplaySource for StreamingWindows<'_> {
+    fn meta(&self) -> &ReplayMeta {
+        self.trace.meta()
+    }
+
+    fn next_window(&mut self) -> Option<TraceWindow<'_>> {
+        if self.next_window >= self.trace.window_count {
+            return None;
+        }
+        let trace = self.trace;
+        let k = self.next_window;
+        self.next_window += 1;
+        let t0 = SimTime::from_millis(trace.window_ms * k as u64);
+        // The final window is open-ended so clamped events at the horizon
+        // edge (and any publish at it) cannot fall between windows.
+        let t1 = if k + 1 == trace.window_count {
+            SimTime::from_millis(u64::MAX)
+        } else {
+            SimTime::from_millis(trace.window_ms * (k as u64 + 1))
+        };
+
+        // Publishes in [t0, t1): everything earlier was consumed by
+        // previous windows (the stream is time-sorted).
+        let pub_start = self.publish_cursor;
+        while self
+            .trace
+            .publishes
+            .get(self.publish_cursor)
+            .is_some_and(|p| p.time < t1)
+        {
+            self.publish_cursor += 1;
+        }
+        let window_pubs = &trace.publishes[pub_start..self.publish_cursor];
+
+        // Requests in [t0, t1): regenerate every page whose span overlaps
+        // the window, filter per event, stable-sort. Ascending page order
+        // makes the pre-sort order page-major — the same relative order
+        // the monolithic generator feeds its one stable sort, so ties
+        // land identically (see the module docs).
+        self.requests.clear();
+        for (page_idx, span) in trace.page_span.iter().enumerate() {
+            let Some((first, last)) = span else { continue };
+            if *last < t0 || *first >= t1 {
+                continue;
+            }
+            self.scratch.clear();
+            trace
+                .stream
+                .append_page_requests(&trace.meta.pages, page_idx, &mut self.scratch);
+            for ev in &self.scratch {
+                let time = match &trace.warp {
+                    Some(w) => w.apply(ev.time),
+                    None => ev.time,
+                };
+                if time >= t0 && time < t1 {
+                    self.requests
+                        .push(RequestEvent::new(time, ev.server, ev.page));
+                }
+            }
+        }
+        self.requests.sort_by_key(|e| e.time);
+
+        // Merge and resolve — the same publish-first tie-break and the
+        // same static lookups as `CompiledTrace::compile`, with the
+        // lineage carried in `self.heads` instead of a trace-local map.
+        self.events.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.pairs.clear();
+        let (mut pi, mut ri) = (0usize, 0usize);
+        while pi < window_pubs.len() || ri < self.requests.len() {
+            let publish_next = match (window_pubs.get(pi), self.requests.get(ri)) {
+                (Some(p), Some(r)) => p.time <= r.time,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if publish_next {
+                let ev = window_pubs[pi];
+                let ordinal = (pub_start + pi) as u32;
+                pi += 1;
+                let meta = &trace.meta.pages[ev.page.as_usize()];
+                let supersedes = self.heads.publish(ev.page, meta);
+                let matched = trace.subscriptions.matched_servers(ev.page);
+                self.pairs.extend_from_slice(matched);
+                self.offsets.push(self.pairs.len() as u32);
+                self.events.push(CompiledEvent {
+                    time: ev.time,
+                    page: ev.page,
+                    kind: CompiledEventKind::Publish {
+                        ordinal,
+                        supersedes,
+                    },
+                });
+            } else {
+                let ev = self.requests[ri];
+                ri += 1;
+                self.events.push(CompiledEvent {
+                    time: ev.time,
+                    page: ev.page,
+                    kind: CompiledEventKind::Request {
+                        server: ev.server,
+                        subs: trace.subscriptions.count(ev.page, ev.server),
+                    },
+                });
+            }
+        }
+
+        let start_index = self.start_index;
+        self.start_index += self.events.len();
+        Some(TraceWindow {
+            pages: &trace.meta.pages,
+            events: &self.events,
+            offsets: &self.offsets,
+            pairs: &self.pairs,
+            ordinal_base: pub_start as u32,
+            start_index,
+        })
+    }
+}
+
+/// [`simulate_compiled`](crate::simulate_compiled) without the compiled
+/// trace: replays a [`StreamingTrace`] window by window in O(window) peak
+/// memory. With [`SimOptions::threads`] beyond one the run shards along
+/// the proxy axis like the materialized path — each shard worker opens
+/// its own window pass (regenerating the stream per shard, holding one
+/// window each). Results are bit-identical to the materialized replay at
+/// every window size and thread count; the `stream_differential` suite
+/// proves it.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the fetch-cost vector does not cover the
+/// trace's proxies or an option is out of range.
+pub fn simulate_streamed(
+    trace: &StreamingTrace,
+    costs: &FetchCosts,
+    options: &SimOptions,
+) -> Result<SimResult, SimError> {
+    validate_meta(trace.meta(), costs, options)?;
+    let shards =
+        crate::pool::effective_threads(options.threads, trace.meta().server_count() as usize);
+    if shards > 1 {
+        let (result, _null) = crate::shard::run_sharded_source::<_, _, NullObserver>(
+            trace.meta(),
+            || trace.open(),
+            costs,
+            options,
+            shards,
+        );
+        return Ok(result);
+    }
+    let mut pass = trace.open();
+    simulate_windowed(&mut pass, costs, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscd_core::StrategyKind;
+    use pscd_workload::Workload;
+
+    fn config() -> WorkloadConfig {
+        WorkloadConfig::news_scaled(0.004)
+    }
+
+    fn monolithic(config: &WorkloadConfig, quality: f64) -> CompiledTrace {
+        let w = Workload::generate(config).unwrap();
+        let subs = w.subscriptions(quality).unwrap();
+        CompiledTrace::compile(&w, &subs).unwrap()
+    }
+
+    #[test]
+    fn materialized_stream_equals_monolithic_compile() {
+        let reference = monolithic(&config(), 1.0);
+        for window in [
+            SimTime::ZERO,
+            SimTime::from_hours(1),
+            SimTime::from_hours(13),
+            SimTime::from_days(2),
+            SimTime::from_days(30),
+        ] {
+            let stream = StreamingTrace::new(&config(), 1.0, window, 1).unwrap();
+            assert_eq!(stream.meta(), reference.meta(), "window = {window:?}");
+            assert_eq!(
+                stream.materialize(),
+                reference,
+                "window = {window:?} ({} windows)",
+                stream.window_count()
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_meta_and_table_match_the_workload() {
+        let w = Workload::generate(&config()).unwrap();
+        let stream = StreamingTrace::new(&config(), 0.8, SimTime::from_days(1), 2).unwrap();
+        assert_eq!(stream.subscriptions(), &w.subscriptions(0.8).unwrap());
+        assert_eq!(
+            stream.meta().request_load(),
+            &w.requests().requests_per_server(w.server_count())
+        );
+        assert_eq!(stream.meta().capacities(0.05), w.cache_capacities(0.05));
+        assert_eq!(stream.window_count(), 7);
+        assert_eq!(stream.window_size(), SimTime::from_days(1));
+    }
+
+    #[test]
+    fn windows_tile_with_carried_state() {
+        let stream = StreamingTrace::new(&config(), 1.0, SimTime::from_hours(11), 1).unwrap();
+        let mut pass = stream.open();
+        let mut next_start = 0usize;
+        let mut next_ordinal = 0u32;
+        let mut windows = 0usize;
+        while let Some(w) = pass.next_window() {
+            assert_eq!(w.start_index(), next_start);
+            next_start = w.end_index();
+            for ev in w.events() {
+                if let CompiledEventKind::Publish { ordinal, .. } = ev.kind {
+                    assert_eq!(ordinal, next_ordinal, "publish ordinals are global");
+                    next_ordinal += 1;
+                }
+            }
+            windows += 1;
+        }
+        assert_eq!(windows, stream.window_count());
+        assert_eq!(next_start, stream.meta().len());
+        assert_eq!(next_ordinal as usize, stream.meta().publish_count());
+    }
+
+    #[test]
+    fn streamed_replay_matches_compiled_replay() {
+        let reference = monolithic(&config(), 1.0);
+        let costs = FetchCosts::uniform(reference.server_count());
+        let stream = StreamingTrace::new(&config(), 1.0, SimTime::from_hours(9), 1).unwrap();
+        for kind in [StrategyKind::Sg2 { beta: 2.0 }, StrategyKind::Lru] {
+            let opt = SimOptions::at_capacity(kind, 0.05);
+            let compiled = crate::simulate_compiled(&reference, &costs, &opt).unwrap();
+            let streamed = simulate_streamed(&stream, &costs, &opt).unwrap();
+            assert_eq!(streamed, compiled);
+            // Sharded streaming merges to the same totals.
+            let sharded = simulate_streamed(&stream, &costs, &opt.with_threads(4)).unwrap();
+            assert_eq!(sharded, compiled);
+        }
+    }
+
+    #[test]
+    fn scenario_stream_matches_compiled_scenario_build() {
+        let scenario = ScenarioConfig::flash_crowds();
+        let w = scenario.build_threads(0).unwrap();
+        let subs = w.subscriptions(1.0).unwrap();
+        let reference = CompiledTrace::compile(&w, &subs).unwrap();
+        let stream =
+            StreamingTrace::from_scenario(&scenario, 1.0, SimTime::from_hours(6), 0).unwrap();
+        assert_eq!(stream.materialize(), reference);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let mut bad = config();
+        bad.requests.horizon = SimTime::from_days(3);
+        assert!(StreamingTrace::new(&bad, 1.0, SimTime::from_hours(1), 1).is_err());
+        assert!(StreamingTrace::new(&config(), 0.0, SimTime::from_hours(1), 1).is_err());
+        let stream = StreamingTrace::new(&config(), 1.0, SimTime::from_days(1), 1).unwrap();
+        let bad_costs = FetchCosts::uniform(3);
+        assert!(matches!(
+            simulate_streamed(
+                &stream,
+                &bad_costs,
+                &SimOptions::at_capacity(StrategyKind::Sub, 0.05)
+            ),
+            Err(SimError::MismatchedCosts { .. })
+        ));
+    }
+}

@@ -19,13 +19,14 @@
 //! the speed win (no per-cell re-derivation) and a determinism pillar
 //! (no consumer can see a different timeline than any other).
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use pscd_types::{Bytes, PageId, PageMeta, ServerId, SimTime, SubscriptionTable};
 use pscd_workload::Workload;
 
 use crate::pool::parallel_chunked;
+use crate::resolve::VersionHeads;
+use crate::window::{CompiledWindows, ReplayMeta, TraceWindow};
 use crate::SimError;
 
 /// Process-wide count of [`CompiledTrace::compile`] invocations; lets
@@ -108,25 +109,17 @@ pub enum CompiledEventKind {
 pub struct CompiledTrace {
     /// The merged timeline (publishes before requests at equal times).
     events: Vec<CompiledEvent>,
-    /// Page metadata, indexed by page id.
-    pages: Vec<PageMeta>,
     /// `offsets[i]..offsets[i + 1]` indexes `pairs` for publish ordinal
     /// `i` (CSR fan-out, absorbed from the old `pscd_broker::Fanout`).
     offsets: Vec<u32>,
     /// Matched `(server, count)` pairs in publish order; each publish's
     /// sublist is sorted by server id.
     pairs: Vec<(ServerId, u32)>,
-    servers: u16,
-    hours: usize,
-    horizon: SimTime,
-    publish_count: usize,
-    request_count: usize,
-    /// Requests per server — the shard-plan load vector.
-    load: Vec<u64>,
-    /// Per-server unique requested bytes — the capacity basis.
-    unique_bytes: Vec<Bytes>,
-    /// One-page minimum capacity for servers that requested nothing.
-    min_capacity: Bytes,
+    /// Trace-wide facts shared with every other [`ReplaySource`]
+    /// implementation (page table, fleet, capacity/load basis).
+    ///
+    /// [`ReplaySource`]: crate::ReplaySource
+    meta: ReplayMeta,
 }
 
 impl CompiledTrace {
@@ -182,7 +175,7 @@ impl CompiledTrace {
         // resolved here, once, into per-event `supersedes` links.
         // Request `subs` counts are left 0 and filled in phase 3.
         let mut events = Vec::with_capacity(publishes.len() + requests.len());
-        let mut latest_version: HashMap<PageId, PageId> = HashMap::new();
+        let mut latest_version = VersionHeads::new(pages.len());
         let (mut pi, mut ri) = (0usize, 0usize);
         while pi < publishes.len() || ri < requests.len() {
             let publish_next = match (publishes.get(pi), requests.get(ri)) {
@@ -195,8 +188,7 @@ impl CompiledTrace {
                 let ordinal = pi as u32;
                 pi += 1;
                 let meta = &pages[ev.page.as_usize()];
-                let origin = meta.kind().origin().unwrap_or(ev.page);
-                let supersedes = latest_version.insert(origin, ev.page);
+                let supersedes = latest_version.publish(ev.page, meta);
                 events.push(CompiledEvent {
                     time: ev.time,
                     page: ev.page,
@@ -256,18 +248,42 @@ impl CompiledTrace {
         COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
         Ok(Self {
             events,
-            pages: pages.to_vec(),
             offsets,
             pairs,
-            servers,
-            hours: (workload.horizon().as_hours_f64().ceil() as usize).max(1),
-            horizon: workload.horizon(),
-            publish_count: publishes.len(),
-            request_count: requests.len(),
-            load: workload.requests().requests_per_server(servers),
-            unique_bytes: workload.unique_bytes_per_server(),
-            min_capacity: workload.min_cache_capacity(),
+            meta: ReplayMeta {
+                pages: pages.to_vec(),
+                servers,
+                hours: (workload.horizon().as_hours_f64().ceil() as usize).max(1),
+                horizon: workload.horizon(),
+                publish_count: publishes.len(),
+                request_count: requests.len(),
+                load: workload.requests().requests_per_server(servers),
+                unique_bytes: workload.unique_bytes_per_server(),
+                min_capacity: workload.min_cache_capacity(),
+            },
         })
+    }
+
+    /// Assembles a compiled trace from already-resolved parts — how
+    /// [`StreamingTrace::materialize`](crate::StreamingTrace::materialize)
+    /// produces a value comparable (with `==`) against [`compile`]'s.
+    /// Counts as a compilation for [`compile_count`].
+    ///
+    /// [`compile`]: CompiledTrace::compile
+    /// [`compile_count`]: CompiledTrace::compile_count
+    pub(crate) fn from_parts(
+        meta: ReplayMeta,
+        events: Vec<CompiledEvent>,
+        offsets: Vec<u32>,
+        pairs: Vec<(ServerId, u32)>,
+    ) -> Self {
+        COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
+        Self {
+            events,
+            offsets,
+            pairs,
+            meta,
+        }
     }
 
     /// Process-wide number of [`compile`](CompiledTrace::compile) calls so
@@ -295,38 +311,85 @@ impl CompiledTrace {
 
     /// Number of publish events.
     pub fn publish_count(&self) -> usize {
-        self.publish_count
+        self.meta.publish_count
     }
 
     /// Number of request events.
     pub fn request_count(&self) -> usize {
-        self.request_count
+        self.meta.request_count
     }
 
     /// The page table, indexed by page id.
     pub fn pages(&self) -> &[PageMeta] {
-        &self.pages
+        &self.meta.pages
     }
 
     /// Metadata of one page.
     #[inline]
     pub fn page(&self, page: PageId) -> &PageMeta {
-        &self.pages[page.as_usize()]
+        self.meta.page(page)
     }
 
     /// Number of proxy servers.
     pub fn server_count(&self) -> u16 {
-        self.servers
+        self.meta.servers
     }
 
     /// Hour buckets covering the horizon (≥ 1).
     pub fn hours(&self) -> usize {
-        self.hours
+        self.meta.hours
     }
 
     /// The simulation horizon.
     pub fn horizon(&self) -> SimTime {
-        self.horizon
+        self.meta.horizon
+    }
+
+    /// The trace-wide replay facts, shared with every other
+    /// [`ReplaySource`](crate::ReplaySource) implementation.
+    pub fn meta(&self) -> &ReplayMeta {
+        &self.meta
+    }
+
+    /// The whole timeline as a single [`TraceWindow`] — how the
+    /// materialized trace plugs into the window-driven replay loop
+    /// without chunking overhead.
+    pub fn full_window(&self) -> TraceWindow<'_> {
+        TraceWindow {
+            pages: &self.meta.pages,
+            events: &self.events,
+            offsets: &self.offsets,
+            pairs: &self.pairs,
+            ordinal_base: 0,
+            start_index: 0,
+        }
+    }
+
+    /// A [`ReplaySource`](crate::ReplaySource) serving this trace in
+    /// `per_window`-event slices (the final slice may be shorter; a
+    /// `per_window` of 0 is treated as 1). Replaying the chunked source
+    /// is bit-identical to replaying [`full_window`] — the
+    /// `stream_differential` suite proves it.
+    ///
+    /// [`full_window`]: CompiledTrace::full_window
+    pub fn windows(&self, per_window: usize) -> CompiledWindows<'_> {
+        CompiledWindows {
+            trace: self,
+            per_window: per_window.max(1),
+            cursor: 0,
+            publishes_before: 0,
+            done: false,
+        }
+    }
+
+    /// The trace-wide CSR offsets (window sources slice these).
+    pub(crate) fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The trace-wide matched-pair table.
+    pub(crate) fn pairs(&self) -> &[(ServerId, u32)] {
+        &self.pairs
     }
 
     /// The matched `(server, subscription count)` list of publish ordinal
@@ -369,24 +432,14 @@ impl CompiledTrace {
     /// Requests per server over the whole trace — the load vector shard
     /// plans balance on.
     pub fn request_load(&self) -> &[u64] {
-        &self.load
+        &self.meta.load
     }
 
     /// Per-server cache capacities at a fraction of unique requested
     /// bytes; identical to `Workload::cache_capacities` (servers that
     /// requested nothing get a one-page minimum).
     pub fn capacities(&self, fraction: f64) -> Vec<Bytes> {
-        self.unique_bytes
-            .iter()
-            .map(|&b| {
-                let c = b.scaled(fraction);
-                if c.is_zero() {
-                    self.min_capacity
-                } else {
-                    c
-                }
-            })
-            .collect()
+        self.meta.capacities(fraction)
     }
 
     /// The precomputed crash-insertion point: the index of the first
@@ -402,6 +455,7 @@ impl CompiledTrace {
 mod tests {
     use super::*;
     use pscd_workload::WorkloadConfig;
+    use std::collections::HashMap;
 
     fn fixture() -> (Workload, SubscriptionTable) {
         let w = Workload::generate(&WorkloadConfig::news_scaled(0.004)).unwrap();

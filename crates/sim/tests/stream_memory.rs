@@ -1,0 +1,229 @@
+//! Proves the streaming claim that matters: peak memory is O(window),
+//! not O(trace).
+//!
+//! A byte-counting `#[global_allocator]` wraps the system allocator and
+//! tracks live bytes plus a high-water mark. The test measures the peak
+//! growth of (a) the monolithic path — materialize the workload, derive
+//! subscriptions, compile the full timeline — and (b) the streaming path
+//! — build a [`StreamingTrace`] and drain a whole window pass — and
+//! asserts the streaming peak is a small fraction of the monolithic one,
+//! and that shrinking the window shrinks the window-buffer footprint.
+//!
+//! The `#[ignore]`d scale test runs the ≥1M-subscription configuration
+//! end to end (`cargo test -p pscd-sim --test stream_memory --release --
+//! --ignored`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use pscd_core::StrategyKind;
+use pscd_sim::{simulate_streamed, CompiledTrace, ReplaySource, SimOptions, StreamingTrace};
+use pscd_topology::FetchCosts;
+use pscd_types::SimTime;
+use pscd_workload::{Workload, WorkloadConfig};
+
+struct ByteCountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn note_alloc(size: usize) {
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for ByteCountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note_alloc(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note_alloc(layout.size());
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // Count the grown size before the old block is released: briefly
+        // holding both halves is exactly what a realloc peak looks like.
+        note_alloc(new_size);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: ByteCountingAlloc = ByteCountingAlloc;
+
+/// Runs `f` and returns how far the allocator's high-water mark rose
+/// above the live bytes at entry — the peak memory `f` added.
+fn peak_growth<T>(f: impl FnOnce() -> T) -> (usize, T) {
+    let base = LIVE.load(Ordering::Relaxed);
+    PEAK.store(base, Ordering::Relaxed);
+    let value = f();
+    let peak = PEAK.load(Ordering::Relaxed);
+    (peak.saturating_sub(base), value)
+}
+
+/// Everything below runs single-threaded (`threads = 1`) so the peaks
+/// measure the algorithms, not pool-worker stacks racing the counter.
+#[test]
+fn streaming_peak_is_a_fraction_of_the_monolithic_peak() {
+    // Event-heavy fixture: the O(trace) term (events) must dwarf the
+    // O(pages) state both paths keep resident, or the comparison would
+    // measure page tables, not the streaming window bound.
+    let mut config = WorkloadConfig::news_scaled(0.05);
+    config.requests.total_requests *= 16;
+
+    // Monolithic: materialize the full workload, then compile the whole
+    // timeline. The trace (plus the workload's own event vectors) is the
+    // O(trace) term this peak captures.
+    let (mono_peak, len) = peak_growth(|| {
+        let w = Workload::generate_threads(&config, 1).unwrap();
+        let subs = w.subscriptions_threads(1.0, 1).unwrap();
+        let trace = CompiledTrace::compile_threads(&w, &subs, 1).unwrap();
+        trace.len()
+    });
+    assert!(len > 10_000, "fixture too small to be meaningful ({len})");
+
+    // Streaming: same timeline, 1-hour windows, never materialized.
+    let window = SimTime::from_hours(1);
+    let (stream_peak, events) = peak_growth(|| {
+        let stream = StreamingTrace::new(&config, 1.0, window, 1).unwrap();
+        let mut pass = stream.open();
+        let mut events = 0usize;
+        while let Some(w) = pass.next_window() {
+            events += w.len();
+        }
+        events
+    });
+    assert_eq!(events, len, "both paths must cover the same timeline");
+    eprintln!(
+        "16x fixture ({len} events): monolithic peak {:.2} MB, \
+         streaming peak {:.2} MB",
+        mono_peak as f64 / 1e6,
+        stream_peak as f64 / 1e6
+    );
+    assert!(
+        stream_peak * 3 < mono_peak,
+        "streaming peak {stream_peak} B is not meaningfully below the \
+         monolithic peak {mono_peak} B"
+    );
+
+    // O(window), concretely: the reusable window buffers shrink with the
+    // window. Compare the high-water buffer bytes at two window sizes.
+    let buffer_peak = |window: SimTime| {
+        let stream = StreamingTrace::new(&config, 1.0, window, 1).unwrap();
+        let mut pass = stream.open();
+        let mut peak = 0usize;
+        while pass.next_window().is_some() {
+            peak = peak.max(pass.buffer_bytes());
+        }
+        peak
+    };
+    let small = buffer_peak(SimTime::from_hours(1));
+    let large = buffer_peak(SimTime::from_days(7));
+    eprintln!(
+        "window buffers: 1 h = {:.2} MB, whole horizon = {:.2} MB",
+        small as f64 / 1e6,
+        large as f64 / 1e6
+    );
+    assert!(
+        small * 4 < large,
+        "1-hour window buffers ({small} B) should be far below \
+         whole-horizon buffers ({large} B)"
+    );
+
+    // And the streamed replay itself stays bounded: replaying from the
+    // streaming source peaks far below the monolithic compile alone.
+    let stream = StreamingTrace::new(&config, 1.0, window, 1).unwrap();
+    let costs = FetchCosts::uniform(stream.meta().server_count());
+    let options = SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05);
+    let (replay_peak, result) =
+        peak_growth(|| simulate_streamed(&stream, &costs, &options).unwrap());
+    assert!(result.requests > 0);
+    assert!(
+        replay_peak < mono_peak,
+        "streamed replay peak {replay_peak} B exceeds the monolithic \
+         compile peak {mono_peak} B"
+    );
+}
+
+/// The acceptance-scale run: a configuration carrying over a million
+/// subscriptions streams end to end with the same O(window) bound.
+/// Slow — run with `--release -- --ignored`.
+#[test]
+#[ignore = "minutes-long at 1M+ subscriptions; run with --release -- --ignored"]
+fn million_subscription_run_streams_in_window_memory() {
+    // ~6× the paper's NEWS trace: ~1.17M requests, and at quality 1 every
+    // request's (page, server) draw contributes its count to the table,
+    // so total subscriptions exceed a million.
+    let config = WorkloadConfig::news_scaled(6.0);
+    let window = SimTime::from_hours(6);
+
+    // The monolithic yardstick: materialize everything, compile the
+    // timeline. (Both paths keep the page table and the O(pairs)
+    // subscription table resident — the term streaming removes is the
+    // O(events) timeline.)
+    let (mono_peak, events) = peak_growth(|| {
+        let w = Workload::generate_threads(&config, 1).unwrap();
+        let subs = w.subscriptions_threads(1.0, 1).unwrap();
+        CompiledTrace::compile_threads(&w, &subs, 1).unwrap().len()
+    });
+    let compiled_floor = events * std::mem::size_of::<pscd_sim::CompiledEvent>();
+
+    let (build_peak, stream) =
+        peak_growth(|| StreamingTrace::new(&config, 1.0, window, 1).unwrap());
+    let total_subs: u64 = stream
+        .subscriptions()
+        .iter()
+        .map(|(_, _, count)| u64::from(count))
+        .sum();
+    assert!(
+        total_subs >= 1_000_000,
+        "fixture carries only {total_subs} subscriptions"
+    );
+    assert_eq!(stream.meta().len(), events);
+
+    // O(window): draining a full pass on the built source grows memory by
+    // window buffers (plus one page's regeneration scratch), far below
+    // the compiled event array alone.
+    let (pass_peak, windows) = peak_growth(|| {
+        let mut pass = stream.open();
+        let mut windows = 0usize;
+        while pass.next_window().is_some() {
+            windows += 1;
+        }
+        windows
+    });
+    assert_eq!(windows, stream.window_count());
+    eprintln!(
+        "1M-subscription run: {total_subs} subscriptions, {events} events, \
+         {windows} windows; monolithic peak {:.2} MB, streaming build \
+         {:.2} MB, window pass {:.2} MB (compiled events alone: {:.2} MB)",
+        mono_peak as f64 / 1e6,
+        build_peak as f64 / 1e6,
+        pass_peak as f64 / 1e6,
+        compiled_floor as f64 / 1e6
+    );
+    assert!(
+        pass_peak < compiled_floor / 2,
+        "window-pass peak {pass_peak} B is not O(window) against a \
+         {events}-event timeline (compiled floor {compiled_floor} B)"
+    );
+    // End to end, streaming peaks below the monolithic pipeline.
+    assert!(
+        build_peak.max(pass_peak) < mono_peak,
+        "streaming peaks (build {build_peak} B, pass {pass_peak} B) \
+         do not undercut the monolithic peak {mono_peak} B"
+    );
+    let costs = FetchCosts::uniform(stream.meta().server_count());
+    let options = SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05);
+    let result = simulate_streamed(&stream, &costs, &options).unwrap();
+    assert_eq!(result.requests as usize, stream.meta().request_count());
+}

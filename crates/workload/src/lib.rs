@@ -44,6 +44,7 @@ mod error;
 pub mod io;
 mod publishing;
 mod requests;
+mod scenario;
 pub mod seeds;
 mod subscriptions;
 mod workload;
@@ -57,10 +58,12 @@ pub use publishing::{
 };
 pub use requests::{
     generate_requests, generate_requests_legacy, generate_requests_threads, popularity_class,
-    popularity_class_shifted, RequestConfig,
+    popularity_class_shifted, RequestConfig, RequestStream,
 };
+pub use scenario::{DiurnalCycle, FlashCrowd, ScenarioConfig, ScenarioError, TimeWarp};
 pub use subscriptions::{
-    generate_subscriptions, generate_subscriptions_legacy, generate_subscriptions_partial,
-    generate_subscriptions_partial_threads, generate_subscriptions_threads,
+    generate_subscriptions, generate_subscriptions_from_counts, generate_subscriptions_legacy,
+    generate_subscriptions_partial, generate_subscriptions_partial_threads,
+    generate_subscriptions_threads, request_groups,
 };
 pub use workload::{Workload, WorkloadConfig};

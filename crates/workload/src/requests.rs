@@ -180,67 +180,159 @@ pub fn generate_requests_threads(
     seed: u64,
     threads: usize,
 ) -> Result<RequestTrace, WorkloadError> {
-    config.validate()?;
-    if pages.is_empty() {
-        return Err(WorkloadError::invalid("pages", "non-empty page table"));
-    }
-    let n = pages.len();
-
-    // (1) Random rank permutation: rank_of[page] in 1..=n (structural
-    //     draw, one sequential substream).
-    let mut ranks: Vec<usize> = (1..=n).collect();
-    ranks.shuffle(&mut seeds::stream_rng(seed, seeds::REQ_RANK, 0));
-    let rank_of = ranks; // rank_of[page_index] = rank
-
-    // (2) Multinomial draw of per-page request counts, in fixed-size
-    //     substream chunks. The accumulation into `counts` is sequential
-    //     and chunk-ordered, so the sum is identical at any thread count.
-    let zipf = Zipf::with_shift(n, config.zipf_alpha, config.zipf_shift)
-        .expect("validated zipf parameters");
-    let mut page_of_rank = vec![0usize; n + 1];
-    for (page, &rank) in rank_of.iter().enumerate() {
-        page_of_rank[rank] = page;
-    }
-    let total = config.total_requests as usize;
-    let drawn: Vec<u32> = parallel_chunked(total, ZIPF_CHUNK, threads, |range| {
-        let mut rng = seeds::stream_rng(seed, seeds::REQ_ZIPF, (range.start / ZIPF_CHUNK) as u64);
-        range.map(|_| zipf.sample(&mut rng) as u32).collect()
-    });
-    let mut counts = vec![0u64; n];
-    for rank in drawn {
-        counts[page_of_rank[rank as usize]] += 1;
-    }
-    let max_count = counts.iter().copied().max().unwrap_or(0).max(1);
-
-    // (3)+(4) Timing and server assignment, one substream per page.
-    let decays: Vec<AgeDecay> = config
-        .class_gammas
-        .iter()
-        .map(|&g| AgeDecay::new(g).expect("validated gammas"))
-        .collect();
-    let events: Vec<RequestEvent> = parallel_chunked(n, PAGE_CHUNK, threads, |range| {
+    let stream = RequestStream::prepare(pages.len(), config, seed, threads)?;
+    let events: Vec<RequestEvent> = parallel_chunked(pages.len(), PAGE_CHUNK, threads, |range| {
         let mut out = Vec::new();
         for page_idx in range {
-            let count = counts[page_idx];
-            if count == 0 {
-                continue;
-            }
-            let mut rng = seeds::stream_rng(seed, seeds::REQ_PAGE, page_idx as u64);
-            place_page_requests(
-                &mut out,
-                &mut rng,
-                &pages[page_idx],
-                count,
-                max_count,
-                rank_of[page_idx],
-                config,
-                &decays,
-            );
+            stream.append_page_requests(pages, page_idx, &mut out);
         }
         out
     });
-
     Ok(RequestTrace::from_unsorted(events))
+}
+
+/// The structural phase of request generation, separated from the
+/// per-page placement phase so callers can regenerate any page's requests
+/// independently — the streaming replay source regenerates one
+/// time-window's worth of pages at a time instead of materializing the
+/// whole trace.
+///
+/// [`prepare`](RequestStream::prepare) runs the trace-wide draws (the
+/// rank permutation and the multinomial popularity counts — phases 1–2 of
+/// the pipeline); [`append_page_requests`](RequestStream::append_page_requests)
+/// then replays phase 3–4 for a single page from that page's own RNG
+/// substream. Because every per-page draw is keyed only by `(seed,
+/// page_idx)` and the prepared counts, generating pages in any grouping
+/// yields exactly the events of [`generate_requests_threads`] — the
+/// generator itself is now just `prepare` + a parallel loop over all
+/// pages.
+#[derive(Debug, Clone)]
+pub struct RequestStream {
+    config: RequestConfig,
+    seed: u64,
+    /// `rank_of[page_index]` = popularity rank in `1..=n`.
+    rank_of: Vec<usize>,
+    /// Multinomially drawn request count per page.
+    counts: Vec<u64>,
+    /// `max(counts)`, floored at 1 (the eq. 6 normalizer).
+    max_count: u64,
+    decays: Vec<AgeDecay>,
+}
+
+impl RequestStream {
+    /// Runs the trace-wide structural draws for a `page_count`-page table:
+    /// (1) the rank permutation and (2) the multinomial request counts, in
+    /// fixed-size substream chunks on up to `threads` workers (`0` = auto,
+    /// `1` = inline). Deterministic in `seed` at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidConfig`] for invalid configs or an
+    /// empty page table.
+    pub fn prepare(
+        page_count: usize,
+        config: &RequestConfig,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Self, WorkloadError> {
+        config.validate()?;
+        if page_count == 0 {
+            return Err(WorkloadError::invalid("pages", "non-empty page table"));
+        }
+        let n = page_count;
+
+        // (1) Random rank permutation: rank_of[page] in 1..=n (structural
+        //     draw, one sequential substream).
+        let mut ranks: Vec<usize> = (1..=n).collect();
+        ranks.shuffle(&mut seeds::stream_rng(seed, seeds::REQ_RANK, 0));
+        let rank_of = ranks; // rank_of[page_index] = rank
+
+        // (2) Multinomial draw of per-page request counts, in fixed-size
+        //     substream chunks. The accumulation into `counts` is
+        //     sequential and chunk-ordered, so the sum is identical at any
+        //     thread count.
+        let zipf = Zipf::with_shift(n, config.zipf_alpha, config.zipf_shift)
+            .expect("validated zipf parameters");
+        let mut page_of_rank = vec![0usize; n + 1];
+        for (page, &rank) in rank_of.iter().enumerate() {
+            page_of_rank[rank] = page;
+        }
+        let total = config.total_requests as usize;
+        let drawn: Vec<u32> = parallel_chunked(total, ZIPF_CHUNK, threads, |range| {
+            let mut rng =
+                seeds::stream_rng(seed, seeds::REQ_ZIPF, (range.start / ZIPF_CHUNK) as u64);
+            range.map(|_| zipf.sample(&mut rng) as u32).collect()
+        });
+        let mut counts = vec![0u64; n];
+        for rank in drawn {
+            counts[page_of_rank[rank as usize]] += 1;
+        }
+        let max_count = counts.iter().copied().max().unwrap_or(0).max(1);
+
+        let decays: Vec<AgeDecay> = config
+            .class_gammas
+            .iter()
+            .map(|&g| AgeDecay::new(g).expect("validated gammas"))
+            .collect();
+        Ok(Self {
+            config: config.clone(),
+            seed,
+            rank_of,
+            counts,
+            max_count,
+            decays,
+        })
+    }
+
+    /// Number of pages the stream was prepared for.
+    pub fn page_count(&self) -> usize {
+        self.rank_of.len()
+    }
+
+    /// The multinomially drawn request count of one page (zero for pages
+    /// that draw no requests — the cheap skip test before regeneration).
+    pub fn count(&self, page_idx: usize) -> u64 {
+        self.counts[page_idx]
+    }
+
+    /// The request config the stream draws from.
+    pub fn config(&self) -> &RequestConfig {
+        &self.config
+    }
+
+    /// Appends all of page `page_idx`'s request events to `out` (phases
+    /// 3–4: age-decay times, per-day server pools), drawing from that
+    /// page's own substream. A no-op for pages with no drawn requests.
+    /// Events are time-sorted within the page but unsorted against other
+    /// pages; callers sort (stably) after concatenation, exactly like the
+    /// full generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_idx` is outside the prepared page table or `pages`
+    /// is shorter than it.
+    pub fn append_page_requests(
+        &self,
+        pages: &[PageMeta],
+        page_idx: usize,
+        out: &mut Vec<RequestEvent>,
+    ) {
+        let count = self.counts[page_idx];
+        if count == 0 {
+            return;
+        }
+        let mut rng = seeds::stream_rng(self.seed, seeds::REQ_PAGE, page_idx as u64);
+        place_page_requests(
+            out,
+            &mut rng,
+            &pages[page_idx],
+            count,
+            self.max_count,
+            self.rank_of[page_idx],
+            &self.config,
+            &self.decays,
+        );
+    }
 }
 
 /// Emits `count` requests for one page: age-decay times plus the per-day

@@ -118,15 +118,21 @@ pub fn generate_subscriptions_partial_threads(
     seed: u64,
     threads: usize,
 ) -> Result<SubscriptionTable, WorkloadError> {
-    if !(quality > 0.0 && quality <= 1.0) {
-        return Err(WorkloadError::invalid("quality", "0 < quality <= 1"));
-    }
-    if !(0.0..=1.0).contains(&coverage) {
-        return Err(WorkloadError::invalid("coverage", "0 <= coverage <= 1"));
-    }
+    generate_subscriptions_from_counts(
+        &request_groups(trace),
+        page_count,
+        quality,
+        coverage,
+        seed,
+        threads,
+    )
+}
 
-    // P_{i,j}: requests per (page, server), grouped by page in ascending
-    // (page, server) order.
+/// Groups a request trace into the `P_{i,j}` counts the quality model
+/// consumes: one entry per requested page in ascending page order, each
+/// holding that page's `(server, request count)` pairs in ascending
+/// server order.
+pub fn request_groups(trace: &RequestTrace) -> Vec<(u32, Vec<(u16, u64)>)> {
     let mut requests: HashMap<(u32, u16), u64> = HashMap::new();
     for ev in trace {
         *requests
@@ -142,6 +148,39 @@ pub fn generate_subscriptions_partial_threads(
             _ => groups.push((page, vec![(server, p_ij)])),
         }
     }
+    groups
+}
+
+/// [`generate_subscriptions_partial_threads`] from precomputed
+/// `P_{i,j}` counts (the [`request_groups`] shape) instead of a
+/// materialized trace — what lets a streaming workload build its
+/// subscription table from a single per-page counting pass without ever
+/// holding the request events. Each page's quality draws come from that
+/// page's own substream, so the table is bit-identical to the trace-based
+/// entry points given the same counts.
+///
+/// `groups` must be in ascending page order with each group's servers in
+/// ascending server order, pages within `0..page_count` (debug-asserted).
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InvalidConfig`] unless `0 < quality <= 1` and
+/// `0 <= coverage <= 1`.
+pub fn generate_subscriptions_from_counts(
+    groups: &[(u32, Vec<(u16, u64)>)],
+    page_count: usize,
+    quality: f64,
+    coverage: f64,
+    seed: u64,
+    threads: usize,
+) -> Result<SubscriptionTable, WorkloadError> {
+    if !(quality > 0.0 && quality <= 1.0) {
+        return Err(WorkloadError::invalid("quality", "0 < quality <= 1"));
+    }
+    if !(0.0..=1.0).contains(&coverage) {
+        return Err(WorkloadError::invalid("coverage", "0 <= coverage <= 1"));
+    }
+    debug_assert!(groups.windows(2).all(|w| w[0].0 < w[1].0));
 
     // One substream per page: coverage gate + quality draw over that
     // page's servers in ascending order.
@@ -315,6 +354,21 @@ mod tests {
                 assert_eq!(seq, par, "threads = {threads}, quality = {quality}");
             }
         }
+    }
+
+    #[test]
+    fn from_counts_matches_trace_based_generation() {
+        let t = trace();
+        let groups = request_groups(&t);
+        assert_eq!(groups, vec![(0, vec![(0, 5), (1, 3)]), (2, vec![(0, 1)])]);
+        for (quality, coverage) in [(1.0, 1.0), (0.5, 1.0), (0.25, 0.6)] {
+            let via_trace =
+                generate_subscriptions_partial_threads(&t, 3, quality, coverage, 9, 1).unwrap();
+            let via_counts =
+                generate_subscriptions_from_counts(&groups, 3, quality, coverage, 9, 2).unwrap();
+            assert_eq!(via_trace, via_counts, "quality = {quality}");
+        }
+        assert!(generate_subscriptions_from_counts(&groups, 3, 0.0, 1.0, 0, 1).is_err());
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Golden tests for the shipped scenario library: every scenario's
+//! workload digest is pinned, so any change to the generators, the seed
+//! derivations, the time-warp, or the scenario parameters themselves
+//! shows up as a failed digest — the cross-PR stability contract for
+//! config-driven workloads. Plus the text codec's round-trip and
+//! strict-parsing (unknown fields rejected) guarantees.
+
+use pscd_workload::{ScenarioConfig, TimeWarp};
+
+/// Pinned `(name, digest)` pairs for the shipped library. A digest is an
+/// FNV-1a fold over the full generated workload (pages, publish stream,
+/// warped request trace) — update ONLY when a generator change is
+/// intentional, and say so in the commit.
+const GOLDEN: [(&str, u64); 4] = [
+    ("news-baseline", 0x34c1_a420_70fd_fc85),
+    ("catalog-churn", 0xa5ba_f361_0cbc_ecc9),
+    ("flash-crowds", 0xef3b_d8e8_bc3e_7083),
+    ("diurnal", 0x311a_99d8_8adb_e28c),
+];
+
+#[test]
+fn shipped_scenario_digests_are_pinned() {
+    let shipped = ScenarioConfig::shipped();
+    assert_eq!(shipped.len(), GOLDEN.len(), "library size changed");
+    for (scenario, (name, digest)) in shipped.iter().zip(GOLDEN) {
+        assert_eq!(scenario.name, name, "library order changed");
+        assert_eq!(
+            scenario.digest().unwrap(),
+            digest,
+            "{name}: workload digest drifted from its pinned value"
+        );
+    }
+}
+
+#[test]
+fn digests_are_thread_and_rebuild_stable() {
+    let scenario = ScenarioConfig::flash_crowds();
+    let again = scenario.digest().unwrap();
+    assert_eq!(again, scenario.digest().unwrap());
+    // Thread count must not leak into the generated workload.
+    let w1 = scenario.build_threads(1).unwrap();
+    let w4 = scenario.build_threads(4).unwrap();
+    assert_eq!(w1, w4);
+}
+
+#[test]
+fn text_codec_round_trips_every_shipped_scenario() {
+    for scenario in ScenarioConfig::shipped() {
+        let text = scenario.to_text();
+        let parsed =
+            ScenarioConfig::from_text(&text).unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        assert_eq!(parsed, scenario, "{} round-trip drifted", scenario.name);
+        // Round-tripping the parse re-emits identical text.
+        assert_eq!(parsed.to_text(), text);
+    }
+}
+
+#[test]
+fn unknown_fields_are_rejected_not_ignored() {
+    let mut text = ScenarioConfig::news_baseline().to_text();
+    text.push_str("surprise_knob = 3\n");
+    let err = ScenarioConfig::from_text(&text).expect_err("unknown field must fail");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("surprise_knob"),
+        "error must name the field: {msg}"
+    );
+
+    // Unknown keys inside an inline record are rejected too.
+    let crowd = ScenarioConfig::flash_crowds()
+        .to_text()
+        .replace("boost", "bosst");
+    assert!(ScenarioConfig::from_text(&crowd).is_err());
+
+    // Duplicates are rejected, comments and blank lines are not.
+    let dup = format!("{}seed = 7\n", ScenarioConfig::news_baseline().to_text());
+    assert!(ScenarioConfig::from_text(&dup).is_err());
+    let commented = format!(
+        "# a comment\n\n{}",
+        ScenarioConfig::news_baseline().to_text()
+    );
+    assert_eq!(
+        ScenarioConfig::from_text(&commented).unwrap(),
+        ScenarioConfig::news_baseline()
+    );
+}
+
+#[test]
+fn scenarios_build_valid_workloads_with_expected_shapes() {
+    for scenario in ScenarioConfig::shipped() {
+        let w = scenario
+            .build()
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        assert!(!w.pages().is_empty(), "{}", scenario.name);
+        assert!(!w.requests().is_empty(), "{}", scenario.name);
+        // Catalog churn publishes far more versions per original than the
+        // news baseline.
+        if scenario.name == "catalog-churn" {
+            let news = ScenarioConfig::news_baseline().build().unwrap();
+            assert!(w.pages().len() > 2 * news.pages().len());
+        }
+    }
+}
+
+#[test]
+fn time_warp_is_monotone_for_every_shipped_scenario() {
+    for scenario in ScenarioConfig::shipped() {
+        let Some(warp): Option<TimeWarp> = scenario.time_warp().unwrap() else {
+            continue;
+        };
+        let horizon = scenario.workload_config().unwrap().requests.horizon;
+        let mut prev = pscd_types::SimTime::ZERO;
+        for i in 0..=1000u64 {
+            let t = pscd_types::SimTime::from_millis(horizon.as_millis() * i / 1000);
+            let out = warp.apply(t);
+            assert!(out >= prev, "{}: warp not monotone at {t:?}", scenario.name);
+            assert!(out < horizon, "{}: warp escaped the horizon", scenario.name);
+            prev = out;
+        }
+    }
+}
