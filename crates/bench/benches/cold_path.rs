@@ -13,7 +13,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use pscd_matching::{Content, MatchScratch, Predicate, Subscription, SubscriptionIndex, Value};
+use pscd_matching::{
+    Content, FrozenIndex, MatchScratch, Predicate, Subscription, SubscriptionIndex, SymbolTable,
+    Value,
+};
 use pscd_sim::CompiledTrace;
 use pscd_workload::{Workload, WorkloadConfig};
 
@@ -144,6 +147,33 @@ fn matching_1m(c: &mut Criterion) {
             let mut total = 0usize;
             for content in &contents {
                 total += index.match_count_scratch(content, &mut scratch);
+            }
+            total
+        })
+    });
+    // The frozen kernel: same index compiled to interned symbols, CSR
+    // buckets, and epoch-bitset counters (compile cost excluded here —
+    // `match_kernel.freeze_build` in the pinned suite prices it).
+    let mut symbols = SymbolTable::new();
+    let frozen = FrozenIndex::freeze(&index, &mut symbols);
+    group.bench_function("matches_into_frozen", |b| {
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut total = 0usize;
+            for content in &contents {
+                frozen.matches_into(&symbols, content, &mut scratch, &mut out);
+                total += out.len();
+            }
+            total
+        })
+    });
+    group.bench_function("match_count_frozen", |b| {
+        let mut scratch = MatchScratch::new();
+        b.iter(|| {
+            let mut total = 0usize;
+            for content in &contents {
+                total += frozen.match_count_scratch(&symbols, content, &mut scratch);
             }
             total
         })

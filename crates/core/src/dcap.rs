@@ -1,5 +1,6 @@
 //! DC-AP and DC-LAP: dual caches with (limited) adaptive partition (§3.3).
 
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -78,9 +79,11 @@ impl Ord for HeapItem {
 /// back to DC-FP behaviour for that operation.
 ///
 /// Because a page's value is refreshed on every access, the two eviction
-/// orders are maintained as lazy-deletion heaps even in dense layout;
-/// DC-AP/DC-LAP are therefore *amortized* allocation-free, not strictly so
-/// (see DESIGN.md §12).
+/// orders are maintained as lazy-deletion heaps even in dense layout. The
+/// heaps are preallocated to twice the page universe and compact stale
+/// items in place when full, and the adaptive step's scratch pools are
+/// preallocated too — DC-AP/DC-LAP are *strictly* allocation-free in
+/// steady state (see DESIGN.md §12).
 #[derive(Debug)]
 pub struct DcAdaptive<O: Observer = NullObserver> {
     capacity: Bytes,
@@ -102,6 +105,12 @@ pub struct DcAdaptive<O: Observer = NullObserver> {
     hi: f64,
     name: &'static str,
     next_stamp: u64,
+    /// Scratch for the adaptive step (the stale-AC pool and the planned
+    /// victims), reused across calls so `plan_relabel` is allocation-free
+    /// in steady state. `RefCell` because `would_store` plans through
+    /// `&self`; never borrowed across a public call boundary.
+    stale_scratch: RefCell<Vec<(PageId, f64, Bytes, u64)>>,
+    victims_scratch: RefCell<Vec<PageId>>,
     obs: ObsHandle<O>,
 }
 
@@ -224,14 +233,28 @@ impl<O: Observer> DcAdaptive<O> {
             (0.0..=0.5).contains(&lo) && (0.5..=1.0).contains(&hi),
             "bounds must satisfy 0 <= lo <= 0.5 <= hi <= 1"
         );
+        // Dense layout bounds live entries by the page universe, so heaps
+        // preallocated to twice that never grow: when one fills, stale
+        // lazy-deletion items are compacted in place (see `push_heap`),
+        // leaving at least half the slots free. Strictly alloc-free in
+        // steady state, compaction amortized O(1) per push.
+        let heap_capacity = match layout {
+            Layout::Dense { page_count } => page_count.saturating_mul(2).max(16),
+            Layout::Sparse => 0,
+        };
+        // The adaptive-step pools hold at most one item per resident page.
+        let scratch_capacity = match layout {
+            Layout::Dense { page_count } => page_count,
+            Layout::Sparse => 0,
+        };
         Self {
             capacity,
             pc_alloc: capacity.scaled(0.5),
             used_pc: Bytes::ZERO,
             used_ac: Bytes::ZERO,
             entries: EntryTable::with_layout(layout),
-            pc_heap: BinaryHeap::new(),
-            ac_heap: BinaryHeap::new(),
+            pc_heap: BinaryHeap::with_capacity(heap_capacity),
+            ac_heap: BinaryHeap::with_capacity(heap_capacity),
             inflation: 0.0,
             beta,
             tick: 0,
@@ -240,6 +263,8 @@ impl<O: Observer> DcAdaptive<O> {
             hi,
             name,
             next_stamp: 0,
+            stale_scratch: RefCell::new(Vec::with_capacity(scratch_capacity)),
+            victims_scratch: RefCell::new(Vec::with_capacity(scratch_capacity)),
             obs,
         }
     }
@@ -355,15 +380,10 @@ impl<O: Observer> DcAdaptive<O> {
                 page,
             };
             match side {
-                Side::Pc => {
-                    self.used_pc += size;
-                    self.pc_heap.push(item);
-                }
-                Side::Ac => {
-                    self.used_ac += size;
-                    self.ac_heap.push(item);
-                }
+                Side::Pc => self.used_pc += size,
+                Side::Ac => self.used_ac += size,
             }
+            self.push_heap(side, item);
         }
         self.pc_alloc = pc_alloc;
         self.inflation = inflation;
@@ -392,14 +412,33 @@ impl<O: Observer> DcAdaptive<O> {
             page: page.page,
         };
         match side {
-            Side::Pc => {
-                self.used_pc += page.size;
-                self.pc_heap.push(item);
-            }
-            Side::Ac => {
-                self.used_ac += page.size;
-                self.ac_heap.push(item);
-            }
+            Side::Pc => self.used_pc += page.size,
+            Side::Ac => self.used_ac += page.size,
+        }
+        self.push_heap(side, item);
+    }
+
+    /// Pushes a lazy-deletion item under `side`'s heap, compacting stale
+    /// items in place first whenever the heap is at capacity. Live items
+    /// are bounded by resident entries, so a preallocated heap (dense
+    /// layout) never reallocates — retire of the "amortized allocations"
+    /// carve-out noted in DESIGN.md §12.
+    fn push_heap(&mut self, side: Side, item: HeapItem) {
+        let heap = match side {
+            Side::Pc => &mut self.pc_heap,
+            Side::Ac => &mut self.ac_heap,
+        };
+        if heap.len() == heap.capacity() {
+            let entries = &self.entries;
+            heap.retain(|it| {
+                entries
+                    .get(it.page)
+                    .is_some_and(|e| e.side == side && e.stamp == it.stamp)
+            });
+        }
+        match side {
+            Side::Pc => self.pc_heap.push(item),
+            Side::Ac => self.ac_heap.push(item),
         }
     }
 
@@ -434,31 +473,34 @@ impl<O: Observer> DcAdaptive<O> {
             .sum()
     }
 
-    /// AC pages not referenced since the last AC replacement, sorted by
-    /// ascending GD\* value — the adaptive step's eviction pool `S`.
-    fn stale_ac_pages(&self) -> Vec<(PageId, f64, Bytes, u64)> {
-        let mut stale: Vec<(PageId, f64, Bytes, u64)> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.side == Side::Ac && e.last_access_tick < self.ac_last_replacement)
-            .map(|(p, e)| (p, e.value, e.size, e.stamp))
-            .collect();
+    /// Plans the adaptive relabeling for a page needing `needed` extra PC
+    /// bytes. Returns whether it is feasible within the `hi` bound; on
+    /// success the victims are left in `self.victims_scratch`.
+    ///
+    /// The eviction pool `S` is the set of AC pages not referenced since
+    /// the last AC replacement, walked in ascending GD\* value.
+    fn plan_relabel(&self, needed: Bytes) -> bool {
+        let mut stale = self.stale_scratch.borrow_mut();
+        stale.clear();
+        stale.extend(
+            self.entries
+                .iter()
+                .filter(|(_, e)| {
+                    e.side == Side::Ac && e.last_access_tick < self.ac_last_replacement
+                })
+                .map(|(p, e)| (p, e.value, e.size, e.stamp)),
+        );
         stale.sort_unstable_by(|a, b| {
             a.1.partial_cmp(&b.1)
                 .unwrap_or(Ordering::Equal)
                 .then_with(|| a.3.cmp(&b.3))
         });
-        stale
-    }
-
-    /// Plans the adaptive relabeling for a page needing `needed` extra PC
-    /// bytes. Returns the victims if feasible within the `hi` bound.
-    fn plan_relabel(&self, needed: Bytes) -> Option<Vec<PageId>> {
+        let mut victims = self.victims_scratch.borrow_mut();
+        victims.clear();
         let hi = self.hi_bytes();
         let mut alloc = self.pc_alloc;
         let mut freed = Bytes::ZERO;
-        let mut victims = Vec::new();
-        for (page, _v, size, _s) in self.stale_ac_pages() {
+        for &(page, _v, size, _s) in stale.iter() {
             if freed >= needed {
                 break;
             }
@@ -471,7 +513,7 @@ impl<O: Observer> DcAdaptive<O> {
             freed += size;
             victims.push(page);
         }
-        (freed >= needed).then_some(victims)
+        freed >= needed
     }
 }
 
@@ -515,30 +557,33 @@ impl<O: Observer> Strategy for DcAdaptive<O> {
         }
         // Phase 2: adaptive re-partition over stale AC pages.
         let needed = page.size.saturating_sub(self.free_pc());
-        match self.plan_relabel(needed) {
-            Some(victims) => {
-                for victim in victims {
-                    let entry = self.entries.remove(victim).expect("planned victim");
-                    self.used_ac -= entry.size;
-                    self.pc_alloc += entry.size;
-                    if O::ENABLED {
-                        // The stale page dies and its storage switches
-                        // sides: one eviction, one relabel.
-                        self.obs
-                            .evict(victim, entry.size, entry.value, EvictReason::Repartition);
-                        self.obs
-                            .relabel(victim, entry.size, RelabelDirection::AcToPc);
-                    }
-                    evicted.push(victim);
-                }
-                debug_assert!(self.free_pc() >= page.size);
-                self.insert(page, Side::Pc, v, 0);
+        if self.plan_relabel(needed) {
+            // Take the planned victims out of the scratch so `self` stays
+            // mutably borrowable; restore it after (capacity preserved).
+            let victims = std::mem::take(&mut *self.victims_scratch.borrow_mut());
+            for &victim in &victims {
+                let entry = self.entries.remove(victim).expect("planned victim");
+                self.used_ac -= entry.size;
+                self.pc_alloc += entry.size;
                 if O::ENABLED {
-                    self.obs.admit(page.page, page.size, v, AdmitOrigin::Push);
+                    // The stale page dies and its storage switches
+                    // sides: one eviction, one relabel.
+                    self.obs
+                        .evict(victim, entry.size, entry.value, EvictReason::Repartition);
+                    self.obs
+                        .relabel(victim, entry.size, RelabelDirection::AcToPc);
                 }
-                PushOutcome::Stored
+                evicted.push(victim);
             }
-            None => PushOutcome::Declined,
+            *self.victims_scratch.borrow_mut() = victims;
+            debug_assert!(self.free_pc() >= page.size);
+            self.insert(page, Side::Pc, v, 0);
+            if O::ENABLED {
+                self.obs.admit(page.page, page.size, v, AdmitOrigin::Push);
+            }
+            PushOutcome::Stored
+        } else {
+            PushOutcome::Declined
         }
     }
 
@@ -556,7 +601,7 @@ impl<O: Observer> Strategy for DcAdaptive<O> {
             return true;
         }
         let needed = page.size.saturating_sub(self.free_pc());
-        self.plan_relabel(needed).is_some()
+        self.plan_relabel(needed)
     }
 
     fn on_access(
@@ -631,11 +676,14 @@ impl<O: Observer> Strategy for DcAdaptive<O> {
                     e.value = value;
                     e.stamp = stamp;
                     e.last_access_tick = self.tick;
-                    self.ac_heap.push(HeapItem {
-                        value,
-                        stamp,
-                        page: page.page,
-                    });
+                    self.push_heap(
+                        Side::Ac,
+                        HeapItem {
+                            value,
+                            stamp,
+                            page: page.page,
+                        },
+                    );
                     AccessOutcome::Hit
                 }
             }

@@ -17,7 +17,10 @@
 use std::time::Instant;
 
 use pscd_core::StrategyKind;
-use pscd_matching::{Content, MatchScratch, Predicate, Subscription, SubscriptionIndex, Value};
+use pscd_matching::{
+    Content, FrozenIndex, MatchScratch, Predicate, Subscription, SubscriptionIndex, SymbolTable,
+    Value,
+};
 use pscd_sim::trace::CompiledTrace;
 use pscd_sim::{simulate_compiled, ReplaySource, SimOptions, StreamingTrace};
 use pscd_types::SimTime;
@@ -29,11 +32,11 @@ use crate::{ExperimentContext, ExperimentError, Table2, Trace};
 pub const BENCH_SCHEMA: &str = "pscd-bench/1";
 
 /// The PR this harness ships in; names the default output file
-/// (`BENCH_8.json`).
-pub const BENCH_PR: u32 = 8;
+/// (`BENCH_9.json`).
+pub const BENCH_PR: u32 = 9;
 
 /// Minimum benchmarks a valid document must carry (the pinned suite has
-/// thirteen; a shrunk document means the suite silently lost coverage).
+/// fifteen; a shrunk document means the suite silently lost coverage).
 pub const MIN_BENCHMARKS: usize = 8;
 
 /// One benchmark's summarized samples.
@@ -229,6 +232,37 @@ impl BenchReport {
                 let t = Instant::now();
                 for content in &contents {
                     index.matches_into(content, &mut scratch, &mut out);
+                    total += out.len();
+                }
+                Ok(total as f64 / t.elapsed().as_secs_f64() / 1e6)
+            })?,
+        ));
+
+        // Frozen kernel: one-time compile cost, then the same batch
+        // through the interned-symbol/CSR/bitset fast path.
+        rows.push(summarize(
+            "match_kernel.freeze_build",
+            "ms",
+            sample(n, || {
+                let t = Instant::now();
+                let frozen = FrozenIndex::freeze(&index, &mut SymbolTable::new());
+                let ms = millis(t);
+                std::hint::black_box(frozen.len());
+                Ok(ms)
+            })?,
+        ));
+        let mut symbols = SymbolTable::new();
+        let frozen = FrozenIndex::freeze(&index, &mut symbols);
+        rows.push(summarize(
+            "match_kernel.frozen",
+            "Mmatch/s",
+            sample(n, || {
+                let mut scratch = MatchScratch::new();
+                let mut out = Vec::new();
+                let mut total = 0usize;
+                let t = Instant::now();
+                for content in &contents {
+                    frozen.matches_into(&symbols, content, &mut scratch, &mut out);
                     total += out.len();
                 }
                 Ok(total as f64 / t.elapsed().as_secs_f64() / 1e6)
@@ -815,6 +849,8 @@ mod tests {
             "hot_loop.dc_lap",
             "match_kernel.count",
             "match_kernel.matches_into",
+            "match_kernel.freeze_build",
+            "match_kernel.frozen",
             "exhibit.table2",
         ] {
             assert!(names.contains(&expected), "suite lost {expected}");

@@ -1,0 +1,964 @@
+//! Frozen, data-oriented match kernel.
+//!
+//! [`FrozenIndex`] is an immutable compilation of a
+//! [`SubscriptionIndex`]: every string is interned into a dense `u32`
+//! symbol ([`SymbolTable`]), the nested hash-map buckets become flat CSR
+//! arrays binary-searched by packed integer keys, and the counting state
+//! becomes epoch-stamped u64 bitsets so the common subscription shapes
+//! never touch a per-subscription counter:
+//!
+//! * **Singles** (one predicate — the common case): ordinal bits in a u64
+//!   bitset; a satisfied predicate is one `OR`, a match is a set bit, a
+//!   count is a popcount.
+//! * **Doubles** (two predicates): two parallel bitsets, one per predicate
+//!   slot; a match is `slot0 & slot1` per word.
+//! * **Multis** (three or more): classic epoch-stamped counters, exactly
+//!   like the mutable index.
+//!
+//! Bitset words and counters are epoch-stamped and reset lazily on first
+//! touch, so a match clears nothing and allocates nothing: the hot loop is
+//! integer binary searches plus word ORs. Numeric range predicates are laid
+//! out as parallel SoA arrays (`lo[]`, `hi[]`, `tok[]`) scanned with a
+//! branch-free bounds test the compiler can vectorize.
+//!
+//! Content is symbolized **once per publish** into a [`SymView`] (owned by
+//! the caller's [`MatchScratch`]) and then matched against any number of
+//! frozen indexes sharing the same table — which is how the broker
+//! evaluates one publication against every proxy's subscription set with
+//! zero string hashing in the loop.
+//!
+//! The mutable [`SubscriptionIndex`] stays the build-time front end:
+//! freeze once after synthesis, rebuild on (rare) subscription churn.
+
+use crate::symbol::NO_SYM;
+use crate::{Content, MatchScratch, Op, SubscriptionId, SubscriptionIndex, SymbolTable, Value};
+
+/// A content descriptor translated into symbol space: attribute names and
+/// string values replaced by their [`SymbolTable`] symbols, tags flattened
+/// into a sorted symbol slice, string bytes copied into one reusable
+/// buffer (prefix predicates still need them). Attributes whose name no
+/// predicate interned are dropped — nothing can match them.
+///
+/// A view is plain owned data with no lifetime ties, so one lives inside
+/// each [`MatchScratch`] and is rebuilt (allocation-free after warm-up)
+/// per publish via [`MatchScratch::symbolize`].
+#[derive(Debug, Clone, Default)]
+pub struct SymView {
+    attrs: Vec<SymAttr>,
+    tag_syms: Vec<u32>,
+    str_buf: String,
+}
+
+#[derive(Debug, Clone)]
+struct SymAttr {
+    name_sym: u32,
+    val: SymVal,
+}
+
+#[derive(Debug, Clone)]
+enum SymVal {
+    Int(i64),
+    /// `sym` is [`NO_SYM`] when no predicate interned the string; the byte
+    /// range into [`SymView::str_buf`] serves prefix predicates.
+    Str {
+        sym: u32,
+        start: u32,
+        end: u32,
+    },
+    /// Sorted interned tag symbols in `tag_syms[start..end]`; `total` is
+    /// the full tag count including uninterned ones (set-equality needs
+    /// it).
+    Tags {
+        start: u32,
+        end: u32,
+        total: u32,
+    },
+}
+
+impl SymView {
+    fn symbolize(&mut self, table: &SymbolTable, content: &Content) {
+        self.attrs.clear();
+        self.tag_syms.clear();
+        self.str_buf.clear();
+        for (name, value) in content.iter() {
+            let Some(name_sym) = table.name_sym(name) else {
+                continue;
+            };
+            let val = match value {
+                Value::Int(i) => SymVal::Int(*i),
+                Value::Str(s) => {
+                    let start = self.str_buf.len() as u32;
+                    self.str_buf.push_str(s);
+                    SymVal::Str {
+                        sym: table.string_sym(s).unwrap_or(NO_SYM),
+                        start,
+                        end: self.str_buf.len() as u32,
+                    }
+                }
+                Value::Tags(tags) => {
+                    let start = self.tag_syms.len() as u32;
+                    for tag in tags {
+                        if let Some(sym) = table.string_sym(tag) {
+                            self.tag_syms.push(sym);
+                        }
+                    }
+                    self.tag_syms[start as usize..].sort_unstable();
+                    SymVal::Tags {
+                        start,
+                        end: self.tag_syms.len() as u32,
+                        total: tags.len() as u32,
+                    }
+                }
+            };
+            self.attrs.push(SymAttr { name_sym, val });
+        }
+    }
+}
+
+/// Epoch-stamped bitset/counter state for the frozen kernel, embedded in
+/// [`MatchScratch`]. Words and counters are live only when their stamp
+/// equals the current epoch; a new match bumps the epoch in O(1) and
+/// resets each word lazily on first touch.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FrozenScratch {
+    epoch: u32,
+    /// Singles: one bit per single-predicate subscription.
+    s_words: Vec<u64>,
+    s_stamp: Vec<u32>,
+    s_touched: Vec<u32>,
+    /// Doubles: one bit per two-predicate subscription, per slot.
+    d0_words: Vec<u64>,
+    d1_words: Vec<u64>,
+    d_stamp: Vec<u32>,
+    d_touched: Vec<u32>,
+    /// Multis: classic satisfied-predicate counters.
+    m_counts: Vec<u32>,
+    m_stamp: Vec<u32>,
+    m_touched: Vec<u32>,
+    view: SymView,
+}
+
+impl FrozenScratch {
+    fn begin(&mut self, s_words: usize, d_words: usize, multis: usize) {
+        if self.s_stamp.len() < s_words {
+            self.s_stamp.resize(s_words, 0);
+            self.s_words.resize(s_words, 0);
+        }
+        if self.d_stamp.len() < d_words {
+            self.d_stamp.resize(d_words, 0);
+            self.d0_words.resize(d_words, 0);
+            self.d1_words.resize(d_words, 0);
+        }
+        if self.m_stamp.len() < multis {
+            self.m_stamp.resize(multis, 0);
+            self.m_counts.resize(multis, 0);
+        }
+        if self.epoch == u32::MAX {
+            // Epoch wrap: every stamp is stale, reset them all once.
+            self.s_stamp.fill(0);
+            self.d_stamp.fill(0);
+            self.m_stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.s_touched.clear();
+        self.d_touched.clear();
+        self.m_touched.clear();
+    }
+}
+
+impl MatchScratch {
+    /// Translates `content` into symbol space against `table`, storing the
+    /// view in this scratch. One symbolization serves any number of
+    /// [`FrozenIndex::matches_view_into`] /
+    /// [`FrozenIndex::match_count_view`] calls against indexes frozen with
+    /// the same table — the broker's per-publish fan-out symbolizes once
+    /// and matches every proxy.
+    pub fn symbolize(&mut self, table: &SymbolTable, content: &Content) {
+        self.frozen.view.symbolize(table, content);
+    }
+}
+
+/// A compiled predicate for operator classes too rare or irregular for a
+/// dedicated bucket array (inequality, prefix, whole-set equality). All
+/// operands are pre-symbolized or copied into index-owned buffers, so
+/// evaluation still never touches the original strings.
+#[derive(Debug, Clone)]
+enum MiscOp {
+    /// `attr != x` for integers.
+    NeInt(i64),
+    /// `attr != s` by symbol (an uninterned content string is trivially
+    /// unequal).
+    NeStr(u32),
+    /// `attr != {tags}` — operand in `misc_tag_syms[start..end]`, sorted.
+    NeTags { start: u32, end: u32 },
+    /// `attr == {tags}` (whole-set equality) — same encoding.
+    EqTags { start: u32, end: u32 },
+    /// `attr starts-with p` — prefix bytes in `misc_str[start..end]`.
+    Prefix { start: u32, end: u32 },
+}
+
+/// The frozen, data-oriented compilation of a [`SubscriptionIndex`]; see
+/// the [module docs](self) for the layout. Immutable by construction —
+/// rebuild from the mutable index when subscriptions change.
+///
+/// Subscriptions are partitioned by predicate count into *singles*
+/// (frozen ordinals `[0, s)`), *doubles* (`[s, s+d)`) and *multis*
+/// (`[s+d, n)`); wildcards are kept aside. Bucket entries are `u32`
+/// tokens encoding class + position, decoded with two compares in the
+/// bump path.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_matching::{
+///     Content, FrozenIndex, MatchScratch, Predicate, Subscription, SubscriptionIndex,
+///     SymbolTable, Value,
+/// };
+/// let mut idx = SubscriptionIndex::new();
+/// let id = idx.insert(Subscription::new(vec![Predicate::ge("words", 100)]));
+/// let mut table = SymbolTable::new();
+/// let frozen = FrozenIndex::freeze(&idx, &mut table);
+/// let mut scratch = MatchScratch::new();
+/// let mut out = Vec::new();
+/// frozen.matches_into(
+///     &table,
+///     &Content::new().with("words", Value::int(150)),
+///     &mut scratch,
+///     &mut out,
+/// );
+/// assert_eq!(out, vec![id]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FrozenIndex {
+    /// Frozen ordinal -> subscription id (singles ++ doubles ++ multis).
+    ids: Vec<SubscriptionId>,
+    /// Number of single-predicate subscriptions (bitset size).
+    s_count: u32,
+    /// Number of two-predicate subscriptions (per-slot bitset size).
+    d_count: u32,
+    /// Predicate count per multi (match when the counter reaches this).
+    multi_need: Vec<u32>,
+    /// Zero-predicate subscriptions, ascending by id.
+    wildcards: Vec<SubscriptionId>,
+
+    /// Integer equality: sorted `(attr, value)` keys -> entry ranges.
+    eq_int_keys: Vec<(u32, i64)>,
+    eq_int_bounds: Vec<u32>,
+    eq_int_entries: Vec<u32>,
+
+    /// String equality: sorted packed `(attr << 32) | str_sym` keys.
+    eq_str_keys: Vec<u64>,
+    eq_str_bounds: Vec<u32>,
+    eq_str_entries: Vec<u32>,
+
+    /// `Contains`: tag membership (and string equality), same key packing.
+    tag_keys: Vec<u64>,
+    tag_bounds: Vec<u32>,
+    tag_entries: Vec<u32>,
+
+    /// Numeric ranges, SoA grouped per attribute: normalized inclusive
+    /// `[lo, hi]` intervals scanned with a branch-free bounds test.
+    range_attrs: Vec<u32>,
+    range_bounds: Vec<u32>,
+    range_lo: Vec<i64>,
+    range_hi: Vec<i64>,
+    range_tok: Vec<u32>,
+
+    /// `Exists`: per-attribute entry lists.
+    exists_attrs: Vec<u32>,
+    exists_bounds: Vec<u32>,
+    exists_entries: Vec<u32>,
+
+    /// Compiled rare operators, grouped per attribute.
+    misc_attrs: Vec<u32>,
+    misc_bounds: Vec<u32>,
+    misc_ops: Vec<MiscOp>,
+    misc_tok: Vec<u32>,
+    misc_tag_syms: Vec<u32>,
+    misc_str: String,
+}
+
+#[inline]
+fn pack(attr: u32, sym: u32) -> u64 {
+    ((attr as u64) << 32) | sym as u64
+}
+
+/// Sorts `(key, token)` pairs and groups them into a CSR (keys, bounds,
+/// entries) triple.
+fn build_csr<K: Ord + Copy>(mut pairs: Vec<(K, u32)>) -> (Vec<K>, Vec<u32>, Vec<u32>) {
+    pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut keys = Vec::new();
+    let mut bounds = Vec::new();
+    let mut entries = Vec::with_capacity(pairs.len());
+    for (key, tok) in pairs {
+        if keys.last() != Some(&key) {
+            keys.push(key);
+            bounds.push(entries.len() as u32);
+        }
+        entries.push(tok);
+    }
+    bounds.push(entries.len() as u32);
+    (keys, bounds, entries)
+}
+
+impl FrozenIndex {
+    /// Compiles `index` into a frozen kernel, interning every predicate
+    /// string into `table`. Many indexes (one per proxy) may share one
+    /// table; content symbolized against it matches any of them.
+    pub fn freeze(index: &SubscriptionIndex, table: &mut SymbolTable) -> Self {
+        let mut singles = Vec::new();
+        let mut doubles = Vec::new();
+        let mut multis = Vec::new();
+        let mut out = FrozenIndex::default();
+        for (id, sub) in index.iter() {
+            match sub.len() {
+                0 => out.wildcards.push(id),
+                1 => singles.push((id, sub)),
+                2 => doubles.push((id, sub)),
+                _ => multis.push((id, sub)),
+            }
+        }
+        out.s_count = singles.len() as u32;
+        out.d_count = doubles.len() as u32;
+
+        let mut eq_int = Vec::new();
+        let mut eq_str = Vec::new();
+        let mut tag = Vec::new();
+        let mut range: Vec<(u32, i64, i64, u32)> = Vec::new();
+        let mut exists = Vec::new();
+        let mut misc: Vec<(u32, u32, MiscOp)> = Vec::new();
+
+        let mut compile =
+            |out: &mut FrozenIndex, table: &mut SymbolTable, attr_sym: u32, op: &Op, tok: u32| {
+                match op {
+                    Op::Eq(Value::Int(v)) => eq_int.push(((attr_sym, *v), tok)),
+                    Op::Eq(Value::Str(s)) => {
+                        eq_str.push((pack(attr_sym, table.intern_string(s)), tok))
+                    }
+                    Op::Eq(Value::Tags(tags)) => {
+                        let range = intern_tag_set(out, table, tags);
+                        misc.push((
+                            attr_sym,
+                            tok,
+                            MiscOp::EqTags {
+                                start: range.0,
+                                end: range.1,
+                            },
+                        ));
+                    }
+                    Op::Ne(Value::Int(v)) => misc.push((attr_sym, tok, MiscOp::NeInt(*v))),
+                    Op::Ne(Value::Str(s)) => {
+                        misc.push((attr_sym, tok, MiscOp::NeStr(table.intern_string(s))))
+                    }
+                    Op::Ne(Value::Tags(tags)) => {
+                        let range = intern_tag_set(out, table, tags);
+                        misc.push((
+                            attr_sym,
+                            tok,
+                            MiscOp::NeTags {
+                                start: range.0,
+                                end: range.1,
+                            },
+                        ));
+                    }
+                    // Normalize ranges to inclusive [lo, hi]; a bound at the
+                    // integer edge (Lt(MIN), Gt(MAX)) can never be satisfied
+                    // and compiles to the empty interval [1, 0].
+                    Op::Lt(b) => match b.checked_sub(1) {
+                        Some(hi) => range.push((attr_sym, i64::MIN, hi, tok)),
+                        None => range.push((attr_sym, 1, 0, tok)),
+                    },
+                    Op::Le(b) => range.push((attr_sym, i64::MIN, *b, tok)),
+                    Op::Gt(b) => match b.checked_add(1) {
+                        Some(lo) => range.push((attr_sym, lo, i64::MAX, tok)),
+                        None => range.push((attr_sym, 1, 0, tok)),
+                    },
+                    Op::Ge(b) => range.push((attr_sym, *b, i64::MAX, tok)),
+                    Op::Contains(t) => tag.push((pack(attr_sym, table.intern_string(t)), tok)),
+                    Op::Prefix(p) => {
+                        let start = out.misc_str.len() as u32;
+                        out.misc_str.push_str(p);
+                        misc.push((
+                            attr_sym,
+                            tok,
+                            MiscOp::Prefix {
+                                start,
+                                end: out.misc_str.len() as u32,
+                            },
+                        ));
+                    }
+                    Op::Exists => exists.push((attr_sym, tok)),
+                }
+            };
+
+        for (i, (id, sub)) in singles.iter().enumerate() {
+            out.ids.push(*id);
+            let pred = &sub.predicates()[0];
+            let attr_sym = table.intern_name(pred.attr());
+            compile(&mut out, table, attr_sym, pred.op(), i as u32);
+        }
+        for (j, (id, sub)) in doubles.iter().enumerate() {
+            out.ids.push(*id);
+            for (slot, pred) in sub.predicates().iter().enumerate() {
+                let attr_sym = table.intern_name(pred.attr());
+                let tok = out.s_count + ((j as u32) << 1 | slot as u32);
+                compile(&mut out, table, attr_sym, pred.op(), tok);
+            }
+        }
+        for (k, (id, sub)) in multis.iter().enumerate() {
+            out.ids.push(*id);
+            out.multi_need.push(sub.len() as u32);
+            let tok = out.s_count + 2 * out.d_count + k as u32;
+            for pred in sub.predicates() {
+                let attr_sym = table.intern_name(pred.attr());
+                compile(&mut out, table, attr_sym, pred.op(), tok);
+            }
+        }
+
+        (out.eq_int_keys, out.eq_int_bounds, out.eq_int_entries) = build_csr(eq_int);
+        (out.eq_str_keys, out.eq_str_bounds, out.eq_str_entries) = build_csr(eq_str);
+        (out.tag_keys, out.tag_bounds, out.tag_entries) = build_csr(tag);
+        (out.exists_attrs, out.exists_bounds, out.exists_entries) = build_csr(exists);
+
+        range.sort_unstable();
+        for (attr, lo, hi, tok) in range {
+            if out.range_attrs.last() != Some(&attr) {
+                out.range_attrs.push(attr);
+                out.range_bounds.push(out.range_tok.len() as u32);
+            }
+            out.range_lo.push(lo);
+            out.range_hi.push(hi);
+            out.range_tok.push(tok);
+        }
+        out.range_bounds.push(out.range_tok.len() as u32);
+
+        misc.sort_by_key(|&(attr, tok, _)| (attr, tok));
+        for (attr, tok, op) in misc {
+            if out.misc_attrs.last() != Some(&attr) {
+                out.misc_attrs.push(attr);
+                out.misc_bounds.push(out.misc_tok.len() as u32);
+            }
+            out.misc_ops.push(op);
+            out.misc_tok.push(tok);
+        }
+        out.misc_bounds.push(out.misc_tok.len() as u32);
+
+        out
+    }
+
+    /// Number of frozen subscriptions (including wildcards).
+    pub fn len(&self) -> usize {
+        self.ids.len() + self.wildcards.len()
+    }
+
+    /// `true` if no subscriptions were frozen.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The frozen kernel's batched match: symbolizes `content` against
+    /// `table` and writes all matching subscription ids into `out`
+    /// (cleared first), sorted by id. Allocation-free after warm-up.
+    pub fn matches_into(
+        &self,
+        table: &SymbolTable,
+        content: &Content,
+        scratch: &mut MatchScratch,
+        out: &mut Vec<SubscriptionId>,
+    ) {
+        scratch.symbolize(table, content);
+        self.matches_view_into(scratch, out);
+    }
+
+    /// The number of subscriptions matching `content` — symbolizes, then
+    /// counts by popcount without materializing ids.
+    pub fn match_count_scratch(
+        &self,
+        table: &SymbolTable,
+        content: &Content,
+        scratch: &mut MatchScratch,
+    ) -> usize {
+        scratch.symbolize(table, content);
+        self.match_count_view(scratch)
+    }
+
+    /// Matches against the view already symbolized into `scratch` (see
+    /// [`MatchScratch::symbolize`]) — the per-proxy half of a fan-out that
+    /// symbolizes once per publish.
+    pub fn matches_view_into(&self, scratch: &mut MatchScratch, out: &mut Vec<SubscriptionId>) {
+        out.clear();
+        let view = std::mem::take(&mut scratch.frozen.view);
+        self.accumulate(&view, &mut scratch.frozen);
+        scratch.frozen.view = view;
+        let fs = &scratch.frozen;
+        for &w in &fs.s_touched {
+            let mut bits = fs.s_words[w as usize];
+            let base = w << 6;
+            while bits != 0 {
+                out.push(self.ids[(base + bits.trailing_zeros()) as usize]);
+                bits &= bits - 1;
+            }
+        }
+        for &w in &fs.d_touched {
+            let mut bits = fs.d0_words[w as usize] & fs.d1_words[w as usize];
+            let base = self.s_count + (w << 6);
+            while bits != 0 {
+                out.push(self.ids[(base + bits.trailing_zeros()) as usize]);
+                bits &= bits - 1;
+            }
+        }
+        let m_base = self.s_count + self.d_count;
+        for &m in &fs.m_touched {
+            if fs.m_counts[m as usize] == self.multi_need[m as usize] {
+                out.push(self.ids[(m_base + m) as usize]);
+            }
+        }
+        out.extend_from_slice(&self.wildcards);
+        out.sort_unstable();
+    }
+
+    /// Counts matches against the view already symbolized into `scratch`.
+    pub fn match_count_view(&self, scratch: &mut MatchScratch) -> usize {
+        let view = std::mem::take(&mut scratch.frozen.view);
+        self.accumulate(&view, &mut scratch.frozen);
+        scratch.frozen.view = view;
+        let fs = &scratch.frozen;
+        let mut n = self.wildcards.len();
+        for &w in &fs.s_touched {
+            n += fs.s_words[w as usize].count_ones() as usize;
+        }
+        for &w in &fs.d_touched {
+            n += (fs.d0_words[w as usize] & fs.d1_words[w as usize]).count_ones() as usize;
+        }
+        for &m in &fs.m_touched {
+            if fs.m_counts[m as usize] == self.multi_need[m as usize] {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    fn accumulate(&self, view: &SymView, fs: &mut FrozenScratch) {
+        fs.begin(
+            (self.s_count as usize).div_ceil(64),
+            (self.d_count as usize).div_ceil(64),
+            self.multi_need.len(),
+        );
+        for attr in &view.attrs {
+            let a = attr.name_sym;
+            match &attr.val {
+                SymVal::Int(v) => {
+                    if let Ok(i) = self.eq_int_keys.binary_search(&(a, *v)) {
+                        self.bump_range(fs, &self.eq_int_bounds, &self.eq_int_entries, i);
+                    }
+                    if let Ok(i) = self.range_attrs.binary_search(&a) {
+                        let (s, e) = (
+                            self.range_bounds[i] as usize,
+                            self.range_bounds[i + 1] as usize,
+                        );
+                        for j in s..e {
+                            if *v >= self.range_lo[j] && *v <= self.range_hi[j] {
+                                self.bump(fs, self.range_tok[j]);
+                            }
+                        }
+                    }
+                }
+                SymVal::Str { sym, .. } => {
+                    if *sym != NO_SYM {
+                        let key = pack(a, *sym);
+                        if let Ok(i) = self.eq_str_keys.binary_search(&key) {
+                            self.bump_range(fs, &self.eq_str_bounds, &self.eq_str_entries, i);
+                        }
+                        // `Contains` on a string attribute means equality.
+                        if let Ok(i) = self.tag_keys.binary_search(&key) {
+                            self.bump_range(fs, &self.tag_bounds, &self.tag_entries, i);
+                        }
+                    }
+                }
+                SymVal::Tags { start, end, .. } => {
+                    for &tsym in &view.tag_syms[*start as usize..*end as usize] {
+                        if let Ok(i) = self.tag_keys.binary_search(&pack(a, tsym)) {
+                            self.bump_range(fs, &self.tag_bounds, &self.tag_entries, i);
+                        }
+                    }
+                }
+            }
+            if let Ok(i) = self.exists_attrs.binary_search(&a) {
+                self.bump_range(fs, &self.exists_bounds, &self.exists_entries, i);
+            }
+            if let Ok(i) = self.misc_attrs.binary_search(&a) {
+                let (s, e) = (
+                    self.misc_bounds[i] as usize,
+                    self.misc_bounds[i + 1] as usize,
+                );
+                for j in s..e {
+                    if self.eval_misc(&self.misc_ops[j], &attr.val, view) {
+                        self.bump(fs, self.misc_tok[j]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn bump_range(&self, fs: &mut FrozenScratch, bounds: &[u32], entries: &[u32], i: usize) {
+        for &tok in &entries[bounds[i] as usize..bounds[i + 1] as usize] {
+            self.bump(fs, tok);
+        }
+    }
+
+    /// Decodes a token (class + position) and records one satisfied
+    /// predicate: a bit OR for singles/doubles, a counter bump for multis.
+    #[inline]
+    fn bump(&self, fs: &mut FrozenScratch, tok: u32) {
+        if tok < self.s_count {
+            let w = (tok >> 6) as usize;
+            if fs.s_stamp[w] != fs.epoch {
+                fs.s_stamp[w] = fs.epoch;
+                fs.s_words[w] = 0;
+                fs.s_touched.push(w as u32);
+            }
+            fs.s_words[w] |= 1u64 << (tok & 63);
+        } else if tok - self.s_count < 2 * self.d_count {
+            let t = tok - self.s_count;
+            let bit = t >> 1;
+            let w = (bit >> 6) as usize;
+            if fs.d_stamp[w] != fs.epoch {
+                fs.d_stamp[w] = fs.epoch;
+                fs.d0_words[w] = 0;
+                fs.d1_words[w] = 0;
+                fs.d_touched.push(w as u32);
+            }
+            let mask = 1u64 << (bit & 63);
+            if t & 1 == 0 {
+                fs.d0_words[w] |= mask;
+            } else {
+                fs.d1_words[w] |= mask;
+            }
+        } else {
+            let m = (tok - self.s_count - 2 * self.d_count) as usize;
+            if fs.m_stamp[m] != fs.epoch {
+                fs.m_stamp[m] = fs.epoch;
+                fs.m_counts[m] = 1;
+                fs.m_touched.push(m as u32);
+            } else {
+                fs.m_counts[m] += 1;
+            }
+        }
+    }
+
+    fn eval_misc(&self, op: &MiscOp, val: &SymVal, view: &SymView) -> bool {
+        match (op, val) {
+            (MiscOp::NeInt(x), SymVal::Int(v)) => v != x,
+            (MiscOp::NeStr(xs), SymVal::Str { sym, .. }) => sym != xs,
+            (MiscOp::EqTags { start, end }, SymVal::Tags { .. }) => {
+                self.tag_sets_equal(*start, *end, val, view)
+            }
+            (MiscOp::NeTags { start, end }, SymVal::Tags { .. }) => {
+                !self.tag_sets_equal(*start, *end, val, view)
+            }
+            (
+                MiscOp::Prefix { start, end },
+                SymVal::Str {
+                    start: vs, end: ve, ..
+                },
+            ) => view.str_buf[*vs as usize..*ve as usize]
+                .starts_with(&self.misc_str[*start as usize..*end as usize]),
+            _ => false,
+        }
+    }
+
+    fn tag_sets_equal(&self, start: u32, end: u32, val: &SymVal, view: &SymView) -> bool {
+        let SymVal::Tags {
+            start: vs,
+            end: ve,
+            total,
+        } = val
+        else {
+            return false;
+        };
+        let pred = &self.misc_tag_syms[start as usize..end as usize];
+        let got = &view.tag_syms[*vs as usize..*ve as usize];
+        // An uninterned content tag (dropped from `got` but counted in
+        // `total`) can never appear in the predicate's set.
+        *total as usize == pred.len() && got.len() == pred.len() && got == pred
+    }
+}
+
+fn intern_tag_set(
+    out: &mut FrozenIndex,
+    table: &mut SymbolTable,
+    tags: &std::collections::BTreeSet<String>,
+) -> (u32, u32) {
+    let start = out.misc_tag_syms.len() as u32;
+    let mut syms: Vec<u32> = tags.iter().map(|t| table.intern_string(t)).collect();
+    syms.sort_unstable();
+    out.misc_tag_syms.extend_from_slice(&syms);
+    (start, out.misc_tag_syms.len() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Predicate, Subscription};
+
+    fn frozen(idx: &SubscriptionIndex) -> (FrozenIndex, SymbolTable) {
+        let mut table = SymbolTable::new();
+        (FrozenIndex::freeze(idx, &mut table), table)
+    }
+
+    fn frozen_matches(idx: &SubscriptionIndex, content: &Content) -> Vec<SubscriptionId> {
+        let (f, table) = frozen(idx);
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        f.matches_into(&table, content, &mut scratch, &mut out);
+        let n = f.match_count_scratch(&table, content, &mut scratch);
+        assert_eq!(n, out.len(), "count and id list disagree");
+        assert_eq!(out, idx.matches(content), "frozen and legacy disagree");
+        out
+    }
+
+    fn sports_page() -> Content {
+        Content::new()
+            .with("category", Value::str("sports"))
+            .with("words", Value::int(800))
+            .with("tags", Value::tags(["tennis", "us-open"]))
+    }
+
+    #[test]
+    fn eq_and_tag_buckets() {
+        let mut idx = SubscriptionIndex::new();
+        let a = idx.insert(Subscription::new(vec![Predicate::eq(
+            "category",
+            Value::str("sports"),
+        )]));
+        idx.insert(Subscription::new(vec![Predicate::eq(
+            "category",
+            Value::str("politics"),
+        )]));
+        let t = idx.insert(Subscription::new(vec![Predicate::contains(
+            "tags", "tennis",
+        )]));
+        idx.insert(Subscription::new(vec![Predicate::contains("tags", "golf")]));
+        let c = idx.insert(Subscription::new(vec![Predicate::contains(
+            "category", "sports",
+        )]));
+        assert_eq!(frozen_matches(&idx, &sports_page()), vec![a, t, c]);
+    }
+
+    #[test]
+    fn all_three_classes_and_wildcards() {
+        let mut idx = SubscriptionIndex::new();
+        let single = idx.insert(Subscription::new(vec![Predicate::ge("words", 100)]));
+        let double = idx.insert(Subscription::new(vec![
+            Predicate::eq("category", Value::str("sports")),
+            Predicate::contains("tags", "tennis"),
+        ]));
+        let multi = idx.insert(Subscription::new(vec![
+            Predicate::eq("category", Value::str("sports")),
+            Predicate::contains("tags", "us-open"),
+            Predicate::lt("words", 1000),
+        ]));
+        let wild = idx.insert(Subscription::wildcard());
+        let miss_double = idx.insert(Subscription::new(vec![
+            Predicate::eq("category", Value::str("sports")),
+            Predicate::contains("tags", "golf"),
+        ]));
+        let _ = miss_double;
+        idx.insert(Subscription::new(vec![
+            Predicate::eq("category", Value::str("sports")),
+            Predicate::contains("tags", "us-open"),
+            Predicate::gt("words", 1000),
+        ]));
+        assert_eq!(
+            frozen_matches(&idx, &sports_page()),
+            vec![single, double, multi, wild]
+        );
+        assert_eq!(frozen_matches(&idx, &Content::new()), vec![wild]);
+    }
+
+    #[test]
+    fn ranges_ne_prefix_exists() {
+        let mut idx = SubscriptionIndex::new();
+        let lt = idx.insert(Subscription::new(vec![Predicate::lt("words", 900)]));
+        idx.insert(Subscription::new(vec![Predicate::lt("words", 800)]));
+        let le = idx.insert(Subscription::new(vec![Predicate::le("words", 800)]));
+        let gt = idx.insert(Subscription::new(vec![Predicate::gt("words", 799)]));
+        idx.insert(Subscription::new(vec![Predicate::gt("words", 800)]));
+        let ge = idx.insert(Subscription::new(vec![Predicate::ge("words", 800)]));
+        let ne = idx.insert(Subscription::new(vec![Predicate::ne(
+            "category",
+            Value::str("politics"),
+        )]));
+        idx.insert(Subscription::new(vec![Predicate::ne(
+            "category",
+            Value::str("sports"),
+        )]));
+        // Ne across types is false (type mismatch, not inequality).
+        idx.insert(Subscription::new(vec![Predicate::ne(
+            "category",
+            Value::int(3),
+        )]));
+        let px = idx.insert(Subscription::new(vec![Predicate::prefix(
+            "category", "spo",
+        )]));
+        idx.insert(Subscription::new(vec![Predicate::prefix("category", "xx")]));
+        let ex = idx.insert(Subscription::new(vec![Predicate::exists("tags")]));
+        idx.insert(Subscription::new(vec![Predicate::exists("author")]));
+        assert_eq!(
+            frozen_matches(&idx, &sports_page()),
+            vec![lt, le, gt, ge, ne, px, ex]
+        );
+    }
+
+    #[test]
+    fn edge_bounds_never_match() {
+        let mut idx = SubscriptionIndex::new();
+        idx.insert(Subscription::new(vec![Predicate::lt("x", i64::MIN)]));
+        idx.insert(Subscription::new(vec![Predicate::gt("x", i64::MAX)]));
+        let le = idx.insert(Subscription::new(vec![Predicate::le("x", i64::MIN)]));
+        let ge = idx.insert(Subscription::new(vec![Predicate::ge("x", i64::MAX)]));
+        assert_eq!(
+            frozen_matches(&idx, &Content::new().with("x", Value::int(i64::MIN))),
+            vec![le]
+        );
+        assert_eq!(
+            frozen_matches(&idx, &Content::new().with("x", Value::int(i64::MAX))),
+            vec![ge]
+        );
+    }
+
+    #[test]
+    fn whole_tag_set_equality() {
+        let mut idx = SubscriptionIndex::new();
+        let eq = idx.insert(Subscription::new(vec![Predicate::eq(
+            "tags",
+            Value::tags(["tennis", "us-open"]),
+        )]));
+        idx.insert(Subscription::new(vec![Predicate::eq(
+            "tags",
+            Value::tags(["tennis"]),
+        )]));
+        let ne = idx.insert(Subscription::new(vec![Predicate::ne(
+            "tags",
+            Value::tags(["tennis"]),
+        )]));
+        let ne2 = idx.insert(Subscription::new(vec![Predicate::ne(
+            "tags",
+            Value::tags(["tennis", "us-open"]),
+        )]));
+        // Eq on a str attr vs tags attr must not cross-fire.
+        idx.insert(Subscription::new(vec![Predicate::eq(
+            "category",
+            Value::tags(["sports"]),
+        )]));
+        assert_eq!(frozen_matches(&idx, &sports_page()), vec![eq, ne]);
+        // A content tag no predicate interned still breaks set equality
+        // (the eq subscription stops matching, both ne ones now do).
+        let extra = sports_page().with("tags", Value::tags(["tennis", "us-open", "zzz"]));
+        assert_eq!(frozen_matches(&idx, &extra), vec![ne, ne2]);
+    }
+
+    #[test]
+    fn uninterned_content_strings() {
+        let mut idx = SubscriptionIndex::new();
+        let ne = idx.insert(Subscription::new(vec![Predicate::ne(
+            "category",
+            Value::str("politics"),
+        )]));
+        idx.insert(Subscription::new(vec![Predicate::eq(
+            "category",
+            Value::str("politics"),
+        )]));
+        // "weather" is never interned by any predicate.
+        let c = Content::new().with("category", Value::str("weather"));
+        assert_eq!(frozen_matches(&idx, &c), vec![ne]);
+    }
+
+    #[test]
+    fn duplicate_predicates_in_one_subscription() {
+        let mut idx = SubscriptionIndex::new();
+        let d = idx.insert(Subscription::new(vec![
+            Predicate::eq("category", Value::str("sports")),
+            Predicate::eq("category", Value::str("sports")),
+        ]));
+        let m = idx.insert(Subscription::new(vec![
+            Predicate::ge("words", 1),
+            Predicate::ge("words", 2),
+            Predicate::ge("words", 3),
+        ]));
+        assert_eq!(frozen_matches(&idx, &sports_page()), vec![d, m]);
+    }
+
+    #[test]
+    fn empty_index_and_scratch_reuse_across_indexes() {
+        let empty = SubscriptionIndex::new();
+        assert!(frozen_matches(&empty, &sports_page()).is_empty());
+        let (f, _) = frozen(&empty);
+        assert!(f.is_empty());
+
+        // One scratch, two frozen indexes of different sizes and tables.
+        let mut big = SubscriptionIndex::new();
+        for i in 0..200 {
+            big.insert(Subscription::new(vec![Predicate::ge("words", i * 10)]));
+        }
+        let mut small = SubscriptionIndex::new();
+        let s = small.insert(Subscription::new(vec![Predicate::contains(
+            "tags", "tennis",
+        )]));
+        let (fb, tb) = frozen(&big);
+        let (fsm, tsm) = frozen(&small);
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        fb.matches_into(&tb, &sports_page(), &mut scratch, &mut out);
+        assert_eq!(out.len(), 81);
+        fsm.matches_into(&tsm, &sports_page(), &mut scratch, &mut out);
+        assert_eq!(out, vec![s]);
+        fb.matches_into(&tb, &sports_page(), &mut scratch, &mut out);
+        assert_eq!(out.len(), 81);
+        assert_eq!(fb.len(), 200);
+    }
+
+    #[test]
+    fn shared_table_symbolize_once() {
+        let mut table = SymbolTable::new();
+        let mut a = SubscriptionIndex::new();
+        let sa = a.insert(Subscription::new(vec![Predicate::eq(
+            "category",
+            Value::str("sports"),
+        )]));
+        let mut b = SubscriptionIndex::new();
+        let sb = b.insert(Subscription::new(vec![Predicate::contains(
+            "tags", "tennis",
+        )]));
+        let fa = FrozenIndex::freeze(&a, &mut table);
+        let fb = FrozenIndex::freeze(&b, &mut table);
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        scratch.symbolize(&table, &sports_page());
+        fa.matches_view_into(&mut scratch, &mut out);
+        assert_eq!(out, vec![sa]);
+        fb.matches_view_into(&mut scratch, &mut out);
+        assert_eq!(out, vec![sb]);
+        assert_eq!(fa.match_count_view(&mut scratch), 1);
+        assert_eq!(fb.match_count_view(&mut scratch), 1);
+    }
+
+    #[test]
+    fn freeze_after_churn_matches_legacy() {
+        let mut idx = SubscriptionIndex::new();
+        let mut ids = Vec::new();
+        for i in 0..30 {
+            ids.push(idx.insert(Subscription::new(vec![Predicate::ge("words", i * 50)])));
+        }
+        for id in ids.iter().step_by(3) {
+            idx.remove(*id);
+        }
+        idx.insert(Subscription::new(vec![Predicate::contains(
+            "tags", "tennis",
+        )]));
+        frozen_matches(&idx, &sports_page());
+        frozen_matches(&idx, &Content::new());
+    }
+}

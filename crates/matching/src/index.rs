@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::frozen::FrozenScratch;
 use crate::{Content, Op, Subscription, SubscriptionId, Value};
 
 /// A predicate's position: `(dense subscription ordinal, predicate index)`.
@@ -48,6 +49,10 @@ pub struct MatchScratch {
     epoch: u32,
     /// Ordinals touched by the current match.
     touched: Vec<u32>,
+    /// Bitset/counter state for the frozen kernel
+    /// ([`FrozenIndex`](crate::FrozenIndex)); one scratch serves both
+    /// kernels.
+    pub(crate) frozen: FrozenScratch,
 }
 
 impl MatchScratch {
@@ -224,8 +229,14 @@ impl SubscriptionIndex {
         if ordinal != last {
             let moved = self.order[ordinal as usize];
             self.ordinal_of.insert(moved, ordinal);
-            let moved_sub = self.subscriptions[&moved].clone();
+            // Take the moved subscription out of the map while its bucket
+            // entries are renumbered (no clone), then put it back.
+            let moved_sub = self
+                .subscriptions
+                .remove(&moved)
+                .expect("moved ordinal has a registered subscription");
             self.renumber_entries(&moved_sub, last, ordinal);
+            self.subscriptions.insert(moved, moved_sub);
         }
         Some(sub)
     }

@@ -44,16 +44,20 @@ mod aggregate;
 mod content;
 mod cover;
 mod error;
+mod frozen;
 mod index;
 mod matcher;
 mod predicate;
 mod subscription;
+mod symbol;
 
 pub use aggregate::AggregatedMatcher;
 pub use content::{Content, Value};
 pub use cover::{covers, CoverSet};
 pub use error::MatchError;
+pub use frozen::{FrozenIndex, SymView};
 pub use index::{MatchScratch, SubscriptionIndex};
 pub use matcher::{EngineMatcher, Matcher, TableMatcher};
 pub use predicate::{Op, Predicate};
 pub use subscription::{Subscription, SubscriptionId};
+pub use symbol::SymbolTable;

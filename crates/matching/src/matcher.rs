@@ -4,7 +4,10 @@ use std::collections::HashMap;
 
 use pscd_types::{PageId, ServerId, SubscriptionTable};
 
-use crate::{Content, MatchError, MatchScratch, Subscription, SubscriptionId, SubscriptionIndex};
+use crate::{
+    Content, FrozenIndex, MatchError, MatchScratch, Subscription, SubscriptionId,
+    SubscriptionIndex, SymbolTable,
+};
 
 /// Source of per-(page, server) subscription match counts.
 ///
@@ -86,6 +89,18 @@ impl Matcher for TableMatcher {
 pub struct EngineMatcher {
     per_server: Vec<SubscriptionIndex>,
     contents: HashMap<PageId, Content>,
+    /// The frozen compilation of every per-server index against one shared
+    /// symbol table; dropped (stale) whenever a subscription changes and
+    /// rebuilt by [`EngineMatcher::freeze`].
+    frozen: Option<FrozenSet>,
+}
+
+/// One [`SymbolTable`] shared by every proxy's [`FrozenIndex`], so a
+/// publish symbolizes its content once and matches all proxies.
+#[derive(Debug)]
+struct FrozenSet {
+    table: SymbolTable,
+    per_server: Vec<FrozenIndex>,
 }
 
 impl EngineMatcher {
@@ -94,6 +109,7 @@ impl EngineMatcher {
         Self {
             per_server: (0..servers).map(|_| SubscriptionIndex::new()).collect(),
             contents: HashMap::new(),
+            frozen: None,
         }
     }
 
@@ -112,6 +128,7 @@ impl EngineMatcher {
         server: ServerId,
         subscription: Subscription,
     ) -> Result<SubscriptionId, MatchError> {
+        self.frozen = None;
         let idx = self.index_mut(server)?;
         Ok(idx.insert(subscription))
     }
@@ -123,10 +140,35 @@ impl EngineMatcher {
     /// Returns [`MatchError::UnknownServer`] if `server` is out of range and
     /// [`MatchError::UnknownSubscription`] if the id is not registered there.
     pub fn unsubscribe(&mut self, server: ServerId, id: SubscriptionId) -> Result<(), MatchError> {
+        self.frozen = None;
         let idx = self.index_mut(server)?;
         idx.remove(id)
             .map(|_| ())
             .ok_or(MatchError::UnknownSubscription { id })
+    }
+
+    /// Compiles every per-server index into the frozen kernel against one
+    /// shared [`SymbolTable`]. A no-op when already frozen; any subsequent
+    /// subscribe/unsubscribe invalidates the compilation (the rebuild path
+    /// for dynamic subscribers), and the matcher transparently falls back
+    /// to the mutable indexes until frozen again.
+    pub fn freeze(&mut self) {
+        if self.frozen.is_some() {
+            return;
+        }
+        let mut table = SymbolTable::new();
+        let per_server = self
+            .per_server
+            .iter()
+            .map(|idx| FrozenIndex::freeze(idx, &mut table))
+            .collect();
+        self.frozen = Some(FrozenSet { table, per_server });
+    }
+
+    /// `true` while the frozen compilation is current (no subscription has
+    /// changed since the last [`EngineMatcher::freeze`]).
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.is_some()
     }
 
     /// Associates content with a page id (typically at publish time).
@@ -169,12 +211,54 @@ impl EngineMatcher {
         let Some(content) = self.contents.get(&page) else {
             return;
         };
+        if let Some(frozen) = &self.frozen {
+            // Frozen fast path: symbolize once, match every proxy with
+            // integer-only lookups.
+            scratch.symbolize(&frozen.table, content);
+            for (i, idx) in frozen.per_server.iter().enumerate() {
+                let n = idx.match_count_view(scratch) as u32;
+                if n > 0 {
+                    out.push((ServerId::new(i as u16), n));
+                }
+            }
+            return;
+        }
         for (i, idx) in self.per_server.iter().enumerate() {
             let n = idx.match_count_scratch(content, scratch) as u32;
             if n > 0 {
                 out.push((ServerId::new(i as u16), n));
             }
         }
+    }
+
+    /// The batched form of [`Matcher::match_count`]: counts in the
+    /// caller's [`MatchScratch`] instead of allocating one per call, so a
+    /// request-resolution loop can run alloc-free after warm-up.
+    pub fn match_count_with(
+        &self,
+        page: PageId,
+        server: ServerId,
+        scratch: &mut MatchScratch,
+    ) -> u32 {
+        let Some(content) = self.contents.get(&page) else {
+            return 0;
+        };
+        if let Some(frozen) = &self.frozen {
+            let Some(idx) = frozen.per_server.get(server.as_usize()) else {
+                return 0;
+            };
+            scratch.symbolize(&frozen.table, content);
+            return idx.match_count_view(scratch) as u32;
+        }
+        self.per_server
+            .get(server.as_usize())
+            .map(|idx| idx.match_count_scratch(content, scratch) as u32)
+            .unwrap_or(0)
+    }
+
+    /// Number of pages with registered content.
+    pub fn page_count(&self) -> usize {
+        self.contents.len()
     }
 
     fn index_mut(&mut self, server: ServerId) -> Result<&mut SubscriptionIndex, MatchError> {
@@ -190,27 +274,15 @@ impl EngineMatcher {
 
 impl Matcher for EngineMatcher {
     fn matched_servers(&self, page: PageId) -> Vec<(ServerId, u32)> {
-        let Some(content) = self.contents.get(&page) else {
-            return Vec::new();
-        };
-        self.per_server
-            .iter()
-            .enumerate()
-            .filter_map(|(i, idx)| {
-                let n = idx.match_count(content) as u32;
-                (n > 0).then_some((ServerId::new(i as u16), n))
-            })
-            .collect()
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        self.matched_servers_into(page, &mut scratch, &mut out);
+        out
     }
 
     fn match_count(&self, page: PageId, server: ServerId) -> u32 {
-        let Some(content) = self.contents.get(&page) else {
-            return 0;
-        };
-        self.per_server
-            .get(server.as_usize())
-            .map(|idx| idx.match_count(content) as u32)
-            .unwrap_or(0)
+        let mut scratch = MatchScratch::new();
+        self.match_count_with(page, server, &mut scratch)
     }
 }
 
@@ -291,6 +363,46 @@ mod tests {
         assert!(m.index(ServerId::new(0)).is_ok());
         assert!(m.index(ServerId::new(9)).is_err());
         assert_eq!(m.match_count(PageId::new(0), ServerId::new(9)), 0);
+    }
+
+    #[test]
+    fn frozen_matches_legacy_and_invalidates_on_churn() {
+        let mut m = EngineMatcher::new(3);
+        let sports = Subscription::new(vec![Predicate::eq("cat", Value::str("sports"))]);
+        m.subscribe(ServerId::new(0), sports.clone()).unwrap();
+        m.subscribe(ServerId::new(0), sports.clone()).unwrap();
+        let at2 = m.subscribe(ServerId::new(2), sports.clone()).unwrap();
+        m.register_page(
+            PageId::new(7),
+            Content::new().with("cat", Value::str("sports")),
+        );
+        let legacy = m.matched_servers(PageId::new(7));
+        assert!(!m.is_frozen());
+        m.freeze();
+        assert!(m.is_frozen());
+        m.freeze(); // idempotent
+        assert_eq!(m.matched_servers(PageId::new(7)), legacy);
+        assert_eq!(m.match_count(PageId::new(7), ServerId::new(0)), 2);
+        assert_eq!(m.match_count(PageId::new(7), ServerId::new(1)), 0);
+        assert_eq!(m.match_count(PageId::new(7), ServerId::new(9)), 0);
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        m.matched_servers_into(PageId::new(7), &mut scratch, &mut out);
+        assert_eq!(out, legacy);
+        // Churn invalidates; the matcher falls back to the mutable index.
+        m.unsubscribe(ServerId::new(2), at2).unwrap();
+        assert!(!m.is_frozen());
+        assert_eq!(
+            m.matched_servers(PageId::new(7)),
+            vec![(ServerId::new(0), 2)]
+        );
+        m.freeze();
+        assert_eq!(
+            m.matched_servers(PageId::new(7)),
+            vec![(ServerId::new(0), 2)]
+        );
+        m.subscribe(ServerId::new(1), sports).unwrap();
+        assert!(!m.is_frozen());
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Interned symbol spaces for the frozen match kernel.
+//!
+//! The frozen kernel ([`FrozenIndex`](crate::FrozenIndex)) never hashes or
+//! compares strings in its per-publish loop: attribute names and string
+//! values/tags are interned once — at freeze time for predicates, once per
+//! publish for content — into dense `u32` symbols, and every bucket lookup
+//! afterwards is an integer binary search.
+
+use std::collections::HashMap;
+
+/// Sentinel for "this string is not interned" (no predicate references it).
+pub(crate) const NO_SYM: u32 = u32::MAX;
+
+/// Two dense intern spaces shared by every [`FrozenIndex`](crate::FrozenIndex)
+/// built against it: one for attribute *names*, one for string *values and
+/// tags* (they share a space — buckets are keyed by `(attr, string)` pairs,
+/// so equality values and tags can never collide).
+///
+/// One table typically serves many frozen indexes (one per proxy), which is
+/// what lets a publish symbolize its content **once** and then match against
+/// every proxy's index with zero string work.
+///
+/// # Examples
+///
+/// ```
+/// use pscd_matching::SymbolTable;
+/// let mut t = SymbolTable::new();
+/// let a = t.intern_name("category");
+/// assert_eq!(t.intern_name("category"), a);
+/// assert_eq!(t.name_sym("category"), Some(a));
+/// assert_eq!(t.name_sym("missing"), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    names: HashMap<String, u32>,
+    strings: HashMap<String, u32>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an attribute name, returning its dense symbol.
+    pub fn intern_name(&mut self, name: &str) -> u32 {
+        let next = self.names.len() as u32;
+        match self.names.get(name) {
+            Some(&sym) => sym,
+            None => {
+                self.names.insert(name.to_owned(), next);
+                next
+            }
+        }
+    }
+
+    /// Interns a string value or tag, returning its dense symbol.
+    pub fn intern_string(&mut self, s: &str) -> u32 {
+        let next = self.strings.len() as u32;
+        match self.strings.get(s) {
+            Some(&sym) => sym,
+            None => {
+                self.strings.insert(s.to_owned(), next);
+                next
+            }
+        }
+    }
+
+    /// The symbol of an attribute name, if any predicate interned it.
+    #[inline]
+    pub fn name_sym(&self, name: &str) -> Option<u32> {
+        self.names.get(name).copied()
+    }
+
+    /// The symbol of a string value or tag, if any predicate interned it.
+    #[inline]
+    pub fn string_sym(&self, s: &str) -> Option<u32> {
+        self.strings.get(s).copied()
+    }
+
+    /// Number of interned attribute names.
+    pub fn name_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of interned string values/tags.
+    pub fn string_count(&self) -> usize {
+        self.strings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.intern_name("a"), 0);
+        assert_eq!(t.intern_name("b"), 1);
+        assert_eq!(t.intern_name("a"), 0);
+        assert_eq!(t.name_count(), 2);
+        assert_eq!(t.intern_string("x"), 0);
+        assert_eq!(t.intern_string("x"), 0);
+        assert_eq!(t.string_count(), 1);
+        assert_eq!(t.string_sym("x"), Some(0));
+        assert_eq!(t.string_sym("y"), None);
+    }
+}

@@ -14,7 +14,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use pscd_matching::{
-    Content, EngineMatcher, MatchScratch, Predicate, Subscription, SubscriptionIndex, Value,
+    Content, EngineMatcher, FrozenIndex, MatchScratch, Predicate, Subscription, SubscriptionIndex,
+    SymbolTable, Value,
 };
 use pscd_types::{PageId, ServerId};
 
@@ -99,9 +100,17 @@ fn steady_state_matching_does_not_allocate() {
         engine.register_page(PageId::new(i as u32), content.clone());
     }
 
+    // The frozen kernel over the same population: standalone index and
+    // the engine's per-proxy frozen fan-out path.
+    let mut table = SymbolTable::new();
+    let frozen = FrozenIndex::freeze(&index, &mut table);
+    engine.freeze();
+    assert!(engine.is_frozen());
+
     let mut scratch = MatchScratch::new();
     let mut out = Vec::new();
     let mut fanout = Vec::new();
+    let mut frozen_out = Vec::new();
 
     // Warm-up: every content once, so scratch arrays, the touched list,
     // and the output buffers reach their high-water marks.
@@ -110,6 +119,10 @@ fn steady_state_matching_does_not_allocate() {
         index.matches_into(content, &mut scratch, &mut out);
         warm_matches += out.len();
         warm_matches += index.match_count_scratch(content, &mut scratch);
+        frozen.matches_into(&table, content, &mut scratch, &mut frozen_out);
+        assert_eq!(frozen_out, out, "frozen and legacy kernels disagree");
+        warm_matches += frozen_out.len();
+        warm_matches += frozen.match_count_scratch(&table, content, &mut scratch);
     }
     for i in 0..contents.len() {
         engine.matched_servers_into(PageId::new(i as u32), &mut scratch, &mut fanout);
@@ -117,7 +130,8 @@ fn steady_state_matching_does_not_allocate() {
     }
     assert!(warm_matches > 0, "warm-up matched nothing — bad fixture");
 
-    // Measurement window: the same calls must not touch the allocator.
+    // Measurement window: the same calls must not touch the allocator —
+    // the legacy kernel, the frozen kernel, and the frozen engine fan-out.
     let before = allocations();
     let mut steady_matches = 0usize;
     for _ in 0..4 {
@@ -125,6 +139,9 @@ fn steady_state_matching_does_not_allocate() {
             index.matches_into(content, &mut scratch, &mut out);
             steady_matches += out.len();
             steady_matches += index.match_count_scratch(content, &mut scratch);
+            frozen.matches_into(&table, content, &mut scratch, &mut frozen_out);
+            steady_matches += frozen_out.len();
+            steady_matches += frozen.match_count_scratch(&table, content, &mut scratch);
         }
         for i in 0..contents.len() {
             engine.matched_servers_into(PageId::new(i as u32), &mut scratch, &mut fanout);

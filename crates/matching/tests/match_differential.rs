@@ -1,0 +1,197 @@
+//! Differential proof for the frozen match kernel: [`FrozenIndex`] vs. the
+//! mutable [`SubscriptionIndex`] vs. brute-force predicate evaluation must
+//! be bit-identical — same match-id sets, same counts — over rotating
+//! subscription shapes, content shapes, insert/remove churn, and the
+//! wildcard/empty edge cases. The end-to-end `SimResult` half of the
+//! differential (all 12 strategies) lives in
+//! `crates/sim/tests/frozen_differential.rs`.
+
+use proptest::prelude::*;
+
+use pscd_matching::{
+    Content, FrozenIndex, MatchScratch, Op, Predicate, Subscription, SubscriptionIndex,
+    SymbolTable, Value,
+};
+
+const ATTRS: [&str; 4] = ["category", "words", "tags", "author"];
+const STRINGS: [&str; 5] = ["sports", "politics", "tech", "music", "science"];
+// "zz" never appears in any predicate operand, so contents drawing it
+// exercise the uninterned-string paths of the frozen kernel.
+const TAGS: [&str; 7] = ["a", "b", "c", "d", "e", "f", "zz"];
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-50i64..50).prop_map(Value::int),
+        proptest::sample::select(STRINGS.to_vec()).prop_map(Value::str),
+        proptest::collection::btree_set(proptest::sample::select(TAGS.to_vec()), 0..4)
+            .prop_map(|set| Value::tags(set.into_iter().collect::<Vec<_>>())),
+    ]
+}
+
+fn predicate_strategy() -> impl Strategy<Value = Predicate> {
+    let attr = proptest::sample::select(ATTRS.to_vec());
+    prop_oneof![
+        (attr.clone(), value_strategy()).prop_map(|(a, v)| Predicate::new(a, Op::Eq(v))),
+        (attr.clone(), value_strategy()).prop_map(|(a, v)| Predicate::new(a, Op::Ne(v))),
+        (attr.clone(), -50i64..50).prop_map(|(a, b)| Predicate::lt(a, b)),
+        (attr.clone(), -50i64..50).prop_map(|(a, b)| Predicate::le(a, b)),
+        (attr.clone(), -50i64..50).prop_map(|(a, b)| Predicate::gt(a, b)),
+        (attr.clone(), -50i64..50).prop_map(|(a, b)| Predicate::ge(a, b)),
+        (attr.clone(), proptest::sample::select(TAGS[..6].to_vec()))
+            .prop_map(|(a, t)| Predicate::contains(a, t)),
+        (
+            attr.clone(),
+            proptest::sample::select(vec!["s", "sp", "spo", "te"])
+        )
+            .prop_map(|(a, p)| Predicate::prefix(a, p)),
+        attr.prop_map(Predicate::exists),
+    ]
+}
+
+/// Rotates through every frozen class: wildcards (0 predicates), singles
+/// (1), doubles (2), and multis (3..5).
+fn subscription_strategy() -> impl Strategy<Value = Subscription> {
+    proptest::collection::vec(predicate_strategy(), 0..5).prop_map(Subscription::new)
+}
+
+fn content_strategy() -> impl Strategy<Value = Content> {
+    proptest::collection::btree_map(
+        proptest::sample::select(ATTRS.to_vec()),
+        value_strategy(),
+        0..4,
+    )
+    .prop_map(|attrs| {
+        let mut c = Content::new();
+        for (k, v) in attrs {
+            c.set(k, v);
+        }
+        c
+    })
+}
+
+/// Freezes `index` and checks all three kernels agree on every content:
+/// brute force (the oracle), the mutable counting index, and the frozen
+/// kernel — ids and counts both.
+fn assert_differential(index: &SubscriptionIndex, contents: &[Content]) {
+    let mut table = SymbolTable::new();
+    let frozen = FrozenIndex::freeze(index, &mut table);
+    assert_eq!(frozen.len(), index.len());
+    let mut scratch = MatchScratch::new();
+    let mut frozen_ids = Vec::new();
+    for content in contents {
+        let brute: Vec<_> = index
+            .iter()
+            .filter(|(_, s)| s.matches(content))
+            .map(|(id, _)| id)
+            .collect();
+        let legacy = index.matches(content);
+        frozen.matches_into(&table, content, &mut scratch, &mut frozen_ids);
+        assert_eq!(&legacy, &brute, "legacy vs brute force");
+        assert_eq!(&frozen_ids, &brute, "frozen vs brute force");
+        let n = frozen.match_count_scratch(&table, content, &mut scratch);
+        assert_eq!(n, brute.len(), "frozen count vs brute force");
+        assert_eq!(index.match_count(content), brute.len(), "legacy count");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Freeze-of-fresh-index: all three kernels agree on random
+    /// subscription populations and contents.
+    #[test]
+    fn frozen_agrees_with_legacy_and_brute_force(
+        subs in proptest::collection::vec(subscription_strategy(), 0..24),
+        contents in proptest::collection::vec(content_strategy(), 0..10),
+    ) {
+        let mut index = SubscriptionIndex::new();
+        for s in subs {
+            index.insert(s);
+        }
+        assert_differential(&index, &contents);
+    }
+
+    /// Freeze-after-churn: interleaved inserts and swap-removes leave the
+    /// mutable index with scrambled ordinals; freezing it must still be
+    /// bit-identical to brute force.
+    #[test]
+    fn frozen_agrees_after_insert_remove_churn(
+        subs in proptest::collection::vec(subscription_strategy(), 1..24),
+        removes in proptest::collection::vec(proptest::bool::ANY, 1..24),
+        late_subs in proptest::collection::vec(subscription_strategy(), 0..8),
+        contents in proptest::collection::vec(content_strategy(), 0..8),
+    ) {
+        let mut index = SubscriptionIndex::new();
+        let ids: Vec<_> = subs.into_iter().map(|s| index.insert(s)).collect();
+        for (id, &remove) in ids.iter().zip(&removes) {
+            if remove {
+                index.remove(*id);
+            }
+        }
+        for s in late_subs {
+            index.insert(s);
+        }
+        assert_differential(&index, &contents);
+    }
+
+    /// One scratch reused across many (index, content) pairs never leaks
+    /// state between matches (epoch discipline under rotation).
+    #[test]
+    fn scratch_rotation_is_stateless(
+        subs_a in proptest::collection::vec(subscription_strategy(), 0..12),
+        subs_b in proptest::collection::vec(subscription_strategy(), 0..12),
+        contents in proptest::collection::vec(content_strategy(), 1..6),
+    ) {
+        let mut ia = SubscriptionIndex::new();
+        for s in subs_a {
+            ia.insert(s);
+        }
+        let mut ib = SubscriptionIndex::new();
+        for s in subs_b {
+            ib.insert(s);
+        }
+        let mut table = SymbolTable::new();
+        let fa = FrozenIndex::freeze(&ia, &mut table);
+        let fb = FrozenIndex::freeze(&ib, &mut table);
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        for content in &contents {
+            // Shared table: symbolize once, match both indexes.
+            scratch.symbolize(&table, content);
+            fa.matches_view_into(&mut scratch, &mut out);
+            prop_assert_eq!(&out, &ia.matches(content));
+            fb.matches_view_into(&mut scratch, &mut out);
+            prop_assert_eq!(&out, &ib.matches(content));
+        }
+    }
+}
+
+#[test]
+fn wildcard_and_empty_edges() {
+    // Empty index, empty content.
+    assert_differential(&SubscriptionIndex::new(), &[Content::new()]);
+    // Wildcards only.
+    let mut idx = SubscriptionIndex::new();
+    idx.insert(Subscription::wildcard());
+    idx.insert(Subscription::wildcard());
+    assert_differential(
+        &idx,
+        &[
+            Content::new(),
+            Content::new().with("category", Value::str("sports")),
+        ],
+    );
+    // Content whose every attribute and string is unknown to the table.
+    let mut idx = SubscriptionIndex::new();
+    idx.insert(Subscription::new(vec![Predicate::eq(
+        "category",
+        Value::str("sports"),
+    )]));
+    idx.insert(Subscription::wildcard());
+    assert_differential(
+        &idx,
+        &[Content::new()
+            .with("unknown", Value::str("never-interned"))
+            .with("other", Value::tags(["nope"]))],
+    );
+}

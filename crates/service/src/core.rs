@@ -21,6 +21,7 @@ use std::sync::Arc;
 
 use pscd_cache::snapshot::{put_u16, put_u32, put_u64};
 use pscd_cache::SnapshotReader;
+use pscd_matching::{EngineMatcher, MatchScratch, Subscription, SubscriptionId};
 use pscd_pool::effective_threads;
 use pscd_sim::resolve::{SubscriptionRows, VersionHeads};
 use pscd_sim::{HourlySeries, SimResult};
@@ -75,6 +76,17 @@ pub struct ServiceCore {
     batch: ResolvedBatch,
     events_applied: u64,
     last_snapshot: u64,
+    /// Optional content-based matcher. When attached, publish fan-outs and
+    /// request counts resolve against its frozen kernel instead of the
+    /// count rows; dynamic [`subscribe_content`] calls invalidate the
+    /// compilation and the next resolve refreezes lazily.
+    ///
+    /// [`subscribe_content`]: ServiceCore::subscribe_content
+    matcher: Option<EngineMatcher>,
+    /// Counting scratch for the attached matcher's frozen kernel.
+    match_scratch: MatchScratch,
+    /// Fan-out buffer for the attached matcher (reused per publish).
+    fanout_buf: Vec<(ServerId, u32)>,
 }
 
 /// Contiguous even partition of `servers` across `workers` shards.
@@ -115,6 +127,9 @@ impl ServiceCore {
             batch: ResolvedBatch::with_capacity(config.batch_size, config.server_count()),
             events_applied: 0,
             last_snapshot: 0,
+            matcher: None,
+            match_scratch: MatchScratch::new(),
+            fanout_buf: Vec::new(),
             config,
         })
     }
@@ -161,6 +176,9 @@ impl ServiceCore {
             batch: ResolvedBatch::with_capacity(config.batch_size, config.server_count()),
             events_applied: k,
             last_snapshot: k,
+            matcher: None,
+            match_scratch: MatchScratch::new(),
+            fanout_buf: Vec::new(),
             config,
         };
         // Replay the journal suffix without re-journaling and without
@@ -223,6 +241,98 @@ impl ServiceCore {
     /// Total events accepted so far (journal offset of the next event).
     pub fn events_applied(&self) -> u64 {
         self.events_applied
+    }
+
+    /// Attaches a content-based matcher: from now on, publish fan-outs and
+    /// request subscription counts resolve against its frozen kernel
+    /// instead of the count rows ([`LiveEvent::Subscribe`] events still
+    /// maintain the rows — and the snapshot format — but no longer drive
+    /// resolution). The matcher is frozen here, once.
+    ///
+    /// The matcher is in-memory state, not persisted: a
+    /// [`recover`](ServiceCore::recover)ed service starts back in count-row
+    /// mode until a matcher is attached again.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Config`] if the matcher covers a different fleet or
+    /// page universe than the configured one.
+    pub fn attach_matcher(&mut self, mut matcher: EngineMatcher) -> Result<(), ServiceError> {
+        if matcher.server_count() != self.config.server_count()
+            || matcher.page_count() != self.config.pages.len()
+        {
+            return Err(ServiceError::Config {
+                what: "matcher",
+                constraint: "covering the configured fleet and page universe",
+            });
+        }
+        matcher.freeze();
+        self.matcher = Some(matcher);
+        Ok(())
+    }
+
+    /// `true` while a content matcher is attached and its frozen
+    /// compilation is current (no dynamic subscribe since the last
+    /// resolve).
+    pub fn matcher_frozen(&self) -> bool {
+        self.matcher.as_ref().is_some_and(EngineMatcher::is_frozen)
+    }
+
+    /// Registers a content-based subscription at `server` — the dynamic
+    /// subscribe path of the content mode. Takes effect on the next
+    /// resolved event: the frozen compilation is invalidated here and
+    /// rebuilt lazily when the next publish or request resolves.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Config`] if no matcher is attached,
+    /// [`ServiceError::UnknownServer`] if `server` is outside the fleet.
+    pub fn subscribe_content(
+        &mut self,
+        server: ServerId,
+        subscription: Subscription,
+    ) -> Result<SubscriptionId, ServiceError> {
+        let matcher = self.matcher.as_mut().ok_or(ServiceError::Config {
+            what: "matcher",
+            constraint: "attached before subscribe_content",
+        })?;
+        matcher
+            .subscribe(server, subscription)
+            .map_err(|_| ServiceError::UnknownServer {
+                server: server.index(),
+                servers: self.config.server_count(),
+            })
+    }
+
+    /// Removes a content-based subscription registered by
+    /// [`subscribe_content`](ServiceCore::subscribe_content); invalidates
+    /// the frozen compilation like a subscribe does.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Config`] if no matcher is attached or the
+    /// subscription is not registered at `server`,
+    /// [`ServiceError::UnknownServer`] if `server` is outside the fleet.
+    pub fn unsubscribe_content(
+        &mut self,
+        server: ServerId,
+        id: SubscriptionId,
+    ) -> Result<(), ServiceError> {
+        let servers = self.config.server_count();
+        let matcher = self.matcher.as_mut().ok_or(ServiceError::Config {
+            what: "matcher",
+            constraint: "attached before unsubscribe_content",
+        })?;
+        matcher.unsubscribe(server, id).map_err(|e| match e {
+            pscd_matching::MatchError::UnknownServer { .. } => ServiceError::UnknownServer {
+                server: server.index(),
+                servers,
+            },
+            _ => ServiceError::Config {
+                what: "subscription id",
+                constraint: "registered at the given server",
+            },
+        })
     }
 
     /// Ingests one event.
@@ -307,7 +417,17 @@ impl ServiceCore {
                 let meta = &self.config.pages[page.as_usize()];
                 let supersedes = self.heads.publish(page, meta);
                 let pair_lo = self.batch.pairs.len() as u32;
-                self.batch.pairs.extend_from_slice(self.rows.row(page));
+                match &mut self.matcher {
+                    Some(m) => {
+                        // Lazy refreeze: a dynamic subscribe since the last
+                        // resolve invalidated the compilation; rebuild it
+                        // before the fan-out (a no-op when current).
+                        m.freeze();
+                        m.matched_servers_into(page, &mut self.match_scratch, &mut self.fanout_buf);
+                        self.batch.pairs.extend_from_slice(&self.fanout_buf);
+                    }
+                    None => self.batch.pairs.extend_from_slice(self.rows.row(page)),
+                }
                 let pair_hi = self.batch.pairs.len() as u32;
                 self.batch.events.push(ResolvedEvent::Publish {
                     time,
@@ -318,11 +438,18 @@ impl ServiceCore {
                 });
             }
             LiveEvent::Request { time, server, page } => {
+                let subs = match &mut self.matcher {
+                    Some(m) => {
+                        m.freeze();
+                        m.match_count_with(page, server, &mut self.match_scratch)
+                    }
+                    None => self.rows.subs(page, server),
+                };
                 self.batch.events.push(ResolvedEvent::Request {
                     time,
                     server,
                     page,
-                    subs: self.rows.subs(page, server),
+                    subs,
                 });
             }
         }

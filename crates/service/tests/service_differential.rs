@@ -45,6 +45,7 @@ struct Fixture {
     costs: FetchCosts,
     events: Vec<LiveEvent>,
     pages: Arc<[PageMeta]>,
+    subs: pscd_types::SubscriptionTable,
 }
 
 /// The shared workload, compiled once: the batch replay consumes the
@@ -64,6 +65,7 @@ fn fixture() -> &'static Fixture {
             costs,
             events,
             pages,
+            subs,
         }
     })
 }
@@ -234,6 +236,85 @@ fn invalid_events_are_rejected_without_side_effects() {
     core.ingest_all(&f.events).unwrap();
     let outcome = core.shutdown().unwrap();
     assert_equivalent(kind, &outcome, false, "after rejected ingest");
+}
+
+/// Content mode: the same service with a frozen content matcher attached
+/// (encoding each count-table row as `count` copies of an exact-match
+/// `page = <id>` subscription) must resolve every publish and request
+/// through the frozen kernel to the **same** outcome as count-row mode.
+#[test]
+fn content_mode_resolution_is_bit_identical() {
+    let f = fixture();
+    for kind in [
+        StrategyKind::Sg2 { beta: 2.0 },
+        StrategyKind::GdStar { beta: 2.0 },
+        StrategyKind::dc_lap(2.0),
+    ] {
+        let mut core = ServiceCore::new(service_config(kind, false)).unwrap();
+        let matcher = pscd_workload::matcher_from_table(&f.subs, f.trace.server_count());
+        core.attach_matcher(matcher).unwrap();
+        assert!(core.matcher_frozen(), "attach must freeze the matcher");
+        core.ingest_all(&f.events).unwrap();
+        assert!(core.matcher_frozen(), "resolution must leave it frozen");
+        let outcome = core.shutdown().unwrap();
+        assert_equivalent(kind, &outcome, false, "content mode");
+    }
+}
+
+/// Dynamic churn through the content front door: subscribing thaws the
+/// frozen index, the next resolve refreezes it lazily, and a
+/// subscribe/unsubscribe round trip leaves the outcome bit-identical.
+#[test]
+fn content_churn_refreezes_lazily_and_stays_identical() {
+    use pscd_matching::{Predicate, Subscription, Value};
+
+    let f = fixture();
+    let kind = StrategyKind::Sg2 { beta: 2.0 };
+    let mut core = ServiceCore::new(service_config(kind, false)).unwrap();
+    core.attach_matcher(pscd_workload::matcher_from_table(
+        &f.subs,
+        f.trace.server_count(),
+    ))
+    .unwrap();
+
+    let mid = f.events.len() / 2;
+    core.ingest_all(&f.events[..mid]).unwrap();
+
+    // A predicate no registered page satisfies: page ids are dense from
+    // zero, so `page = -1` never matches and the outcome is unaffected —
+    // but the index must still thaw, rebuild, and refreeze around it.
+    let ghost = Subscription::new(vec![Predicate::eq("page", Value::int(-1))]);
+    let id = core.subscribe_content(ServerId::new(0), ghost).unwrap();
+    assert!(!core.matcher_frozen(), "subscribe must thaw the index");
+    core.ingest_all(&f.events[mid..mid + 1]).unwrap();
+    assert!(core.matcher_frozen(), "next resolve must refreeze lazily");
+
+    core.unsubscribe_content(ServerId::new(0), id).unwrap();
+    assert!(!core.matcher_frozen(), "unsubscribe must thaw the index");
+    core.ingest_all(&f.events[mid + 1..]).unwrap();
+    assert!(core.matcher_frozen());
+
+    let outcome = core.shutdown().unwrap();
+    assert_equivalent(kind, &outcome, false, "content churn");
+}
+
+/// Misconfigured matchers are rejected up front, and the content
+/// subscribe front door requires an attached matcher.
+#[test]
+fn content_mode_rejects_mismatched_matchers() {
+    use pscd_matching::{EngineMatcher, Predicate, Subscription, Value};
+
+    let f = fixture();
+    let kind = StrategyKind::Lru;
+    let mut core = ServiceCore::new(service_config(kind, false)).unwrap();
+    // Wrong fleet size and an empty page universe.
+    assert!(core.attach_matcher(EngineMatcher::new(1)).is_err());
+    // No matcher attached: the content front door is closed.
+    let sub = Subscription::new(vec![Predicate::eq("page", Value::int(0))]);
+    assert!(core.subscribe_content(ServerId::new(0), sub).is_err());
+    core.ingest_all(&f.events).unwrap();
+    let outcome = core.shutdown().unwrap();
+    assert_equivalent(kind, &outcome, false, "after rejected matcher");
 }
 
 /// A convergence-relevant subset of the lineup: one representative per

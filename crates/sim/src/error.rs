@@ -21,6 +21,17 @@ pub enum SimError {
         /// Pages covered by the table.
         table_pages: usize,
     },
+    /// The content matcher covers a different fleet or page universe.
+    MismatchedMatcher {
+        /// Proxies in the workload.
+        servers: u16,
+        /// Proxies covered by the matcher.
+        matcher_servers: u16,
+        /// Pages in the workload.
+        pages: usize,
+        /// Pages with registered content.
+        matcher_pages: usize,
+    },
     /// An option was outside its valid range.
     InvalidOption {
         /// Option name.
@@ -39,6 +50,16 @@ impl fmt::Display for SimError {
             SimError::MismatchedSubscriptions { pages, table_pages } => write!(
                 f,
                 "workload has {pages} pages but the subscription table covers {table_pages}"
+            ),
+            SimError::MismatchedMatcher {
+                servers,
+                matcher_servers,
+                pages,
+                matcher_pages,
+            } => write!(
+                f,
+                "workload has {servers} proxies / {pages} pages but the matcher \
+                 covers {matcher_servers} proxies / {matcher_pages} registered pages"
             ),
             SimError::InvalidOption { option, constraint } => {
                 write!(f, "invalid option {option}: must satisfy {constraint}")

@@ -36,6 +36,7 @@
 //! `==` [`CompiledTrace::compile`] and replay-result equality for every
 //! strategy across window sizes.
 
+use pscd_matching::{EngineMatcher, MatchScratch};
 use pscd_obs::NullObserver;
 use pscd_topology::FetchCosts;
 use pscd_types::{Bytes, PublishEvent, RequestEvent, ServerId, SimTime, SubscriptionTable};
@@ -81,6 +82,9 @@ pub struct StreamingTrace {
     /// window's stable sort (see the module docs on tie order).
     warp: Option<TimeWarp>,
     subscriptions: SubscriptionTable,
+    /// Optional content-based matcher (frozen); when attached, window
+    /// resolution evaluates it instead of the table lookups.
+    matcher: Option<EngineMatcher>,
     /// Warped `[first, last]` request instants per page; `None` for pages
     /// that drew no requests. The window overlap filter.
     page_span: Vec<Option<(SimTime, SimTime)>>,
@@ -247,10 +251,38 @@ impl StreamingTrace {
             stream,
             warp,
             subscriptions,
+            matcher: None,
             page_span,
             window_ms,
             window_count,
         })
+    }
+
+    /// Attaches a content-based matcher: every later window pass resolves
+    /// publish fan-outs and request counts against its frozen kernel
+    /// instead of the subscription table. The matcher is frozen here, once
+    /// (a no-op if already frozen). When the matcher reproduces the table
+    /// (see `pscd_workload::matcher_from_table`), streaming output stays
+    /// bit-identical — the `frozen_differential` suite proves it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MismatchedMatcher`] if the matcher covers a
+    /// different fleet or page universe than the trace.
+    pub fn attach_matcher(&mut self, mut matcher: EngineMatcher) -> Result<(), SimError> {
+        if matcher.server_count() != self.meta.servers
+            || matcher.page_count() != self.meta.pages.len()
+        {
+            return Err(SimError::MismatchedMatcher {
+                servers: self.meta.servers,
+                matcher_servers: matcher.server_count(),
+                pages: self.meta.pages.len(),
+                matcher_pages: matcher.page_count(),
+            });
+        }
+        matcher.freeze();
+        self.matcher = Some(matcher);
+        Ok(())
     }
 
     /// The trace-wide replay facts (page table, fleet, capacity basis).
@@ -291,6 +323,8 @@ impl StreamingTrace {
             pairs: Vec::new(),
             scratch: Vec::new(),
             requests: Vec::new(),
+            match_scratch: MatchScratch::new(),
+            fanout_buf: Vec::new(),
         }
     }
 
@@ -340,6 +374,10 @@ pub struct StreamingWindows<'a> {
     scratch: Vec<RequestEvent>,
     /// The window's filtered, warped, stably sorted requests.
     requests: Vec<RequestEvent>,
+    /// Counting scratch for the attached matcher's frozen kernel.
+    match_scratch: MatchScratch,
+    /// Fan-out buffer for the attached matcher (reused per publish).
+    fanout_buf: Vec<(ServerId, u32)>,
 }
 
 impl StreamingWindows<'_> {
@@ -437,7 +475,17 @@ impl ReplaySource for StreamingWindows<'_> {
                 pi += 1;
                 let meta = &trace.meta.pages[ev.page.as_usize()];
                 let supersedes = self.heads.publish(ev.page, meta);
-                let matched = trace.subscriptions.matched_servers(ev.page);
+                let matched: &[(ServerId, u32)] = match &trace.matcher {
+                    Some(m) => {
+                        m.matched_servers_into(
+                            ev.page,
+                            &mut self.match_scratch,
+                            &mut self.fanout_buf,
+                        );
+                        &self.fanout_buf
+                    }
+                    None => trace.subscriptions.matched_servers(ev.page),
+                };
                 self.pairs.extend_from_slice(matched);
                 self.offsets.push(self.pairs.len() as u32);
                 self.events.push(CompiledEvent {
@@ -456,7 +504,12 @@ impl ReplaySource for StreamingWindows<'_> {
                     page: ev.page,
                     kind: CompiledEventKind::Request {
                         server: ev.server,
-                        subs: trace.subscriptions.count(ev.page, ev.server),
+                        subs: match &trace.matcher {
+                            Some(m) => {
+                                m.match_count_with(ev.page, ev.server, &mut self.match_scratch)
+                            }
+                            None => trace.subscriptions.count(ev.page, ev.server),
+                        },
                     },
                 });
             }
@@ -609,6 +662,22 @@ mod tests {
         let stream =
             StreamingTrace::from_scenario(&scenario, 1.0, SimTime::from_hours(6), 0).unwrap();
         assert_eq!(stream.materialize(), reference);
+    }
+
+    #[test]
+    fn attached_matcher_streams_bit_identically() {
+        let reference = monolithic(&config(), 1.0);
+        let mut stream = StreamingTrace::new(&config(), 1.0, SimTime::from_hours(13), 1).unwrap();
+        let matcher =
+            pscd_workload::matcher_from_table(stream.subscriptions(), stream.meta().server_count());
+        stream.attach_matcher(matcher).unwrap();
+        assert_eq!(stream.materialize(), reference);
+        // A matcher covering the wrong universe is rejected.
+        let mut other = StreamingTrace::new(&config(), 1.0, SimTime::from_hours(13), 1).unwrap();
+        assert!(matches!(
+            other.attach_matcher(EngineMatcher::new(1)),
+            Err(SimError::MismatchedMatcher { .. })
+        ));
     }
 
     #[test]

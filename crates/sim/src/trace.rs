@@ -21,6 +21,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use pscd_matching::{EngineMatcher, MatchScratch};
 use pscd_types::{Bytes, PageId, PageMeta, ServerId, SimTime, SubscriptionTable};
 use pscd_workload::Workload;
 
@@ -166,14 +167,122 @@ impl CompiledTrace {
         }
         let publishes = workload.publishing().events();
         let requests = workload.requests().events();
-        let pages = workload.pages();
+        let events = Self::merge_timeline(workload);
 
-        // Phase 1 (sequential): merge the two streams into the timeline
-        // skeleton. Publishes go before requests at equal timestamps — a
-        // notification must precede the requests it triggers — and the
-        // lineage map is driven by the publish stream alone, so it is
-        // resolved here, once, into per-event `supersedes` links.
-        // Request `subs` counts are left 0 and filled in phase 3.
+        // Phase 2: the publish fan-out, sharded by publish ordinal and
+        // assembled into the CSR in ordinal order.
+        let fanouts: Vec<&[(ServerId, u32)]> =
+            parallel_chunked(publishes.len(), PUBLISH_CHUNK, threads, |range| {
+                range
+                    .map(|i| subscriptions.matched_servers(publishes[i].page))
+                    .collect()
+            });
+        let (offsets, pairs) = Self::build_csr(&fanouts);
+
+        // Phase 3: per-request subscription counts, sharded by request
+        // index (request-stream order) and written back in that order.
+        let subs_counts: Vec<u32> =
+            parallel_chunked(requests.len(), REQUEST_CHUNK, threads, |range| {
+                range
+                    .map(|i| subscriptions.count(requests[i].page, requests[i].server))
+                    .collect()
+            });
+        Ok(Self::finish(workload, events, offsets, pairs, &subs_counts))
+    }
+
+    /// Compiles a workload against a content-based [`EngineMatcher`];
+    /// equivalent to
+    /// [`compile_from_matcher_threads`](CompiledTrace::compile_from_matcher_threads)
+    /// with one thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MismatchedMatcher`] if the matcher covers a
+    /// different fleet or page universe than the workload.
+    pub fn compile_from_matcher(
+        workload: &Workload,
+        matcher: &mut EngineMatcher,
+    ) -> Result<Self, SimError> {
+        Self::compile_from_matcher_threads(workload, matcher, 1)
+    }
+
+    /// [`compile_threads`](CompiledTrace::compile_threads) resolving
+    /// through a content-based [`EngineMatcher`] instead of a precomputed
+    /// [`SubscriptionTable`]: every publish fan-out and per-request count
+    /// is evaluated live against the per-proxy subscription indexes.
+    ///
+    /// The matcher is frozen first (a no-op if already frozen), so the
+    /// whole resolution runs on the frozen kernel — interned symbols, CSR
+    /// buckets, epoch-bitset counting — with each pool worker carrying its
+    /// own [`MatchScratch`]. When the matcher was synthesized to reproduce
+    /// a table (see `pscd_workload::matcher_from_table`), the compiled
+    /// value is `==` to the table-compiled one; the `frozen_differential`
+    /// suite proves it end to end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MismatchedMatcher`] if the matcher covers a
+    /// different fleet or page universe than the workload (every workload
+    /// page must have registered content).
+    pub fn compile_from_matcher_threads(
+        workload: &Workload,
+        matcher: &mut EngineMatcher,
+        threads: usize,
+    ) -> Result<Self, SimError> {
+        if matcher.server_count() != workload.server_count()
+            || matcher.page_count() != workload.pages().len()
+        {
+            return Err(SimError::MismatchedMatcher {
+                servers: workload.server_count(),
+                matcher_servers: matcher.server_count(),
+                pages: workload.pages().len(),
+                matcher_pages: matcher.page_count(),
+            });
+        }
+        matcher.freeze();
+        let matcher = &*matcher;
+        let publishes = workload.publishing().events();
+        let requests = workload.requests().events();
+        let events = Self::merge_timeline(workload);
+
+        // Phase 2, engine-resolved: each pool worker owns one scratch and
+        // one fan-out buffer; the matcher itself is shared immutably.
+        let fanouts: Vec<Vec<(ServerId, u32)>> =
+            parallel_chunked(publishes.len(), PUBLISH_CHUNK, threads, |range| {
+                let mut scratch = MatchScratch::new();
+                let mut buf = Vec::new();
+                range
+                    .map(|i| {
+                        matcher.matched_servers_into(publishes[i].page, &mut scratch, &mut buf);
+                        buf.clone()
+                    })
+                    .collect()
+            });
+        let (offsets, pairs) = Self::build_csr(&fanouts);
+
+        // Phase 3, engine-resolved per-request counts.
+        let subs_counts: Vec<u32> =
+            parallel_chunked(requests.len(), REQUEST_CHUNK, threads, |range| {
+                let mut scratch = MatchScratch::new();
+                range
+                    .map(|i| {
+                        matcher.match_count_with(requests[i].page, requests[i].server, &mut scratch)
+                    })
+                    .collect()
+            });
+        Ok(Self::finish(workload, events, offsets, pairs, &subs_counts))
+    }
+
+    /// Phase 1 (sequential): merges the publish and request streams into
+    /// the timeline skeleton. Publishes go before requests at equal
+    /// timestamps — a notification must precede the requests it triggers —
+    /// and the lineage map is driven by the publish stream alone, so it is
+    /// resolved here, once, into per-event `supersedes` links. Request
+    /// `subs` counts are left 0 and filled by [`finish`](Self::finish).
+    fn merge_timeline(workload: &Workload) -> Vec<CompiledEvent> {
+        let publishes = workload.publishing().events();
+        let requests = workload.requests().events();
+        let pages = workload.pages();
         let mut events = Vec::with_capacity(publishes.len() + requests.len());
         let mut latest_version = VersionHeads::new(pages.len());
         let (mut pi, mut ri) = (0usize, 0usize);
@@ -210,32 +319,31 @@ impl CompiledTrace {
                 });
             }
         }
+        events
+    }
 
-        // Phase 2: the publish fan-out, sharded by publish ordinal and
-        // assembled into the CSR in ordinal order.
-        let fanouts: Vec<&[(ServerId, u32)]> =
-            parallel_chunked(publishes.len(), PUBLISH_CHUNK, threads, |range| {
-                range
-                    .map(|i| subscriptions.matched_servers(publishes[i].page))
-                    .collect()
-            });
-        let mut offsets = Vec::with_capacity(publishes.len() + 1);
+    /// Assembles per-publish fan-out lists into the CSR tables.
+    fn build_csr<M: AsRef<[(ServerId, u32)]>>(fanouts: &[M]) -> (Vec<u32>, Vec<(ServerId, u32)>) {
+        let mut offsets = Vec::with_capacity(fanouts.len() + 1);
         offsets.push(0u32);
-        let total: usize = fanouts.iter().map(|m| m.len()).sum();
+        let total: usize = fanouts.iter().map(|m| m.as_ref().len()).sum();
         let mut pairs = Vec::with_capacity(total);
         for matched in fanouts {
-            pairs.extend_from_slice(matched);
+            pairs.extend_from_slice(matched.as_ref());
             offsets.push(pairs.len() as u32);
         }
+        (offsets, pairs)
+    }
 
-        // Phase 3: per-request subscription counts, sharded by request
-        // index (request-stream order) and written back in that order.
-        let subs_counts: Vec<u32> =
-            parallel_chunked(requests.len(), REQUEST_CHUNK, threads, |range| {
-                range
-                    .map(|i| subscriptions.count(requests[i].page, requests[i].server))
-                    .collect()
-            });
+    /// Writes the resolved request counts back into the timeline and
+    /// assembles the compiled value with its [`ReplayMeta`].
+    fn finish(
+        workload: &Workload,
+        mut events: Vec<CompiledEvent>,
+        offsets: Vec<u32>,
+        pairs: Vec<(ServerId, u32)>,
+        subs_counts: &[u32],
+    ) -> Self {
         let mut next_request = 0usize;
         for ev in &mut events {
             if let CompiledEventKind::Request { subs, .. } = &mut ev.kind {
@@ -243,25 +351,24 @@ impl CompiledTrace {
                 next_request += 1;
             }
         }
-
         let servers = workload.server_count();
         COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
-        Ok(Self {
+        Self {
             events,
             offsets,
             pairs,
             meta: ReplayMeta {
-                pages: pages.to_vec(),
+                pages: workload.pages().to_vec(),
                 servers,
                 hours: (workload.horizon().as_hours_f64().ceil() as usize).max(1),
                 horizon: workload.horizon(),
-                publish_count: publishes.len(),
-                request_count: requests.len(),
+                publish_count: workload.publishing().len(),
+                request_count: workload.requests().len(),
                 load: workload.requests().requests_per_server(servers),
                 unique_bytes: workload.unique_bytes_per_server(),
                 min_capacity: workload.min_cache_capacity(),
             },
-        })
+        }
     }
 
     /// Assembles a compiled trace from already-resolved parts — how
@@ -575,6 +682,27 @@ mod tests {
             let par = CompiledTrace::compile_threads(&w, &subs, threads).unwrap();
             assert_eq!(seq, par, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn matcher_compile_equals_table_compile_at_every_thread_count() {
+        let (w, subs) = fixture();
+        let reference = CompiledTrace::compile(&w, &subs).unwrap();
+        let mut matcher = pscd_workload::matcher_from_table(&subs, w.server_count());
+        let seq = CompiledTrace::compile_from_matcher(&w, &mut matcher).unwrap();
+        assert_eq!(seq, reference);
+        assert!(matcher.is_frozen(), "compile leaves the matcher frozen");
+        for threads in [2, 0] {
+            let par =
+                CompiledTrace::compile_from_matcher_threads(&w, &mut matcher, threads).unwrap();
+            assert_eq!(par, reference, "threads = {threads}");
+        }
+        // A matcher covering the wrong universe is rejected up front.
+        let mut empty = EngineMatcher::new(w.server_count());
+        assert!(matches!(
+            CompiledTrace::compile_from_matcher(&w, &mut empty),
+            Err(SimError::MismatchedMatcher { .. })
+        ));
     }
 
     #[test]

@@ -6,11 +6,11 @@
 //! requirement), then replays the rest of the timeline and asserts the
 //! allocation counter did not move.
 //!
-//! Scope: the nine engine-based strategies (LRU, GDS, LFU-DA, GD*, SUB,
-//! SG1, SG2, SR, DC-FP). DM and DC-AP/DC-LAP keep lazy-deletion binary
-//! heaps whose pushes are amortized — they are *amortized*
-//! allocation-free, not strictly so (DESIGN.md §12), and are deliberately
-//! absent here.
+//! Scope: all twelve engine-based strategies. DM and DC-AP/DC-LAP keep
+//! lazy-deletion binary heaps, but under the dense layout those heaps are
+//! preallocated to twice the page universe and compact stale items in
+//! place when full (DESIGN.md §12) — so they too are *strictly*
+//! allocation-free here, not merely amortized.
 //!
 //! Everything lives in ONE `#[test]` so no harness bookkeeping (test
 //! threads, output capture) runs — and allocates — inside a measurement
@@ -76,7 +76,10 @@ fn steady_state_replay_does_not_allocate() {
         StrategyKind::Sg1 { beta: 2.0 },
         StrategyKind::Sg2 { beta: 2.0 },
         StrategyKind::Sr,
+        StrategyKind::Dm { beta: 2.0 },
         StrategyKind::dc_fp(2.0),
+        StrategyKind::DcAp { beta: 2.0 },
+        StrategyKind::dc_lap(2.0),
     ];
     for kind in strategies {
         // Invalidation on: the stale-drop path must be alloc-free too.

@@ -9,8 +9,8 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use pscd_matching::{Content, Value};
-use pscd_types::{PageId, PageKind, PageMeta};
+use pscd_matching::{Content, EngineMatcher, Predicate, Subscription, Value};
+use pscd_types::{PageId, PageKind, PageMeta, SubscriptionTable};
 
 /// News categories used by the synthetic content model.
 pub const CATEGORIES: [&str; 10] = [
@@ -106,10 +106,46 @@ impl ContentModel {
     }
 }
 
+/// Synthesizes an [`EngineMatcher`] whose content-based evaluation
+/// reproduces `table` exactly: every page is registered with a content
+/// carrying its own id (`page = <id>`), and each `(page, server, count)`
+/// row of the table becomes `count` subscriptions equal-matching that id.
+///
+/// This is the bridge from the paper's count-based subscription model
+/// (§4.3) to the content-based engine: a replay resolved through the
+/// returned matcher — including its frozen compilation — is bit-identical
+/// to one resolved through the table, which is what the engine-backed
+/// trace-compile differential asserts.
+///
+/// The matcher is returned *unfrozen*; callers freeze it once after any
+/// further synthesis ([`EngineMatcher::freeze`]).
+///
+/// # Panics
+///
+/// Panics if a table row references a server at or beyond `servers`.
+pub fn matcher_from_table(table: &SubscriptionTable, servers: u16) -> EngineMatcher {
+    let mut matcher = EngineMatcher::new(servers);
+    for page in 0..table.page_count() {
+        matcher.register_page(
+            PageId::new(page as u32),
+            Content::new().with("page", Value::int(page as i64)),
+        );
+    }
+    for (page, server, count) in table.iter() {
+        let sub = Subscription::new(vec![Predicate::eq("page", Value::int(page.index() as i64))]);
+        for _ in 0..count {
+            matcher
+                .subscribe(server, sub.clone())
+                .expect("table row references a server inside the fleet");
+        }
+    }
+    matcher
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pscd_types::{Bytes, SimTime};
+    use pscd_types::{Bytes, ServerId, SimTime, SubscriptionTableBuilder};
 
     fn page(id: u32, kind: PageKind) -> PageMeta {
         PageMeta::new(PageId::new(id), Bytes::new(1000), SimTime::ZERO, kind)
@@ -159,6 +195,30 @@ mod tests {
         let differs =
             (0..50).any(|i| a.category_of(PageId::new(i)) != b.category_of(PageId::new(i)));
         assert!(differs);
+    }
+
+    #[test]
+    fn matcher_from_table_reproduces_every_row() {
+        use pscd_matching::Matcher;
+        let mut b = SubscriptionTableBuilder::new(4);
+        b.add(PageId::new(0), ServerId::new(1), 3);
+        b.add(PageId::new(0), ServerId::new(2), 1);
+        b.add(PageId::new(2), ServerId::new(0), 7);
+        let table = b.build();
+        let mut m = matcher_from_table(&table, 3);
+        m.freeze();
+        for page in 0..4u32 {
+            let page = PageId::new(page);
+            assert_eq!(
+                m.matched_servers(page).as_slice(),
+                table.matched_servers(page),
+                "page {page:?}"
+            );
+            for server in 0..3u16 {
+                let server = ServerId::new(server);
+                assert_eq!(m.match_count(page, server), table.count(page, server));
+            }
+        }
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod seeds;
 mod subscriptions;
 mod workload;
 
-pub use content::{ContentModel, CATEGORIES, TAGS};
+pub use content::{matcher_from_table, ContentModel, CATEGORIES, TAGS};
 pub use dist::{AgeDecay, LogNormal, StepwiseInterval, Zipf};
 pub use error::WorkloadError;
 pub use publishing::{
