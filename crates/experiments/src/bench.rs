@@ -22,7 +22,7 @@ use pscd_matching::{
     Value,
 };
 use pscd_sim::trace::CompiledTrace;
-use pscd_sim::{simulate_compiled, ReplaySource, SimOptions, StreamingTrace};
+use pscd_sim::{simulate_compiled, PrefetchOptions, ReplaySource, SimOptions, StreamingTrace};
 use pscd_types::SimTime;
 use pscd_workload::{Workload, WorkloadConfig};
 
@@ -32,11 +32,11 @@ use crate::{ExperimentContext, ExperimentError, Table2, Trace};
 pub const BENCH_SCHEMA: &str = "pscd-bench/1";
 
 /// The PR this harness ships in; names the default output file
-/// (`BENCH_9.json`).
-pub const BENCH_PR: u32 = 9;
+/// (`BENCH_10.json`).
+pub const BENCH_PR: u32 = 10;
 
 /// Minimum benchmarks a valid document must carry (the pinned suite has
-/// fifteen; a shrunk document means the suite silently lost coverage).
+/// sixteen; a shrunk document means the suite silently lost coverage).
 pub const MIN_BENCHMARKS: usize = 8;
 
 /// One benchmark's summarized samples.
@@ -136,6 +136,22 @@ impl BenchReport {
                 let stream = StreamingTrace::new(&config, 1.0, window, 0)?;
                 let mut pass = stream.open();
                 while pass.next_window().is_some() {}
+                Ok(millis(t))
+            })?,
+        ));
+        // The pipelined streaming path: compile-ahead prefetcher
+        // overlapping generation/compilation with the drain, measured at
+        // depth 4 (the depth the perf trajectory tracks; the API default
+        // is `DEFAULT_PREFETCH_DEPTH` = 2 — see EXPERIMENTS.md for the
+        // depth sweep). Construction is inside the timer like
+        // `cold.stream`, so the two rows price the same work end to end.
+        rows.push(summarize(
+            "cold.stream.pipelined",
+            "ms",
+            sample(n, || {
+                let t = Instant::now();
+                let stream = StreamingTrace::with_lookahead(&config, 1.0, window, 0, 4)?;
+                stream.drain_prefetched(&PrefetchOptions::new(4));
                 Ok(millis(t))
             })?,
         ));
@@ -841,6 +857,7 @@ mod tests {
             "cold.subscriptions",
             "cold.compile",
             "cold.stream",
+            "cold.stream.pipelined",
             "cold.stream.peak_bytes",
             "service.sustained_load",
             "hot_loop.gdstar",

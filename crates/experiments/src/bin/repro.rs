@@ -18,13 +18,14 @@ use pscd_experiments::{
 };
 use pscd_obs::{render_chrome_trace, NullObserver, SpanEvent, TraceSink};
 use pscd_sim::{
-    simulate_observed_sharded_compiled_traced, simulate_streamed, SimOptions, StreamingTrace,
+    simulate_observed_sharded_compiled_traced, simulate_streamed, simulate_streamed_prefetched,
+    PrefetchOptions, SimOptions, StreamingTrace,
 };
 use pscd_topology::{FetchCosts, TopologyBuilder};
 use pscd_types::SimTime;
 use pscd_workload::ScenarioConfig;
 
-const USAGE: &str = "usage: repro <beta|fig3|fig4|table2|fig5|fig6|fig7|classic|lap-bounds|partition|coverage|shift|crash|invalidation|variance|ablations|all> [--scale FRACTION] [--threads N] [--stream-window HOURS] [--csv DIR] [--obs-dir DIR [--events]] [--trace FILE]\n       repro scenario <list|NAME|FILE> [--stream-window HOURS] [--threads N]\n       repro bench [--quick] [--out FILE] [--check FILE]\n       repro serve --load [--scale FRACTION] [--threads N] [--batch N] [--dir DIR [--snapshot-every K]]";
+const USAGE: &str = "usage: repro <beta|fig3|fig4|table2|fig5|fig6|fig7|classic|lap-bounds|partition|coverage|shift|crash|invalidation|variance|ablations|all> [--scale FRACTION] [--threads N] [--stream-window HOURS [--prefetch N]] [--csv DIR] [--obs-dir DIR [--events]] [--trace FILE]\n       repro scenario <list|NAME|FILE> [--stream-window HOURS] [--prefetch N] [--threads N]\n       repro bench [--quick] [--out FILE] [--check FILE]\n       repro serve --load [--scale FRACTION] [--threads N] [--batch N] [--dir DIR [--snapshot-every K]]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +41,7 @@ fn main() -> ExitCode {
     let mut bench_check: Option<PathBuf> = None;
     let mut load = false;
     let mut stream_window: Option<u64> = None;
+    let mut prefetch: Option<usize> = None;
     let mut scenario_arg: Option<String> = None;
     let mut batch = 256usize;
     let mut snapshot_every = 0u64;
@@ -86,6 +88,13 @@ fn main() -> ExitCode {
                 Some(h) if h > 0 => stream_window = Some(h),
                 _ => {
                     eprintln!("--stream-window needs a positive window length in hours");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--prefetch" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(d) if d > 0 => prefetch = Some(d),
+                _ => {
+                    eprintln!("--prefetch needs a positive compile-ahead depth in windows");
                     return ExitCode::FAILURE;
                 }
             },
@@ -149,6 +158,12 @@ fn main() -> ExitCode {
         eprintln!("--events requires --obs-dir\n{USAGE}");
         return ExitCode::FAILURE;
     }
+    if prefetch.is_some() && stream_window.is_none() && exhibit != "scenario" {
+        // Scenario runs always stream (24 h default window); exhibit runs
+        // only stream when asked, so compile-ahead needs the window first.
+        eprintln!("--prefetch requires --stream-window\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
     if exhibit == "bench" {
         return run_bench(quick, bench_out.as_deref(), bench_check.as_deref());
     }
@@ -157,7 +172,7 @@ fn main() -> ExitCode {
             eprintln!("scenario needs <list|NAME|FILE>\n{USAGE}");
             return ExitCode::FAILURE;
         };
-        return match run_scenario(&arg, threads, stream_window) {
+        return match run_scenario(&arg, threads, stream_window, prefetch) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -186,7 +201,7 @@ fn main() -> ExitCode {
         trace_file: trace_file.as_deref(),
         events,
     };
-    match run(&exhibit, scale, threads, stream_window, &outputs) {
+    match run(&exhibit, scale, threads, stream_window, prefetch, &outputs) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => {
             eprintln!("unknown exhibit: {exhibit}\n{USAGE}");
@@ -345,6 +360,7 @@ fn run_scenario(
     arg: &str,
     threads: usize,
     stream_window: Option<u64>,
+    prefetch: Option<usize>,
 ) -> Result<(), ExperimentError> {
     if arg == "list" {
         println!("shipped scenarios:");
@@ -372,11 +388,20 @@ fn run_scenario(
     };
     let window = SimTime::from_hours(stream_window.unwrap_or(24));
     eprintln!(
-        "building scenario \"{}\" through {}-hour streaming windows …",
+        "building scenario \"{}\" through {}-hour streaming windows{} …",
         scenario.name,
-        window.as_millis() / SimTime::from_hours(1).as_millis()
+        window.as_millis() / SimTime::from_hours(1).as_millis(),
+        match prefetch {
+            Some(d) => format!(" (compile-ahead depth {d})"),
+            None => String::new(),
+        }
     );
-    let stream = StreamingTrace::from_scenario(&scenario, 1.0, window, threads)?;
+    let stream = match prefetch {
+        Some(d) => {
+            StreamingTrace::from_scenario_with_lookahead(&scenario, 1.0, window, threads, d)?
+        }
+        None => StreamingTrace::from_scenario(&scenario, 1.0, window, threads)?,
+    };
     let meta = stream.meta();
     println!(
         "scenario {}: {} pages, {} publishes, {} requests, {} proxies, {} windows, digest {:016x}",
@@ -398,7 +423,12 @@ fn run_scenario(
     );
     for kind in StrategyKind::figure4_lineup(PAPER_BETA) {
         let options = SimOptions::at_capacity(kind, 0.05).with_threads(threads);
-        let result = simulate_streamed(&stream, &costs, &options)?;
+        let result = match prefetch {
+            Some(d) => {
+                simulate_streamed_prefetched(&stream, &costs, &options, &PrefetchOptions::new(d))?
+            }
+            None => simulate_streamed(&stream, &costs, &options)?,
+        };
         let hit_rate = if result.requests > 0 {
             result.hits as f64 / result.requests as f64
         } else {
@@ -429,6 +459,7 @@ fn run(
     scale: f64,
     threads: usize,
     stream_window: Option<u64>,
+    prefetch: Option<usize>,
     outputs: &Outputs<'_>,
 ) -> Result<bool, ExperimentError> {
     let &Outputs {
@@ -450,8 +481,21 @@ fn run(
     eprintln!("generating workloads (scale = {scale}) …");
     let mut ctx = ExperimentContext::scaled_threads_traced(scale, threads, sink.clone())?;
     if let Some(hours) = stream_window {
-        eprintln!("compiling traces through {hours}-hour streaming windows …");
-        ctx = ctx.with_stream_window(SimTime::from_hours(hours));
+        match prefetch {
+            Some(depth) => {
+                eprintln!(
+                    "compiling traces through {hours}-hour streaming windows \
+                     (pipelined, compile-ahead depth {depth}) …"
+                );
+                ctx = ctx
+                    .with_stream_window(SimTime::from_hours(hours))
+                    .with_prefetch(depth);
+            }
+            None => {
+                eprintln!("compiling traces through {hours}-hour streaming windows …");
+                ctx = ctx.with_stream_window(SimTime::from_hours(hours));
+            }
+        }
     }
     let all = exhibit == "all";
     let mut known = all;

@@ -8,7 +8,7 @@ use parking_lot::Mutex;
 
 use pscd_obs::{Registry, SharedRegistry, TraceSink};
 use pscd_sim::trace::CompiledTrace;
-use pscd_sim::StreamingTrace;
+use pscd_sim::{PrefetchOptions, StreamingTrace};
 use pscd_topology::{FetchCosts, TopologyBuilder};
 use pscd_types::{SimTime, SubscriptionTable};
 use pscd_workload::{Workload, WorkloadConfig};
@@ -71,6 +71,12 @@ pub struct ExperimentContext {
     /// it), so every exhibit's CSV byte-compares across the two modes —
     /// the knob trades peak compile memory for window bookkeeping.
     stream_window: Option<SimTime>,
+    /// When set alongside `stream_window`, the streaming compile runs
+    /// through the pipelined prefetcher at this compile-ahead depth
+    /// (`repro --prefetch`): the window producer overlaps the consuming
+    /// concatenation, with the constructor-fused lookahead cache covering
+    /// the first batch. Bit-identical to the serial streaming compile.
+    prefetch: Option<usize>,
     /// Compiled traces keyed by `(trace, quality.to_bits())`: each
     /// `(workload, subscription table)` pair is compiled exactly once and
     /// every grid cell of every exhibit replays the shared value.
@@ -158,6 +164,7 @@ impl ExperimentContext {
             costs,
             threads,
             stream_window: None,
+            prefetch: None,
             compiled: Mutex::new(HashMap::new()),
             cold,
             sink,
@@ -192,6 +199,23 @@ impl ExperimentContext {
     /// The streaming compile window, if one is configured.
     pub fn stream_window(&self) -> Option<SimTime> {
         self.stream_window
+    }
+
+    /// Routes the streaming compile through the pipelined prefetcher at
+    /// compile-ahead depth `depth` (`repro --prefetch N`; clamped to at
+    /// least 1). Only meaningful together with
+    /// [`with_stream_window`](Self::with_stream_window). Purely a speed
+    /// knob: the compiled value stays bit-identical, so every exhibit's
+    /// CSV byte-compares across serial, streamed, and pipelined modes.
+    #[must_use]
+    pub fn with_prefetch(mut self, depth: usize) -> Self {
+        self.prefetch = Some(depth.max(1));
+        self
+    }
+
+    /// The pipelined compile-ahead depth, if one is configured.
+    pub fn prefetch(&self) -> Option<usize> {
+        self.prefetch
     }
 
     /// The workload of one trace.
@@ -247,14 +271,41 @@ impl ExperimentContext {
         }
         let workload = self.workload(trace);
         let compiled = if let Some(window) = self.stream_window {
-            // Streaming mode: regenerate-and-compile one window at a
-            // time from the workload config (subscriptions derive from
-            // the counted per-page draws inside), then concatenate. Same
-            // value, O(window) compile memory.
-            Arc::new(phase(&self.cold, &self.sink, "cold.stream", || {
-                StreamingTrace::new(workload.config(), quality, window, self.threads)
-                    .map(|s| s.materialize())
-            })?)
+            if let Some(depth) = self.prefetch {
+                // Pipelined streaming mode: the compile-ahead producer
+                // generates and compiles windows on its own thread while
+                // this one concatenates; the lookahead cache covers the
+                // first batch straight out of the counting scan.
+                Arc::new(phase(
+                    &self.cold,
+                    &self.sink,
+                    "cold.stream.pipelined",
+                    || {
+                        StreamingTrace::with_lookahead(
+                            workload.config(),
+                            quality,
+                            window,
+                            self.threads,
+                            depth,
+                        )
+                        .map(|s| {
+                            s.materialize_prefetched_traced(
+                                &PrefetchOptions::new(depth),
+                                &self.sink,
+                            )
+                        })
+                    },
+                )?)
+            } else {
+                // Streaming mode: regenerate-and-compile one window at a
+                // time from the workload config (subscriptions derive from
+                // the counted per-page draws inside), then concatenate.
+                // Same value, O(window) compile memory.
+                Arc::new(phase(&self.cold, &self.sink, "cold.stream", || {
+                    StreamingTrace::new(workload.config(), quality, window, self.threads)
+                        .map(|s| s.materialize())
+                })?)
+            }
         } else {
             let subs = phase(&self.cold, &self.sink, "cold.subscriptions", || {
                 workload.subscriptions_threads(quality, self.threads)
@@ -362,6 +413,30 @@ mod tests {
             .map(|(l, _)| l.clone())
             .collect();
         assert!(labels.contains(&"cold.stream".into()));
+        assert!(!labels.contains(&"cold.compile".into()));
+    }
+
+    #[test]
+    fn prefetched_stream_window_compiles_identically() {
+        let mono = ExperimentContext::scaled(0.003)
+            .unwrap()
+            .compiled(Trace::News, 1.0)
+            .unwrap();
+        let ctx = ExperimentContext::scaled(0.003)
+            .unwrap()
+            .with_stream_window(SimTime::from_hours(12))
+            .with_prefetch(2);
+        assert_eq!(ctx.prefetch(), Some(2));
+        let piped = ctx.compiled(Trace::News, 1.0).unwrap();
+        assert_eq!(*mono, *piped);
+        let labels: Vec<String> = ctx
+            .cold_timing()
+            .spans()
+            .iter()
+            .map(|(l, _)| l.clone())
+            .collect();
+        assert!(labels.contains(&"cold.stream.pipelined".into()));
+        assert!(!labels.contains(&"cold.stream".into()));
         assert!(!labels.contains(&"cold.compile".into()));
     }
 

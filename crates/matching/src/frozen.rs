@@ -31,7 +31,9 @@
 //! freeze once after synthesis, rebuild on (rare) subscription churn.
 
 use crate::symbol::NO_SYM;
-use crate::{Content, MatchScratch, Op, SubscriptionId, SubscriptionIndex, SymbolTable, Value};
+use crate::{
+    Content, MatchScratch, Op, Subscription, SubscriptionId, SubscriptionIndex, SymbolTable, Value,
+};
 
 /// A content descriptor translated into symbol space: attribute names and
 /// string values replaced by their [`SymbolTable`] symbols, tags flattened
@@ -285,11 +287,15 @@ fn pack(attr: u32, sym: u32) -> u64 {
 }
 
 /// Sorts `(key, token)` pairs and groups them into a CSR (keys, bounds,
-/// entries) triple.
-fn build_csr<K: Ord + Copy>(mut pairs: Vec<(K, u32)>) -> (Vec<K>, Vec<u32>, Vec<u32>) {
+/// entries) triple. Output vectors are sized exactly (distinct keys are
+/// counted after the sort) — at the million-subscription scale the bench
+/// runs, letting these grow by doubling dominated freeze time and spread
+/// its p90 far above the median.
+fn build_csr<K: Ord + Copy + PartialEq>(mut pairs: Vec<(K, u32)>) -> (Vec<K>, Vec<u32>, Vec<u32>) {
     pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
-    let mut keys = Vec::new();
-    let mut bounds = Vec::new();
+    let distinct = 1 + pairs.windows(2).filter(|w| w[0].0 != w[1].0).count();
+    let mut keys = Vec::with_capacity(if pairs.is_empty() { 0 } else { distinct });
+    let mut bounds = Vec::with_capacity(if pairs.is_empty() { 1 } else { distinct + 1 });
     let mut entries = Vec::with_capacity(pairs.len());
     for (key, tok) in pairs {
         if keys.last() != Some(&key) {
@@ -307,11 +313,46 @@ impl FrozenIndex {
     /// string into `table`. Many indexes (one per proxy) may share one
     /// table; content symbolized against it matches any of them.
     pub fn freeze(index: &SubscriptionIndex, table: &mut SymbolTable) -> Self {
-        let mut singles = Vec::new();
-        let mut doubles = Vec::new();
-        let mut multis = Vec::new();
+        // Counting pre-pass: size every arena exactly before a single
+        // push. The populations (subscriptions per class, predicates per
+        // operator family) are all known up front, and at the
+        // million-subscription scale the bench freezes, letting these
+        // vectors grow by doubling was the source of the freeze_build
+        // p90 outlier (first-touch page faults on each fresh doubling).
+        // `index.iter()` sorts ids and re-resolves each subscription
+        // through the map, so it runs exactly once; both passes below
+        // walk the collected slice.
+        let all: Vec<(SubscriptionId, &Subscription)> = index.iter().collect();
+        let (mut n_singles, mut n_doubles, mut n_multis, mut n_wild) = (0usize, 0, 0, 0);
+        let (mut n_eq_int, mut n_eq_str, mut n_tag) = (0usize, 0, 0);
+        let (mut n_range, mut n_exists, mut n_misc) = (0usize, 0, 0);
+        for (_, sub) in &all {
+            match sub.len() {
+                0 => n_wild += 1,
+                1 => n_singles += 1,
+                2 => n_doubles += 1,
+                _ => n_multis += 1,
+            }
+            for pred in sub.predicates() {
+                match pred.op() {
+                    Op::Eq(Value::Int(_)) => n_eq_int += 1,
+                    Op::Eq(Value::Str(_)) => n_eq_str += 1,
+                    Op::Contains(_) => n_tag += 1,
+                    Op::Lt(_) | Op::Le(_) | Op::Gt(_) | Op::Ge(_) => n_range += 1,
+                    Op::Exists => n_exists += 1,
+                    Op::Eq(Value::Tags(_)) | Op::Ne(_) | Op::Prefix(_) => n_misc += 1,
+                }
+            }
+        }
+
+        let mut singles = Vec::with_capacity(n_singles);
+        let mut doubles = Vec::with_capacity(n_doubles);
+        let mut multis = Vec::with_capacity(n_multis);
         let mut out = FrozenIndex::default();
-        for (id, sub) in index.iter() {
+        out.wildcards.reserve_exact(n_wild);
+        out.ids.reserve_exact(n_singles + n_doubles + n_multis);
+        out.multi_need.reserve_exact(n_multis);
+        for &(id, sub) in &all {
             match sub.len() {
                 0 => out.wildcards.push(id),
                 1 => singles.push((id, sub)),
@@ -322,12 +363,12 @@ impl FrozenIndex {
         out.s_count = singles.len() as u32;
         out.d_count = doubles.len() as u32;
 
-        let mut eq_int = Vec::new();
-        let mut eq_str = Vec::new();
-        let mut tag = Vec::new();
-        let mut range: Vec<(u32, i64, i64, u32)> = Vec::new();
-        let mut exists = Vec::new();
-        let mut misc: Vec<(u32, u32, MiscOp)> = Vec::new();
+        let mut eq_int = Vec::with_capacity(n_eq_int);
+        let mut eq_str = Vec::with_capacity(n_eq_str);
+        let mut tag = Vec::with_capacity(n_tag);
+        let mut range: Vec<(u32, i64, i64, u32)> = Vec::with_capacity(n_range);
+        let mut exists = Vec::with_capacity(n_exists);
+        let mut misc: Vec<(u32, u32, MiscOp)> = Vec::with_capacity(n_misc);
 
         let mut compile =
             |out: &mut FrozenIndex, table: &mut SymbolTable, attr_sym: u32, op: &Op, tok: u32| {
@@ -422,6 +463,9 @@ impl FrozenIndex {
         (out.exists_attrs, out.exists_bounds, out.exists_entries) = build_csr(exists);
 
         range.sort_unstable();
+        out.range_lo.reserve_exact(range.len());
+        out.range_hi.reserve_exact(range.len());
+        out.range_tok.reserve_exact(range.len());
         for (attr, lo, hi, tok) in range {
             if out.range_attrs.last() != Some(&attr) {
                 out.range_attrs.push(attr);
@@ -434,6 +478,8 @@ impl FrozenIndex {
         out.range_bounds.push(out.range_tok.len() as u32);
 
         misc.sort_by_key(|&(attr, tok, _)| (attr, tok));
+        out.misc_ops.reserve_exact(misc.len());
+        out.misc_tok.reserve_exact(misc.len());
         for (attr, tok, op) in misc {
             if out.misc_attrs.last() != Some(&attr) {
                 out.misc_attrs.push(attr);

@@ -263,6 +263,46 @@ where
     out
 }
 
+/// Runs `producer` concurrently with `consumers` consumer closures and
+/// returns the consumers' outputs in index order.
+///
+/// Unlike [`parallel_indexed`], which inlines everything when it has one
+/// job or one thread, this shape **always** puts the producer on its own
+/// scoped thread: the point of a producer/consumer pipeline is overlap
+/// (and, for a bounded handoff queue, deadlock-freedom — an inlined
+/// producer could never fill the queue the inlined consumer is waiting
+/// on). Consumer `0` runs on the calling thread; consumers `1..` get
+/// scoped threads of their own. The call returns once the producer and
+/// every consumer have finished, and propagates any panic.
+pub fn producer_consumers<P, C, T>(producer: P, consumers: usize, consume: C) -> Vec<T>
+where
+    P: FnOnce() + Send,
+    C: Fn(usize) -> T + Sync,
+    T: Send,
+{
+    let consumers = consumers.max(1);
+    let slots: Vec<Mutex<Option<T>>> = (0..consumers).map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|scope| {
+        let (slots, consume) = (&slots, &consume);
+        scope.spawn(move |_| producer());
+        for (j, slot) in slots.iter().enumerate().skip(1) {
+            scope.spawn(move |_| {
+                *slot.lock().expect("slot poisoned") = Some(consume(j));
+            });
+        }
+        *slots[0].lock().expect("slot poisoned") = Some(consume(0));
+    })
+    .expect("shim scope never errors");
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("every consumer ran exactly once")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +350,36 @@ mod tests {
         let _ = parallel_indexed(3, 2, |i| i);
         assert!(spans::disable().is_empty());
         assert!(!spans::is_enabled());
+    }
+
+    #[test]
+    fn producer_runs_concurrently_with_consumers() {
+        use std::sync::mpsc;
+        // A rendezvous: each consumer blocks until the producer sends it a
+        // value, which can only work if the producer really runs on its
+        // own thread while consumers wait.
+        for consumers in [1, 3] {
+            let (senders, receivers): (Vec<_>, Vec<_>) =
+                (0..consumers).map(|_| mpsc::channel::<usize>()).unzip();
+            let receivers: Vec<Mutex<mpsc::Receiver<usize>>> =
+                receivers.into_iter().map(Mutex::new).collect();
+            let out = producer_consumers(
+                move || {
+                    for (j, tx) in senders.iter().enumerate() {
+                        tx.send(j * 7).expect("consumer alive");
+                    }
+                },
+                consumers,
+                |j| {
+                    receivers[j]
+                        .lock()
+                        .expect("receiver lock")
+                        .recv()
+                        .expect("producer sends one value per consumer")
+                },
+            );
+            assert_eq!(out, (0..consumers).map(|j| j * 7).collect::<Vec<_>>());
+        }
     }
 
     #[test]

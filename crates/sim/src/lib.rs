@@ -20,8 +20,10 @@
 //! ([`simulate_compiled`]); the streaming source ([`StreamingTrace`])
 //! generates and compiles each time-window lazily from the workload
 //! config, so peak memory is bounded by the window, not the trace
-//! ([`simulate_streamed`]). The two are bit-identical (the
-//! `stream_differential` suite proves it).
+//! ([`simulate_streamed`]), and the pipelined variant
+//! ([`simulate_streamed_prefetched`]) overlaps that lazy compile with
+//! replay through a bounded compile-ahead prefetcher. All three are
+//! bit-identical (the `stream_differential` suite proves it).
 //!
 //! Because the proxies are independent caches, one run can also be
 //! sharded across threads along the proxy axis ([`SimOptions::threads`]):
@@ -57,6 +59,7 @@ pub mod live;
 mod merge;
 mod metrics;
 pub use pscd_pool as pool;
+pub mod prefetch;
 pub mod resolve;
 mod runner;
 mod shard;
@@ -66,6 +69,10 @@ pub mod window;
 
 pub use error::SimError;
 pub use metrics::{HourlySeries, SimResult};
+pub use prefetch::{
+    simulate_streamed_prefetched, simulate_streamed_prefetched_traced, PrefetchOptions,
+    PrefetchStats, DEFAULT_PREFETCH_DEPTH,
+};
 pub use runner::{
     simulate, simulate_compiled, simulate_observed, simulate_observed_sharded,
     simulate_observed_sharded_compiled, simulate_observed_sharded_compiled_traced,

@@ -1,0 +1,675 @@
+//! Pipelined streaming replay: a compile-ahead prefetcher that overlaps
+//! window generation + compilation with replay.
+//!
+//! The serial pass ([`StreamingTrace::open`]) interleaves two very
+//! different workloads on one thread: regenerating and compiling window
+//! `N` (cold-path work — RNG substreams, sorting, fan-out resolution) and
+//! replaying it (hot-loop work — cache decisions per event). This module
+//! splits them: a **producer** runs on a dedicated `pscd-pool` pipeline
+//! thread ([`pool::producer_consumers`](crate::pool::producer_consumers)),
+//! generating and compiling up to `prefetch_depth` windows ahead, while
+//! one or more **consumers** (the replay shards) pull finished windows as
+//! [`Arc<OwnedWindow>`] handles through a bounded [`WindowQueue`].
+//!
+//! Two structural decisions carry the determinism proof:
+//!
+//! * **One producer owns all carried state.** The [`WindowState`] —
+//!   version heads, publish cursor/ordinal, event index — advances
+//!   strictly in window order on the producer thread, through the same
+//!   [`StreamingTrace::compile_window_into`] core the serial pass uses.
+//!   Consumers never touch it; overlap changes *when* a window is
+//!   compiled, never *from what*.
+//! * **Batched generation scatters, it does not reorder.**
+//!   [`StreamingTrace::scatter_batch`] regenerates each page once per
+//!   `prefetch_depth`-window batch (the amortization the speedup is made
+//!   of: a page straddling `d` seams regenerates once instead of `d`
+//!   times) and buckets events per window in page-major order — the same
+//!   pre-sort order the serial pass and the monolithic compiler feed
+//!   their stable sorts, so ties land identically.
+//!
+//! The memory bound stays explicit: the producer may run at most
+//! `prefetch_depth` windows ahead of the **slowest** consumer, so at most
+//! `prefetch_depth + 1` windows are ever alive (queued + the one each
+//! consumer is replaying) — O(depth × window), never O(trace). The queue
+//! tracks its own high-water marks ([`PrefetchStats`]) and the
+//! `stream_memory` suite checks a counting allocator against them.
+//!
+//! Sharded replay shares **one** prefetcher: each shard consumes the same
+//! `Arc`ed windows through its own cursor, so the stream is generated
+//! once per run instead of once per worker (the serial sharded path's
+//! price). With a live [`TraceSink`] the producer records a
+//! `prefetch producer` track (`prefetch.generate` / `prefetch.compile`
+//! spans) and each consumer its `shard k` replay track, so the chrome
+//! trace shows the overlap directly.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use pscd_obs::{MergeableObserver, NullObserver, SharedObserver, TraceSink};
+use pscd_topology::FetchCosts;
+use pscd_types::{RequestEvent, ServerId};
+
+use crate::runner::{validate_meta, ReplayState, SimOptions};
+use crate::shard::{replay_chunked, ShardPlan};
+use crate::stream::{StreamingTrace, WindowState};
+use crate::trace::{CompiledEvent, CompiledTrace};
+use crate::window::TraceWindow;
+use crate::{SimError, SimResult};
+
+/// Default compile-ahead depth: one window in flight behind the one being
+/// replayed covers the producer/consumer overlap without holding more
+/// than a couple of windows alive.
+pub const DEFAULT_PREFETCH_DEPTH: usize = 2;
+
+/// Tuning for the pipelined streaming replay: how many windows the
+/// prefetcher may generate and compile ahead of the slowest consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchOptions {
+    depth: usize,
+}
+
+impl Default for PrefetchOptions {
+    fn default() -> Self {
+        Self {
+            depth: DEFAULT_PREFETCH_DEPTH,
+        }
+    }
+}
+
+impl PrefetchOptions {
+    /// A prefetcher running at most `depth` windows ahead (clamped to at
+    /// least 1 — depth 0 would deadlock a bounded pipeline by definition).
+    pub fn new(depth: usize) -> Self {
+        Self {
+            depth: depth.max(1),
+        }
+    }
+
+    /// The compile-ahead bound.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+/// High-water marks of one pipelined pass, from the queue's own
+/// accounting: what "peak stays O(prefetch_depth × window)" means
+/// concretely. The `stream_memory` suite asserts both these numbers and
+/// the allocator agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Windows handed over.
+    pub windows: usize,
+    /// Timeline events across all windows.
+    pub events: usize,
+    /// Most windows ever alive at once (queued + still replayable by the
+    /// slowest consumer). Bounded by `depth + 1`.
+    pub peak_windows: usize,
+    /// Byte high-water of the alive windows' buffers.
+    pub peak_bytes: usize,
+}
+
+/// One compiled window with owned buffers, safe to hand across threads;
+/// consumers borrow it back into a [`TraceWindow`] view for the replay
+/// loop.
+#[derive(Debug)]
+pub(crate) struct OwnedWindow {
+    events: Vec<CompiledEvent>,
+    offsets: Vec<u32>,
+    pairs: Vec<(ServerId, u32)>,
+    ordinal_base: u32,
+    start_index: usize,
+}
+
+impl OwnedWindow {
+    fn bytes(&self) -> usize {
+        self.events.capacity() * std::mem::size_of::<CompiledEvent>()
+            + self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.pairs.capacity() * std::mem::size_of::<(ServerId, u32)>()
+    }
+
+    fn view<'a>(&'a self, trace: &'a StreamingTrace) -> TraceWindow<'a> {
+        TraceWindow {
+            pages: &trace.meta().pages,
+            events: &self.events,
+            offsets: &self.offsets,
+            pairs: &self.pairs,
+            ordinal_base: self.ordinal_base,
+            start_index: self.start_index,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct QueueInner {
+    /// Alive windows `(window, bytes)` for seqs `[base, base + len)`.
+    /// A window is retired only once every consumer has taken its
+    /// *successor* (a consumer may still be replaying the window it took
+    /// last), which is exactly the alive set the memory bound talks about.
+    buf: VecDeque<(Arc<OwnedWindow>, usize)>,
+    /// Sequence number of `buf[0]`.
+    base: usize,
+    /// Sequence number the producer pushes next.
+    pushed: usize,
+    /// Per-consumer next-take sequence; `usize::MAX` = retired consumer.
+    cursors: Vec<usize>,
+    done: bool,
+    live_bytes: usize,
+    peak_bytes: usize,
+    peak_windows: usize,
+}
+
+impl QueueInner {
+    fn min_cursor(&self) -> usize {
+        self.cursors
+            .iter()
+            .copied()
+            .filter(|&c| c != usize::MAX)
+            .min()
+            .unwrap_or(self.pushed)
+    }
+
+    fn retire_passed(&mut self) {
+        let min = self.min_cursor();
+        while self.base + 1 < min {
+            let Some((_, bytes)) = self.buf.pop_front() else {
+                break;
+            };
+            self.live_bytes -= bytes;
+            self.base += 1;
+        }
+    }
+}
+
+/// The bounded, multi-consumer handoff between the prefetch producer and
+/// the replay shards. Every consumer sees every window (shards filter by
+/// server range, not by window); the producer blocks while it is `depth`
+/// windows ahead of the slowest cursor — that backpressure *is* the
+/// memory bound.
+pub(crate) struct WindowQueue {
+    depth: usize,
+    inner: Mutex<QueueInner>,
+    /// Signaled on push and on finish.
+    avail: Condvar,
+    /// Signaled when a cursor advances or retires.
+    space: Condvar,
+}
+
+impl WindowQueue {
+    fn new(depth: usize, consumers: usize) -> Self {
+        Self {
+            depth: depth.max(1),
+            inner: Mutex::new(QueueInner {
+                buf: VecDeque::new(),
+                base: 0,
+                pushed: 0,
+                cursors: vec![0; consumers.max(1)],
+                done: false,
+                live_bytes: 0,
+                peak_bytes: 0,
+                peak_windows: 0,
+            }),
+            avail: Condvar::new(),
+            space: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueInner> {
+        self.inner.lock().expect("prefetch queue poisoned")
+    }
+
+    fn push(&self, window: OwnedWindow) {
+        let mut g = self.lock();
+        while g.pushed - g.min_cursor() >= self.depth {
+            g = self.space.wait(g).expect("prefetch queue poisoned");
+        }
+        let bytes = window.bytes();
+        g.live_bytes += bytes;
+        g.buf.push_back((Arc::new(window), bytes));
+        g.pushed += 1;
+        g.peak_bytes = g.peak_bytes.max(g.live_bytes);
+        g.peak_windows = g.peak_windows.max(g.buf.len());
+        drop(g);
+        self.avail.notify_all();
+    }
+
+    fn finish(&self) {
+        self.lock().done = true;
+        self.avail.notify_all();
+    }
+
+    fn take(&self, consumer: usize) -> Option<Arc<OwnedWindow>> {
+        let mut g = self.lock();
+        loop {
+            let seq = g.cursors[consumer];
+            debug_assert_ne!(seq, usize::MAX, "take on a retired consumer");
+            if seq < g.pushed {
+                let window = g.buf[seq - g.base].0.clone();
+                g.cursors[consumer] = seq + 1;
+                g.retire_passed();
+                drop(g);
+                self.space.notify_all();
+                return Some(window);
+            }
+            if g.done {
+                return None;
+            }
+            g = self.avail.wait(g).expect("prefetch queue poisoned");
+        }
+    }
+
+    /// Removes `consumer` from the backpressure set (normal completion or
+    /// unwind), so a stuck cursor can never wedge the producer.
+    fn retire_consumer(&self, consumer: usize) {
+        let mut g = self.lock();
+        g.cursors[consumer] = usize::MAX;
+        g.retire_passed();
+        drop(g);
+        self.space.notify_all();
+    }
+
+    fn stats(&self) -> (usize, usize) {
+        let g = self.lock();
+        (g.peak_windows, g.peak_bytes)
+    }
+}
+
+/// Marks the stream finished even if the producer unwinds, so consumers
+/// drain what exists instead of waiting forever.
+struct FinishGuard<'q>(&'q WindowQueue);
+
+impl Drop for FinishGuard<'_> {
+    fn drop(&mut self) {
+        self.0.finish();
+    }
+}
+
+/// Retires the consumer's cursor even on unwind, so the producer's
+/// backpressure wait can always make progress.
+struct CursorGuard<'q> {
+    queue: &'q WindowQueue,
+    consumer: usize,
+}
+
+impl Drop for CursorGuard<'_> {
+    fn drop(&mut self) {
+        self.queue.retire_consumer(self.consumer);
+    }
+}
+
+/// The producer loop: generate request batches `depth` windows at a time
+/// (cache-first), compile each window through the shared
+/// [`StreamingTrace::compile_window_into`] core, and push. Runs on its
+/// own pipeline thread; all carried state is local to this function.
+fn produce(trace: &StreamingTrace, queue: &WindowQueue, depth: usize, sink: &TraceSink) {
+    let _finish = FinishGuard(queue);
+    let mut rec = sink.recorder("prefetch producer");
+    let mut state = WindowState::new(trace);
+    let mut scratch: Vec<RequestEvent> = Vec::new();
+    let mut buckets: Vec<Vec<RequestEvent>> = (0..depth).map(|_| Vec::new()).collect();
+    let total = trace.window_count();
+    let mut k = 0usize;
+    while k < total {
+        let count = depth.min(total - k);
+        for bucket in &mut buckets[..count] {
+            bucket.clear();
+        }
+        // Windows the constructor-fused lookahead already scattered need
+        // no regeneration; scatter only the uncached tail of the batch.
+        let cached_end = trace.lookahead_len().clamp(k, k + count);
+        for (i, w) in (k..cached_end).enumerate() {
+            buckets[i].extend_from_slice(trace.lookahead_window(w).expect("cached prefix"));
+        }
+        if cached_end < k + count {
+            let span = rec.begin();
+            trace.scatter_batch(
+                cached_end,
+                k + count - cached_end,
+                &mut scratch,
+                &mut buckets[cached_end - k..count],
+            );
+            rec.end_with(span, "prefetch.generate", || {
+                format!("windows [{cached_end}, {})", k + count)
+            });
+        }
+        for (i, bucket) in buckets[..count].iter_mut().enumerate() {
+            let span = rec.begin();
+            bucket.sort_by_key(|e| e.time);
+            let mut events = Vec::new();
+            let mut offsets = Vec::new();
+            let mut pairs = Vec::new();
+            let (ordinal_base, start_index) = trace.compile_window_into(
+                &mut state,
+                bucket,
+                &mut events,
+                &mut offsets,
+                &mut pairs,
+            );
+            let n = events.len();
+            rec.end_with(span, "prefetch.compile", || {
+                format!("window {} ({n} events)", k + i)
+            });
+            // Push outside the span: blocked-on-backpressure time shows
+            // as a gap in the producer track, not as compile work.
+            queue.push(OwnedWindow {
+                events,
+                offsets,
+                pairs,
+                ordinal_base,
+                start_index,
+            });
+        }
+        k += count;
+    }
+}
+
+/// One replay shard pulling its cursor through the shared queue.
+fn consume_shard<O: MergeableObserver>(
+    trace: &StreamingTrace,
+    queue: &WindowQueue,
+    plan: &ShardPlan,
+    shard: usize,
+    costs: &FetchCosts,
+    options: &SimOptions,
+    sink: &TraceSink,
+) -> (SimResult, O) {
+    let _cursor = CursorGuard {
+        queue,
+        consumer: shard,
+    };
+    let (start, end) = plan.range(shard);
+    let obs = SharedObserver::new(O::default());
+    let mut state = ReplayState::new(trace.meta(), costs, options, obs.clone(), start, end);
+    if sink.is_enabled() {
+        let mut rec = sink.recorder(format!("shard {shard} [{start},{end})"));
+        while let Some(window) = queue.take(shard) {
+            let view = window.view(trace);
+            replay_chunked(&mut state, &view, &mut rec);
+        }
+    } else {
+        while let Some(window) = queue.take(shard) {
+            let view = window.view(trace);
+            while state.step(&view).is_some() {}
+        }
+    }
+    let result = state.finish();
+    let observer = obs
+        .try_unwrap()
+        .unwrap_or_else(|_| panic!("shard dropped every observer clone"));
+    (result, observer)
+}
+
+/// Runs one pipelined pass: producer thread + one consumer per replay
+/// shard, merged in shard order. Inputs must already be validated.
+pub(crate) fn run_pipelined<O: MergeableObserver>(
+    trace: &StreamingTrace,
+    costs: &FetchCosts,
+    options: &SimOptions,
+    prefetch: &PrefetchOptions,
+    sink: &TraceSink,
+) -> (SimResult, O, PrefetchStats) {
+    let meta = trace.meta();
+    let shards = crate::pool::effective_threads(options.threads, meta.server_count() as usize);
+    let plan = ShardPlan::balanced(meta.request_load(), shards);
+    let queue = WindowQueue::new(prefetch.depth(), plan.shards());
+    let mut counted = (0usize, 0usize);
+    let outputs = {
+        let (queue, plan, counted) = (&queue, &plan, &mut counted);
+        let depth = prefetch.depth();
+        let shard_outputs = crate::pool::producer_consumers(
+            move || produce(trace, queue, depth, sink),
+            plan.shards(),
+            |shard| consume_shard::<O>(trace, queue, plan, shard, costs, options, sink),
+        );
+        *counted = (trace.window_count(), meta.len());
+        shard_outputs
+    };
+    let mut result =
+        SimResult::identity(options.strategy.name(), meta.hours(), meta.server_count());
+    let mut merged = O::default();
+    for (shard_result, shard_obs) in outputs {
+        result.absorb(&shard_result);
+        merged.absorb(shard_obs);
+    }
+    let (peak_windows, peak_bytes) = queue.stats();
+    (
+        result,
+        merged,
+        PrefetchStats {
+            windows: counted.0,
+            events: counted.1,
+            peak_windows,
+            peak_bytes,
+        },
+    )
+}
+
+/// [`simulate_streamed`](crate::simulate_streamed) through the pipelined
+/// prefetcher: generation + compilation overlap replay, sharded consumers
+/// share one window stream, and the result is bit-identical to both the
+/// serial streaming pass and the monolithic compile at every depth and
+/// thread count (the `stream_differential` suite proves it).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the fetch-cost vector does not cover the
+/// trace's proxies or an option is out of range.
+pub fn simulate_streamed_prefetched(
+    trace: &StreamingTrace,
+    costs: &FetchCosts,
+    options: &SimOptions,
+    prefetch: &PrefetchOptions,
+) -> Result<SimResult, SimError> {
+    simulate_streamed_prefetched_traced(trace, costs, options, prefetch, &TraceSink::disabled())
+}
+
+/// [`simulate_streamed_prefetched`] recording producer and per-shard
+/// consumer tracks into `sink` — the chrome trace shows the overlap.
+///
+/// # Errors
+///
+/// Returns [`SimError`] like [`simulate_streamed_prefetched`].
+pub fn simulate_streamed_prefetched_traced(
+    trace: &StreamingTrace,
+    costs: &FetchCosts,
+    options: &SimOptions,
+    prefetch: &PrefetchOptions,
+    sink: &TraceSink,
+) -> Result<SimResult, SimError> {
+    validate_meta(trace.meta(), costs, options)?;
+    let (result, _null, _stats) =
+        run_pipelined::<NullObserver>(trace, costs, options, prefetch, sink);
+    Ok(result)
+}
+
+impl StreamingTrace {
+    /// [`materialize`](StreamingTrace::materialize) through the pipelined
+    /// prefetcher: the producer compiles ahead while this thread
+    /// concatenates. Bit-identical to the serial materialization at every
+    /// depth.
+    pub fn materialize_prefetched(&self, prefetch: &PrefetchOptions) -> CompiledTrace {
+        self.materialize_prefetched_traced(prefetch, &TraceSink::disabled())
+    }
+
+    /// [`materialize_prefetched`](StreamingTrace::materialize_prefetched)
+    /// recording the producer track into `sink`.
+    pub fn materialize_prefetched_traced(
+        &self,
+        prefetch: &PrefetchOptions,
+        sink: &TraceSink,
+    ) -> CompiledTrace {
+        let queue = WindowQueue::new(prefetch.depth(), 1);
+        let mut out = {
+            let queue = &queue;
+            let depth = prefetch.depth();
+            crate::pool::producer_consumers(
+                move || produce(self, queue, depth, sink),
+                1,
+                |consumer| {
+                    let _cursor = CursorGuard { queue, consumer };
+                    let mut events: Vec<CompiledEvent> = Vec::with_capacity(self.meta().len());
+                    let mut offsets: Vec<u32> = Vec::with_capacity(self.meta().publish_count() + 1);
+                    offsets.push(0);
+                    let mut pairs: Vec<(ServerId, u32)> = Vec::new();
+                    while let Some(w) = queue.take(consumer) {
+                        events.extend_from_slice(&w.events);
+                        let base = pairs.len() as u32;
+                        for &off in &w.offsets[1..] {
+                            offsets.push(base + off);
+                        }
+                        pairs.extend_from_slice(&w.pairs);
+                    }
+                    CompiledTrace::from_parts(self.meta().clone(), events, offsets, pairs)
+                },
+            )
+        };
+        out.pop().expect("one consumer")
+    }
+
+    /// Drives one full pipelined pass discarding the windows, returning
+    /// the queue's high-water marks. This is the replay-free cost of the
+    /// pipeline (what `cold.stream.pipelined` benchmarks against the
+    /// serial drain) and the accounting the memory suite asserts on.
+    pub fn drain_prefetched(&self, prefetch: &PrefetchOptions) -> PrefetchStats {
+        let queue = WindowQueue::new(prefetch.depth(), 1);
+        let counts = {
+            let queue = &queue;
+            let depth = prefetch.depth();
+            crate::pool::producer_consumers(
+                move || produce(self, queue, depth, &TraceSink::disabled()),
+                1,
+                |consumer| {
+                    let _cursor = CursorGuard { queue, consumer };
+                    let mut windows = 0usize;
+                    let mut events = 0usize;
+                    while let Some(w) = queue.take(consumer) {
+                        windows += 1;
+                        events += w.events.len();
+                    }
+                    (windows, events)
+                },
+            )
+        };
+        let (windows, events) = counts[0];
+        let (peak_windows, peak_bytes) = queue.stats();
+        PrefetchStats {
+            windows,
+            events,
+            peak_windows,
+            peak_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscd_core::StrategyKind;
+    use pscd_types::SimTime;
+    use pscd_workload::WorkloadConfig;
+
+    fn config() -> WorkloadConfig {
+        WorkloadConfig::news_scaled(0.004)
+    }
+
+    #[test]
+    fn prefetched_materialize_matches_serial_at_every_depth() {
+        let serial = StreamingTrace::new(&config(), 1.0, SimTime::from_hours(9), 1)
+            .unwrap()
+            .materialize();
+        for depth in [1, 2, 4, 9] {
+            let stream =
+                StreamingTrace::with_lookahead(&config(), 1.0, SimTime::from_hours(9), 1, depth)
+                    .unwrap();
+            let piped = stream.materialize_prefetched(&PrefetchOptions::new(depth));
+            assert_eq!(piped, serial, "depth = {depth}");
+        }
+    }
+
+    #[test]
+    fn prefetched_replay_matches_serial_streamed() {
+        let stream = StreamingTrace::new(&config(), 1.0, SimTime::from_hours(13), 1).unwrap();
+        let costs = FetchCosts::uniform(stream.meta().server_count());
+        let options = SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05);
+        let serial = crate::simulate_streamed(&stream, &costs, &options).unwrap();
+        for depth in [1, 3] {
+            let piped = simulate_streamed_prefetched(
+                &stream,
+                &costs,
+                &options,
+                &PrefetchOptions::new(depth),
+            )
+            .unwrap();
+            assert_eq!(piped, serial, "depth = {depth}");
+            let sharded = simulate_streamed_prefetched(
+                &stream,
+                &costs,
+                &options.with_threads(3),
+                &PrefetchOptions::new(depth),
+            )
+            .unwrap();
+            assert_eq!(sharded, serial, "depth = {depth}, sharded");
+        }
+    }
+
+    #[test]
+    fn queue_bounds_alive_windows_by_depth_plus_one() {
+        let stream = StreamingTrace::new(&config(), 1.0, SimTime::from_hours(6), 1).unwrap();
+        assert!(stream.window_count() >= 8, "need enough windows to matter");
+        for depth in [1, 2, 4] {
+            let stats = stream.drain_prefetched(&PrefetchOptions::new(depth));
+            assert_eq!(stats.windows, stream.window_count());
+            assert_eq!(stats.events, stream.meta().len());
+            assert!(
+                stats.peak_windows <= depth + 1,
+                "depth {depth}: {} windows alive",
+                stats.peak_windows
+            );
+            assert!(stats.peak_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn traced_run_records_producer_and_consumer_tracks() {
+        let stream = StreamingTrace::new(&config(), 1.0, SimTime::from_hours(24), 1).unwrap();
+        let costs = FetchCosts::uniform(stream.meta().server_count());
+        let options = SimOptions::at_capacity(StrategyKind::Lru, 0.05).with_threads(2);
+        let sink = TraceSink::enabled();
+        let traced = simulate_streamed_prefetched_traced(
+            &stream,
+            &costs,
+            &options,
+            &PrefetchOptions::default(),
+            &sink,
+        )
+        .unwrap();
+        let plain =
+            simulate_streamed_prefetched(&stream, &costs, &options, &PrefetchOptions::default())
+                .unwrap();
+        assert_eq!(traced, plain, "tracing must not perturb results");
+        let log = sink.drain();
+        let names: Vec<&str> = log.tracks().iter().map(|t| t.name.as_str()).collect();
+        assert!(
+            names.contains(&"prefetch producer"),
+            "producer track missing from {names:?}"
+        );
+        assert!(
+            names.iter().any(|n| n.starts_with("shard ")),
+            "consumer tracks missing from {names:?}"
+        );
+        let producer = log
+            .tracks()
+            .iter()
+            .find(|t| t.name == "prefetch producer")
+            .expect("checked above");
+        assert!(producer
+            .events
+            .iter()
+            .any(|e| e.label == "prefetch.compile"));
+    }
+
+    #[test]
+    fn depth_zero_is_clamped_and_options_default() {
+        assert_eq!(PrefetchOptions::new(0).depth(), 1);
+        assert_eq!(PrefetchOptions::default().depth(), DEFAULT_PREFETCH_DEPTH);
+    }
+}

@@ -133,7 +133,7 @@ const REPLAY_CHUNK: usize = 8192;
 /// Drains one window of `state` in [`REPLAY_CHUNK`]-sized chunks,
 /// recording one span per chunk (label `replay.<strategy>`, detail = the
 /// cursor range).
-fn replay_chunked<O: Observer>(
+pub(crate) fn replay_chunked<O: Observer>(
     state: &mut ReplayState<O>,
     window: &TraceWindow<'_>,
     rec: &mut TraceRecorder,

@@ -11,7 +11,7 @@
 //! subscription table, per-page time spans) and compiles each time-window
 //! of the timeline lazily as the replay loop pulls it, carrying the
 //! cross-window state — per-origin version heads, the global publish
-//! ordinal, the global event index — explicitly in [`StreamingWindows`].
+//! ordinal, the global event index — explicitly in [`WindowState`].
 //! Peak memory is O(window), not O(trace); the `stream_memory` suite
 //! proves it with a counting allocator.
 //!
@@ -32,9 +32,26 @@
 //!    the per-origin version heads driving `supersedes`, is carried in
 //!    [`VersionHeads`] across window seams.
 //!
+//! Two pulls on the same machinery exist. The serial pass
+//! ([`StreamingTrace::open`]) regenerates one window at a time on the
+//! replay thread. The pipelined pass (`crate::prefetch`,
+//! [`simulate_streamed_prefetched`](crate::simulate_streamed_prefetched))
+//! moves generation + compilation to a producer thread that works
+//! `prefetch_depth` windows ahead, batching regeneration across the
+//! lookahead so pages whose spans straddle seams regenerate once per
+//! batch instead of once per window. Both drive the same
+//! [`compile_window_into`](StreamingTrace::compile_window_into) core over
+//! the same [`WindowState`], so the per-window merge/resolve logic cannot
+//! diverge; what the differential suite additionally proves is that the
+//! batched *generation* scatters the same events. A constructor-fused
+//! lookahead cache ([`StreamingTrace::with_lookahead`]) goes one step
+//! further: the counting scan regenerates every page anyway, so it
+//! scatters the first `depth` windows' requests as a side product and the
+//! first batch replays without regenerating at all.
+//!
 //! The `stream_differential` suite asserts [`StreamingTrace::materialize`]
 //! `==` [`CompiledTrace::compile`] and replay-result equality for every
-//! strategy across window sizes.
+//! strategy across window sizes, thread counts, and prefetch depths.
 
 use pscd_matching::{EngineMatcher, MatchScratch};
 use pscd_obs::NullObserver;
@@ -67,8 +84,10 @@ const SCAN_CHUNK: usize = 256;
 /// `Workload::subscriptions` derives it from the materialized trace, so
 /// both paths resolve against the same table.
 ///
-/// [`open`](StreamingTrace::open) starts a window pass;
+/// [`open`](StreamingTrace::open) starts a serial window pass;
 /// [`simulate_streamed`] replays one (sharded if asked);
+/// [`simulate_streamed_prefetched`](crate::simulate_streamed_prefetched)
+/// replays through the pipelined prefetcher;
 /// [`materialize`](StreamingTrace::materialize) rebuilds the full
 /// [`CompiledTrace`] for differential proofs and memoizing consumers.
 #[derive(Debug)]
@@ -92,6 +111,12 @@ pub struct StreamingTrace {
     window_ms: u64,
     /// Number of windows tiling `[0, horizon)`.
     window_count: usize,
+    /// Constructor-fused request cache for the first
+    /// [`lookahead_len`](Self::lookahead_len) windows: the counting scan's
+    /// per-page regeneration scattered into per-window buckets (warped,
+    /// page-major pre-sort order, unsorted). Empty unless built with
+    /// [`with_lookahead`](Self::with_lookahead); O(lookahead × window).
+    lookahead: Vec<Vec<RequestEvent>>,
 }
 
 /// One page's contribution to the counting scan.
@@ -101,6 +126,9 @@ struct PageScan {
     servers: Vec<(u16, u64)>,
     /// Warped `[first, last]` request instants.
     span: (SimTime, SimTime),
+    /// The page's warped events landing in the lookahead prefix (empty
+    /// when no lookahead was requested).
+    cached: Vec<RequestEvent>,
 }
 
 impl StreamingTrace {
@@ -120,7 +148,29 @@ impl StreamingTrace {
         window: SimTime,
         threads: usize,
     ) -> Result<Self, WorkloadError> {
-        Self::with_warp(config, None, quality, window, threads)
+        Self::with_warp(config, None, quality, window, threads, 0)
+    }
+
+    /// [`new`](StreamingTrace::new) plus a constructor-fused lookahead
+    /// cache covering the first `lookahead` windows: the counting scan
+    /// already regenerates every page once, so it scatters those windows'
+    /// requests as a side product and the first prefetch batch (or the
+    /// first `lookahead` serial windows) replays without regenerating.
+    /// Output is bit-identical to [`new`](StreamingTrace::new); resident
+    /// memory grows by O(`lookahead` × window).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidConfig`] like
+    /// [`new`](StreamingTrace::new).
+    pub fn with_lookahead(
+        config: &WorkloadConfig,
+        quality: f64,
+        window: SimTime,
+        threads: usize,
+        lookahead: usize,
+    ) -> Result<Self, WorkloadError> {
+        Self::with_warp(config, None, quality, window, threads, lookahead)
     }
 
     /// [`new`](StreamingTrace::new) for a scenario: derives the workload
@@ -137,9 +187,27 @@ impl StreamingTrace {
         window: SimTime,
         threads: usize,
     ) -> Result<Self, WorkloadError> {
+        Self::from_scenario_with_lookahead(scenario, quality, window, threads, 0)
+    }
+
+    /// [`from_scenario`](StreamingTrace::from_scenario) with a
+    /// constructor-fused lookahead cache (see
+    /// [`with_lookahead`](StreamingTrace::with_lookahead)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidConfig`] for invalid scenarios or
+    /// an out-of-range quality.
+    pub fn from_scenario_with_lookahead(
+        scenario: &ScenarioConfig,
+        quality: f64,
+        window: SimTime,
+        threads: usize,
+        lookahead: usize,
+    ) -> Result<Self, WorkloadError> {
         let config = scenario.workload_config()?;
         let warp = scenario.time_warp()?;
-        Self::with_warp(&config, warp, quality, window, threads)
+        Self::with_warp(&config, warp, quality, window, threads, lookahead)
     }
 
     fn with_warp(
@@ -148,6 +216,7 @@ impl StreamingTrace {
         quality: f64,
         window: SimTime,
         threads: usize,
+        lookahead: usize,
     ) -> Result<Self, WorkloadError> {
         if config.publishing.horizon != config.requests.horizon {
             return Err(WorkloadError::InvalidConfig {
@@ -155,14 +224,32 @@ impl StreamingTrace {
                 constraint: "publishing.horizon == requests.horizon",
             });
         }
+        let horizon = config.publishing.horizon;
+        let window_ms = match window.as_millis() {
+            0 => horizon.as_millis().max(1),
+            ms => ms,
+        };
+        let window_count = (horizon.as_millis().max(1)).div_ceil(window_ms).max(1) as usize;
+        // The cache prefix ends at a window boundary; when it covers every
+        // window it must be open-ended like the final window itself.
+        let cached_windows = lookahead.min(window_count);
+        let cache_end = if cached_windows == 0 {
+            SimTime::ZERO
+        } else if cached_windows == window_count {
+            SimTime::from_millis(u64::MAX)
+        } else {
+            SimTime::from_millis(window_ms * cached_windows as u64)
+        };
+
         let publishing = generate_publishing_threads(&config.publishing, config.seed, threads)?;
         let pages = publishing.pages;
         let stream = RequestStream::prepare(pages.len(), &config.requests, config.seed, threads)?;
 
         // The counting scan: regenerate each page's events once, count
-        // them per server, note the warped time span — and drop them.
-        // This is the only full pass outside replay; it holds one page's
-        // events at a time per worker.
+        // them per server, note the warped time span — and drop them
+        // (except the lookahead prefix, scattered here for free since the
+        // events are in hand anyway). This is the only full pass outside
+        // replay; it holds one page's events at a time per worker.
         let scans: Vec<PageScan> = parallel_chunked(pages.len(), SCAN_CHUNK, threads, |range| {
             let mut out = Vec::new();
             let mut scratch: Vec<RequestEvent> = Vec::new();
@@ -191,10 +278,23 @@ impl StreamingTrace {
                         _ => counts.push((s, 1)),
                     }
                 }
+                let mut cached: Vec<RequestEvent> = Vec::new();
+                if span.0 < cache_end {
+                    for ev in &scratch {
+                        let time = match &warp {
+                            Some(w) => w.apply(ev.time),
+                            None => ev.time,
+                        };
+                        if time < cache_end {
+                            cached.push(RequestEvent::new(time, ev.server, ev.page));
+                        }
+                    }
+                }
                 out.push(PageScan {
                     page: page_idx as u32,
                     servers: counts,
                     span,
+                    cached,
                 });
             }
             out
@@ -205,7 +305,11 @@ impl StreamingTrace {
         let mut unique_bytes = vec![Bytes::ZERO; servers as usize];
         let mut page_span = vec![None; pages.len()];
         let mut groups: Vec<(u32, Vec<(u16, u64)>)> = Vec::with_capacity(scans.len());
+        let mut lookahead_buckets: Vec<Vec<RequestEvent>> = vec![Vec::new(); cached_windows];
         let mut request_count = 0usize;
+        // Scans arrive in ascending page order (chunks concatenate in
+        // order), so scattering here keeps each bucket page-major — the
+        // exact pre-sort order `scatter_batch` produces at replay time.
         for scan in scans {
             let size = pages[scan.page as usize].size();
             for &(s, n) in &scan.servers {
@@ -214,6 +318,10 @@ impl StreamingTrace {
                 request_count += n as usize;
             }
             page_span[scan.page as usize] = Some(scan.span);
+            for ev in scan.cached {
+                let w = ((ev.time.as_millis() / window_ms) as usize).min(cached_windows - 1);
+                lookahead_buckets[w].push(ev);
+            }
             groups.push((scan.page, scan.servers));
         }
 
@@ -228,12 +336,6 @@ impl StreamingTrace {
             threads,
         )?;
 
-        let horizon = config.publishing.horizon;
-        let window_ms = match window.as_millis() {
-            0 => horizon.as_millis().max(1),
-            ms => ms,
-        };
-        let window_count = (horizon.as_millis().max(1)).div_ceil(window_ms).max(1) as usize;
         let publishes = publishing.stream.events().to_vec();
         Ok(Self {
             meta: ReplayMeta {
@@ -255,6 +357,7 @@ impl StreamingTrace {
             page_span,
             window_ms,
             window_count,
+            lookahead: lookahead_buckets,
         })
     }
 
@@ -305,26 +408,187 @@ impl StreamingTrace {
         self.window_count
     }
 
-    /// Starts a window pass: a [`ReplaySource`] yielding the timeline in
-    /// `window_size` slices. Each open pass regenerates the request
-    /// events window by window (reusing its buffers), carrying version
-    /// heads, publish ordinals and event indices across seams. Multiple
-    /// passes can be open concurrently — the trace itself is immutable —
-    /// which is what lets shard workers each pull their own sequence.
+    /// How many leading windows the constructor-fused cache covers
+    /// (`0` unless built with [`with_lookahead`](Self::with_lookahead)).
+    pub fn lookahead_len(&self) -> usize {
+        self.lookahead.len()
+    }
+
+    /// The cached, unsorted (page-major) requests of window `k`, if the
+    /// lookahead prefix covers it.
+    pub(crate) fn lookahead_window(&self, k: usize) -> Option<&[RequestEvent]> {
+        self.lookahead.get(k).map(Vec::as_slice)
+    }
+
+    /// The half-open `[t0, t1)` bounds of window `k`. The final window is
+    /// open-ended so clamped events at the horizon edge (and any publish
+    /// at it) cannot fall between windows.
+    fn window_bounds(&self, k: usize) -> (SimTime, SimTime) {
+        let t0 = SimTime::from_millis(self.window_ms * k as u64);
+        let t1 = if k + 1 >= self.window_count {
+            SimTime::from_millis(u64::MAX)
+        } else {
+            SimTime::from_millis(self.window_ms * (k as u64 + 1))
+        };
+        (t0, t1)
+    }
+
+    /// Regenerates every page whose span overlaps windows
+    /// `[first, first + count)` — once per page for the whole batch — and
+    /// scatters the warped, filtered events into `buckets[0..count]`
+    /// (ascending page order, so each bucket is page-major pre-sort, the
+    /// same relative order the monolithic generator feeds its one stable
+    /// sort). Batching is what the prefetcher's speedup is made of: a page
+    /// straddling `count` seams regenerates once instead of `count` times.
+    pub(crate) fn scatter_batch(
+        &self,
+        first: usize,
+        count: usize,
+        scratch: &mut Vec<RequestEvent>,
+        buckets: &mut [Vec<RequestEvent>],
+    ) {
+        debug_assert!(count >= 1 && first + count <= self.window_count);
+        debug_assert!(buckets.len() >= count);
+        let (t0, _) = self.window_bounds(first);
+        let (_, t_end) = self.window_bounds(first + count - 1);
+        for (page_idx, span) in self.page_span.iter().enumerate() {
+            let Some((p_first, p_last)) = span else {
+                continue;
+            };
+            if *p_last < t0 || *p_first >= t_end {
+                continue;
+            }
+            scratch.clear();
+            self.stream
+                .append_page_requests(&self.meta.pages, page_idx, scratch);
+            for ev in scratch.iter() {
+                let time = match &self.warp {
+                    Some(w) => w.apply(ev.time),
+                    None => ev.time,
+                };
+                if time >= t0 && time < t_end {
+                    // The division maps into the batch; the clamp folds
+                    // the open-ended final window back onto its bucket.
+                    let w = ((time.as_millis() / self.window_ms) as usize - first).min(count - 1);
+                    buckets[w].push(RequestEvent::new(time, ev.server, ev.page));
+                }
+            }
+        }
+    }
+
+    /// Compiles the next window (per `state`) from its already-gathered,
+    /// time-sorted `requests`: consumes the publish stream up to the
+    /// window end, merges with the `publish.time <= request.time`
+    /// tie-break, and resolves fan-outs/counts — the same static lookups
+    /// as `CompiledTrace::compile`, with the lineage carried in
+    /// `state.heads` instead of a trace-local map. Returns the window's
+    /// `(ordinal_base, start_index)` and advances every piece of carried
+    /// state. Both the serial pass and the pipelined producer funnel
+    /// through here, so the merge/resolve logic cannot diverge.
+    pub(crate) fn compile_window_into(
+        &self,
+        state: &mut WindowState,
+        requests: &[RequestEvent],
+        events: &mut Vec<CompiledEvent>,
+        offsets: &mut Vec<u32>,
+        pairs: &mut Vec<(ServerId, u32)>,
+    ) -> (u32, usize) {
+        let k = state.next_window;
+        debug_assert!(k < self.window_count, "compile past the last window");
+        state.next_window += 1;
+        let (_t0, t1) = self.window_bounds(k);
+        debug_assert!(requests.windows(2).all(|w| w[0].time <= w[1].time));
+
+        // Publishes in [t0, t1): everything earlier was consumed by
+        // previous windows (the stream is time-sorted).
+        let pub_start = state.publish_cursor;
+        while self
+            .publishes
+            .get(state.publish_cursor)
+            .is_some_and(|p| p.time < t1)
+        {
+            state.publish_cursor += 1;
+        }
+        let window_pubs = &self.publishes[pub_start..state.publish_cursor];
+
+        events.clear();
+        offsets.clear();
+        offsets.push(0);
+        pairs.clear();
+        let (mut pi, mut ri) = (0usize, 0usize);
+        while pi < window_pubs.len() || ri < requests.len() {
+            let publish_next = match (window_pubs.get(pi), requests.get(ri)) {
+                (Some(p), Some(r)) => p.time <= r.time,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if publish_next {
+                let ev = window_pubs[pi];
+                let ordinal = (pub_start + pi) as u32;
+                pi += 1;
+                let meta = &self.meta.pages[ev.page.as_usize()];
+                let supersedes = state.heads.publish(ev.page, meta);
+                let matched: &[(ServerId, u32)] = match &self.matcher {
+                    Some(m) => {
+                        m.matched_servers_into(
+                            ev.page,
+                            &mut state.match_scratch,
+                            &mut state.fanout_buf,
+                        );
+                        &state.fanout_buf
+                    }
+                    None => self.subscriptions.matched_servers(ev.page),
+                };
+                pairs.extend_from_slice(matched);
+                offsets.push(pairs.len() as u32);
+                events.push(CompiledEvent {
+                    time: ev.time,
+                    page: ev.page,
+                    kind: CompiledEventKind::Publish {
+                        ordinal,
+                        supersedes,
+                    },
+                });
+            } else {
+                let ev = requests[ri];
+                ri += 1;
+                events.push(CompiledEvent {
+                    time: ev.time,
+                    page: ev.page,
+                    kind: CompiledEventKind::Request {
+                        server: ev.server,
+                        subs: match &self.matcher {
+                            Some(m) => {
+                                m.match_count_with(ev.page, ev.server, &mut state.match_scratch)
+                            }
+                            None => self.subscriptions.count(ev.page, ev.server),
+                        },
+                    },
+                });
+            }
+        }
+
+        let start_index = state.start_index;
+        state.start_index += events.len();
+        (pub_start as u32, start_index)
+    }
+
+    /// Starts a serial window pass: a [`ReplaySource`] yielding the
+    /// timeline in `window_size` slices. Each open pass regenerates the
+    /// request events window by window (reusing its buffers), carrying
+    /// version heads, publish ordinals and event indices across seams.
+    /// Multiple passes can be open concurrently — the trace itself is
+    /// immutable — which is what lets shard workers each pull their own
+    /// sequence.
     pub fn open(&self) -> StreamingWindows<'_> {
         StreamingWindows {
             trace: self,
-            next_window: 0,
-            publish_cursor: 0,
-            start_index: 0,
-            heads: VersionHeads::new(self.meta.pages.len()),
+            state: WindowState::new(self),
             events: Vec::new(),
             offsets: Vec::new(),
             pairs: Vec::new(),
             scratch: Vec::new(),
             requests: Vec::new(),
-            match_scratch: MatchScratch::new(),
-            fanout_buf: Vec::new(),
         }
     }
 
@@ -352,21 +616,51 @@ impl StreamingTrace {
     }
 }
 
-/// One pass over a [`StreamingTrace`]'s windows: the lazily generating
-/// [`ReplaySource`]. All cross-window replay state lives here explicitly —
-/// the carried [`VersionHeads`] (invalidation lineage), the global publish
-/// cursor/ordinal, and the global event index — while the window buffers
-/// are reused allocation-steady from window to window.
+/// Every piece of replay state carried across window seams, in one place:
+/// the window cursor, the publish cursor (== the next window's ordinal
+/// base), the global event index, the per-origin version heads driving
+/// `supersedes`, and the matcher scratch. One `WindowState` advances
+/// strictly in window order — handing it to
+/// [`StreamingTrace::compile_window_into`] is what makes a window pass a
+/// pass, whether the serial source or the pipelined producer owns it.
+#[derive(Debug)]
+pub(crate) struct WindowState {
+    next_window: usize,
+    publish_cursor: usize,
+    start_index: usize,
+    heads: VersionHeads,
+    /// Counting scratch for the attached matcher's frozen kernel.
+    match_scratch: MatchScratch,
+    /// Fan-out buffer for the attached matcher (reused per publish).
+    fanout_buf: Vec<(ServerId, u32)>,
+}
+
+impl WindowState {
+    pub(crate) fn new(trace: &StreamingTrace) -> Self {
+        Self {
+            next_window: 0,
+            publish_cursor: 0,
+            start_index: 0,
+            heads: VersionHeads::new(trace.meta.pages.len()),
+            match_scratch: MatchScratch::new(),
+            fanout_buf: Vec::new(),
+        }
+    }
+
+    /// The next window this state will compile.
+    pub(crate) fn next_window(&self) -> usize {
+        self.next_window
+    }
+}
+
+/// One serial pass over a [`StreamingTrace`]'s windows: the lazily
+/// generating [`ReplaySource`]. All cross-window replay state lives in the
+/// owned [`WindowState`]; the window buffers are reused allocation-steady
+/// from window to window.
 #[derive(Debug)]
 pub struct StreamingWindows<'a> {
     trace: &'a StreamingTrace,
-    next_window: usize,
-    /// Publishes consumed so far == the next window's ordinal base.
-    publish_cursor: usize,
-    /// Global timeline index of the next window's first event.
-    start_index: usize,
-    /// Per-origin latest versions, carried across window seams.
-    heads: VersionHeads,
+    state: WindowState,
     events: Vec<CompiledEvent>,
     offsets: Vec<u32>,
     pairs: Vec<(ServerId, u32)>,
@@ -374,10 +668,6 @@ pub struct StreamingWindows<'a> {
     scratch: Vec<RequestEvent>,
     /// The window's filtered, warped, stably sorted requests.
     requests: Vec<RequestEvent>,
-    /// Counting scratch for the attached matcher's frozen kernel.
-    match_scratch: MatchScratch,
-    /// Fan-out buffer for the attached matcher (reused per publish).
-    fanout_buf: Vec<(ServerId, u32)>,
 }
 
 impl StreamingWindows<'_> {
@@ -399,130 +689,41 @@ impl ReplaySource for StreamingWindows<'_> {
     }
 
     fn next_window(&mut self) -> Option<TraceWindow<'_>> {
-        if self.next_window >= self.trace.window_count {
+        let trace = self.trace;
+        let k = self.state.next_window();
+        if k >= trace.window_count {
             return None;
         }
-        let trace = self.trace;
-        let k = self.next_window;
-        self.next_window += 1;
-        let t0 = SimTime::from_millis(trace.window_ms * k as u64);
-        // The final window is open-ended so clamped events at the horizon
-        // edge (and any publish at it) cannot fall between windows.
-        let t1 = if k + 1 == trace.window_count {
-            SimTime::from_millis(u64::MAX)
-        } else {
-            SimTime::from_millis(trace.window_ms * (k as u64 + 1))
-        };
 
-        // Publishes in [t0, t1): everything earlier was consumed by
-        // previous windows (the stream is time-sorted).
-        let pub_start = self.publish_cursor;
-        while self
-            .trace
-            .publishes
-            .get(self.publish_cursor)
-            .is_some_and(|p| p.time < t1)
-        {
-            self.publish_cursor += 1;
-        }
-        let window_pubs = &trace.publishes[pub_start..self.publish_cursor];
-
-        // Requests in [t0, t1): regenerate every page whose span overlaps
-        // the window, filter per event, stable-sort. Ascending page order
-        // makes the pre-sort order page-major — the same relative order
-        // the monolithic generator feeds its one stable sort, so ties
-        // land identically (see the module docs).
+        // Requests in [t0, t1): from the constructor-fused cache when it
+        // covers this window, else regenerated as a batch of one. Either
+        // way the pre-sort order is page-major (see the module docs), so
+        // the stable sort lands ties identically to the monolithic path.
         self.requests.clear();
-        for (page_idx, span) in trace.page_span.iter().enumerate() {
-            let Some((first, last)) = span else { continue };
-            if *last < t0 || *first >= t1 {
-                continue;
-            }
-            self.scratch.clear();
-            trace
-                .stream
-                .append_page_requests(&trace.meta.pages, page_idx, &mut self.scratch);
-            for ev in &self.scratch {
-                let time = match &trace.warp {
-                    Some(w) => w.apply(ev.time),
-                    None => ev.time,
-                };
-                if time >= t0 && time < t1 {
-                    self.requests
-                        .push(RequestEvent::new(time, ev.server, ev.page));
-                }
-            }
+        match trace.lookahead_window(k) {
+            Some(cached) => self.requests.extend_from_slice(cached),
+            None => trace.scatter_batch(
+                k,
+                1,
+                &mut self.scratch,
+                std::slice::from_mut(&mut self.requests),
+            ),
         }
         self.requests.sort_by_key(|e| e.time);
 
-        // Merge and resolve — the same publish-first tie-break and the
-        // same static lookups as `CompiledTrace::compile`, with the
-        // lineage carried in `self.heads` instead of a trace-local map.
-        self.events.clear();
-        self.offsets.clear();
-        self.offsets.push(0);
-        self.pairs.clear();
-        let (mut pi, mut ri) = (0usize, 0usize);
-        while pi < window_pubs.len() || ri < self.requests.len() {
-            let publish_next = match (window_pubs.get(pi), self.requests.get(ri)) {
-                (Some(p), Some(r)) => p.time <= r.time,
-                (Some(_), None) => true,
-                (None, _) => false,
-            };
-            if publish_next {
-                let ev = window_pubs[pi];
-                let ordinal = (pub_start + pi) as u32;
-                pi += 1;
-                let meta = &trace.meta.pages[ev.page.as_usize()];
-                let supersedes = self.heads.publish(ev.page, meta);
-                let matched: &[(ServerId, u32)] = match &trace.matcher {
-                    Some(m) => {
-                        m.matched_servers_into(
-                            ev.page,
-                            &mut self.match_scratch,
-                            &mut self.fanout_buf,
-                        );
-                        &self.fanout_buf
-                    }
-                    None => trace.subscriptions.matched_servers(ev.page),
-                };
-                self.pairs.extend_from_slice(matched);
-                self.offsets.push(self.pairs.len() as u32);
-                self.events.push(CompiledEvent {
-                    time: ev.time,
-                    page: ev.page,
-                    kind: CompiledEventKind::Publish {
-                        ordinal,
-                        supersedes,
-                    },
-                });
-            } else {
-                let ev = self.requests[ri];
-                ri += 1;
-                self.events.push(CompiledEvent {
-                    time: ev.time,
-                    page: ev.page,
-                    kind: CompiledEventKind::Request {
-                        server: ev.server,
-                        subs: match &trace.matcher {
-                            Some(m) => {
-                                m.match_count_with(ev.page, ev.server, &mut self.match_scratch)
-                            }
-                            None => trace.subscriptions.count(ev.page, ev.server),
-                        },
-                    },
-                });
-            }
-        }
-
-        let start_index = self.start_index;
-        self.start_index += self.events.len();
+        let (ordinal_base, start_index) = trace.compile_window_into(
+            &mut self.state,
+            &self.requests,
+            &mut self.events,
+            &mut self.offsets,
+            &mut self.pairs,
+        );
         Some(TraceWindow {
             pages: &trace.meta.pages,
             events: &self.events,
             offsets: &self.offsets,
             pairs: &self.pairs,
-            ordinal_base: pub_start as u32,
+            ordinal_base,
             start_index,
         })
     }
@@ -535,7 +736,10 @@ impl ReplaySource for StreamingWindows<'_> {
 /// its own window pass (regenerating the stream per shard, holding one
 /// window each). Results are bit-identical to the materialized replay at
 /// every window size and thread count; the `stream_differential` suite
-/// proves it.
+/// proves it. This is the serial reference arm — see
+/// [`simulate_streamed_prefetched`](crate::simulate_streamed_prefetched)
+/// for the pipelined path that overlaps generation with replay and shares
+/// one prefetcher across shards.
 ///
 /// # Errors
 ///
@@ -601,6 +805,18 @@ mod tests {
     }
 
     #[test]
+    fn lookahead_cache_is_bit_identical() {
+        let reference = monolithic(&config(), 1.0);
+        for depth in [1, 2, 4, 64] {
+            let stream =
+                StreamingTrace::with_lookahead(&config(), 1.0, SimTime::from_hours(13), 1, depth)
+                    .unwrap();
+            assert_eq!(stream.lookahead_len(), depth.min(stream.window_count()));
+            assert_eq!(stream.materialize(), reference, "depth = {depth}");
+        }
+    }
+
+    #[test]
     fn streaming_meta_and_table_match_the_workload() {
         let w = Workload::generate(&config()).unwrap();
         let stream = StreamingTrace::new(&config(), 0.8, SimTime::from_days(1), 2).unwrap();
@@ -662,6 +878,16 @@ mod tests {
         let stream =
             StreamingTrace::from_scenario(&scenario, 1.0, SimTime::from_hours(6), 0).unwrap();
         assert_eq!(stream.materialize(), reference);
+        // The warped lookahead cache scatters the same events.
+        let cached = StreamingTrace::from_scenario_with_lookahead(
+            &scenario,
+            1.0,
+            SimTime::from_hours(6),
+            0,
+            3,
+        )
+        .unwrap();
+        assert_eq!(cached.materialize(), reference);
     }
 
     #[test]

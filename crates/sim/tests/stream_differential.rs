@@ -14,8 +14,8 @@ use proptest::sample::select;
 
 use pscd_core::StrategyKind;
 use pscd_sim::{
-    simulate_compiled, simulate_streamed, CompiledEventKind, CompiledTrace, CrashPlan,
-    ReplaySource, SimOptions, StreamingTrace,
+    simulate_compiled, simulate_streamed, simulate_streamed_prefetched, CompiledEventKind,
+    CompiledTrace, CrashPlan, PrefetchOptions, ReplaySource, SimOptions, StreamingTrace,
 };
 use pscd_topology::FetchCosts;
 use pscd_types::SimTime;
@@ -59,6 +59,10 @@ fn reference() -> &'static (CompiledTrace, FetchCosts) {
 
 fn streaming(window: SimTime) -> StreamingTrace {
     StreamingTrace::new(&config(), 0.8, window, 1).unwrap()
+}
+
+fn streaming_lookahead(window: SimTime, depth: usize) -> StreamingTrace {
+    StreamingTrace::with_lookahead(&config(), 0.8, window, 1, depth).unwrap()
 }
 
 /// The headline proof: for all 12 strategies and three window sizes, a
@@ -240,22 +244,114 @@ fn empty_windows_mid_stream_are_harmless() {
     );
 }
 
+/// The pipelined (compile-ahead) replay is bit-identical to the
+/// monolithic reference — totals, hourly series, AND per-proxy byte
+/// accounting — at every prefetch depth × consumer thread count. The
+/// producer compiles windows ahead on its own thread while shard
+/// consumers replay, so this is the proof that the overlap preserves
+/// the serial window order's semantics exactly.
+#[test]
+fn pipelined_replay_is_bit_identical_at_every_depth_and_thread_count() {
+    let (trace, costs) = reference();
+    let window = SimTime::from_hours(13);
+    for depth in [1usize, 2, 4] {
+        let stream = streaming_lookahead(window, depth);
+        let prefetch = PrefetchOptions::new(depth);
+        for threads in [1usize, 2, 0] {
+            for kind in [
+                StrategyKind::GdStar { beta: 2.0 },
+                StrategyKind::Sg2 { beta: 2.0 },
+                StrategyKind::dc_lap(2.0),
+            ] {
+                let options = SimOptions::at_capacity(kind, 0.05).with_threads(threads);
+                let compiled = simulate_compiled(trace, costs, &options).unwrap();
+                let pipelined =
+                    simulate_streamed_prefetched(&stream, costs, &options, &prefetch).unwrap();
+                assert_eq!(
+                    compiled,
+                    pipelined,
+                    "{} diverged at depth={depth} threads={threads}",
+                    kind.name()
+                );
+                assert_eq!(compiled.hourly, pipelined.hourly);
+                assert_eq!(compiled.per_server, pipelined.per_server);
+            }
+        }
+    }
+}
+
+/// A crash landing exactly on a window seam (day 2 with 1-day windows)
+/// fires identically through the pipelined path at every depth — the
+/// producer may already have compiled windows past the crash instant
+/// when the consumer reaches it, and that lookahead must not change
+/// which victims the crash consumes.
+#[test]
+fn pipelined_crash_exactly_at_a_window_seam_is_seam_safe() {
+    let (trace, costs) = reference();
+    let window = SimTime::from_days(1);
+    for depth in [1usize, 2, 4] {
+        let stream = streaming_lookahead(window, depth);
+        let prefetch = PrefetchOptions::new(depth);
+        for crash_at in [SimTime::from_days(2), SimTime::from_hours(53)] {
+            let options = SimOptions::at_capacity(StrategyKind::Sg2 { beta: 2.0 }, 0.05)
+                .with_crash(CrashPlan {
+                    time: crash_at,
+                    fraction: 1.0,
+                    seed: 42,
+                });
+            let compiled = simulate_compiled(trace, costs, &options).unwrap();
+            let pipelined =
+                simulate_streamed_prefetched(&stream, costs, &options, &prefetch).unwrap();
+            assert_eq!(
+                compiled, pipelined,
+                "crash at {crash_at:?} depth {depth} diverged"
+            );
+            let sharded =
+                simulate_streamed_prefetched(&stream, costs, &options.with_threads(3), &prefetch)
+                    .unwrap();
+            assert_eq!(compiled, sharded, "sharded crash at {crash_at:?} diverged");
+        }
+    }
+}
+
+/// The pipelined materialization (producer compiles ahead, consumer
+/// concatenates) equals the monolithic compile — events, CSR fan-out
+/// tables, and meta — including a depth larger than the window count.
+#[test]
+fn pipelined_materialization_equals_monolithic_compile() {
+    let (trace, _) = reference();
+    let window = SimTime::from_hours(36);
+    for depth in [1usize, 3, 64] {
+        let stream = streaming_lookahead(window, depth);
+        assert_eq!(
+            &stream.materialize_prefetched(&PrefetchOptions::new(depth)),
+            trace,
+            "depth = {depth}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
     /// Rotating differential: any (strategy, window size, thread count)
-    /// triple replays bit-identically.
+    /// triple replays bit-identically — through both the serial streaming
+    /// pass and the pipelined prefetcher.
     #[test]
     fn any_strategy_window_thread_triple_matches(
         kind in select(all_strategies().to_vec()),
         window_hours in select(vec![2u64, 7, 24, 50, 100]),
         threads in select(vec![1usize, 2, 4]),
+        depth in select(vec![1usize, 2, 3]),
     ) {
         let (trace, costs) = reference();
         let stream = streaming(SimTime::from_hours(window_hours));
         let options = SimOptions::at_capacity(kind, 0.05).with_threads(threads);
         let compiled = simulate_compiled(trace, costs, &options).unwrap();
         let streamed = simulate_streamed(&stream, costs, &options).unwrap();
-        prop_assert_eq!(compiled, streamed);
+        prop_assert_eq!(&compiled, &streamed);
+        let pipelined = simulate_streamed_prefetched(
+            &stream, costs, &options, &PrefetchOptions::new(depth)).unwrap();
+        prop_assert_eq!(&compiled, &pipelined);
     }
 }

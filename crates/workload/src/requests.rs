@@ -370,17 +370,18 @@ fn place_page_requests(
     let pool_size = ((config.servers as f64 * rel.powf(config.server_exponent)).ceil() as usize)
         .clamp(1, config.servers as usize);
     let mut pool = sample_distinct(rng, config.servers as usize, pool_size);
-    let mut pool_day = times.first().map(|t| t.day_index()).unwrap_or(0);
-    let mut pools: Vec<Option<Vec<u16>>> = vec![None; total_days];
-    pools[pool_day.min(total_days - 1)] = Some(pool.clone());
+    let mut pool_day = times
+        .first()
+        .map(|t| t.day_index())
+        .unwrap_or(0)
+        .min(total_days - 1);
 
     for &t in &times {
         let day = t.day_index().min(total_days - 1);
         if day != pool_day {
             // Roll the pool forward day by day, applying the overlap.
-            for slot in pools.iter_mut().take(day + 1).skip(pool_day + 1) {
+            for _ in pool_day..day {
                 pool = roll_pool(rng, &pool, config.servers as usize, config.day_overlap);
-                *slot = Some(pool.clone());
             }
             pool_day = day;
         }
